@@ -1,0 +1,68 @@
+// Command isoaudit re-derives the paper's encoding-uniqueness bounds
+// (§3.1, Figure 1C) by exhaustive enumeration: for every edge budget it
+// enumerates all non-isomorphic connected labelled graphs, groups them by
+// characteristic-sequence encoding, and reports collisions. The paper's
+// claims — unique through emax = 5 when the label connectivity graph is
+// loop-free, and through emax = 4 otherwise — fall out as the last
+// collision-free rows of the two tables.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"hsgf/internal/iso"
+)
+
+func main() {
+	var (
+		maxEdges = flag.Int("max-edges", 6, "largest edge budget to audit")
+		labels   = flag.Int("labels", 2, "alphabet size for the loop-free audit")
+	)
+	flag.Parse()
+
+	start := time.Now()
+	fmt.Printf("Audit A — same-label edges allowed (label connectivity with loops), %d label(s)\n", 1)
+	printAudit(1, *maxEdges, false)
+	fmt.Printf("Audit B — loop-free label connectivity, %d labels\n", *labels)
+	printAudit(*labels, *maxEdges, true)
+	fmt.Fprintf(os.Stderr, "isoaudit: done in %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+func printAudit(k, maxEdges int, loopFree bool) {
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "edges\tgraphs\tencodings\tcollisions\tunique")
+	lastUnique := 0
+	for e := 1; e <= maxEdges; e++ {
+		r := iso.Audit(e, k, loopFree)
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%v\n", e, r.Graphs, r.Encodings, len(r.Collisions), r.Unique())
+		if r.Unique() && lastUnique == e-1 {
+			lastUnique = e
+		}
+		if !r.Unique() && len(r.Collisions) > 0 {
+			c := r.Collisions[0]
+			fmt.Fprintf(tw, "\t\t\t\twitness: %s\n", describe(c.A, c.B))
+		}
+	}
+	tw.Flush()
+	fmt.Printf("=> encoding unique through emax = %d\n\n", lastUnique)
+}
+
+func describe(a, b iso.Small) string {
+	return fmt.Sprintf("%s vs %s", render(a), render(b))
+}
+
+func render(g iso.Small) string {
+	s := fmt.Sprintf("{n=%d;", g.N)
+	for i := 0; i < g.N; i++ {
+		for j := i + 1; j < g.N; j++ {
+			if g.HasEdge(i, j) {
+				s += fmt.Sprintf(" %d%c-%d%c", i, 'a'+rune(g.Labels[i]), j, 'a'+rune(g.Labels[j]))
+			}
+		}
+	}
+	return s + "}"
+}

@@ -1,0 +1,109 @@
+// Command motifbench demonstrates the contrast the paper draws in §2
+// between classical network-motif analysis and rooted subgraph features:
+// a global census enumerates every size-k subgraph of the network
+// (cost grows with the whole network and explodes in k), whereas the
+// rooted census only explores around the nodes that need features. The
+// tool runs both on the same synthetic co-occurrence network, reports
+// the motif z-scores of the global analysis, and compares wall-clock
+// costs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"hsgf/internal/core"
+	"hsgf/internal/datagen"
+	"hsgf/internal/graph"
+	"hsgf/internal/motif"
+)
+
+func main() {
+	var (
+		k       = flag.Int("k", 3, "motif size (nodes) for the global census")
+		samples = flag.Int("samples", 10, "random networks for the null model")
+		rooted  = flag.Int("rooted", 100, "sample size for the rooted census comparison")
+		emax    = flag.Int("emax", 4, "rooted census edge budget")
+		seed    = flag.Int64("seed", 13, "seed")
+	)
+	flag.Parse()
+
+	cfg := datagen.DefaultCooccurrenceConfig()
+	cfg.Locations, cfg.Organizations, cfg.Actors, cfg.Dates = 150, 120, 250, 90
+	cfg.Documents = 1500
+	cfg.Seed = *seed
+	co, err := datagen.GenerateCooccurrence(cfg)
+	if err != nil {
+		fail(err)
+	}
+	g := co.Graph
+	fmt.Println("network:", g)
+
+	// Global motif analysis.
+	rng := rand.New(rand.NewSource(*seed))
+	start := time.Now()
+	sig, err := motif.Motifs(g, *k, *samples, rng)
+	if err != nil {
+		fail(err)
+	}
+	globalTime := time.Since(start)
+
+	fmt.Printf("\nglobal size-%d motif analysis (%d null samples, %v):\n", *k, *samples, globalTime.Round(time.Millisecond))
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "z-score\treal\tnull mean\tclass")
+	shown := 0
+	for _, s := range sig {
+		if shown >= 8 {
+			break
+		}
+		z := fmt.Sprintf("%.1f", s.Z)
+		if math.IsInf(s.Z, 0) {
+			z = "inf"
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%.1f\t%s\n", z, s.Real, s.RandMean, motif.Describe(s.Example, g.Alphabet()))
+		shown++
+	}
+	tw.Flush()
+
+	// Rooted census over a bounded sample.
+	roots := core.SampleRoots(g, *rooted/g.NumLabels()+1, rand.New(rand.NewSource(*seed+1)))
+	roots = core.FilterRootsByDegree(g, roots, 0.95)
+	ex, err := core.NewExtractor(g, core.Options{
+		MaxEdges:      *emax,
+		MaxDegree:     graph.DegreePercentile(g, 0.90),
+		MaskRootLabel: true,
+	})
+	if err != nil {
+		fail(err)
+	}
+	start = time.Now()
+	censuses := ex.CensusAll(roots, 0)
+	rootedTime := time.Since(start)
+	var subgraphs int64
+	distinct := map[uint64]bool{}
+	for _, c := range censuses {
+		subgraphs += c.Subgraphs
+		for key := range c.Counts {
+			distinct[key] = true
+		}
+	}
+	fmt.Printf("\nrooted census (emax=%d, dmax=p90) over %d sampled roots: %v\n",
+		*emax, len(roots), rootedTime.Round(time.Millisecond))
+	fmt.Printf("  %d subgraph occurrences, %d distinct feature encodings\n", subgraphs, len(distinct))
+
+	fmt.Printf("\nglobal/rooted wall-clock ratio: %.1fx\n", globalTime.Seconds()/rootedTime.Seconds())
+	fmt.Println("\nthe global census must touch the entire network (and every null")
+	fmt.Println("sample repeats that cost), while the rooted census scales with the")
+	fmt.Println("feature sample — the reason the paper builds features from rooted")
+	fmt.Println("censuses instead of motif machinery (§2).")
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "motifbench:", err)
+	os.Exit(1)
+}

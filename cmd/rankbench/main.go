@@ -1,0 +1,56 @@
+// Command rankbench regenerates the paper's rank-prediction evaluation:
+// Figure 3 (NDCG@20 per conference, regressor and feature family),
+// Table 1 (average NDCG) and Figure 4 (most discriminative subgraphs).
+//
+// The default configuration is laptop-scale; -full switches to the
+// paper's settings (emax=6, d=128, r=10, l=80, 300 trees) at a much
+// longer runtime.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"hsgf/internal/experiments"
+)
+
+func main() {
+	var (
+		full = flag.Bool("full", false, "use the paper's full-scale settings")
+		seed = flag.Int64("seed", 7, "experiment seed")
+		only = flag.String("only", "", "render only one artifact: figure3 | table1 | figure4")
+	)
+	flag.Parse()
+
+	cfg := experiments.DefaultRankConfig()
+	if *full {
+		cfg = experiments.FullRankConfig()
+	}
+	cfg.Seed = *seed
+	cfg.Publication.Seed = *seed
+
+	start := time.Now()
+	res, err := experiments.RunRank(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rankbench:", err)
+		os.Exit(1)
+	}
+	switch *only {
+	case "figure3":
+		experiments.WriteFigure3(os.Stdout, res)
+	case "table1":
+		experiments.WriteTable1(os.Stdout, res)
+	case "figure4":
+		experiments.WriteFigure4(os.Stdout, res)
+	case "":
+		experiments.WriteFigure3(os.Stdout, res)
+		experiments.WriteTable1(os.Stdout, res)
+		experiments.WriteFigure4(os.Stdout, res)
+	default:
+		fmt.Fprintf(os.Stderr, "rankbench: unknown artifact %q\n", *only)
+		os.Exit(2)
+	}
+	fmt.Fprintf(os.Stderr, "rankbench: done in %v\n", time.Since(start).Round(time.Millisecond))
+}

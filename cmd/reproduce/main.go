@@ -1,0 +1,162 @@
+// Command reproduce runs the entire evaluation of the paper end to end
+// at a chosen scale and writes every artifact to one report: the §3.1
+// encoding audit, Figure 3 / Table 1 / Figure 4 (rank prediction),
+// Figure 5 A-F (label prediction), Table 2 (dmax), Table 3 (runtime),
+// the §3.1 emax ablation, and the §5 directed-features experiment.
+//
+//	reproduce                   # laptop scale, ~30-60 min, stdout
+//	reproduce -quick            # reduced protocol, minutes
+//	reproduce -out report.txt   # write the report to a file
+//
+// Every run is deterministic under -seed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"hsgf/internal/embed"
+	"hsgf/internal/experiments"
+	"hsgf/internal/iso"
+)
+
+func main() {
+	var (
+		quick = flag.Bool("quick", false, "reduced protocol (minutes instead of an hour)")
+		scale = flag.Float64("scale", 0.2, "label-prediction network scale in (0,1]")
+		seed  = flag.Int64("seed", 42, "experiment seed")
+		out   = flag.String("out", "", "report path (default: stdout)")
+	)
+	flag.Parse()
+
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	start := time.Now()
+	fmt.Fprintf(w, "hsgf full reproduction — seed %d, scale %.2f, quick=%v\n\n", *seed, *scale, *quick)
+
+	// §3.1 — encoding uniqueness bounds.
+	step(w, "E8: §3.1 encoding uniqueness audit")
+	loopy, _ := iso.MaxUniqueEdges(5, 1, false)
+	loopFree, _ := iso.MaxUniqueEdges(5, 2, true)
+	fmt.Fprintf(w, "unique through emax = %d with same-label edges (paper: 4)\n", loopy)
+	fmt.Fprintf(w, "unique through emax = %d loop-free (paper: 5)\n\n", loopFree)
+
+	// Rank prediction.
+	step(w, "E1-E3: rank prediction (Figure 3, Table 1, Figure 4)")
+	rcfg := experiments.DefaultRankConfig()
+	rcfg.Seed = *seed
+	rcfg.Publication.Seed = *seed
+	if *quick {
+		rcfg.Publication.Institutions = 40
+		rcfg.Publication.PapersPerConfYear = 20
+		rcfg.Publication.ExternalPapers = 300
+		rcfg.MaxEdges = 4
+		rcfg.ForestTrees = 60
+		rcfg.Walks = embed.WalkConfig{WalksPerNode: 3, WalkLength: 12, ReturnP: 1, InOutQ: 1}
+		rcfg.SGNS = embed.SGNSConfig{Dim: 16, Window: 4, Negatives: 3, Epochs: 1}
+		rcfg.EmbedDim = 16
+		rcfg.LINESamplesX = 8
+	}
+	rres, err := experiments.RunRank(rcfg)
+	if err != nil {
+		fail(err)
+	}
+	experiments.WriteFigure3(w, rres)
+	experiments.WriteTable1(w, rres)
+	experiments.WriteFigure4(w, rres)
+
+	// Label prediction.
+	step(w, "E4, E6, E7: label prediction (Figure 5, Table 2)")
+	lcfg := experiments.DefaultLabelConfig()
+	lcfg.Seed = *seed
+	if *quick {
+		lcfg.PerLabel = 40
+		lcfg.Repeats = 5
+		lcfg.TrainFracs = []float64{0.1, 0.5, 0.9}
+		lcfg.Removals = []float64{0, 0.25, 0.5, 0.75}
+		lcfg.DmaxLevels = []float64{0.90, 0.94, 0.98}
+	}
+	datasets, err := experiments.LoadLabelDatasets(*scale, *seed)
+	if err != nil {
+		fail(err)
+	}
+	dmaxRows := map[string][]experiments.CurvePoint{}
+	var order []string
+	var runtimeRows []*experiments.RuntimeRow
+	for _, ds := range datasets {
+		order = append(order, ds.Name)
+		curves, err := experiments.TrainingSizeCurves(ds.Graph, lcfg)
+		if err != nil {
+			fail(err)
+		}
+		experiments.WriteCurves(w, fmt.Sprintf("Figure 5 (%s) — Macro F1 vs training size", ds.Name), "train", curves)
+		removal, err := experiments.LabelRemovalCurves(ds.Graph, lcfg)
+		if err != nil {
+			fail(err)
+		}
+		experiments.WriteCurves(w, fmt.Sprintf("Figure 5 (%s) — Macro F1 vs removed labels", ds.Name), "removed", removal)
+
+		dcfg := lcfg
+		if ds.Name != "IMDB" {
+			var capped []float64
+			for _, l := range lcfg.DmaxLevels {
+				if l < 1 {
+					capped = append(capped, l)
+				}
+			}
+			dcfg.DmaxLevels = capped
+		}
+		pts, err := experiments.DmaxSweep(ds.Graph, dcfg)
+		if err != nil {
+			fail(err)
+		}
+		dmaxRows[ds.Name] = pts
+
+		row, err := experiments.MeasureRuntime(ds.Name, ds.Graph, lcfg)
+		if err != nil {
+			fail(err)
+		}
+		runtimeRows = append(runtimeRows, row)
+	}
+	experiments.WriteTable2(w, dmaxRows, order)
+	step(w, "E5: runtime (Table 3)")
+	experiments.WriteTable3(w, runtimeRows)
+
+	// Directed extension.
+	step(w, "E10: §5 conjecture — directed vs undirected features")
+	dcfg := experiments.DefaultDirectedConfig()
+	dcfg.Seed = *seed
+	if *quick {
+		dcfg.Citation.Papers = 400
+		dcfg.PerRole = 40
+		dcfg.Repeats = 5
+	}
+	dres, err := experiments.RunDirected(dcfg)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(w, "directed (typed):  Macro F1 %.2f±%.2f\n", dres.DirectedF1, dres.DirectedCI)
+	fmt.Fprintf(w, "undirected:        Macro F1 %.2f±%.2f\n\n", dres.UndirectedF1, dres.UndirectedCI)
+
+	fmt.Fprintf(w, "total: %v\n", time.Since(start).Round(time.Second))
+	fmt.Fprintln(os.Stderr, "reproduce: done in", time.Since(start).Round(time.Second))
+}
+
+func step(w io.Writer, title string) {
+	fmt.Fprintf(w, "================ %s ================\n\n", title)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "reproduce:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,47 @@
+// Command runtimebench regenerates Table 3: the per-node feature
+// extraction time of the subgraph census (mean and tail percentiles)
+// against the amortised per-node cost of the three embedding baselines,
+// on each of the three evaluation networks.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"hsgf/internal/experiments"
+)
+
+func main() {
+	var (
+		scale = flag.Float64("scale", 0.25, "network scale factor in (0,1]")
+		full  = flag.Bool("full", false, "use the paper's protocol parameters")
+		seed  = flag.Int64("seed", 11, "experiment seed")
+	)
+	flag.Parse()
+
+	cfg := experiments.DefaultLabelConfig()
+	if *full {
+		cfg = experiments.FullLabelConfig()
+	}
+	cfg.Seed = *seed
+
+	datasets, err := experiments.LoadLabelDatasets(*scale, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "runtimebench:", err)
+		os.Exit(1)
+	}
+	start := time.Now()
+	var rows []*experiments.RuntimeRow
+	for _, ds := range datasets {
+		row, err := experiments.MeasureRuntime(ds.Name, ds.Graph, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "runtimebench:", err)
+			os.Exit(1)
+		}
+		rows = append(rows, row)
+	}
+	experiments.WriteTable3(os.Stdout, rows)
+	fmt.Fprintf(os.Stderr, "runtimebench: done in %v\n", time.Since(start).Round(time.Millisecond))
+}

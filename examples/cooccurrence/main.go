@@ -1,0 +1,64 @@
+// Hub heuristics on a dense network: demonstrates the paper's
+// topological optimization heuristic (§3.2). On a dense co-occurrence
+// network, a census without a degree cutoff explodes through hub nodes;
+// the dmax heuristic keeps hubs as labelled endpoints but never explores
+// beyond them, trading a bounded amount of signal for orders of magnitude
+// less work (Table 2 / §4.3.4).
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"hsgf"
+	"hsgf/internal/datagen"
+)
+
+func main() {
+	cfg := datagen.DefaultCooccurrenceConfig()
+	cfg.Locations, cfg.Organizations, cfg.Actors, cfg.Dates = 120, 100, 200, 80
+	cfg.Documents = 1200
+	co, err := datagen.GenerateCooccurrence(cfg)
+	if err != nil {
+		panic(err)
+	}
+	g := co.Graph
+	fmt.Println("network:", g)
+	fmt.Println("max degree:", g.MaxDegree())
+
+	// A fixed sample of moderate-degree roots.
+	rng := rand.New(rand.NewSource(9))
+	var roots []hsgf.NodeID
+	for len(roots) < 25 {
+		v := hsgf.NodeID(rng.Intn(g.NumNodes()))
+		if d := g.Degree(v); d > 0 && d <= hsgf.DegreePercentile(g, 0.75) {
+			roots = append(roots, v)
+		}
+	}
+
+	fmt.Printf("\n%-8s %-12s %-14s %-12s\n", "dmax", "cutoff", "subgraphs", "time")
+	for _, level := range []float64{0.80, 0.90, 0.95, 0.99} {
+		cutoff := hsgf.DegreePercentile(g, level)
+		ex, err := hsgf.NewExtractor(g, hsgf.Options{
+			MaxEdges:      4,
+			MaxDegree:     cutoff,
+			MaskRootLabel: true,
+		})
+		if err != nil {
+			panic(err)
+		}
+		start := time.Now()
+		censuses := ex.CensusAll(roots, 0)
+		elapsed := time.Since(start)
+		var total int64
+		for _, c := range censuses {
+			total += c.Subgraphs
+		}
+		fmt.Printf("p%-7.0f %-12d %-14d %-12v\n", level*100, cutoff, total, elapsed.Round(time.Millisecond))
+	}
+	fmt.Println("\nhigher percentile levels explore through ever larger hubs:")
+	fmt.Println("the subgraph count (and the census cost) grows sharply, which")
+	fmt.Println("is why the paper could not even finish dmax = 100% on its two")
+	fmt.Println("large networks (Table 2).")
+}

@@ -1,0 +1,78 @@
+// Directed citations: the paper's §5 future work made concrete. Build a
+// small directed, edge-heterogeneous citation network and show that typed
+// subgraph features separate structurally identical but directionally
+// different roles — a survey paper (cited by many) versus a new paper
+// (citing many) — which the undirected encoding cannot tell apart.
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"hsgf"
+)
+
+func main() {
+	b := hsgf.NewTypedBuilder(true) // directed
+	if err := b.DeclareEdgeLabels("cites", "extends"); err != nil {
+		panic(err)
+	}
+	mustNode := func(label string) hsgf.NodeID {
+		v, err := b.AddNode(label)
+		if err != nil {
+			panic(err)
+		}
+		return v
+	}
+	mustArc := func(u, v hsgf.NodeID, label string) {
+		if err := b.AddEdge(u, v, label); err != nil {
+			panic(err)
+		}
+	}
+
+	// A survey cited by four papers; a fresh paper citing four others.
+	// Both have degree 4 over identical node labels — an undirected
+	// census sees the same star.
+	survey := mustNode("p")
+	fresh := mustNode("p")
+	for i := 0; i < 4; i++ {
+		citer := mustNode("p")
+		mustArc(citer, survey, "cites")
+		cited := mustNode("p")
+		mustArc(fresh, cited, "cites")
+	}
+	// One "extends" relationship to exercise the multiplex dimension.
+	followup := mustNode("p")
+	mustArc(followup, survey, "extends")
+
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("directed citation network: %d papers, %d arcs, %d edge labels\n",
+		g.NumNodes(), g.NumEdges(), g.NumEdgeLabels())
+
+	ex, err := hsgf.NewTypedExtractor(g, hsgf.TypedOptions{MaxEdges: 2})
+	if err != nil {
+		panic(err)
+	}
+	for _, node := range []struct {
+		name string
+		id   hsgf.NodeID
+	}{{"survey", survey}, {"fresh paper", fresh}} {
+		c := ex.Census(node.id)
+		fmt.Printf("\n%s — %d subgraphs, %d distinct types:\n", node.name, c.Subgraphs, len(c.Counts))
+		var lines []string
+		for key, count := range c.Counts {
+			lines = append(lines, fmt.Sprintf("  %-42s x%d", ex.EncodingString(key), count))
+		}
+		sort.Strings(lines)
+		for _, l := range lines {
+			fmt.Println(l)
+		}
+	}
+	fmt.Println("\nevery incidence is typed: 'cites>' = outgoing citation,")
+	fmt.Println("'cites<' = incoming. The survey's features are dominated by")
+	fmt.Println("incoming citations, the fresh paper's by outgoing ones — the")
+	fmt.Println("two roles are inseparable without edge directions.")
+}

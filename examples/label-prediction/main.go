@@ -1,0 +1,109 @@
+// Label prediction: the paper's second task (§4.3) at example scale.
+// Generate a LOAD-style entity co-occurrence network, mask the node
+// labels of an evaluation sample, and predict each node's type from its
+// heterogeneous subgraph features versus a DeepWalk embedding baseline —
+// demonstrating the paper's headline result that typed subgraph counts
+// beat structure-only embeddings by a wide margin.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hsgf"
+	"hsgf/internal/core"
+	"hsgf/internal/datagen"
+	"hsgf/internal/embed"
+	"hsgf/internal/ml"
+)
+
+func main() {
+	cfg := datagen.DefaultCooccurrenceConfig()
+	cfg.Locations, cfg.Organizations, cfg.Actors, cfg.Dates = 150, 120, 250, 90
+	cfg.Documents = 1500
+	co, err := datagen.GenerateCooccurrence(cfg)
+	if err != nil {
+		panic(err)
+	}
+	g := co.Graph
+	fmt.Println("co-occurrence network:", g)
+
+	// Sample up to 60 nodes per label.
+	rng := rand.New(rand.NewSource(4))
+	var nodes []hsgf.NodeID
+	var y []int
+	for l := 0; l < g.NumLabels(); l++ {
+		members := g.NodesWithLabel(hsgf.Label(l))
+		rng.Shuffle(len(members), func(a, b int) { members[a], members[b] = members[b], members[a] })
+		if len(members) > 60 {
+			members = members[:60]
+		}
+		for _, v := range members {
+			nodes = append(nodes, v)
+			y = append(y, l)
+		}
+	}
+
+	// Subgraph features: emax=4, hub cutoff at the 90th degree
+	// percentile, root label masked so the feature cannot leak the
+	// answer (paper §4.3.2).
+	opts := hsgf.Options{
+		MaxEdges:      4,
+		MaxDegree:     hsgf.DegreePercentile(g, 0.90),
+		MaskRootLabel: true,
+	}
+	ex, err := hsgf.NewExtractor(g, opts)
+	if err != nil {
+		panic(err)
+	}
+	censuses := ex.CensusAll(nodes, 0)
+
+	// DeepWalk baseline on the same graph.
+	vecs := embed.DeepWalk(g,
+		embed.WalkConfig{WalksPerNode: 5, WalkLength: 20},
+		embed.SGNSConfig{Dim: 32, Window: 5, Negatives: 5, Epochs: 2},
+		rand.New(rand.NewSource(5)))
+	embRows := make([][]float64, len(nodes))
+	for i, v := range nodes {
+		embRows[i] = vecs[v]
+	}
+
+	// 70/30 stratified split, shared by both families.
+	trainIdx, testIdx, err := ml.StratifiedSplit(y, 0.7, rng)
+	if err != nil {
+		panic(err)
+	}
+
+	subF1 := evaluate(subgraphMatrix(censuses, trainIdx), y, trainIdx, testIdx, true)
+	embF1 := evaluate(embRows, y, trainIdx, testIdx, false)
+
+	fmt.Printf("\nMacro F1 (subgraph features): %.3f\n", subF1)
+	fmt.Printf("Macro F1 (DeepWalk):          %.3f\n", embF1)
+	fmt.Println("\nsubgraph features encode which node types surround a node;")
+	fmt.Println("the label-blind random-walk embedding cannot see types at all.")
+}
+
+func subgraphMatrix(censuses []*core.Census, trainIdx []int) [][]float64 {
+	vocab := hsgf.NewVocabulary()
+	for _, r := range trainIdx {
+		vocab.AddCensus(censuses[r])
+	}
+	return hsgf.Matrix(censuses, vocab)
+}
+
+func evaluate(x [][]float64, y []int, trainIdx, testIdx []int, logCounts bool) float64 {
+	xtr, xte := ml.Rows(x, trainIdx), ml.Rows(x, testIdx)
+	if logCounts {
+		xtr, xte = ml.Log1p(xtr), ml.Log1p(xte)
+	}
+	var sc ml.StandardScaler
+	xtrS, err := sc.FitTransform(xtr)
+	if err != nil {
+		panic(err)
+	}
+	clf := ml.OneVsRest{C: 1, MaxIter: 100}
+	if err := clf.Fit(xtrS, ml.Ints(y, trainIdx)); err != nil {
+		panic(err)
+	}
+	return ml.MacroF1(ml.Ints(y, testIdx), clf.Predict(sc.Transform(xte)))
+}

@@ -1,0 +1,120 @@
+// Publication ranking: the paper's motivating scenario (§4.2) at example
+// scale. Generate a synthetic scientific publication network with
+// KDD-Cup-style institution relevance ground truth, extract heterogeneous
+// subgraph features for each institution from the conference-year
+// subnetwork, train a random forest on past years, and rank institutions
+// for the final year — then decode which subgraph structures the model
+// found most predictive.
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"hsgf"
+	"hsgf/internal/core"
+	"hsgf/internal/datagen"
+	"hsgf/internal/ml"
+)
+
+func main() {
+	cfg := datagen.DefaultPublicationConfig()
+	cfg.Institutions = 60
+	cfg.Conferences = []string{"KDD"}
+	cfg.Years = []int{2010, 2011, 2012, 2013, 2014, 2015}
+	cfg.PapersPerConfYear = 30
+	cfg.ExternalPapers = 300
+	pub, err := datagen.GeneratePublication(cfg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("publication network:", pub.Graph)
+
+	// One row per (institution, target year): subgraph features from the
+	// preceding year's conference subnetwork, label = relevance.
+	var censuses []*core.Census
+	var labels []float64
+	var rowYear []int
+	var extractors []*core.Extractor
+	for _, target := range cfg.Years[1:] {
+		sub, instMap := pub.Subnetwork("KDD", []int{target - 1})
+		ex, err := hsgf.NewExtractor(sub, hsgf.Options{MaxEdges: 4})
+		if err != nil {
+			panic(err)
+		}
+		extractors = append(extractors, ex)
+		rel := pub.Relevance("KDD", target)
+		for _, inst := range pub.Institutions {
+			var census *core.Census
+			if v, ok := instMap[inst]; ok {
+				census = ex.Census(v)
+			}
+			censuses = append(censuses, census)
+			labels = append(labels, rel[inst])
+			rowYear = append(rowYear, target)
+		}
+	}
+
+	testYear := cfg.Years[len(cfg.Years)-1]
+	var trainIdx, testIdx []int
+	for i, y := range rowYear {
+		if y == testYear {
+			testIdx = append(testIdx, i)
+		} else {
+			trainIdx = append(trainIdx, i)
+		}
+	}
+
+	// Vocabulary from training rows only; test rows project onto it.
+	vocab := hsgf.NewVocabulary()
+	for _, r := range trainIdx {
+		if censuses[r] != nil {
+			vocab.AddCensus(censuses[r])
+		}
+	}
+	x := hsgf.Matrix(censuses, vocab)
+	fmt.Printf("design matrix: %d rows x %d subgraph features\n", len(x), vocab.Len())
+
+	forest := ml.RandomForestRegressor{NumTrees: 150, Seed: 1}
+	if err := forest.Fit(ml.Rows(x, trainIdx), ml.Vals(labels, trainIdx)); err != nil {
+		panic(err)
+	}
+	pred := forest.Predict(ml.Rows(x, testIdx))
+	truth := ml.Vals(labels, testIdx)
+	fmt.Printf("NDCG@20 for %d: %.3f\n", testYear, ml.NDCG(pred, truth, 20))
+
+	// Figure-4-style interpretation: the most discriminative subgraphs.
+	type col struct {
+		idx int
+		imp float64
+	}
+	cols := make([]col, len(forest.Importance))
+	for i, v := range forest.Importance {
+		cols[i] = col{i, v}
+	}
+	sort.Slice(cols, func(a, b int) bool { return cols[a].imp > cols[b].imp })
+	fmt.Println("\nmost discriminative subgraph features:")
+	for _, c := range cols[:min(5, len(cols))] {
+		enc := decode(extractors, vocab.Key(c.idx))
+		fmt.Printf("  importance %.4f  %s\n", c.imp, enc)
+	}
+	fmt.Println("\n(labels: institution | author | paper — structures with authors")
+	fmt.Println("of multiple institutions collaborating on one paper are the")
+	fmt.Println("hallmark the paper highlights in Figure 4)")
+}
+
+func decode(extractors []*core.Extractor, key uint64) string {
+	for _, ex := range extractors {
+		if _, ok := ex.Decode(key); ok {
+			return ex.EncodingString(key)
+		}
+	}
+	return fmt.Sprintf("?%x", key)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

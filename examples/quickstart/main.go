@@ -1,0 +1,99 @@
+// Quickstart: build a small heterogeneous publication network by hand,
+// extract heterogeneous subgraph features for its two institutions, and
+// inspect the interpretable feature encodings — the minimal end-to-end
+// walk through the public API.
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"hsgf"
+)
+
+func main() {
+	// The network of the paper's Figure 1A: institutions (I), authors
+	// (A) and papers (P). Single-character label names render features
+	// in the paper's compact notation.
+	b := hsgf.NewBuilder()
+	mustNode := func(label string) hsgf.NodeID {
+		v, err := b.AddNode(label)
+		if err != nil {
+			panic(err)
+		}
+		return v
+	}
+	heidelberg := mustNode("I")
+	stanford := mustNode("I")
+	ada := mustNode("A")
+	bob := mustNode("A")
+	eve := mustNode("A")
+	paper1 := mustNode("P")
+	paper2 := mustNode("P")
+	paper3 := mustNode("P")
+	edges := [][2]hsgf.NodeID{
+		{heidelberg, ada}, {heidelberg, bob}, {stanford, eve},
+		{ada, paper1}, {bob, paper1}, // collaboration inside Heidelberg
+		{eve, paper2}, {bob, paper2}, // collaboration across institutions
+		{eve, paper3},
+		{paper2, paper1}, {paper3, paper1}, // citations
+	}
+	for _, e := range edges {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			panic(err)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("network:", g)
+
+	lc := hsgf.LabelConnectivityOf(g)
+	fmt.Println("label connectivity has self loops (citations):", lc.HasSelfLoop())
+
+	// Extract features: every connected subgraph with at most 3 edges
+	// around each institution, counted by encoding.
+	x, vocab, ex, err := hsgf.ExtractFeatures(
+		g, []hsgf.NodeID{heidelberg, stanford}, hsgf.Options{MaxEdges: 3}, 0)
+	if err != nil {
+		panic(err)
+	}
+
+	names := []string{"Heidelberg", "Stanford"}
+	for i := range x {
+		fmt.Printf("\n%s — %d distinct subgraph types:\n", names[i], nonzero(x[i]))
+		type feat struct {
+			enc   string
+			count float64
+		}
+		var feats []feat
+		for c := 0; c < vocab.Len(); c++ {
+			if x[i][c] > 0 {
+				feats = append(feats, feat{ex.EncodingString(vocab.Key(c)), x[i][c]})
+			}
+		}
+		sort.Slice(feats, func(a, b int) bool {
+			if feats[a].count != feats[b].count {
+				return feats[a].count > feats[b].count
+			}
+			return feats[a].enc < feats[b].enc
+		})
+		for _, f := range feats {
+			fmt.Printf("  %-24s x%.0f\n", f.enc, f.count)
+		}
+	}
+	fmt.Println("\nEach encoding is a labelled degree sequence: for example,")
+	fmt.Println("A100I010 is an institution-author edge (the author has one")
+	fmt.Println("institution neighbour; the institution has one author neighbour).")
+}
+
+func nonzero(row []float64) int {
+	n := 0
+	for _, v := range row {
+		if v > 0 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,3 @@
+module hsgf
+
+go 1.22

@@ -1,0 +1,43 @@
+package hsgf
+
+import "hsgf/internal/typed"
+
+// The typed subpackage implements the paper's §5 future-work extensions:
+// directed subgraph features and edge-heterogeneous (multiplex) subgraph
+// features, unified as censuses over typed incidences. The facade
+// re-exports its API under Typed-prefixed names.
+
+type (
+	// TypedGraph is a heterogeneous network with labelled nodes,
+	// labelled edges and optionally directed edges.
+	TypedGraph = typed.Graph
+	// TypedBuilder accumulates a TypedGraph.
+	TypedBuilder = typed.Builder
+	// TypedExtractor computes direction- and edge-label-aware subgraph
+	// features.
+	TypedExtractor = typed.Extractor
+	// TypedOptions configures typed extraction (mirrors Options).
+	TypedOptions = typed.Options
+	// TypedCensus is the typed per-root subgraph count table.
+	TypedCensus = typed.Census
+	// TypedSequence is the canonical typed characteristic sequence.
+	TypedSequence = typed.Sequence
+	// EdgeLabel identifies an edge type within a TypedGraph.
+	EdgeLabel = typed.EdgeLabel
+)
+
+// NewTypedBuilder returns a builder for a typed graph; directed selects
+// arc semantics for AddEdge.
+func NewTypedBuilder(directed bool) *TypedBuilder { return typed.NewBuilder(directed) }
+
+// NewTypedExtractor validates opts and returns a typed extractor for g.
+func NewTypedExtractor(g *TypedGraph, opts TypedOptions) (*TypedExtractor, error) {
+	return typed.NewExtractor(g, opts)
+}
+
+// FromUndirected lifts a plain node-labelled graph into a TypedGraph
+// with a single undirected edge label; typed censuses over the result
+// coincide with the plain censuses of Extractor.
+func FromUndirected(g *Graph, edgeLabelName string) (*TypedGraph, error) {
+	return typed.FromUndirected(g, edgeLabelName)
+}

@@ -1,0 +1,454 @@
+package core
+
+import (
+	"math"
+	"sync/atomic"
+
+	"hsgf/internal/graph"
+)
+
+// Census is the result of enumerating all connected subgraphs with at most
+// emax edges around one root node: a count per subgraph type.
+type Census struct {
+	// Root is the node the census was extracted for.
+	Root graph.NodeID
+	// Counts maps an encoding key to the number of distinct subgraphs
+	// around Root whose encoding has that key. In the default rolling-hash
+	// key mode, the key is the rolling hash of the characteristic
+	// sequence; in canonical-string mode it is an FNV-64a digest of the
+	// canonical sequence. Use Extractor.Decode to recover the sequence.
+	Counts map[uint64]int64
+	// Subgraphs is the total number of subgraph occurrences counted,
+	// i.e. the sum over Counts.
+	Subgraphs int64
+	// Truncated reports that enumeration stopped early — the root hit
+	// Options.MaxSubgraphsPerRoot or the extraction context was
+	// cancelled — so Counts is a prefix census, not the full one.
+	Truncated bool
+}
+
+// edge state bits used by the census worker.
+const (
+	stateInSubgraph uint8 = 1 << iota
+	stateBanned
+	stateListed
+)
+
+// cand is a candidate extension edge: id names the undirected edge, from is
+// the endpoint that was inside the subgraph when the candidate was listed,
+// and to is the other endpoint (which may or may not have joined the
+// subgraph since).
+type cand struct {
+	from, to graph.NodeID
+	id       graph.EdgeID
+}
+
+// seg is a half-open window [lo, hi) into the shared candidate stack.
+type seg struct{ lo, hi int }
+
+// worker holds the per-goroutine mutable state of the census. Per the
+// paper's parallel space analysis (§3.2), each worker needs O(V) private
+// state while the O(E) adjacency structure is shared read-only; this
+// implementation additionally keeps one byte per edge of private state in
+// exchange for O(1) candidate bookkeeping.
+type worker struct {
+	g    *graph.Graph
+	opts Options
+	k    int
+	pows *powerTable
+
+	maxEdges int
+	dmax     int
+
+	nodePos   []int32 // node -> position in subgraph arrays, -1 if absent
+	edgeState []uint8
+
+	// Subgraph under construction. Positions 0..len(nodes)-1 are live.
+	nodes   []graph.NodeID
+	slabels []int32  // label slot per subgraph position (root may be masked)
+	tv      []int32  // typed degrees, stride k, aligned with nodes
+	rv      []uint64 // raw rolling values, aligned with nodes
+	hash    uint64   // Σ mix(rv) over subgraph nodes
+	edges   int
+
+	// ext is a shared candidate stack. A frame's candidate window is a
+	// list of [lo, hi) segments of ext: the unprocessed remainders of all
+	// ancestor windows plus the frame's own freshly listed edges. Sharing
+	// segments instead of copying keeps frame setup O(depth) even at
+	// high-degree nodes. segArena[d] is the reusable segment list for the
+	// frame at depth d.
+	ext      []cand
+	segArena [][]seg
+
+	root      graph.NodeID
+	counts    map[uint64]int64
+	repr      map[uint64]Sequence // first-seen canonical form per key
+	emissions int64
+
+	budget  int64        // per-root emission cap, 0 = unlimited
+	stop    *atomic.Bool // cooperative cancellation, may be nil
+	steps   uint64       // candidate steps since census start
+	aborted bool
+}
+
+// shouldAbort is polled at every candidate step; the (cheap) budget
+// check runs always, the cross-goroutine stop flag only periodically.
+func (w *worker) shouldAbort() bool {
+	if w.aborted {
+		return true
+	}
+	if w.budget > 0 && w.emissions >= w.budget {
+		w.aborted = true
+		return true
+	}
+	w.steps++
+	if w.stop != nil && w.steps&1023 == 0 && w.stop.Load() {
+		w.aborted = true
+		return true
+	}
+	return false
+}
+
+func newWorker(g *graph.Graph, opts Options, k int, pows *powerTable) *worker {
+	w := &worker{
+		g:        g,
+		opts:     opts,
+		k:        k,
+		pows:     pows,
+		maxEdges: opts.MaxEdges,
+		dmax:     opts.MaxDegree,
+		budget:   opts.MaxSubgraphsPerRoot,
+	}
+	if w.dmax <= 0 {
+		w.dmax = math.MaxInt
+	}
+	w.nodePos = make([]int32, g.NumNodes())
+	for i := range w.nodePos {
+		w.nodePos[i] = -1
+	}
+	w.edgeState = make([]uint8, g.NumEdges())
+	maxNodes := opts.MaxEdges + 1
+	w.nodes = make([]graph.NodeID, 0, maxNodes)
+	w.slabels = make([]int32, 0, maxNodes)
+	w.tv = make([]int32, 0, maxNodes*k)
+	w.rv = make([]uint64, 0, maxNodes)
+	w.repr = make(map[uint64]Sequence)
+	w.segArena = make([][]seg, opts.MaxEdges+1)
+	for d := range w.segArena {
+		w.segArena[d] = make([]seg, 0, opts.MaxEdges+2)
+	}
+	return w
+}
+
+// census runs the full enumeration for one root and returns its counts.
+func (w *worker) census(root graph.NodeID) *Census {
+	w.root = root
+	w.counts = make(map[uint64]int64)
+	w.emissions = 0
+	w.steps = 0
+	w.aborted = false
+
+	// Install the root as subgraph position 0.
+	slot := int32(w.g.Label(root))
+	if w.opts.MaskRootLabel {
+		slot = int32(w.k - 1)
+	}
+	w.nodePos[root] = 0
+	w.nodes = append(w.nodes[:0], root)
+	w.slabels = append(w.slabels[:0], slot)
+	w.tv = w.tv[:0]
+	w.tv = append(w.tv, make([]int32, w.k)...)
+	w.rv = append(w.rv[:0], 0)
+	w.hash = w.pows.mix(0, slot)
+	w.edges = 0
+
+	// Initial candidates: all edges incident to the root. The maximum
+	// degree heuristic never applies to the root itself (§4.3.5).
+	w.ext = w.ext[:0]
+	adj := w.g.Neighbors(root)
+	eids := w.g.IncidentEdges(root)
+	for i, to := range adj {
+		w.edgeState[eids[i]] |= stateListed
+		w.ext = append(w.ext, cand{from: root, to: to, id: eids[i]})
+	}
+
+	rootSegs := w.segArena[0][:0]
+	if len(w.ext) > 0 {
+		rootSegs = append(rootSegs, seg{0, len(w.ext)})
+	}
+	w.grow(rootSegs)
+
+	if w.aborted {
+		// The enumeration unwound without its usual bookkeeping; rebuild
+		// the persistent state wholesale (O(V+E), once per truncated
+		// root) so subsequent censuses start clean.
+		for i := range w.edgeState {
+			w.edgeState[i] = 0
+		}
+		for _, v := range w.nodes {
+			w.nodePos[v] = -1
+		}
+		w.nodes = w.nodes[:0]
+		w.slabels = w.slabels[:0]
+		w.tv = w.tv[:0]
+		w.rv = w.rv[:0]
+	} else {
+		// Restore global state.
+		for _, c := range w.ext {
+			w.edgeState[c.id] &^= stateListed
+		}
+	}
+	w.nodePos[root] = -1
+	w.ext = w.ext[:0]
+
+	return &Census{Root: root, Counts: w.counts, Subgraphs: w.emissions, Truncated: w.aborted}
+}
+
+// grow enumerates every connected subgraph extension reachable from the
+// frame's candidate window, given as segments of the shared candidate
+// stack (the unprocessed remainders of all ancestor windows plus this
+// frame's fresh candidates). Each candidate is processed exactly once per
+// branch context: it is added (counted, and recursed into if the edge
+// budget allows), removed, and then banned so that later branches in this
+// frame cannot regenerate subgraphs containing it — the exclusion
+// discipline that makes the enumeration duplicate-free.
+func (w *worker) grow(segs []seg) {
+	for si := 0; si < len(segs); si++ {
+		lo, hi := segs[si].lo, segs[si].hi
+		for p := lo; p < hi; p++ {
+			if w.shouldAbort() {
+				return
+			}
+			c := w.ext[p]
+
+			// Leaf batching (the paper's heterogeneous optimization
+			// heuristic): when the next edge exhausts the budget, all
+			// consecutive candidates that attach a fresh node of the same
+			// label to the same subgraph node produce identical encodings,
+			// so they are counted in one step without materialising each
+			// subgraph. The run's candidates are never recursed into, so
+			// their ban/unban cycle is a no-op and can be skipped.
+			if w.edges+1 == w.maxEdges && !w.opts.DisableLeafBatching {
+				if j := w.leafRun(p, hi); j > p {
+					pa := w.nodePos[c.from]
+					la, lb := w.slabels[pa], w.labelSlot(c.to)
+					h := w.hash -
+						w.pows.mix(w.rv[pa], la) +
+						w.pows.mix(w.rv[pa]+w.pows.term(la, lb), la) +
+						w.pows.mix(w.pows.term(lb, la), lb)
+					n := int64(j - p)
+					if w.opts.KeyMode == CanonicalString {
+						w.addEdge(c)
+						s := w.sequence()
+						h = fnvSequence(s)
+						if _, ok := w.repr[h]; !ok {
+							w.repr[h] = s
+						}
+						w.removeEdge(c)
+					} else if _, ok := w.repr[h]; !ok {
+						w.addEdge(c)
+						w.repr[h] = w.sequence()
+						w.removeEdge(c)
+					}
+					w.counts[h] += n
+					w.emissions += n
+					p = j - 1
+					continue
+				}
+			}
+
+			newNode := w.nodePos[c.to] < 0
+			w.addEdge(c)
+			w.count()
+
+			if w.edges < w.maxEdges {
+				extraStart := len(w.ext)
+				if newNode && int(w.g.Degree(c.to)) <= w.dmax {
+					// List the new node's incident edges as fresh
+					// candidates: discoveries of further nodes or cycle
+					// closures, except edges already in the subgraph,
+					// banned in this branch context, or already listed
+					// elsewhere on this path. Hub nodes (degree > dmax)
+					// join subgraphs but are never explored beyond
+					// (topological optimization heuristic, §3.2).
+					adj := w.g.Neighbors(c.to)
+					eids := w.g.IncidentEdges(c.to)
+					for ai, to2 := range adj {
+						if w.edgeState[eids[ai]]&(stateInSubgraph|stateBanned|stateListed) != 0 {
+							continue
+						}
+						w.edgeState[eids[ai]] |= stateListed
+						w.ext = append(w.ext, cand{from: c.to, to: to2, id: eids[ai]})
+					}
+				}
+				child := w.segArena[w.edges][:0]
+				if p+1 < hi {
+					child = append(child, seg{p + 1, hi})
+				}
+				child = append(child, segs[si+1:]...)
+				if extraStart < len(w.ext) {
+					child = append(child, seg{extraStart, len(w.ext)})
+				}
+				w.grow(child)
+				if w.aborted {
+					return
+				}
+				for _, x := range w.ext[extraStart:] {
+					w.edgeState[x.id] &^= stateListed
+				}
+				w.ext = w.ext[:extraStart]
+			}
+
+			w.removeEdge(c)
+			w.edgeState[c.id] |= stateBanned
+		}
+	}
+	for _, s := range segs {
+		for p := s.lo; p < s.hi; p++ {
+			w.edgeState[w.ext[p].id] &^= stateBanned
+		}
+	}
+}
+
+// leafRun returns the exclusive end j of the maximal run ext[p:j) of
+// candidates that share c.from, attach currently-absent nodes, and agree on
+// the attached node's label slot. Runs of length 1 still profit from the
+// batched counting path.
+func (w *worker) leafRun(p, hi int) int {
+	c := w.ext[p]
+	if w.nodePos[c.to] >= 0 {
+		return p
+	}
+	slot := w.labelSlot(c.to)
+	j := p + 1
+	for j < hi {
+		n := w.ext[j]
+		if n.from != c.from || w.nodePos[n.to] >= 0 || w.labelSlot(n.to) != slot {
+			break
+		}
+		j++
+	}
+	return j
+}
+
+// labelSlot returns the encoding label slot of node v as a non-subgraph
+// node (root masking never applies: the root is always in the subgraph).
+func (w *worker) labelSlot(v graph.NodeID) int32 {
+	return int32(w.g.Label(v))
+}
+
+// addEdge installs candidate c's edge into the subgraph, adding the far
+// endpoint as a new node if necessary, and updates typed degrees and the
+// rolling hash incrementally.
+func (w *worker) addEdge(c cand) {
+	pa := w.nodePos[c.from]
+	pb := w.nodePos[c.to]
+	fresh := pb < 0
+	if fresh {
+		pb = int32(len(w.nodes))
+		w.nodePos[c.to] = pb
+		w.nodes = append(w.nodes, c.to)
+		w.slabels = append(w.slabels, w.labelSlot(c.to))
+		w.tv = append(w.tv, make([]int32, w.k)...)
+		w.rv = append(w.rv, 0)
+	}
+	la, lb := w.slabels[pa], w.slabels[pb]
+	w.tv[int(pa)*w.k+int(lb)]++
+	w.tv[int(pb)*w.k+int(la)]++
+
+	w.hash -= w.pows.mix(w.rv[pa], la)
+	w.rv[pa] += w.pows.term(la, lb)
+	w.hash += w.pows.mix(w.rv[pa], la)
+
+	if fresh {
+		w.rv[pb] = w.pows.term(lb, la)
+		w.hash += w.pows.mix(w.rv[pb], lb)
+	} else {
+		w.hash -= w.pows.mix(w.rv[pb], lb)
+		w.rv[pb] += w.pows.term(lb, la)
+		w.hash += w.pows.mix(w.rv[pb], lb)
+	}
+
+	w.edges++
+	w.edgeState[c.id] |= stateInSubgraph
+}
+
+// removeEdge undoes addEdge. The far endpoint is dropped if this edge was
+// its only connection — which is always the case for the endpoint that
+// addEdge created, because enumeration removes edges in LIFO order.
+func (w *worker) removeEdge(c cand) {
+	pa := w.nodePos[c.from]
+	pb := w.nodePos[c.to]
+	la, lb := w.slabels[pa], w.slabels[pb]
+	w.tv[int(pa)*w.k+int(lb)]--
+	w.tv[int(pb)*w.k+int(la)]--
+
+	w.hash -= w.pows.mix(w.rv[pa], la)
+	w.rv[pa] -= w.pows.term(la, lb)
+	w.hash += w.pows.mix(w.rv[pa], la)
+
+	w.edges--
+	w.edgeState[c.id] &^= stateInSubgraph
+
+	// Drop the far node if it just became isolated and is the most
+	// recently added node (LIFO discipline guarantees this for nodes the
+	// matching addEdge created).
+	dropped := false
+	if int(pb) == len(w.nodes)-1 {
+		row := w.tv[int(pb)*w.k : (int(pb)+1)*w.k]
+		isolated := true
+		for _, t := range row {
+			if t != 0 {
+				isolated = false
+				break
+			}
+		}
+		if isolated {
+			w.hash -= w.pows.mix(w.rv[pb], lb)
+			w.nodePos[c.to] = -1
+			w.nodes = w.nodes[:pb]
+			w.slabels = w.slabels[:pb]
+			w.tv = w.tv[:int(pb)*w.k]
+			w.rv = w.rv[:pb]
+			dropped = true
+		}
+	}
+	if !dropped {
+		w.hash -= w.pows.mix(w.rv[pb], lb)
+		w.rv[pb] -= w.pows.term(lb, la)
+		w.hash += w.pows.mix(w.rv[pb], lb)
+	}
+}
+
+// count registers the current subgraph in the census.
+func (w *worker) count() {
+	var key uint64
+	if w.opts.KeyMode == CanonicalString {
+		s := w.sequence()
+		key = fnvSequence(s)
+		if _, ok := w.repr[key]; !ok {
+			w.repr[key] = s
+		}
+	} else {
+		key = w.hash
+		if _, ok := w.repr[key]; !ok {
+			w.repr[key] = w.sequence()
+		}
+	}
+	w.counts[key]++
+	w.emissions++
+}
+
+// sequence materialises the canonical characteristic sequence of the
+// current subgraph.
+func (w *worker) sequence() Sequence {
+	n := len(w.nodes)
+	vals := make([]int32, 0, n*(w.k+1))
+	for i := 0; i < n; i++ {
+		vals = append(vals, w.slabels[i])
+		vals = append(vals, w.tv[i*w.k:(i+1)*w.k]...)
+	}
+	s := Sequence{K: w.k, Values: vals}
+	s.normalize()
+	return s
+}

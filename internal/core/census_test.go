@@ -1,0 +1,385 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"hsgf/internal/graph"
+)
+
+func randomLabelled(rng *rand.Rand, n, labels int, p float64) *graph.Graph {
+	names := make([]string, labels)
+	for i := range names {
+		names[i] = string(rune('a' + i))
+	}
+	b := graph.NewBuilderWithAlphabet(graph.MustAlphabet(names...))
+	for i := 0; i < n; i++ {
+		b.AddNode(names[rng.Intn(labels)])
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				b.AddEdge(graph.NodeID(u), graph.NodeID(v))
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// censusAsCanonical runs the optimised census and re-keys it canonically.
+func censusAsCanonical(t *testing.T, g *graph.Graph, root graph.NodeID, opts Options) map[string]int64 {
+	t.Helper()
+	e, err := NewExtractor(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := e.Census(root)
+	m, err := CanonicalCounts(e, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestCensusTrianglePlusPendant(t *testing.T) {
+	// Root a in: triangle a-b-c plus pendant d on c, all label "x".
+	// Hand-enumerated connected subgraphs containing a with <= 2 edges:
+	//   1 edge:  {ab}, {ac}                                  -> 2 subgraphs
+	//   2 edges: {ab,ac}, {ab,bc}, {ac,bc}, {ac,cd}          -> 4 subgraphs
+	b := graph.NewBuilderWithAlphabet(graph.MustAlphabet("x"))
+	a, _ := b.AddNode("x")
+	bb, _ := b.AddNode("x")
+	c, _ := b.AddNode("x")
+	d, _ := b.AddNode("x")
+	b.AddEdge(a, bb)
+	b.AddEdge(a, c)
+	b.AddEdge(bb, c)
+	b.AddEdge(c, d)
+	g := b.MustBuild()
+
+	e, err := NewExtractor(g, Options{MaxEdges: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cen := e.Census(a)
+	if cen.Subgraphs != 6 {
+		t.Errorf("Subgraphs = %d, want 6", cen.Subgraphs)
+	}
+	var total int64
+	for _, n := range cen.Counts {
+		total += n
+	}
+	if total != 6 {
+		t.Errorf("sum of counts = %d, want 6", total)
+	}
+	// Two distinct encodings: single edge (x1 x1) and path (x1 x1 x2
+	// variants all identical as all labels equal). Paths of length 2 all
+	// share the encoding "two degree-1 nodes + one degree-2 node".
+	if len(cen.Counts) != 2 {
+		t.Errorf("distinct encodings = %d, want 2", len(cen.Counts))
+	}
+}
+
+func TestCensusMatchesReferenceRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 40; trial++ {
+		g := randomLabelled(rng, 3+rng.Intn(9), 1+rng.Intn(3), 0.15+rng.Float64()*0.45)
+		root := graph.NodeID(rng.Intn(g.NumNodes()))
+		opts := Options{
+			MaxEdges:      1 + rng.Intn(4),
+			MaskRootLabel: rng.Intn(2) == 0,
+		}
+		got := censusAsCanonical(t, g, root, opts)
+		want := ReferenceCensus(g, root, opts)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d (%v, root %d, opts %+v):\n got  %v\n want %v",
+				trial, g, root, opts, got, want)
+		}
+	}
+}
+
+func TestCensusMatchesReferenceWithDmax(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 30; trial++ {
+		g := randomLabelled(rng, 4+rng.Intn(8), 1+rng.Intn(3), 0.2+rng.Float64()*0.4)
+		root := graph.NodeID(rng.Intn(g.NumNodes()))
+		opts := Options{
+			MaxEdges:  1 + rng.Intn(4),
+			MaxDegree: 1 + rng.Intn(4),
+		}
+		got := censusAsCanonical(t, g, root, opts)
+		want := ReferenceCensus(g, root, opts)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d (root %d, opts %+v):\n got  %v\n want %v",
+				trial, root, opts, got, want)
+		}
+	}
+}
+
+func TestCensusKeyModesAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 15; trial++ {
+		g := randomLabelled(rng, 4+rng.Intn(8), 1+rng.Intn(4), 0.3)
+		root := graph.NodeID(rng.Intn(g.NumNodes()))
+		base := Options{MaxEdges: 3, MaskRootLabel: trial%2 == 0}
+
+		rolling := base
+		rolling.KeyMode = RollingHash
+		strMode := base
+		strMode.KeyMode = CanonicalString
+
+		got := censusAsCanonical(t, g, root, rolling)
+		want := censusAsCanonical(t, g, root, strMode)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: key modes disagree:\n rolling %v\n string  %v", trial, got, want)
+		}
+	}
+}
+
+func TestCensusLeafBatchingEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 20; trial++ {
+		g := randomLabelled(rng, 5+rng.Intn(10), 1+rng.Intn(3), 0.3)
+		root := graph.NodeID(rng.Intn(g.NumNodes()))
+		on := Options{MaxEdges: 1 + rng.Intn(4)}
+		off := on
+		off.DisableLeafBatching = true
+		got := censusAsCanonical(t, g, root, on)
+		want := censusAsCanonical(t, g, root, off)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: leaf batching changes results:\n on  %v\n off %v", trial, got, want)
+		}
+	}
+}
+
+func TestCensusStarLeafBatchingCounts(t *testing.T) {
+	// Star with 6 same-labelled leaves, emax = 1: six identical subgraphs
+	// counted via the batched path.
+	b := graph.NewBuilderWithAlphabet(graph.MustAlphabet("h", "l"))
+	hub, _ := b.AddNode("h")
+	for i := 0; i < 6; i++ {
+		leaf, _ := b.AddNode("l")
+		b.AddEdge(hub, leaf)
+	}
+	g := b.MustBuild()
+	e, _ := NewExtractor(g, Options{MaxEdges: 1})
+	c := e.Census(hub)
+	if c.Subgraphs != 6 {
+		t.Errorf("Subgraphs = %d, want 6", c.Subgraphs)
+	}
+	if len(c.Counts) != 1 {
+		t.Errorf("distinct encodings = %d, want 1", len(c.Counts))
+	}
+	for key, n := range c.Counts {
+		if n != 6 {
+			t.Errorf("count = %d, want 6", n)
+		}
+		if _, ok := e.Decode(key); !ok {
+			t.Error("batched key has no representative")
+		}
+	}
+}
+
+func TestCensusDmaxHubIncludedNotExplored(t *testing.T) {
+	// root - hub - far: with dmax below the hub degree, subgraphs may
+	// include the hub (its label is kept) but never the far node.
+	b := graph.NewBuilderWithAlphabet(graph.MustAlphabet("r", "h", "f"))
+	root, _ := b.AddNode("r")
+	hub, _ := b.AddNode("h")
+	far, _ := b.AddNode("f")
+	b.AddEdge(root, hub)
+	b.AddEdge(hub, far)
+	// Inflate the hub degree.
+	for i := 0; i < 5; i++ {
+		x, _ := b.AddNode("f")
+		b.AddEdge(hub, x)
+	}
+	g := b.MustBuild()
+
+	e, _ := NewExtractor(g, Options{MaxEdges: 3, MaxDegree: 2})
+	c := e.Census(root)
+	// Only the single subgraph {root-hub} is reachable.
+	if c.Subgraphs != 1 {
+		t.Fatalf("Subgraphs = %d, want 1", c.Subgraphs)
+	}
+	for key := range c.Counts {
+		s, _ := e.Decode(key)
+		if s.NumNodes() != 2 {
+			t.Errorf("subgraph has %d nodes, want 2 (root+hub only)", s.NumNodes())
+		}
+	}
+
+	// The root itself is exempt: raising dmax above the hub degree but
+	// keeping it below the root degree must not block exploration from
+	// the root.
+	b2 := graph.NewBuilderWithAlphabet(graph.MustAlphabet("r", "l"))
+	root2, _ := b2.AddNode("r")
+	for i := 0; i < 8; i++ {
+		leaf, _ := b2.AddNode("l")
+		b2.AddEdge(root2, leaf)
+	}
+	g2 := b2.MustBuild()
+	e2, _ := NewExtractor(g2, Options{MaxEdges: 2, MaxDegree: 3})
+	c2 := e2.Census(root2)
+	// 8 single edges + C(8,2) cherries = 8 + 28 = 36.
+	if c2.Subgraphs != 36 {
+		t.Errorf("Subgraphs = %d, want 36 (root exempt from dmax)", c2.Subgraphs)
+	}
+}
+
+func TestCensusRootMaskingChangesKeysNotCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := randomLabelled(rng, 12, 3, 0.3)
+	root := graph.NodeID(0)
+	plain, _ := NewExtractor(g, Options{MaxEdges: 3})
+	masked, _ := NewExtractor(g, Options{MaxEdges: 3, MaskRootLabel: true})
+	cp := plain.Census(root)
+	cm := masked.Census(root)
+	if cp.Subgraphs != cm.Subgraphs {
+		t.Errorf("masking changed total subgraph count: %d vs %d", cp.Subgraphs, cm.Subgraphs)
+	}
+	if masked.LabelSlots() != plain.LabelSlots()+1 {
+		t.Errorf("masked extractor has %d slots, want %d", masked.LabelSlots(), plain.LabelSlots()+1)
+	}
+}
+
+func TestCensusAllParallelDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	g := randomLabelled(rng, 40, 3, 0.15)
+	roots := make([]graph.NodeID, g.NumNodes())
+	for i := range roots {
+		roots[i] = graph.NodeID(i)
+	}
+	e, _ := NewExtractor(g, Options{MaxEdges: 3, MaskRootLabel: true})
+
+	serial := e.CensusAll(roots, 1)
+	parallel := e.CensusAll(roots, 4)
+	for i := range roots {
+		if !reflect.DeepEqual(serial[i].Counts, parallel[i].Counts) {
+			t.Fatalf("root %d: parallel census differs from serial", roots[i])
+		}
+	}
+}
+
+func TestCensusAllTimed(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := randomLabelled(rng, 20, 2, 0.2)
+	roots := []graph.NodeID{0, 1, 2, 3}
+	e, _ := NewExtractor(g, Options{MaxEdges: 3})
+	cs, times := e.CensusAllTimed(roots, 2)
+	if len(cs) != len(roots) || len(times) != len(roots) {
+		t.Fatalf("lengths: %d censuses, %d times, want %d", len(cs), len(times), len(roots))
+	}
+	for i, c := range cs {
+		if c == nil || c.Root != roots[i] {
+			t.Errorf("census %d misaligned", i)
+		}
+		if times[i] < 0 {
+			t.Errorf("negative duration at %d", i)
+		}
+	}
+	// Empty root list is fine.
+	cs2, times2 := e.CensusAllTimed(nil, 4)
+	if len(cs2) != 0 || len(times2) != 0 {
+		t.Error("empty roots should produce empty results")
+	}
+}
+
+func TestCensusIsolatedRoot(t *testing.T) {
+	b := graph.NewBuilderWithAlphabet(graph.MustAlphabet("a"))
+	v, _ := b.AddNode("a")
+	g := b.MustBuild()
+	e, _ := NewExtractor(g, Options{MaxEdges: 3})
+	c := e.Census(v)
+	if c.Subgraphs != 0 || len(c.Counts) != 0 {
+		t.Errorf("isolated node census should be empty, got %d subgraphs", c.Subgraphs)
+	}
+}
+
+func TestCensusRepeatedOnSameWorkerStateClean(t *testing.T) {
+	// Running censuses for many roots through one extractor must not leak
+	// state between roots: compare against fresh extractors.
+	rng := rand.New(rand.NewSource(31))
+	g := randomLabelled(rng, 15, 2, 0.3)
+	e, _ := NewExtractor(g, Options{MaxEdges: 3})
+	for v := 0; v < g.NumNodes(); v++ {
+		got := e.Census(graph.NodeID(v))
+		fresh, _ := NewExtractor(g, Options{MaxEdges: 3})
+		want := fresh.Census(graph.NodeID(v))
+		if !reflect.DeepEqual(got.Counts, want.Counts) {
+			t.Fatalf("root %d: extractor state leaked between censuses", v)
+		}
+	}
+}
+
+func TestNewExtractorValidation(t *testing.T) {
+	g := randomLabelled(rand.New(rand.NewSource(1)), 5, 2, 0.5)
+	if _, err := NewExtractor(g, Options{MaxEdges: 0}); err == nil {
+		t.Error("MaxEdges 0 must be rejected")
+	}
+	if _, err := NewExtractor(g, Options{MaxEdges: -1}); err == nil {
+		t.Error("negative MaxEdges must be rejected")
+	}
+}
+
+func TestKeyModeString(t *testing.T) {
+	if RollingHash.String() != "rolling-hash" {
+		t.Error("RollingHash name")
+	}
+	if CanonicalString.String() != "canonical-string" {
+		t.Error("CanonicalString name")
+	}
+	if KeyMode(9).String() != "KeyMode(9)" {
+		t.Error("unknown mode name")
+	}
+}
+
+func TestEncodingStringUnknownKey(t *testing.T) {
+	g := randomLabelled(rand.New(rand.NewSource(1)), 5, 2, 0.5)
+	e, _ := NewExtractor(g, Options{MaxEdges: 2})
+	if s := e.EncodingString(0xdeadbeef); s == "" {
+		t.Error("unknown key should render a placeholder")
+	}
+}
+
+func TestCensusEmaxGrowsFeatureSpace(t *testing.T) {
+	// Larger emax must never shrink the census (paper §3.1: higher emax
+	// gives more discriminative features at higher cost).
+	rng := rand.New(rand.NewSource(77))
+	g := randomLabelled(rng, 14, 3, 0.3)
+	root := graph.NodeID(0)
+	prevDistinct, prevTotal := 0, int64(0)
+	for emax := 1; emax <= 4; emax++ {
+		e, _ := NewExtractor(g, Options{MaxEdges: emax})
+		c := e.Census(root)
+		if len(c.Counts) < prevDistinct {
+			t.Errorf("emax %d: distinct encodings shrank from %d to %d", emax, prevDistinct, len(c.Counts))
+		}
+		if c.Subgraphs < prevTotal {
+			t.Errorf("emax %d: total subgraphs shrank", emax)
+		}
+		prevDistinct, prevTotal = len(c.Counts), c.Subgraphs
+	}
+}
+
+func ExampleExtractor_Census() {
+	// A minimal publication network: one institution, one author, one
+	// paper: I - A - P.
+	b := graph.NewBuilderWithAlphabet(graph.MustAlphabet("I", "A", "P"))
+	inst, _ := b.AddNode("I")
+	auth, _ := b.AddNode("A")
+	pap, _ := b.AddNode("P")
+	b.AddEdge(inst, auth)
+	b.AddEdge(auth, pap)
+	g := b.MustBuild()
+
+	e, _ := NewExtractor(g, Options{MaxEdges: 2})
+	c := e.Census(inst)
+	fmt.Println("subgraphs:", c.Subgraphs)
+	fmt.Println("distinct encodings:", len(c.Counts))
+	// Output:
+	// subgraphs: 2
+	// distinct encodings: 2
+}

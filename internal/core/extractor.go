@@ -1,0 +1,242 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hsgf/internal/graph"
+)
+
+// KeyMode selects how census keys are derived from subgraph encodings.
+type KeyMode int
+
+const (
+	// RollingHash keys the census by the incrementally maintained rolling
+	// hash of the characteristic sequence (paper §3.2). This is the
+	// default and the fast path.
+	RollingHash KeyMode = iota
+	// CanonicalString materialises the canonical sequence at every
+	// emission and keys the census by a digest of it. This is the
+	// "convert to string and hash the string" strategy the paper improves
+	// upon; it is retained as the comparator for the hashing ablation and
+	// as a correctness oracle in tests.
+	CanonicalString
+)
+
+func (m KeyMode) String() string {
+	switch m {
+	case RollingHash:
+		return "rolling-hash"
+	case CanonicalString:
+		return "canonical-string"
+	default:
+		return fmt.Sprintf("KeyMode(%d)", int(m))
+	}
+}
+
+// Options configures subgraph feature extraction.
+type Options struct {
+	// MaxEdges is emax, the maximum number of edges per enumerated
+	// subgraph. The paper uses 5 or 6. Required, must be >= 1.
+	MaxEdges int
+	// MaxDegree is dmax, the hub cutoff: nodes with degree > MaxDegree
+	// are added to subgraphs when discovered but never explored beyond.
+	// <= 0 means unlimited (the paper's dmax = ∞).
+	MaxDegree int
+	// MaskRootLabel replaces the root's label with an artificial label
+	// during extraction so the feature does not leak the root's own class
+	// (paper §4.3.2). The artificial label occupies one extra label slot.
+	MaskRootLabel bool
+	// KeyMode selects rolling-hash (default) or canonical-string keys.
+	KeyMode KeyMode
+	// DisableLeafBatching turns off the heterogeneous optimization
+	// heuristic that counts same-labelled leaf attachments in one step.
+	// Only useful for ablation benchmarks; results are identical.
+	DisableLeafBatching bool
+	// MaxSubgraphsPerRoot, when positive, truncates a root's census once
+	// that many subgraph occurrences have been counted. Runaway roots —
+	// typically hubs, to which the dmax heuristic does not apply — then
+	// return partial censuses flagged Truncated instead of stalling the
+	// extraction (the Table 3 outlier mitigation as a hard bound).
+	MaxSubgraphsPerRoot int64
+}
+
+// DefaultOptions returns the paper's label-prediction configuration:
+// emax = 5, no hub cutoff, root label masked.
+func DefaultOptions() Options {
+	return Options{MaxEdges: 5, MaskRootLabel: true}
+}
+
+// Extractor computes heterogeneous subgraph features over one graph. It is
+// safe for concurrent use; per-goroutine state lives in workers.
+type Extractor struct {
+	g    *graph.Graph
+	opts Options
+	k    int // label slots (graph labels + 1 if masking)
+	pows *powerTable
+
+	mu   sync.Mutex
+	repr map[uint64]Sequence
+}
+
+// NewExtractor validates opts and returns an extractor for g.
+func NewExtractor(g *graph.Graph, opts Options) (*Extractor, error) {
+	if opts.MaxEdges < 1 {
+		return nil, fmt.Errorf("core: MaxEdges must be >= 1, got %d", opts.MaxEdges)
+	}
+	if g.NumLabels() == 0 && g.NumNodes() > 0 {
+		return nil, fmt.Errorf("core: graph has nodes but no label alphabet")
+	}
+	k := g.NumLabels()
+	if opts.MaskRootLabel {
+		k++
+	}
+	return &Extractor{
+		g:    g,
+		opts: opts,
+		k:    k,
+		pows: newPowerTable(k),
+		repr: make(map[uint64]Sequence),
+	}, nil
+}
+
+// Graph returns the graph the extractor operates on.
+func (e *Extractor) Graph() *graph.Graph { return e.g }
+
+// Options returns the extraction options.
+func (e *Extractor) Options() Options { return e.opts }
+
+// LabelSlots returns the number of label slots in the encoding: the
+// graph's label count, plus one for the artificial root label when
+// masking is enabled.
+func (e *Extractor) LabelSlots() int { return e.k }
+
+// SlotName returns the display name of encoding label slot l, which is
+// either a graph label name or the masked-root marker.
+func (e *Extractor) SlotName(l int) string {
+	if l == e.g.NumLabels() && e.opts.MaskRootLabel {
+		return MaskedLabelName
+	}
+	return e.g.Alphabet().Name(graph.Label(l))
+}
+
+// Census extracts the subgraph census for a single root node.
+func (e *Extractor) Census(root graph.NodeID) *Census {
+	w := newWorker(e.g, e.opts, e.k, e.pows)
+	c := w.census(root)
+	e.mergeRepr(w.repr)
+	return c
+}
+
+// CensusAll extracts censuses for all roots using the given number of
+// parallel workers (<= 0 selects GOMAXPROCS). Results are aligned with
+// roots. Enumeration is embarrassingly parallel by root node: workers
+// share the read-only graph and keep private O(V + E) state.
+func (e *Extractor) CensusAll(roots []graph.NodeID, workers int) []*Census {
+	cs, _ := e.censusAll(roots, workers, false, nil)
+	return cs
+}
+
+// CensusAllTimed is CensusAll but additionally reports the wall-clock
+// extraction time of each root, for runtime evaluations (paper Table 3).
+func (e *Extractor) CensusAllTimed(roots []graph.NodeID, workers int) ([]*Census, []time.Duration) {
+	return e.censusAll(roots, workers, true, nil)
+}
+
+// CensusAllContext is CensusAll with cooperative cancellation: when ctx
+// is cancelled, in-flight censuses stop at their next enumeration step
+// and are returned truncated (Census.Truncated), pending roots are left
+// nil, and ctx.Err() is returned. Workers poll the cancellation flag, so
+// even a single runaway hub root stops promptly.
+func (e *Extractor) CensusAllContext(ctx context.Context, roots []graph.NodeID, workers int) ([]*Census, error) {
+	var stop atomic.Bool
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			stop.Store(true)
+		case <-watchDone:
+		}
+	}()
+	cs, _ := e.censusAll(roots, workers, false, &stop)
+	return cs, ctx.Err()
+}
+
+func (e *Extractor) censusAll(roots []graph.NodeID, workers int, timed bool, stop *atomic.Bool) ([]*Census, []time.Duration) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(roots) {
+		workers = len(roots)
+	}
+	out := make([]*Census, len(roots))
+	var times []time.Duration
+	if timed {
+		times = make([]time.Duration, len(roots))
+	}
+	if len(roots) == 0 {
+		return out, times
+	}
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for t := 0; t < workers; t++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := newWorker(e.g, e.opts, e.k, e.pows)
+			w.stop = stop
+			for i := range jobs {
+				if stop != nil && stop.Load() {
+					continue // drain; pending roots stay nil
+				}
+				start := time.Now()
+				out[i] = w.census(roots[i])
+				if timed {
+					times[i] = time.Since(start)
+				}
+			}
+			e.mergeRepr(w.repr)
+		}()
+	}
+	for i := range roots {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return out, times
+}
+
+func (e *Extractor) mergeRepr(local map[uint64]Sequence) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for k, v := range local {
+		if _, ok := e.repr[k]; !ok {
+			e.repr[k] = v
+		}
+	}
+}
+
+// Decode returns the canonical characteristic sequence behind a census
+// key, if any census produced by this extractor has seen it.
+func (e *Extractor) Decode(key uint64) (Sequence, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s, ok := e.repr[key]
+	return s, ok
+}
+
+// EncodingString renders the sequence behind key in the paper's compact
+// notation (e.g. "z010z010y002"), or "?<key>" if unknown.
+func (e *Extractor) EncodingString(key uint64) string {
+	s, ok := e.Decode(key)
+	if !ok {
+		return fmt.Sprintf("?%x", key)
+	}
+	return s.String(e.SlotName)
+}

@@ -1,0 +1,85 @@
+package core
+
+import "sort"
+
+// Vocabulary assigns dense column indices to encoding keys so censuses of
+// many nodes can be assembled into a feature matrix. Columns are assigned
+// in first-seen order; AddCensus inserts a census's keys in ascending key
+// order so vocabularies built from the same censuses are identical
+// regardless of map iteration order.
+type Vocabulary struct {
+	keys  []uint64
+	index map[uint64]int
+}
+
+// NewVocabulary returns an empty vocabulary.
+func NewVocabulary() *Vocabulary {
+	return &Vocabulary{index: make(map[uint64]int)}
+}
+
+// Add inserts key if absent and returns its column index.
+func (v *Vocabulary) Add(key uint64) int {
+	if i, ok := v.index[key]; ok {
+		return i
+	}
+	i := len(v.keys)
+	v.keys = append(v.keys, key)
+	v.index[key] = i
+	return i
+}
+
+// AddCensus inserts all keys of c, in ascending key order.
+func (v *Vocabulary) AddCensus(c *Census) {
+	keys := make([]uint64, 0, len(c.Counts))
+	for k := range c.Counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		v.Add(k)
+	}
+}
+
+// Len returns the number of columns.
+func (v *Vocabulary) Len() int { return len(v.keys) }
+
+// Key returns the encoding key of column i.
+func (v *Vocabulary) Key(i int) uint64 { return v.keys[i] }
+
+// Index returns the column of key, if present.
+func (v *Vocabulary) Index(key uint64) (int, bool) {
+	i, ok := v.index[key]
+	return i, ok
+}
+
+// VocabularyOf builds a vocabulary covering all keys in the given
+// censuses.
+func VocabularyOf(censuses []*Census) *Vocabulary {
+	v := NewVocabulary()
+	for _, c := range censuses {
+		if c != nil {
+			v.AddCensus(c)
+		}
+	}
+	return v
+}
+
+// Matrix assembles census count vectors into a dense row-major feature
+// matrix aligned with censuses; keys outside the vocabulary are dropped
+// (this is how test-set features are projected onto a train-set
+// vocabulary).
+func Matrix(censuses []*Census, vocab *Vocabulary) [][]float64 {
+	rows := make([][]float64, len(censuses))
+	for r, c := range censuses {
+		row := make([]float64, vocab.Len())
+		if c != nil {
+			for key, n := range c.Counts {
+				if col, ok := vocab.Index(key); ok {
+					row[col] = float64(n)
+				}
+			}
+		}
+		rows[r] = row
+	}
+	return rows
+}

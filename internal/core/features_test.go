@@ -1,0 +1,108 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"hsgf/internal/graph"
+)
+
+func TestVocabularyBasics(t *testing.T) {
+	v := NewVocabulary()
+	if v.Len() != 0 {
+		t.Fatal("new vocabulary must be empty")
+	}
+	i1 := v.Add(42)
+	i2 := v.Add(7)
+	i3 := v.Add(42) // duplicate
+	if i1 != 0 || i2 != 1 || i3 != 0 {
+		t.Errorf("indices = %d,%d,%d, want 0,1,0", i1, i2, i3)
+	}
+	if v.Len() != 2 {
+		t.Errorf("Len = %d, want 2", v.Len())
+	}
+	if v.Key(0) != 42 || v.Key(1) != 7 {
+		t.Error("Key lookup mismatch")
+	}
+	if idx, ok := v.Index(7); !ok || idx != 1 {
+		t.Error("Index(7) mismatch")
+	}
+	if _, ok := v.Index(999); ok {
+		t.Error("Index of absent key should fail")
+	}
+}
+
+func TestVocabularyDeterministicOrder(t *testing.T) {
+	c := &Census{Counts: map[uint64]int64{9: 1, 3: 2, 7: 5, 1: 4}}
+	v1 := NewVocabulary()
+	v1.AddCensus(c)
+	v2 := NewVocabulary()
+	v2.AddCensus(c)
+	if !reflect.DeepEqual(v1.keys, v2.keys) {
+		t.Error("AddCensus order must be deterministic")
+	}
+	// Ascending key order.
+	for i := 1; i < v1.Len(); i++ {
+		if v1.Key(i-1) >= v1.Key(i) {
+			t.Error("keys not ascending")
+		}
+	}
+}
+
+func TestMatrixProjection(t *testing.T) {
+	train := &Census{Counts: map[uint64]int64{1: 3, 2: 5}}
+	test := &Census{Counts: map[uint64]int64{2: 7, 99: 1}} // 99 unseen in train
+	vocab := VocabularyOf([]*Census{train})
+
+	m := Matrix([]*Census{train, test, nil}, vocab)
+	if len(m) != 3 {
+		t.Fatalf("rows = %d, want 3", len(m))
+	}
+	if len(m[0]) != 2 {
+		t.Fatalf("cols = %d, want 2", len(m[0]))
+	}
+	col1, _ := vocab.Index(1)
+	col2, _ := vocab.Index(2)
+	if m[0][col1] != 3 || m[0][col2] != 5 {
+		t.Errorf("train row = %v", m[0])
+	}
+	if m[1][col2] != 7 {
+		t.Errorf("test row should project key 2, got %v", m[1])
+	}
+	if m[1][col1] != 0 {
+		t.Errorf("test row key 1 should be absent, got %v", m[1])
+	}
+	// Unseen key 99 dropped.
+	sum := m[1][0] + m[1][1]
+	if sum != 7 {
+		t.Errorf("unseen keys must be dropped, row sums to %v", sum)
+	}
+	// nil census row is all zeros.
+	if m[2][0] != 0 || m[2][1] != 0 {
+		t.Errorf("nil census row = %v, want zeros", m[2])
+	}
+}
+
+func TestMatrixEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g := randomLabelled(rng, 25, 3, 0.2)
+	roots := []graph.NodeID{0, 1, 2, 3, 4}
+	e, _ := NewExtractor(g, Options{MaxEdges: 3, MaskRootLabel: true})
+	cs := e.CensusAll(roots, 2)
+	vocab := VocabularyOf(cs)
+	m := Matrix(cs, vocab)
+	for r, c := range cs {
+		var want float64
+		for _, n := range c.Counts {
+			want += float64(n)
+		}
+		var got float64
+		for _, x := range m[r] {
+			got += x
+		}
+		if got != want {
+			t.Errorf("row %d: matrix sum %v != census sum %v", r, got, want)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadFeatureSet checks the feature-set parser never panics and
+// that anything it accepts is internally consistent.
+func FuzzReadFeatureSet(f *testing.F) {
+	f.Add(`{"max_edges":2,"label_slots":1,"slot_names":["a"],` +
+		`"features":[{"key":1,"sequence":[0,1,0,1],"encoding":"a1a1"}],` +
+		`"roots":[0],"rows":[{"columns":[0],"counts":[2]}]}`)
+	f.Add(`{}`)
+	f.Add(`{"roots":[1]}`)
+	f.Add(`not json at all`)
+	f.Fuzz(func(t *testing.T, input string) {
+		fs, err := ReadFeatureSet(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Accepted sets must expand without panicking and stay in shape.
+		dense := fs.Dense()
+		if len(dense) != len(fs.Rows) {
+			t.Fatalf("dense rows %d != sparse rows %d", len(dense), len(fs.Rows))
+		}
+		for _, row := range dense {
+			if len(row) != len(fs.Features) {
+				t.Fatal("dense width mismatch")
+			}
+		}
+	})
+}
+
+// FuzzParseCompact checks the compact-encoding parser never panics and
+// that accepted encodings re-render to an equivalent canonical form.
+func FuzzParseCompact(f *testing.F) {
+	f.Add("z010z010y002", 3)
+	f.Add("a1a1", 1)
+	f.Add("", 2)
+	f.Add("b0", 1)
+	f.Fuzz(func(t *testing.T, enc string, k int) {
+		if k < 1 || k > 6 {
+			return
+		}
+		names := []string{"a", "b", "c", "x", "y", "z"}[:k]
+		idx := func(n string) (int, bool) {
+			for i, v := range names {
+				if v == n {
+					return i, true
+				}
+			}
+			return 0, false
+		}
+		s, err := ParseCompact(enc, k, idx)
+		if err != nil {
+			return
+		}
+		rendered := s.String(func(l int) string { return names[l] })
+		s2, err := ParseCompact(rendered, k, idx)
+		if err != nil {
+			t.Fatalf("re-render of accepted encoding rejected: %q -> %q: %v", enc, rendered, err)
+		}
+		if !s.Equal(s2) {
+			t.Fatalf("re-render changed sequence: %q vs %q", enc, rendered)
+		}
+	})
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"hsgf/internal/graph"
+)
+
+// TestCensusIsomorphismInvariance is the census's central semantic
+// property: relabelling node IDs by any permutation (an isomorphism of
+// the network) must leave every root's canonical census unchanged. This
+// exercises the order-independence of the encoding, the hash, and the
+// enumeration at once.
+func TestCensusIsomorphismInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(202))
+	for trial := 0; trial < 15; trial++ {
+		n := 5 + rng.Intn(10)
+		labels := 1 + rng.Intn(3)
+		p := 0.2 + rng.Float64()*0.3
+
+		type edge [2]int
+		var edges []edge
+		labelOf := make([]int, n)
+		for i := range labelOf {
+			labelOf[i] = rng.Intn(labels)
+		}
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Float64() < p {
+					edges = append(edges, edge{u, v})
+				}
+			}
+		}
+		perm := rng.Perm(n)
+
+		build := func(remap func(int) int) *graph.Graph {
+			names := []string{"a", "b", "c"}[:labels]
+			b := graph.NewBuilderWithAlphabet(graph.MustAlphabet(names...))
+			// Nodes must be added in ID order of the target graph.
+			inv := make([]int, n)
+			for orig := 0; orig < n; orig++ {
+				inv[remap(orig)] = orig
+			}
+			for id := 0; id < n; id++ {
+				b.AddLabeledNode(graph.Label(labelOf[inv[id]]))
+			}
+			for _, e := range edges {
+				b.AddEdge(graph.NodeID(remap(e[0])), graph.NodeID(remap(e[1])))
+			}
+			return b.MustBuild()
+		}
+		g1 := build(func(i int) int { return i })
+		g2 := build(func(i int) int { return perm[i] })
+
+		opts := Options{MaxEdges: 1 + rng.Intn(3), MaskRootLabel: rng.Intn(2) == 0}
+		e1, err := NewExtractor(g1, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e2, err := NewExtractor(g2, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < n; v++ {
+			c1 := e1.Census(graph.NodeID(v))
+			c2 := e2.Census(graph.NodeID(perm[v]))
+			m1, err := CanonicalCounts(e1, c1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m2, err := CanonicalCounts(e2, c2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(m1, m2) {
+				t.Fatalf("trial %d: census of node %d changes under relabelling:\n %v\n %v",
+					trial, v, m1, m2)
+			}
+			// Rolling-hash keys are alphabet-slot based and therefore
+			// also permutation invariant: the raw maps must agree too.
+			if !reflect.DeepEqual(c1.Counts, c2.Counts) {
+				t.Fatalf("trial %d: raw hash keys change under relabelling", trial)
+			}
+		}
+	}
+}
+
+// TestCensusCountsSumProperty checks Σ counts == Subgraphs over random
+// graphs via testing/quick.
+func TestCensusCountsSumProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(7))}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomLabelled(rng, 4+rng.Intn(10), 1+rng.Intn(3), 0.3)
+		e, err := NewExtractor(g, Options{MaxEdges: 1 + rng.Intn(3)})
+		if err != nil {
+			return false
+		}
+		root := graph.NodeID(rng.Intn(g.NumNodes()))
+		c := e.Census(root)
+		var sum int64
+		for _, n := range c.Counts {
+			sum += n
+		}
+		return sum == c.Subgraphs
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCensusMonotoneUnderEdgeAddition: adding an edge elsewhere never
+// removes subgraphs around an untouched root... it can *add* subgraphs
+// (new paths through the new edge), so the census total is monotone
+// non-decreasing.
+func TestCensusMonotoneUnderEdgeAddition(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 10; trial++ {
+		n := 6 + rng.Intn(6)
+		b1 := graph.NewBuilderWithAlphabet(graph.MustAlphabet("a", "b"))
+		b2 := graph.NewBuilderWithAlphabet(graph.MustAlphabet("a", "b"))
+		for i := 0; i < n; i++ {
+			l := graph.Label(rng.Intn(2))
+			b1.AddLabeledNode(l)
+			b2.AddLabeledNode(l)
+		}
+		var free [][2]graph.NodeID
+		present := map[[2]graph.NodeID]bool{}
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				e := [2]graph.NodeID{graph.NodeID(u), graph.NodeID(v)}
+				if rng.Float64() < 0.3 {
+					b1.AddEdge(e[0], e[1])
+					b2.AddEdge(e[0], e[1])
+					present[e] = true
+				} else {
+					free = append(free, e)
+				}
+			}
+		}
+		if len(free) == 0 {
+			continue
+		}
+		extra := free[rng.Intn(len(free))]
+		b2.AddEdge(extra[0], extra[1])
+		g1 := b1.MustBuild()
+		g2 := b2.MustBuild()
+
+		e1, _ := NewExtractor(g1, Options{MaxEdges: 3})
+		e2, _ := NewExtractor(g2, Options{MaxEdges: 3})
+		for v := 0; v < n; v++ {
+			c1 := e1.Census(graph.NodeID(v))
+			c2 := e2.Census(graph.NodeID(v))
+			if c2.Subgraphs < c1.Subgraphs {
+				t.Fatalf("trial %d: adding an edge removed subgraphs at node %d (%d -> %d)",
+					trial, v, c1.Subgraphs, c2.Subgraphs)
+			}
+		}
+	}
+}

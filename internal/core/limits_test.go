@@ -1,0 +1,151 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"hsgf/internal/graph"
+)
+
+// denseGraph builds a graph whose censuses are large enough to exercise
+// truncation and cancellation.
+func denseGraph(t testing.TB, n int) *graph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(404))
+	b := graph.NewBuilderWithAlphabet(graph.MustAlphabet("a", "b"))
+	for i := 0; i < n; i++ {
+		b.AddLabeledNode(graph.Label(rng.Intn(2)))
+	}
+	for u := 0; u < n; u++ {
+		for k := 0; k < 8; k++ {
+			v := rng.Intn(n)
+			if v != u {
+				b.AddEdge(graph.NodeID(u), graph.NodeID(v))
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+func TestMaxSubgraphsPerRootTruncates(t *testing.T) {
+	g := denseGraph(t, 100)
+	full, _ := NewExtractor(g, Options{MaxEdges: 4})
+	cFull := full.Census(0)
+	if cFull.Truncated {
+		t.Fatal("unbounded census must not be truncated")
+	}
+	if cFull.Subgraphs < 1000 {
+		t.Fatalf("test graph too sparse: %d subgraphs", cFull.Subgraphs)
+	}
+
+	budget := int64(500)
+	capped, _ := NewExtractor(g, Options{MaxEdges: 4, MaxSubgraphsPerRoot: budget})
+	c := capped.Census(0)
+	if !c.Truncated {
+		t.Fatal("capped census must be flagged truncated")
+	}
+	// Budget is enforced up to one leaf-batch of slack.
+	if c.Subgraphs < budget || c.Subgraphs > budget+int64(g.MaxDegree()) {
+		t.Fatalf("truncated at %d subgraphs, want ≈ %d", c.Subgraphs, budget)
+	}
+	var sum int64
+	for _, n := range c.Counts {
+		sum += n
+	}
+	if sum != c.Subgraphs {
+		t.Fatal("truncated counts inconsistent with total")
+	}
+}
+
+func TestTruncationLeavesWorkerStateClean(t *testing.T) {
+	// After a truncated root, further censuses through the same
+	// extractor must be exact: compare against a fresh extractor.
+	g := denseGraph(t, 60)
+	ex, _ := NewExtractor(g, Options{MaxEdges: 3, MaxSubgraphsPerRoot: 100})
+	_ = ex.Census(0) // truncated
+
+	// Pick a low-degree node whose census fits the budget.
+	small := graph.NodeID(-1)
+	for v := 0; v < g.NumNodes(); v++ {
+		probe, _ := NewExtractor(g, Options{MaxEdges: 3})
+		if probe.Census(graph.NodeID(v)).Subgraphs < 100 {
+			small = graph.NodeID(v)
+			break
+		}
+	}
+	if small < 0 {
+		t.Skip("no node with a small census in this graph")
+	}
+	got := ex.Census(small)
+	fresh, _ := NewExtractor(g, Options{MaxEdges: 3})
+	want := fresh.Census(small)
+	if got.Truncated {
+		t.Fatal("small census should not be truncated")
+	}
+	if !reflect.DeepEqual(got.Counts, want.Counts) {
+		t.Fatal("state leaked from the truncated root into the next census")
+	}
+}
+
+func TestCensusAllContextCancellation(t *testing.T) {
+	g := denseGraph(t, 400)
+	ex, _ := NewExtractor(g, Options{MaxEdges: 5})
+	roots := make([]graph.NodeID, g.NumNodes())
+	for i := range roots {
+		roots[i] = graph.NodeID(i)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	cs, err := ex.CensusAllContext(ctx, roots, 2)
+	elapsed := time.Since(start)
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+	var done, truncated, pending int
+	for _, c := range cs {
+		switch {
+		case c == nil:
+			pending++
+		case c.Truncated:
+			truncated++
+		default:
+			done++
+		}
+	}
+	if pending == 0 {
+		t.Error("expected pending roots after early cancellation")
+	}
+	t.Logf("done=%d truncated=%d pending=%d in %v", done, truncated, pending, elapsed)
+}
+
+func TestCensusAllContextCompletesWithoutCancel(t *testing.T) {
+	g := denseGraph(t, 30)
+	ex, _ := NewExtractor(g, Options{MaxEdges: 2})
+	roots := []graph.NodeID{0, 1, 2}
+	cs, err := ex.CensusAllContext(context.Background(), roots, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range cs {
+		if c == nil || c.Truncated {
+			t.Fatalf("root %d incomplete without cancellation", i)
+		}
+	}
+	// Results match plain CensusAll.
+	plain := ex.CensusAll(roots, 1)
+	for i := range roots {
+		if !reflect.DeepEqual(cs[i].Counts, plain[i].Counts) {
+			t.Fatal("context path disagrees with plain path")
+		}
+	}
+}

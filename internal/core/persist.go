@@ -1,0 +1,160 @@
+package core
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// FeatureSet is the portable form of extracted features: the vocabulary
+// of encodings (decoded to canonical sequences so they stay interpretable
+// without the extractor) and one sparse count row per root. It
+// serialises to a stable JSON document, so features can be computed once
+// and consumed by external tooling.
+type FeatureSet struct {
+	// MaxEdges, MaskRootLabel, MaxDegree document the extraction.
+	MaxEdges      int  `json:"max_edges"`
+	MaxDegree     int  `json:"max_degree,omitempty"`
+	MaskRootLabel bool `json:"mask_root_label,omitempty"`
+
+	// LabelSlots is the encoding's label-slot count; SlotNames its
+	// display names (last one "*" when the root is masked).
+	LabelSlots int      `json:"label_slots"`
+	SlotNames  []string `json:"slot_names"`
+
+	// Features holds one entry per vocabulary column.
+	Features []FeatureDef `json:"features"`
+	// Rows holds one sparse row per root, aligned with Roots.
+	Roots []int64      `json:"roots"`
+	Rows  []FeatureRow `json:"rows"`
+}
+
+// FeatureDef is one subgraph feature: its key, its canonical sequence
+// values and a rendered form.
+type FeatureDef struct {
+	Key      uint64  `json:"key"`
+	Sequence []int32 `json:"sequence"`
+	Encoding string  `json:"encoding"`
+}
+
+// FeatureRow is a sparse count vector: parallel column/count slices.
+type FeatureRow struct {
+	Columns []int   `json:"columns"`
+	Counts  []int64 `json:"counts"`
+}
+
+// NewFeatureSet packages censuses and their vocabulary for
+// serialisation, decoding every vocabulary key through the extractor.
+func NewFeatureSet(ex *Extractor, censuses []*Census, vocab *Vocabulary) (*FeatureSet, error) {
+	opts := ex.Options()
+	fs := &FeatureSet{
+		MaxEdges:      opts.MaxEdges,
+		MaxDegree:     opts.MaxDegree,
+		MaskRootLabel: opts.MaskRootLabel,
+		LabelSlots:    ex.LabelSlots(),
+	}
+	for l := 0; l < ex.LabelSlots(); l++ {
+		fs.SlotNames = append(fs.SlotNames, ex.SlotName(l))
+	}
+	for c := 0; c < vocab.Len(); c++ {
+		key := vocab.Key(c)
+		seq, ok := ex.Decode(key)
+		if !ok {
+			return nil, fmt.Errorf("core: vocabulary key %x has no representative", key)
+		}
+		fs.Features = append(fs.Features, FeatureDef{
+			Key:      key,
+			Sequence: seq.Values,
+			Encoding: seq.String(ex.SlotName),
+		})
+	}
+	for _, cen := range censuses {
+		var row FeatureRow
+		if cen != nil {
+			fs.Roots = append(fs.Roots, int64(cen.Root))
+			for key, n := range cen.Counts {
+				if col, ok := vocab.Index(key); ok {
+					row.Columns = append(row.Columns, col)
+					row.Counts = append(row.Counts, n)
+				}
+			}
+			sortRow(&row)
+		} else {
+			fs.Roots = append(fs.Roots, -1)
+		}
+		fs.Rows = append(fs.Rows, row)
+	}
+	return fs, nil
+}
+
+func sortRow(r *FeatureRow) {
+	// Insertion sort by column; rows are short relative to sort.Sort
+	// overhead and this keeps the function allocation free.
+	for i := 1; i < len(r.Columns); i++ {
+		for j := i; j > 0 && r.Columns[j] < r.Columns[j-1]; j-- {
+			r.Columns[j], r.Columns[j-1] = r.Columns[j-1], r.Columns[j]
+			r.Counts[j], r.Counts[j-1] = r.Counts[j-1], r.Counts[j]
+		}
+	}
+}
+
+// Write serialises the feature set as JSON.
+func (fs *FeatureSet) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(fs); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadFeatureSet parses a feature set written by Write.
+func ReadFeatureSet(r io.Reader) (*FeatureSet, error) {
+	var fs FeatureSet
+	dec := json.NewDecoder(bufio.NewReader(r))
+	if err := dec.Decode(&fs); err != nil {
+		return nil, err
+	}
+	if err := fs.validate(); err != nil {
+		return nil, err
+	}
+	return &fs, nil
+}
+
+func (fs *FeatureSet) validate() error {
+	if len(fs.Roots) != len(fs.Rows) {
+		return fmt.Errorf("core: %d roots but %d rows", len(fs.Roots), len(fs.Rows))
+	}
+	for i, row := range fs.Rows {
+		if len(row.Columns) != len(row.Counts) {
+			return fmt.Errorf("core: row %d has %d columns but %d counts", i, len(row.Columns), len(row.Counts))
+		}
+		for _, c := range row.Columns {
+			if c < 0 || c >= len(fs.Features) {
+				return fmt.Errorf("core: row %d references column %d outside %d features", i, c, len(fs.Features))
+			}
+		}
+	}
+	for i, f := range fs.Features {
+		if fs.LabelSlots > 0 && len(f.Sequence)%(fs.LabelSlots+1) != 0 {
+			return fmt.Errorf("core: feature %d sequence length %d not divisible by stride %d",
+				i, len(f.Sequence), fs.LabelSlots+1)
+		}
+	}
+	return nil
+}
+
+// Dense expands the sparse rows into a dense row-major matrix aligned
+// with Roots.
+func (fs *FeatureSet) Dense() [][]float64 {
+	out := make([][]float64, len(fs.Rows))
+	for i, row := range fs.Rows {
+		r := make([]float64, len(fs.Features))
+		for j, col := range row.Columns {
+			r[col] = float64(row.Counts[j])
+		}
+		out[i] = r
+	}
+	return out
+}

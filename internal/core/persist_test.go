@@ -1,0 +1,160 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"hsgf/internal/graph"
+)
+
+func TestFeatureSetRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := randomLabelled(rng, 20, 3, 0.25)
+	roots := []graph.NodeID{0, 1, 2, 3, 4}
+	ex, err := NewExtractor(g, Options{MaxEdges: 3, MaskRootLabel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	censuses := ex.CensusAll(roots, 2)
+	vocab := VocabularyOf(censuses)
+
+	fs, err := NewFeatureSet(ex, censuses, vocab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs.Features) != vocab.Len() {
+		t.Fatalf("features = %d, want %d", len(fs.Features), vocab.Len())
+	}
+	if fs.SlotNames[len(fs.SlotNames)-1] != MaskedLabelName {
+		t.Errorf("last slot = %q, want masked marker", fs.SlotNames[len(fs.SlotNames)-1])
+	}
+
+	var buf bytes.Buffer
+	if err := fs.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fs2, err := ReadFeatureSet(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fs, fs2) {
+		t.Fatal("feature set round trip mismatch")
+	}
+
+	// Dense expansion agrees with Matrix.
+	want := Matrix(censuses, vocab)
+	got := fs2.Dense()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("Dense() disagrees with Matrix()")
+	}
+	// Rows are column sorted.
+	for _, row := range fs2.Rows {
+		for i := 1; i < len(row.Columns); i++ {
+			if row.Columns[i-1] >= row.Columns[i] {
+				t.Fatal("row columns not strictly ascending")
+			}
+		}
+	}
+}
+
+func TestFeatureSetNilCensus(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	g := randomLabelled(rng, 10, 2, 0.3)
+	ex, _ := NewExtractor(g, Options{MaxEdges: 2})
+	censuses := []*Census{ex.Census(0), nil, ex.Census(1)}
+	vocab := VocabularyOf(censuses)
+	fs, err := NewFeatureSet(ex, censuses, vocab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.Roots[1] != -1 {
+		t.Errorf("nil census root = %d, want -1", fs.Roots[1])
+	}
+	if len(fs.Rows[1].Columns) != 0 {
+		t.Error("nil census row should be empty")
+	}
+}
+
+func TestReadFeatureSetRejectsCorrupt(t *testing.T) {
+	cases := []string{
+		`{"roots":[1],"rows":[]}`,
+		`{"roots":[1],"rows":[{"columns":[0],"counts":[]}]}`,
+		`{"roots":[1],"rows":[{"columns":[5],"counts":[1]}],"features":[]}`,
+		`{"label_slots":2,"features":[{"key":1,"sequence":[0,0]}],"roots":[],"rows":[]}`,
+		`not json`,
+	}
+	for i, c := range cases {
+		if _, err := ReadFeatureSet(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d: corrupt input accepted", i)
+		}
+	}
+}
+
+func TestFilterRootsByDegree(t *testing.T) {
+	// Star: hub should be dropped at the 95% policy.
+	b := graph.NewBuilderWithAlphabet(graph.MustAlphabet("h", "l"))
+	hub, _ := b.AddNode("h")
+	var roots []graph.NodeID
+	roots = append(roots, hub)
+	for i := 0; i < 19; i++ {
+		leaf, _ := b.AddNode("l")
+		b.AddEdge(hub, leaf)
+		roots = append(roots, leaf)
+	}
+	g := b.MustBuild()
+
+	kept := FilterRootsByDegree(g, roots, 0.95)
+	if len(kept) != 19 {
+		t.Fatalf("kept %d roots, want 19 (hub dropped)", len(kept))
+	}
+	for _, v := range kept {
+		if v == hub {
+			t.Fatal("hub survived the filter")
+		}
+	}
+	// Degenerate percentiles keep everything.
+	if got := FilterRootsByDegree(g, roots, 0); len(got) != len(roots) {
+		t.Error("percentile 0 must keep all roots")
+	}
+	if got := FilterRootsByDegree(g, roots, 1); len(got) != len(roots) {
+		t.Error("percentile 1 must keep all roots")
+	}
+}
+
+func TestSampleRoots(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	g := randomLabelled(rng, 50, 3, 0.1)
+	roots := SampleRoots(g, 5, rand.New(rand.NewSource(1)))
+	perLabel := make(map[graph.Label]int)
+	seen := make(map[graph.NodeID]bool)
+	for _, v := range roots {
+		if seen[v] {
+			t.Fatal("duplicate root sampled")
+		}
+		seen[v] = true
+		perLabel[g.Label(v)]++
+	}
+	for l, c := range perLabel {
+		if c > 5 {
+			t.Errorf("label %d: %d roots, cap 5", l, c)
+		}
+	}
+	// Deterministic under the same seed.
+	again := SampleRoots(g, 5, rand.New(rand.NewSource(1)))
+	if !reflect.DeepEqual(roots, again) {
+		t.Error("sampling not deterministic under fixed seed")
+	}
+}
+
+func TestCanonicalCountsUnknownKey(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := randomLabelled(rng, 8, 2, 0.4)
+	ex, _ := NewExtractor(g, Options{MaxEdges: 2})
+	fake := &Census{Counts: map[uint64]int64{0xdeadbeef: 1}}
+	if _, err := CanonicalCounts(ex, fake); err == nil {
+		t.Fatal("unknown key must error, not decode silently")
+	}
+}

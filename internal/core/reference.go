@@ -1,0 +1,142 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hsgf/internal/graph"
+)
+
+// ReferenceCensus enumerates the rooted subgraph census by brute force:
+// it explores all connected edge subsets containing root with at most
+// opts.MaxEdges edges, deduplicating subsets via their sorted edge-id key,
+// and tallies canonical characteristic sequences. Its cost is exponential
+// in the neighbourhood size; it exists as a correctness oracle for the
+// optimised census and for the isomorphism audit, not for production use.
+//
+// The result maps the canonical sequence rendering (label slots and counts
+// joined by commas) to occurrence counts. opts.KeyMode and
+// opts.DisableLeafBatching are ignored.
+func ReferenceCensus(g *graph.Graph, root graph.NodeID, opts Options) map[string]int64 {
+	k := g.NumLabels()
+	maskSlot := graph.Label(-1)
+	if opts.MaskRootLabel {
+		maskSlot = graph.Label(k)
+		k++
+	}
+	dmax := opts.MaxDegree
+	if dmax <= 0 {
+		dmax = int(^uint(0) >> 1)
+	}
+
+	counts := make(map[string]int64)
+	seen := make(map[string]bool)
+
+	// expandable reports whether edges incident to node x (inside the
+	// subgraph) may be used to extend it: the root always may, other
+	// nodes only if they are not hubs.
+	expandable := func(x graph.NodeID) bool {
+		return x == root || g.Degree(x) <= dmax
+	}
+
+	var rec func(edgeIDs []graph.EdgeID, nodes map[graph.NodeID]bool)
+	rec = func(edgeIDs []graph.EdgeID, nodes map[graph.NodeID]bool) {
+		key := edgeSetKey(edgeIDs)
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+
+		nodeList := make([]graph.NodeID, 0, len(nodes))
+		for v := range nodes {
+			nodeList = append(nodeList, v)
+		}
+		edges := make([][2]graph.NodeID, len(edgeIDs))
+		for i, id := range edgeIDs {
+			a, b := g.EdgeEndpoints(id)
+			edges[i] = [2]graph.NodeID{a, b}
+		}
+		s := SequenceOf(g, nodeList, edges, k, root, maskSlot)
+		counts[canonicalKey(s)]++
+
+		if len(edgeIDs) == opts.MaxEdges {
+			return
+		}
+		inSet := make(map[graph.EdgeID]bool, len(edgeIDs))
+		for _, id := range edgeIDs {
+			inSet[id] = true
+		}
+		tried := make(map[graph.EdgeID]bool)
+		for v := range nodes {
+			if !expandable(v) {
+				continue
+			}
+			eids := g.IncidentEdges(v)
+			adj := g.Neighbors(v)
+			for i, id := range eids {
+				if inSet[id] || tried[id] {
+					continue
+				}
+				tried[id] = true
+				w := adj[i]
+				newNodes := nodes
+				if !nodes[w] {
+					newNodes = make(map[graph.NodeID]bool, len(nodes)+1)
+					for x := range nodes {
+						newNodes[x] = true
+					}
+					newNodes[w] = true
+				}
+				rec(append(append([]graph.EdgeID(nil), edgeIDs...), id), newNodes)
+			}
+		}
+	}
+
+	// Seed with each edge incident to the root.
+	eids := g.IncidentEdges(root)
+	adj := g.Neighbors(root)
+	for i, id := range eids {
+		rec([]graph.EdgeID{id}, map[graph.NodeID]bool{root: true, adj[i]: true})
+	}
+	return counts
+}
+
+func edgeSetKey(ids []graph.EdgeID) string {
+	sorted := append([]graph.EdgeID(nil), ids...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var b strings.Builder
+	for _, id := range sorted {
+		fmt.Fprintf(&b, "%d,", id)
+	}
+	return b.String()
+}
+
+// canonicalKey renders a canonical sequence as an alphabet-independent
+// comparison key.
+func canonicalKey(s Sequence) string {
+	var b strings.Builder
+	for i, v := range s.Values {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", v)
+	}
+	return b.String()
+}
+
+// CanonicalCounts re-keys a census by the alphabet-independent canonical
+// rendering of each encoding, using the extractor's decode table. It is
+// the bridge between the optimised census and the reference enumerator in
+// tests, and a convenient stable representation for serialization.
+func CanonicalCounts(e *Extractor, c *Census) (map[string]int64, error) {
+	out := make(map[string]int64, len(c.Counts))
+	for key, n := range c.Counts {
+		s, ok := e.Decode(key)
+		if !ok {
+			return nil, fmt.Errorf("core: census key %x has no decoded representative", key)
+		}
+		out[canonicalKey(s)] += n
+	}
+	return out, nil
+}

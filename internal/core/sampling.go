@@ -1,0 +1,45 @@
+package core
+
+import (
+	"math/rand"
+
+	"hsgf/internal/graph"
+)
+
+// FilterRootsByDegree drops roots whose degree exceeds the given
+// percentile of the graph's degree distribution. The paper observes
+// (§4.3.5) that extraction outliers are starting nodes that are
+// themselves hubs — the dmax heuristic never applies to the root — and
+// that skipping the top 5% of nodes by degree does not reduce prediction
+// performance. A percentile of 0.95 reproduces that policy.
+func FilterRootsByDegree(g *graph.Graph, roots []graph.NodeID, percentile float64) []graph.NodeID {
+	if percentile <= 0 || percentile >= 1 {
+		return append([]graph.NodeID(nil), roots...)
+	}
+	cutoff := graph.DegreePercentile(g, percentile)
+	out := make([]graph.NodeID, 0, len(roots))
+	for _, v := range roots {
+		if g.Degree(v) <= cutoff {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// SampleRoots draws up to perLabel roots of every label uniformly at
+// random, the paper's evaluation sampling protocol (§4.3.2: "we select
+// 250 nodes of each label"). The returned slice is grouped by label in
+// ascending label order; sampling is deterministic in rng.
+func SampleRoots(g *graph.Graph, perLabel int, rng *rand.Rand) []graph.NodeID {
+	var out []graph.NodeID
+	for l := 0; l < g.NumLabels(); l++ {
+		members := g.NodesWithLabel(graph.Label(l))
+		rng.Shuffle(len(members), func(a, b int) { members[a], members[b] = members[b], members[a] })
+		n := perLabel
+		if n > len(members) {
+			n = len(members)
+		}
+		out = append(out, members[:n]...)
+	}
+	return out
+}

@@ -1,0 +1,372 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+
+	"hsgf/internal/graph"
+)
+
+func TestGeneratePublicationShape(t *testing.T) {
+	cfg := DefaultPublicationConfig()
+	cfg.PapersPerConfYear = 20
+	cfg.ExternalPapers = 300
+	pub, err := GeneratePublication(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := pub.Graph
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumLabels() != 6 {
+		t.Fatalf("labels = %d, want 6", g.NumLabels())
+	}
+	if len(pub.Institutions) != cfg.Institutions {
+		t.Errorf("institutions = %d, want %d", len(pub.Institutions), cfg.Institutions)
+	}
+	if len(pub.Papers) == 0 {
+		t.Fatal("no conference papers generated")
+	}
+
+	// Label connectivity must match Figure 2: I-A, A-P, P-P, P-C, P-J,
+	// P-F; no I-P, no I-I, no A-A.
+	lc := graph.LabelConnectivityOf(g)
+	lbl := func(name string) graph.Label {
+		l, ok := g.Alphabet().Lookup(name)
+		if !ok {
+			t.Fatalf("missing label %s", name)
+		}
+		return l
+	}
+	I, A, P := lbl(LabelInstitution), lbl(LabelAuthor), lbl(LabelPaper)
+	C, J, F := lbl(LabelConference), lbl(LabelJournal), lbl(LabelField)
+	mustConn := [][2]graph.Label{{I, A}, {A, P}, {P, P}, {P, C}, {P, J}, {P, F}}
+	for _, pr := range mustConn {
+		if !lc.Connected(pr[0], pr[1]) {
+			t.Errorf("expected connectivity between labels %d and %d", pr[0], pr[1])
+		}
+	}
+	mustNot := [][2]graph.Label{{I, P}, {I, I}, {A, A}, {I, C}, {A, C}, {C, C}}
+	for _, pr := range mustNot {
+		if lc.Connected(pr[0], pr[1]) {
+			t.Errorf("unexpected connectivity between labels %d and %d", pr[0], pr[1])
+		}
+	}
+	if !lc.HasSelfLoop() {
+		t.Error("citations must induce a P-P self loop")
+	}
+}
+
+func TestGeneratePublicationDeterministic(t *testing.T) {
+	cfg := DefaultPublicationConfig()
+	cfg.PapersPerConfYear = 10
+	cfg.ExternalPapers = 100
+	a, err := GeneratePublication(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GeneratePublication(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Graph.NumNodes() != b.Graph.NumNodes() || a.Graph.NumEdges() != b.Graph.NumEdges() {
+		t.Fatal("same seed must generate the same network")
+	}
+	if len(a.Papers) != len(b.Papers) {
+		t.Fatal("paper lists differ")
+	}
+	cfg.Seed = 99
+	c, err := GeneratePublication(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Graph.NumEdges() == a.Graph.NumEdges() && c.Graph.NumNodes() == a.Graph.NumNodes() && len(c.Papers) == len(a.Papers) {
+		// Sizes could rarely coincide; require some difference in structure.
+		same := true
+		for i := range a.Papers {
+			if len(a.Papers[i].Authors) != len(c.Papers[i].Authors) {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical-looking networks")
+		}
+	}
+}
+
+func TestPublicationRelevanceDirectives(t *testing.T) {
+	cfg := DefaultPublicationConfig()
+	cfg.PapersPerConfYear = 15
+	cfg.ExternalPapers = 100
+	pub, err := GeneratePublication(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf := cfg.Conferences[0]
+	year := cfg.Years[len(cfg.Years)-1]
+	rel := pub.Relevance(conf, year)
+
+	// Directive check: total relevance equals the number of full papers
+	// at that conference and year (each full paper carries one vote).
+	var fullPapers int
+	for _, p := range pub.Papers {
+		if p.Conference == conf && p.Year == year && p.Full && len(p.Authors) > 0 {
+			fullPapers++
+		}
+	}
+	var total float64
+	for _, v := range rel {
+		total += v
+	}
+	if math.Abs(total-float64(fullPapers)) > 1e-9 {
+		t.Errorf("total relevance %v != full papers %d", total, fullPapers)
+	}
+	// Short papers contribute nothing: recompute by hand for one paper.
+	for _, p := range pub.Papers {
+		if p.Conference == conf && p.Year == year && !p.Full {
+			// No assertion needed beyond the total above, but ensure
+			// the metadata is present.
+			if p.Node < 0 {
+				t.Error("invalid paper node")
+			}
+			break
+		}
+	}
+}
+
+func TestPublicationStrengthDrivesRelevance(t *testing.T) {
+	// The latent coupling must hold: over all conferences and years,
+	// stronger institutions accumulate more relevance (rank correlation
+	// clearly positive).
+	cfg := DefaultPublicationConfig()
+	cfg.PapersPerConfYear = 30
+	cfg.ExternalPapers = 200
+	pub, err := GeneratePublication(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	totals := make(map[graph.NodeID]float64)
+	for _, conf := range cfg.Conferences {
+		for _, y := range cfg.Years {
+			for inst, v := range pub.Relevance(conf, y) {
+				totals[inst] += v
+			}
+		}
+	}
+	var cov, vs, vr float64
+	var ms, mr float64
+	n := float64(len(pub.Institutions))
+	for _, inst := range pub.Institutions {
+		ms += pub.Strength[inst]
+		mr += totals[inst]
+	}
+	ms /= n
+	mr /= n
+	for _, inst := range pub.Institutions {
+		ds := pub.Strength[inst] - ms
+		dr := totals[inst] - mr
+		cov += ds * dr
+		vs += ds * ds
+		vr += dr * dr
+	}
+	corr := cov / math.Sqrt(vs*vr+1e-12)
+	if corr < 0.5 {
+		t.Errorf("strength-relevance correlation = %v, want > 0.5", corr)
+	}
+}
+
+func TestPublicationSubnetwork(t *testing.T) {
+	cfg := DefaultPublicationConfig()
+	cfg.PapersPerConfYear = 15
+	cfg.ExternalPapers = 150
+	pub, err := GeneratePublication(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf := cfg.Conferences[1]
+	years := cfg.Years[:3]
+	sub, instMap := pub.Subnetwork(conf, years)
+	if err := sub.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumNodes() == 0 || sub.NumNodes() >= pub.Graph.NumNodes() {
+		t.Fatalf("subnetwork size %d out of range", sub.NumNodes())
+	}
+	if len(instMap) == 0 {
+		t.Fatal("no institutions in subnetwork")
+	}
+	// Only I, A, P labels carry nodes in the subnetwork.
+	counts := sub.CountLabels()
+	for name, want := range map[string]bool{
+		LabelInstitution: true, LabelAuthor: true, LabelPaper: true,
+		LabelConference: false, LabelJournal: false, LabelField: false,
+	} {
+		l, _ := sub.Alphabet().Lookup(name)
+		if want && counts[l] == 0 {
+			t.Errorf("label %s missing from subnetwork", name)
+		}
+		if !want && counts[l] != 0 {
+			t.Errorf("label %s unexpectedly present (%d nodes)", name, counts[l])
+		}
+	}
+	// Mapped institutions have the right label.
+	for orig, induced := range instMap {
+		if pub.Graph.Alphabet().Name(pub.Graph.Label(orig)) != LabelInstitution {
+			t.Error("instMap key is not an institution")
+		}
+		if sub.Alphabet().Name(sub.Label(induced)) != LabelInstitution {
+			t.Error("instMap value is not an institution in the subnetwork")
+		}
+	}
+}
+
+func TestGeneratePublicationValidation(t *testing.T) {
+	bad := DefaultPublicationConfig()
+	bad.Institutions = 1
+	if _, err := GeneratePublication(bad); err == nil {
+		t.Error("too few institutions must fail")
+	}
+	bad = DefaultPublicationConfig()
+	bad.Years = []int{2015}
+	if _, err := GeneratePublication(bad); err == nil {
+		t.Error("single year must fail")
+	}
+	bad = DefaultPublicationConfig()
+	bad.PapersPerConfYear = 0
+	if _, err := GeneratePublication(bad); err == nil {
+		t.Error("zero papers must fail")
+	}
+}
+
+func TestGenerateCooccurrenceShape(t *testing.T) {
+	cfg := DefaultCooccurrenceConfig()
+	cfg.Documents = 1500
+	co, err := GenerateCooccurrence(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := co.Graph
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumLabels() != 4 {
+		t.Fatalf("labels = %d, want 4", g.NumLabels())
+	}
+	// LOAD's label connectivity graph is (nearly) complete with self
+	// loops: every pair of the four types co-occurs somewhere.
+	lc := graph.LabelConnectivityOf(g)
+	for a := 0; a < 4; a++ {
+		for b := a; b < 4; b++ {
+			if !lc.Connected(graph.Label(a), graph.Label(b)) {
+				t.Errorf("labels %d and %d not connected; LOAD regime requires a dense connectivity graph", a, b)
+			}
+		}
+	}
+	if !lc.HasSelfLoop() {
+		t.Error("co-occurrence network must have same-type edges")
+	}
+	// Dense regime: clearly more edges than nodes.
+	if g.NumEdges() < 4*g.NumNodes() {
+		t.Errorf("density %0.1f edges/node too low for the LOAD regime",
+			float64(g.NumEdges())/float64(g.NumNodes()))
+	}
+}
+
+func TestGenerateCooccurrenceValidation(t *testing.T) {
+	bad := DefaultCooccurrenceConfig()
+	bad.ZipfS = 1.0
+	if _, err := GenerateCooccurrence(bad); err == nil {
+		t.Error("ZipfS <= 1 must fail")
+	}
+	bad = DefaultCooccurrenceConfig()
+	bad.Actors = 0
+	if _, err := GenerateCooccurrence(bad); err == nil {
+		t.Error("zero entities must fail")
+	}
+	bad = DefaultCooccurrenceConfig()
+	bad.Documents = 0
+	if _, err := GenerateCooccurrence(bad); err == nil {
+		t.Error("zero documents must fail")
+	}
+}
+
+func TestGenerateMovieShape(t *testing.T) {
+	cfg := DefaultMovieConfig()
+	cfg.Movies = 300
+	mv, err := GenerateMovie(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := mv.Graph
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumLabels() != 6 {
+		t.Fatalf("labels = %d, want 6", g.NumLabels())
+	}
+	if len(mv.Movies) != cfg.Movies {
+		t.Errorf("movies = %d, want %d", len(mv.Movies), cfg.Movies)
+	}
+	// Star structure: movie label connects to all others; nothing else
+	// connects, and there are no self loops.
+	lc := graph.LabelConnectivityOf(g)
+	movie, _ := g.Alphabet().Lookup(LabelMovie)
+	for l := 0; l < 6; l++ {
+		if graph.Label(l) == movie {
+			continue
+		}
+		if !lc.Connected(movie, graph.Label(l)) {
+			t.Errorf("movie label not connected to label %d", l)
+		}
+		for l2 := l; l2 < 6; l2++ {
+			if graph.Label(l2) == movie {
+				continue
+			}
+			if lc.Connected(graph.Label(l), graph.Label(l2)) {
+				t.Errorf("non-movie labels %d and %d connected; star schema violated", l, l2)
+			}
+		}
+	}
+	if lc.HasSelfLoop() {
+		t.Error("movie network must be loop-free")
+	}
+	// Sparse regime.
+	density := float64(g.NumEdges()) / float64(g.NumNodes())
+	if density < 2 || density > 8 {
+		t.Errorf("density %0.1f outside IMDB's sparse regime", density)
+	}
+}
+
+func TestGenerateMovieValidation(t *testing.T) {
+	bad := DefaultMovieConfig()
+	bad.Composers = 0
+	if _, err := GenerateMovie(bad); err == nil {
+		t.Error("zero composers must fail")
+	}
+	bad = DefaultMovieConfig()
+	bad.ZipfS = 0.5
+	if _, err := GenerateMovie(bad); err == nil {
+		t.Error("ZipfS <= 1 must fail")
+	}
+}
+
+func TestDefaultsProduceDistinctRegimes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full default generation is slow; run without -short")
+	}
+	co, err := GenerateCooccurrence(DefaultCooccurrenceConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mv, err := GenerateMovie(DefaultMovieConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dCo := float64(co.Graph.NumEdges()) / float64(co.Graph.NumNodes())
+	dMv := float64(mv.Graph.NumEdges()) / float64(mv.Graph.NumNodes())
+	if dCo <= 2*dMv {
+		t.Errorf("co-occurrence density %0.1f should clearly exceed movie density %0.1f", dCo, dMv)
+	}
+}

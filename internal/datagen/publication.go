@@ -1,0 +1,413 @@
+// Package datagen generates the three synthetic evaluation networks that
+// stand in for the paper's proprietary data sets (see DESIGN.md §1):
+//
+//   - PublicationNetwork replaces the Microsoft Academic Graph subset and
+//     the KDD-Cup-2016 institution-relevance ground truth,
+//   - CooccurrenceNetwork replaces the LOAD entity co-occurrence network,
+//   - MovieNetwork replaces the IMDB Golden-Age movie network.
+//
+// Each generator is deterministic given its Seed and reproduces the
+// structural regime its original exercises: label connectivity shape,
+// density, degree skew, and — crucially — a causal coupling between a
+// node's class/success and its typed neighbourhood, so the paper's
+// predictive tasks remain learnable for the same reasons.
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"hsgf/internal/graph"
+)
+
+// Publication label names, mirroring Figure 2 (left/right).
+const (
+	LabelInstitution = "institution"
+	LabelAuthor      = "author"
+	LabelPaper       = "paper"
+	LabelConference  = "conference"
+	LabelJournal     = "journal"
+	LabelField       = "field"
+)
+
+// DefaultConferences mirrors the paper's five target conferences.
+var DefaultConferences = []string{"KDD", "FSE", "ICML", "MM", "MOBICOM"}
+
+// PublicationConfig parameterises the synthetic publication network.
+type PublicationConfig struct {
+	Institutions      int      // number of institutions
+	Conferences       []string // conference names (one node each)
+	Years             []int    // consecutive publication years
+	PapersPerConfYear int      // accepted papers per conference and year
+	FullPaperFrac     float64  // fraction of accepted papers that are full papers
+	Journals          int      // journal venues for referenced papers
+	Fields            int      // fields of study
+	ExternalPapers    int      // referenced non-conference papers
+	MaxAuthors        int      // maximum authors per paper
+	CrossInstProb     float64  // probability of a cross-institution coauthor
+	Seed              int64
+}
+
+// DefaultPublicationConfig returns a laptop-scale configuration whose
+// label connectivity graph and skew match the paper's MAG subsets.
+func DefaultPublicationConfig() PublicationConfig {
+	years := make([]int, 9)
+	for i := range years {
+		years[i] = 2007 + i
+	}
+	return PublicationConfig{
+		Institutions:      100,
+		Conferences:       DefaultConferences,
+		Years:             years,
+		PapersPerConfYear: 50,
+		FullPaperFrac:     0.7,
+		Journals:          25,
+		Fields:            30,
+		ExternalPapers:    1500,
+		MaxAuthors:        5,
+		CrossInstProb:     0.3,
+		Seed:              1,
+	}
+}
+
+// PaperMeta records everything the feature engineering pipelines need to
+// know about one accepted conference paper.
+type PaperMeta struct {
+	Node       graph.NodeID
+	Conference string
+	Year       int
+	Full       bool           // full paper (counts toward relevance) vs short/demo
+	Authors    []graph.NodeID // author nodes; the last author is the senior author
+	Title      []string
+	Keywords   int
+}
+
+// Publication is the generated scientific publication network plus its
+// ground-truth metadata.
+type Publication struct {
+	Graph        *graph.Graph
+	Config       PublicationConfig
+	Institutions []graph.NodeID                // institution nodes
+	ConfNodes    map[string]graph.NodeID       // conference name -> node
+	Papers       []PaperMeta                   // accepted conference papers
+	AuthorInst   map[graph.NodeID]graph.NodeID // author -> institution
+	Strength     map[graph.NodeID]float64      // latent institution strength (for diagnostics)
+}
+
+// titleVocabulary is the shared word pool for synthetic titles. The first
+// words of each conference's topic slice act as its characteristic top
+// words.
+var titleVocabulary = []string{
+	"learning", "graph", "network", "deep", "model", "data", "mining",
+	"neural", "inference", "optimization", "software", "testing", "fault",
+	"program", "analysis", "code", "kernel", "bound", "convex", "bandit",
+	"regret", "video", "image", "multimedia", "retrieval", "audio",
+	"wireless", "mobile", "spectrum", "sensing", "protocol", "energy",
+	"efficient", "scalable", "robust", "online", "distributed", "framework",
+	"approach", "system", "evaluation", "empirical", "study", "towards",
+	"adaptive", "dynamic", "structure", "feature", "embedding", "prediction",
+}
+
+// GeneratePublication builds the network. Generation is deterministic in
+// cfg.Seed.
+func GeneratePublication(cfg PublicationConfig) (*Publication, error) {
+	if cfg.Institutions < 2 || len(cfg.Conferences) == 0 || len(cfg.Years) < 2 {
+		return nil, fmt.Errorf("datagen: publication config needs >=2 institutions, >=1 conference, >=2 years")
+	}
+	if cfg.PapersPerConfYear < 1 || cfg.MaxAuthors < 1 {
+		return nil, fmt.Errorf("datagen: publication config needs positive paper and author budgets")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	alpha := graph.MustAlphabet(LabelInstitution, LabelAuthor, LabelPaper,
+		LabelConference, LabelJournal, LabelField)
+	b := graph.NewBuilderWithAlphabet(alpha)
+
+	pub := &Publication{
+		Config:     cfg,
+		ConfNodes:  make(map[string]graph.NodeID),
+		AuthorInst: make(map[graph.NodeID]graph.NodeID),
+		Strength:   make(map[graph.NodeID]float64),
+	}
+
+	// Institutions with heavy-tailed latent strength. Strength drives
+	// how many authors an institution employs, how productive they are,
+	// and therefore its relevance — the causal chain the ranking task
+	// must learn from topology.
+	type inst struct {
+		node     graph.NodeID
+		strength float64
+		authors  []graph.NodeID
+		confAff  []float64 // per-conference affinity
+	}
+	insts := make([]inst, cfg.Institutions)
+	for i := range insts {
+		node, _ := b.AddNamedNode(LabelInstitution, fmt.Sprintf("inst-%03d", i))
+		strength := math.Exp(rng.NormFloat64() * 0.9)
+		aff := make([]float64, len(cfg.Conferences))
+		for c := range aff {
+			aff[c] = rng.Float64() + 0.1
+		}
+		insts[i] = inst{node: node, strength: strength, confAff: aff}
+		pub.Institutions = append(pub.Institutions, node)
+		pub.Strength[node] = strength
+	}
+	// Authors per institution scale with strength.
+	for i := range insts {
+		n := 2 + int(insts[i].strength*6)
+		if n > 60 {
+			n = 60
+		}
+		for a := 0; a < n; a++ {
+			author, _ := b.AddNode(LabelAuthor)
+			b.AddEdge(insts[i].node, author)
+			insts[i].authors = append(insts[i].authors, author)
+			pub.AuthorInst[author] = insts[i].node
+		}
+	}
+
+	for _, name := range cfg.Conferences {
+		node, _ := b.AddNamedNode(LabelConference, name)
+		pub.ConfNodes[name] = node
+	}
+	journals := make([]graph.NodeID, cfg.Journals)
+	for j := range journals {
+		journals[j], _ = b.AddNamedNode(LabelJournal, fmt.Sprintf("journal-%02d", j))
+	}
+	fields := make([]graph.NodeID, cfg.Fields)
+	for f := range fields {
+		fields[f], _ = b.AddNamedNode(LabelField, fmt.Sprintf("field-%02d", f))
+	}
+
+	// External (referenced) papers, attached to journals and fields.
+	external := make([]graph.NodeID, cfg.ExternalPapers)
+	for e := range external {
+		p, _ := b.AddNode(LabelPaper)
+		external[e] = p
+		if len(journals) > 0 {
+			b.AddEdge(p, journals[rng.Intn(len(journals))])
+		}
+		nf := 1 + rng.Intn(2)
+		for k := 0; k < nf && len(fields) > 0; k++ {
+			b.AddEdge(p, fields[rng.Intn(len(fields))])
+		}
+	}
+
+	// Per-conference topic slice of the vocabulary.
+	confTopic := func(conf int) []string {
+		start := (conf * 9) % len(titleVocabulary)
+		topic := make([]string, 0, 18)
+		for i := 0; i < 18; i++ {
+			topic = append(topic, titleVocabulary[(start+i)%len(titleVocabulary)])
+		}
+		return topic
+	}
+
+	// Institution sampling weights per conference.
+	pickInst := func(conf int) int {
+		var total float64
+		for i := range insts {
+			total += insts[i].strength * insts[i].confAff[conf]
+		}
+		r := rng.Float64() * total
+		for i := range insts {
+			r -= insts[i].strength * insts[i].confAff[conf]
+			if r <= 0 {
+				return i
+			}
+		}
+		return len(insts) - 1
+	}
+
+	// Conference papers year by year. Citations are preferential toward
+	// already-cited papers and always point to earlier work.
+	citations := make(map[graph.NodeID]int)
+	var citable []graph.NodeID
+	citable = append(citable, external...)
+	for _, p := range external {
+		citations[p] = 1
+	}
+
+	for _, year := range cfg.Years {
+		for ci, conf := range cfg.Conferences {
+			topic := confTopic(ci)
+			n := cfg.PapersPerConfYear + rng.Intn(cfg.PapersPerConfYear/4+1) - cfg.PapersPerConfYear/8
+			if n < 1 {
+				n = 1
+			}
+			for k := 0; k < n; k++ {
+				pnode, _ := b.AddNode(LabelPaper)
+				b.AddEdge(pnode, pub.ConfNodes[conf])
+
+				lead := pickInst(ci)
+				nAuthors := 1 + rng.Intn(cfg.MaxAuthors)
+				authorSet := map[graph.NodeID]bool{}
+				var authors []graph.NodeID
+				for a := 0; a < nAuthors; a++ {
+					src := lead
+					if a > 0 && rng.Float64() < cfg.CrossInstProb {
+						src = pickInst(ci)
+					}
+					pool := insts[src].authors
+					author := pool[rng.Intn(len(pool))]
+					if authorSet[author] {
+						continue
+					}
+					authorSet[author] = true
+					authors = append(authors, author)
+					b.AddEdge(pnode, author)
+				}
+
+				// Citations to earlier papers (preferential attachment).
+				nCites := 2 + rng.Intn(5)
+				for c := 0; c < nCites && len(citable) > 0; c++ {
+					target := sampleCitable(rng, citable, citations)
+					if target != pnode {
+						b.AddEdge(pnode, target)
+						citations[target]++
+					}
+				}
+
+				// Fields.
+				nf := 1 + rng.Intn(3)
+				for f := 0; f < nf && len(fields) > 0; f++ {
+					b.AddEdge(pnode, fields[rng.Intn(len(fields))])
+				}
+
+				// Synthetic title: mostly topic words, some global noise.
+				tlen := 4 + rng.Intn(7)
+				title := make([]string, tlen)
+				for w := range title {
+					if rng.Float64() < 0.7 {
+						title[w] = topic[rng.Intn(len(topic))]
+					} else {
+						title[w] = titleVocabulary[rng.Intn(len(titleVocabulary))]
+					}
+				}
+
+				pub.Papers = append(pub.Papers, PaperMeta{
+					Node:       pnode,
+					Conference: conf,
+					Year:       year,
+					Full:       rng.Float64() < cfg.FullPaperFrac,
+					Authors:    authors,
+					Title:      title,
+					Keywords:   3 + rng.Intn(4),
+				})
+				citable = append(citable, pnode)
+				citations[pnode] = citations[pnode] + 1
+			}
+		}
+	}
+
+	g, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	pub.Graph = g
+	return pub, nil
+}
+
+// sampleCitable draws a paper preferentially by citation count.
+func sampleCitable(rng *rand.Rand, citable []graph.NodeID, citations map[graph.NodeID]int) graph.NodeID {
+	// Two-step approximation of preferential attachment: with
+	// probability 1/2 pick uniformly, otherwise pick proportional to a
+	// small sample's citation counts.
+	if rng.Intn(2) == 0 {
+		return citable[rng.Intn(len(citable))]
+	}
+	best := citable[rng.Intn(len(citable))]
+	for i := 0; i < 3; i++ {
+		cand := citable[rng.Intn(len(citable))]
+		if citations[cand] > citations[best] {
+			best = cand
+		}
+	}
+	return best
+}
+
+// Relevance computes the ground-truth institution relevance for one
+// conference and year by the three KDD-Cup directives: every accepted
+// full paper carries one vote, split equally among its authors; each
+// author credits their institution (single affiliations in this
+// generator). Institutions without contributions are absent from the map.
+func (p *Publication) Relevance(conference string, year int) map[graph.NodeID]float64 {
+	rel := make(map[graph.NodeID]float64)
+	for _, paper := range p.Papers {
+		if paper.Conference != conference || paper.Year != year || !paper.Full {
+			continue
+		}
+		if len(paper.Authors) == 0 {
+			continue
+		}
+		share := 1.0 / float64(len(paper.Authors))
+		for _, a := range paper.Authors {
+			rel[p.AuthorInst[a]] += share
+		}
+	}
+	return rel
+}
+
+// Subnetwork induces the institution/author/paper subgraph for one
+// conference restricted to the given years, mirroring the paper's rank
+// prediction data preparation (§4.2.2): papers of the target conference
+// and years, their authors and institutions, plus papers referenced within
+// distance 2 of the selected papers. It returns the induced graph and the
+// positions of the institutions inside it (institution node -> induced
+// node).
+func (p *Publication) Subnetwork(conference string, years []int) (*graph.Graph, map[graph.NodeID]graph.NodeID) {
+	yearSet := make(map[int]bool, len(years))
+	for _, y := range years {
+		yearSet[y] = true
+	}
+	keep := make(map[graph.NodeID]bool)
+	var frontier []graph.NodeID
+	for _, paper := range p.Papers {
+		if paper.Conference != conference || !yearSet[paper.Year] {
+			continue
+		}
+		keep[paper.Node] = true
+		frontier = append(frontier, paper.Node)
+		for _, a := range paper.Authors {
+			keep[a] = true
+			keep[p.AuthorInst[a]] = true
+		}
+	}
+	// Referenced papers within distance 2 through citation edges.
+	paperLabel, _ := p.Graph.Alphabet().Lookup(LabelPaper)
+	for hop := 0; hop < 2; hop++ {
+		var next []graph.NodeID
+		for _, v := range frontier {
+			for _, w := range p.Graph.Neighbors(v) {
+				if p.Graph.Label(w) == paperLabel && !keep[w] {
+					keep[w] = true
+					next = append(next, w)
+				}
+			}
+		}
+		frontier = next
+	}
+
+	nodes := make([]graph.NodeID, 0, len(keep))
+	for v := range keep {
+		nodes = append(nodes, v)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	sub, orig := graph.Induced(p.Graph, nodes)
+	instMap := make(map[graph.NodeID]graph.NodeID)
+	for newID, origID := range orig {
+		if p.Graph.Label(origID) == mustLabel(p.Graph, LabelInstitution) {
+			instMap[origID] = graph.NodeID(newID)
+		}
+	}
+	return sub, instMap
+}
+
+func mustLabel(g *graph.Graph, name string) graph.Label {
+	l, ok := g.Alphabet().Lookup(name)
+	if !ok {
+		panic("datagen: missing label " + name)
+	}
+	return l
+}

@@ -1,0 +1,82 @@
+// Package embed implements the three neural node-embedding baselines the
+// paper compares against (§4.2.2): DeepWalk (uniform truncated random
+// walks + skip-gram), node2vec (second-order biased walks + skip-gram) and
+// LINE (first- and second-order proximity with edge sampling). All three
+// share a skip-gram-with-negative-sampling trainer and produce dense
+// per-node feature vectors. Implementations are deliberately faithful to
+// the published algorithms at laptop scale; they take explicit random
+// sources so experiments are reproducible.
+package embed
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Alias is a Walker alias-method sampler over a discrete distribution:
+// O(n) setup, O(1) sampling.
+type Alias struct {
+	prob  []float64
+	alias []int
+}
+
+// NewAlias builds an alias table for the given non-negative weights.
+func NewAlias(weights []float64) (*Alias, error) {
+	n := len(weights)
+	if n == 0 {
+		return nil, fmt.Errorf("embed: empty weight vector")
+	}
+	var total float64
+	for _, w := range weights {
+		if w < 0 {
+			return nil, fmt.Errorf("embed: negative weight %v", w)
+		}
+		total += w
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("embed: all weights zero")
+	}
+	a := &Alias{prob: make([]float64, n), alias: make([]int, n)}
+	scaled := make([]float64, n)
+	var small, large []int
+	for i, w := range weights {
+		scaled[i] = w * float64(n) / total
+		if scaled[i] < 1 {
+			small = append(small, i)
+		} else {
+			large = append(large, i)
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		a.prob[s] = scaled[s]
+		a.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	for _, i := range large {
+		a.prob[i] = 1
+		a.alias[i] = i
+	}
+	for _, i := range small {
+		a.prob[i] = 1
+		a.alias[i] = i
+	}
+	return a, nil
+}
+
+// Sample draws one index from the distribution.
+func (a *Alias) Sample(rng *rand.Rand) int {
+	i := rng.Intn(len(a.prob))
+	if rng.Float64() < a.prob[i] {
+		return i
+	}
+	return a.alias[i]
+}

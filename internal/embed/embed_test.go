@@ -1,0 +1,268 @@
+package embed
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hsgf/internal/graph"
+)
+
+func TestAliasUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a, err := NewAlias([]float64{1, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 4)
+	n := 40000
+	for i := 0; i < n; i++ {
+		counts[a.Sample(rng)]++
+	}
+	for i, c := range counts {
+		f := float64(c) / float64(n)
+		if math.Abs(f-0.25) > 0.02 {
+			t.Errorf("bucket %d frequency %v, want ≈ 0.25", i, f)
+		}
+	}
+}
+
+func TestAliasSkewed(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a, err := NewAlias([]float64{9, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	n := 40000
+	for i := 0; i < n; i++ {
+		if a.Sample(rng) == 0 {
+			hits++
+		}
+	}
+	if f := float64(hits) / float64(n); math.Abs(f-0.9) > 0.02 {
+		t.Errorf("frequency of heavy bucket %v, want ≈ 0.9", f)
+	}
+}
+
+func TestAliasZeroWeightNeverSampled(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a, err := NewAlias([]float64{1, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		if a.Sample(rng) == 1 {
+			t.Fatal("zero-weight bucket sampled")
+		}
+	}
+}
+
+func TestAliasErrors(t *testing.T) {
+	if _, err := NewAlias(nil); err == nil {
+		t.Error("empty weights must fail")
+	}
+	if _, err := NewAlias([]float64{0, 0}); err == nil {
+		t.Error("all-zero weights must fail")
+	}
+	if _, err := NewAlias([]float64{1, -1}); err == nil {
+		t.Error("negative weights must fail")
+	}
+}
+
+// twoClusters builds two dense clusters joined by a single bridge edge.
+func twoClusters(size int) (*graph.Graph, []graph.NodeID, []graph.NodeID) {
+	b := graph.NewBuilderWithAlphabet(graph.MustAlphabet("n"))
+	var a, c []graph.NodeID
+	for i := 0; i < size; i++ {
+		v, _ := b.AddNode("n")
+		a = append(a, v)
+	}
+	for i := 0; i < size; i++ {
+		v, _ := b.AddNode("n")
+		c = append(c, v)
+	}
+	for i := 0; i < size; i++ {
+		for j := i + 1; j < size; j++ {
+			b.AddEdge(a[i], a[j])
+			b.AddEdge(c[i], c[j])
+		}
+	}
+	b.AddEdge(a[0], c[0])
+	return b.MustBuild(), a, c
+}
+
+func TestUniformWalks(t *testing.T) {
+	g, _, _ := twoClusters(5)
+	rng := rand.New(rand.NewSource(4))
+	cfg := WalkConfig{WalksPerNode: 3, WalkLength: 10}
+	walks := UniformWalks(g, cfg, rng)
+	if len(walks) != g.NumNodes()*3 {
+		t.Fatalf("got %d walks, want %d", len(walks), g.NumNodes()*3)
+	}
+	for _, w := range walks {
+		if len(w) == 0 || len(w) > 10 {
+			t.Fatalf("walk length %d out of range", len(w))
+		}
+		for i := 1; i < len(w); i++ {
+			if !g.HasEdge(w[i-1], w[i]) {
+				t.Fatal("walk traverses a non-edge")
+			}
+		}
+	}
+}
+
+func TestUniformWalksIsolatedNode(t *testing.T) {
+	b := graph.NewBuilderWithAlphabet(graph.MustAlphabet("n"))
+	b.AddNode("n")
+	g := b.MustBuild()
+	walks := UniformWalks(g, WalkConfig{WalksPerNode: 2, WalkLength: 5}, rand.New(rand.NewSource(1)))
+	if len(walks) != 2 {
+		t.Fatalf("want 2 walks, got %d", len(walks))
+	}
+	for _, w := range walks {
+		if len(w) != 1 {
+			t.Errorf("isolated walk length %d, want 1", len(w))
+		}
+	}
+}
+
+func TestBiasedWalksValidEdges(t *testing.T) {
+	g, _, _ := twoClusters(5)
+	rng := rand.New(rand.NewSource(5))
+	cfg := WalkConfig{WalksPerNode: 2, WalkLength: 12, ReturnP: 0.5, InOutQ: 2}
+	walks := BiasedWalks(g, cfg, rng)
+	if len(walks) != g.NumNodes()*2 {
+		t.Fatalf("got %d walks", len(walks))
+	}
+	for _, w := range walks {
+		for i := 1; i < len(w); i++ {
+			if !g.HasEdge(w[i-1], w[i]) {
+				t.Fatal("biased walk traverses a non-edge")
+			}
+		}
+	}
+}
+
+func TestBiasedWalksLowQExplores(t *testing.T) {
+	// Low q (in-out) favours moving away; high q keeps walks local.
+	// On a long path graph, low-q walks should reach farther on average.
+	b := graph.NewBuilderWithAlphabet(graph.MustAlphabet("n"))
+	n := 40
+	for i := 0; i < n; i++ {
+		b.AddNode("n")
+	}
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(graph.NodeID(i), graph.NodeID(i+1))
+	}
+	g := b.MustBuild()
+
+	reach := func(q float64, seed int64) float64 {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := WalkConfig{WalksPerNode: 30, WalkLength: 15, ReturnP: 1, InOutQ: q}
+		walks := BiasedWalks(g, cfg, rng)
+		var total float64
+		var count int
+		for _, w := range walks {
+			if w[0] != 0 {
+				continue
+			}
+			maxDist := 0
+			for _, v := range w {
+				if int(v) > maxDist {
+					maxDist = int(v)
+				}
+			}
+			total += float64(maxDist)
+			count++
+		}
+		return total / float64(count)
+	}
+	if reach(0.25, 6) <= reach(4, 6) {
+		t.Error("low q should explore farther than high q on a path")
+	}
+}
+
+func embeddingSeparates(t *testing.T, vecs [][]float64, a, c []graph.NodeID) {
+	t.Helper()
+	cos := func(x, y []float64) float64 {
+		return dotv(x, y) / (math.Sqrt(dotv(x, x))*math.Sqrt(dotv(y, y)) + 1e-12)
+	}
+	var within, across float64
+	var nw, na int
+	for i := range a {
+		for j := i + 1; j < len(a); j++ {
+			within += cos(vecs[a[i]], vecs[a[j]])
+			within += cos(vecs[c[i]], vecs[c[j]])
+			nw += 2
+		}
+		for j := range c {
+			across += cos(vecs[a[i]], vecs[c[j]])
+			na++
+		}
+	}
+	if within/float64(nw) <= across/float64(na) {
+		t.Errorf("within-cluster similarity %v not above across-cluster %v",
+			within/float64(nw), across/float64(na))
+	}
+}
+
+func TestDeepWalkSeparatesClusters(t *testing.T) {
+	g, a, c := twoClusters(8)
+	rng := rand.New(rand.NewSource(7))
+	vecs := DeepWalk(g, WalkConfig{WalksPerNode: 10, WalkLength: 20},
+		SGNSConfig{Dim: 16, Window: 4, Negatives: 5, Epochs: 3}, rng)
+	if len(vecs) != g.NumNodes() || len(vecs[0]) != 16 {
+		t.Fatalf("embedding shape %dx%d", len(vecs), len(vecs[0]))
+	}
+	embeddingSeparates(t, vecs, a, c)
+}
+
+func TestNode2VecSeparatesClusters(t *testing.T) {
+	g, a, c := twoClusters(8)
+	rng := rand.New(rand.NewSource(8))
+	vecs := Node2Vec(g, WalkConfig{WalksPerNode: 10, WalkLength: 20, ReturnP: 1, InOutQ: 0.5},
+		SGNSConfig{Dim: 16, Window: 4, Negatives: 5, Epochs: 3}, rng)
+	embeddingSeparates(t, vecs, a, c)
+}
+
+func TestLINESeparatesClusters(t *testing.T) {
+	g, a, c := twoClusters(8)
+	rng := rand.New(rand.NewSource(9))
+	vecs := LINE(g, LINEConfig{Dim: 8, Negatives: 5, Samples: 40000}, rng)
+	if len(vecs[0]) != 16 {
+		t.Fatalf("LINE output dim %d, want 16 (two concatenated orders)", len(vecs[0]))
+	}
+	embeddingSeparates(t, vecs, a, c)
+}
+
+func TestEmbeddingsDeterministic(t *testing.T) {
+	g, _, _ := twoClusters(5)
+	run := func() [][]float64 {
+		return DeepWalk(g, WalkConfig{WalksPerNode: 2, WalkLength: 8},
+			SGNSConfig{Dim: 8, Window: 3, Negatives: 2, Epochs: 1}, rand.New(rand.NewSource(42)))
+	}
+	v1, v2 := run(), run()
+	for i := range v1 {
+		for d := range v1[i] {
+			if v1[i][d] != v2[i][d] {
+				t.Fatal("embedding not deterministic under fixed seed")
+			}
+		}
+	}
+}
+
+func TestDefaultConfigs(t *testing.T) {
+	w := DefaultWalkConfig()
+	if w.WalksPerNode != 10 || w.WalkLength != 80 || w.ReturnP != 1 || w.InOutQ != 1 {
+		t.Errorf("walk defaults %+v do not match the paper", w)
+	}
+	s := DefaultSGNSConfig()
+	if s.Dim != 128 || s.Window != 10 || s.Negatives != 5 {
+		t.Errorf("SGNS defaults %+v do not match the paper", s)
+	}
+	l := DefaultLINEConfig()
+	if l.Negatives != 5 {
+		t.Errorf("LINE defaults %+v", l)
+	}
+}

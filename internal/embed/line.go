@@ -1,0 +1,135 @@
+package embed
+
+import (
+	"math"
+	"math/rand"
+
+	"hsgf/internal/graph"
+)
+
+// LINEConfig controls LINE training (Tang et al., WWW 2015).
+type LINEConfig struct {
+	Dim       int     // dimension of EACH order; the output concatenates both
+	Negatives int     // negative samples per edge, paper default 5
+	Samples   int     // edge samples per order; default 100 × |E|
+	LR        float64 // initial learning rate, default 0.025
+}
+
+// DefaultLINEConfig returns defaults matching the reference
+// implementation at small scale: 64+64 dimensions (concatenated to 128,
+// the paper's d), 5 negatives.
+func DefaultLINEConfig() LINEConfig {
+	return LINEConfig{Dim: 64, Negatives: 5, LR: 0.025}
+}
+
+func (c *LINEConfig) normalize(edges int) {
+	if c.Dim <= 0 {
+		c.Dim = 64
+	}
+	if c.Negatives <= 0 {
+		c.Negatives = 5
+	}
+	if c.Samples <= 0 {
+		c.Samples = 100 * edges
+	}
+	if c.LR <= 0 {
+		c.LR = 0.025
+	}
+}
+
+// LINE learns LINE embeddings: first-order proximity (direct neighbours
+// embed closely) and second-order proximity (nodes with shared
+// neighbourhoods embed closely, via separate context vectors), each
+// trained by edge sampling with negative sampling; the two halves are
+// concatenated into the final representation, as the paper prescribes.
+func LINE(g *graph.Graph, cfg LINEConfig, rng *rand.Rand) [][]float64 {
+	cfg.normalize(g.NumEdges())
+	n := g.NumNodes()
+	first := trainLINEOrder(g, cfg, 1, rng)
+	second := trainLINEOrder(g, cfg, 2, rng)
+	out := make([][]float64, n)
+	for v := 0; v < n; v++ {
+		vec := make([]float64, 0, 2*cfg.Dim)
+		vec = append(vec, first[v]...)
+		vec = append(vec, second[v]...)
+		out[v] = vec
+	}
+	return out
+}
+
+// trainLINEOrder trains one proximity order. Edges are sampled uniformly
+// (the network is unweighted); negatives come from the degree^0.75
+// distribution.
+func trainLINEOrder(g *graph.Graph, cfg LINEConfig, order int, rng *rand.Rand) [][]float64 {
+	n := g.NumNodes()
+	dim := cfg.Dim
+	vertex := makeInit(n, dim, rng)
+	var context [][]float64
+	if order == 2 {
+		context = make([][]float64, n)
+		for i := range context {
+			context[i] = make([]float64, dim)
+		}
+	}
+
+	m := g.NumEdges()
+	if m == 0 {
+		return vertex
+	}
+	degW := make([]float64, n)
+	for v := 0; v < n; v++ {
+		degW[v] = math.Pow(float64(g.Degree(graph.NodeID(v))), 0.75)
+	}
+	neg, err := NewAlias(degW)
+	if err != nil {
+		return vertex
+	}
+
+	grad := make([]float64, dim)
+	for s := 0; s < cfg.Samples; s++ {
+		lr := cfg.LR * (1 - float64(s)/float64(cfg.Samples+1))
+		if lr < cfg.LR*0.0001 {
+			lr = cfg.LR * 0.0001
+		}
+		e := graph.EdgeID(rng.Intn(m))
+		u, v := g.EdgeEndpoints(e)
+		if rng.Intn(2) == 0 {
+			u, v = v, u // undirected: train both directions
+		}
+		src := vertex[u]
+		for d := range grad {
+			grad[d] = 0
+		}
+		// Positive target plus negatives.
+		for k := 0; k <= cfg.Negatives; k++ {
+			var target int
+			var label float64
+			if k == 0 {
+				target = int(v)
+				label = 1
+			} else {
+				target = neg.Sample(rng)
+				if target == int(v) {
+					continue
+				}
+				label = 0
+			}
+			var tvec []float64
+			if order == 2 {
+				tvec = context[target]
+			} else {
+				tvec = vertex[target]
+			}
+			score := sigma(dotv(src, tvec))
+			gcoef := lr * (label - score)
+			for d := 0; d < dim; d++ {
+				grad[d] += gcoef * tvec[d]
+				tvec[d] += gcoef * src[d]
+			}
+		}
+		for d := 0; d < dim; d++ {
+			src[d] += grad[d]
+		}
+	}
+	return vertex
+}

@@ -1,0 +1,186 @@
+package embed
+
+import (
+	"math"
+	"math/rand"
+
+	"hsgf/internal/graph"
+)
+
+// SGNSConfig controls skip-gram-with-negative-sampling training over a
+// walk corpus.
+type SGNSConfig struct {
+	Dim       int     // embedding dimension d, paper default 128
+	Window    int     // context size k, paper default 10
+	Negatives int     // negative samples K, paper default 5
+	Epochs    int     // passes over the corpus, default 1
+	LR        float64 // initial learning rate, default 0.025
+}
+
+// DefaultSGNSConfig returns the paper's recommended parameters
+// (d=128, k=10, K=5).
+func DefaultSGNSConfig() SGNSConfig {
+	return SGNSConfig{Dim: 128, Window: 10, Negatives: 5, Epochs: 1, LR: 0.025}
+}
+
+func (c *SGNSConfig) normalize() {
+	if c.Dim <= 0 {
+		c.Dim = 128
+	}
+	if c.Window <= 0 {
+		c.Window = 10
+	}
+	if c.Negatives <= 0 {
+		c.Negatives = 5
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 1
+	}
+	if c.LR <= 0 {
+		c.LR = 0.025
+	}
+}
+
+// sigma is the logistic function with clamping for numerical stability.
+func sigma(z float64) float64 {
+	if z > 8 {
+		return 1
+	}
+	if z < -8 {
+		return math.Exp(z) / (1 + math.Exp(z))
+	}
+	return 1 / (1 + math.Exp(-z))
+}
+
+// TrainSGNS learns node embeddings from a walk corpus by skip-gram with
+// negative sampling. Negative nodes are drawn from the corpus unigram
+// distribution raised to the 3/4 power, as in word2vec. Returns one
+// Dim-vector per node of g.
+func TrainSGNS(g *graph.Graph, walks [][]graph.NodeID, cfg SGNSConfig, rng *rand.Rand) [][]float64 {
+	cfg.normalize()
+	n := g.NumNodes()
+	dim := cfg.Dim
+
+	// Unigram^0.75 negative-sampling table.
+	freq := make([]float64, n)
+	var pairs int
+	for _, walk := range walks {
+		for _, v := range walk {
+			freq[v]++
+		}
+		if len(walk) > 1 {
+			pairs += len(walk)
+		}
+	}
+	for i := range freq {
+		freq[i] = math.Pow(freq[i], 0.75)
+	}
+	neg, err := NewAlias(freq)
+	if err != nil {
+		// Corpus is empty or degenerate; return deterministic small
+		// random vectors so downstream pipelines still function.
+		out := makeInit(n, dim, rng)
+		return out
+	}
+
+	in := makeInit(n, dim, rng)
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, dim)
+	}
+
+	totalSteps := cfg.Epochs * len(walks)
+	step := 0
+	gradIn := make([]float64, dim)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		for _, walk := range walks {
+			lr := cfg.LR * (1 - float64(step)/float64(totalSteps+1))
+			if lr < cfg.LR*0.0001 {
+				lr = cfg.LR * 0.0001
+			}
+			step++
+			for i, center := range walk {
+				lo := i - cfg.Window
+				if lo < 0 {
+					lo = 0
+				}
+				hi := i + cfg.Window
+				if hi >= len(walk) {
+					hi = len(walk) - 1
+				}
+				vin := in[center]
+				for j := lo; j <= hi; j++ {
+					if j == i {
+						continue
+					}
+					ctx := walk[j]
+					for d := range gradIn {
+						gradIn[d] = 0
+					}
+					// Positive example.
+					vout := out[ctx]
+					score := sigma(dotv(vin, vout))
+					gpos := lr * (1 - score)
+					for d := 0; d < dim; d++ {
+						gradIn[d] += gpos * vout[d]
+						vout[d] += gpos * vin[d]
+					}
+					// Negative examples.
+					for k := 0; k < cfg.Negatives; k++ {
+						nn := neg.Sample(rng)
+						if graph.NodeID(nn) == ctx {
+							continue
+						}
+						vneg := out[nn]
+						score := sigma(dotv(vin, vneg))
+						gneg := -lr * score
+						for d := 0; d < dim; d++ {
+							gradIn[d] += gneg * vneg[d]
+							vneg[d] += gneg * vin[d]
+						}
+					}
+					for d := 0; d < dim; d++ {
+						vin[d] += gradIn[d]
+					}
+				}
+			}
+		}
+	}
+	return in
+}
+
+func makeInit(n, dim int, rng *rand.Rand) [][]float64 {
+	vecs := make([][]float64, n)
+	for i := range vecs {
+		v := make([]float64, dim)
+		for d := range v {
+			v[d] = (rng.Float64() - 0.5) / float64(dim)
+		}
+		vecs[i] = v
+	}
+	return vecs
+}
+
+func dotv(a, b []float64) float64 {
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// DeepWalk learns DeepWalk embeddings: uniform truncated random walks fed
+// to skip-gram with negative sampling (Perozzi et al., KDD 2014).
+func DeepWalk(g *graph.Graph, wcfg WalkConfig, scfg SGNSConfig, rng *rand.Rand) [][]float64 {
+	wcfg.ReturnP, wcfg.InOutQ = 1, 1
+	walks := UniformWalks(g, wcfg, rng)
+	return TrainSGNS(g, walks, scfg, rng)
+}
+
+// Node2Vec learns node2vec embeddings: second-order biased walks with
+// return parameter p and in-out parameter q fed to skip-gram with negative
+// sampling (Grover & Leskovec, KDD 2016).
+func Node2Vec(g *graph.Graph, wcfg WalkConfig, scfg SGNSConfig, rng *rand.Rand) [][]float64 {
+	walks := BiasedWalks(g, wcfg, rng)
+	return TrainSGNS(g, walks, scfg, rng)
+}

@@ -1,0 +1,109 @@
+package embed
+
+import (
+	"math/rand"
+
+	"hsgf/internal/graph"
+)
+
+// WalkConfig controls random-walk corpus generation.
+type WalkConfig struct {
+	WalksPerNode int     // r, paper default 10
+	WalkLength   int     // l, paper default 80
+	ReturnP      float64 // node2vec return parameter p (1 = DeepWalk)
+	InOutQ       float64 // node2vec in-out parameter q (1 = DeepWalk)
+}
+
+// DefaultWalkConfig returns the paper's recommended parameters
+// (r=10, l=80, p=q=1).
+func DefaultWalkConfig() WalkConfig {
+	return WalkConfig{WalksPerNode: 10, WalkLength: 80, ReturnP: 1, InOutQ: 1}
+}
+
+// UniformWalks generates cfg.WalksPerNode truncated uniform random walks
+// from every node (DeepWalk-style). Walks from isolated nodes contain just
+// the start node.
+func UniformWalks(g *graph.Graph, cfg WalkConfig, rng *rand.Rand) [][]graph.NodeID {
+	walks := make([][]graph.NodeID, 0, g.NumNodes()*cfg.WalksPerNode)
+	for r := 0; r < cfg.WalksPerNode; r++ {
+		for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+			walk := make([]graph.NodeID, 0, cfg.WalkLength)
+			walk = append(walk, v)
+			cur := v
+			for len(walk) < cfg.WalkLength {
+				adj := g.Neighbors(cur)
+				if len(adj) == 0 {
+					break
+				}
+				cur = adj[rng.Intn(len(adj))]
+				walk = append(walk, cur)
+			}
+			walks = append(walks, walk)
+		}
+	}
+	return walks
+}
+
+// BiasedWalks generates node2vec second-order random walks: from the
+// previous step t and current node v, the unnormalised probability of
+// moving to neighbour x is 1/p if x == t, 1 if x is adjacent to t, and
+// 1/q otherwise. Sampling uses rejection against the maximum of those
+// weights, which avoids per-edge alias tables while remaining exact.
+func BiasedWalks(g *graph.Graph, cfg WalkConfig, rng *rand.Rand) [][]graph.NodeID {
+	p, q := cfg.ReturnP, cfg.InOutQ
+	if p <= 0 {
+		p = 1
+	}
+	if q <= 0 {
+		q = 1
+	}
+	if p == 1 && q == 1 {
+		return UniformWalks(g, cfg, rng)
+	}
+	maxW := 1.0
+	if 1/p > maxW {
+		maxW = 1 / p
+	}
+	if 1/q > maxW {
+		maxW = 1 / q
+	}
+	walks := make([][]graph.NodeID, 0, g.NumNodes()*cfg.WalksPerNode)
+	for r := 0; r < cfg.WalksPerNode; r++ {
+		for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+			walk := make([]graph.NodeID, 0, cfg.WalkLength)
+			walk = append(walk, v)
+			adj := g.Neighbors(v)
+			if len(adj) > 0 && cfg.WalkLength > 1 {
+				walk = append(walk, adj[rng.Intn(len(adj))])
+			}
+			for len(walk) >= 2 && len(walk) < cfg.WalkLength {
+				cur := walk[len(walk)-1]
+				prev := walk[len(walk)-2]
+				adj := g.Neighbors(cur)
+				if len(adj) == 0 {
+					break
+				}
+				var next graph.NodeID
+				for {
+					cand := adj[rng.Intn(len(adj))]
+					var w float64
+					switch {
+					case cand == prev:
+						w = 1 / p
+					case g.HasEdge(cand, prev):
+						w = 1
+					default:
+						w = 1 / q
+					}
+					if rng.Float64() < w/maxW {
+						next = cand
+						break
+					}
+				}
+				walk = append(walk, next)
+			}
+			walks = append(walks, walk)
+		}
+	}
+	return walks
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"math/rand"
+	"sort"
+
+	"hsgf/internal/core"
+	"hsgf/internal/graph"
+	"hsgf/internal/ml"
+)
+
+// ClassFeature is one subgraph feature with its (standardised) logistic
+// weight for one class — positive weights indicate subgraph shapes whose
+// abundance is evidence *for* the class.
+type ClassFeature struct {
+	Encoding string
+	Weight   float64
+}
+
+// TopLabelFeatures trains the label-prediction classifier once on the
+// full sample and reports, per class, the subgraph features with the
+// largest positive weights — the label-task counterpart of the paper's
+// Figure 4 interpretability analysis: which concrete neighbourhood
+// shapes identify each entity type.
+func TopLabelFeatures(g *graph.Graph, cfg LabelConfig, topK int) (map[string][]ClassFeature, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	nodes, y := sampleNodes(g, cfg.PerLabel, rng)
+
+	dmax := 0
+	if cfg.DmaxLevel > 0 && cfg.DmaxLevel < 1 {
+		dmax = graph.DegreePercentile(g, cfg.DmaxLevel)
+	}
+	ex, err := core.NewExtractor(g, core.Options{
+		MaxEdges:      cfg.MaxEdges,
+		MaxDegree:     dmax,
+		MaskRootLabel: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	censuses := ex.CensusAll(nodes, cfg.Workers)
+	vocab := core.VocabularyOf(censuses)
+	x := ml.Log1p(core.Matrix(censuses, vocab))
+	var sc ml.StandardScaler
+	xs, err := sc.FitTransform(x)
+	if err != nil {
+		return nil, err
+	}
+	clf := ml.OneVsRest{C: 1, MaxIter: 100}
+	if err := clf.Fit(xs, y); err != nil {
+		return nil, err
+	}
+
+	out := make(map[string][]ClassFeature, g.NumLabels())
+	for class := 0; class < clf.NumClasses(); class++ {
+		coef := clf.Coef(class)
+		if coef == nil {
+			continue
+		}
+		type col struct {
+			idx int
+			w   float64
+		}
+		cols := make([]col, len(coef))
+		for i, w := range coef {
+			cols[i] = col{i, w}
+		}
+		sort.Slice(cols, func(a, b int) bool { return cols[a].w > cols[b].w })
+		k := topK
+		if k > len(cols) {
+			k = len(cols)
+		}
+		name := g.Alphabet().Name(graph.Label(class))
+		for _, c := range cols[:k] {
+			out[name] = append(out[name], ClassFeature{
+				Encoding: ex.EncodingString(vocab.Key(c.idx)),
+				Weight:   c.w,
+			})
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,407 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"hsgf/internal/core"
+	"hsgf/internal/datagen"
+	"hsgf/internal/embed"
+	"hsgf/internal/graph"
+	"hsgf/internal/ml"
+)
+
+// Feature family identifiers used across the rank-prediction results.
+const (
+	FamClassic  = "classic"
+	FamSubgraph = "subgraph"
+	FamCombined = "combined"
+	FamNode2Vec = "node2vec"
+	FamDeepWalk = "DeepWalk"
+	FamLINE     = "LINE"
+)
+
+// RankFamilies lists the feature families of Figure 3 in display order.
+var RankFamilies = []string{FamClassic, FamSubgraph, FamCombined, FamNode2Vec, FamDeepWalk, FamLINE}
+
+// Regressor identifiers used across the rank-prediction results.
+const (
+	RegLinear   = "LinRegr"
+	RegTree     = "DecTree"
+	RegForest   = "RanForest"
+	RegBayRidge = "BayRidge"
+)
+
+// RankRegressors lists the regressors of Figure 3 / Table 1 in display
+// order.
+var RankRegressors = []string{RegLinear, RegTree, RegForest, RegBayRidge}
+
+// RankConfig parameterises the rank-prediction experiment (Figure 3,
+// Table 1, Figure 4).
+type RankConfig struct {
+	Publication datagen.PublicationConfig
+	History     int // past years entering the classic relevance history
+
+	MaxEdges int // subgraph emax; the paper uses 6 for this task
+
+	// Embedding scale. The paper's settings (d=128, r=10, l=80, k=10)
+	// are available via FullRankConfig; the default is reduced so the
+	// full五-conference sweep stays in benchmark budgets.
+	EmbedDim     int
+	Walks        embed.WalkConfig
+	SGNS         embed.SGNSConfig
+	LINESamplesX int // LINE edge samples as a multiple of |E|
+
+	ForestTrees int // 300 in the paper
+	TopKSmall   int // univariate selection for LinRegr/DecTree (paper: 5)
+	TopKRidge   int // univariate selection for BayRidge (paper: 60)
+
+	NDCGAt  int // 20 in the paper
+	Seed    int64
+	Workers int
+}
+
+// DefaultRankConfig returns a laptop-scale configuration that finishes
+// the full sweep in minutes while preserving the comparison shape.
+func DefaultRankConfig() RankConfig {
+	pub := datagen.DefaultPublicationConfig()
+	return RankConfig{
+		Publication:  pub,
+		History:      3,
+		MaxEdges:     5,
+		EmbedDim:     32,
+		Walks:        embed.WalkConfig{WalksPerNode: 5, WalkLength: 20, ReturnP: 1, InOutQ: 1},
+		SGNS:         embed.SGNSConfig{Dim: 32, Window: 5, Negatives: 5, Epochs: 1},
+		LINESamplesX: 20,
+		ForestTrees:  100,
+		TopKSmall:    5,
+		TopKRidge:    60,
+		NDCGAt:       20,
+		Seed:         7,
+		Workers:      0,
+	}
+}
+
+// FullRankConfig returns the paper's settings (§4.2.2): emax=6, d=128,
+// r=10, l=80, k=10, 300 trees. Expect a long runtime.
+func FullRankConfig() RankConfig {
+	cfg := DefaultRankConfig()
+	cfg.MaxEdges = 6
+	cfg.EmbedDim = 128
+	cfg.Walks = embed.DefaultWalkConfig()
+	cfg.SGNS = embed.DefaultSGNSConfig()
+	cfg.LINESamplesX = 100
+	cfg.ForestTrees = 300
+	return cfg
+}
+
+// RankResult holds everything the rank-prediction experiment measures.
+type RankResult struct {
+	Conferences []string
+	// NDCG[family][regressor][conference] is the test-year NDCG@n.
+	NDCG map[string]map[string]map[string]float64
+	// TopSubgraphs[conference] lists the most important subgraph
+	// features of the random-forest model (Figure 4), rendered in the
+	// paper's compact encoding, with their importance scores.
+	TopSubgraphs map[string][]SubgraphImportance
+}
+
+// SubgraphImportance is one decoded subgraph feature with its
+// random-forest importance.
+type SubgraphImportance struct {
+	Encoding   string
+	Importance float64
+}
+
+// Average returns the mean NDCG over conferences per (family, regressor)
+// — Table 1.
+func (r *RankResult) Average() map[string]map[string]float64 {
+	out := make(map[string]map[string]float64)
+	for fam, byReg := range r.NDCG {
+		out[fam] = make(map[string]float64)
+		for reg, byConf := range byReg {
+			var s float64
+			for _, v := range byConf {
+				s += v
+			}
+			out[fam][reg] = s / float64(len(r.Conferences))
+		}
+	}
+	return out
+}
+
+// RunRank executes the full rank-prediction experiment: generates the
+// publication network, builds all six feature families for every
+// institution, conference and year, trains the four regressors on the
+// training years and reports test-year NDCG@n per combination, plus the
+// random-forest subgraph feature importances.
+func RunRank(cfg RankConfig) (*RankResult, error) {
+	pub, err := datagen.GeneratePublication(cfg.Publication)
+	if err != nil {
+		return nil, err
+	}
+	years := cfg.Publication.Years
+	if len(years) < 3 {
+		return nil, fmt.Errorf("experiments: rank prediction needs >= 3 years")
+	}
+	confs := cfg.Publication.Conferences
+
+	res := &RankResult{
+		Conferences:  confs,
+		NDCG:         make(map[string]map[string]map[string]float64),
+		TopSubgraphs: make(map[string][]SubgraphImportance),
+	}
+	for _, fam := range RankFamilies {
+		res.NDCG[fam] = make(map[string]map[string]float64)
+		for _, reg := range RankRegressors {
+			res.NDCG[fam][reg] = make(map[string]float64)
+		}
+	}
+
+	for _, conf := range confs {
+		confData, err := buildConferenceData(pub, conf, cfg)
+		if err != nil {
+			return nil, err
+		}
+		for fam, mat := range confData.features {
+			for _, reg := range RankRegressors {
+				score, err := evalRegressor(reg, mat, confData, cfg)
+				if err != nil {
+					return nil, err
+				}
+				res.NDCG[fam][reg][conf] = score
+			}
+		}
+		top, err := forestImportances(confData, cfg)
+		if err != nil {
+			return nil, err
+		}
+		res.TopSubgraphs[conf] = top
+	}
+	return res, nil
+}
+
+// conferenceData bundles the per-conference design matrices: one row per
+// (institution, target year).
+type conferenceData struct {
+	features   map[string][][]float64 // family -> rows
+	labels     []float64              // relevance at the row's target year
+	trainIdx   []int
+	testIdx    []int
+	subgraphs  [][]float64 // subgraph family rows (for importance analysis)
+	vocabulary *core.Vocabulary
+	decode     func(key uint64) string
+}
+
+func buildConferenceData(pub *datagen.Publication, conf string, cfg RankConfig) (*conferenceData, error) {
+	years := cfg.Publication.Years
+	insts := pub.Institutions
+	targetYears := years[1:]
+	testYear := years[len(years)-1]
+
+	nRows := len(insts) * len(targetYears)
+	d := &conferenceData{features: make(map[string][][]float64)}
+	d.labels = make([]float64, 0, nRows)
+
+	classicRows := make([][]float64, 0, nRows)
+	subgraphCensus := make([]*core.Census, 0, nRows)
+	embedRows := map[string][][]float64{FamNode2Vec: nil, FamDeepWalk: nil, FamLINE: nil}
+
+	// Per feature year (the year before each target year): censuses and
+	// embeddings on the conference-year subnetwork.
+	var extractors []*core.Extractor
+	for _, target := range targetYears {
+		featureYear := target - 1
+		sub, instMap := pub.Subnetwork(conf, []int{featureYear})
+		roots := make([]graph.NodeID, len(insts))
+		present := make([]bool, len(insts))
+		for i, inst := range insts {
+			if v, ok := instMap[inst]; ok {
+				roots[i] = v
+				present[i] = true
+			}
+		}
+
+		ex, err := core.NewExtractor(sub, core.Options{MaxEdges: cfg.MaxEdges})
+		if err != nil {
+			return nil, err
+		}
+		extractors = append(extractors, ex)
+		var presentRoots []graph.NodeID
+		var rowOf []int
+		for i := range insts {
+			if present[i] {
+				presentRoots = append(presentRoots, roots[i])
+				rowOf = append(rowOf, i)
+			}
+		}
+		censuses := ex.CensusAll(presentRoots, cfg.Workers)
+		perInst := make([]*core.Census, len(insts))
+		for j, c := range censuses {
+			perInst[rowOf[j]] = c
+		}
+
+		// Embeddings of the same subnetwork, one per method.
+		embSeed := cfg.Seed + int64(target)*131
+		wcfg := cfg.Walks
+		scfg := cfg.SGNS
+		scfg.Dim = cfg.EmbedDim
+		dw := embed.DeepWalk(sub, wcfg, scfg, rand.New(rand.NewSource(embSeed)))
+		n2vW := wcfg
+		n2vW.ReturnP, n2vW.InOutQ = 1, 1 // paper default p=q=1
+		n2v := embed.Node2Vec(sub, n2vW, scfg, rand.New(rand.NewSource(embSeed+1)))
+		lineCfg := embed.LINEConfig{Dim: cfg.EmbedDim / 2, Negatives: 5, Samples: cfg.LINESamplesX * sub.NumEdges()}
+		line := embed.LINE(sub, lineCfg, rand.New(rand.NewSource(embSeed+2)))
+
+		classic := ClassicFeatures(pub, conf, target, cfg.History)
+		rel := pub.Relevance(conf, target)
+		for i, inst := range insts {
+			classicRows = append(classicRows, classic[i])
+			subgraphCensus = append(subgraphCensus, perInst[i])
+			for fam, vecs := range map[string][][]float64{FamDeepWalk: dw, FamNode2Vec: n2v, FamLINE: line} {
+				var vec []float64
+				if present[i] {
+					vec = vecs[roots[i]]
+				} else {
+					vec = make([]float64, len(vecs[0]))
+				}
+				embedRows[fam] = append(embedRows[fam], vec)
+			}
+			d.labels = append(d.labels, rel[inst])
+			row := len(d.labels) - 1
+			if target == testYear {
+				d.testIdx = append(d.testIdx, row)
+			} else {
+				d.trainIdx = append(d.trainIdx, row)
+			}
+		}
+	}
+
+	// Subgraph vocabulary from training rows only; test rows project.
+	vocab := core.NewVocabulary()
+	for _, r := range d.trainIdx {
+		if subgraphCensus[r] != nil {
+			vocab.AddCensus(subgraphCensus[r])
+		}
+	}
+	subRows := core.Matrix(subgraphCensus, vocab)
+	d.subgraphs = subRows
+	d.vocabulary = vocab
+	d.decode = func(key uint64) string {
+		for _, ex := range extractors {
+			if _, ok := ex.Decode(key); ok {
+				return ex.EncodingString(key)
+			}
+		}
+		return fmt.Sprintf("?%x", key)
+	}
+
+	combined := make([][]float64, len(classicRows))
+	for i := range combined {
+		row := make([]float64, 0, len(classicRows[i])+len(subRows[i]))
+		row = append(row, classicRows[i]...)
+		row = append(row, subRows[i]...)
+		combined[i] = row
+	}
+
+	d.features[FamClassic] = classicRows
+	d.features[FamSubgraph] = subRows
+	d.features[FamCombined] = combined
+	d.features[FamNode2Vec] = embedRows[FamNode2Vec]
+	d.features[FamDeepWalk] = embedRows[FamDeepWalk]
+	d.features[FamLINE] = embedRows[FamLINE]
+	return d, nil
+}
+
+// evalRegressor trains one regressor family on the training rows and
+// returns the NDCG@n of the test-year ranking.
+func evalRegressor(reg string, mat [][]float64, d *conferenceData, cfg RankConfig) (float64, error) {
+	xtr := ml.Rows(mat, d.trainIdx)
+	ytr := ml.Vals(d.labels, d.trainIdx)
+	xte := ml.Rows(mat, d.testIdx)
+	yte := ml.Vals(d.labels, d.testIdx)
+
+	selectK := func(k int) ([][]float64, [][]float64, error) {
+		s := ml.SelectKBest{K: k}
+		if err := s.FitRegression(xtr, ytr); err != nil {
+			return nil, nil, err
+		}
+		return s.Transform(xtr), s.Transform(xte), nil
+	}
+
+	var pred []float64
+	switch reg {
+	case RegLinear:
+		xtrS, xteS, err := selectK(cfg.TopKSmall)
+		if err != nil {
+			return 0, err
+		}
+		var m ml.LinearRegression
+		if err := m.Fit(xtrS, ytr); err != nil {
+			return 0, err
+		}
+		pred = m.Predict(xteS)
+	case RegTree:
+		xtrS, xteS, err := selectK(cfg.TopKSmall)
+		if err != nil {
+			return 0, err
+		}
+		var m ml.DecisionTreeRegressor
+		if err := m.Fit(xtrS, ytr); err != nil {
+			return 0, err
+		}
+		pred = m.Predict(xteS)
+	case RegForest:
+		m := ml.RandomForestRegressor{NumTrees: cfg.ForestTrees, Seed: cfg.Seed, Workers: cfg.Workers}
+		if err := m.Fit(xtr, ytr); err != nil {
+			return 0, err
+		}
+		pred = m.Predict(xte)
+	case RegBayRidge:
+		xtrS, xteS, err := selectK(cfg.TopKRidge)
+		if err != nil {
+			return 0, err
+		}
+		var m ml.BayesianRidge
+		if err := m.Fit(xtrS, ytr); err != nil {
+			return 0, err
+		}
+		pred = m.Predict(xteS)
+	default:
+		return 0, fmt.Errorf("experiments: unknown regressor %q", reg)
+	}
+	return ml.NDCG(pred, yte, cfg.NDCGAt), nil
+}
+
+// forestImportances trains the random forest on the subgraph features and
+// decodes the most important columns (Figure 4).
+func forestImportances(d *conferenceData, cfg RankConfig) ([]SubgraphImportance, error) {
+	xtr := ml.Rows(d.subgraphs, d.trainIdx)
+	ytr := ml.Vals(d.labels, d.trainIdx)
+	m := ml.RandomForestRegressor{NumTrees: cfg.ForestTrees, Seed: cfg.Seed, Workers: cfg.Workers}
+	if err := m.Fit(xtr, ytr); err != nil {
+		return nil, err
+	}
+	type col struct {
+		idx int
+		imp float64
+	}
+	cols := make([]col, len(m.Importance))
+	for i, v := range m.Importance {
+		cols[i] = col{i, v}
+	}
+	sort.Slice(cols, func(a, b int) bool { return cols[a].imp > cols[b].imp })
+	k := 2 // the paper reports the two most discriminative subgraphs
+	if k > len(cols) {
+		k = len(cols)
+	}
+	out := make([]SubgraphImportance, 0, k)
+	for _, c := range cols[:k] {
+		out = append(out, SubgraphImportance{
+			Encoding:   d.decode(d.vocabulary.Key(c.idx)),
+			Importance: c.imp,
+		})
+	}
+	return out, nil
+}

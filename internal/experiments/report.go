@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"text/tabwriter"
+)
+
+// WriteFigure3 renders the rank-prediction NDCG grid (Figure 3) as one
+// table per regressor: feature families down, conferences across.
+func WriteFigure3(w io.Writer, r *RankResult) {
+	for _, reg := range RankRegressors {
+		fmt.Fprintf(w, "Figure 3 — %s (NDCG@20 per conference)\n", reg)
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintf(tw, "feature\t%s\n", strings.Join(r.Conferences, "\t"))
+		for _, fam := range RankFamilies {
+			cells := make([]string, len(r.Conferences))
+			for i, conf := range r.Conferences {
+				cells[i] = fmt.Sprintf("%.2f", r.NDCG[fam][reg][conf])
+			}
+			fmt.Fprintf(tw, "%s\t%s\n", fam, strings.Join(cells, "\t"))
+		}
+		tw.Flush()
+		fmt.Fprintln(w)
+	}
+}
+
+// WriteTable1 renders the average NDCG table (Table 1): families down,
+// regressors across.
+func WriteTable1(w io.Writer, r *RankResult) {
+	avg := r.Average()
+	fmt.Fprintln(w, "Table 1 — average NDCG over all conferences")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "feature\t%s\n", strings.Join(RankRegressors, "\t"))
+	for _, fam := range RankFamilies {
+		cells := make([]string, len(RankRegressors))
+		for i, reg := range RankRegressors {
+			cells[i] = fmt.Sprintf("%.2f", avg[fam][reg])
+		}
+		fmt.Fprintf(tw, "%s\t%s\n", fam, strings.Join(cells, "\t"))
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+}
+
+// WriteFigure4 renders the most discriminative subgraphs per conference
+// (Figure 4).
+func WriteFigure4(w io.Writer, r *RankResult) {
+	fmt.Fprintln(w, "Figure 4 — most discriminative subgraph features (random forest)")
+	confs := append([]string(nil), r.Conferences...)
+	sort.Strings(confs)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "conference\trank\timportance\tencoding")
+	for _, conf := range confs {
+		for i, si := range r.TopSubgraphs[conf] {
+			fmt.Fprintf(tw, "%s\t%d\t%.4f\t%s\n", conf, i+1, si.Importance, si.Encoding)
+		}
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+}
+
+// WriteCurves renders a Figure 5 style family-by-x table.
+func WriteCurves(w io.Writer, title, xlabel string, curves map[string][]CurvePoint) {
+	fmt.Fprintln(w, title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	var fams []string
+	for _, fam := range LabelFamilies {
+		if _, ok := curves[fam]; ok {
+			fams = append(fams, fam)
+		}
+	}
+	var xs []float64
+	if len(fams) > 0 {
+		for _, p := range curves[fams[0]] {
+			xs = append(xs, p.X)
+		}
+	}
+	header := make([]string, len(xs))
+	for i, x := range xs {
+		header[i] = fmt.Sprintf("%s=%.0f%%", xlabel, x*100)
+	}
+	fmt.Fprintf(tw, "feature\t%s\n", strings.Join(header, "\t"))
+	for _, fam := range fams {
+		cells := make([]string, len(curves[fam]))
+		for i, p := range curves[fam] {
+			cells[i] = fmt.Sprintf("%.2f±%.2f", p.Mean, p.CI95)
+		}
+		fmt.Fprintf(tw, "%s\t%s\n", fam, strings.Join(cells, "\t"))
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+}
+
+// WriteTable2 renders a dmax sweep row set (Table 2).
+func WriteTable2(w io.Writer, rows map[string][]CurvePoint, order []string) {
+	fmt.Fprintln(w, "Table 2 — Macro F1 vs maximum-degree percentile level")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	// Datasets may cover different level sets (the unlimited level is
+	// skipped on dense networks, as in the paper); the header is the
+	// union of levels and missing cells render as "–".
+	seen := map[float64]bool{}
+	var xs []float64
+	for _, name := range order {
+		for _, p := range rows[name] {
+			if !seen[p.X] {
+				seen[p.X] = true
+				xs = append(xs, p.X)
+			}
+		}
+	}
+	sort.Float64s(xs)
+	header := make([]string, len(xs))
+	col := make(map[float64]int, len(xs))
+	for i, x := range xs {
+		header[i] = fmt.Sprintf("%.0f%%", x*100)
+		col[x] = i
+	}
+	fmt.Fprintf(tw, "dataset\t%s\n", strings.Join(header, "\t"))
+	for _, name := range order {
+		cells := make([]string, len(xs))
+		for i := range cells {
+			cells[i] = "–"
+		}
+		for _, p := range rows[name] {
+			cells[col[p.X]] = fmt.Sprintf("%.2f", p.Mean)
+		}
+		fmt.Fprintf(tw, "%s\t%s\n", name, strings.Join(cells, "\t"))
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+}
+
+// WriteTable3 renders the runtime table (Table 3).
+func WriteTable3(w io.Writer, rows []*RuntimeRow) {
+	fmt.Fprintln(w, "Table 3 — per-node feature extraction time")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "dataset\tsub mean\tsub p75\tsub p90\tsub p95\tsub max\tn2v\tDW\tLINE")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%v\t%v\t%v\t%v\t%v\t%v\t%v\t%v\n",
+			r.Dataset,
+			r.SubgraphMean.Round(10_000), r.SubgraphP75.Round(10_000),
+			r.SubgraphP90.Round(10_000), r.SubgraphP95.Round(10_000),
+			r.SubgraphMax.Round(10_000),
+			r.Node2VecMean.Round(1_000), r.DeepWalkMean.Round(1_000), r.LINEMean.Round(1_000))
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"math/rand"
+	"time"
+
+	"hsgf/internal/core"
+	"hsgf/internal/embed"
+	"hsgf/internal/graph"
+	"hsgf/internal/ml"
+)
+
+// RuntimeRow is one dataset row of Table 3: the per-node subgraph
+// extraction time distribution and the per-node cost of the embedding
+// baselines.
+type RuntimeRow struct {
+	Dataset string
+	Nodes   int // sampled roots
+
+	SubgraphMean time.Duration
+	SubgraphP75  time.Duration
+	SubgraphP90  time.Duration
+	SubgraphP95  time.Duration
+	SubgraphMax  time.Duration
+
+	Node2VecMean time.Duration // whole-graph embedding cost / |V|
+	DeepWalkMean time.Duration
+	LINEMean     time.Duration
+}
+
+// MeasureRuntime produces one Table 3 row for a dataset: subgraph census
+// times over a node sample (per-node, serial, as the paper reports them)
+// and amortised per-node embedding costs.
+func MeasureRuntime(name string, g *graph.Graph, cfg LabelConfig) (*RuntimeRow, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	nodes, _ := sampleNodes(g, cfg.PerLabel, rng)
+
+	dmax := 0
+	if cfg.DmaxLevel > 0 && cfg.DmaxLevel < 1 {
+		dmax = graph.DegreePercentile(g, cfg.DmaxLevel)
+	}
+	ex, err := core.NewExtractor(g, core.Options{
+		MaxEdges:      cfg.MaxEdges,
+		MaxDegree:     dmax,
+		MaskRootLabel: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	_, times := ex.CensusAllTimed(nodes, 1)
+	secs := make([]float64, len(times))
+	var total float64
+	for i, d := range times {
+		secs[i] = d.Seconds()
+		total += d.Seconds()
+	}
+	row := &RuntimeRow{Dataset: name, Nodes: len(nodes)}
+	row.SubgraphMean = time.Duration(total / float64(len(times)) * float64(time.Second))
+	row.SubgraphP75 = time.Duration(ml.Percentile(secs, 0.75) * float64(time.Second))
+	row.SubgraphP90 = time.Duration(ml.Percentile(secs, 0.90) * float64(time.Second))
+	row.SubgraphP95 = time.Duration(ml.Percentile(secs, 0.95) * float64(time.Second))
+	row.SubgraphMax = time.Duration(ml.Percentile(secs, 1.0) * float64(time.Second))
+
+	perNode := func(f func()) time.Duration {
+		start := time.Now()
+		f()
+		return time.Since(start) / time.Duration(g.NumNodes())
+	}
+	scfg := cfg.SGNS
+	scfg.Dim = cfg.EmbedDim
+	row.DeepWalkMean = perNode(func() {
+		embed.DeepWalk(g, cfg.Walks, scfg, rand.New(rand.NewSource(cfg.Seed)))
+	})
+	n2vW := cfg.Walks
+	n2vW.ReturnP, n2vW.InOutQ = 0.9, 1.1 // force the second-order path
+	row.Node2VecMean = perNode(func() {
+		embed.Node2Vec(g, n2vW, scfg, rand.New(rand.NewSource(cfg.Seed+1)))
+	})
+	row.LINEMean = perNode(func() {
+		embed.LINE(g, embed.LINEConfig{Dim: cfg.EmbedDim / 2, Negatives: 5,
+			Samples: cfg.LINESamplesX * g.NumEdges()}, rand.New(rand.NewSource(cfg.Seed+2)))
+	})
+	return row, nil
+}

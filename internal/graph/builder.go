@@ -1,0 +1,191 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder accumulates nodes and edges and freezes them into an immutable
+// Graph. A Builder is not safe for concurrent use; Build may be called once.
+//
+// Builders either adopt a fixed alphabet up front (NewBuilderWithAlphabet)
+// or grow one on demand as label names appear (NewBuilder).
+type Builder struct {
+	alphabet   *Alphabet
+	fixedAlpha bool
+
+	labels []Label
+	names  []string
+	edges  [][2]NodeID
+
+	built bool
+}
+
+// NewBuilder returns a Builder that discovers its label alphabet from the
+// label names passed to AddNode.
+func NewBuilder() *Builder {
+	return &Builder{alphabet: &Alphabet{index: make(map[string]Label)}}
+}
+
+// NewBuilderWithAlphabet returns a Builder over a fixed, pre-declared
+// alphabet. AddNode calls with unknown label names fail.
+func NewBuilderWithAlphabet(a *Alphabet) *Builder {
+	return &Builder{alphabet: a, fixedAlpha: true}
+}
+
+// NumNodes returns the number of nodes added so far.
+func (b *Builder) NumNodes() int { return len(b.labels) }
+
+// AddNode adds a node with the given label name and returns its ID.
+// With a discovered alphabet, new label names extend the alphabet; with a
+// fixed alphabet, unknown names are an error.
+func (b *Builder) AddNode(labelName string) (NodeID, error) {
+	l, ok := b.alphabet.Lookup(labelName)
+	if !ok {
+		if b.fixedAlpha {
+			return 0, fmt.Errorf("graph: unknown label %q", labelName)
+		}
+		var err error
+		l, err = b.alphabet.add(labelName)
+		if err != nil {
+			return 0, err
+		}
+	}
+	return b.AddLabeledNode(l)
+}
+
+// AddLabeledNode adds a node with the given label value and returns its ID.
+func (b *Builder) AddLabeledNode(l Label) (NodeID, error) {
+	if int(l) < 0 || int(l) >= b.alphabet.Len() {
+		return 0, fmt.Errorf("graph: label %d outside alphabet of size %d", l, b.alphabet.Len())
+	}
+	id := NodeID(len(b.labels))
+	b.labels = append(b.labels, l)
+	b.names = append(b.names, "")
+	return id, nil
+}
+
+// AddNamedNode adds a node with a label name and a node name.
+func (b *Builder) AddNamedNode(labelName, nodeName string) (NodeID, error) {
+	id, err := b.AddNode(labelName)
+	if err != nil {
+		return 0, err
+	}
+	b.names[id] = nodeName
+	return id, nil
+}
+
+// AddEdge records an undirected edge between u and v. Self loops are
+// rejected; duplicate edges are deduplicated at Build time.
+func (b *Builder) AddEdge(u, v NodeID) error {
+	if u == v {
+		return fmt.Errorf("graph: self loop at node %d", u)
+	}
+	n := NodeID(len(b.labels))
+	if u < 0 || v < 0 || u >= n || v >= n {
+		return fmt.Errorf("graph: edge %d-%d references unknown node (have %d nodes)", u, v, n)
+	}
+	if u > v {
+		u, v = v, u
+	}
+	b.edges = append(b.edges, [2]NodeID{u, v})
+	return nil
+}
+
+// Build freezes the builder into an immutable Graph. Edges are
+// deduplicated and adjacency lists are sorted by (label, id).
+func (b *Builder) Build() (*Graph, error) {
+	if b.built {
+		return nil, fmt.Errorf("graph: Build called twice")
+	}
+	b.built = true
+
+	// Deduplicate edges.
+	sort.Slice(b.edges, func(i, j int) bool {
+		if b.edges[i][0] != b.edges[j][0] {
+			return b.edges[i][0] < b.edges[j][0]
+		}
+		return b.edges[i][1] < b.edges[j][1]
+	})
+	dedup := b.edges[:0]
+	for i, e := range b.edges {
+		if i == 0 || e != b.edges[i-1] {
+			dedup = append(dedup, e)
+		}
+	}
+
+	n := len(b.labels)
+	deg := make([]int32, n)
+	for _, e := range dedup {
+		deg[e[0]]++
+		deg[e[1]]++
+	}
+	offsets := make([]int32, n+1)
+	for v := 0; v < n; v++ {
+		offsets[v+1] = offsets[v] + deg[v]
+	}
+	adj := make([]NodeID, offsets[n])
+	adjEdge := make([]EdgeID, offsets[n])
+	ends := make([]NodeID, 2*len(dedup))
+	cursor := make([]int32, n)
+	copy(cursor, offsets[:n])
+	for i, e := range dedup {
+		adj[cursor[e[0]]] = e[1]
+		adjEdge[cursor[e[0]]] = EdgeID(i)
+		cursor[e[0]]++
+		adj[cursor[e[1]]] = e[0]
+		adjEdge[cursor[e[1]]] = EdgeID(i)
+		cursor[e[1]]++
+		ends[2*i] = e[0]
+		ends[2*i+1] = e[1]
+	}
+
+	g := &Graph{
+		labels:   b.labels,
+		names:    b.names,
+		offsets:  offsets,
+		adj:      adj,
+		adjEdge:  adjEdge,
+		ends:     ends,
+		alphabet: b.alphabet,
+		numEdges: len(dedup),
+	}
+	// Sort each adjacency list by (label, id), keeping edge ids aligned.
+	for v := 0; v < n; v++ {
+		lo, hi := offsets[v], offsets[v+1]
+		seg := adj[lo:hi]
+		eseg := adjEdge[lo:hi]
+		sort.Sort(&adjSorter{labels: g.labels, adj: seg, edges: eseg})
+	}
+	return g, nil
+}
+
+// adjSorter sorts an adjacency segment by (label, id), carrying edge ids.
+type adjSorter struct {
+	labels []Label
+	adj    []NodeID
+	edges  []EdgeID
+}
+
+func (s *adjSorter) Len() int { return len(s.adj) }
+func (s *adjSorter) Less(i, j int) bool {
+	li, lj := s.labels[s.adj[i]], s.labels[s.adj[j]]
+	if li != lj {
+		return li < lj
+	}
+	return s.adj[i] < s.adj[j]
+}
+func (s *adjSorter) Swap(i, j int) {
+	s.adj[i], s.adj[j] = s.adj[j], s.adj[i]
+	s.edges[i], s.edges[j] = s.edges[j], s.edges[i]
+}
+
+// MustBuild is like Build but panics on error. Intended for tests and
+// examples with statically valid input.
+func (b *Builder) MustBuild() *Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

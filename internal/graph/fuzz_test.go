@@ -1,0 +1,38 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadTSV checks that arbitrary input never panics the parser and
+// that anything it accepts is a valid graph that round-trips.
+func FuzzReadTSV(f *testing.F) {
+	f.Add("n\tauthor\nn\tpaper\ne\t0\t1\n")
+	f.Add("# comment\nn\ta\tnamed node\n\nn\ta\ne\t0\t1\n")
+	f.Add("e\t0\t1\n")
+	f.Add("n\t\n")
+	f.Add("x\n")
+	f.Add(strings.Repeat("n\ta\n", 50) + "e\t0\t49\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ReadTSV(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if verr := g.Validate(); verr != nil {
+			t.Fatalf("accepted graph fails validation: %v", verr)
+		}
+		var buf bytes.Buffer
+		if err := WriteTSV(&buf, g); err != nil {
+			t.Fatalf("accepted graph fails to serialise: %v", err)
+		}
+		g2, err := ReadTSV(&buf)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+			t.Fatalf("round trip changed shape: %v vs %v", g2, g)
+		}
+	})
+}

@@ -1,0 +1,311 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// buildPath builds the 3-node path from the paper's Figure 1B:
+// z - y - z over alphabet {x, y, z}.
+func buildPath(t *testing.T) *Graph {
+	t.Helper()
+	b := NewBuilderWithAlphabet(MustAlphabet("x", "y", "z"))
+	z1, _ := b.AddNode("z")
+	y, _ := b.AddNode("y")
+	z2, _ := b.AddNode("z")
+	if err := b.AddEdge(z1, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(y, z2); err != nil {
+		t.Fatal(err)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestBuilderBasics(t *testing.T) {
+	g := buildPath(t)
+	if g.NumNodes() != 3 {
+		t.Errorf("NumNodes = %d, want 3", g.NumNodes())
+	}
+	if g.NumEdges() != 2 {
+		t.Errorf("NumEdges = %d, want 2", g.NumEdges())
+	}
+	if g.NumLabels() != 3 {
+		t.Errorf("NumLabels = %d, want 3", g.NumLabels())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if g.Degree(1) != 2 {
+		t.Errorf("Degree(y) = %d, want 2", g.Degree(1))
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Error("edge 0-1 missing")
+	}
+	if g.HasEdge(0, 2) {
+		t.Error("unexpected edge 0-2")
+	}
+	if g.HasEdge(0, 0) {
+		t.Error("HasEdge must be false for self loops")
+	}
+}
+
+func TestBuilderRejectsSelfLoop(t *testing.T) {
+	b := NewBuilder()
+	v, _ := b.AddNode("a")
+	if err := b.AddEdge(v, v); err == nil {
+		t.Fatal("expected error adding self loop")
+	}
+}
+
+func TestBuilderRejectsUnknownNode(t *testing.T) {
+	b := NewBuilder()
+	v, _ := b.AddNode("a")
+	if err := b.AddEdge(v, v+1); err == nil {
+		t.Fatal("expected error adding edge to unknown node")
+	}
+}
+
+func TestBuilderDeduplicatesEdges(t *testing.T) {
+	b := NewBuilder()
+	u, _ := b.AddNode("a")
+	v, _ := b.AddNode("b")
+	for i := 0; i < 5; i++ {
+		if err := b.AddEdge(u, v); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.AddEdge(v, u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := b.MustBuild()
+	if g.NumEdges() != 1 {
+		t.Errorf("NumEdges = %d, want 1 after dedup", g.NumEdges())
+	}
+	if g.Degree(u) != 1 || g.Degree(v) != 1 {
+		t.Errorf("degrees = %d,%d, want 1,1", g.Degree(u), g.Degree(v))
+	}
+}
+
+func TestBuilderBuildTwice(t *testing.T) {
+	b := NewBuilder()
+	b.AddNode("a")
+	if _, err := b.Build(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Build(); err == nil {
+		t.Fatal("second Build must fail")
+	}
+}
+
+func TestFixedAlphabetRejectsUnknownLabel(t *testing.T) {
+	b := NewBuilderWithAlphabet(MustAlphabet("a", "b"))
+	if _, err := b.AddNode("c"); err == nil {
+		t.Fatal("expected error for unknown label on fixed alphabet")
+	}
+	if _, err := b.AddLabeledNode(Label(7)); err == nil {
+		t.Fatal("expected error for out-of-range label value")
+	}
+}
+
+func TestAlphabet(t *testing.T) {
+	a := MustAlphabet("paper", "author", "venue")
+	if a.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", a.Len())
+	}
+	if a.Name(1) != "author" {
+		t.Errorf("Name(1) = %q, want author", a.Name(1))
+	}
+	l, ok := a.Lookup("venue")
+	if !ok || l != 2 {
+		t.Errorf("Lookup(venue) = %d,%v, want 2,true", l, ok)
+	}
+	if _, ok := a.Lookup("nope"); ok {
+		t.Error("Lookup(nope) should fail")
+	}
+	if _, err := NewAlphabet("a", "a"); err == nil {
+		t.Error("duplicate label names must fail")
+	}
+	if _, err := NewAlphabet(""); err == nil {
+		t.Error("empty label name must fail")
+	}
+	names := a.Names()
+	names[0] = "mutated"
+	if a.Name(0) != "paper" {
+		t.Error("Names must return a copy")
+	}
+}
+
+func TestAdjacencySortedByLabel(t *testing.T) {
+	// Hub connected to nodes of interleaved labels; adjacency must come
+	// back grouped by label, ascending id within a group.
+	b := NewBuilderWithAlphabet(MustAlphabet("h", "a", "b"))
+	hub, _ := b.AddNode("h")
+	var ids []NodeID
+	for i := 0; i < 6; i++ {
+		var v NodeID
+		if i%2 == 0 {
+			v, _ = b.AddNode("b")
+		} else {
+			v, _ = b.AddNode("a")
+		}
+		ids = append(ids, v)
+		if err := b.AddEdge(hub, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := b.MustBuild()
+	adj := g.Neighbors(hub)
+	if len(adj) != 6 {
+		t.Fatalf("degree = %d, want 6", len(adj))
+	}
+	for i := 1; i < len(adj); i++ {
+		lp, lc := g.Label(adj[i-1]), g.Label(adj[i])
+		if lp > lc || (lp == lc && adj[i-1] >= adj[i]) {
+			t.Fatalf("adjacency not (label,id)-sorted: %v", adj)
+		}
+	}
+	runs := g.NeighborLabelRuns(hub)
+	if len(runs) != 2 {
+		t.Fatalf("NeighborLabelRuns = %d runs, want 2", len(runs))
+	}
+	if runs[0].Label != 1 || runs[1].Label != 2 {
+		t.Errorf("run labels = %d,%d, want 1,2", runs[0].Label, runs[1].Label)
+	}
+	if len(runs[0].Nodes)+len(runs[1].Nodes) != 6 {
+		t.Error("runs do not cover adjacency")
+	}
+	_ = ids
+}
+
+func TestCountLabelsAndNodesWithLabel(t *testing.T) {
+	g := buildPath(t)
+	counts := g.CountLabels()
+	if counts[0] != 0 || counts[1] != 1 || counts[2] != 2 {
+		t.Errorf("CountLabels = %v, want [0 1 2]", counts)
+	}
+	zs := g.NodesWithLabel(2)
+	if len(zs) != 2 || zs[0] != 0 || zs[1] != 2 {
+		t.Errorf("NodesWithLabel(z) = %v, want [0 2]", zs)
+	}
+}
+
+func TestEdgesIteration(t *testing.T) {
+	g := buildPath(t)
+	var n int
+	g.Edges(func(u, v NodeID) bool {
+		if u >= v {
+			t.Errorf("Edges yielded u >= v: %d, %d", u, v)
+		}
+		n++
+		return true
+	})
+	if n != 2 {
+		t.Errorf("Edges visited %d edges, want 2", n)
+	}
+	// Early stop.
+	n = 0
+	g.Edges(func(u, v NodeID) bool { n++; return false })
+	if n != 1 {
+		t.Errorf("Edges early stop visited %d, want 1", n)
+	}
+}
+
+func TestEdgeIDs(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := randomGraph(rng, 30, 3, 0.2)
+	seen := make(map[EdgeID]int)
+	for v := NodeID(0); int(v) < g.NumNodes(); v++ {
+		adj := g.Neighbors(v)
+		eids := g.IncidentEdges(v)
+		if len(adj) != len(eids) {
+			t.Fatalf("node %d: %d neighbours but %d edge ids", v, len(adj), len(eids))
+		}
+		for i, w := range adj {
+			a, b := g.EdgeEndpoints(eids[i])
+			if !(a == v && b == w) && !(a == w && b == v) {
+				t.Fatalf("edge %d endpoints (%d,%d) do not match incidence %d-%d", eids[i], a, b, v, w)
+			}
+			if a >= b {
+				t.Fatalf("edge %d endpoints not ordered: (%d,%d)", eids[i], a, b)
+			}
+			seen[eids[i]]++
+		}
+	}
+	if len(seen) != g.NumEdges() {
+		t.Fatalf("saw %d distinct edge ids, want %d", len(seen), g.NumEdges())
+	}
+	for id, n := range seen {
+		if n != 2 {
+			t.Fatalf("edge %d appears in %d incidence lists, want 2", id, n)
+		}
+	}
+}
+
+func TestMaxDegree(t *testing.T) {
+	g := buildPath(t)
+	if g.MaxDegree() != 2 {
+		t.Errorf("MaxDegree = %d, want 2", g.MaxDegree())
+	}
+	empty := NewBuilder().MustBuild()
+	if empty.MaxDegree() != 0 {
+		t.Error("empty graph MaxDegree should be 0")
+	}
+}
+
+// randomGraph builds a random labelled graph for property tests.
+func randomGraph(rng *rand.Rand, n, labels int, p float64) *Graph {
+	b := NewBuilder()
+	names := make([]string, labels)
+	for i := range names {
+		names[i] = string(rune('a' + i))
+	}
+	for i := 0; i < n; i++ {
+		b.AddNode(names[rng.Intn(labels)])
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				b.AddEdge(NodeID(u), NodeID(v))
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+func TestRandomGraphInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 25; trial++ {
+		g := randomGraph(rng, 2+rng.Intn(40), 1+rng.Intn(5), rng.Float64()*0.5)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Handshake lemma.
+		sum := 0
+		for v := 0; v < g.NumNodes(); v++ {
+			sum += g.Degree(NodeID(v))
+		}
+		if sum != 2*g.NumEdges() {
+			t.Fatalf("trial %d: degree sum %d != 2*edges %d", trial, sum, 2*g.NumEdges())
+		}
+		// Label runs cover adjacency exactly.
+		for v := 0; v < g.NumNodes(); v++ {
+			total := 0
+			var prev Label = -1
+			for _, run := range g.NeighborLabelRuns(NodeID(v)) {
+				if run.Label <= prev {
+					t.Fatalf("trial %d: non-increasing run labels at node %d", trial, v)
+				}
+				prev = run.Label
+				total += len(run.Nodes)
+			}
+			if total != g.Degree(NodeID(v)) {
+				t.Fatalf("trial %d: runs cover %d of %d neighbours", trial, total, g.Degree(NodeID(v)))
+			}
+		}
+	}
+}

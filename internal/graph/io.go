@@ -1,0 +1,91 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The TSV exchange format is line-oriented:
+//
+//	# comment
+//	n <TAB> <label-name> [<TAB> <node-name>]
+//	e <TAB> <u> <TAB> <v>
+//
+// Node IDs are assigned in order of appearance of "n" lines, starting at 0.
+// Edge lines reference those implicit IDs. Blank lines are ignored.
+
+// WriteTSV serializes g in the TSV exchange format.
+func WriteTSV(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# hsgf graph: %d nodes, %d edges, %d labels\n",
+		g.NumNodes(), g.NumEdges(), g.NumLabels())
+	for v := NodeID(0); int(v) < g.NumNodes(); v++ {
+		if name := g.Name(v); name != "" {
+			fmt.Fprintf(bw, "n\t%s\t%s\n", g.Alphabet().Name(g.Label(v)), name)
+		} else {
+			fmt.Fprintf(bw, "n\t%s\n", g.Alphabet().Name(g.Label(v)))
+		}
+	}
+	var err error
+	g.Edges(func(u, v NodeID) bool {
+		_, err = fmt.Fprintf(bw, "e\t%d\t%d\n", u, v)
+		return err == nil
+	})
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadTSV parses a graph in the TSV exchange format.
+func ReadTSV(r io.Reader) (*Graph, error) {
+	b := NewBuilder()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimRight(sc.Text(), "\r\n")
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, "\t")
+		switch fields[0] {
+		case "n":
+			if len(fields) < 2 || len(fields) > 3 {
+				return nil, fmt.Errorf("graph: line %d: malformed node line", lineNo)
+			}
+			name := ""
+			if len(fields) == 3 {
+				name = fields[2]
+			}
+			if _, err := b.AddNamedNode(fields[1], name); err != nil {
+				return nil, fmt.Errorf("graph: line %d: %w", lineNo, err)
+			}
+		case "e":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("graph: line %d: malformed edge line", lineNo)
+			}
+			u, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad node id %q", lineNo, fields[1])
+			}
+			v, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad node id %q", lineNo, fields[2])
+			}
+			if err := b.AddEdge(NodeID(u), NodeID(v)); err != nil {
+				return nil, fmt.Errorf("graph: line %d: %w", lineNo, err)
+			}
+		default:
+			return nil, fmt.Errorf("graph: line %d: unknown record type %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return b.Build()
+}

@@ -1,0 +1,105 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTSVRoundTrip(t *testing.T) {
+	b := NewBuilder()
+	a, _ := b.AddNamedNode("author", "alice")
+	p, _ := b.AddNamedNode("paper", "kdd-2014-17")
+	v, _ := b.AddNode("venue")
+	b.AddEdge(a, p)
+	b.AddEdge(p, v)
+	g := b.MustBuild()
+
+	var buf bytes.Buffer
+	if err := WriteTSV(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadTSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip mismatch: %v vs %v", g2, g)
+	}
+	for i := NodeID(0); int(i) < g.NumNodes(); i++ {
+		if g2.Name(i) != g.Name(i) {
+			t.Errorf("node %d name %q, want %q", i, g2.Name(i), g.Name(i))
+		}
+		if g2.Alphabet().Name(g2.Label(i)) != g.Alphabet().Name(g.Label(i)) {
+			t.Errorf("node %d label mismatch", i)
+		}
+	}
+	if err := g2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTSVRoundTripRandomProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 20, Rand: rand.New(rand.NewSource(3))}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng, 1+rng.Intn(30), 1+rng.Intn(4), rng.Float64()*0.4)
+		var buf bytes.Buffer
+		if err := WriteTSV(&buf, g); err != nil {
+			return false
+		}
+		g2, err := ReadTSV(&buf)
+		if err != nil {
+			return false
+		}
+		if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+			return false
+		}
+		// Edge sets must agree.
+		ok := true
+		g.Edges(func(u, v NodeID) bool {
+			if !g2.HasEdge(u, v) {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok && g2.Validate() == nil
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadTSVErrors(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"unknown record", "x\t0\t1\n"},
+		{"bad node line", "n\n"},
+		{"node line too long", "n\ta\tb\tc\n"},
+		{"bad edge arity", "e\t0\n"},
+		{"bad edge id", "n\ta\nn\ta\ne\tzero\t1\n"},
+		{"bad edge id 2", "n\ta\nn\ta\ne\t0\tone\n"},
+		{"edge to missing node", "n\ta\ne\t0\t5\n"},
+		{"self loop", "n\ta\ne\t0\t0\n"},
+	}
+	for _, tc := range cases {
+		if _, err := ReadTSV(strings.NewReader(tc.in)); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestReadTSVSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# header\n\nn\ta\n\nn\tb\n# mid comment\ne\t0\t1\n"
+	g, err := ReadTSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 2 || g.NumEdges() != 1 {
+		t.Fatalf("got %v, want 2 nodes 1 edge", g)
+	}
+}

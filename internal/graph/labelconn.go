@@ -1,0 +1,69 @@
+package graph
+
+// LabelConnectivity is the label connectivity graph of a heterogeneous
+// network (paper §3, Figure 1A): all nodes sharing a label are aggregated
+// into one super-node, and two labels are connected iff the network contains
+// at least one edge between nodes of those labels. The connectivity graph
+// has a self loop at label l iff the network contains an edge between two
+// nodes that both carry l.
+type LabelConnectivity struct {
+	numLabels int
+	counts    []int // flattened L×L matrix of edge counts, symmetric
+}
+
+// LabelConnectivityOf computes the label connectivity graph of g.
+func LabelConnectivityOf(g *Graph) *LabelConnectivity {
+	k := g.NumLabels()
+	lc := &LabelConnectivity{numLabels: k, counts: make([]int, k*k)}
+	g.Edges(func(u, v NodeID) bool {
+		lu, lv := g.Label(u), g.Label(v)
+		lc.counts[int(lu)*k+int(lv)]++
+		if lu != lv {
+			lc.counts[int(lv)*k+int(lu)]++
+		}
+		return true
+	})
+	return lc
+}
+
+// NumLabels returns the number of labels (super-nodes).
+func (lc *LabelConnectivity) NumLabels() int { return lc.numLabels }
+
+// EdgeCount returns the number of network edges between labels a and b
+// (between two a-labelled nodes when a == b).
+func (lc *LabelConnectivity) EdgeCount(a, b Label) int {
+	return lc.counts[int(a)*lc.numLabels+int(b)]
+}
+
+// Connected reports whether the connectivity graph has an edge between
+// labels a and b.
+func (lc *LabelConnectivity) Connected(a, b Label) bool {
+	return lc.EdgeCount(a, b) > 0
+}
+
+// HasSelfLoop reports whether any label has a self loop, i.e. whether the
+// network contains an edge between two same-labelled nodes. The paper's
+// encoding-uniqueness bound depends on this property: emax = 5 without
+// loops, emax = 4 with loops (§3.1).
+func (lc *LabelConnectivity) HasSelfLoop() bool {
+	for l := 0; l < lc.numLabels; l++ {
+		if lc.counts[l*lc.numLabels+l] > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// NumConnections returns the number of distinct label pairs (including self
+// loops) that are connected.
+func (lc *LabelConnectivity) NumConnections() int {
+	n := 0
+	for a := 0; a < lc.numLabels; a++ {
+		for b := a; b < lc.numLabels; b++ {
+			if lc.counts[a*lc.numLabels+b] > 0 {
+				n++
+			}
+		}
+	}
+	return n
+}

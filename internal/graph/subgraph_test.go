@@ -1,0 +1,189 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestInduced(t *testing.T) {
+	// Triangle a-b-c plus pendant d attached to c.
+	b := NewBuilder()
+	a, _ := b.AddNode("x")
+	bb, _ := b.AddNode("y")
+	c, _ := b.AddNode("x")
+	d, _ := b.AddNode("z")
+	b.AddEdge(a, bb)
+	b.AddEdge(bb, c)
+	b.AddEdge(a, c)
+	b.AddEdge(c, d)
+	g := b.MustBuild()
+
+	sub, orig := Induced(g, []NodeID{a, bb, c})
+	if sub.NumNodes() != 3 || sub.NumEdges() != 3 {
+		t.Fatalf("induced triangle = %d nodes %d edges, want 3/3", sub.NumNodes(), sub.NumEdges())
+	}
+	if len(orig) != 3 {
+		t.Fatalf("mapping length %d, want 3", len(orig))
+	}
+	for i, ov := range orig {
+		if sub.Label(NodeID(i)) != g.Label(ov) {
+			t.Errorf("label mismatch at induced node %d", i)
+		}
+	}
+	if err := sub.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Duplicates collapse.
+	sub2, _ := Induced(g, []NodeID{a, a, bb, bb})
+	if sub2.NumNodes() != 2 || sub2.NumEdges() != 1 {
+		t.Errorf("induced with duplicates = %d/%d, want 2/1", sub2.NumNodes(), sub2.NumEdges())
+	}
+}
+
+func TestKHop(t *testing.T) {
+	// Path 0-1-2-3-4.
+	b := NewBuilder()
+	for i := 0; i < 5; i++ {
+		b.AddNode("a")
+	}
+	for i := 0; i < 4; i++ {
+		b.AddEdge(NodeID(i), NodeID(i+1))
+	}
+	g := b.MustBuild()
+
+	for _, tc := range []struct {
+		k    int
+		want int
+	}{{-1, 0}, {0, 1}, {1, 2}, {2, 3}, {4, 5}, {10, 5}} {
+		got := KHop(g, 0, tc.k)
+		if len(got) != tc.want {
+			t.Errorf("KHop(0,%d) = %d nodes, want %d", tc.k, len(got), tc.want)
+		}
+	}
+	// From the middle, 1 hop reaches 3 nodes.
+	if got := KHop(g, 2, 1); len(got) != 3 {
+		t.Errorf("KHop(2,1) = %d nodes, want 3", len(got))
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	b := NewBuilder()
+	for i := 0; i < 7; i++ {
+		b.AddNode("a")
+	}
+	// Component {0,1,2}, component {3,4}, isolates 5, 6.
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(3, 4)
+	g := b.MustBuild()
+	comps := ConnectedComponents(g)
+	if len(comps) != 4 {
+		t.Fatalf("got %d components, want 4", len(comps))
+	}
+	if len(comps[0]) != 3 || len(comps[1]) != 2 {
+		t.Errorf("component sizes = %d,%d, want 3,2", len(comps[0]), len(comps[1]))
+	}
+	total := 0
+	for _, c := range comps {
+		total += len(c)
+	}
+	if total != 7 {
+		t.Errorf("components cover %d nodes, want 7", total)
+	}
+}
+
+func TestDegreePercentile(t *testing.T) {
+	// Star: hub degree 9, nine leaves degree 1.
+	b := NewBuilder()
+	hub, _ := b.AddNode("h")
+	for i := 0; i < 9; i++ {
+		leaf, _ := b.AddNode("l")
+		b.AddEdge(hub, leaf)
+	}
+	g := b.MustBuild()
+
+	if d := DegreePercentile(g, 0.90); d != 1 {
+		t.Errorf("p90 = %d, want 1", d)
+	}
+	if d := DegreePercentile(g, 1.0); d != 9 {
+		t.Errorf("p100 = %d, want 9", d)
+	}
+	if d := DegreePercentile(g, 0.0); d != 1 {
+		t.Errorf("p0 = %d, want 1 (min degree)", d)
+	}
+	empty := NewBuilder().MustBuild()
+	if d := DegreePercentile(empty, 0.5); d != 0 {
+		t.Errorf("empty p50 = %d, want 0", d)
+	}
+}
+
+func TestDegreePercentileMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := randomGraph(rng, 60, 3, 0.1)
+	prev := -1
+	for p := 0.1; p <= 1.0; p += 0.1 {
+		d := DegreePercentile(g, p)
+		if d < prev {
+			t.Fatalf("percentile not monotone at p=%.1f: %d < %d", p, d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestLabelConnectivity(t *testing.T) {
+	// Publication micro-network from Figure 1A: institutions I, authors A,
+	// papers P, with I-A, A-P and P-P (citation) edges.
+	b := NewBuilderWithAlphabet(MustAlphabet("I", "A", "P"))
+	i1, _ := b.AddNode("I")
+	a1, _ := b.AddNode("A")
+	a2, _ := b.AddNode("A")
+	p1, _ := b.AddNode("P")
+	p2, _ := b.AddNode("P")
+	b.AddEdge(i1, a1)
+	b.AddEdge(i1, a2)
+	b.AddEdge(a1, p1)
+	b.AddEdge(a2, p1)
+	b.AddEdge(p1, p2)
+	g := b.MustBuild()
+
+	lc := LabelConnectivityOf(g)
+	I, A, P := Label(0), Label(1), Label(2)
+	if !lc.Connected(I, A) || !lc.Connected(A, I) {
+		t.Error("I-A must be connected")
+	}
+	if !lc.Connected(A, P) {
+		t.Error("A-P must be connected")
+	}
+	if lc.Connected(I, P) {
+		t.Error("I-P must not be connected")
+	}
+	if !lc.Connected(P, P) {
+		t.Error("P-P self loop expected (citations)")
+	}
+	if !lc.HasSelfLoop() {
+		t.Error("HasSelfLoop should be true")
+	}
+	if lc.EdgeCount(I, A) != 2 {
+		t.Errorf("EdgeCount(I,A) = %d, want 2", lc.EdgeCount(I, A))
+	}
+	if lc.EdgeCount(P, P) != 1 {
+		t.Errorf("EdgeCount(P,P) = %d, want 1", lc.EdgeCount(P, P))
+	}
+	if lc.NumConnections() != 3 {
+		t.Errorf("NumConnections = %d, want 3 (I-A, A-P, P-P)", lc.NumConnections())
+	}
+	if lc.NumLabels() != 3 {
+		t.Errorf("NumLabels = %d, want 3", lc.NumLabels())
+	}
+
+	// A star network (IMDB-like) has no self loops.
+	b2 := NewBuilderWithAlphabet(MustAlphabet("M", "A"))
+	m, _ := b2.AddNode("M")
+	x, _ := b2.AddNode("A")
+	b2.AddEdge(m, x)
+	lc2 := LabelConnectivityOf(b2.MustBuild())
+	if lc2.HasSelfLoop() {
+		t.Error("star network must have no self loops")
+	}
+}

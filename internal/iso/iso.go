@@ -1,0 +1,271 @@
+// Package iso provides exact isomorphism testing and exhaustive
+// enumeration for small labelled graphs. It is the audit machinery behind
+// the paper's encoding-uniqueness claims (§3.1): the characteristic
+// sequence distinguishes heterogeneous subgraphs up to isomorphism as long
+// as they have at most emax = 5 edges when the label connectivity graph is
+// loop-free, and at most emax = 4 edges otherwise. Package core relies on
+// these bounds; this package re-derives them from first principles by
+// enumerating every non-isomorphic labelled graph and checking encodings
+// pairwise.
+package iso
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// MaxNodes is the largest supported graph size. Subgraphs with e <= 7
+// edges have at most 8 nodes.
+const MaxNodes = 8
+
+// Small is a small undirected labelled graph with adjacency stored as one
+// bitmask row per node. The zero value is the empty graph.
+type Small struct {
+	N      int            // number of nodes
+	Labels [MaxNodes]int8 // Labels[i] is the label of node i
+	Adj    [MaxNodes]byte // Adj[i] has bit j set iff edge i-j exists
+}
+
+// AddNode appends a node with the given label and returns its index.
+func (g *Small) AddNode(label int) int {
+	if g.N >= MaxNodes {
+		panic("iso: graph too large")
+	}
+	g.Labels[g.N] = int8(label)
+	g.N++
+	return g.N - 1
+}
+
+// AddEdge inserts the undirected edge i-j. Self loops are not allowed.
+func (g *Small) AddEdge(i, j int) {
+	if i == j {
+		panic("iso: self loop")
+	}
+	g.Adj[i] |= 1 << uint(j)
+	g.Adj[j] |= 1 << uint(i)
+}
+
+// HasEdge reports whether the edge i-j exists.
+func (g Small) HasEdge(i, j int) bool {
+	return g.Adj[i]&(1<<uint(j)) != 0
+}
+
+// NumEdges returns the number of undirected edges.
+func (g Small) NumEdges() int {
+	n := 0
+	for i := 0; i < g.N; i++ {
+		n += popcount(g.Adj[i])
+	}
+	return n / 2
+}
+
+// Degree returns the degree of node i.
+func (g Small) Degree(i int) int { return popcount(g.Adj[i]) }
+
+func popcount(b byte) int {
+	n := 0
+	for b != 0 {
+		b &= b - 1
+		n++
+	}
+	return n
+}
+
+// Connected reports whether the graph is connected (the empty graph and
+// single nodes count as connected).
+func (g Small) Connected() bool {
+	if g.N <= 1 {
+		return true
+	}
+	var visited byte = 1
+	queue := []int{0}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for w := 0; w < g.N; w++ {
+			bit := byte(1) << uint(w)
+			if g.Adj[v]&bit != 0 && visited&bit == 0 {
+				visited |= bit
+				queue = append(queue, w)
+			}
+		}
+	}
+	return popcount(visited) == g.N
+}
+
+// HasSameLabelEdge reports whether any edge connects two nodes with equal
+// labels — i.e. whether the graph induces a self loop in the label
+// connectivity graph.
+func (g Small) HasSameLabelEdge() bool {
+	for i := 0; i < g.N; i++ {
+		for j := i + 1; j < g.N; j++ {
+			if g.HasEdge(i, j) && g.Labels[i] == g.Labels[j] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// MaxLabel returns the largest label value used (or -1 for the empty
+// graph).
+func (g Small) MaxLabel() int {
+	max := -1
+	for i := 0; i < g.N; i++ {
+		if int(g.Labels[i]) > max {
+			max = int(g.Labels[i])
+		}
+	}
+	return max
+}
+
+// permute returns the graph relabelled by node permutation p: node i of
+// the result corresponds to node p[i] of g.
+func (g Small) permute(p []int) Small {
+	var out Small
+	out.N = g.N
+	for i := 0; i < g.N; i++ {
+		out.Labels[i] = g.Labels[p[i]]
+	}
+	for i := 0; i < g.N; i++ {
+		for j := i + 1; j < g.N; j++ {
+			if g.HasEdge(p[i], p[j]) {
+				out.AddEdge(i, j)
+			}
+		}
+	}
+	return out
+}
+
+// certBytes renders the graph as a fixed comparison certificate: label
+// vector followed by the upper-triangle adjacency bits.
+func (g Small) certBytes() []byte {
+	out := make([]byte, 0, g.N+g.N*g.N/2)
+	for i := 0; i < g.N; i++ {
+		out = append(out, byte(g.Labels[i]))
+	}
+	for i := 0; i < g.N; i++ {
+		for j := i + 1; j < g.N; j++ {
+			if g.HasEdge(i, j) {
+				out = append(out, 1)
+			} else {
+				out = append(out, 0)
+			}
+		}
+	}
+	return out
+}
+
+// Canonical returns a canonical certificate: the lexicographically
+// smallest certBytes over all node permutations. Two labelled graphs are
+// isomorphic iff their canonical certificates are equal.
+func (g Small) Canonical() string {
+	best := ""
+	perm := make([]int, g.N)
+	for i := range perm {
+		perm[i] = i
+	}
+	forEachPermutation(perm, func(p []int) {
+		c := string(g.permute(p).certBytes())
+		if best == "" || c < best {
+			best = c
+		}
+	})
+	return best
+}
+
+// Isomorphic reports whether a and b are isomorphic as labelled graphs:
+// there is an edge-preserving bijection of nodes that also preserves
+// labels.
+func Isomorphic(a, b Small) bool {
+	if a.N != b.N || a.NumEdges() != b.NumEdges() {
+		return false
+	}
+	// Cheap invariant: multiset of (label, degree).
+	inv := func(g Small) string {
+		xs := make([]string, g.N)
+		for i := 0; i < g.N; i++ {
+			xs[i] = fmt.Sprintf("%d:%d", g.Labels[i], g.Degree(i))
+		}
+		sort.Strings(xs)
+		return strings.Join(xs, ",")
+	}
+	if inv(a) != inv(b) {
+		return false
+	}
+	target := string(b.certBytes())
+	found := false
+	perm := make([]int, a.N)
+	for i := range perm {
+		perm[i] = i
+	}
+	forEachPermutation(perm, func(p []int) {
+		if found {
+			return
+		}
+		if string(a.permute(p).certBytes()) == target {
+			found = true
+		}
+	})
+	return found
+}
+
+// forEachPermutation invokes fn with every permutation of p (Heap's
+// algorithm; p is mutated during iteration and restored afterwards only up
+// to permutation).
+func forEachPermutation(p []int, fn func([]int)) {
+	var rec func(k int)
+	rec = func(k int) {
+		if k == 1 {
+			fn(p)
+			return
+		}
+		for i := 0; i < k; i++ {
+			rec(k - 1)
+			if k%2 == 0 {
+				p[i], p[k-1] = p[k-1], p[i]
+			} else {
+				p[0], p[k-1] = p[k-1], p[0]
+			}
+		}
+	}
+	if len(p) == 0 {
+		return
+	}
+	rec(len(p))
+}
+
+// Encoding returns the canonical characteristic sequence of g over k label
+// slots, rendered as a comparison string: per-node rows (label, typed
+// degree counts), sorted descending. This mirrors core.Sequence for the
+// audit without importing the census machinery.
+func Encoding(g Small, k int) string {
+	rows := make([][]int, g.N)
+	for i := 0; i < g.N; i++ {
+		row := make([]int, k+1)
+		row[0] = int(g.Labels[i])
+		for j := 0; j < g.N; j++ {
+			if g.HasEdge(i, j) {
+				row[1+int(g.Labels[j])]++
+			}
+		}
+		rows[i] = row
+	}
+	sort.Slice(rows, func(a, b int) bool {
+		for x := range rows[a] {
+			if rows[a][x] != rows[b][x] {
+				return rows[a][x] > rows[b][x]
+			}
+		}
+		return false
+	})
+	var b strings.Builder
+	for _, row := range rows {
+		for _, v := range row {
+			fmt.Fprintf(&b, "%d,", v)
+		}
+		b.WriteByte(';')
+	}
+	return b.String()
+}

@@ -1,0 +1,66 @@
+package ml
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// KFold splits indices 0..n-1 into k shuffled folds and returns, for
+// each fold, the (train, test) index pair where the fold is the test
+// side. Folds differ in size by at most one element.
+func KFold(n, k int, rng *rand.Rand) ([][2][]int, error) {
+	if k < 2 || k > n {
+		return nil, fmt.Errorf("ml: k-fold needs 2 <= k <= n, got k=%d n=%d", k, n)
+	}
+	perm := rng.Perm(n)
+	folds := make([][]int, k)
+	for i, idx := range perm {
+		folds[i%k] = append(folds[i%k], idx)
+	}
+	out := make([][2][]int, k)
+	for f := 0; f < k; f++ {
+		var train []int
+		for g := 0; g < k; g++ {
+			if g != f {
+				train = append(train, folds[g]...)
+			}
+		}
+		out[f] = [2][]int{train, folds[f]}
+	}
+	return out, nil
+}
+
+// TuneLogRegC selects the inverse regularisation strength for one-vs-rest
+// logistic regression from a grid by k-fold cross-validated Macro F1 on
+// the training data — the paper's "we tune the regularization strength"
+// step (§4.3.3). Ties resolve to the smaller C (stronger
+// regularisation). x should already be standardised.
+func TuneLogRegC(x [][]float64, y []int, grid []float64, folds int, rng *rand.Rand) (float64, error) {
+	if len(grid) == 0 {
+		return 0, fmt.Errorf("ml: empty C grid")
+	}
+	if len(grid) == 1 {
+		return grid[0], nil
+	}
+	splits, err := KFold(len(x), folds, rng)
+	if err != nil {
+		return 0, err
+	}
+	bestC, bestScore := grid[0], -1.0
+	for _, c := range grid {
+		var total float64
+		for _, split := range splits {
+			clf := OneVsRest{C: c, MaxIter: 100}
+			if err := clf.Fit(Rows(x, split[0]), Ints(y, split[0])); err != nil {
+				return 0, err
+			}
+			total += MacroF1(Ints(y, split[1]), clf.Predict(Rows(x, split[1])))
+		}
+		score := total / float64(len(splits))
+		if score > bestScore+1e-12 {
+			bestScore = score
+			bestC = c
+		}
+	}
+	return bestC, nil
+}

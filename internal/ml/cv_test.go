@@ -1,0 +1,99 @@
+package ml
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestKFoldPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	splits, err := KFold(10, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(splits) != 3 {
+		t.Fatalf("folds = %d, want 3", len(splits))
+	}
+	seen := make(map[int]int)
+	for _, s := range splits {
+		train, test := s[0], s[1]
+		if len(train)+len(test) != 10 {
+			t.Fatalf("fold does not cover all samples: %d + %d", len(train), len(test))
+		}
+		inTrain := map[int]bool{}
+		for _, i := range train {
+			inTrain[i] = true
+		}
+		for _, i := range test {
+			if inTrain[i] {
+				t.Fatal("index in both train and test")
+			}
+			seen[i]++
+		}
+	}
+	for i := 0; i < 10; i++ {
+		if seen[i] != 1 {
+			t.Fatalf("index %d appears in %d test folds, want 1", i, seen[i])
+		}
+	}
+}
+
+func TestKFoldValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	if _, err := KFold(5, 1, rng); err == nil {
+		t.Error("k=1 must fail")
+	}
+	if _, err := KFold(3, 4, rng); err == nil {
+		t.Error("k>n must fail")
+	}
+}
+
+func TestTuneLogRegCPrefersGoodC(t *testing.T) {
+	// Noisy high-dimensional data with few samples: extreme C values
+	// (way under- or over-regularised) should lose against a moderate
+	// one often enough that tuning returns a finite sensible choice.
+	rng := rand.New(rand.NewSource(3))
+	n, p := 60, 20
+	x := make([][]float64, n)
+	y := make([]int, n)
+	for i := range x {
+		row := make([]float64, p)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		x[i] = row
+		if row[0]+0.8*rng.NormFloat64() > 0 {
+			y[i] = 1
+		}
+	}
+	grid := []float64{1e-6, 0.1, 1, 10}
+	c, err := TuneLogRegC(x, y, grid, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, g := range grid {
+		if c == g {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("returned C %v not in grid", c)
+	}
+	if c == 1e-6 {
+		t.Errorf("tuning picked the degenerate C=1e-6")
+	}
+}
+
+func TestTuneLogRegCEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x := [][]float64{{1}, {2}, {3}, {4}}
+	y := []int{0, 0, 1, 1}
+	if _, err := TuneLogRegC(x, y, nil, 2, rng); err == nil {
+		t.Error("empty grid must fail")
+	}
+	c, err := TuneLogRegC(x, y, []float64{7}, 2, rng)
+	if err != nil || c != 7 {
+		t.Errorf("singleton grid should return its element: %v, %v", c, err)
+	}
+}

@@ -1,0 +1,41 @@
+package ml_test
+
+import (
+	"fmt"
+
+	"hsgf/internal/ml"
+)
+
+func ExampleNDCG() {
+	// Ground-truth relevances of four institutions and a model's
+	// predicted scores. The model swaps the top two.
+	relevance := []float64{10, 7, 3, 1}
+	predicted := []float64{0.6, 0.9, 0.2, 0.1}
+	fmt.Printf("%.3f\n", ml.NDCG(predicted, relevance, 4))
+	// A perfect ranking scores 1.
+	fmt.Printf("%.3f\n", ml.NDCG(relevance, relevance, 4))
+	// Output:
+	// 0.932
+	// 1.000
+}
+
+func ExampleMacroF1() {
+	truth := []int{0, 0, 1, 1, 2, 2}
+	predicted := []int{0, 0, 1, 1, 2, 1} // one class-2 node missed
+	fmt.Printf("%.2f\n", ml.MacroF1(truth, predicted))
+	// Output:
+	// 0.82
+}
+
+func ExampleSelectKBest() {
+	// Feature 1 carries the signal; feature 0 is constant noise.
+	x := [][]float64{{5, 1}, {5, 2}, {5, 3}, {5, 4}}
+	y := []float64{10, 20, 30, 40}
+	s := ml.SelectKBest{K: 1}
+	if err := s.FitRegression(x, y); err != nil {
+		panic(err)
+	}
+	fmt.Println(s.Support)
+	// Output:
+	// [1]
+}

@@ -1,0 +1,141 @@
+package ml
+
+import (
+	"math"
+	"sort"
+)
+
+// SelectKBest performs univariate feature selection: it scores every
+// feature independently against the target and keeps the k best. The
+// paper applies it with k = 5 for linear regression and decision trees
+// and k = 60 for Bayesian ridge (§4.2.3).
+type SelectKBest struct {
+	K int
+
+	Scores  []float64
+	Support []int // selected column indices, sorted by column
+}
+
+// FitRegression scores features by the F-statistic of the univariate
+// linear regression of y on each feature (the "quick linear model" of the
+// paper's setup).
+func (s *SelectKBest) FitRegression(x [][]float64, y []float64) error {
+	if err := checkXY(x, len(y)); err != nil {
+		return err
+	}
+	n := len(x)
+	p := len(x[0])
+	s.Scores = make([]float64, p)
+	ym := mean(y)
+	var yv float64
+	for _, v := range y {
+		yv += (v - ym) * (v - ym)
+	}
+	for j := 0; j < p; j++ {
+		var xm float64
+		for i := 0; i < n; i++ {
+			xm += x[i][j]
+		}
+		xm /= float64(n)
+		var sxy, sxx float64
+		for i := 0; i < n; i++ {
+			dx := x[i][j] - xm
+			sxy += dx * (y[i] - ym)
+			sxx += dx * dx
+		}
+		if sxx == 0 || yv == 0 {
+			s.Scores[j] = 0
+			continue
+		}
+		r2 := (sxy * sxy) / (sxx * yv)
+		if r2 >= 1 {
+			s.Scores[j] = math.Inf(1)
+			continue
+		}
+		// F = r²/(1-r²) · (n-2).
+		s.Scores[j] = r2 / (1 - r2) * float64(n-2)
+	}
+	s.pick(p)
+	return nil
+}
+
+// FitClassification scores features by the one-way ANOVA F-statistic
+// between classes.
+func (s *SelectKBest) FitClassification(x [][]float64, y []int) error {
+	if err := checkXY(x, len(y)); err != nil {
+		return err
+	}
+	n := len(x)
+	p := len(x[0])
+	classes := 0
+	for _, c := range y {
+		if c+1 > classes {
+			classes = c + 1
+		}
+	}
+	s.Scores = make([]float64, p)
+	counts := make([]float64, classes)
+	for _, c := range y {
+		counts[c]++
+	}
+	for j := 0; j < p; j++ {
+		sums := make([]float64, classes)
+		var total float64
+		for i := 0; i < n; i++ {
+			sums[y[i]] += x[i][j]
+			total += x[i][j]
+		}
+		grand := total / float64(n)
+		var ssb, ssw float64
+		means := make([]float64, classes)
+		for c := 0; c < classes; c++ {
+			if counts[c] > 0 {
+				means[c] = sums[c] / counts[c]
+				d := means[c] - grand
+				ssb += counts[c] * d * d
+			}
+		}
+		for i := 0; i < n; i++ {
+			d := x[i][j] - means[y[i]]
+			ssw += d * d
+		}
+		dfb := float64(classes - 1)
+		dfw := float64(n - classes)
+		if ssw == 0 || dfb == 0 || dfw <= 0 {
+			if ssb > 0 {
+				s.Scores[j] = math.Inf(1)
+			}
+			continue
+		}
+		s.Scores[j] = (ssb / dfb) / (ssw / dfw)
+	}
+	s.pick(p)
+	return nil
+}
+
+func (s *SelectKBest) pick(p int) {
+	k := s.K
+	if k <= 0 || k > p {
+		k = p
+	}
+	order := make([]int, p)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return s.Scores[order[a]] > s.Scores[order[b]] })
+	s.Support = append([]int(nil), order[:k]...)
+	sort.Ints(s.Support)
+}
+
+// Transform projects x onto the selected columns.
+func (s *SelectKBest) Transform(x [][]float64) [][]float64 {
+	out := make([][]float64, len(x))
+	for i, row := range x {
+		r := make([]float64, len(s.Support))
+		for j, col := range s.Support {
+			r[j] = row[col]
+		}
+		out[i] = r
+	}
+	return out
+}

@@ -1,0 +1,213 @@
+package ml
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSelectKBestRegression(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 200
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	// Feature 2 is the signal, the rest is noise.
+	for i := 0; i < n; i++ {
+		row := make([]float64, 6)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		x[i] = row
+		y[i] = 5*row[2] + 0.1*rng.NormFloat64()
+	}
+	s := SelectKBest{K: 1}
+	if err := s.FitRegression(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Support) != 1 || s.Support[0] != 2 {
+		t.Errorf("Support = %v, want [2]", s.Support)
+	}
+	xt := s.Transform(x)
+	if len(xt[0]) != 1 {
+		t.Errorf("transformed width = %d", len(xt[0]))
+	}
+	if xt[0][0] != x[0][2] {
+		t.Error("Transform should project column 2")
+	}
+}
+
+func TestSelectKBestClassification(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var x [][]float64
+	var y []int
+	for c := 0; c < 3; c++ {
+		for i := 0; i < 40; i++ {
+			row := make([]float64, 5)
+			for j := range row {
+				row[j] = rng.NormFloat64()
+			}
+			row[4] += float64(c) * 4 // feature 4 separates classes
+			x = append(x, row)
+			y = append(y, c)
+		}
+	}
+	s := SelectKBest{K: 2}
+	if err := s.FitClassification(x, y); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, j := range s.Support {
+		if j == 4 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Support = %v should include feature 4", s.Support)
+	}
+	if s.Scores[4] <= s.Scores[0] {
+		t.Errorf("signal feature score %v not above noise %v", s.Scores[4], s.Scores[0])
+	}
+}
+
+func TestSelectKBestKLargerThanP(t *testing.T) {
+	x := [][]float64{{1, 2}, {3, 4}, {5, 6}}
+	y := []float64{1, 2, 3}
+	s := SelectKBest{K: 10}
+	if err := s.FitRegression(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Support) != 2 {
+		t.Errorf("Support = %v, want all 2 features", s.Support)
+	}
+}
+
+func TestSelectKBestConstantColumn(t *testing.T) {
+	x := [][]float64{{1, 7}, {2, 7}, {3, 7}, {4, 7}}
+	y := []float64{1, 2, 3, 4}
+	s := SelectKBest{K: 1}
+	if err := s.FitRegression(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if s.Support[0] != 0 {
+		t.Errorf("constant column selected over signal: %v", s.Support)
+	}
+	if s.Scores[1] != 0 {
+		t.Errorf("constant column score = %v, want 0", s.Scores[1])
+	}
+}
+
+func TestStandardScaler(t *testing.T) {
+	x := [][]float64{{1, 10, 5}, {3, 10, 7}, {5, 10, 9}}
+	var s StandardScaler
+	xt, err := s.FitTransform(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Column 0: mean 3, std sqrt(8/3).
+	for j := 0; j < 3; j++ {
+		var m float64
+		for i := range xt {
+			m += xt[i][j]
+		}
+		if m > 1e-9 || m < -1e-9 {
+			t.Errorf("column %d not centered: mean %v", j, m/3)
+		}
+	}
+	// Constant column untouched beyond centering (scale 1).
+	if s.Scale[1] != 1 {
+		t.Errorf("constant column scale = %v, want 1", s.Scale[1])
+	}
+	// Transform of unseen data uses train statistics.
+	x2 := s.Transform([][]float64{{3, 10, 7}})
+	if x2[0][0] != 0 || x2[0][2] != 0 {
+		t.Errorf("mean row should transform to zeros, got %v", x2[0])
+	}
+}
+
+func TestLog1p(t *testing.T) {
+	x := [][]float64{{0, 1}, {2, 3}}
+	got := Log1p(x)
+	if got[0][0] != 0 {
+		t.Error("log1p(0) != 0")
+	}
+	if got[0][1] <= 0.69 || got[0][1] >= 0.70 {
+		t.Errorf("log1p(1) = %v", got[0][1])
+	}
+	// Original untouched.
+	if x[0][1] != 1 {
+		t.Error("Log1p must not mutate input")
+	}
+}
+
+func TestTrainTestSplit(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	train, test, err := TrainTestSplit(10, 0.7, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(train) != 7 || len(test) != 3 {
+		t.Errorf("split sizes %d/%d, want 7/3", len(train), len(test))
+	}
+	seen := map[int]bool{}
+	for _, i := range append(append([]int{}, train...), test...) {
+		if seen[i] {
+			t.Fatalf("index %d appears twice", i)
+		}
+		seen[i] = true
+	}
+	if len(seen) != 10 {
+		t.Error("split must cover all indices")
+	}
+	if _, _, err := TrainTestSplit(1, 0.5, rng); err == nil {
+		t.Error("n=1 must fail")
+	}
+	if _, _, err := TrainTestSplit(10, 0, rng); err == nil {
+		t.Error("trainFrac=0 must fail")
+	}
+	if _, _, err := TrainTestSplit(10, 1, rng); err == nil {
+		t.Error("trainFrac=1 must fail")
+	}
+	// Extreme fractions still leave one sample on each side.
+	tr, te, err := TrainTestSplit(3, 0.01, rng)
+	if err != nil || len(tr) != 1 || len(te) != 2 {
+		t.Errorf("tiny trainFrac split: %d/%d, err %v", len(tr), len(te), err)
+	}
+}
+
+func TestStratifiedSplit(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	y := []int{0, 0, 0, 0, 1, 1, 1, 1, 2, 2}
+	train, test, err := StratifiedSplit(y, 0.5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := func(idx []int, c int) int {
+		n := 0
+		for _, i := range idx {
+			if y[i] == c {
+				n++
+			}
+		}
+		return n
+	}
+	for c := 0; c < 3; c++ {
+		if count(train, c) == 0 || count(test, c) == 0 {
+			t.Errorf("class %d missing from one side", c)
+		}
+	}
+	if len(train)+len(test) != len(y) {
+		t.Error("split must cover all samples")
+	}
+}
+
+func TestGatherHelpers(t *testing.T) {
+	x := [][]float64{{1}, {2}, {3}}
+	if got := Rows(x, []int{2, 0}); got[0][0] != 3 || got[1][0] != 1 {
+		t.Error("Rows")
+	}
+	if got := Vals([]float64{1, 2, 3}, []int{1}); got[0] != 2 {
+		t.Error("Vals")
+	}
+	if got := Ints([]int{4, 5, 6}, []int{2, 2}); got[0] != 6 || got[1] != 6 {
+		t.Error("Ints")
+	}
+}

@@ -1,0 +1,254 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+)
+
+// RandomForestRegressor is a bagging ensemble of CART regression trees.
+// The paper uses 300 trees so that impurity-based feature importances are
+// stable enough for the Figure 4 analysis.
+type RandomForestRegressor struct {
+	NumTrees       int   // default 300 (the paper's setting)
+	MaxDepth       int   // 0 = unlimited
+	MinSamplesLeaf int   // default 1
+	MaxFeatures    int   // 0 = all features (regression default)
+	Seed           int64 // deterministic tree seeds derive from this
+	Workers        int   // parallel tree fitting; 0 = serial
+
+	trees      []*DecisionTreeRegressor
+	Importance []float64 // mean impurity importance over trees
+}
+
+// Fit grows the forest on bootstrap resamples.
+func (m *RandomForestRegressor) Fit(x [][]float64, y []float64) error {
+	if err := checkXY(x, len(y)); err != nil {
+		return err
+	}
+	n := m.NumTrees
+	if n == 0 {
+		n = 300
+	}
+	m.trees = make([]*DecisionTreeRegressor, n)
+	p := len(x[0])
+	m.Importance = make([]float64, p)
+
+	fitOne := func(t int) error {
+		rng := rand.New(rand.NewSource(m.Seed + int64(t)*7919))
+		bx, by := bootstrap(x, y, rng)
+		tree := &DecisionTreeRegressor{
+			MaxDepth:       m.MaxDepth,
+			MinSamplesLeaf: m.MinSamplesLeaf,
+			MaxFeatures:    m.MaxFeatures,
+			Rand:           rng,
+		}
+		if err := tree.Fit(bx, by); err != nil {
+			return err
+		}
+		m.trees[t] = tree
+		return nil
+	}
+
+	if err := forEachTree(n, m.Workers, fitOne); err != nil {
+		return err
+	}
+	for _, tree := range m.trees {
+		for j, v := range tree.Importance {
+			m.Importance[j] += v
+		}
+	}
+	for j := range m.Importance {
+		m.Importance[j] /= float64(n)
+	}
+	return nil
+}
+
+// Predict averages the tree predictions.
+func (m *RandomForestRegressor) Predict(x [][]float64) []float64 {
+	out := make([]float64, len(x))
+	for _, tree := range m.trees {
+		for i, v := range tree.Predict(x) {
+			out[i] += v
+		}
+	}
+	for i := range out {
+		out[i] /= float64(len(m.trees))
+	}
+	return out
+}
+
+// RandomForestClassifier is a bagging ensemble of CART classification
+// trees with sqrt(p) feature subsampling by default.
+type RandomForestClassifier struct {
+	NumTrees       int // default 300
+	MaxDepth       int
+	MinSamplesLeaf int
+	MaxFeatures    int // 0 = round(sqrt(p))
+	Seed           int64
+	Workers        int
+
+	trees      []*DecisionTreeClassifier
+	nClasses   int
+	Importance []float64
+}
+
+// Fit grows the forest; y holds class indices 0..k-1.
+func (m *RandomForestClassifier) Fit(x [][]float64, y []int) error {
+	if err := checkXY(x, len(y)); err != nil {
+		return err
+	}
+	n := m.NumTrees
+	if n == 0 {
+		n = 300
+	}
+	p := len(x[0])
+	maxFeatures := m.MaxFeatures
+	if maxFeatures == 0 {
+		maxFeatures = int(math.Round(math.Sqrt(float64(p))))
+		if maxFeatures < 1 {
+			maxFeatures = 1
+		}
+	}
+	for _, c := range y {
+		if c+1 > m.nClasses {
+			m.nClasses = c + 1
+		}
+	}
+	m.trees = make([]*DecisionTreeClassifier, n)
+	m.Importance = make([]float64, p)
+
+	fitOne := func(t int) error {
+		rng := rand.New(rand.NewSource(m.Seed + int64(t)*7919))
+		bx, by := bootstrapInt(x, y, rng)
+		tree := &DecisionTreeClassifier{
+			MaxDepth:       m.MaxDepth,
+			MinSamplesLeaf: m.MinSamplesLeaf,
+			MaxFeatures:    maxFeatures,
+			Rand:           rng,
+		}
+		if err := tree.Fit(bx, by); err != nil {
+			return err
+		}
+		// Bootstrap may miss classes; align nClasses across trees.
+		tree.nClasses = m.nClasses
+		m.trees[t] = tree
+		return nil
+	}
+	if err := forEachTree(n, m.Workers, fitOne); err != nil {
+		return err
+	}
+	for _, tree := range m.trees {
+		for j, v := range tree.Importance {
+			m.Importance[j] += v
+		}
+	}
+	for j := range m.Importance {
+		m.Importance[j] /= float64(n)
+	}
+	return nil
+}
+
+// PredictProba averages per-tree class distributions.
+func (m *RandomForestClassifier) PredictProba(x [][]float64) [][]float64 {
+	out := make([][]float64, len(x))
+	for i := range out {
+		out[i] = make([]float64, m.nClasses)
+	}
+	for _, tree := range m.trees {
+		for i, row := range x {
+			leaf := tree.root.walk(row)
+			for c, p := range leaf.proba {
+				out[i][c] += p
+			}
+		}
+	}
+	for i := range out {
+		for c := range out[i] {
+			out[i][c] /= float64(len(m.trees))
+		}
+	}
+	return out
+}
+
+// Predict returns the class with the highest averaged probability.
+func (m *RandomForestClassifier) Predict(x [][]float64) []int {
+	probs := m.PredictProba(x)
+	out := make([]int, len(x))
+	for i, p := range probs {
+		best := 0
+		for c := range p {
+			if p[c] > p[best] {
+				best = c
+			}
+		}
+		out[i] = best
+	}
+	return out
+}
+
+func bootstrap(x [][]float64, y []float64, rng *rand.Rand) ([][]float64, []float64) {
+	n := len(x)
+	bx := make([][]float64, n)
+	by := make([]float64, n)
+	for i := 0; i < n; i++ {
+		j := rng.Intn(n)
+		bx[i] = x[j]
+		by[i] = y[j]
+	}
+	return bx, by
+}
+
+func bootstrapInt(x [][]float64, y []int, rng *rand.Rand) ([][]float64, []int) {
+	n := len(x)
+	bx := make([][]float64, n)
+	by := make([]int, n)
+	for i := 0; i < n; i++ {
+		j := rng.Intn(n)
+		bx[i] = x[j]
+		by[i] = y[j]
+	}
+	return bx, by
+}
+
+// forEachTree runs fitOne for tree indices 0..n-1, optionally across
+// workers goroutines. Tree RNGs derive from per-tree seeds, so results are
+// identical regardless of parallelism.
+func forEachTree(n, workers int, fitOne func(int) error) error {
+	if workers <= 1 {
+		for t := 0; t < n; t++ {
+			if err := fitOne(t); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	jobs := make(chan int)
+	errs := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range jobs {
+				if err := fitOne(t); err != nil {
+					select {
+					case errs <- err:
+					default:
+					}
+				}
+			}
+		}()
+	}
+	for t := 0; t < n; t++ {
+		jobs <- t
+	}
+	close(jobs)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return err
+	default:
+		return nil
+	}
+}

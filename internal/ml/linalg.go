@@ -1,0 +1,148 @@
+// Package ml is a from-scratch machine-learning substrate for the
+// evaluation pipelines of the heterogeneous-subgraph-features
+// reproduction: the regressors and classifiers the paper uses (linear
+// regression, Bayesian ridge, decision trees, random forests, logistic
+// regression), univariate feature selection, preprocessing, metrics
+// (NDCG@n, Macro F1) and data splitting. Only the standard library is
+// used.
+//
+// All estimators follow the same contract: Fit consumes a dense row-major
+// design matrix X (rows = samples) and targets, Predict maps rows to
+// outputs. Stochastic estimators take explicit *rand.Rand sources so
+// experiments are reproducible.
+package ml
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNotFitted is returned by Predict when Fit has not succeeded.
+var ErrNotFitted = errors.New("ml: estimator is not fitted")
+
+// checkXY validates design-matrix and target shapes.
+func checkXY(x [][]float64, targets int) error {
+	if len(x) == 0 {
+		return errors.New("ml: empty design matrix")
+	}
+	cols := len(x[0])
+	for i, row := range x {
+		if len(row) != cols {
+			return fmt.Errorf("ml: ragged design matrix: row %d has %d columns, want %d", i, len(row), cols)
+		}
+	}
+	if targets >= 0 && targets != len(x) {
+		return fmt.Errorf("ml: %d rows but %d targets", len(x), targets)
+	}
+	return nil
+}
+
+// dot returns the inner product of two equal-length vectors.
+func dot(a, b []float64) float64 {
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// mean returns the arithmetic mean of xs (0 for empty input).
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range xs {
+		s += v
+	}
+	return s / float64(len(xs))
+}
+
+// variance returns the population variance of xs.
+func variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := mean(xs)
+	var s float64
+	for _, v := range xs {
+		d := v - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// solveSPD solves the symmetric positive-definite system A·x = b in place
+// via Cholesky decomposition, returning an error when A is not (numerically)
+// positive definite. A is row-major n×n and is overwritten.
+func solveSPD(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	// Cholesky: a becomes L (lower triangular).
+	for j := 0; j < n; j++ {
+		d := a[j][j]
+		for k := 0; k < j; k++ {
+			d -= a[j][k] * a[j][k]
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, errors.New("ml: matrix not positive definite")
+		}
+		a[j][j] = math.Sqrt(d)
+		for i := j + 1; i < n; i++ {
+			s := a[i][j]
+			for k := 0; k < j; k++ {
+				s -= a[i][k] * a[j][k]
+			}
+			a[i][j] = s / a[j][j]
+		}
+	}
+	// Forward solve L·y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= a[i][k] * y[k]
+		}
+		y[i] = s / a[i][i]
+	}
+	// Back solve Lᵀ·x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= a[k][i] * x[k]
+		}
+		x[i] = s / a[i][i]
+	}
+	return x, nil
+}
+
+// gram computes Xᵀ·X (+ ridge·I) and Xᵀ·y for centered regression
+// problems.
+func gram(x [][]float64, y []float64, ridge float64) ([][]float64, []float64) {
+	p := len(x[0])
+	a := make([][]float64, p)
+	for i := range a {
+		a[i] = make([]float64, p)
+	}
+	b := make([]float64, p)
+	for r, row := range x {
+		for i := 0; i < p; i++ {
+			vi := row[i]
+			if vi == 0 {
+				continue
+			}
+			b[i] += vi * y[r]
+			for j := i; j < p; j++ {
+				a[i][j] += vi * row[j]
+			}
+		}
+	}
+	for i := 0; i < p; i++ {
+		for j := 0; j < i; j++ {
+			a[i][j] = a[j][i]
+		}
+		a[i][i] += ridge
+	}
+	return a, b
+}

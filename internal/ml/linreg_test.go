@@ -1,0 +1,175 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// synthLinear builds y = w·x + b + noise data.
+func synthLinear(rng *rand.Rand, n, p int, noise float64) ([][]float64, []float64, []float64, float64) {
+	w := make([]float64, p)
+	for j := range w {
+		w[j] = rng.NormFloat64() * 2
+	}
+	b := rng.NormFloat64()
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		row := make([]float64, p)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		x[i] = row
+		y[i] = b + dot(w, row) + noise*rng.NormFloat64()
+	}
+	return x, y, w, b
+}
+
+func TestLinearRegressionRecoversCoefficients(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x, y, w, b := synthLinear(rng, 200, 5, 0)
+	var m LinearRegression
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	for j := range w {
+		if math.Abs(m.Coef[j]-w[j]) > 1e-6 {
+			t.Errorf("coef[%d] = %v, want %v", j, m.Coef[j], w[j])
+		}
+	}
+	if math.Abs(m.Intercept-b) > 1e-6 {
+		t.Errorf("intercept = %v, want %v", m.Intercept, b)
+	}
+	pred := m.Predict(x)
+	if mse := MSE(y, pred); mse > 1e-10 {
+		t.Errorf("MSE = %v on noiseless data", mse)
+	}
+}
+
+func TestLinearRegressionNoisy(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x, y, _, _ := synthLinear(rng, 500, 8, 0.5)
+	var m LinearRegression
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if r2 := R2(y, m.Predict(x)); r2 < 0.9 {
+		t.Errorf("R² = %v, want > 0.9", r2)
+	}
+}
+
+func TestLinearRegressionSingularColumns(t *testing.T) {
+	// Duplicate column makes the Gram matrix singular; the jitter path
+	// must still produce a usable fit.
+	rng := rand.New(rand.NewSource(3))
+	x, y, _, _ := synthLinear(rng, 100, 3, 0)
+	for i := range x {
+		x[i] = append(x[i], x[i][0]) // duplicate first column
+	}
+	var m LinearRegression
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if r2 := R2(y, m.Predict(x)); r2 < 0.999 {
+		t.Errorf("R² = %v on duplicated-column data", r2)
+	}
+}
+
+func TestLinearRegressionValidation(t *testing.T) {
+	var m LinearRegression
+	if err := m.Fit(nil, nil); err == nil {
+		t.Error("empty input must fail")
+	}
+	if err := m.Fit([][]float64{{1, 2}, {1}}, []float64{1, 2}); err == nil {
+		t.Error("ragged input must fail")
+	}
+	if err := m.Fit([][]float64{{1}, {2}}, []float64{1}); err == nil {
+		t.Error("length mismatch must fail")
+	}
+}
+
+func TestRidgeShrinks(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x, y, _, _ := synthLinear(rng, 60, 4, 0.1)
+	var ols LinearRegression
+	if err := ols.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	strong := Ridge{Alpha: 1e6}
+	if err := strong.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	var normOLS, normRidge float64
+	for j := range ols.Coef {
+		normOLS += ols.Coef[j] * ols.Coef[j]
+		normRidge += strong.Coef[j] * strong.Coef[j]
+	}
+	if normRidge >= normOLS {
+		t.Errorf("strong ridge norm %v >= OLS norm %v", normRidge, normOLS)
+	}
+	// Default alpha applies when unset.
+	var def Ridge
+	if err := def.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if r2 := R2(y, def.Predict(x)); r2 < 0.8 {
+		t.Errorf("default ridge R² = %v", r2)
+	}
+}
+
+func TestBayesianRidgeRecovers(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x, y, w, _ := synthLinear(rng, 300, 6, 0.3)
+	var m BayesianRidge
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	for j := range w {
+		if math.Abs(m.Coef[j]-w[j]) > 0.15 {
+			t.Errorf("coef[%d] = %v, want ≈ %v", j, m.Coef[j], w[j])
+		}
+	}
+	if m.Alpha <= 0 || m.Lambda <= 0 {
+		t.Errorf("hyperparameters not learned: alpha=%v lambda=%v", m.Alpha, m.Lambda)
+	}
+	// Learned noise precision should approximate 1/0.3² ≈ 11.
+	if m.Alpha < 5 || m.Alpha > 25 {
+		t.Errorf("alpha = %v, want ≈ 11", m.Alpha)
+	}
+}
+
+func TestBayesianRidgeRegularizesNoise(t *testing.T) {
+	// With many noisy useless features and few samples, Bayesian ridge
+	// should generalise better than OLS.
+	rng := rand.New(rand.NewSource(6))
+	n, p := 40, 30
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		row := make([]float64, p)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		x[i] = row
+		y[i] = 3*row[0] + 0.2*rng.NormFloat64()
+	}
+	var br BayesianRidge
+	if err := br.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	// Held-out evaluation.
+	xt := make([][]float64, 200)
+	yt := make([]float64, 200)
+	for i := range xt {
+		row := make([]float64, p)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		xt[i] = row
+		yt[i] = 3 * row[0]
+	}
+	if r2 := R2(yt, br.Predict(xt)); r2 < 0.8 {
+		t.Errorf("Bayesian ridge held-out R² = %v, want > 0.8", r2)
+	}
+}

@@ -1,0 +1,243 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+)
+
+// LogisticRegression is binary logistic regression with L2 regularisation,
+// fitted by full-batch gradient descent with Armijo backtracking on the
+// penalised negative log-likelihood. The intercept is not penalised.
+//
+// Inputs should be standardised (see StandardScaler); the solver is exact
+// enough for the paper's evaluation protocol, where logistic regression is
+// the shared classifier across all feature families (§4.3.3).
+type LogisticRegression struct {
+	C       float64 // inverse regularisation strength, default 1.0
+	MaxIter int     // default 200
+	Tol     float64 // gradient-norm tolerance, default 1e-5
+
+	Coef      []float64
+	Intercept float64
+}
+
+func sigmoid(z float64) float64 {
+	if z >= 0 {
+		return 1 / (1 + math.Exp(-z))
+	}
+	e := math.Exp(z)
+	return e / (1 + e)
+}
+
+// Fit estimates weights; y must hold 0/1 labels.
+func (m *LogisticRegression) Fit(x [][]float64, y []int) error {
+	if err := checkXY(x, len(y)); err != nil {
+		return err
+	}
+	for _, c := range y {
+		if c != 0 && c != 1 {
+			return fmt.Errorf("ml: binary logistic regression requires 0/1 labels, got %d", c)
+		}
+	}
+	c := m.C
+	if c == 0 {
+		c = 1.0
+	}
+	maxIter := m.MaxIter
+	if maxIter == 0 {
+		maxIter = 200
+	}
+	tol := m.Tol
+	if tol == 0 {
+		tol = 1e-5
+	}
+	n := len(x)
+	p := len(x[0])
+	lambda := 1.0 / (c * float64(n))
+
+	w := make([]float64, p)
+	b := 0.0
+
+	loss := func(w []float64, b float64) float64 {
+		var l float64
+		for i, row := range x {
+			z := b + dot(w, row)
+			// log(1 + exp(-z·s)) with s in {-1, +1}.
+			s := 2*float64(y[i]) - 1
+			m := -z * s
+			if m > 30 {
+				l += m
+			} else {
+				l += math.Log1p(math.Exp(m))
+			}
+		}
+		l /= float64(n)
+		for _, v := range w {
+			l += lambda / 2 * v * v
+		}
+		return l
+	}
+
+	gw := make([]float64, p)
+	step := 1.0
+	cur := loss(w, b)
+	for iter := 0; iter < maxIter; iter++ {
+		for j := range gw {
+			gw[j] = lambda * w[j]
+		}
+		gb := 0.0
+		for i, row := range x {
+			pi := sigmoid(b + dot(w, row))
+			d := (pi - float64(y[i])) / float64(n)
+			gb += d
+			for j, v := range row {
+				if v != 0 {
+					gw[j] += d * v
+				}
+			}
+		}
+		gnorm := gb * gb
+		for _, g := range gw {
+			gnorm += g * g
+		}
+		if math.Sqrt(gnorm) < tol {
+			break
+		}
+		// Backtracking line search (Armijo).
+		step *= 2 // allow recovery after conservative steps
+		var next float64
+		trial := make([]float64, p)
+		var trialB float64
+		for {
+			for j := range w {
+				trial[j] = w[j] - step*gw[j]
+			}
+			trialB = b - step*gb
+			next = loss(trial, trialB)
+			if next <= cur-0.5*step*gnorm || step < 1e-12 {
+				break
+			}
+			step /= 2
+		}
+		copy(w, trial)
+		b = trialB
+		if cur-next < 1e-12 {
+			cur = next
+			break
+		}
+		cur = next
+	}
+	m.Coef = w
+	m.Intercept = b
+	return nil
+}
+
+// PredictProba returns P(y=1 | row) for every row.
+func (m *LogisticRegression) PredictProba(x [][]float64) []float64 {
+	out := make([]float64, len(x))
+	for i, row := range x {
+		out[i] = sigmoid(m.Intercept + dot(m.Coef, row))
+	}
+	return out
+}
+
+// Predict thresholds PredictProba at 0.5.
+func (m *LogisticRegression) Predict(x [][]float64) []int {
+	out := make([]int, len(x))
+	for i, p := range m.PredictProba(x) {
+		if p >= 0.5 {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+// OneVsRest wraps binary logistic regression into a multiclass classifier
+// following the paper's protocol: one classifier per label in a
+// one-vs-all setting, predicting the label with the highest probability
+// score (§4.3.3).
+type OneVsRest struct {
+	C       float64 // passed to each binary model
+	MaxIter int
+	Tol     float64
+
+	models   []*LogisticRegression
+	nClasses int
+}
+
+// Fit trains one binary model per class.
+func (m *OneVsRest) Fit(x [][]float64, y []int) error {
+	if err := checkXY(x, len(y)); err != nil {
+		return err
+	}
+	m.nClasses = 0
+	for _, c := range y {
+		if c < 0 {
+			return fmt.Errorf("ml: negative class %d", c)
+		}
+		if c+1 > m.nClasses {
+			m.nClasses = c + 1
+		}
+	}
+	m.models = make([]*LogisticRegression, m.nClasses)
+	bin := make([]int, len(y))
+	for c := 0; c < m.nClasses; c++ {
+		for i, v := range y {
+			if v == c {
+				bin[i] = 1
+			} else {
+				bin[i] = 0
+			}
+		}
+		lr := &LogisticRegression{C: m.C, MaxIter: m.MaxIter, Tol: m.Tol}
+		if err := lr.Fit(x, bin); err != nil {
+			return err
+		}
+		m.models[c] = lr
+	}
+	return nil
+}
+
+// PredictProba returns the per-class probability scores (not normalised
+// across classes, exactly as in the one-vs-all protocol).
+func (m *OneVsRest) PredictProba(x [][]float64) [][]float64 {
+	out := make([][]float64, len(x))
+	for i := range out {
+		out[i] = make([]float64, m.nClasses)
+	}
+	for c, lr := range m.models {
+		for i, p := range lr.PredictProba(x) {
+			out[i][c] = p
+		}
+	}
+	return out
+}
+
+// Predict selects the class with the highest probability score.
+func (m *OneVsRest) Predict(x [][]float64) []int {
+	probs := m.PredictProba(x)
+	out := make([]int, len(x))
+	for i, p := range probs {
+		best := 0
+		for c := range p {
+			if p[c] > p[best] {
+				best = c
+			}
+		}
+		out[i] = best
+	}
+	return out
+}
+
+// NumClasses returns the number of classes seen during Fit.
+func (m *OneVsRest) NumClasses() int { return m.nClasses }
+
+// Coef returns the weight vector of the binary model for the given
+// class, or nil when the model is unfitted or the class unknown. The
+// weights refer to the (possibly standardised) inputs passed to Fit.
+func (m *OneVsRest) Coef(class int) []float64 {
+	if class < 0 || class >= len(m.models) || m.models[class] == nil {
+		return nil
+	}
+	return m.models[class].Coef
+}

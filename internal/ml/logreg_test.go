@@ -1,0 +1,106 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func blobs2(rng *rand.Rand, n int, sep float64) ([][]float64, []int) {
+	var x [][]float64
+	var y []int
+	for c := 0; c < 2; c++ {
+		for i := 0; i < n; i++ {
+			x = append(x, []float64{float64(c)*sep + rng.NormFloat64(), rng.NormFloat64()})
+			y = append(y, c)
+		}
+	}
+	return x, y
+}
+
+func TestLogisticRegressionSeparable(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x, y := blobs2(rng, 100, 6)
+	var m LogisticRegression
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if acc := Accuracy(y, m.Predict(x)); acc < 0.98 {
+		t.Errorf("accuracy = %v", acc)
+	}
+	probs := m.PredictProba(x)
+	for _, p := range probs {
+		if p < 0 || p > 1 || math.IsNaN(p) {
+			t.Fatalf("probability %v out of range", p)
+		}
+	}
+	// The separating direction is the first axis.
+	if math.Abs(m.Coef[0]) < math.Abs(m.Coef[1]) {
+		t.Errorf("coef = %v: first feature should dominate", m.Coef)
+	}
+}
+
+func TestLogisticRegressionRejectsBadLabels(t *testing.T) {
+	var m LogisticRegression
+	if err := m.Fit([][]float64{{1}, {2}}, []int{0, 2}); err == nil {
+		t.Error("labels outside {0,1} must be rejected")
+	}
+}
+
+func TestLogisticRegressionRegularization(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x, y := blobs2(rng, 50, 8)
+	weak := LogisticRegression{C: 100}
+	strong := LogisticRegression{C: 0.001}
+	if err := weak.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := strong.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	var nw, ns float64
+	for j := range weak.Coef {
+		nw += weak.Coef[j] * weak.Coef[j]
+		ns += strong.Coef[j] * strong.Coef[j]
+	}
+	if ns >= nw {
+		t.Errorf("stronger regularisation should shrink weights: %v vs %v", ns, nw)
+	}
+}
+
+func TestOneVsRestThreeClasses(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var x [][]float64
+	var y []int
+	centers := [][2]float64{{0, 0}, {6, 0}, {0, 6}}
+	for c, ctr := range centers {
+		for i := 0; i < 50; i++ {
+			x = append(x, []float64{ctr[0] + rng.NormFloat64(), ctr[1] + rng.NormFloat64()})
+			y = append(y, c)
+		}
+	}
+	var m OneVsRest
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if m.NumClasses() != 3 {
+		t.Fatalf("NumClasses = %d, want 3", m.NumClasses())
+	}
+	if acc := Accuracy(y, m.Predict(x)); acc < 0.95 {
+		t.Errorf("accuracy = %v", acc)
+	}
+	probs := m.PredictProba(x)
+	if len(probs[0]) != 3 {
+		t.Fatalf("probs width = %d", len(probs[0]))
+	}
+	if f1 := MacroF1(y, m.Predict(x)); f1 < 0.95 {
+		t.Errorf("macro F1 = %v", f1)
+	}
+}
+
+func TestOneVsRestRejectsNegativeClass(t *testing.T) {
+	var m OneVsRest
+	if err := m.Fit([][]float64{{1}, {2}}, []int{0, -1}); err == nil {
+		t.Error("negative class must be rejected")
+	}
+}

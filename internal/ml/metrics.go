@@ -1,0 +1,165 @@
+package ml
+
+import (
+	"math"
+	"sort"
+)
+
+// NDCG computes the normalised discounted cumulative gain at the top n of
+// a predicted ranking against ground-truth relevance scores, following
+// the paper's formulation (Eq. 6): items are ranked by predicted score,
+// the DCG of their true relevances is divided by the ideal DCG of the
+// true ranking. Scores lie in [0, 1]; 1 is a perfect ranking.
+//
+// predicted and relevance are aligned by item index.
+func NDCG(predicted, relevance []float64, n int) float64 {
+	if len(predicted) != len(relevance) || len(predicted) == 0 {
+		return 0
+	}
+	if n <= 0 || n > len(predicted) {
+		n = len(predicted)
+	}
+	// Rank items by predicted score, descending (stable for ties).
+	byPred := argsortDesc(predicted)
+	byTrue := argsortDesc(relevance)
+
+	var dcg, idcg float64
+	for i := 0; i < n; i++ {
+		dcg += relevance[byPred[i]] / math.Log2(float64(i)+2)
+		idcg += relevance[byTrue[i]] / math.Log2(float64(i)+2)
+	}
+	if idcg == 0 {
+		return 0
+	}
+	return dcg / idcg
+}
+
+func argsortDesc(xs []float64) []int {
+	order := make([]int, len(xs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return xs[order[a]] > xs[order[b]] })
+	return order
+}
+
+// MacroF1 computes the macro-averaged F1 score over classes: the
+// unweighted mean of per-class F1 scores, the metric of the paper's label
+// prediction evaluation (Eq. 7). Classes absent from both truth and
+// prediction are ignored.
+func MacroF1(truth, predicted []int) float64 {
+	if len(truth) != len(predicted) || len(truth) == 0 {
+		return 0
+	}
+	classes := 0
+	for i := range truth {
+		if truth[i]+1 > classes {
+			classes = truth[i] + 1
+		}
+		if predicted[i]+1 > classes {
+			classes = predicted[i] + 1
+		}
+	}
+	tp := make([]float64, classes)
+	fp := make([]float64, classes)
+	fn := make([]float64, classes)
+	for i := range truth {
+		if truth[i] == predicted[i] {
+			tp[truth[i]]++
+		} else {
+			fp[predicted[i]]++
+			fn[truth[i]]++
+		}
+	}
+	var sum float64
+	active := 0
+	for c := 0; c < classes; c++ {
+		if tp[c]+fp[c]+fn[c] == 0 {
+			continue
+		}
+		active++
+		denom := 2*tp[c] + fp[c] + fn[c]
+		if denom > 0 {
+			sum += 2 * tp[c] / denom
+		}
+	}
+	if active == 0 {
+		return 0
+	}
+	return sum / float64(active)
+}
+
+// Accuracy is the fraction of exact matches.
+func Accuracy(truth, predicted []int) float64 {
+	if len(truth) != len(predicted) || len(truth) == 0 {
+		return 0
+	}
+	hits := 0
+	for i := range truth {
+		if truth[i] == predicted[i] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(truth))
+}
+
+// MSE is the mean squared error.
+func MSE(truth, predicted []float64) float64 {
+	if len(truth) != len(predicted) || len(truth) == 0 {
+		return 0
+	}
+	var s float64
+	for i := range truth {
+		d := truth[i] - predicted[i]
+		s += d * d
+	}
+	return s / float64(len(truth))
+}
+
+// R2 is the coefficient of determination.
+func R2(truth, predicted []float64) float64 {
+	if len(truth) != len(predicted) || len(truth) == 0 {
+		return 0
+	}
+	tv := variance(truth) * float64(len(truth))
+	if tv == 0 {
+		return 0
+	}
+	return 1 - MSE(truth, predicted)*float64(len(truth))/tv
+}
+
+// MeanStd returns the mean and (population) standard deviation of xs.
+func MeanStd(xs []float64) (float64, float64) {
+	return mean(xs), math.Sqrt(variance(xs))
+}
+
+// ConfidenceInterval95 returns the half-width of the normal-approximation
+// 95% confidence interval for the mean of xs.
+func ConfidenceInterval95(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	_, sd := MeanStd(xs)
+	return 1.96 * sd / math.Sqrt(float64(len(xs)))
+}
+
+// Percentile returns the q-th percentile (0..1) of xs using the
+// nearest-rank method on a sorted copy.
+func Percentile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return sorted[idx]
+}

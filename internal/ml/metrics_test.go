@@ -1,0 +1,158 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNDCGPerfectRanking(t *testing.T) {
+	rel := []float64{10, 8, 5, 3, 1}
+	pred := []float64{100, 90, 50, 20, 5} // same order as rel
+	if got := NDCG(pred, rel, 5); math.Abs(got-1) > 1e-12 {
+		t.Errorf("perfect ranking NDCG = %v, want 1", got)
+	}
+}
+
+func TestNDCGWorstVsBest(t *testing.T) {
+	rel := []float64{10, 0, 0, 0, 0}
+	best := []float64{5, 4, 3, 2, 1}
+	worst := []float64{1, 2, 3, 4, 5}
+	nb := NDCG(best, rel, 5)
+	nw := NDCG(worst, rel, 5)
+	if nb != 1 {
+		t.Errorf("best NDCG = %v", nb)
+	}
+	// Placing the single relevant item last: DCG = 10/log2(6).
+	want := (10 / math.Log2(6)) / 10
+	if math.Abs(nw-want) > 1e-12 {
+		t.Errorf("worst NDCG = %v, want %v", nw, want)
+	}
+}
+
+func TestNDCGTopN(t *testing.T) {
+	rel := []float64{3, 2, 1, 0}
+	pred := []float64{1, 2, 3, 4} // reversed ranking
+	full := NDCG(pred, rel, 4)
+	top2 := NDCG(pred, rel, 2)
+	if top2 >= full {
+		t.Errorf("reversed ranking should look worse at top-2: %v vs %v", top2, full)
+	}
+	// n out of range clamps.
+	if NDCG(pred, rel, 100) != full {
+		t.Error("overlong n should clamp to len")
+	}
+	if NDCG(pred, rel, 0) != full {
+		t.Error("n=0 should mean full length")
+	}
+}
+
+func TestNDCGDegenerate(t *testing.T) {
+	if NDCG(nil, nil, 5) != 0 {
+		t.Error("empty input should score 0")
+	}
+	if NDCG([]float64{1}, []float64{1, 2}, 1) != 0 {
+		t.Error("mismatched lengths should score 0")
+	}
+	if NDCG([]float64{1, 2}, []float64{0, 0}, 2) != 0 {
+		t.Error("all-zero relevance should score 0")
+	}
+}
+
+func TestNDCGBounds(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		pred := make([]float64, n)
+		rel := make([]float64, n)
+		for i := range pred {
+			pred[i] = rng.Float64()
+			rel[i] = rng.Float64() * 10
+		}
+		v := NDCG(pred, rel, 1+rng.Intn(n))
+		return v >= 0 && v <= 1+1e-12
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMacroF1(t *testing.T) {
+	truth := []int{0, 0, 1, 1, 2, 2}
+	if f1 := MacroF1(truth, truth); f1 != 1 {
+		t.Errorf("perfect F1 = %v", f1)
+	}
+	// All predictions class 0: class 0 has P=2/6, R=1 -> F1=0.5;
+	// classes 1, 2 have F1=0 -> macro = 0.5/3.
+	pred := []int{0, 0, 0, 0, 0, 0}
+	want := (2.0 * (2.0 / 6.0) * 1.0 / ((2.0 / 6.0) + 1.0)) / 3.0
+	if f1 := MacroF1(truth, pred); math.Abs(f1-want) > 1e-12 {
+		t.Errorf("degenerate F1 = %v, want %v", f1, want)
+	}
+	if MacroF1(nil, nil) != 0 {
+		t.Error("empty input F1")
+	}
+	if MacroF1([]int{0}, []int{0, 1}) != 0 {
+		t.Error("length mismatch F1")
+	}
+}
+
+func TestMacroF1PenalizesMinorityErrors(t *testing.T) {
+	// Macro averaging weights classes equally, so failing a small class
+	// costs a full share.
+	truth := []int{0, 0, 0, 0, 0, 0, 0, 0, 1, 1}
+	allZero := []int{0, 0, 0, 0, 0, 0, 0, 0, 0, 0}
+	balanced := []int{0, 0, 0, 0, 0, 0, 0, 1, 1, 1}
+	if MacroF1(truth, allZero) >= MacroF1(truth, balanced) {
+		t.Error("macro F1 should reward getting the minority class right")
+	}
+}
+
+func TestAccuracyMSER2(t *testing.T) {
+	if Accuracy([]int{1, 2, 3}, []int{1, 2, 4}) != 2.0/3.0 {
+		t.Error("accuracy")
+	}
+	if MSE([]float64{1, 2}, []float64{1, 4}) != 2 {
+		t.Error("mse")
+	}
+	if R2([]float64{1, 2, 3}, []float64{1, 2, 3}) != 1 {
+		t.Error("perfect R²")
+	}
+	// Predicting the mean gives R² = 0.
+	if r := R2([]float64{1, 2, 3}, []float64{2, 2, 2}); math.Abs(r) > 1e-12 {
+		t.Errorf("mean-prediction R² = %v", r)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	cases := []struct {
+		q    float64
+		want float64
+	}{{0, 1}, {0.2, 1}, {0.4, 2}, {0.8, 4}, {1, 5}, {1.5, 5}}
+	for _, tc := range cases {
+		if got := Percentile(xs, tc.q); got != tc.want {
+			t.Errorf("Percentile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if Percentile(nil, 0.5) != 0 {
+		t.Error("empty percentile")
+	}
+}
+
+func TestMeanStdAndCI(t *testing.T) {
+	m, sd := MeanStd([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if m != 5 || sd != 2 {
+		t.Errorf("MeanStd = %v, %v, want 5, 2", m, sd)
+	}
+	if ConfidenceInterval95([]float64{1}) != 0 {
+		t.Error("CI of singleton should be 0")
+	}
+	ci := ConfidenceInterval95([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	want := 1.96 * 2 / math.Sqrt(8)
+	if math.Abs(ci-want) > 1e-12 {
+		t.Errorf("CI = %v, want %v", ci, want)
+	}
+}

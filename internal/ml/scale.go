@@ -1,0 +1,77 @@
+package ml
+
+import "math"
+
+// StandardScaler standardises features to zero mean and unit variance.
+// Constant columns are left centered with scale 1.
+type StandardScaler struct {
+	Mean  []float64
+	Scale []float64
+}
+
+// Fit learns per-column means and standard deviations.
+func (s *StandardScaler) Fit(x [][]float64) error {
+	if err := checkXY(x, -1); err != nil {
+		return err
+	}
+	n := float64(len(x))
+	p := len(x[0])
+	s.Mean = make([]float64, p)
+	s.Scale = make([]float64, p)
+	for _, row := range x {
+		for j, v := range row {
+			s.Mean[j] += v
+		}
+	}
+	for j := range s.Mean {
+		s.Mean[j] /= n
+	}
+	for _, row := range x {
+		for j, v := range row {
+			d := v - s.Mean[j]
+			s.Scale[j] += d * d
+		}
+	}
+	for j := range s.Scale {
+		s.Scale[j] = math.Sqrt(s.Scale[j] / n)
+		if s.Scale[j] == 0 {
+			s.Scale[j] = 1
+		}
+	}
+	return nil
+}
+
+// Transform returns standardised copies of the rows.
+func (s *StandardScaler) Transform(x [][]float64) [][]float64 {
+	out := make([][]float64, len(x))
+	for i, row := range x {
+		r := make([]float64, len(row))
+		for j, v := range row {
+			r[j] = (v - s.Mean[j]) / s.Scale[j]
+		}
+		out[i] = r
+	}
+	return out
+}
+
+// FitTransform fits the scaler and transforms x in one step.
+func (s *StandardScaler) FitTransform(x [][]float64) ([][]float64, error) {
+	if err := s.Fit(x); err != nil {
+		return nil, err
+	}
+	return s.Transform(x), nil
+}
+
+// Log1p returns a copy of x with log(1+v) applied elementwise — the usual
+// variance-stabilising transform for heavy-tailed subgraph counts.
+func Log1p(x [][]float64) [][]float64 {
+	out := make([][]float64, len(x))
+	for i, row := range x {
+		r := make([]float64, len(row))
+		for j, v := range row {
+			r[j] = math.Log1p(v)
+		}
+		out[i] = r
+	}
+	return out
+}

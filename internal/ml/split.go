@@ -1,0 +1,95 @@
+package ml
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// TrainTestSplit shuffles indices 0..n-1 and splits them so the training
+// portion holds trainFrac of the samples (at least one sample on each
+// side when 0 < trainFrac < 1).
+func TrainTestSplit(n int, trainFrac float64, rng *rand.Rand) (train, test []int, err error) {
+	if n < 2 {
+		return nil, nil, fmt.Errorf("ml: need at least 2 samples to split, got %d", n)
+	}
+	if trainFrac <= 0 || trainFrac >= 1 {
+		return nil, nil, fmt.Errorf("ml: trainFrac must be in (0,1), got %v", trainFrac)
+	}
+	idx := rng.Perm(n)
+	cut := int(trainFrac * float64(n))
+	if cut < 1 {
+		cut = 1
+	}
+	if cut > n-1 {
+		cut = n - 1
+	}
+	return idx[:cut], idx[cut:], nil
+}
+
+// StratifiedSplit splits per class so every class appears on both sides
+// whenever it has at least two samples. y holds class indices.
+func StratifiedSplit(y []int, trainFrac float64, rng *rand.Rand) (train, test []int, err error) {
+	if trainFrac <= 0 || trainFrac >= 1 {
+		return nil, nil, fmt.Errorf("ml: trainFrac must be in (0,1), got %v", trainFrac)
+	}
+	byClass := make(map[int][]int)
+	for i, c := range y {
+		byClass[c] = append(byClass[c], i)
+	}
+	classes := make([]int, 0, len(byClass))
+	for c := range byClass {
+		classes = append(classes, c)
+	}
+	// Deterministic order before shuffling.
+	for i := 1; i < len(classes); i++ {
+		for j := i; j > 0 && classes[j] < classes[j-1]; j-- {
+			classes[j], classes[j-1] = classes[j-1], classes[j]
+		}
+	}
+	for _, c := range classes {
+		members := byClass[c]
+		rng.Shuffle(len(members), func(a, b int) { members[a], members[b] = members[b], members[a] })
+		cut := int(trainFrac * float64(len(members)))
+		if len(members) >= 2 {
+			if cut < 1 {
+				cut = 1
+			}
+			if cut > len(members)-1 {
+				cut = len(members) - 1
+			}
+		}
+		train = append(train, members[:cut]...)
+		test = append(test, members[cut:]...)
+	}
+	if len(train) == 0 || len(test) == 0 {
+		return nil, nil, fmt.Errorf("ml: stratified split produced an empty side")
+	}
+	return train, test, nil
+}
+
+// Rows gathers the rows of x at the given indices.
+func Rows(x [][]float64, idx []int) [][]float64 {
+	out := make([][]float64, len(idx))
+	for i, j := range idx {
+		out[i] = x[j]
+	}
+	return out
+}
+
+// Vals gathers the values of y at the given indices.
+func Vals(y []float64, idx []int) []float64 {
+	out := make([]float64, len(idx))
+	for i, j := range idx {
+		out[i] = y[j]
+	}
+	return out
+}
+
+// Ints gathers the values of y at the given indices.
+func Ints(y []int, idx []int) []int {
+	out := make([]int, len(idx))
+	for i, j := range idx {
+		out[i] = y[j]
+	}
+	return out
+}

@@ -1,0 +1,340 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// treeNode is one node of a CART tree. Leaves have feature == -1.
+type treeNode struct {
+	feature     int
+	threshold   float64
+	left, right *treeNode
+	value       float64   // mean target (regression) / majority class (classification)
+	proba       []float64 // class distribution at the leaf (classification only)
+}
+
+// treeConfig collects the hyperparameters shared by trees and forests.
+type treeConfig struct {
+	maxDepth        int // 0 = unlimited
+	minSamplesLeaf  int
+	minSamplesSplit int
+	maxFeatures     int // 0 = all features
+	rng             *rand.Rand
+}
+
+func (c *treeConfig) normalize() {
+	if c.minSamplesLeaf <= 0 {
+		c.minSamplesLeaf = 1
+	}
+	if c.minSamplesSplit <= 1 {
+		c.minSamplesSplit = 2
+	}
+}
+
+// cart grows a CART tree. classes == 0 selects regression (variance
+// criterion); classes > 0 selects classification over that many classes
+// (Gini criterion), with y holding class indices. importance, if non-nil,
+// accumulates per-feature weighted impurity decreases.
+func cart(x [][]float64, y []float64, idx []int, cfg treeConfig, classes int, depth int, importance []float64, total int) *treeNode {
+	node := &treeNode{feature: -1}
+	if classes > 0 {
+		counts := make([]float64, classes)
+		for _, i := range idx {
+			counts[int(y[i])]++
+		}
+		node.proba = make([]float64, classes)
+		best := 0
+		for c := range counts {
+			node.proba[c] = counts[c] / float64(len(idx))
+			if counts[c] > counts[best] {
+				best = c
+			}
+		}
+		node.value = float64(best)
+	} else {
+		var s float64
+		for _, i := range idx {
+			s += y[i]
+		}
+		node.value = s / float64(len(idx))
+	}
+
+	if len(idx) < cfg.minSamplesSplit || (cfg.maxDepth > 0 && depth >= cfg.maxDepth) {
+		return node
+	}
+	imp := impurity(y, idx, classes)
+	if imp == 0 {
+		return node
+	}
+
+	p := len(x[0])
+	features := make([]int, p)
+	for i := range features {
+		features[i] = i
+	}
+	if cfg.maxFeatures > 0 && cfg.maxFeatures < p && cfg.rng != nil {
+		cfg.rng.Shuffle(p, func(a, b int) { features[a], features[b] = features[b], features[a] })
+		features = features[:cfg.maxFeatures]
+	}
+
+	// Like reference CART implementations, a non-pure node is split even
+	// when the best achievable gain is zero (e.g. the first level of XOR):
+	// children are strictly smaller, so deeper levels can realise the
+	// gain. Termination is guaranteed because both children are non-empty.
+	bestFeature, bestThreshold, bestGain := -1, 0.0, math.Inf(-1)
+	sorted := make([]int, len(idx))
+	for _, f := range features {
+		copy(sorted, idx)
+		sort.Slice(sorted, func(a, b int) bool { return x[sorted[a]][f] < x[sorted[b]][f] })
+		gain, threshold, ok := bestSplit(x, y, sorted, f, classes, imp, cfg.minSamplesLeaf)
+		if ok && gain > bestGain {
+			bestGain, bestFeature, bestThreshold = gain, f, threshold
+		}
+	}
+	if bestFeature < 0 {
+		return node
+	}
+
+	var leftIdx, rightIdx []int
+	for _, i := range idx {
+		if x[i][bestFeature] <= bestThreshold {
+			leftIdx = append(leftIdx, i)
+		} else {
+			rightIdx = append(rightIdx, i)
+		}
+	}
+	if len(leftIdx) == 0 || len(rightIdx) == 0 {
+		return node
+	}
+	if importance != nil {
+		importance[bestFeature] += float64(len(idx)) / float64(total) * bestGain
+	}
+	node.feature = bestFeature
+	node.threshold = bestThreshold
+	node.left = cart(x, y, leftIdx, cfg, classes, depth+1, importance, total)
+	node.right = cart(x, y, rightIdx, cfg, classes, depth+1, importance, total)
+	return node
+}
+
+// impurity is variance (regression) or Gini (classification) of the
+// samples in idx.
+func impurity(y []float64, idx []int, classes int) float64 {
+	if classes == 0 {
+		var s, ss float64
+		for _, i := range idx {
+			s += y[i]
+			ss += y[i] * y[i]
+		}
+		n := float64(len(idx))
+		m := s / n
+		v := ss/n - m*m
+		if v < 0 {
+			v = 0
+		}
+		return v
+	}
+	counts := make([]float64, classes)
+	for _, i := range idx {
+		counts[int(y[i])]++
+	}
+	n := float64(len(idx))
+	g := 1.0
+	for _, c := range counts {
+		f := c / n
+		g -= f * f
+	}
+	return g
+}
+
+// bestSplit scans all split positions of feature f over the pre-sorted
+// sample indices and returns the best impurity gain and threshold.
+func bestSplit(x [][]float64, y []float64, sorted []int, f, classes int, parentImp float64, minLeaf int) (gain, threshold float64, ok bool) {
+	n := len(sorted)
+	gain = math.Inf(-1)
+	if classes == 0 {
+		var totalSum, totalSq float64
+		for _, i := range sorted {
+			totalSum += y[i]
+			totalSq += y[i] * y[i]
+		}
+		var leftSum, leftSq float64
+		for pos := 1; pos < n; pos++ {
+			i := sorted[pos-1]
+			leftSum += y[i]
+			leftSq += y[i] * y[i]
+			if x[sorted[pos-1]][f] == x[sorted[pos]][f] {
+				continue
+			}
+			if pos < minLeaf || n-pos < minLeaf {
+				continue
+			}
+			nl, nr := float64(pos), float64(n-pos)
+			ml := leftSum / nl
+			mr := (totalSum - leftSum) / nr
+			vl := leftSq/nl - ml*ml
+			vr := (totalSq-leftSq)/nr - mr*mr
+			g := parentImp - (nl*math.Max(vl, 0)+nr*math.Max(vr, 0))/float64(n)
+			if g > gain {
+				gain = g
+				threshold = (x[sorted[pos-1]][f] + x[sorted[pos]][f]) / 2
+				ok = true
+			}
+		}
+		return gain, threshold, ok
+	}
+
+	totals := make([]float64, classes)
+	for _, i := range sorted {
+		totals[int(y[i])]++
+	}
+	left := make([]float64, classes)
+	for pos := 1; pos < n; pos++ {
+		left[int(y[sorted[pos-1]])]++
+		if x[sorted[pos-1]][f] == x[sorted[pos]][f] {
+			continue
+		}
+		if pos < minLeaf || n-pos < minLeaf {
+			continue
+		}
+		nl, nr := float64(pos), float64(n-pos)
+		gl, gr := 1.0, 1.0
+		for c := 0; c < classes; c++ {
+			fl := left[c] / nl
+			fr := (totals[c] - left[c]) / nr
+			gl -= fl * fl
+			gr -= fr * fr
+		}
+		g := parentImp - (nl*gl+nr*gr)/float64(n)
+		if g > gain {
+			gain = g
+			threshold = (x[sorted[pos-1]][f] + x[sorted[pos]][f]) / 2
+			ok = true
+		}
+	}
+	return gain, threshold, ok
+}
+
+func (n *treeNode) walk(row []float64) *treeNode {
+	for n.feature >= 0 {
+		if row[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n
+}
+
+// DecisionTreeRegressor is a CART regression tree (variance reduction
+// criterion), the DecTree regressor of the paper's ranking evaluation.
+type DecisionTreeRegressor struct {
+	MaxDepth        int
+	MinSamplesLeaf  int
+	MinSamplesSplit int
+	MaxFeatures     int        // 0 = all
+	Rand            *rand.Rand // used only when MaxFeatures narrows the search
+
+	root       *treeNode
+	Importance []float64 // impurity-based feature importance, sums to <= 1
+}
+
+// Fit grows the tree.
+func (m *DecisionTreeRegressor) Fit(x [][]float64, y []float64) error {
+	if err := checkXY(x, len(y)); err != nil {
+		return err
+	}
+	cfg := treeConfig{maxDepth: m.MaxDepth, minSamplesLeaf: m.MinSamplesLeaf,
+		minSamplesSplit: m.MinSamplesSplit, maxFeatures: m.MaxFeatures, rng: m.Rand}
+	cfg.normalize()
+	idx := make([]int, len(x))
+	for i := range idx {
+		idx[i] = i
+	}
+	m.Importance = make([]float64, len(x[0]))
+	m.root = cart(x, y, idx, cfg, 0, 0, m.Importance, len(x))
+	normalizeImportance(m.Importance)
+	return nil
+}
+
+// Predict returns the mean leaf target for every row.
+func (m *DecisionTreeRegressor) Predict(x [][]float64) []float64 {
+	out := make([]float64, len(x))
+	for i, row := range x {
+		out[i] = m.root.walk(row).value
+	}
+	return out
+}
+
+// DecisionTreeClassifier is a CART classification tree (Gini criterion).
+type DecisionTreeClassifier struct {
+	MaxDepth        int
+	MinSamplesLeaf  int
+	MinSamplesSplit int
+	MaxFeatures     int
+	Rand            *rand.Rand
+
+	root       *treeNode
+	nClasses   int
+	Importance []float64
+}
+
+// Fit grows the tree; y holds class indices 0..k-1.
+func (m *DecisionTreeClassifier) Fit(x [][]float64, y []int) error {
+	if err := checkXY(x, len(y)); err != nil {
+		return err
+	}
+	yf := make([]float64, len(y))
+	classes := 0
+	for i, c := range y {
+		yf[i] = float64(c)
+		if c+1 > classes {
+			classes = c + 1
+		}
+	}
+	m.nClasses = classes
+	cfg := treeConfig{maxDepth: m.MaxDepth, minSamplesLeaf: m.MinSamplesLeaf,
+		minSamplesSplit: m.MinSamplesSplit, maxFeatures: m.MaxFeatures, rng: m.Rand}
+	cfg.normalize()
+	idx := make([]int, len(x))
+	for i := range idx {
+		idx[i] = i
+	}
+	m.Importance = make([]float64, len(x[0]))
+	m.root = cart(x, yf, idx, cfg, classes, 0, m.Importance, len(x))
+	normalizeImportance(m.Importance)
+	return nil
+}
+
+// Predict returns the majority class of the reached leaf for every row.
+func (m *DecisionTreeClassifier) Predict(x [][]float64) []int {
+	out := make([]int, len(x))
+	for i, row := range x {
+		out[i] = int(m.root.walk(row).value)
+	}
+	return out
+}
+
+// PredictProba returns per-class leaf frequencies for every row.
+func (m *DecisionTreeClassifier) PredictProba(x [][]float64) [][]float64 {
+	out := make([][]float64, len(x))
+	for i, row := range x {
+		p := make([]float64, m.nClasses)
+		copy(p, m.root.walk(row).proba)
+		out[i] = p
+	}
+	return out
+}
+
+func normalizeImportance(imp []float64) {
+	var s float64
+	for _, v := range imp {
+		s += v
+	}
+	if s > 0 {
+		for i := range imp {
+			imp[i] /= s
+		}
+	}
+}

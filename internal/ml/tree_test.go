@@ -1,0 +1,244 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDecisionTreeRegressorStepFunction(t *testing.T) {
+	// y = 1 if x0 > 0.5 else 0: one split suffices.
+	x := [][]float64{{0.1}, {0.2}, {0.3}, {0.7}, {0.8}, {0.9}}
+	y := []float64{0, 0, 0, 1, 1, 1}
+	var m DecisionTreeRegressor
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	pred := m.Predict([][]float64{{0.0}, {1.0}})
+	if pred[0] != 0 || pred[1] != 1 {
+		t.Errorf("pred = %v, want [0 1]", pred)
+	}
+	if m.Importance[0] < 0.99 {
+		t.Errorf("importance = %v, want ~1 on the only feature", m.Importance)
+	}
+}
+
+func TestDecisionTreeRegressorXOR(t *testing.T) {
+	// XOR requires depth 2; linear models fail it.
+	x := [][]float64{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+	y := []float64{0, 1, 1, 0}
+	var m DecisionTreeRegressor
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	pred := m.Predict(x)
+	for i := range y {
+		if math.Abs(pred[i]-y[i]) > 1e-9 {
+			t.Errorf("XOR pred[%d] = %v, want %v", i, pred[i], y[i])
+		}
+	}
+}
+
+func TestDecisionTreeMaxDepth(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := make([][]float64, 100)
+	y := make([]float64, 100)
+	for i := range x {
+		x[i] = []float64{rng.Float64()}
+		y[i] = x[i][0] * x[i][0]
+	}
+	shallow := DecisionTreeRegressor{MaxDepth: 1}
+	if err := shallow.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	deep := DecisionTreeRegressor{MaxDepth: 8}
+	if err := deep.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if MSE(y, deep.Predict(x)) >= MSE(y, shallow.Predict(x)) {
+		t.Error("deeper tree should fit training data at least as well")
+	}
+	// Depth-1 tree has exactly one split: at most 2 distinct outputs.
+	vals := map[float64]bool{}
+	for _, p := range shallow.Predict(x) {
+		vals[p] = true
+	}
+	if len(vals) > 2 {
+		t.Errorf("depth-1 tree produced %d distinct outputs", len(vals))
+	}
+}
+
+func TestDecisionTreeMinSamplesLeaf(t *testing.T) {
+	x := [][]float64{{1}, {2}, {3}, {4}}
+	y := []float64{1, 2, 3, 4}
+	m := DecisionTreeRegressor{MinSamplesLeaf: 2}
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	// No leaf may contain fewer than 2 training samples: count leaf
+	// outputs; with 4 samples the tree has at most 2 leaves.
+	vals := map[float64]bool{}
+	for _, p := range m.Predict(x) {
+		vals[p] = true
+	}
+	if len(vals) > 2 {
+		t.Errorf("MinSamplesLeaf=2 with 4 samples: %d leaves", len(vals))
+	}
+}
+
+func TestDecisionTreeClassifier(t *testing.T) {
+	// Three linearly separable blobs.
+	rng := rand.New(rand.NewSource(2))
+	var x [][]float64
+	var y []int
+	centers := [][2]float64{{0, 0}, {5, 5}, {0, 5}}
+	for c, ctr := range centers {
+		for i := 0; i < 30; i++ {
+			x = append(x, []float64{ctr[0] + rng.NormFloat64()*0.3, ctr[1] + rng.NormFloat64()*0.3})
+			y = append(y, c)
+		}
+	}
+	var m DecisionTreeClassifier
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if acc := Accuracy(y, m.Predict(x)); acc < 0.99 {
+		t.Errorf("train accuracy = %v", acc)
+	}
+	probs := m.PredictProba(x)
+	for i, p := range probs {
+		var s float64
+		for _, v := range p {
+			s += v
+		}
+		if math.Abs(s-1) > 1e-9 {
+			t.Fatalf("proba row %d sums to %v", i, s)
+		}
+	}
+}
+
+func TestDecisionTreePureNodeStops(t *testing.T) {
+	x := [][]float64{{1}, {2}, {3}}
+	y := []float64{7, 7, 7}
+	var m DecisionTreeRegressor
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if m.root.feature != -1 {
+		t.Error("pure node should be a leaf")
+	}
+	if p := m.Predict([][]float64{{9}}); p[0] != 7 {
+		t.Errorf("constant prediction = %v, want 7", p[0])
+	}
+}
+
+func TestRandomForestRegressorBeatsSingleTreeOOS(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	gen := func(n int) ([][]float64, []float64) {
+		x := make([][]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = []float64{rng.Float64() * 4, rng.Float64() * 4}
+			y[i] = math.Sin(x[i][0]) + 0.5*x[i][1] + 0.2*rng.NormFloat64()
+		}
+		return x, y
+	}
+	xtr, ytr := gen(200)
+	xte, yte := gen(200)
+
+	forest := RandomForestRegressor{NumTrees: 50, Seed: 1}
+	if err := forest.Fit(xtr, ytr); err != nil {
+		t.Fatal(err)
+	}
+	if r2 := R2(yte, forest.Predict(xte)); r2 < 0.7 {
+		t.Errorf("forest out-of-sample R² = %v", r2)
+	}
+	var s float64
+	for _, v := range forest.Importance {
+		s += v
+	}
+	if math.Abs(s-1) > 1e-6 {
+		t.Errorf("forest importance sums to %v, want 1", s)
+	}
+}
+
+func TestRandomForestDeterministicAcrossWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x := make([][]float64, 80)
+	y := make([]float64, 80)
+	for i := range x {
+		x[i] = []float64{rng.Float64(), rng.Float64()}
+		y[i] = x[i][0] + x[i][1]
+	}
+	serial := RandomForestRegressor{NumTrees: 20, Seed: 9, Workers: 1}
+	parallel := RandomForestRegressor{NumTrees: 20, Seed: 9, Workers: 4}
+	if err := serial.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := parallel.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	ps := serial.Predict(x)
+	pp := parallel.Predict(x)
+	for i := range ps {
+		if ps[i] != pp[i] {
+			t.Fatalf("worker count changed predictions at %d: %v vs %v", i, ps[i], pp[i])
+		}
+	}
+}
+
+func TestRandomForestClassifier(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var x [][]float64
+	var y []int
+	for c := 0; c < 2; c++ {
+		for i := 0; i < 60; i++ {
+			x = append(x, []float64{float64(c)*3 + rng.NormFloat64(), rng.NormFloat64()})
+			y = append(y, c)
+		}
+	}
+	m := RandomForestClassifier{NumTrees: 30, Seed: 2}
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if acc := Accuracy(y, m.Predict(x)); acc < 0.95 {
+		t.Errorf("accuracy = %v", acc)
+	}
+	probs := m.PredictProba(x)
+	if len(probs[0]) != 2 {
+		t.Fatalf("probs width = %d, want 2", len(probs[0]))
+	}
+}
+
+func TestRandomForestClassifierRareClass(t *testing.T) {
+	// A class with a single sample may vanish from bootstrap resamples;
+	// the forest must stay consistent (no panics, aligned probability
+	// widths) and still predict the frequent classes.
+	rng := rand.New(rand.NewSource(6))
+	var x [][]float64
+	var y []int
+	for i := 0; i < 40; i++ {
+		x = append(x, []float64{rng.NormFloat64()})
+		y = append(y, 0)
+	}
+	for i := 0; i < 40; i++ {
+		x = append(x, []float64{6 + rng.NormFloat64()})
+		y = append(y, 1)
+	}
+	x = append(x, []float64{100})
+	y = append(y, 2) // singleton class
+	m := RandomForestClassifier{NumTrees: 25, Seed: 3}
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	probs := m.PredictProba(x)
+	for i, p := range probs {
+		if len(p) != 3 {
+			t.Fatalf("row %d: proba width %d, want 3", i, len(p))
+		}
+	}
+	pred := m.Predict([][]float64{{0}, {6}})
+	if pred[0] != 0 || pred[1] != 1 {
+		t.Errorf("frequent classes mispredicted: %v", pred)
+	}
+}

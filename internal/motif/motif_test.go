@@ -1,0 +1,258 @@
+package motif
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hsgf/internal/graph"
+)
+
+func triangleWithTail(t *testing.T) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilderWithAlphabet(graph.MustAlphabet("x"))
+	for i := 0; i < 4; i++ {
+		b.AddNode("x")
+	}
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(0, 2)
+	b.AddEdge(2, 3)
+	return b.MustBuild()
+}
+
+func TestEnumerateSize2CountsEdges(t *testing.T) {
+	g := triangleWithTail(t)
+	c, err := Enumerate(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Total != int64(g.NumEdges()) {
+		t.Errorf("size-2 census = %d, want %d (one per edge)", c.Total, g.NumEdges())
+	}
+	if len(c.Counts) != 1 {
+		t.Errorf("distinct size-2 classes = %d, want 1 (single label)", len(c.Counts))
+	}
+}
+
+func TestEnumerateSize3TriangleAndPaths(t *testing.T) {
+	// Triangle 0-1-2 with tail 2-3: size-3 connected induced subgraphs:
+	// {0,1,2} triangle, {0,2,3} path, {1,2,3} path => 1 triangle + 2 paths.
+	g := triangleWithTail(t)
+	c, err := Enumerate(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Total != 3 {
+		t.Fatalf("size-3 census = %d, want 3", c.Total)
+	}
+	if len(c.Counts) != 2 {
+		t.Fatalf("distinct classes = %d, want 2 (triangle, path)", len(c.Counts))
+	}
+	var counts []int64
+	for _, n := range c.Counts {
+		counts = append(counts, n)
+	}
+	if !(counts[0] == 1 && counts[1] == 2) && !(counts[0] == 2 && counts[1] == 1) {
+		t.Errorf("class counts = %v, want {1, 2}", counts)
+	}
+}
+
+// bruteForce enumerates size-k connected induced subgraphs by checking
+// all node subsets.
+func bruteForce(g *graph.Graph, k int) int64 {
+	n := g.NumNodes()
+	var count int64
+	var rec func(start int, chosen []graph.NodeID)
+	rec = func(start int, chosen []graph.NodeID) {
+		if len(chosen) == k {
+			if connectedInduced(g, chosen) {
+				count++
+			}
+			return
+		}
+		for v := start; v < n; v++ {
+			rec(v+1, append(chosen, graph.NodeID(v)))
+		}
+	}
+	rec(0, nil)
+	return count
+}
+
+func connectedInduced(g *graph.Graph, nodes []graph.NodeID) bool {
+	if len(nodes) == 0 {
+		return false
+	}
+	visited := map[graph.NodeID]bool{nodes[0]: true}
+	queue := []graph.NodeID{nodes[0]}
+	inSet := map[graph.NodeID]bool{}
+	for _, v := range nodes {
+		inSet[v] = true
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range g.Neighbors(v) {
+			if inSet[u] && !visited[u] {
+				visited[u] = true
+				queue = append(queue, u)
+			}
+		}
+	}
+	return len(visited) == len(nodes)
+}
+
+func TestEnumerateMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 15; trial++ {
+		b := graph.NewBuilderWithAlphabet(graph.MustAlphabet("a", "b"))
+		n := 5 + rng.Intn(6)
+		for i := 0; i < n; i++ {
+			b.AddLabeledNode(graph.Label(rng.Intn(2)))
+		}
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Float64() < 0.35 {
+					b.AddEdge(graph.NodeID(u), graph.NodeID(v))
+				}
+			}
+		}
+		g := b.MustBuild()
+		for k := 2; k <= 4; k++ {
+			c, err := Enumerate(g, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := bruteForce(g, k)
+			if c.Total != want {
+				t.Fatalf("trial %d k=%d: ESU %d != brute force %d", trial, k, c.Total, want)
+			}
+		}
+	}
+}
+
+func TestEnumerateValidation(t *testing.T) {
+	g := triangleWithTail(t)
+	if _, err := Enumerate(g, 1); err == nil {
+		t.Error("k=1 must be rejected")
+	}
+	if _, err := Enumerate(g, MaxSize+1); err == nil {
+		t.Error("oversized k must be rejected")
+	}
+}
+
+func TestRewirePreservesDegreesAndLabels(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	b := graph.NewBuilderWithAlphabet(graph.MustAlphabet("a", "b", "c"))
+	n := 40
+	for i := 0; i < n; i++ {
+		b.AddLabeledNode(graph.Label(rng.Intn(3)))
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < 0.15 {
+				b.AddEdge(graph.NodeID(u), graph.NodeID(v))
+			}
+		}
+	}
+	g := b.MustBuild()
+	rw, err := Rewire(g, 4*g.NumEdges(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rw.NumEdges() != g.NumEdges() || rw.NumNodes() != g.NumNodes() {
+		t.Fatalf("rewire changed sizes: %v vs %v", rw, g)
+	}
+	changed := false
+	for v := 0; v < n; v++ {
+		if rw.Degree(graph.NodeID(v)) != g.Degree(graph.NodeID(v)) {
+			t.Fatalf("degree of %d changed: %d -> %d", v, g.Degree(graph.NodeID(v)), rw.Degree(graph.NodeID(v)))
+		}
+		if rw.Label(graph.NodeID(v)) != g.Label(graph.NodeID(v)) {
+			t.Fatalf("label of %d changed", v)
+		}
+		if !changed {
+			for i, u := range g.Neighbors(graph.NodeID(v)) {
+				if rw.Neighbors(graph.NodeID(v))[i] != u {
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	if !changed {
+		t.Error("rewiring left the network identical; swaps did not apply")
+	}
+	if err := rw.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMotifsFindPlantedMotif(t *testing.T) {
+	// A network of many triangles sharing no edges has far more
+	// triangles than its degree-preserving null model: the triangle
+	// class must get a clearly positive z-score.
+	rng := rand.New(rand.NewSource(7))
+	b := graph.NewBuilderWithAlphabet(graph.MustAlphabet("x"))
+	for tIdx := 0; tIdx < 20; tIdx++ {
+		a, _ := b.AddNode("x")
+		bb, _ := b.AddNode("x")
+		c, _ := b.AddNode("x")
+		b.AddEdge(a, bb)
+		b.AddEdge(bb, c)
+		b.AddEdge(a, c)
+	}
+	// Sprinkle random edges to connect the components.
+	n := 60
+	for i := 0; i < 30; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			b.AddEdge(graph.NodeID(u), graph.NodeID(v))
+		}
+	}
+	g := b.MustBuild()
+
+	sig, err := Motifs(g, 3, 8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sig) == 0 {
+		t.Fatal("no significance results")
+	}
+	// Find the triangle class: 3 nodes, 3 edges.
+	foundTriangle := false
+	for _, s := range sig {
+		if s.Example.N == 3 && s.Example.NumEdges() == 3 {
+			foundTriangle = true
+			if !(s.Z > 1) && !math.IsInf(s.Z, 1) {
+				t.Errorf("triangle z-score = %v, want clearly positive", s.Z)
+			}
+			if s.Real <= int64(s.RandMean) {
+				t.Errorf("triangle count %d not above null mean %v", s.Real, s.RandMean)
+			}
+		}
+	}
+	if !foundTriangle {
+		t.Fatal("triangle class missing from significance output")
+	}
+	// Sorted by |z| descending.
+	for i := 1; i < len(sig); i++ {
+		if math.Abs(sig[i-1].Z) < math.Abs(sig[i].Z) {
+			t.Fatal("results not sorted by |z|")
+		}
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	g := triangleWithTail(t)
+	c, err := Enumerate(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rep := range c.Reps {
+		d := Describe(rep, g.Alphabet())
+		if d == "" || d == "(no edges)" {
+			t.Errorf("bad description %q", d)
+		}
+	}
+}

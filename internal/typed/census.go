@@ -1,0 +1,637 @@
+package typed
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"strings"
+
+	"hsgf/internal/graph"
+)
+
+// The typed encoding generalises the characteristic sequence: a subgraph
+// node's row is (node label, t[0], ..., t[k*m-1]) where slot l*m+c counts
+// subgraph neighbours with node-label slot l reached over incidence code
+// c. Rows are sorted in descending lexicographic order. With m = 1 this
+// is exactly the paper's encoding.
+
+// Sequence is the canonical typed characteristic sequence.
+type Sequence struct {
+	K      int     // node label slots
+	M      int     // incidence types
+	Values []int32 // len = NumNodes * (1 + K*M)
+}
+
+// NumNodes returns the number of encoded nodes.
+func (s Sequence) NumNodes() int {
+	stride := 1 + s.K*s.M
+	if stride == 1 {
+		return 0
+	}
+	return len(s.Values) / stride
+}
+
+// Equal reports whether two sequences encode the same subgraph type.
+func (s Sequence) Equal(o Sequence) bool {
+	if s.K != o.K || s.M != o.M || len(s.Values) != len(o.Values) {
+		return false
+	}
+	for i, v := range s.Values {
+		if v != o.Values[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Sequence) normalize() {
+	stride := 1 + s.K*s.M
+	n := s.NumNodes()
+	rows := make([][]int32, n)
+	for i := 0; i < n; i++ {
+		rows[i] = s.Values[i*stride : (i+1)*stride]
+	}
+	sort.Slice(rows, func(a, b int) bool {
+		for x := range rows[a] {
+			if rows[a][x] != rows[b][x] {
+				return rows[a][x] > rows[b][x]
+			}
+		}
+		return false
+	})
+	out := make([]int32, 0, len(s.Values))
+	for _, r := range rows {
+		out = append(out, r...)
+	}
+	s.Values = out
+}
+
+// String renders the sequence with named labels and incidences, e.g.
+// "paper|author/cites<:2".
+func (s Sequence) String(nodeName func(int) string, incName func(int) string) string {
+	stride := 1 + s.K*s.M
+	var b strings.Builder
+	for n := 0; n < s.NumNodes(); n++ {
+		if n > 0 {
+			b.WriteByte(';')
+		}
+		row := s.Values[n*stride : (n+1)*stride]
+		b.WriteString(nodeName(int(row[0])))
+		b.WriteByte('|')
+		first := true
+		for i, t := range row[1:] {
+			if t == 0 {
+				continue
+			}
+			if !first {
+				b.WriteByte(',')
+			}
+			first = false
+			l := i / s.M
+			c := i % s.M
+			fmt.Fprintf(&b, "%s/%s:%d", nodeName(l), incName(c), t)
+		}
+	}
+	return b.String()
+}
+
+// Options configures typed subgraph extraction; the fields mirror
+// core.Options.
+type Options struct {
+	MaxEdges            int
+	MaxDegree           int // total (in+out) degree cutoff; <= 0 unlimited
+	MaskRootLabel       bool
+	DisableLeafBatching bool
+	// MaxSubgraphsPerRoot, when positive, truncates a root's census once
+	// that many occurrences were counted (mirrors core.Options).
+	MaxSubgraphsPerRoot int64
+}
+
+// Census is the typed per-root subgraph count table.
+type Census struct {
+	Root      graph.NodeID
+	Counts    map[uint64]int64
+	Subgraphs int64
+	// Truncated reports that enumeration hit MaxSubgraphsPerRoot and
+	// Counts is a prefix census.
+	Truncated bool
+}
+
+// Extractor computes typed subgraph features over one typed graph. Safe
+// for concurrent use.
+type Extractor struct {
+	g    *Graph
+	opts Options
+	k    int // node label slots (+1 when masking)
+	m    int // incidence types
+	pows *powerTable
+
+	repr map[uint64]Sequence
+	mu   chan struct{} // 1-slot semaphore guarding repr
+}
+
+// NewExtractor validates opts and returns an extractor for g.
+func NewExtractor(g *Graph, opts Options) (*Extractor, error) {
+	if opts.MaxEdges < 1 {
+		return nil, fmt.Errorf("typed: MaxEdges must be >= 1, got %d", opts.MaxEdges)
+	}
+	if g.NumNodes() > 0 && g.NumLabels() == 0 {
+		return nil, fmt.Errorf("typed: graph has nodes but no node alphabet")
+	}
+	k := g.NumLabels()
+	if opts.MaskRootLabel {
+		k++
+	}
+	m := g.NumIncidenceTypes()
+	if m == 0 {
+		m = 1
+	}
+	return &Extractor{
+		g:    g,
+		opts: opts,
+		k:    k,
+		m:    m,
+		pows: newPowerTable(k, m),
+		repr: make(map[uint64]Sequence),
+		mu:   make(chan struct{}, 1),
+	}, nil
+}
+
+// LabelSlots returns the number of node-label slots in the encoding.
+func (e *Extractor) LabelSlots() int { return e.k }
+
+// IncidenceTypes returns the number of incidence types in the encoding.
+func (e *Extractor) IncidenceTypes() int { return e.m }
+
+// SlotName returns the display name of node-label slot l.
+func (e *Extractor) SlotName(l int) string {
+	if l == e.g.NumLabels() && e.opts.MaskRootLabel {
+		return "*"
+	}
+	return e.g.NodeAlphabet().Name(graph.Label(l))
+}
+
+// Decode returns the canonical sequence behind a census key.
+func (e *Extractor) Decode(key uint64) (Sequence, bool) {
+	e.mu <- struct{}{}
+	s, ok := e.repr[key]
+	<-e.mu
+	return s, ok
+}
+
+// EncodingString renders the sequence behind key for interpretation.
+func (e *Extractor) EncodingString(key uint64) string {
+	s, ok := e.Decode(key)
+	if !ok {
+		return fmt.Sprintf("?%x", key)
+	}
+	return s.String(e.SlotName, func(c int) string { return e.g.IncidenceName(int32(c)) })
+}
+
+// Census extracts the typed census for one root.
+func (e *Extractor) Census(root graph.NodeID) *Census {
+	w := newWorker(e)
+	c := w.census(root)
+	e.mergeRepr(w.repr)
+	return c
+}
+
+// CensusAll extracts censuses for all roots with the given parallelism
+// (<= 0 selects GOMAXPROCS).
+func (e *Extractor) CensusAll(roots []graph.NodeID, workers int) []*Census {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(roots) {
+		workers = len(roots)
+	}
+	out := make([]*Census, len(roots))
+	if len(roots) == 0 {
+		return out
+	}
+	jobs := make(chan int)
+	done := make(chan *worker, workers)
+	for t := 0; t < workers; t++ {
+		go func() {
+			w := newWorker(e)
+			for i := range jobs {
+				out[i] = w.census(roots[i])
+			}
+			done <- w
+		}()
+	}
+	for i := range roots {
+		jobs <- i
+	}
+	close(jobs)
+	for t := 0; t < workers; t++ {
+		e.mergeRepr((<-done).repr)
+	}
+	return out
+}
+
+func (e *Extractor) mergeRepr(local map[uint64]Sequence) {
+	e.mu <- struct{}{}
+	for k, v := range local {
+		if _, ok := e.repr[k]; !ok {
+			e.repr[k] = v
+		}
+	}
+	<-e.mu
+}
+
+// --- rolling hash ---------------------------------------------------
+
+const typedHashSeed = 0x51ed2701fa3c9b15
+
+type powerTable struct {
+	k, m int
+	pow  [][]uint64 // pow[l][i] = base_l^i, i in 0..k*m
+	salt []uint64
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	z := x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func newPowerTable(k, m int) *powerTable {
+	t := &powerTable{k: k, m: m, pow: make([][]uint64, k), salt: make([]uint64, k)}
+	for l := 0; l < k; l++ {
+		base := splitmix64(typedHashSeed+uint64(l)) | 1
+		row := make([]uint64, k*m+1)
+		row[0] = 1
+		for i := 1; i <= k*m; i++ {
+			row[i] = row[i-1] * base
+		}
+		t.pow[l] = row
+		t.salt[l] = splitmix64(typedHashSeed ^ (0x77aa<<32 + uint64(l)))
+	}
+	return t
+}
+
+// term is the raw contribution of one (neighbour label, incidence) unit
+// at a node with label slot nodeLabel.
+func (t *powerTable) term(nodeLabel, neighborLabel, inc int32) uint64 {
+	return t.pow[nodeLabel][1+int(neighborLabel)*t.m+int(inc)]
+}
+
+func (t *powerTable) mix(raw uint64, nodeLabel int32) uint64 {
+	return splitmix64(raw ^ t.salt[nodeLabel])
+}
+
+// hashSequence recomputes the mixed hash of a canonical sequence; used
+// by tests to validate incremental maintenance.
+func (t *powerTable) hashSequence(s Sequence) uint64 {
+	stride := 1 + s.K*s.M
+	var h uint64
+	for n := 0; n < s.NumNodes(); n++ {
+		row := s.Values[n*stride : (n+1)*stride]
+		var raw uint64
+		for i, c := range row[1:] {
+			if c != 0 {
+				raw += uint64(c) * t.pow[row[0]][1+i]
+			}
+		}
+		h += t.mix(raw, row[0])
+	}
+	return h
+}
+
+// --- census worker ---------------------------------------------------
+
+const (
+	stateInSubgraph uint8 = 1 << iota
+	stateBanned
+	stateListed
+)
+
+type cand struct {
+	from, to graph.NodeID
+	inc      int32 // incidence code from the 'from' side
+	id       graph.EdgeID
+}
+
+type seg struct{ lo, hi int }
+
+type worker struct {
+	g    *Graph
+	opts Options
+	k, m int
+	pows *powerTable
+
+	maxEdges int
+	dmax     int
+
+	nodePos   []int32
+	edgeState []uint8
+
+	nodes   []graph.NodeID
+	slabels []int32
+	tv      []int32
+	rv      []uint64
+	hash    uint64
+	edges   int
+
+	ext      []cand
+	segArena [][]seg
+
+	counts    map[uint64]int64
+	repr      map[uint64]Sequence
+	emissions int64
+
+	budget  int64
+	aborted bool
+}
+
+// shouldAbort enforces the per-root budget.
+func (w *worker) shouldAbort() bool {
+	if w.aborted {
+		return true
+	}
+	if w.budget > 0 && w.emissions >= w.budget {
+		w.aborted = true
+		return true
+	}
+	return false
+}
+
+func newWorker(e *Extractor) *worker {
+	w := &worker{
+		g: e.g, opts: e.opts, k: e.k, m: e.m, pows: e.pows,
+		maxEdges: e.opts.MaxEdges, dmax: e.opts.MaxDegree,
+		budget: e.opts.MaxSubgraphsPerRoot,
+	}
+	if w.dmax <= 0 {
+		w.dmax = math.MaxInt
+	}
+	w.nodePos = make([]int32, e.g.NumNodes())
+	for i := range w.nodePos {
+		w.nodePos[i] = -1
+	}
+	w.edgeState = make([]uint8, e.g.NumEdges())
+	maxNodes := w.maxEdges + 1
+	w.nodes = make([]graph.NodeID, 0, maxNodes)
+	w.slabels = make([]int32, 0, maxNodes)
+	w.tv = make([]int32, 0, maxNodes*w.k*w.m)
+	w.rv = make([]uint64, 0, maxNodes)
+	w.repr = make(map[uint64]Sequence)
+	w.segArena = make([][]seg, w.maxEdges+1)
+	for d := range w.segArena {
+		w.segArena[d] = make([]seg, 0, w.maxEdges+2)
+	}
+	return w
+}
+
+func (w *worker) stride() int { return w.k * w.m }
+
+func (w *worker) census(root graph.NodeID) *Census {
+	w.counts = make(map[uint64]int64)
+	w.emissions = 0
+	w.aborted = false
+
+	slot := int32(w.g.Label(root))
+	if w.opts.MaskRootLabel {
+		slot = int32(w.k - 1)
+	}
+	w.nodePos[root] = 0
+	w.nodes = append(w.nodes[:0], root)
+	w.slabels = append(w.slabels[:0], slot)
+	w.tv = w.tv[:0]
+	w.tv = append(w.tv, make([]int32, w.stride())...)
+	w.rv = append(w.rv[:0], 0)
+	w.hash = w.pows.mix(0, slot)
+	w.edges = 0
+
+	w.ext = w.ext[:0]
+	adj := w.g.Neighbors(root)
+	eids := w.g.IncidentEdges(root)
+	incs := w.g.IncidenceCodes(root)
+	for i, to := range adj {
+		w.edgeState[eids[i]] |= stateListed
+		w.ext = append(w.ext, cand{from: root, to: to, inc: incs[i], id: eids[i]})
+	}
+	rootSegs := w.segArena[0][:0]
+	if len(w.ext) > 0 {
+		rootSegs = append(rootSegs, seg{0, len(w.ext)})
+	}
+	w.grow(rootSegs)
+
+	if w.aborted {
+		// Rebuild persistent state wholesale after an early unwind.
+		for i := range w.edgeState {
+			w.edgeState[i] = 0
+		}
+		for _, v := range w.nodes {
+			w.nodePos[v] = -1
+		}
+		w.nodes = w.nodes[:0]
+		w.slabels = w.slabels[:0]
+		w.tv = w.tv[:0]
+		w.rv = w.rv[:0]
+	} else {
+		for _, c := range w.ext {
+			w.edgeState[c.id] &^= stateListed
+		}
+	}
+	w.nodePos[root] = -1
+	w.ext = w.ext[:0]
+	return &Census{Root: root, Counts: w.counts, Subgraphs: w.emissions, Truncated: w.aborted}
+}
+
+func (w *worker) grow(segs []seg) {
+	for si := 0; si < len(segs); si++ {
+		lo, hi := segs[si].lo, segs[si].hi
+		for p := lo; p < hi; p++ {
+			if w.shouldAbort() {
+				return
+			}
+			c := w.ext[p]
+
+			if w.edges+1 == w.maxEdges && !w.opts.DisableLeafBatching {
+				if j := w.leafRun(p, hi); j > p {
+					pa := w.nodePos[c.from]
+					la, lb := w.slabels[pa], int32(w.g.Label(c.to))
+					h := w.hash -
+						w.pows.mix(w.rv[pa], la) +
+						w.pows.mix(w.rv[pa]+w.pows.term(la, lb, c.inc), la) +
+						w.pows.mix(w.pows.term(lb, la, w.g.reverseCode(c.inc)), lb)
+					n := int64(j - p)
+					if _, ok := w.repr[h]; !ok {
+						w.addEdge(c)
+						w.repr[h] = w.sequence()
+						w.removeEdge(c)
+					}
+					w.counts[h] += n
+					w.emissions += n
+					p = j - 1
+					continue
+				}
+			}
+
+			newNode := w.nodePos[c.to] < 0
+			w.addEdge(c)
+			w.count()
+
+			if w.edges < w.maxEdges {
+				extraStart := len(w.ext)
+				if newNode && w.g.Degree(c.to) <= w.dmax {
+					adj := w.g.Neighbors(c.to)
+					eids := w.g.IncidentEdges(c.to)
+					incs := w.g.IncidenceCodes(c.to)
+					for ai, to2 := range adj {
+						if w.edgeState[eids[ai]]&(stateInSubgraph|stateBanned|stateListed) != 0 {
+							continue
+						}
+						w.edgeState[eids[ai]] |= stateListed
+						w.ext = append(w.ext, cand{from: c.to, to: to2, inc: incs[ai], id: eids[ai]})
+					}
+				}
+				child := w.segArena[w.edges][:0]
+				if p+1 < hi {
+					child = append(child, seg{p + 1, hi})
+				}
+				child = append(child, segs[si+1:]...)
+				if extraStart < len(w.ext) {
+					child = append(child, seg{extraStart, len(w.ext)})
+				}
+				w.grow(child)
+				if w.aborted {
+					return
+				}
+				for _, x := range w.ext[extraStart:] {
+					w.edgeState[x.id] &^= stateListed
+				}
+				w.ext = w.ext[:extraStart]
+			}
+
+			w.removeEdge(c)
+			w.edgeState[c.id] |= stateBanned
+		}
+	}
+	for _, s := range segs {
+		for p := s.lo; p < s.hi; p++ {
+			w.edgeState[w.ext[p].id] &^= stateBanned
+		}
+	}
+}
+
+// leafRun extends the batched-leaf run: candidates must share the source
+// node, the attached node's label AND the incidence code for their
+// encodings to coincide.
+func (w *worker) leafRun(p, hi int) int {
+	c := w.ext[p]
+	if w.nodePos[c.to] >= 0 {
+		return p
+	}
+	lb := w.g.Label(c.to)
+	j := p + 1
+	for j < hi {
+		n := w.ext[j]
+		if n.from != c.from || n.inc != c.inc || w.nodePos[n.to] >= 0 || w.g.Label(n.to) != lb {
+			break
+		}
+		j++
+	}
+	return j
+}
+
+func (w *worker) addEdge(c cand) {
+	pa := w.nodePos[c.from]
+	pb := w.nodePos[c.to]
+	fresh := pb < 0
+	if fresh {
+		pb = int32(len(w.nodes))
+		w.nodePos[c.to] = pb
+		w.nodes = append(w.nodes, c.to)
+		w.slabels = append(w.slabels, int32(w.g.Label(c.to)))
+		w.tv = append(w.tv, make([]int32, w.stride())...)
+		w.rv = append(w.rv, 0)
+	}
+	la, lb := w.slabels[pa], w.slabels[pb]
+	rev := w.g.reverseCode(c.inc)
+	w.tv[int(pa)*w.stride()+int(lb)*w.m+int(c.inc)]++
+	w.tv[int(pb)*w.stride()+int(la)*w.m+int(rev)]++
+
+	w.hash -= w.pows.mix(w.rv[pa], la)
+	w.rv[pa] += w.pows.term(la, lb, c.inc)
+	w.hash += w.pows.mix(w.rv[pa], la)
+	if fresh {
+		w.rv[pb] = w.pows.term(lb, la, rev)
+		w.hash += w.pows.mix(w.rv[pb], lb)
+	} else {
+		w.hash -= w.pows.mix(w.rv[pb], lb)
+		w.rv[pb] += w.pows.term(lb, la, rev)
+		w.hash += w.pows.mix(w.rv[pb], lb)
+	}
+	w.edges++
+	w.edgeState[c.id] |= stateInSubgraph
+}
+
+func (w *worker) removeEdge(c cand) {
+	pa := w.nodePos[c.from]
+	pb := w.nodePos[c.to]
+	la, lb := w.slabels[pa], w.slabels[pb]
+	rev := w.g.reverseCode(c.inc)
+	w.tv[int(pa)*w.stride()+int(lb)*w.m+int(c.inc)]--
+	w.tv[int(pb)*w.stride()+int(la)*w.m+int(rev)]--
+
+	w.hash -= w.pows.mix(w.rv[pa], la)
+	w.rv[pa] -= w.pows.term(la, lb, c.inc)
+	w.hash += w.pows.mix(w.rv[pa], la)
+
+	w.edges--
+	w.edgeState[c.id] &^= stateInSubgraph
+
+	dropped := false
+	if int(pb) == len(w.nodes)-1 {
+		row := w.tv[int(pb)*w.stride() : (int(pb)+1)*w.stride()]
+		isolated := true
+		for _, t := range row {
+			if t != 0 {
+				isolated = false
+				break
+			}
+		}
+		if isolated {
+			w.hash -= w.pows.mix(w.rv[pb], lb)
+			w.nodePos[c.to] = -1
+			w.nodes = w.nodes[:pb]
+			w.slabels = w.slabels[:pb]
+			w.tv = w.tv[:int(pb)*w.stride()]
+			w.rv = w.rv[:pb]
+			dropped = true
+		}
+	}
+	if !dropped {
+		w.hash -= w.pows.mix(w.rv[pb], lb)
+		w.rv[pb] -= w.pows.term(lb, la, rev)
+		w.hash += w.pows.mix(w.rv[pb], lb)
+	}
+}
+
+func (w *worker) count() {
+	key := w.hash
+	if _, ok := w.repr[key]; !ok {
+		w.repr[key] = w.sequence()
+	}
+	w.counts[key]++
+	w.emissions++
+}
+
+func (w *worker) sequence() Sequence {
+	n := len(w.nodes)
+	stride := w.stride()
+	vals := make([]int32, 0, n*(1+stride))
+	for i := 0; i < n; i++ {
+		vals = append(vals, w.slabels[i])
+		vals = append(vals, w.tv[i*stride:(i+1)*stride]...)
+	}
+	s := Sequence{K: w.k, M: w.m, Values: vals}
+	s.normalize()
+	return s
+}

@@ -1,0 +1,385 @@
+// Package typed implements the two extensions the paper names as future
+// work (§5): directed subgraph features and edge-heterogeneous
+// (multiplex) subgraph features. Both are instances of one
+// generalisation — *typed incidences*: every edge endpoint carries an
+// incidence type, which is the edge label for undirected multiplex
+// networks, the direction (out/in) for directed networks, or the
+// (edge label, direction) pair for both at once. The characteristic
+// sequence then counts, per subgraph node, its neighbours by
+// (neighbour label, incidence type), and the census machinery carries
+// over unchanged.
+//
+// With a single edge label and undirected edges the encoding and census
+// coincide exactly with package core's; the test suite verifies this
+// equivalence, which anchors the extension to the validated baseline.
+package typed
+
+import (
+	"fmt"
+	"sort"
+
+	"hsgf/internal/graph"
+)
+
+// EdgeLabel identifies an edge type within one Graph's edge alphabet.
+type EdgeLabel int32
+
+// Graph is an immutable heterogeneous network with labelled nodes,
+// labelled edges, and optionally directed edges. Incidences are stored
+// CSR-style like graph.Graph, each annotated with an incidence code.
+type Graph struct {
+	directed bool
+
+	labels []graph.Label
+
+	offsets []int32
+	adj     []graph.NodeID
+	adjEdge []graph.EdgeID
+	adjInc  []int32 // incidence code per entry
+
+	ends       []graph.NodeID // 2 per edge: source, target (directed) or smaller, larger
+	edgeLabels []EdgeLabel
+
+	nodeAlpha *graph.Alphabet
+	edgeAlpha *graph.Alphabet
+	numEdges  int
+}
+
+// Directed reports whether edges carry direction.
+func (g *Graph) Directed() bool { return g.directed }
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return len(g.labels) }
+
+// NumEdges returns the number of edges (arcs when directed).
+func (g *Graph) NumEdges() int { return g.numEdges }
+
+// NumLabels returns the node-label alphabet size.
+func (g *Graph) NumLabels() int { return g.nodeAlpha.Len() }
+
+// NumEdgeLabels returns the edge-label alphabet size.
+func (g *Graph) NumEdgeLabels() int { return g.edgeAlpha.Len() }
+
+// NodeAlphabet returns the node-label alphabet.
+func (g *Graph) NodeAlphabet() *graph.Alphabet { return g.nodeAlpha }
+
+// EdgeAlphabet returns the edge-label alphabet.
+func (g *Graph) EdgeAlphabet() *graph.Alphabet { return g.edgeAlpha }
+
+// Label returns the label of node v.
+func (g *Graph) Label(v graph.NodeID) graph.Label { return g.labels[v] }
+
+// Degree returns the number of incidences at v (in-degree plus
+// out-degree when directed).
+func (g *Graph) Degree(v graph.NodeID) int {
+	return int(g.offsets[v+1] - g.offsets[v])
+}
+
+// NumIncidenceTypes returns the number of distinct incidence codes:
+// the edge-label count, doubled when directed.
+func (g *Graph) NumIncidenceTypes() int {
+	if g.directed {
+		return 2 * g.edgeAlpha.Len()
+	}
+	return g.edgeAlpha.Len()
+}
+
+// Incidence codes pack (edge label, direction): label*2+0 for outgoing,
+// label*2+1 for incoming. Undirected graphs use the edge label directly.
+
+// incidenceCode returns the code seen from the endpoint that owns the
+// adjacency entry.
+func (g *Graph) incidenceCode(edgeLabel EdgeLabel, outgoing bool) int32 {
+	if !g.directed {
+		return int32(edgeLabel)
+	}
+	c := int32(edgeLabel) * 2
+	if !outgoing {
+		c++
+	}
+	return c
+}
+
+// reverseCode maps an incidence code to the code seen from the other
+// endpoint.
+func (g *Graph) reverseCode(c int32) int32 {
+	if !g.directed {
+		return c
+	}
+	return c ^ 1
+}
+
+// IncidenceName renders an incidence code for interpretation, e.g.
+// "cites>" (outgoing) / "cites<" (incoming) / "cites" (undirected).
+func (g *Graph) IncidenceName(c int32) string {
+	if !g.directed {
+		return g.edgeAlpha.Name(graph.Label(c))
+	}
+	name := g.edgeAlpha.Name(graph.Label(c / 2))
+	if c%2 == 0 {
+		return name + ">"
+	}
+	return name + "<"
+}
+
+// Neighbors returns v's adjacency (both directions when directed),
+// sorted by (neighbour label, incidence code, neighbour id). The slice
+// aliases graph storage.
+func (g *Graph) Neighbors(v graph.NodeID) []graph.NodeID {
+	return g.adj[g.offsets[v]:g.offsets[v+1]]
+}
+
+// IncidentEdges returns the edge ids aligned with Neighbors(v).
+func (g *Graph) IncidentEdges(v graph.NodeID) []graph.EdgeID {
+	return g.adjEdge[g.offsets[v]:g.offsets[v+1]]
+}
+
+// IncidenceCodes returns the incidence codes aligned with Neighbors(v).
+func (g *Graph) IncidenceCodes(v graph.NodeID) []int32 {
+	return g.adjInc[g.offsets[v]:g.offsets[v+1]]
+}
+
+// EdgeEndpoints returns the endpoints of edge e: (source, target) when
+// directed, (smaller, larger) otherwise.
+func (g *Graph) EdgeEndpoints(e graph.EdgeID) (graph.NodeID, graph.NodeID) {
+	return g.ends[2*e], g.ends[2*e+1]
+}
+
+// EdgeLabelOf returns the label of edge e.
+func (g *Graph) EdgeLabelOf(e graph.EdgeID) EdgeLabel { return g.edgeLabels[e] }
+
+// Builder accumulates a typed graph. Not safe for concurrent use.
+type Builder struct {
+	directed  bool
+	nodeAlpha *graph.Alphabet
+	edgeAlpha *graph.Alphabet
+	fixed     bool
+
+	labels []graph.Label
+	edges  []typedEdge
+	built  bool
+}
+
+type typedEdge struct {
+	u, v  graph.NodeID
+	label EdgeLabel
+}
+
+// NewBuilder returns a builder that discovers node and edge alphabets
+// from the names passed in. directed selects arc semantics for AddEdge.
+func NewBuilder(directed bool) *Builder {
+	na, _ := graph.NewAlphabet()
+	ea, _ := graph.NewAlphabet()
+	return &Builder{directed: directed, nodeAlpha: na, edgeAlpha: ea}
+}
+
+// DeclareNodeLabels registers node label names up front, fixing their
+// slot order independently of first use. Useful when encodings from
+// different graphs must be comparable.
+func (b *Builder) DeclareNodeLabels(names ...string) error {
+	for _, n := range names {
+		if _, ok := b.nodeAlpha.Lookup(n); !ok {
+			if _, err := addToAlphabet(b.nodeAlpha, n); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// DeclareEdgeLabels registers edge label names up front, fixing their
+// incidence-code order independently of first use.
+func (b *Builder) DeclareEdgeLabels(names ...string) error {
+	for _, n := range names {
+		if _, ok := b.edgeAlpha.Lookup(n); !ok {
+			if _, err := addToAlphabet(b.edgeAlpha, n); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// AddNode adds a node with the given label name.
+func (b *Builder) AddNode(labelName string) (graph.NodeID, error) {
+	l, ok := b.nodeAlpha.Lookup(labelName)
+	if !ok {
+		var err error
+		l, err = addToAlphabet(b.nodeAlpha, labelName)
+		if err != nil {
+			return 0, err
+		}
+	}
+	id := graph.NodeID(len(b.labels))
+	b.labels = append(b.labels, l)
+	return id, nil
+}
+
+// AddEdge adds an edge from u to v with the given edge-label name. For
+// directed builders the edge is the arc u -> v; for undirected builders
+// endpoint order is irrelevant. Self loops are rejected; duplicate
+// (endpoints, label, direction) edges are deduplicated at Build time, so
+// multiplex graphs may carry parallel edges of distinct labels.
+func (b *Builder) AddEdge(u, v graph.NodeID, edgeLabelName string) error {
+	if u == v {
+		return fmt.Errorf("typed: self loop at node %d", u)
+	}
+	n := graph.NodeID(len(b.labels))
+	if u < 0 || v < 0 || u >= n || v >= n {
+		return fmt.Errorf("typed: edge %d-%d references unknown node", u, v)
+	}
+	l, ok := b.edgeAlpha.Lookup(edgeLabelName)
+	if !ok {
+		var err error
+		l, err = addToAlphabet(b.edgeAlpha, edgeLabelName)
+		if err != nil {
+			return err
+		}
+	}
+	if !b.directed && u > v {
+		u, v = v, u
+	}
+	b.edges = append(b.edges, typedEdge{u: u, v: v, label: EdgeLabel(l)})
+	return nil
+}
+
+// addToAlphabet grows an alphabet through its exported surface.
+func addToAlphabet(a *graph.Alphabet, name string) (graph.Label, error) {
+	if name == "" {
+		return 0, fmt.Errorf("typed: empty label name")
+	}
+	// graph.Alphabet has no exported add; rebuild via names. Alphabets
+	// stay small, so the quadratic growth cost is irrelevant.
+	names := append(a.Names(), name)
+	na, err := graph.NewAlphabet(names...)
+	if err != nil {
+		return 0, err
+	}
+	*a = *na
+	l, _ := a.Lookup(name)
+	return l, nil
+}
+
+// Build freezes the builder into an immutable Graph.
+func (b *Builder) Build() (*Graph, error) {
+	if b.built {
+		return nil, fmt.Errorf("typed: Build called twice")
+	}
+	b.built = true
+
+	sort.Slice(b.edges, func(i, j int) bool {
+		a, c := b.edges[i], b.edges[j]
+		if a.u != c.u {
+			return a.u < c.u
+		}
+		if a.v != c.v {
+			return a.v < c.v
+		}
+		return a.label < c.label
+	})
+	dedup := b.edges[:0]
+	for i, e := range b.edges {
+		if i == 0 || e != b.edges[i-1] {
+			dedup = append(dedup, e)
+		}
+	}
+
+	n := len(b.labels)
+	deg := make([]int32, n)
+	for _, e := range dedup {
+		deg[e.u]++
+		deg[e.v]++
+	}
+	offsets := make([]int32, n+1)
+	for v := 0; v < n; v++ {
+		offsets[v+1] = offsets[v] + deg[v]
+	}
+	g := &Graph{
+		directed:   b.directed,
+		labels:     b.labels,
+		offsets:    offsets,
+		adj:        make([]graph.NodeID, offsets[n]),
+		adjEdge:    make([]graph.EdgeID, offsets[n]),
+		adjInc:     make([]int32, offsets[n]),
+		ends:       make([]graph.NodeID, 2*len(dedup)),
+		edgeLabels: make([]EdgeLabel, len(dedup)),
+		nodeAlpha:  b.nodeAlpha,
+		edgeAlpha:  b.edgeAlpha,
+		numEdges:   len(dedup),
+	}
+	cursor := make([]int32, n)
+	copy(cursor, offsets[:n])
+	for i, e := range dedup {
+		id := graph.EdgeID(i)
+		g.ends[2*i] = e.u
+		g.ends[2*i+1] = e.v
+		g.edgeLabels[i] = e.label
+		g.adj[cursor[e.u]] = e.v
+		g.adjEdge[cursor[e.u]] = id
+		g.adjInc[cursor[e.u]] = g.incidenceCode(e.label, true)
+		cursor[e.u]++
+		g.adj[cursor[e.v]] = e.u
+		g.adjEdge[cursor[e.v]] = id
+		g.adjInc[cursor[e.v]] = g.incidenceCode(e.label, false)
+		cursor[e.v]++
+	}
+	for v := 0; v < n; v++ {
+		lo, hi := offsets[v], offsets[v+1]
+		sort.Sort(&typedAdjSorter{g: g, lo: int(lo), hi: int(hi)})
+	}
+	return g, nil
+}
+
+// typedAdjSorter sorts one adjacency segment by (neighbour label,
+// incidence code, neighbour id), keeping edge ids and codes aligned.
+type typedAdjSorter struct {
+	g      *Graph
+	lo, hi int
+}
+
+func (s *typedAdjSorter) Len() int { return s.hi - s.lo }
+func (s *typedAdjSorter) Less(i, j int) bool {
+	g := s.g
+	a, b := s.lo+i, s.lo+j
+	la, lb := g.labels[g.adj[a]], g.labels[g.adj[b]]
+	if la != lb {
+		return la < lb
+	}
+	if g.adjInc[a] != g.adjInc[b] {
+		return g.adjInc[a] < g.adjInc[b]
+	}
+	return g.adj[a] < g.adj[b]
+}
+func (s *typedAdjSorter) Swap(i, j int) {
+	g := s.g
+	a, b := s.lo+i, s.lo+j
+	g.adj[a], g.adj[b] = g.adj[b], g.adj[a]
+	g.adjEdge[a], g.adjEdge[b] = g.adjEdge[b], g.adjEdge[a]
+	g.adjInc[a], g.adjInc[b] = g.adjInc[b], g.adjInc[a]
+}
+
+// FromUndirected converts a plain node-labelled graph into a typed graph
+// with a single undirected edge label. Censuses over the result coincide
+// with package core's censuses over the original.
+func FromUndirected(src *graph.Graph, edgeLabelName string) (*Graph, error) {
+	b := NewBuilder(false)
+	// Preserve the source alphabet's slot order so encodings align.
+	if err := b.DeclareNodeLabels(src.Alphabet().Names()...); err != nil {
+		return nil, err
+	}
+	for v := 0; v < src.NumNodes(); v++ {
+		name := src.Alphabet().Name(src.Label(graph.NodeID(v)))
+		if _, err := b.AddNode(name); err != nil {
+			return nil, err
+		}
+	}
+	var err error
+	src.Edges(func(u, v graph.NodeID) bool {
+		err = b.AddEdge(u, v, edgeLabelName)
+		return err == nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return b.Build()
+}

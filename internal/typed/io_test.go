@@ -1,0 +1,85 @@
+package typed
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"hsgf/internal/graph"
+)
+
+func TestTypedTSVRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for trial := 0; trial < 10; trial++ {
+		g := randomTyped(rng, 3+rng.Intn(12), 1+rng.Intn(3), 1+rng.Intn(2), trial%2 == 0, 0.3)
+		var buf bytes.Buffer
+		if err := WriteTSV(&buf, g); err != nil {
+			t.Fatal(err)
+		}
+		g2, err := ReadTSV(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() ||
+			g2.Directed() != g.Directed() {
+			t.Fatalf("trial %d: round trip shape mismatch", trial)
+		}
+		// Censuses must agree: the strongest functional round-trip check.
+		if g.NumNodes() == 0 {
+			continue
+		}
+		root := graph.NodeID(rng.Intn(g.NumNodes()))
+		e1, _ := NewExtractor(g, Options{MaxEdges: 2})
+		e2, _ := NewExtractor(g2, Options{MaxEdges: 2})
+		c1, err := CanonicalCounts(e1, e1.Census(root))
+		if err != nil {
+			t.Fatal(err)
+		}
+		c2, err := CanonicalCounts(e2, e2.Census(root))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(c1, c2) {
+			t.Fatalf("trial %d: censuses differ after round trip", trial)
+		}
+	}
+}
+
+func TestTypedReadTSVErrors(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{"missing type record", "n\ta\n"},
+		{"empty file", ""},
+		{"duplicate type", "t\tdirected\nt\tdirected\n"},
+		{"bad mode", "t\tsideways\n"},
+		{"bad type arity", "t\n"},
+		{"bad node line", "t\tdirected\nn\n"},
+		{"bad edge arity", "t\tdirected\nn\ta\nn\ta\ne\t0\t1\n"},
+		{"bad edge id", "t\tdirected\nn\ta\nn\ta\ne\tx\t1\tr\n"},
+		{"bad edge id 2", "t\tdirected\nn\ta\nn\ta\ne\t0\ty\tr\n"},
+		{"self loop", "t\tdirected\nn\ta\ne\t0\t0\tr\n"},
+		{"unknown record", "t\tdirected\nq\t1\n"},
+		{"edge before type", "e\t0\t1\tr\n"},
+	}
+	for _, tc := range cases {
+		if _, err := ReadTSV(strings.NewReader(tc.in)); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestTypedReadTSVDirectedness(t *testing.T) {
+	in := "t\tdirected\nn\tp\nn\tp\ne\t0\t1\tcites\n"
+	g, err := ReadTSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Directed() {
+		t.Fatal("mode not honoured")
+	}
+	u, v := g.EdgeEndpoints(0)
+	if u != 0 || v != 1 {
+		t.Fatalf("arc direction lost: %d -> %d", u, v)
+	}
+}

@@ -1,0 +1,167 @@
+package typed
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hsgf/internal/graph"
+)
+
+// ReferenceCensus enumerates the typed rooted census by brute force,
+// mirroring core.ReferenceCensus: all (weakly) connected edge subsets
+// containing root with at most opts.MaxEdges edges, deduplicated by
+// sorted edge-id key and tallied by canonical sequence rendering. Used
+// as the correctness oracle for the optimised census.
+func ReferenceCensus(g *Graph, root graph.NodeID, opts Options) map[string]int64 {
+	k := g.NumLabels()
+	mask := int32(-1)
+	if opts.MaskRootLabel {
+		mask = int32(k)
+		k++
+	}
+	m := g.NumIncidenceTypes()
+	if m == 0 {
+		m = 1
+	}
+	dmax := opts.MaxDegree
+	if dmax <= 0 {
+		dmax = int(^uint(0) >> 1)
+	}
+
+	counts := make(map[string]int64)
+	seen := make(map[string]bool)
+
+	labelOf := func(v graph.NodeID) int32 {
+		if mask >= 0 && v == root {
+			return mask
+		}
+		return int32(g.Label(v))
+	}
+	expandable := func(x graph.NodeID) bool {
+		return x == root || g.Degree(x) <= dmax
+	}
+
+	encode := func(edgeIDs []graph.EdgeID) string {
+		nodeSet := map[graph.NodeID]int{}
+		var nodes []graph.NodeID
+		addNode := func(v graph.NodeID) {
+			if _, ok := nodeSet[v]; !ok {
+				nodeSet[v] = len(nodes)
+				nodes = append(nodes, v)
+			}
+		}
+		for _, id := range edgeIDs {
+			a, b := g.EdgeEndpoints(id)
+			addNode(a)
+			addNode(b)
+		}
+		stride := 1 + k*m
+		vals := make([]int32, len(nodes)*stride)
+		for i, v := range nodes {
+			vals[i*stride] = labelOf(v)
+		}
+		for _, id := range edgeIDs {
+			a, b := g.EdgeEndpoints(id)
+			// Incidence code from a's side is "outgoing" of the stored
+			// orientation.
+			ca := g.incidenceCode(g.EdgeLabelOf(id), true)
+			cb := g.reverseCode(ca)
+			ia, ib := nodeSet[a], nodeSet[b]
+			vals[ia*stride+1+int(labelOf(b))*m+int(ca)]++
+			vals[ib*stride+1+int(labelOf(a))*m+int(cb)]++
+		}
+		s := Sequence{K: k, M: m, Values: vals}
+		s.normalize()
+		var sb strings.Builder
+		for i, v := range s.Values {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(&sb, "%d", v)
+		}
+		return sb.String()
+	}
+
+	var rec func(edgeIDs []graph.EdgeID, nodes map[graph.NodeID]bool)
+	rec = func(edgeIDs []graph.EdgeID, nodes map[graph.NodeID]bool) {
+		key := edgeSetKey(edgeIDs)
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		counts[encode(edgeIDs)]++
+		if len(edgeIDs) == opts.MaxEdges {
+			return
+		}
+		inSet := make(map[graph.EdgeID]bool, len(edgeIDs))
+		for _, id := range edgeIDs {
+			inSet[id] = true
+		}
+		tried := make(map[graph.EdgeID]bool)
+		for v := range nodes {
+			if !expandable(v) {
+				continue
+			}
+			eids := g.IncidentEdges(v)
+			adj := g.Neighbors(v)
+			for i, id := range eids {
+				if inSet[id] || tried[id] {
+					continue
+				}
+				tried[id] = true
+				w := adj[i]
+				newNodes := nodes
+				if !nodes[w] {
+					newNodes = make(map[graph.NodeID]bool, len(nodes)+1)
+					for x := range nodes {
+						newNodes[x] = true
+					}
+					newNodes[w] = true
+				}
+				rec(append(append([]graph.EdgeID(nil), edgeIDs...), id), newNodes)
+			}
+		}
+	}
+
+	eids := g.IncidentEdges(root)
+	adj := g.Neighbors(root)
+	for i, id := range eids {
+		// Both incidences of an edge touch the root's list at most once
+		// per id; duplicates across the two directions cannot occur
+		// because each id appears once per endpoint.
+		rec([]graph.EdgeID{id}, map[graph.NodeID]bool{root: true, adj[i]: true})
+	}
+	return counts
+}
+
+func edgeSetKey(ids []graph.EdgeID) string {
+	sorted := append([]graph.EdgeID(nil), ids...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var b strings.Builder
+	for _, id := range sorted {
+		fmt.Fprintf(&b, "%d,", id)
+	}
+	return b.String()
+}
+
+// CanonicalCounts re-keys a census by the canonical rendering of each
+// encoding, for comparison against ReferenceCensus.
+func CanonicalCounts(e *Extractor, c *Census) (map[string]int64, error) {
+	out := make(map[string]int64, len(c.Counts))
+	for key, n := range c.Counts {
+		s, ok := e.Decode(key)
+		if !ok {
+			return nil, fmt.Errorf("typed: census key %x has no decoded representative", key)
+		}
+		var sb strings.Builder
+		for i, v := range s.Values {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(&sb, "%d", v)
+		}
+		out[sb.String()] += n
+	}
+	return out, nil
+}

@@ -1,0 +1,472 @@
+package typed
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"hsgf/internal/core"
+	"hsgf/internal/graph"
+)
+
+// randomTyped builds a random typed graph.
+func randomTyped(rng *rand.Rand, n, nodeLabels, edgeLabels int, directed bool, p float64) *Graph {
+	b := NewBuilder(directed)
+	for i := 0; i < n; i++ {
+		b.AddNode(string(rune('a' + rng.Intn(nodeLabels))))
+	}
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u == v || (!directed && u > v) {
+				continue
+			}
+			if rng.Float64() < p {
+				b.AddEdge(graph.NodeID(u), graph.NodeID(v), string(rune('x'+rng.Intn(edgeLabels))))
+			}
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func TestBuilderBasicsDirected(t *testing.T) {
+	b := NewBuilder(true)
+	u, _ := b.AddNode("paper")
+	v, _ := b.AddNode("paper")
+	if err := b.AddEdge(u, v, "cites"); err != nil {
+		t.Fatal(err)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Directed() || g.NumEdges() != 1 || g.NumIncidenceTypes() != 2 {
+		t.Fatalf("unexpected graph: directed=%v edges=%d inc=%d", g.Directed(), g.NumEdges(), g.NumIncidenceTypes())
+	}
+	// u sees an outgoing incidence, v an incoming one.
+	if got := g.IncidenceCodes(u)[0]; got != 0 {
+		t.Errorf("u incidence = %d, want 0 (cites>)", got)
+	}
+	if got := g.IncidenceCodes(v)[0]; got != 1 {
+		t.Errorf("v incidence = %d, want 1 (cites<)", got)
+	}
+	if g.IncidenceName(0) != "cites>" || g.IncidenceName(1) != "cites<" {
+		t.Errorf("incidence names %q %q", g.IncidenceName(0), g.IncidenceName(1))
+	}
+	a, bb := g.EdgeEndpoints(0)
+	if a != u || bb != v {
+		t.Errorf("endpoints (%d,%d), want (%d,%d)", a, bb, u, v)
+	}
+}
+
+func TestBuilderMultiplexParallelEdges(t *testing.T) {
+	// Two edges of different labels between the same endpoints coexist;
+	// duplicates of the same label collapse.
+	b := NewBuilder(false)
+	u, _ := b.AddNode("person")
+	v, _ := b.AddNode("person")
+	b.AddEdge(u, v, "friend")
+	b.AddEdge(v, u, "friend") // duplicate (undirected)
+	b.AddEdge(u, v, "colleague")
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("edges = %d, want 2 (friend + colleague)", g.NumEdges())
+	}
+	if g.NumEdgeLabels() != 2 || g.NumIncidenceTypes() != 2 {
+		t.Fatalf("edge labels = %d, incidences = %d", g.NumEdgeLabels(), g.NumIncidenceTypes())
+	}
+}
+
+func TestBuilderDirectedAntiparallel(t *testing.T) {
+	// u->v and v->u are distinct arcs.
+	b := NewBuilder(true)
+	u, _ := b.AddNode("a")
+	v, _ := b.AddNode("a")
+	b.AddEdge(u, v, "e")
+	b.AddEdge(v, u, "e")
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("edges = %d, want 2 antiparallel arcs", g.NumEdges())
+	}
+	if g.Degree(u) != 2 || g.Degree(v) != 2 {
+		t.Errorf("degrees = %d,%d, want 2,2", g.Degree(u), g.Degree(v))
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	b := NewBuilder(false)
+	u, _ := b.AddNode("a")
+	if err := b.AddEdge(u, u, "e"); err == nil {
+		t.Error("self loop must fail")
+	}
+	if err := b.AddEdge(u, u+5, "e"); err == nil {
+		t.Error("unknown endpoint must fail")
+	}
+	if _, err := b.Build(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Build(); err == nil {
+		t.Error("double Build must fail")
+	}
+}
+
+func TestAdjacencySortedByLabelAndIncidence(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10; trial++ {
+		g := randomTyped(rng, 15, 3, 2, trial%2 == 0, 0.3)
+		for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+			adj := g.Neighbors(v)
+			incs := g.IncidenceCodes(v)
+			for i := 1; i < len(adj); i++ {
+				lp, lc := g.Label(adj[i-1]), g.Label(adj[i])
+				if lp > lc {
+					t.Fatalf("adjacency not label-sorted at node %d", v)
+				}
+				if lp == lc && incs[i-1] > incs[i] {
+					t.Fatalf("adjacency not incidence-sorted at node %d", v)
+				}
+			}
+		}
+	}
+}
+
+func TestDirectedEncodingDistinguishesDirection(t *testing.T) {
+	// a -> b versus b -> a over the same node labels must differ.
+	build := func(forward bool) *Graph {
+		b := NewBuilder(true)
+		u, _ := b.AddNode("a")
+		v, _ := b.AddNode("b")
+		if forward {
+			b.AddEdge(u, v, "e")
+		} else {
+			b.AddEdge(v, u, "e")
+		}
+		g, _ := b.Build()
+		return g
+	}
+	cenOf := func(g *Graph) map[string]int64 {
+		e, err := NewExtractor(g, Options{MaxEdges: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := CanonicalCounts(e, e.Census(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	fwd := cenOf(build(true))
+	bwd := cenOf(build(false))
+	if reflect.DeepEqual(fwd, bwd) {
+		t.Fatalf("directed encodings identical for opposite arcs: %v", fwd)
+	}
+}
+
+func TestMultiplexEncodingDistinguishesEdgeLabels(t *testing.T) {
+	build := func(label string) *Graph {
+		b := NewBuilder(false)
+		// Fix the incidence-code order so encodings of the two graphs
+		// are comparable.
+		if err := b.DeclareEdgeLabels("friend", "colleague"); err != nil {
+			t.Fatal(err)
+		}
+		u, _ := b.AddNode("a")
+		v, _ := b.AddNode("a")
+		b.AddEdge(u, v, label)
+		g, _ := b.Build()
+		return g
+	}
+	cenOf := func(g *Graph) map[string]int64 {
+		e, err := NewExtractor(g, Options{MaxEdges: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := CanonicalCounts(e, e.Census(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	if reflect.DeepEqual(cenOf(build("friend")), cenOf(build("colleague"))) {
+		t.Fatal("multiplex encodings identical for different edge labels")
+	}
+}
+
+func TestTypedCensusMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 40; trial++ {
+		directed := trial%2 == 0
+		g := randomTyped(rng, 3+rng.Intn(8), 1+rng.Intn(3), 1+rng.Intn(2), directed, 0.15+rng.Float64()*0.35)
+		if g.NumNodes() == 0 {
+			continue
+		}
+		root := graph.NodeID(rng.Intn(g.NumNodes()))
+		opts := Options{
+			MaxEdges:      1 + rng.Intn(3),
+			MaskRootLabel: rng.Intn(2) == 0,
+		}
+		if rng.Intn(2) == 0 {
+			opts.MaxDegree = 1 + rng.Intn(5)
+		}
+		e, err := NewExtractor(g, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := CanonicalCounts(e, e.Census(root))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := ReferenceCensus(g, root, opts)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d (directed=%v root=%d opts=%+v):\n got  %v\n want %v",
+				trial, directed, root, opts, got, want)
+		}
+	}
+}
+
+func TestTypedLeafBatchingEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 15; trial++ {
+		g := randomTyped(rng, 5+rng.Intn(8), 2, 2, trial%2 == 0, 0.3)
+		root := graph.NodeID(rng.Intn(g.NumNodes()))
+		on := Options{MaxEdges: 1 + rng.Intn(3)}
+		off := on
+		off.DisableLeafBatching = true
+		eOn, _ := NewExtractor(g, on)
+		eOff, _ := NewExtractor(g, off)
+		a, err := CanonicalCounts(eOn, eOn.Census(root))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := CanonicalCounts(eOff, eOff.Census(root))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("trial %d: leaf batching changes typed census", trial)
+		}
+	}
+}
+
+func TestTypedReducesToCore(t *testing.T) {
+	// With one undirected edge label the typed census must numerically
+	// agree with package core's census on the same underlying graph.
+	rng := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 15; trial++ {
+		// Build a plain labelled graph.
+		names := []string{"a", "b", "c"}[:1+rng.Intn(3)]
+		gb := graph.NewBuilderWithAlphabet(graph.MustAlphabet(names...))
+		n := 4 + rng.Intn(8)
+		for i := 0; i < n; i++ {
+			gb.AddNode(names[rng.Intn(len(names))])
+		}
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Float64() < 0.35 {
+					gb.AddEdge(graph.NodeID(u), graph.NodeID(v))
+				}
+			}
+		}
+		plain := gb.MustBuild()
+		tg, err := FromUndirected(plain, "edge")
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		root := graph.NodeID(rng.Intn(n))
+		mask := rng.Intn(2) == 0
+		emax := 1 + rng.Intn(3)
+
+		ce, err := core.NewExtractor(plain, core.Options{MaxEdges: emax, MaskRootLabel: mask})
+		if err != nil {
+			t.Fatal(err)
+		}
+		coreCounts, err := core.CanonicalCounts(ce, ce.Census(root))
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		te, err := NewExtractor(tg, Options{MaxEdges: emax, MaskRootLabel: mask})
+		if err != nil {
+			t.Fatal(err)
+		}
+		typedCounts, err := CanonicalCounts(te, te.Census(root))
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Typed sequences have stride 1+k (m=1), exactly like core's; the
+		// canonical renderings coincide.
+		if !reflect.DeepEqual(coreCounts, typedCounts) {
+			t.Fatalf("trial %d (root=%d emax=%d mask=%v):\n core  %v\n typed %v",
+				trial, root, emax, mask, coreCounts, typedCounts)
+		}
+	}
+}
+
+func TestTypedIncrementalHashMatchesFromScratch(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 10; trial++ {
+		g := randomTyped(rng, 6+rng.Intn(6), 2, 2, trial%2 == 0, 0.3)
+		e, err := NewExtractor(g, Options{MaxEdges: 3, MaskRootLabel: trial%3 == 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < g.NumNodes(); v++ {
+			c := e.Census(graph.NodeID(v))
+			for key := range c.Counts {
+				s, ok := e.Decode(key)
+				if !ok {
+					t.Fatal("missing representative")
+				}
+				if got := e.pows.hashSequence(s); got != key {
+					t.Fatalf("incremental %x != from-scratch %x", key, got)
+				}
+			}
+		}
+	}
+}
+
+func TestTypedCensusAllParallel(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	g := randomTyped(rng, 30, 3, 2, true, 0.15)
+	roots := make([]graph.NodeID, g.NumNodes())
+	for i := range roots {
+		roots[i] = graph.NodeID(i)
+	}
+	e, _ := NewExtractor(g, Options{MaxEdges: 3})
+	serial := e.CensusAll(roots, 1)
+	parallel := e.CensusAll(roots, 4)
+	for i := range roots {
+		if !reflect.DeepEqual(serial[i].Counts, parallel[i].Counts) {
+			t.Fatalf("root %d: parallel typed census differs", roots[i])
+		}
+	}
+}
+
+func TestSequenceString(t *testing.T) {
+	b := NewBuilder(true)
+	p1, _ := b.AddNode("p")
+	p2, _ := b.AddNode("p")
+	b.AddEdge(p1, p2, "cites")
+	g, _ := b.Build()
+	e, _ := NewExtractor(g, Options{MaxEdges: 1})
+	c := e.Census(p1)
+	if len(c.Counts) != 1 {
+		t.Fatalf("counts = %v", c.Counts)
+	}
+	for key := range c.Counts {
+		s := e.EncodingString(key)
+		if !strings.Contains(s, "cites>") || !strings.Contains(s, "cites<") {
+			t.Errorf("encoding %q should name both incidence directions", s)
+		}
+	}
+}
+
+func TestExtractorValidation(t *testing.T) {
+	g := randomTyped(rand.New(rand.NewSource(1)), 5, 2, 1, false, 0.5)
+	if _, err := NewExtractor(g, Options{MaxEdges: 0}); err == nil {
+		t.Error("MaxEdges 0 must be rejected")
+	}
+}
+
+func TestFromUndirectedPreservesStructure(t *testing.T) {
+	gb := graph.NewBuilderWithAlphabet(graph.MustAlphabet("x", "y"))
+	a, _ := gb.AddNode("x")
+	bb, _ := gb.AddNode("y")
+	c, _ := gb.AddNode("x")
+	gb.AddEdge(a, bb)
+	gb.AddEdge(bb, c)
+	plain := gb.MustBuild()
+	tg, err := FromUndirected(plain, "rel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tg.NumNodes() != 3 || tg.NumEdges() != 2 || tg.Directed() {
+		t.Fatalf("conversion mismatch: %d nodes %d edges directed=%v",
+			tg.NumNodes(), tg.NumEdges(), tg.Directed())
+	}
+	if tg.NumIncidenceTypes() != 1 {
+		t.Errorf("incidence types = %d, want 1", tg.NumIncidenceTypes())
+	}
+}
+
+func ExampleExtractor_Census() {
+	// A two-hop citation chain: p1 -> p2 -> p3. Directed features let
+	// the census distinguish citing from being cited.
+	b := NewBuilder(true)
+	p1, _ := b.AddNode("p")
+	p2, _ := b.AddNode("p")
+	p3, _ := b.AddNode("p")
+	b.AddEdge(p1, p2, "cites")
+	b.AddEdge(p2, p3, "cites")
+	g, _ := b.Build()
+
+	e, _ := NewExtractor(g, Options{MaxEdges: 2})
+	c := e.Census(p2)
+	fmt.Println("subgraphs:", c.Subgraphs)
+	// The two single-arc subgraphs are isomorphic ("p cites p"), since
+	// encodings do not mark the root; the chain is the third subgraph.
+	fmt.Println("distinct:", len(c.Counts))
+	// Output:
+	// subgraphs: 3
+	// distinct: 2
+}
+
+func TestTypedMaxSubgraphsPerRoot(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	g := randomTyped(rng, 60, 2, 2, true, 0.2)
+	full, _ := NewExtractor(g, Options{MaxEdges: 3})
+	var root graph.NodeID = -1
+	for v := 0; v < g.NumNodes(); v++ {
+		if full.Census(graph.NodeID(v)).Subgraphs > 500 {
+			root = graph.NodeID(v)
+			break
+		}
+	}
+	if root < 0 {
+		t.Skip("no busy root in this graph")
+	}
+	capped, _ := NewExtractor(g, Options{MaxEdges: 3, MaxSubgraphsPerRoot: 200})
+	c := capped.Census(root)
+	if !c.Truncated {
+		t.Fatal("census not truncated")
+	}
+	if c.Subgraphs < 200 || c.Subgraphs > 200+int64(g.NumNodes()) {
+		t.Fatalf("truncated at %d, want ≈ 200", c.Subgraphs)
+	}
+	// State stays clean for the next (small) root.
+	small := graph.NodeID(-1)
+	for v := 0; v < g.NumNodes(); v++ {
+		if full.Census(graph.NodeID(v)).Subgraphs < 200 {
+			small = graph.NodeID(v)
+			break
+		}
+	}
+	if small < 0 {
+		t.Skip("no small root")
+	}
+	got, err := CanonicalCounts(capped, capped.Census(small))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, _ := NewExtractor(g, Options{MaxEdges: 3})
+	want, err := CanonicalCounts(fresh, fresh.Census(small))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("truncation leaked state into the next census")
+	}
+}
