@@ -1,0 +1,34 @@
+GO ?= go
+FUZZTIME ?= 5s
+
+.PHONY: all check vet build test race fuzz-smoke bench clean
+
+all: check
+
+# The full tier-1 gate: what CI runs.
+check: vet build test race fuzz-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short fuzzing pass over every fuzz target; catches parser regressions
+# without the cost of a real fuzzing campaign.
+fuzz-smoke:
+	$(GO) test -run=Fuzz -fuzz=FuzzReadTSV -fuzztime=$(FUZZTIME) ./internal/graph
+	$(GO) test -run=Fuzz -fuzz=FuzzReadFeatureSet -fuzztime=$(FUZZTIME) ./internal/core
+	$(GO) test -run=Fuzz -fuzz=FuzzParseCompact -fuzztime=$(FUZZTIME) ./internal/core
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+clean:
+	$(GO) clean ./...

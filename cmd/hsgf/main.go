@@ -11,18 +11,29 @@
 // names each column by its encoding (the paper's compact notation, e.g.
 // z010z010y002), so features stay interpretable downstream.
 //
+// Long extractions are resilient: -root-budget and -root-deadline bound
+// the work spent on any single (hub) root, truncating its census instead
+// of stalling the run, and -checkpoint FILE snapshots completed roots
+// periodically so a killed run restarted with -resume picks up where it
+// left off. Roots that finished in degraded form are reported on stderr.
+//
 // With -typed, the input uses the typed TSV format (a "t directed|
 // undirected" header and edge labels on every edge line) and features
 // are direction- and edge-label-aware (the paper's §5 extension).
 package main
 
 import (
+	"context"
 	"encoding/csv"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strconv"
+	"syscall"
+	"time"
 
 	"hsgf"
 	"hsgf/internal/typed"
@@ -30,27 +41,44 @@ import (
 
 func main() {
 	var (
-		in      = flag.String("in", "", "input graph in TSV exchange format (required)")
-		out     = flag.String("out", "", "output CSV path (default: stdout)")
-		emax    = flag.Int("emax", 5, "maximum edges per subgraph")
-		dmaxPct = flag.Float64("dmax-percentile", 0, "hub cutoff as a degree percentile in (0,1); 0 disables")
-		mask    = flag.Bool("mask", false, "mask the root node's label during extraction")
-		label   = flag.String("label", "", "only extract features for nodes with this label")
-		workers = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
-		strKeys = flag.Bool("canonical-keys", false, "use canonical-string census keys instead of the rolling hash")
-		asJSON  = flag.Bool("json", false, "write a JSON FeatureSet (decoded vocabulary + sparse rows) instead of CSV")
-		typedIn = flag.Bool("typed", false, "input is a typed TSV graph (directed / edge-labelled features)")
+		in       = flag.String("in", "", "input graph in TSV exchange format (required)")
+		out      = flag.String("out", "", "output CSV path (default: stdout)")
+		emax     = flag.Int("emax", 5, "maximum edges per subgraph")
+		dmaxPct  = flag.Float64("dmax-percentile", 0, "hub cutoff as a degree percentile in (0,1); 0 disables")
+		mask     = flag.Bool("mask", false, "mask the root node's label during extraction")
+		label    = flag.String("label", "", "only extract features for nodes with this label")
+		workers  = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		strKeys  = flag.Bool("canonical-keys", false, "use canonical-string census keys instead of the rolling hash")
+		asJSON   = flag.Bool("json", false, "write a JSON FeatureSet (decoded vocabulary + sparse rows) instead of CSV")
+		typedIn  = flag.Bool("typed", false, "input is a typed TSV graph (directed / edge-labelled features)")
+		budget   = flag.Int64("root-budget", 0, "max subgraphs enumerated per root; 0 = unlimited")
+		deadline = flag.Duration("root-deadline", 0, "max wall-clock time per root; 0 = unlimited")
+		ckpt     = flag.String("checkpoint", "", "snapshot completed roots to this file during extraction")
+		resume   = flag.Bool("resume", false, "load the checkpoint file and skip already-completed roots")
+		ckptIv   = flag.Int("checkpoint-interval", 64, "snapshot after every N completed roots")
 	)
 	flag.Parse()
 	if *in == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *resume && *ckpt == "" {
+		fmt.Fprintln(os.Stderr, "hsgf: -resume requires -checkpoint")
+		os.Exit(2)
+	}
 	var err error
 	if *typedIn {
-		err = runTyped(*in, *out, *emax, *mask, *label, *workers)
+		if *ckpt != "" || *budget != 0 || *deadline != 0 {
+			err = fmt.Errorf("-checkpoint, -root-budget and -root-deadline are not supported with -typed")
+		} else {
+			err = runTyped(*in, *out, *emax, *mask, *label, *workers)
+		}
 	} else {
-		err = run(*in, *out, *emax, *dmaxPct, *mask, *label, *workers, *strKeys, *asJSON)
+		err = run(*in, *out, *workers, *asJSON, extractConfig{
+			emax: *emax, dmaxPct: *dmaxPct, mask: *mask, label: *label, strKeys: *strKeys,
+			budget: *budget, deadline: *deadline,
+			ckpt: *ckpt, ckptInterval: *ckptIv, resume: *resume,
+		})
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hsgf:", err)
@@ -58,7 +86,53 @@ func main() {
 	}
 }
 
-func run(in, out string, emax int, dmaxPct float64, mask bool, label string, workers int, strKeys, asJSON bool) error {
+type extractConfig struct {
+	emax    int
+	dmaxPct float64
+	mask    bool
+	label   string
+	strKeys bool
+
+	budget       int64
+	deadline     time.Duration
+	ckpt         string
+	ckptInterval int
+	resume       bool
+}
+
+// writeOutput runs write against stdout or the -out file. File errors —
+// including Sync and Close, which a bare defer would swallow — fail the
+// command, so a short write can never masquerade as success.
+func writeOutput(out string, write func(io.Writer) error) error {
+	if out == "" {
+		return write(os.Stdout)
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := syncFile(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// syncFile flushes f to stable storage, tolerating sinks that cannot
+// sync (/dev/null, pipes — EINVAL/ENOTSUP).
+func syncFile(f *os.File) error {
+	err := f.Sync()
+	if err == nil || errors.Is(err, syscall.EINVAL) || errors.Is(err, syscall.ENOTSUP) {
+		return nil
+	}
+	return err
+}
+
+func run(in, out string, workers int, asJSON bool, cfg extractConfig) error {
 	f, err := os.Open(in)
 	if err != nil {
 		return err
@@ -70,10 +144,10 @@ func run(in, out string, emax int, dmaxPct float64, mask bool, label string, wor
 	}
 
 	var roots []hsgf.NodeID
-	if label != "" {
-		l, ok := g.Alphabet().Lookup(label)
+	if cfg.label != "" {
+		l, ok := g.Alphabet().Lookup(cfg.label)
 		if !ok {
-			return fmt.Errorf("unknown label %q (have %v)", label, g.Alphabet().Names())
+			return fmt.Errorf("unknown label %q (have %v)", cfg.label, g.Alphabet().Names())
 		}
 		roots = g.NodesWithLabel(l)
 	} else {
@@ -83,66 +157,110 @@ func run(in, out string, emax int, dmaxPct float64, mask bool, label string, wor
 		}
 	}
 
-	opts := hsgf.Options{MaxEdges: emax, MaskRootLabel: mask}
-	if strKeys {
+	opts := hsgf.Options{
+		MaxEdges:            cfg.emax,
+		MaskRootLabel:       cfg.mask,
+		MaxSubgraphsPerRoot: cfg.budget,
+		RootDeadline:        cfg.deadline,
+	}
+	if cfg.strKeys {
 		opts.KeyMode = hsgf.CanonicalString
 	}
-	if dmaxPct > 0 && dmaxPct < 1 {
-		opts.MaxDegree = hsgf.DegreePercentile(g, dmaxPct)
+	if cfg.dmaxPct > 0 && cfg.dmaxPct < 1 {
+		opts.MaxDegree = hsgf.DegreePercentile(g, cfg.dmaxPct)
 	}
 
 	ex, err := hsgf.NewExtractor(g, opts)
 	if err != nil {
 		return err
 	}
-	censuses := ex.CensusAll(roots, workers)
-	vocab := hsgf.VocabularyOf(censuses)
-
-	w := os.Stdout
-	if out != "" {
-		w, err = os.Create(out)
+	var censuses []*hsgf.Census
+	if cfg.ckpt != "" {
+		censuses, err = ex.CensusAllCheckpoint(context.Background(), roots, workers, hsgf.CheckpointConfig{
+			Path:     cfg.ckpt,
+			Interval: cfg.ckptInterval,
+			Resume:   cfg.resume,
+		})
 		if err != nil {
 			return err
 		}
-		defer w.Close()
+	} else {
+		censuses = ex.CensusAll(roots, workers)
 	}
+	reportDegradation(censuses, ex.Panics())
+	vocab := hsgf.VocabularyOf(censuses)
+
 	if asJSON {
 		fs, err := hsgf.NewFeatureSet(ex, censuses, vocab)
 		if err != nil {
 			return err
 		}
-		if err := fs.Write(w); err != nil {
+		if err := writeOutput(out, fs.Write); err != nil {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "hsgf: %d nodes, %d features (emax=%d, dmax=%d)\n",
-			len(roots), vocab.Len(), emax, opts.MaxDegree)
+			len(roots), vocab.Len(), cfg.emax, opts.MaxDegree)
 		return nil
 	}
 
-	x := hsgf.Matrix(censuses, vocab)
-	cw := csv.NewWriter(w)
-	header := make([]string, 1+vocab.Len())
-	header[0] = "node"
-	for c := 0; c < vocab.Len(); c++ {
-		header[c+1] = ex.EncodingString(vocab.Key(c))
-	}
-	if err := cw.Write(header); err != nil {
-		return err
-	}
-	row := make([]string, 1+vocab.Len())
-	for i, root := range roots {
-		row[0] = strconv.Itoa(int(root))
-		for c, v := range x[i] {
-			row[c+1] = strconv.FormatFloat(v, 'f', -1, 64)
+	err = writeOutput(out, func(w io.Writer) error {
+		x := hsgf.Matrix(censuses, vocab)
+		cw := csv.NewWriter(w)
+		header := make([]string, 1+vocab.Len())
+		header[0] = "node"
+		for c := 0; c < vocab.Len(); c++ {
+			header[c+1] = ex.EncodingString(vocab.Key(c))
 		}
-		if err := cw.Write(row); err != nil {
+		if err := cw.Write(header); err != nil {
 			return err
 		}
+		row := make([]string, 1+vocab.Len())
+		for i, root := range roots {
+			row[0] = strconv.Itoa(int(root))
+			for c, v := range x[i] {
+				row[c+1] = strconv.FormatFloat(v, 'f', -1, 64)
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+		cw.Flush()
+		return cw.Error()
+	})
+	if err != nil {
+		return err
 	}
-	cw.Flush()
 	fmt.Fprintf(os.Stderr, "hsgf: %d nodes, %d features (emax=%d, dmax=%d)\n",
-		len(roots), vocab.Len(), emax, opts.MaxDegree)
-	return cw.Error()
+		len(roots), vocab.Len(), cfg.emax, opts.MaxDegree)
+	return nil
+}
+
+// reportDegradation summarises incomplete censuses on stderr so degraded
+// feature rows never pass silently.
+func reportDegradation(censuses []*hsgf.Census, panics []hsgf.PanicRecord) {
+	counts := map[hsgf.CensusFlag]int{}
+	for _, c := range censuses {
+		if c == nil || c.Flags == 0 {
+			continue
+		}
+		for _, f := range []hsgf.CensusFlag{
+			hsgf.FlagBudgetExceeded, hsgf.FlagDeadlineExceeded, hsgf.FlagCancelled, hsgf.FlagPanicked,
+		} {
+			if c.Flags&f != 0 {
+				counts[f]++
+			}
+		}
+	}
+	for _, f := range []hsgf.CensusFlag{
+		hsgf.FlagBudgetExceeded, hsgf.FlagDeadlineExceeded, hsgf.FlagCancelled, hsgf.FlagPanicked,
+	} {
+		if counts[f] > 0 {
+			fmt.Fprintf(os.Stderr, "hsgf: warning: %d roots %s\n", counts[f], f)
+		}
+	}
+	for _, p := range panics {
+		fmt.Fprintf(os.Stderr, "hsgf: warning: worker panic at root %d: %s\n", p.Root, p.Value)
+	}
 }
 
 // runTyped extracts typed (directed / edge-labelled) features and writes
@@ -199,37 +317,35 @@ func runTyped(in, out string, emax int, mask bool, label string, workers int) er
 		col[k] = i
 	}
 
-	w := os.Stdout
-	if out != "" {
-		w, err = os.Create(out)
-		if err != nil {
+	err = writeOutput(out, func(w io.Writer) error {
+		cw := csv.NewWriter(w)
+		header := make([]string, 1+len(keys))
+		header[0] = "node"
+		for i, k := range keys {
+			header[i+1] = ex.EncodingString(k)
+		}
+		if err := cw.Write(header); err != nil {
 			return err
 		}
-		defer w.Close()
-	}
-	cw := csv.NewWriter(w)
-	header := make([]string, 1+len(keys))
-	header[0] = "node"
-	for i, k := range keys {
-		header[i+1] = ex.EncodingString(k)
-	}
-	if err := cw.Write(header); err != nil {
+		row := make([]string, 1+len(keys))
+		for i, root := range roots {
+			row[0] = strconv.Itoa(int(root))
+			for j := range keys {
+				row[j+1] = "0"
+			}
+			for k, n := range censuses[i].Counts {
+				row[col[k]+1] = strconv.FormatInt(n, 10)
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+		cw.Flush()
+		return cw.Error()
+	})
+	if err != nil {
 		return err
 	}
-	row := make([]string, 1+len(keys))
-	for i, root := range roots {
-		row[0] = strconv.Itoa(int(root))
-		for j := range keys {
-			row[j+1] = "0"
-		}
-		for k, n := range censuses[i].Counts {
-			row[col[k]+1] = strconv.FormatInt(n, 10)
-		}
-		if err := cw.Write(row); err != nil {
-			return err
-		}
-	}
-	cw.Flush()
 	fmt.Fprintf(os.Stderr, "hsgf: %d nodes, %d typed features (emax=%d)\n", len(roots), len(keys), emax)
-	return cw.Error()
+	return nil
 }

@@ -8,14 +8,29 @@
 //	reproduce -quick            # reduced protocol, minutes
 //	reproduce -out report.txt   # write the report to a file
 //
+// The run is resilient: every stage executes under panic isolation and
+// is retried with exponential backoff; a stage that keeps failing is
+// skipped with an explicit gap marker in the report instead of aborting
+// the reproduction, and the closing stage summary lists every outcome.
+// With -checkpoint DIR each completed stage's rendered section is
+// persisted, and a later run with -checkpoint DIR -resume splices those
+// sections instead of recomputing them — so a run killed after the rank
+// stage resumes with the rank stage already done.
+//
+// Exit status: 0 on a complete report, 1 on fatal errors (unwritable
+// report, bad flags), 3 when the report was written but one or more
+// stages were skipped.
+//
 // Every run is deterministic under -seed.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"syscall"
 	"time"
 
 	"hsgf/internal/embed"
@@ -25,131 +40,236 @@ import (
 
 func main() {
 	var (
-		quick = flag.Bool("quick", false, "reduced protocol (minutes instead of an hour)")
-		scale = flag.Float64("scale", 0.2, "label-prediction network scale in (0,1]")
-		seed  = flag.Int64("seed", 42, "experiment seed")
-		out   = flag.String("out", "", "report path (default: stdout)")
+		quick    = flag.Bool("quick", false, "reduced protocol (minutes instead of an hour)")
+		scale    = flag.Float64("scale", 0.2, "label-prediction network scale in (0,1]")
+		seed     = flag.Int64("seed", 42, "experiment seed")
+		out      = flag.String("out", "", "report path (default: stdout)")
+		ckpt     = flag.String("checkpoint", "", "directory for per-stage checkpoints")
+		resume   = flag.Bool("resume", false, "splice completed stages from the checkpoint directory")
+		attempts = flag.Int("attempts", 2, "attempts per stage before it is skipped")
+		backoff  = flag.Duration("backoff", 2*time.Second, "backoff before the first stage retry (doubles per retry)")
 	)
 	flag.Parse()
+	if *resume && *ckpt == "" {
+		fail(fmt.Errorf("-resume requires -checkpoint"))
+	}
 
 	w := io.Writer(os.Stdout)
+	var f *os.File
 	if *out != "" {
-		f, err := os.Create(*out)
+		var err error
+		f, err = os.Create(*out)
 		if err != nil {
 			fail(err)
 		}
-		defer f.Close()
 		w = f
 	}
 	start := time.Now()
 	fmt.Fprintf(w, "hsgf full reproduction — seed %d, scale %.2f, quick=%v\n\n", *seed, *scale, *quick)
 
-	// §3.1 — encoding uniqueness bounds.
-	step(w, "E8: §3.1 encoding uniqueness audit")
-	loopy, _ := iso.MaxUniqueEdges(5, 1, false)
-	loopFree, _ := iso.MaxUniqueEdges(5, 2, true)
-	fmt.Fprintf(w, "unique through emax = %d with same-label edges (paper: 4)\n", loopy)
-	fmt.Fprintf(w, "unique through emax = %d loop-free (paper: 5)\n\n", loopFree)
-
-	// Rank prediction.
-	step(w, "E1-E3: rank prediction (Figure 3, Table 1, Figure 4)")
-	rcfg := experiments.DefaultRankConfig()
-	rcfg.Seed = *seed
-	rcfg.Publication.Seed = *seed
-	if *quick {
-		rcfg.Publication.Institutions = 40
-		rcfg.Publication.PapersPerConfYear = 20
-		rcfg.Publication.ExternalPapers = 300
-		rcfg.MaxEdges = 4
-		rcfg.ForestTrees = 60
-		rcfg.Walks = embed.WalkConfig{WalksPerNode: 3, WalkLength: 12, ReturnP: 1, InOutQ: 1}
-		rcfg.SGNS = embed.SGNSConfig{Dim: 16, Window: 4, Negatives: 3, Epochs: 1}
-		rcfg.EmbedDim = 16
-		rcfg.LINESamplesX = 8
+	var store *experiments.SectionStore
+	if *ckpt != "" {
+		store = &experiments.SectionStore{Dir: *ckpt, Resume: *resume}
 	}
-	rres, err := experiments.RunRank(rcfg)
-	if err != nil {
-		fail(err)
+	runner := &experiments.StageRunner{
+		MaxAttempts: *attempts,
+		Backoff:     *backoff,
+		Log:         os.Stderr,
 	}
-	experiments.WriteFigure3(w, rres)
-	experiments.WriteTable1(w, rres)
-	experiments.WriteFigure4(w, rres)
 
-	// Label prediction.
-	step(w, "E4, E6, E7: label prediction (Figure 5, Table 2)")
+	ok := experiments.RunPipeline(w, buildStages(*quick, *scale, *seed), runner, store)
+	fmt.Fprintf(w, "\ntotal: %v\n", time.Since(start).Round(time.Second))
+	fmt.Fprintln(os.Stderr, "reproduce: done in", time.Since(start).Round(time.Second))
+
+	// A truncated report must never pass for a successful one: surface
+	// flush/sync/close failures instead of swallowing them in a defer.
+	// Unsyncable sinks (/dev/null, pipes) report EINVAL/ENOTSUP and are
+	// fine.
+	if f != nil {
+		if err := f.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+	}
+	if !ok {
+		fmt.Fprintln(os.Stderr, "reproduce: report contains skipped stages (exit 3)")
+		os.Exit(3)
+	}
+}
+
+// buildStages assembles the reproduction pipeline. Each stage renders a
+// self-contained report section, so a resumed run can splice the saved
+// text verbatim. The label datasets are generated lazily and shared:
+// generation failures surface in (and are retried by) whichever
+// dependent stage runs first, without touching independent stages.
+func buildStages(quick bool, scale float64, seed int64) []experiments.Stage {
+	var (
+		datasets    []experiments.LabelDataset
+		datasetsErr error
+		loaded      bool
+	)
+	getDatasets := func() ([]experiments.LabelDataset, error) {
+		if !loaded {
+			datasets, datasetsErr = experiments.LoadLabelDatasets(scale, seed)
+			loaded = datasetsErr == nil // a failed generation is retried next call
+		}
+		return datasets, datasetsErr
+	}
+
 	lcfg := experiments.DefaultLabelConfig()
-	lcfg.Seed = *seed
-	if *quick {
+	lcfg.Seed = seed
+	if quick {
 		lcfg.PerLabel = 40
 		lcfg.Repeats = 5
 		lcfg.TrainFracs = []float64{0.1, 0.5, 0.9}
 		lcfg.Removals = []float64{0, 0.25, 0.5, 0.75}
 		lcfg.DmaxLevels = []float64{0.90, 0.94, 0.98}
 	}
-	datasets, err := experiments.LoadLabelDatasets(*scale, *seed)
-	if err != nil {
-		fail(err)
-	}
-	dmaxRows := map[string][]experiments.CurvePoint{}
-	var order []string
-	var runtimeRows []*experiments.RuntimeRow
-	for _, ds := range datasets {
-		order = append(order, ds.Name)
-		curves, err := experiments.TrainingSizeCurves(ds.Graph, lcfg)
-		if err != nil {
-			fail(err)
-		}
-		experiments.WriteCurves(w, fmt.Sprintf("Figure 5 (%s) — Macro F1 vs training size", ds.Name), "train", curves)
-		removal, err := experiments.LabelRemovalCurves(ds.Graph, lcfg)
-		if err != nil {
-			fail(err)
-		}
-		experiments.WriteCurves(w, fmt.Sprintf("Figure 5 (%s) — Macro F1 vs removed labels", ds.Name), "removed", removal)
 
-		dcfg := lcfg
-		if ds.Name != "IMDB" {
-			var capped []float64
-			for _, l := range lcfg.DmaxLevels {
-				if l < 1 {
-					capped = append(capped, l)
-				}
+	stages := []experiments.Stage{
+		{Name: "audit", Fn: func(w io.Writer) error {
+			step(w, "E8: §3.1 encoding uniqueness audit")
+			loopy, _ := iso.MaxUniqueEdges(5, 1, false)
+			loopFree, _ := iso.MaxUniqueEdges(5, 2, true)
+			fmt.Fprintf(w, "unique through emax = %d with same-label edges (paper: 4)\n", loopy)
+			fmt.Fprintf(w, "unique through emax = %d loop-free (paper: 5)\n\n", loopFree)
+			return nil
+		}},
+		{Name: "rank", Fn: func(w io.Writer) error {
+			step(w, "E1-E3: rank prediction (Figure 3, Table 1, Figure 4)")
+			rcfg := experiments.DefaultRankConfig()
+			rcfg.Seed = seed
+			rcfg.Publication.Seed = seed
+			if quick {
+				rcfg.Publication.Institutions = 40
+				rcfg.Publication.PapersPerConfYear = 20
+				rcfg.Publication.ExternalPapers = 300
+				rcfg.MaxEdges = 4
+				rcfg.ForestTrees = 60
+				rcfg.Walks = embed.WalkConfig{WalksPerNode: 3, WalkLength: 12, ReturnP: 1, InOutQ: 1}
+				rcfg.SGNS = embed.SGNSConfig{Dim: 16, Window: 4, Negatives: 3, Epochs: 1}
+				rcfg.EmbedDim = 16
+				rcfg.LINESamplesX = 8
 			}
-			dcfg.DmaxLevels = capped
-		}
-		pts, err := experiments.DmaxSweep(ds.Graph, dcfg)
-		if err != nil {
-			fail(err)
-		}
-		dmaxRows[ds.Name] = pts
-
-		row, err := experiments.MeasureRuntime(ds.Name, ds.Graph, lcfg)
-		if err != nil {
-			fail(err)
-		}
-		runtimeRows = append(runtimeRows, row)
+			rres, err := experiments.RunRank(rcfg)
+			if err != nil {
+				return err
+			}
+			experiments.WriteFigure3(w, rres)
+			experiments.WriteTable1(w, rres)
+			experiments.WriteFigure4(w, rres)
+			return nil
+		}},
 	}
-	experiments.WriteTable2(w, dmaxRows, order)
-	step(w, "E5: runtime (Table 3)")
-	experiments.WriteTable3(w, runtimeRows)
 
-	// Directed extension.
-	step(w, "E10: §5 conjecture — directed vs undirected features")
-	dcfg := experiments.DefaultDirectedConfig()
-	dcfg.Seed = *seed
-	if *quick {
-		dcfg.Citation.Papers = 400
-		dcfg.PerRole = 40
-		dcfg.Repeats = 5
+	for _, name := range []string{"LOAD", "IMDB", "MAG"} {
+		name := name
+		stages = append(stages, experiments.Stage{
+			Name: "label-" + name,
+			Fn: func(w io.Writer) error {
+				ds, err := findDataset(getDatasets, name)
+				if err != nil {
+					return err
+				}
+				step(w, fmt.Sprintf("E4, E7: label prediction on %s (Figure 5)", name))
+				curves, err := experiments.TrainingSizeCurves(ds.Graph, lcfg)
+				if err != nil {
+					return err
+				}
+				experiments.WriteCurves(w, fmt.Sprintf("Figure 5 (%s) — Macro F1 vs training size", name), "train", curves)
+				removal, err := experiments.LabelRemovalCurves(ds.Graph, lcfg)
+				if err != nil {
+					return err
+				}
+				experiments.WriteCurves(w, fmt.Sprintf("Figure 5 (%s) — Macro F1 vs removed labels", name), "removed", removal)
+				return nil
+			},
+		})
 	}
-	dres, err := experiments.RunDirected(dcfg)
+
+	stages = append(stages,
+		experiments.Stage{Name: "dmax", Fn: func(w io.Writer) error {
+			datasets, err := getDatasets()
+			if err != nil {
+				return err
+			}
+			step(w, "E6: dmax sensitivity (Table 2)")
+			dmaxRows := map[string][]experiments.CurvePoint{}
+			var order []string
+			for _, ds := range datasets {
+				order = append(order, ds.Name)
+				dcfg := lcfg
+				if ds.Name != "IMDB" {
+					// The unlimited level does not finish on the dense
+					// networks (the paper skips it there too).
+					var capped []float64
+					for _, l := range lcfg.DmaxLevels {
+						if l < 1 {
+							capped = append(capped, l)
+						}
+					}
+					dcfg.DmaxLevels = capped
+				}
+				pts, err := experiments.DmaxSweep(ds.Graph, dcfg)
+				if err != nil {
+					return err
+				}
+				dmaxRows[ds.Name] = pts
+			}
+			experiments.WriteTable2(w, dmaxRows, order)
+			return nil
+		}},
+		experiments.Stage{Name: "runtime", Fn: func(w io.Writer) error {
+			datasets, err := getDatasets()
+			if err != nil {
+				return err
+			}
+			step(w, "E5: runtime (Table 3)")
+			var rows []*experiments.RuntimeRow
+			for _, ds := range datasets {
+				row, err := experiments.MeasureRuntime(ds.Name, ds.Graph, lcfg)
+				if err != nil {
+					return err
+				}
+				rows = append(rows, row)
+			}
+			experiments.WriteTable3(w, rows)
+			return nil
+		}},
+		experiments.Stage{Name: "directed", Fn: func(w io.Writer) error {
+			step(w, "E10: §5 conjecture — directed vs undirected features")
+			dcfg := experiments.DefaultDirectedConfig()
+			dcfg.Seed = seed
+			if quick {
+				dcfg.Citation.Papers = 400
+				dcfg.PerRole = 40
+				dcfg.Repeats = 5
+			}
+			dres, err := experiments.RunDirected(dcfg)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "directed (typed):  Macro F1 %.2f±%.2f\n", dres.DirectedF1, dres.DirectedCI)
+			fmt.Fprintf(w, "undirected:        Macro F1 %.2f±%.2f\n\n", dres.UndirectedF1, dres.UndirectedCI)
+			return nil
+		}},
+	)
+	return stages
+}
+
+func findDataset(get func() ([]experiments.LabelDataset, error), name string) (experiments.LabelDataset, error) {
+	datasets, err := get()
 	if err != nil {
-		fail(err)
+		return experiments.LabelDataset{}, err
 	}
-	fmt.Fprintf(w, "directed (typed):  Macro F1 %.2f±%.2f\n", dres.DirectedF1, dres.DirectedCI)
-	fmt.Fprintf(w, "undirected:        Macro F1 %.2f±%.2f\n\n", dres.UndirectedF1, dres.UndirectedCI)
-
-	fmt.Fprintf(w, "total: %v\n", time.Since(start).Round(time.Second))
-	fmt.Fprintln(os.Stderr, "reproduce: done in", time.Since(start).Round(time.Second))
+	for _, ds := range datasets {
+		if ds.Name == name {
+			return ds, nil
+		}
+	}
+	return experiments.LabelDataset{}, fmt.Errorf("dataset %q not generated", name)
 }
 
 func step(w io.Writer, title string) {

@@ -78,6 +78,26 @@ type (
 	Vocabulary = core.Vocabulary
 	// KeyMode selects rolling-hash or canonical-string census keys.
 	KeyMode = core.KeyMode
+	// CensusFlag records why a census is incomplete (budget, deadline,
+	// cancellation, worker panic).
+	CensusFlag = core.CensusFlag
+	// PanicRecord describes a panic recovered inside a census worker.
+	PanicRecord = core.PanicRecord
+	// CheckpointConfig configures checkpointed extraction
+	// (Extractor.CensusAllCheckpoint).
+	CheckpointConfig = core.CheckpointConfig
+)
+
+// Census degradation flags (Census.Flags / FeatureSet.RowFlags).
+const (
+	// FlagBudgetExceeded marks a census truncated by MaxSubgraphsPerRoot.
+	FlagBudgetExceeded = core.FlagBudgetExceeded
+	// FlagDeadlineExceeded marks a census truncated by RootDeadline.
+	FlagDeadlineExceeded = core.FlagDeadlineExceeded
+	// FlagCancelled marks a census interrupted by context cancellation.
+	FlagCancelled = core.FlagCancelled
+	// FlagPanicked marks a census abandoned after a recovered worker panic.
+	FlagPanicked = core.FlagPanicked
 )
 
 // Census key modes.
@@ -145,6 +165,13 @@ func NewFeatureSet(ex *Extractor, censuses []*Census, vocab *Vocabulary) (*Featu
 
 // ReadFeatureSet parses a feature set written by FeatureSet.Write.
 func ReadFeatureSet(r io.Reader) (*FeatureSet, error) { return core.ReadFeatureSet(r) }
+
+// ReadCensusCheckpointInfo inspects a census checkpoint file and reports
+// how many roots it covers (total), how many are complete (done) and how
+// many completed in degraded form (truncated by budget or deadline).
+func ReadCensusCheckpointInfo(path string) (total, done, degraded int, err error) {
+	return core.ReadCensusCheckpointInfo(path)
+}
 
 // FilterRootsByDegree drops roots above a degree percentile — the
 // paper's policy of skipping the top-degree 5% of starting nodes

@@ -2,10 +2,53 @@ package core
 
 import (
 	"math"
+	"strings"
 	"sync/atomic"
+	"time"
 
 	"hsgf/internal/graph"
 )
+
+// CensusFlag records why the enumeration of one root stopped early. A
+// census may carry several flags (a root can hit its deadline while the
+// run is being cancelled); a zero value means the census is complete.
+type CensusFlag uint8
+
+const (
+	// FlagBudgetExceeded: the root hit Options.MaxSubgraphsPerRoot and
+	// Counts is a prefix census.
+	FlagBudgetExceeded CensusFlag = 1 << iota
+	// FlagDeadlineExceeded: the root's wall-clock Options.RootDeadline
+	// elapsed mid-enumeration.
+	FlagDeadlineExceeded
+	// FlagCancelled: the whole extraction run was cancelled (context
+	// cancellation) while this root was in flight.
+	FlagCancelled
+	// FlagPanicked: the census worker panicked on this root. Counts is
+	// empty; the panic is recorded on the extractor (Extractor.Panics).
+	FlagPanicked
+)
+
+// String renders the flag set as a "|"-joined list, or "ok" when empty.
+func (f CensusFlag) String() string {
+	if f == 0 {
+		return "ok"
+	}
+	var parts []string
+	if f&FlagBudgetExceeded != 0 {
+		parts = append(parts, "budget-exceeded")
+	}
+	if f&FlagDeadlineExceeded != 0 {
+		parts = append(parts, "deadline-exceeded")
+	}
+	if f&FlagCancelled != 0 {
+		parts = append(parts, "cancelled")
+	}
+	if f&FlagPanicked != 0 {
+		parts = append(parts, "panicked")
+	}
+	return strings.Join(parts, "|")
+}
 
 // Census is the result of enumerating all connected subgraphs with at most
 // emax edges around one root node: a count per subgraph type.
@@ -22,9 +65,12 @@ type Census struct {
 	// i.e. the sum over Counts.
 	Subgraphs int64
 	// Truncated reports that enumeration stopped early — the root hit
-	// Options.MaxSubgraphsPerRoot or the extraction context was
-	// cancelled — so Counts is a prefix census, not the full one.
+	// Options.MaxSubgraphsPerRoot or Options.RootDeadline, the extraction
+	// context was cancelled, or the worker panicked — so Counts is a
+	// prefix census, not the full one. Flags carries the precise cause.
 	Truncated bool
+	// Flags is the structured stop-cause taxonomy; zero when complete.
+	Flags CensusFlag
 }
 
 // edge state bits used by the census worker.
@@ -85,28 +131,62 @@ type worker struct {
 	repr      map[uint64]Sequence // first-seen canonical form per key
 	emissions int64
 
-	budget  int64        // per-root emission cap, 0 = unlimited
-	stop    *atomic.Bool // cooperative cancellation, may be nil
-	steps   uint64       // candidate steps since census start
-	aborted bool
+	budget    int64         // per-root emission cap, 0 = unlimited
+	deadline  time.Duration // per-root wall-clock budget, 0 = unlimited
+	rootStart time.Time     // census start, set when deadline > 0
+	stop      *atomic.Bool  // cooperative cancellation, may be nil
+	hooks     *faultHooks   // fault-injection seam, nil outside tests
+	steps     uint64        // candidate steps since census start
+	aborted   bool
+	abortWhy  CensusFlag
 }
 
+// faultHooks is the deterministic fault-injection seam threaded into
+// census workers by tests: onRootStart fires once per root before
+// enumeration, onStep at every periodic poll point (every pollInterval
+// candidate steps). Either hook may panic, sleep, or cancel to simulate
+// worker faults exactly where they would occur in production.
+type faultHooks struct {
+	onRootStart func(root graph.NodeID)
+	onStep      func(root graph.NodeID, step uint64)
+}
+
+// pollInterval is the candidate-step period of the expensive abort
+// checks (cross-goroutine stop flag, wall clock, injected faults).
+const pollInterval = 1024
+
 // shouldAbort is polled at every candidate step; the (cheap) budget
-// check runs always, the cross-goroutine stop flag only periodically.
+// check runs always, the cross-goroutine stop flag, the per-root
+// deadline clock and the fault seam only periodically.
 func (w *worker) shouldAbort() bool {
 	if w.aborted {
 		return true
 	}
 	if w.budget > 0 && w.emissions >= w.budget {
-		w.aborted = true
+		w.abort(FlagBudgetExceeded)
 		return true
 	}
 	w.steps++
-	if w.stop != nil && w.steps&1023 == 0 && w.stop.Load() {
-		w.aborted = true
+	if w.steps&(pollInterval-1) != 0 {
+		return false
+	}
+	if w.hooks != nil && w.hooks.onStep != nil {
+		w.hooks.onStep(w.root, w.steps)
+	}
+	if w.stop != nil && w.stop.Load() {
+		w.abort(FlagCancelled)
+		return true
+	}
+	if w.deadline > 0 && time.Since(w.rootStart) > w.deadline {
+		w.abort(FlagDeadlineExceeded)
 		return true
 	}
 	return false
+}
+
+func (w *worker) abort(why CensusFlag) {
+	w.aborted = true
+	w.abortWhy |= why
 }
 
 func newWorker(g *graph.Graph, opts Options, k int, pows *powerTable) *worker {
@@ -118,6 +198,7 @@ func newWorker(g *graph.Graph, opts Options, k int, pows *powerTable) *worker {
 		maxEdges: opts.MaxEdges,
 		dmax:     opts.MaxDegree,
 		budget:   opts.MaxSubgraphsPerRoot,
+		deadline: opts.RootDeadline,
 	}
 	if w.dmax <= 0 {
 		w.dmax = math.MaxInt
@@ -147,6 +228,13 @@ func (w *worker) census(root graph.NodeID) *Census {
 	w.emissions = 0
 	w.steps = 0
 	w.aborted = false
+	w.abortWhy = 0
+	if w.deadline > 0 {
+		w.rootStart = time.Now()
+	}
+	if w.hooks != nil && w.hooks.onRootStart != nil {
+		w.hooks.onRootStart(root)
+	}
 
 	// Install the root as subgraph position 0.
 	slot := int32(w.g.Label(root))
@@ -201,7 +289,7 @@ func (w *worker) census(root graph.NodeID) *Census {
 	w.nodePos[root] = -1
 	w.ext = w.ext[:0]
 
-	return &Census{Root: root, Counts: w.counts, Subgraphs: w.emissions, Truncated: w.aborted}
+	return &Census{Root: root, Counts: w.counts, Subgraphs: w.emissions, Truncated: w.aborted, Flags: w.abortWhy}
 }
 
 // grow enumerates every connected subgraph extension reachable from the

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -63,6 +64,12 @@ type Options struct {
 	// return partial censuses flagged Truncated instead of stalling the
 	// extraction (the Table 3 outlier mitigation as a hard bound).
 	MaxSubgraphsPerRoot int64
+	// RootDeadline, when positive, bounds the wall-clock enumeration time
+	// of each individual root. A root that exceeds it returns its partial
+	// census flagged FlagDeadlineExceeded while the rest of the run
+	// proceeds — the per-root analogue of whole-run context cancellation,
+	// sized for the heavy right tail of the paper's Table 3 distribution.
+	RootDeadline time.Duration
 }
 
 // DefaultOptions returns the paper's label-prediction configuration:
@@ -79,8 +86,19 @@ type Extractor struct {
 	k    int // label slots (graph labels + 1 if masking)
 	pows *powerTable
 
-	mu   sync.Mutex
-	repr map[uint64]Sequence
+	mu     sync.Mutex
+	repr   map[uint64]Sequence
+	panics []PanicRecord
+
+	hooks *faultHooks // fault-injection seam, nil outside tests
+}
+
+// PanicRecord describes one recovered census-worker panic: the root it
+// occurred on, the panic value, and the goroutine stack at recovery.
+type PanicRecord struct {
+	Root  graph.NodeID
+	Value string
+	Stack string
 }
 
 // NewExtractor validates opts and returns an extractor for g.
@@ -100,7 +118,9 @@ func NewExtractor(g *graph.Graph, opts Options) (*Extractor, error) {
 		opts: opts,
 		k:    k,
 		pows: newPowerTable(k),
-		repr: make(map[uint64]Sequence),
+		// Pre-sized: vocabularies of real networks run to hundreds of
+		// distinct encodings, so early merges should not rehash.
+		repr: make(map[uint64]Sequence, 256),
 	}, nil
 }
 
@@ -124,9 +144,12 @@ func (e *Extractor) SlotName(l int) string {
 	return e.g.Alphabet().Name(graph.Label(l))
 }
 
-// Census extracts the subgraph census for a single root node.
+// Census extracts the subgraph census for a single root node. Unlike the
+// pooled CensusAll variants it does not isolate panics: a fault in the
+// enumeration propagates to the caller.
 func (e *Extractor) Census(root graph.NodeID) *Census {
 	w := newWorker(e.g, e.opts, e.k, e.pows)
+	w.hooks = e.hooks
 	c := w.census(root)
 	e.mergeRepr(w.repr)
 	return c
@@ -137,21 +160,21 @@ func (e *Extractor) Census(root graph.NodeID) *Census {
 // roots. Enumeration is embarrassingly parallel by root node: workers
 // share the read-only graph and keep private O(V + E) state.
 func (e *Extractor) CensusAll(roots []graph.NodeID, workers int) []*Census {
-	cs, _ := e.censusAll(roots, workers, false, nil)
+	cs, _ := e.censusAll(roots, workers, censusRun{})
 	return cs
 }
 
 // CensusAllTimed is CensusAll but additionally reports the wall-clock
 // extraction time of each root, for runtime evaluations (paper Table 3).
 func (e *Extractor) CensusAllTimed(roots []graph.NodeID, workers int) ([]*Census, []time.Duration) {
-	return e.censusAll(roots, workers, true, nil)
+	return e.censusAll(roots, workers, censusRun{timed: true})
 }
 
 // CensusAllContext is CensusAll with cooperative cancellation: when ctx
 // is cancelled, in-flight censuses stop at their next enumeration step
-// and are returned truncated (Census.Truncated), pending roots are left
-// nil, and ctx.Err() is returned. Workers poll the cancellation flag, so
-// even a single runaway hub root stops promptly.
+// and are returned truncated (Census.Truncated, FlagCancelled), pending
+// roots are left nil, and ctx.Err() is returned. Workers poll the
+// cancellation flag, so even a single runaway hub root stops promptly.
 func (e *Extractor) CensusAllContext(ctx context.Context, roots []graph.NodeID, workers int) ([]*Census, error) {
 	var stop atomic.Bool
 	watchDone := make(chan struct{})
@@ -163,11 +186,22 @@ func (e *Extractor) CensusAllContext(ctx context.Context, roots []graph.NodeID, 
 		case <-watchDone:
 		}
 	}()
-	cs, _ := e.censusAll(roots, workers, false, &stop)
+	cs, _ := e.censusAll(roots, workers, censusRun{stop: &stop})
 	return cs, ctx.Err()
 }
 
-func (e *Extractor) censusAll(roots []graph.NodeID, workers int, timed bool, stop *atomic.Bool) ([]*Census, []time.Duration) {
+// censusRun bundles the optional behaviours of a pooled extraction.
+type censusRun struct {
+	timed bool         // record per-root wall-clock times
+	stop  *atomic.Bool // cooperative cancellation flag, may be nil
+	// done, when non-nil, is invoked from worker goroutines after each
+	// root completes (the checkpoint collector). The worker's repr is
+	// merged before the callback, so every key of the delivered census is
+	// already decodable via Extractor.Decode.
+	done func(i int, c *Census)
+}
+
+func (e *Extractor) censusAll(roots []graph.NodeID, workers int, run censusRun) ([]*Census, []time.Duration) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -176,7 +210,7 @@ func (e *Extractor) censusAll(roots []graph.NodeID, workers int, timed bool, sto
 	}
 	out := make([]*Census, len(roots))
 	var times []time.Duration
-	if timed {
+	if run.timed {
 		times = make([]time.Duration, len(roots))
 	}
 	if len(roots) == 0 {
@@ -189,16 +223,28 @@ func (e *Extractor) censusAll(roots []graph.NodeID, workers int, timed bool, sto
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			w := newWorker(e.g, e.opts, e.k, e.pows)
-			w.stop = stop
+			w := e.newPoolWorker(run.stop)
 			for i := range jobs {
-				if stop != nil && stop.Load() {
+				if run.stop != nil && run.stop.Load() {
 					continue // drain; pending roots stay nil
 				}
 				start := time.Now()
-				out[i] = w.census(roots[i])
-				if timed {
+				c := e.safeCensus(w, roots[i])
+				if c.Flags&FlagPanicked != 0 {
+					// The worker's persistent state is suspect after an
+					// unwound enumeration; merge what it learned and
+					// replace it wholesale.
+					e.mergeRepr(w.repr)
+					w = e.newPoolWorker(run.stop)
+				}
+				out[i] = c
+				if run.timed {
 					times[i] = time.Since(start)
+				}
+				if run.done != nil {
+					e.mergeRepr(w.repr)
+					clear(w.repr)
+					run.done(i, c)
 				}
 			}
 			e.mergeRepr(w.repr)
@@ -212,7 +258,57 @@ func (e *Extractor) censusAll(roots []graph.NodeID, workers int, timed bool, sto
 	return out, times
 }
 
+func (e *Extractor) newPoolWorker(stop *atomic.Bool) *worker {
+	w := newWorker(e.g, e.opts, e.k, e.pows)
+	w.stop = stop
+	w.hooks = e.hooks
+	return w
+}
+
+// safeCensus runs one root's census with panic isolation: a panicking
+// root is recovered, recorded on the extractor with its root ID and
+// stack, and returned as an empty census flagged FlagPanicked so the
+// pool keeps draining the remaining roots.
+func (e *Extractor) safeCensus(w *worker, root graph.NodeID) (c *Census) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.recordPanic(PanicRecord{
+				Root:  root,
+				Value: fmt.Sprint(r),
+				Stack: string(debug.Stack()),
+			})
+			c = &Census{
+				Root:      root,
+				Counts:    map[uint64]int64{},
+				Truncated: true,
+				Flags:     FlagPanicked,
+			}
+		}
+	}()
+	return w.census(root)
+}
+
+func (e *Extractor) recordPanic(p PanicRecord) {
+	e.mu.Lock()
+	e.panics = append(e.panics, p)
+	e.mu.Unlock()
+}
+
+// Panics returns the census-worker panics recovered so far, in recovery
+// order. A healthy extraction returns an empty slice.
+func (e *Extractor) Panics() []PanicRecord {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]PanicRecord(nil), e.panics...)
+}
+
 func (e *Extractor) mergeRepr(local map[uint64]Sequence) {
+	// Workers whose whole vocabulary is already known merge empty or
+	// tiny maps; skipping the lock for the empty case keeps the
+	// many-roots path free of needless contention.
+	if len(local) == 0 {
+		return
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	for k, v := range local {

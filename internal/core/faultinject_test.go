@@ -1,0 +1,268 @@
+package core
+
+// Fault-injection harness: deterministic panics, artificial slowness and
+// cancellation are injected into census workers through the faultHooks
+// seam to prove the pool's failure semantics — one pathological root
+// degrades its own census, never the run.
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hsgf/internal/graph"
+)
+
+// hubGraph builds a graph with one runaway hub (degree ~ n) over a
+// sparse periphery, the Table 3 skew in miniature.
+func hubGraph(t testing.TB, n int) (*graph.Graph, graph.NodeID) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(77))
+	b := graph.NewBuilderWithAlphabet(graph.MustAlphabet("a", "b"))
+	for i := 0; i < n; i++ {
+		b.AddLabeledNode(graph.Label(rng.Intn(2)))
+	}
+	hub := graph.NodeID(0)
+	for v := 1; v < n; v++ {
+		b.AddEdge(hub, graph.NodeID(v))
+	}
+	for v := 1; v < n; v++ {
+		for k := 0; k < 3; k++ {
+			u := 1 + rng.Intn(n-1)
+			if u != v {
+				b.AddEdge(graph.NodeID(v), graph.NodeID(u))
+			}
+		}
+	}
+	return b.MustBuild(), hub
+}
+
+func allRoots(g *graph.Graph) []graph.NodeID {
+	roots := make([]graph.NodeID, g.NumNodes())
+	for i := range roots {
+		roots[i] = graph.NodeID(i)
+	}
+	return roots
+}
+
+func TestInjectedPanicYieldsFlaggedCensusOthersExact(t *testing.T) {
+	g := denseGraph(t, 60)
+	roots := allRoots(g)
+	victim := graph.NodeID(17)
+
+	ex, _ := NewExtractor(g, Options{MaxEdges: 3})
+	ex.hooks = &faultHooks{onRootStart: func(root graph.NodeID) {
+		if root == victim {
+			panic("injected: corrupt adjacency")
+		}
+	}}
+	cs := ex.CensusAll(roots, 4)
+
+	if cs[victim] == nil || cs[victim].Flags&FlagPanicked == 0 {
+		t.Fatalf("victim census = %+v, want FlagPanicked", cs[victim])
+	}
+	if !cs[victim].Truncated || len(cs[victim].Counts) != 0 {
+		t.Fatalf("panicked census must be empty and truncated, got %+v", cs[victim])
+	}
+	panics := ex.Panics()
+	if len(panics) != 1 || panics[0].Root != victim {
+		t.Fatalf("Panics() = %+v, want one record for root %d", panics, victim)
+	}
+	if !strings.Contains(panics[0].Value, "injected: corrupt adjacency") || panics[0].Stack == "" {
+		t.Fatalf("panic record incomplete: %+v", panics[0])
+	}
+
+	// Every other root is byte-for-byte what a healthy extractor produces.
+	clean, _ := NewExtractor(g, Options{MaxEdges: 3})
+	want := clean.CensusAll(roots, 4)
+	for i, c := range cs {
+		if graph.NodeID(i) == victim {
+			continue
+		}
+		if c == nil || c.Truncated {
+			t.Fatalf("root %d incomplete after another root's panic", i)
+		}
+		if !reflect.DeepEqual(c.Counts, want[i].Counts) {
+			t.Fatalf("root %d census diverged after another root's panic", i)
+		}
+	}
+}
+
+func TestMidEnumerationPanicDoesNotPoisonWorker(t *testing.T) {
+	// The panic fires deep inside the enumeration (at a poll point), so
+	// the worker's persistent O(V+E) state is dirty when it unwinds. With
+	// a single worker every later root reuses the replacement worker —
+	// all of them must still be exact.
+	g := denseGraph(t, 80)
+	roots := allRoots(g)
+	victim := graph.NodeID(3)
+
+	var fired atomic.Bool
+	ex, _ := NewExtractor(g, Options{MaxEdges: 4})
+	ex.hooks = &faultHooks{onStep: func(root graph.NodeID, step uint64) {
+		if root == victim && fired.CompareAndSwap(false, true) {
+			panic("injected mid-enumeration")
+		}
+	}}
+	cs := ex.CensusAll(roots, 1)
+
+	if !fired.Load() {
+		t.Skip("victim census too small to reach a poll point; graph needs to be denser")
+	}
+	if cs[victim].Flags&FlagPanicked == 0 {
+		t.Fatalf("victim census = %+v, want FlagPanicked", cs[victim])
+	}
+	clean, _ := NewExtractor(g, Options{MaxEdges: 4})
+	want := clean.CensusAll(roots, 1)
+	for i, c := range cs {
+		if graph.NodeID(i) == victim {
+			continue
+		}
+		if !reflect.DeepEqual(c.Counts, want[i].Counts) {
+			t.Fatalf("root %d census poisoned by earlier panic unwind", i)
+		}
+	}
+}
+
+func TestRootDeadlineTruncatesOnlySlowRoot(t *testing.T) {
+	g := denseGraph(t, 100)
+	roots := allRoots(g)
+
+	// Find a root big enough to reach poll points.
+	probe, _ := NewExtractor(g, Options{MaxEdges: 4})
+	slow := graph.NodeID(-1)
+	for _, r := range roots {
+		if probe.Census(r).Subgraphs > 3*pollInterval {
+			slow = r
+			break
+		}
+	}
+	if slow < 0 {
+		t.Fatal("no root with a large census in the test graph")
+	}
+
+	// The deadline leaves fast roots a wide margin; the injected
+	// slowness blows it in a single poll, so the test stays quick.
+	ex, _ := NewExtractor(g, Options{MaxEdges: 4, RootDeadline: 2 * time.Second})
+	ex.hooks = &faultHooks{onStep: func(root graph.NodeID, step uint64) {
+		if root == slow {
+			time.Sleep(2100 * time.Millisecond) // artificial slowness: one poll blows the deadline
+		}
+	}}
+	cs := ex.CensusAll(roots, 4)
+
+	c := cs[slow]
+	if c.Flags&FlagDeadlineExceeded == 0 || !c.Truncated {
+		t.Fatalf("slow root census = flags %v truncated %v, want deadline-exceeded", c.Flags, c.Truncated)
+	}
+	clean, _ := NewExtractor(g, Options{MaxEdges: 4})
+	want := clean.CensusAll(roots, 4)
+	for i, cc := range cs {
+		if graph.NodeID(i) == slow {
+			continue
+		}
+		if cc.Truncated {
+			t.Fatalf("root %d truncated although only root %d was slow (flags %v)", i, slow, cc.Flags)
+		}
+		if !reflect.DeepEqual(cc.Counts, want[i].Counts) {
+			t.Fatalf("root %d census diverged", i)
+		}
+	}
+}
+
+func TestInjectedCancellationFlagsInFlightRoots(t *testing.T) {
+	g, hub := hubGraph(t, 600)
+	roots := allRoots(g)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ex, _ := NewExtractor(g, Options{MaxEdges: 5})
+	// Cancel deterministically the first time any worker starts the
+	// runaway hub root.
+	ex.hooks = &faultHooks{onRootStart: func(root graph.NodeID) {
+		if root == hub {
+			cancel()
+		}
+	}}
+
+	before := runtime.NumGoroutine()
+	cs, err := ex.CensusAllContext(ctx, roots, 2)
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+
+	var cancelled, pending, done int
+	for _, c := range cs {
+		switch {
+		case c == nil:
+			pending++
+		case c.Truncated:
+			if c.Flags&FlagCancelled == 0 {
+				t.Fatalf("in-flight census flags = %v, want FlagCancelled", c.Flags)
+			}
+			cancelled++
+		default:
+			done++
+		}
+	}
+	if cancelled == 0 {
+		t.Error("expected at least one in-flight census flagged cancelled (the hub)")
+	}
+	if pending == 0 {
+		t.Error("expected pending (nil) roots after cancellation")
+	}
+	t.Logf("done=%d cancelled=%d pending=%d", done, cancelled, pending)
+
+	// No goroutine leak: the pool and the context watcher must exit.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before+2 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before+2 {
+		t.Fatalf("goroutines: %d before, %d after cancellation", before, after)
+	}
+}
+
+func TestPanickedRootsStillCheckpointAndPersist(t *testing.T) {
+	// End-to-end through the persistence layer: a panicked root flows
+	// into FeatureSet.RowFlags so reports can mark the gap.
+	g := denseGraph(t, 40)
+	roots := allRoots(g)[:10]
+	victim := graph.NodeID(4)
+
+	ex, _ := NewExtractor(g, Options{MaxEdges: 3})
+	ex.hooks = &faultHooks{onRootStart: func(root graph.NodeID) {
+		if root == victim {
+			panic("injected")
+		}
+	}}
+	cs := ex.CensusAll(roots, 2)
+	fs, err := NewFeatureSet(ex, cs, VocabularyOf(cs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fs.Degraded(4) {
+		t.Fatal("panicked row not marked degraded in the feature set")
+	}
+	if fs.Degraded(3) {
+		t.Fatal("healthy row wrongly marked degraded")
+	}
+	if CensusFlag(fs.RowFlags[4])&FlagPanicked == 0 {
+		t.Fatalf("row flag = %v, want FlagPanicked", CensusFlag(fs.RowFlags[4]))
+	}
+}
+
+func TestCensusFlagString(t *testing.T) {
+	if got := CensusFlag(0).String(); got != "ok" {
+		t.Errorf("zero flags = %q", got)
+	}
+	f := FlagBudgetExceeded | FlagPanicked
+	if got := f.String(); got != "budget-exceeded|panicked" {
+		t.Errorf("flag string = %q", got)
+	}
+}

@@ -28,6 +28,17 @@ type FeatureSet struct {
 	// Rows holds one sparse row per root, aligned with Roots.
 	Roots []int64      `json:"roots"`
 	Rows  []FeatureRow `json:"rows"`
+	// RowFlags, when present, is aligned with Rows and carries each
+	// row's CensusFlag taxonomy (truncation, deadline, cancellation,
+	// panic), so degraded rows stay identifiable after persistence.
+	// Empty means every row is complete.
+	RowFlags []uint8 `json:"row_flags,omitempty"`
+}
+
+// Degraded reports whether row i was extracted incompletely (its census
+// carried a non-zero flag set).
+func (fs *FeatureSet) Degraded(i int) bool {
+	return i < len(fs.RowFlags) && fs.RowFlags[i] != 0
 }
 
 // FeatureDef is one subgraph feature: its key, its canonical sequence
@@ -69,8 +80,11 @@ func NewFeatureSet(ex *Extractor, censuses []*Census, vocab *Vocabulary) (*Featu
 			Encoding: seq.String(ex.SlotName),
 		})
 	}
+	flags := make([]uint8, 0, len(censuses))
+	anyFlag := false
 	for _, cen := range censuses {
 		var row FeatureRow
+		var flag uint8
 		if cen != nil {
 			fs.Roots = append(fs.Roots, int64(cen.Root))
 			for key, n := range cen.Counts {
@@ -80,10 +94,20 @@ func NewFeatureSet(ex *Extractor, censuses []*Census, vocab *Vocabulary) (*Featu
 				}
 			}
 			sortRow(&row)
+			flag = uint8(cen.Flags)
 		} else {
+			// A nil census is a root the run never reached (cancelled
+			// before assignment); mark it so consumers can tell it from
+			// a genuinely empty census.
 			fs.Roots = append(fs.Roots, -1)
+			flag = uint8(FlagCancelled)
 		}
 		fs.Rows = append(fs.Rows, row)
+		flags = append(flags, flag)
+		anyFlag = anyFlag || flag != 0
+	}
+	if anyFlag {
+		fs.RowFlags = flags
 	}
 	return fs, nil
 }
@@ -122,25 +146,62 @@ func ReadFeatureSet(r io.Reader) (*FeatureSet, error) {
 	return &fs, nil
 }
 
+// validate checks the structural invariants of a deserialised feature
+// set before any consumer indexes into it: row/root alignment, parallel
+// column/count slices, in-range sorted unique columns, non-negative
+// counts, consistent slot metadata, and unique feature keys. Hand-edited
+// or truncated files fail here with a descriptive error instead of an
+// index panic downstream.
 func (fs *FeatureSet) validate() error {
+	if fs.MaxEdges < 1 {
+		return fmt.Errorf("core: feature set has max_edges %d, want >= 1", fs.MaxEdges)
+	}
+	if fs.LabelSlots < 0 {
+		return fmt.Errorf("core: negative label_slots %d", fs.LabelSlots)
+	}
+	if len(fs.SlotNames) != 0 && len(fs.SlotNames) != fs.LabelSlots {
+		return fmt.Errorf("core: %d slot names for %d label slots", len(fs.SlotNames), fs.LabelSlots)
+	}
 	if len(fs.Roots) != len(fs.Rows) {
 		return fmt.Errorf("core: %d roots but %d rows", len(fs.Roots), len(fs.Rows))
+	}
+	if len(fs.RowFlags) != 0 && len(fs.RowFlags) != len(fs.Rows) {
+		return fmt.Errorf("core: %d row flags for %d rows", len(fs.RowFlags), len(fs.Rows))
+	}
+	for i, r := range fs.Roots {
+		if r < -1 {
+			return fmt.Errorf("core: root %d has invalid node id %d", i, r)
+		}
 	}
 	for i, row := range fs.Rows {
 		if len(row.Columns) != len(row.Counts) {
 			return fmt.Errorf("core: row %d has %d columns but %d counts", i, len(row.Columns), len(row.Counts))
 		}
-		for _, c := range row.Columns {
+		for j, c := range row.Columns {
 			if c < 0 || c >= len(fs.Features) {
 				return fmt.Errorf("core: row %d references column %d outside %d features", i, c, len(fs.Features))
 			}
+			if j > 0 && c <= row.Columns[j-1] {
+				return fmt.Errorf("core: row %d columns not strictly ascending at position %d (%d after %d)",
+					i, j, c, row.Columns[j-1])
+			}
+		}
+		for j, n := range row.Counts {
+			if n < 0 {
+				return fmt.Errorf("core: row %d has negative count %d in column %d", i, n, row.Columns[j])
+			}
 		}
 	}
+	seen := make(map[uint64]int, len(fs.Features))
 	for i, f := range fs.Features {
 		if fs.LabelSlots > 0 && len(f.Sequence)%(fs.LabelSlots+1) != 0 {
 			return fmt.Errorf("core: feature %d sequence length %d not divisible by stride %d",
 				i, len(f.Sequence), fs.LabelSlots+1)
 		}
+		if prev, dup := seen[f.Key]; dup {
+			return fmt.Errorf("core: features %d and %d share key %x", prev, i, f.Key)
+		}
+		seen[f.Key] = i
 	}
 	return nil
 }

@@ -1,0 +1,272 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime/debug"
+	"time"
+)
+
+// StageStatus classifies how one reproduction stage ended.
+type StageStatus int
+
+const (
+	// StageOK: the stage succeeded on its first attempt.
+	StageOK StageStatus = iota
+	// StageRecovered: the stage failed at least once but a retry
+	// succeeded; the report section is complete.
+	StageRecovered
+	// StageSkipped: every attempt failed; the report carries a marked
+	// gap instead of the stage's section.
+	StageSkipped
+	// StageResumed: the stage's section was spliced from a checkpoint
+	// of an earlier run instead of being recomputed.
+	StageResumed
+)
+
+func (s StageStatus) String() string {
+	switch s {
+	case StageOK:
+		return "ok"
+	case StageRecovered:
+		return "recovered"
+	case StageSkipped:
+		return "SKIPPED"
+	case StageResumed:
+		return "resumed"
+	default:
+		return fmt.Sprintf("StageStatus(%d)", int(s))
+	}
+}
+
+// StageResult records the outcome of one stage for the run summary.
+type StageResult struct {
+	Name     string
+	Status   StageStatus
+	Attempts int
+	Err      string // last error message when Status == StageSkipped
+	Elapsed  time.Duration
+}
+
+// StageRunner executes reproduction stages with panic recovery and
+// retry-with-backoff, and accumulates per-stage outcomes so the final
+// report can mark every gap explicitly. A failed stage never aborts the
+// run: after MaxAttempts it is recorded as skipped and the pipeline
+// moves on.
+type StageRunner struct {
+	// MaxAttempts per stage; <= 0 selects 2 (one retry).
+	MaxAttempts int
+	// Backoff before the first retry, doubling per further retry;
+	// <= 0 selects one second.
+	Backoff time.Duration
+	// Sleep is the backoff clock, replaceable in tests; nil selects
+	// time.Sleep.
+	Sleep func(time.Duration)
+	// Log receives progress and retry warnings; nil discards them.
+	Log io.Writer
+
+	Results []StageResult
+}
+
+func (r *StageRunner) attempts() int {
+	if r.MaxAttempts <= 0 {
+		return 2
+	}
+	return r.MaxAttempts
+}
+
+func (r *StageRunner) logf(format string, args ...any) {
+	if r.Log != nil {
+		fmt.Fprintf(r.Log, format, args...)
+	}
+}
+
+// Run executes fn under panic isolation, retrying with exponential
+// backoff. It returns the recorded result; callers decide from
+// res.Status whether the stage's output is usable.
+func (r *StageRunner) Run(name string, fn func() error) StageResult {
+	backoff := r.Backoff
+	if backoff <= 0 {
+		backoff = time.Second
+	}
+	sleep := r.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+
+	res := StageResult{Name: name}
+	start := time.Now()
+	var lastErr error
+	for attempt := 1; attempt <= r.attempts(); attempt++ {
+		res.Attempts = attempt
+		lastErr = runIsolated(fn)
+		if lastErr == nil {
+			if attempt == 1 {
+				res.Status = StageOK
+			} else {
+				res.Status = StageRecovered
+			}
+			res.Elapsed = time.Since(start)
+			r.Results = append(r.Results, res)
+			return res
+		}
+		r.logf("stage %q attempt %d/%d failed: %v\n", name, attempt, r.attempts(), lastErr)
+		if attempt < r.attempts() {
+			sleep(backoff)
+			backoff *= 2
+		}
+	}
+	res.Status = StageSkipped
+	res.Err = lastErr.Error()
+	res.Elapsed = time.Since(start)
+	r.Results = append(r.Results, res)
+	return res
+}
+
+// RecordResumed notes a stage whose section was restored from an
+// earlier run's checkpoint.
+func (r *StageRunner) RecordResumed(name string) {
+	r.Results = append(r.Results, StageResult{Name: name, Status: StageResumed})
+}
+
+// Skipped reports whether any stage exhausted its attempts.
+func (r *StageRunner) Skipped() bool {
+	for _, res := range r.Results {
+		if res.Status == StageSkipped {
+			return true
+		}
+	}
+	return false
+}
+
+// WriteSummary renders the per-stage outcome table appended to the
+// report, marking skipped and degraded stages explicitly.
+func (r *StageRunner) WriteSummary(w io.Writer) {
+	fmt.Fprintln(w, "stage summary")
+	for _, res := range r.Results {
+		switch res.Status {
+		case StageSkipped:
+			fmt.Fprintf(w, "  %-24s %s after %d attempts: %s\n", res.Name, res.Status, res.Attempts, res.Err)
+		case StageRecovered:
+			fmt.Fprintf(w, "  %-24s %s (attempt %d, %v)\n", res.Name, res.Status, res.Attempts, res.Elapsed.Round(time.Millisecond))
+		case StageResumed:
+			fmt.Fprintf(w, "  %-24s %s from checkpoint\n", res.Name, res.Status)
+		default:
+			fmt.Fprintf(w, "  %-24s %s (%v)\n", res.Name, res.Status, res.Elapsed.Round(time.Millisecond))
+		}
+	}
+}
+
+// runIsolated invokes fn, converting a panic into an error so one
+// faulting stage cannot kill the whole reproduction.
+func runIsolated(fn func() error) (err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("stage panicked: %v\n%s", rec, debug.Stack())
+		}
+	}()
+	return fn()
+}
+
+// sectionFile restricts stage names to a safe file stem.
+var sectionFile = regexp.MustCompile(`[^a-zA-Z0-9._-]+`)
+
+// SectionStore persists rendered report sections under a directory, one
+// text file per stage, so a resumed reproduction splices completed
+// stages instead of recomputing them. A nil store disables persistence.
+type SectionStore struct {
+	// Dir holds one "<stage>.section" file per completed stage; it is
+	// created on first save.
+	Dir string
+	// Resume enables Load: without it an existing directory is only
+	// overwritten, never read (a fresh -checkpoint run).
+	Resume bool
+}
+
+func (s *SectionStore) path(name string) string {
+	return filepath.Join(s.Dir, sectionFile.ReplaceAllString(name, "_")+".section")
+}
+
+// Load returns the saved section for a stage, if resuming and present.
+func (s *SectionStore) Load(name string) (string, bool) {
+	if s == nil || !s.Resume {
+		return "", false
+	}
+	b, err := os.ReadFile(s.path(name))
+	if err != nil {
+		return "", false
+	}
+	return string(b), true
+}
+
+// Save atomically persists a stage's rendered section.
+func (s *SectionStore) Save(name, content string) error {
+	if s == nil {
+		return nil
+	}
+	if err := os.MkdirAll(s.Dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(s.Dir, "section*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := io.WriteString(tmp, content); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), s.path(name))
+}
+
+// Stage is one named unit of the reproduction pipeline. Fn renders the
+// stage's full report section to w; it must be self-contained so a
+// resumed run can splice the saved text verbatim.
+type Stage struct {
+	Name string
+	Fn   func(w io.Writer) error
+}
+
+// RunPipeline drives the stages in order through the runner and the
+// optional section store: resumed stages are spliced from disk, fresh
+// stages run with retry/backoff and panic isolation, exhausted stages
+// leave an explicit gap marker in the report. The stage summary is
+// appended at the end. Returns true when every stage produced output
+// (none skipped).
+func RunPipeline(w io.Writer, stages []Stage, runner *StageRunner, store *SectionStore) bool {
+	for _, st := range stages {
+		if text, ok := store.Load(st.Name); ok {
+			runner.RecordResumed(st.Name)
+			runner.logf("stage %q resumed from checkpoint\n", st.Name)
+			io.WriteString(w, text)
+			continue
+		}
+		var buf bytes.Buffer
+		fn := st.Fn
+		res := runner.Run(st.Name, func() error {
+			buf.Reset() // a retried stage re-renders from scratch
+			return fn(&buf)
+		})
+		if res.Status == StageSkipped {
+			fmt.Fprintf(w, "!!! stage %q skipped after %d attempts: %s\n\n", st.Name, res.Attempts, res.Err)
+			continue
+		}
+		io.WriteString(w, buf.String())
+		if err := store.Save(st.Name, buf.String()); err != nil {
+			runner.logf("stage %q: checkpoint save failed: %v\n", st.Name, err)
+		}
+	}
+	runner.WriteSummary(w)
+	return !runner.Skipped()
+}

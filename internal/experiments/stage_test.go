@@ -1,0 +1,213 @@
+package experiments
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func noSleepRunner() *StageRunner {
+	return &StageRunner{MaxAttempts: 3, Backoff: time.Nanosecond, Sleep: func(time.Duration) {}}
+}
+
+func TestStageRunnerRetriesThenRecovers(t *testing.T) {
+	r := noSleepRunner()
+	calls := 0
+	res := r.Run("flaky", func() error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if res.Status != StageRecovered || res.Attempts != 3 {
+		t.Fatalf("res = %+v, want recovered on attempt 3", res)
+	}
+	if calls != 3 {
+		t.Fatalf("fn called %d times, want 3", calls)
+	}
+}
+
+func TestStageRunnerExponentialBackoff(t *testing.T) {
+	var waits []time.Duration
+	r := &StageRunner{
+		MaxAttempts: 4,
+		Backoff:     10 * time.Millisecond,
+		Sleep:       func(d time.Duration) { waits = append(waits, d) },
+	}
+	r.Run("failing", func() error { return errors.New("always") })
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond}
+	if len(waits) != len(want) {
+		t.Fatalf("slept %v, want %v", waits, want)
+	}
+	for i := range want {
+		if waits[i] != want[i] {
+			t.Fatalf("slept %v, want %v", waits, want)
+		}
+	}
+}
+
+func TestStageRunnerSkipsAfterExhaustion(t *testing.T) {
+	r := noSleepRunner()
+	res := r.Run("doomed", func() error { return errors.New("permanent damage") })
+	if res.Status != StageSkipped || res.Attempts != 3 {
+		t.Fatalf("res = %+v, want skipped after 3 attempts", res)
+	}
+	if !strings.Contains(res.Err, "permanent damage") {
+		t.Fatalf("res.Err = %q, want the last error", res.Err)
+	}
+	if !r.Skipped() {
+		t.Fatal("runner must report a skipped stage")
+	}
+}
+
+func TestStageRunnerIsolatesPanics(t *testing.T) {
+	r := noSleepRunner()
+	res := r.Run("panicky", func() error { panic("boom at depth 3") })
+	if res.Status != StageSkipped {
+		t.Fatalf("res = %+v, want skipped", res)
+	}
+	if !strings.Contains(res.Err, "boom at depth 3") {
+		t.Fatalf("res.Err = %q, want the panic value", res.Err)
+	}
+}
+
+func TestRunPipelineMarksGapAndSummarises(t *testing.T) {
+	var report bytes.Buffer
+	stages := []Stage{
+		{Name: "good", Fn: func(w io.Writer) error { fmt.Fprintln(w, "good section"); return nil }},
+		{Name: "bad", Fn: func(w io.Writer) error {
+			fmt.Fprintln(w, "partial output that must not leak")
+			return errors.New("exploded")
+		}},
+		{Name: "after", Fn: func(w io.Writer) error { fmt.Fprintln(w, "after section"); return nil }},
+	}
+	ok := RunPipeline(&report, stages, noSleepRunner(), nil)
+	out := report.String()
+	if ok {
+		t.Fatal("pipeline with a skipped stage must report failure")
+	}
+	if !strings.Contains(out, "good section") || !strings.Contains(out, "after section") {
+		t.Fatalf("healthy sections missing from report:\n%s", out)
+	}
+	if strings.Contains(out, "must not leak") {
+		t.Fatalf("failed stage's partial output leaked into the report:\n%s", out)
+	}
+	if !strings.Contains(out, `!!! stage "bad" skipped`) {
+		t.Fatalf("report does not mark the gap:\n%s", out)
+	}
+	if !strings.Contains(out, "stage summary") || !strings.Contains(out, "SKIPPED") {
+		t.Fatalf("report missing the stage summary:\n%s", out)
+	}
+}
+
+func TestRunPipelineRetriedStageRendersOnce(t *testing.T) {
+	var report bytes.Buffer
+	attempt := 0
+	stages := []Stage{{Name: "flaky", Fn: func(w io.Writer) error {
+		attempt++
+		fmt.Fprintf(w, "rendered on attempt %d\n", attempt)
+		if attempt < 2 {
+			return errors.New("first attempt dies after writing")
+		}
+		return nil
+	}}}
+	RunPipeline(&report, stages, noSleepRunner(), nil)
+	if strings.Contains(report.String(), "attempt 1") {
+		t.Fatalf("stale first-attempt output leaked:\n%s", report.String())
+	}
+	if !strings.Contains(report.String(), "rendered on attempt 2") {
+		t.Fatalf("successful attempt's output missing:\n%s", report.String())
+	}
+}
+
+// TestRunPipelineResume simulates the acceptance scenario: a run killed
+// after its first stage completes, then re-run with -resume — the
+// completed stage is spliced from disk and not recomputed, while the
+// remaining stage runs.
+func TestRunPipelineResume(t *testing.T) {
+	dir := t.TempDir()
+
+	// First run: stage "rank" completes, then the process "dies" before
+	// stage "label" (modelled by a pipeline holding only the first
+	// stage).
+	rankRuns := 0
+	first := []Stage{{Name: "rank", Fn: func(w io.Writer) error {
+		rankRuns++
+		fmt.Fprintln(w, "rank tables")
+		return nil
+	}}}
+	var out1 bytes.Buffer
+	if ok := RunPipeline(&out1, first, noSleepRunner(), &SectionStore{Dir: dir}); !ok {
+		t.Fatal("first run failed")
+	}
+
+	// Second run resumes with the full pipeline.
+	labelRuns := 0
+	full := []Stage{
+		{Name: "rank", Fn: func(w io.Writer) error {
+			rankRuns++
+			fmt.Fprintln(w, "rank tables")
+			return nil
+		}},
+		{Name: "label", Fn: func(w io.Writer) error {
+			labelRuns++
+			fmt.Fprintln(w, "label curves")
+			return nil
+		}},
+	}
+	var out2 bytes.Buffer
+	runner := noSleepRunner()
+	if ok := RunPipeline(&out2, full, runner, &SectionStore{Dir: dir, Resume: true}); !ok {
+		t.Fatal("resumed run failed")
+	}
+	if rankRuns != 1 {
+		t.Fatalf("rank stage ran %d times, want 1 (resumed from checkpoint)", rankRuns)
+	}
+	if labelRuns != 1 {
+		t.Fatalf("label stage ran %d times, want 1", labelRuns)
+	}
+	if !strings.Contains(out2.String(), "rank tables") || !strings.Contains(out2.String(), "label curves") {
+		t.Fatalf("resumed report incomplete:\n%s", out2.String())
+	}
+	if !strings.Contains(out2.String(), "resumed from checkpoint") {
+		t.Fatalf("summary does not mark the resumed stage:\n%s", out2.String())
+	}
+}
+
+func TestSectionStoreWithoutResumeIgnoresExisting(t *testing.T) {
+	dir := t.TempDir()
+	s := &SectionStore{Dir: dir}
+	if err := s.Save("stage", "old content"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Load("stage"); ok {
+		t.Fatal("store without Resume must not load sections")
+	}
+	rs := &SectionStore{Dir: dir, Resume: true}
+	got, ok := rs.Load("stage")
+	if !ok || got != "old content" {
+		t.Fatalf("Load = %q, %v, want saved content", got, ok)
+	}
+}
+
+func TestSectionStoreSanitisesNames(t *testing.T) {
+	s := &SectionStore{Dir: t.TempDir()}
+	if err := s.Save("label curves (LOAD)/x", "content"); err != nil {
+		t.Fatal(err)
+	}
+	rs := &SectionStore{Dir: s.Dir, Resume: true}
+	if _, ok := rs.Load("label curves (LOAD)/x"); !ok {
+		t.Fatal("sanitised name did not round-trip")
+	}
+	// The file must live directly under Dir, not in a subdirectory.
+	matches, _ := filepath.Glob(filepath.Join(s.Dir, "*.section"))
+	if len(matches) != 1 {
+		t.Fatalf("found %d section files in %s, want 1", len(matches), s.Dir)
+	}
+}
