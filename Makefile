@@ -1,12 +1,12 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: all check vet build test race fuzz-smoke bench clean
+.PHONY: all check vet build test race fuzz-smoke serve-smoke bench clean
 
 all: check
 
 # The full tier-1 gate: what CI runs.
-check: vet build test race fuzz-smoke
+check: vet build test race fuzz-smoke serve-smoke
 
 vet:
 	$(GO) vet ./...
@@ -26,6 +26,11 @@ fuzz-smoke:
 	$(GO) test -run=Fuzz -fuzz=FuzzReadTSV -fuzztime=$(FUZZTIME) ./internal/graph
 	$(GO) test -run=Fuzz -fuzz=FuzzReadFeatureSet -fuzztime=$(FUZZTIME) ./internal/core
 	$(GO) test -run=Fuzz -fuzz=FuzzParseCompact -fuzztime=$(FUZZTIME) ./internal/core
+
+# End-to-end daemon smoke: builds cmd/hsgfd under -race, boots it on a
+# synthetic graph and exercises serve/degrade/shed/drain over real HTTP.
+serve-smoke:
+	$(GO) test -race -tags smoke -run TestServeSmoke -v ./cmd/hsgfd
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -12,6 +12,7 @@
 package hsgf_test
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -80,7 +81,7 @@ func BenchmarkFigure3RankPrediction(b *testing.B) {
 	var res *experiments.RankResult
 	var err error
 	for i := 0; i < b.N; i++ {
-		res, err = experiments.RunRank(cfg)
+		res, err = experiments.RunRank(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -95,7 +96,7 @@ func BenchmarkFigure3RankPrediction(b *testing.B) {
 // NDCG averages per feature family and regressor.
 func BenchmarkTable1AverageNDCG(b *testing.B) {
 	cfg := benchRankConfig()
-	res, err := experiments.RunRank(cfg)
+	res, err := experiments.RunRank(context.Background(), cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -116,7 +117,7 @@ func BenchmarkFigure4FeatureImportance(b *testing.B) {
 	var res *experiments.RankResult
 	var err error
 	for i := 0; i < b.N; i++ {
-		res, err = experiments.RunRank(cfg)
+		res, err = experiments.RunRank(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -157,7 +158,7 @@ func BenchmarkTable3Runtime(b *testing.B) {
 	var row *experiments.RuntimeRow
 	var err error
 	for i := 0; i < b.N; i++ {
-		row, err = experiments.MeasureRuntime("LOAD", g, cfg)
+		row, err = experiments.MeasureRuntime(context.Background(), "LOAD", g, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -175,7 +176,7 @@ func BenchmarkFigure5TrainingSize(b *testing.B) {
 	var curves map[string][]experiments.CurvePoint
 	var err error
 	for i := 0; i < b.N; i++ {
-		curves, err = experiments.TrainingSizeCurves(g, cfg)
+		curves, err = experiments.TrainingSizeCurves(context.Background(), g, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -195,7 +196,7 @@ func BenchmarkFigure5LabelRemoval(b *testing.B) {
 	var curves map[string][]experiments.CurvePoint
 	var err error
 	for i := 0; i < b.N; i++ {
-		curves, err = experiments.LabelRemovalCurves(g, cfg)
+		curves, err = experiments.LabelRemovalCurves(context.Background(), g, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}

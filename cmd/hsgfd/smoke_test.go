@@ -1,0 +1,271 @@
+//go:build smoke
+
+// End-to-end smoke test for the serving daemon: builds the real binary
+// under the race detector, boots it on a synthetic graph, exercises the
+// happy path, a degraded (budget-truncated) extraction, request
+// validation, an overload burst against a one-slot admission gate, and a
+// SIGTERM drain — asserting the process exits 0 after a clean drain.
+//
+// Gated behind the "smoke" build tag so the ordinary test run stays
+// fast; run it with `make serve-smoke`.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"hsgf/internal/graph"
+)
+
+// writeSyntheticGraph writes a hub-skewed labelled graph in the TSV
+// exchange format: one runaway hub plus a sparse periphery, the shape
+// the daemon's admission control exists for.
+func writeSyntheticGraph(t *testing.T, path string, n int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	b := graph.NewBuilderWithAlphabet(graph.MustAlphabet("loc", "org", "act"))
+	for i := 0; i < n; i++ {
+		if _, err := b.AddLabeledNode(graph.Label(rng.Intn(3))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for v := 1; v < n; v++ {
+		if err := b.AddEdge(0, graph.NodeID(v)); err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < 3; k++ {
+			u := 1 + rng.Intn(n-1)
+			if u != v {
+				if err := b.AddEdge(graph.NodeID(v), graph.NodeID(u)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.WriteTSV(f, b.MustBuild()); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServeSmoke(t *testing.T) {
+	tmp := t.TempDir()
+	tsv := filepath.Join(tmp, "graph.tsv")
+	writeSyntheticGraph(t, tsv, 400)
+
+	bin := filepath.Join(tmp, "hsgfd")
+	build := exec.Command("go", "build", "-race", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build -race: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin,
+		"-in", tsv,
+		"-addr", "127.0.0.1:0",
+		"-emax", "4",
+		"-dmax-percentile", "0.95",
+		"-root-budget", "50000",
+		"-max-inflight", "1",
+		"-max-queue", "1",
+		"-drain-grace", "10s",
+	)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if cmd.Process != nil {
+			_ = cmd.Process.Kill()
+		}
+	}()
+
+	// The daemon logs its resolved listen address; scan stderr for it and
+	// keep draining the pipe so the process never blocks on logging.
+	addrCh := make(chan string, 1)
+	var logTail bytes.Buffer
+	var logMu sync.Mutex
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			logMu.Lock()
+			fmt.Fprintln(&logTail, line)
+			logMu.Unlock()
+			if i := strings.Index(line, "listening on "); i >= 0 {
+				addr := strings.Fields(line[i+len("listening on "):])[0]
+				select {
+				case addrCh <- addr:
+				default:
+				}
+			}
+		}
+	}()
+	var base string
+	select {
+	case addr := <-addrCh:
+		base = "http://" + addr
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon never reported its listen address")
+	}
+
+	get := func(path string) (int, []byte) {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, body
+	}
+	post := func(body string) (int, []byte) {
+		resp, err := http.Post(base+"/v1/features", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST /v1/features: %v", err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, b
+	}
+
+	// Liveness, readiness, metadata.
+	if code, _ := get("/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz = %d", code)
+	}
+	if code, _ := get("/readyz"); code != http.StatusOK {
+		t.Fatalf("readyz = %d", code)
+	}
+	code, body := get("/v1/meta")
+	if code != http.StatusOK {
+		t.Fatalf("meta = %d: %s", code, body)
+	}
+	var meta struct {
+		Fingerprint string `json:"fingerprint"`
+		Nodes       int    `json:"nodes"`
+	}
+	if err := json.Unmarshal(body, &meta); err != nil || meta.Nodes != 400 || meta.Fingerprint == "" {
+		t.Fatalf("meta body %s (err %v)", body, err)
+	}
+
+	// Happy-path extraction.
+	code, body = post(`{"roots":[1,2,3]}`)
+	if code != http.StatusOK {
+		t.Fatalf("features = %d: %s", code, body)
+	}
+	var feat struct {
+		Rows     []struct{ Flags string }
+		Degraded bool
+	}
+	if err := json.Unmarshal(body, &feat); err != nil || len(feat.Rows) != 3 {
+		t.Fatalf("features body %s (err %v)", body, err)
+	}
+
+	// Degraded-not-failed: an absurdly tight budget truncates rows but
+	// the request still succeeds with flags.
+	code, body = post(`{"roots":[1,2],"root_budget":1}`)
+	if code != http.StatusOK {
+		t.Fatalf("budget-truncated features = %d: %s", code, body)
+	}
+	var trunc struct{ Degraded bool }
+	if err := json.Unmarshal(body, &trunc); err != nil || !trunc.Degraded {
+		t.Fatalf("budget truncation not marked degraded: %s", body)
+	}
+
+	// Validation.
+	if code, _ = post(`{"roots":[]}`); code != http.StatusBadRequest {
+		t.Fatalf("empty roots = %d, want 400", code)
+	}
+
+	// Overload burst against a one-slot gate: every response must be a
+	// typed status (200 accepted, 429 shed, 503 queue-timeout/breaker) —
+	// never a transport error or a hung connection.
+	const burst = 16
+	codes := make([]int, burst)
+	var wg sync.WaitGroup
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(base+"/v1/features", "application/json",
+				strings.NewReader(`{"roots":[0],"deadline_ms":2000}`))
+			if err != nil {
+				t.Errorf("burst request %d: %v", i, err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			codes[i] = resp.StatusCode
+		}(i)
+	}
+	wg.Wait()
+	tally := map[int]int{}
+	for _, c := range codes {
+		switch c {
+		case http.StatusOK, http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			tally[c]++
+		default:
+			t.Fatalf("burst produced untyped status %d (tally so far %v)", c, tally)
+		}
+	}
+	t.Logf("burst outcomes: %v", tally)
+	if tally[http.StatusOK] == 0 {
+		t.Error("overload burst starved every request; at least one must be served")
+	}
+
+	code, body = get("/debug/stats")
+	if code != http.StatusOK {
+		t.Fatalf("stats = %d", code)
+	}
+	var stats struct {
+		Accepted  int64 `json:"accepted"`
+		Completed int64 `json:"completed"`
+	}
+	if err := json.Unmarshal(body, &stats); err != nil || stats.Completed < 2 {
+		t.Fatalf("stats body %s (err %v)", body, err)
+	}
+
+	// Graceful drain: SIGTERM, clean exit 0.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	waitErr := make(chan error, 1)
+	go func() { waitErr <- cmd.Wait() }()
+	select {
+	case err := <-waitErr:
+		if err != nil {
+			logMu.Lock()
+			tail := logTail.String()
+			logMu.Unlock()
+			t.Fatalf("daemon exited non-zero after SIGTERM: %v\n%s", err, tail)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not exit within the drain window after SIGTERM")
+	}
+	logMu.Lock()
+	tail := logTail.String()
+	logMu.Unlock()
+	if !strings.Contains(tail, "drained cleanly") {
+		t.Errorf("daemon log missing clean-drain marker:\n%s", tail)
+	}
+}

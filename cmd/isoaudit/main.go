@@ -47,7 +47,10 @@ func printAudit(k, maxEdges int, loopFree bool) {
 			fmt.Fprintf(tw, "\t\t\t\twitness: %s\n", describe(c.A, c.B))
 		}
 	}
-	tw.Flush()
+	if err := tw.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "isoaudit:", err)
+		os.Exit(1)
+	}
 	fmt.Printf("=> encoding unique through emax = %d\n\n", lastUnique)
 }
 

@@ -17,9 +17,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"hsgf/internal/experiments"
@@ -46,6 +50,10 @@ func main() {
 		os.Exit(1)
 	}
 
+	// Ctrl-C / SIGTERM cancels the embedding training loops cleanly.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	start := time.Now()
 	runCurve := *mode == "curve" || *mode == "all"
 	runRemoval := *mode == "removal" || *mode == "all"
@@ -63,7 +71,7 @@ func main() {
 	for _, ds := range datasets {
 		order = append(order, ds.Name)
 		if runCurve {
-			curves, err := experiments.TrainingSizeCurves(ds.Graph, cfg)
+			curves, err := experiments.TrainingSizeCurves(ctx, ds.Graph, cfg)
 			if err != nil {
 				fail(err)
 			}
@@ -71,7 +79,7 @@ func main() {
 				fmt.Sprintf("Figure 5 (%s) — Macro F1 vs training size", ds.Name), "train", curves)
 		}
 		if runRemoval {
-			curves, err := experiments.LabelRemovalCurves(ds.Graph, cfg)
+			curves, err := experiments.LabelRemovalCurves(ctx, ds.Graph, cfg)
 			if err != nil {
 				fail(err)
 			}
@@ -149,6 +157,10 @@ func main() {
 }
 
 func fail(err error) {
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "labelbench: interrupted")
+		os.Exit(130)
+	}
 	fmt.Fprintln(os.Stderr, "labelbench:", err)
 	os.Exit(1)
 }

@@ -68,7 +68,9 @@ func main() {
 		fmt.Fprintf(tw, "%s\t%d\t%.1f\t%s\n", z, s.Real, s.RandMean, motif.Describe(s.Example, g.Alphabet()))
 		shown++
 	}
-	tw.Flush()
+	if err := tw.Flush(); err != nil {
+		fail(err)
+	}
 
 	// Rooted census over a bounded sample.
 	roots := core.SampleRoots(g, *rooted/g.NumLabels()+1, rand.New(rand.NewSource(*seed+1)))

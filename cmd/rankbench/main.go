@@ -8,9 +8,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"hsgf/internal/experiments"
@@ -31,8 +34,12 @@ func main() {
 	cfg.Seed = *seed
 	cfg.Publication.Seed = *seed
 
+	// Ctrl-C / SIGTERM cancels the embedding training loops cleanly.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	start := time.Now()
-	res, err := experiments.RunRank(cfg)
+	res, err := experiments.RunRank(ctx, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rankbench:", err)
 		os.Exit(1)

@@ -25,11 +25,13 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"syscall"
 	"time"
 
@@ -64,6 +66,11 @@ func main() {
 		}
 		w = f
 	}
+	// Ctrl-C / SIGTERM cancels long embedding loops; the stage runner then
+	// records the interrupted stage as skipped rather than hanging.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	start := time.Now()
 	fmt.Fprintf(w, "hsgf full reproduction — seed %d, scale %.2f, quick=%v\n\n", *seed, *scale, *quick)
 
@@ -77,7 +84,7 @@ func main() {
 		Log:         os.Stderr,
 	}
 
-	ok := experiments.RunPipeline(w, buildStages(*quick, *scale, *seed), runner, store)
+	ok := experiments.RunPipeline(w, buildStages(ctx, *quick, *scale, *seed), runner, store)
 	fmt.Fprintf(w, "\ntotal: %v\n", time.Since(start).Round(time.Second))
 	fmt.Fprintln(os.Stderr, "reproduce: done in", time.Since(start).Round(time.Second))
 
@@ -104,7 +111,7 @@ func main() {
 // text verbatim. The label datasets are generated lazily and shared:
 // generation failures surface in (and are retried by) whichever
 // dependent stage runs first, without touching independent stages.
-func buildStages(quick bool, scale float64, seed int64) []experiments.Stage {
+func buildStages(ctx context.Context, quick bool, scale float64, seed int64) []experiments.Stage {
 	var (
 		datasets    []experiments.LabelDataset
 		datasetsErr error
@@ -153,7 +160,7 @@ func buildStages(quick bool, scale float64, seed int64) []experiments.Stage {
 				rcfg.EmbedDim = 16
 				rcfg.LINESamplesX = 8
 			}
-			rres, err := experiments.RunRank(rcfg)
+			rres, err := experiments.RunRank(ctx, rcfg)
 			if err != nil {
 				return err
 			}
@@ -174,12 +181,12 @@ func buildStages(quick bool, scale float64, seed int64) []experiments.Stage {
 					return err
 				}
 				step(w, fmt.Sprintf("E4, E7: label prediction on %s (Figure 5)", name))
-				curves, err := experiments.TrainingSizeCurves(ds.Graph, lcfg)
+				curves, err := experiments.TrainingSizeCurves(ctx, ds.Graph, lcfg)
 				if err != nil {
 					return err
 				}
 				experiments.WriteCurves(w, fmt.Sprintf("Figure 5 (%s) — Macro F1 vs training size", name), "train", curves)
-				removal, err := experiments.LabelRemovalCurves(ds.Graph, lcfg)
+				removal, err := experiments.LabelRemovalCurves(ctx, ds.Graph, lcfg)
 				if err != nil {
 					return err
 				}
@@ -229,7 +236,7 @@ func buildStages(quick bool, scale float64, seed int64) []experiments.Stage {
 			step(w, "E5: runtime (Table 3)")
 			var rows []*experiments.RuntimeRow
 			for _, ds := range datasets {
-				row, err := experiments.MeasureRuntime(ds.Name, ds.Graph, lcfg)
+				row, err := experiments.MeasureRuntime(ctx, ds.Name, ds.Graph, lcfg)
 				if err != nil {
 					return err
 				}

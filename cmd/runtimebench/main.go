@@ -5,9 +5,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"hsgf/internal/experiments"
@@ -32,10 +35,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "runtimebench:", err)
 		os.Exit(1)
 	}
+	// Ctrl-C / SIGTERM cancels the embedding timing runs cleanly.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	start := time.Now()
 	var rows []*experiments.RuntimeRow
 	for _, ds := range datasets {
-		row, err := experiments.MeasureRuntime(ds.Name, ds.Graph, cfg)
+		row, err := experiments.MeasureRuntime(ctx, ds.Name, ds.Graph, cfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "runtimebench:", err)
 			os.Exit(1)

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -59,10 +60,13 @@ func main() {
 	censuses := ex.CensusAll(nodes, 0)
 
 	// DeepWalk baseline on the same graph.
-	vecs := embed.DeepWalk(g,
+	vecs, err := embed.DeepWalk(context.Background(), g,
 		embed.WalkConfig{WalksPerNode: 5, WalkLength: 20},
 		embed.SGNSConfig{Dim: 32, Window: 5, Negatives: 5, Epochs: 2},
 		rand.New(rand.NewSource(5)))
+	if err != nil {
+		panic(err)
+	}
 	embRows := make([][]float64, len(nodes))
 	for i, v := range nodes {
 		embRows[i] = vecs[v]

@@ -86,6 +86,9 @@ type (
 	// CheckpointConfig configures checkpointed extraction
 	// (Extractor.CensusAllCheckpoint).
 	CheckpointConfig = core.CheckpointConfig
+	// RootLimits is a per-call override of the per-root enumeration
+	// bounds (Extractor.CensusAllWithLimits).
+	RootLimits = core.RootLimits
 )
 
 // Census degradation flags (Census.Flags / FeatureSet.RowFlags).

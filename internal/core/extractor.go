@@ -190,10 +190,42 @@ func (e *Extractor) CensusAllContext(ctx context.Context, roots []graph.NodeID, 
 	return cs, ctx.Err()
 }
 
+// RootLimits is a per-call override of the extractor's per-root
+// enumeration bounds, for callers that serve heterogeneous request
+// classes over one shared extractor (the serving daemon): a zero field
+// keeps the corresponding Options value.
+type RootLimits struct {
+	// Budget overrides Options.MaxSubgraphsPerRoot when > 0.
+	Budget int64
+	// Deadline overrides Options.RootDeadline when > 0.
+	Deadline time.Duration
+}
+
+// CensusAllWithLimits is CensusAllContext with per-call root limits:
+// every root of this extraction is bounded by limits (falling back to
+// the extractor's Options for zero fields) without rebuilding the
+// extractor or discarding its decoded vocabulary. Truncation is
+// reported per root through the usual CensusFlag taxonomy.
+func (e *Extractor) CensusAllWithLimits(ctx context.Context, roots []graph.NodeID, workers int, limits RootLimits) ([]*Census, error) {
+	var stop atomic.Bool
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			stop.Store(true)
+		case <-watchDone:
+		}
+	}()
+	cs, _ := e.censusAll(roots, workers, censusRun{stop: &stop, limits: limits})
+	return cs, ctx.Err()
+}
+
 // censusRun bundles the optional behaviours of a pooled extraction.
 type censusRun struct {
-	timed bool         // record per-root wall-clock times
-	stop  *atomic.Bool // cooperative cancellation flag, may be nil
+	timed  bool         // record per-root wall-clock times
+	stop   *atomic.Bool // cooperative cancellation flag, may be nil
+	limits RootLimits   // per-run override of per-root bounds
 	// done, when non-nil, is invoked from worker goroutines after each
 	// root completes (the checkpoint collector). The worker's repr is
 	// merged before the callback, so every key of the delivered census is
@@ -223,7 +255,7 @@ func (e *Extractor) censusAll(roots []graph.NodeID, workers int, run censusRun) 
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			w := e.newPoolWorker(run.stop)
+			w := e.newPoolWorker(run)
 			for i := range jobs {
 				if run.stop != nil && run.stop.Load() {
 					continue // drain; pending roots stay nil
@@ -235,7 +267,7 @@ func (e *Extractor) censusAll(roots []graph.NodeID, workers int, run censusRun) 
 					// unwound enumeration; merge what it learned and
 					// replace it wholesale.
 					e.mergeRepr(w.repr)
-					w = e.newPoolWorker(run.stop)
+					w = e.newPoolWorker(run)
 				}
 				out[i] = c
 				if run.timed {
@@ -258,10 +290,16 @@ func (e *Extractor) censusAll(roots []graph.NodeID, workers int, run censusRun) 
 	return out, times
 }
 
-func (e *Extractor) newPoolWorker(stop *atomic.Bool) *worker {
+func (e *Extractor) newPoolWorker(run censusRun) *worker {
 	w := newWorker(e.g, e.opts, e.k, e.pows)
-	w.stop = stop
+	w.stop = run.stop
 	w.hooks = e.hooks
+	if run.limits.Budget > 0 {
+		w.budget = run.limits.Budget
+	}
+	if run.limits.Deadline > 0 {
+		w.deadline = run.limits.Deadline
+	}
 	return w
 }
 

@@ -1,0 +1,32 @@
+package core
+
+import "hsgf/internal/graph"
+
+// FaultHooks is the exported face of the deterministic fault-injection
+// seam threaded into census workers. It exists so packages layered on
+// top of the extractor (the serving daemon, future pipeline stages) can
+// exercise their own failure semantics against real census faults —
+// slow roots, panicking roots, runaway roots — at exactly the points
+// where production faults occur. Hooks run on census worker goroutines;
+// they may sleep or panic, but must not touch worker state.
+//
+// Intended for tests only: a nil hook set (the default) costs one
+// pointer check per poll interval.
+type FaultHooks struct {
+	// OnRootStart fires once per root, before enumeration begins.
+	OnRootStart func(root graph.NodeID)
+	// OnStep fires at every periodic poll point (every pollInterval
+	// candidate steps) with the running step count.
+	OnStep func(root graph.NodeID, step uint64)
+}
+
+// SetFaultHooks installs (or, with nil, removes) the fault-injection
+// hooks on workers created after the call. Not safe to call
+// concurrently with an extraction.
+func (e *Extractor) SetFaultHooks(h *FaultHooks) {
+	if h == nil {
+		e.hooks = nil
+		return
+	}
+	e.hooks = &faultHooks{onRootStart: h.OnRootStart, onStep: h.OnStep}
+}

@@ -1,6 +1,8 @@
 package embed
 
 import (
+	"context"
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -96,7 +98,10 @@ func TestUniformWalks(t *testing.T) {
 	g, _, _ := twoClusters(5)
 	rng := rand.New(rand.NewSource(4))
 	cfg := WalkConfig{WalksPerNode: 3, WalkLength: 10}
-	walks := UniformWalks(g, cfg, rng)
+	walks, err := UniformWalks(context.Background(), g, cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(walks) != g.NumNodes()*3 {
 		t.Fatalf("got %d walks, want %d", len(walks), g.NumNodes()*3)
 	}
@@ -116,7 +121,10 @@ func TestUniformWalksIsolatedNode(t *testing.T) {
 	b := graph.NewBuilderWithAlphabet(graph.MustAlphabet("n"))
 	b.AddNode("n")
 	g := b.MustBuild()
-	walks := UniformWalks(g, WalkConfig{WalksPerNode: 2, WalkLength: 5}, rand.New(rand.NewSource(1)))
+	walks, err := UniformWalks(context.Background(), g, WalkConfig{WalksPerNode: 2, WalkLength: 5}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(walks) != 2 {
 		t.Fatalf("want 2 walks, got %d", len(walks))
 	}
@@ -131,7 +139,10 @@ func TestBiasedWalksValidEdges(t *testing.T) {
 	g, _, _ := twoClusters(5)
 	rng := rand.New(rand.NewSource(5))
 	cfg := WalkConfig{WalksPerNode: 2, WalkLength: 12, ReturnP: 0.5, InOutQ: 2}
-	walks := BiasedWalks(g, cfg, rng)
+	walks, err := BiasedWalks(context.Background(), g, cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(walks) != g.NumNodes()*2 {
 		t.Fatalf("got %d walks", len(walks))
 	}
@@ -160,7 +171,10 @@ func TestBiasedWalksLowQExplores(t *testing.T) {
 	reach := func(q float64, seed int64) float64 {
 		rng := rand.New(rand.NewSource(seed))
 		cfg := WalkConfig{WalksPerNode: 30, WalkLength: 15, ReturnP: 1, InOutQ: q}
-		walks := BiasedWalks(g, cfg, rng)
+		walks, err := BiasedWalks(context.Background(), g, cfg, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
 		var total float64
 		var count int
 		for _, w := range walks {
@@ -210,8 +224,11 @@ func embeddingSeparates(t *testing.T, vecs [][]float64, a, c []graph.NodeID) {
 func TestDeepWalkSeparatesClusters(t *testing.T) {
 	g, a, c := twoClusters(8)
 	rng := rand.New(rand.NewSource(7))
-	vecs := DeepWalk(g, WalkConfig{WalksPerNode: 10, WalkLength: 20},
+	vecs, err := DeepWalk(context.Background(), g, WalkConfig{WalksPerNode: 10, WalkLength: 20},
 		SGNSConfig{Dim: 16, Window: 4, Negatives: 5, Epochs: 3}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(vecs) != g.NumNodes() || len(vecs[0]) != 16 {
 		t.Fatalf("embedding shape %dx%d", len(vecs), len(vecs[0]))
 	}
@@ -221,15 +238,21 @@ func TestDeepWalkSeparatesClusters(t *testing.T) {
 func TestNode2VecSeparatesClusters(t *testing.T) {
 	g, a, c := twoClusters(8)
 	rng := rand.New(rand.NewSource(8))
-	vecs := Node2Vec(g, WalkConfig{WalksPerNode: 10, WalkLength: 20, ReturnP: 1, InOutQ: 0.5},
+	vecs, err := Node2Vec(context.Background(), g, WalkConfig{WalksPerNode: 10, WalkLength: 20, ReturnP: 1, InOutQ: 0.5},
 		SGNSConfig{Dim: 16, Window: 4, Negatives: 5, Epochs: 3}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
 	embeddingSeparates(t, vecs, a, c)
 }
 
 func TestLINESeparatesClusters(t *testing.T) {
 	g, a, c := twoClusters(8)
 	rng := rand.New(rand.NewSource(9))
-	vecs := LINE(g, LINEConfig{Dim: 8, Negatives: 5, Samples: 40000}, rng)
+	vecs, err := LINE(context.Background(), g, LINEConfig{Dim: 8, Negatives: 5, Samples: 40000}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(vecs[0]) != 16 {
 		t.Fatalf("LINE output dim %d, want 16 (two concatenated orders)", len(vecs[0]))
 	}
@@ -239,8 +262,12 @@ func TestLINESeparatesClusters(t *testing.T) {
 func TestEmbeddingsDeterministic(t *testing.T) {
 	g, _, _ := twoClusters(5)
 	run := func() [][]float64 {
-		return DeepWalk(g, WalkConfig{WalksPerNode: 2, WalkLength: 8},
+		vecs, err := DeepWalk(context.Background(), g, WalkConfig{WalksPerNode: 2, WalkLength: 8},
 			SGNSConfig{Dim: 8, Window: 3, Negatives: 2, Epochs: 1}, rand.New(rand.NewSource(42)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return vecs
 	}
 	v1, v2 := run(), run()
 	for i := range v1 {
@@ -249,6 +276,66 @@ func TestEmbeddingsDeterministic(t *testing.T) {
 				t.Fatal("embedding not deterministic under fixed seed")
 			}
 		}
+	}
+}
+
+func TestSGNSDivergesOnAbsurdLR(t *testing.T) {
+	// A learning rate of 1e154 overflows the update arithmetic within the
+	// first walks: saturated sigmoids multiply zero gradients into Inf
+	// vector components, producing NaN. Training must stop with a typed
+	// DivergenceError instead of returning a corrupt matrix.
+	g, _, _ := twoClusters(6)
+	rng := rand.New(rand.NewSource(10))
+	_, err := DeepWalk(context.Background(), g, WalkConfig{WalksPerNode: 4, WalkLength: 15},
+		SGNSConfig{Dim: 8, Window: 4, Negatives: 5, Epochs: 2, LR: 1e154}, rng)
+	var div *DivergenceError
+	if !errors.As(err, &div) {
+		t.Fatalf("want DivergenceError, got %v", err)
+	}
+	if div.Algo != "sgns" {
+		t.Errorf("Algo = %q, want sgns", div.Algo)
+	}
+	if div.Epoch < 0 || div.Epoch >= 2 {
+		t.Errorf("Epoch = %d, want in [0,2)", div.Epoch)
+	}
+}
+
+func TestLINEDivergesOnAbsurdLR(t *testing.T) {
+	g, _, _ := twoClusters(6)
+	rng := rand.New(rand.NewSource(11))
+	_, err := LINE(context.Background(), g, LINEConfig{Dim: 8, Negatives: 5, Samples: 20000, LR: 1e154}, rng)
+	var div *DivergenceError
+	if !errors.As(err, &div) {
+		t.Fatalf("want DivergenceError, got %v", err)
+	}
+	if div.Algo != "line" {
+		t.Errorf("Algo = %q, want line", div.Algo)
+	}
+	if div.Epoch != 1 && div.Epoch != 2 {
+		t.Errorf("Epoch (proximity order) = %d, want 1 or 2", div.Epoch)
+	}
+}
+
+func TestTrainingHonoursCancellation(t *testing.T) {
+	g, _, _ := twoClusters(8)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled: every loop must exit at its first poll
+
+	if _, err := UniformWalks(ctx, g, WalkConfig{WalksPerNode: 3, WalkLength: 10}, rand.New(rand.NewSource(1))); !errors.Is(err, context.Canceled) {
+		t.Errorf("UniformWalks: want context.Canceled, got %v", err)
+	}
+	if _, err := BiasedWalks(ctx, g, WalkConfig{WalksPerNode: 3, WalkLength: 10, ReturnP: 0.5, InOutQ: 2}, rand.New(rand.NewSource(2))); !errors.Is(err, context.Canceled) {
+		t.Errorf("BiasedWalks: want context.Canceled, got %v", err)
+	}
+	walks, err := UniformWalks(context.Background(), g, WalkConfig{WalksPerNode: 3, WalkLength: 10}, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := TrainSGNS(ctx, g, walks, SGNSConfig{Dim: 8, Window: 3, Negatives: 2, Epochs: 1}, rand.New(rand.NewSource(4))); !errors.Is(err, context.Canceled) {
+		t.Errorf("TrainSGNS: want context.Canceled, got %v", err)
+	}
+	if _, err := LINE(ctx, g, LINEConfig{Dim: 8, Negatives: 2, Samples: 10000}, rand.New(rand.NewSource(5))); !errors.Is(err, context.Canceled) {
+		t.Errorf("LINE: want context.Canceled, got %v", err)
 	}
 }
 

@@ -1,6 +1,7 @@
 package embed
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
@@ -37,16 +38,36 @@ func (c *LINEConfig) normalize(edges int) {
 	}
 }
 
+// linePollInterval is how many edge samples pass between cooperative
+// cancellation checks; lineGuardInterval is how many pass between
+// divergence scans of the last-updated source vector. Both are powers of
+// two so the hot loop tests them with a mask.
+const (
+	linePollInterval  = 512
+	lineGuardInterval = 64
+)
+
 // LINE learns LINE embeddings: first-order proximity (direct neighbours
 // embed closely) and second-order proximity (nodes with shared
 // neighbourhoods embed closely, via separate context vectors), each
 // trained by edge sampling with negative sampling; the two halves are
 // concatenated into the final representation, as the paper prescribes.
-func LINE(g *graph.Graph, cfg LINEConfig, rng *rand.Rand) [][]float64 {
+//
+// Cancellation is honoured every linePollInterval edge samples and
+// returns ctx.Err(). Gradient updates are guarded against divergence: a
+// non-finite embedding value (learning-rate blowup) stops training with
+// a *DivergenceError whose Epoch field carries the proximity order.
+func LINE(ctx context.Context, g *graph.Graph, cfg LINEConfig, rng *rand.Rand) ([][]float64, error) {
 	cfg.normalize(g.NumEdges())
 	n := g.NumNodes()
-	first := trainLINEOrder(g, cfg, 1, rng)
-	second := trainLINEOrder(g, cfg, 2, rng)
+	first, err := trainLINEOrder(ctx, g, cfg, 1, rng)
+	if err != nil {
+		return nil, err
+	}
+	second, err := trainLINEOrder(ctx, g, cfg, 2, rng)
+	if err != nil {
+		return nil, err
+	}
 	out := make([][]float64, n)
 	for v := 0; v < n; v++ {
 		vec := make([]float64, 0, 2*cfg.Dim)
@@ -54,13 +75,13 @@ func LINE(g *graph.Graph, cfg LINEConfig, rng *rand.Rand) [][]float64 {
 		vec = append(vec, second[v]...)
 		out[v] = vec
 	}
-	return out
+	return out, nil
 }
 
 // trainLINEOrder trains one proximity order. Edges are sampled uniformly
 // (the network is unweighted); negatives come from the degree^0.75
 // distribution.
-func trainLINEOrder(g *graph.Graph, cfg LINEConfig, order int, rng *rand.Rand) [][]float64 {
+func trainLINEOrder(ctx context.Context, g *graph.Graph, cfg LINEConfig, order int, rng *rand.Rand) ([][]float64, error) {
 	n := g.NumNodes()
 	dim := cfg.Dim
 	vertex := makeInit(n, dim, rng)
@@ -74,7 +95,7 @@ func trainLINEOrder(g *graph.Graph, cfg LINEConfig, order int, rng *rand.Rand) [
 
 	m := g.NumEdges()
 	if m == 0 {
-		return vertex
+		return vertex, nil
 	}
 	degW := make([]float64, n)
 	for v := 0; v < n; v++ {
@@ -82,11 +103,18 @@ func trainLINEOrder(g *graph.Graph, cfg LINEConfig, order int, rng *rand.Rand) [
 	}
 	neg, err := NewAlias(degW)
 	if err != nil {
-		return vertex
+		return vertex, nil
 	}
 
 	grad := make([]float64, dim)
 	for s := 0; s < cfg.Samples; s++ {
+		if s&(linePollInterval-1) == 0 {
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			default:
+			}
+		}
 		lr := cfg.LR * (1 - float64(s)/float64(cfg.Samples+1))
 		if lr < cfg.LR*0.0001 {
 			lr = cfg.LR * 0.0001
@@ -130,6 +158,12 @@ func trainLINEOrder(g *graph.Graph, cfg LINEConfig, order int, rng *rand.Rand) [
 		for d := 0; d < dim; d++ {
 			src[d] += grad[d]
 		}
+		// Divergence guard: a blowup first appears in the vector just
+		// updated, so a periodic scan of src catches it within
+		// lineGuardInterval samples of the corruption.
+		if s&(lineGuardInterval-1) == 0 && !finite(src) {
+			return nil, &DivergenceError{Algo: "line", Epoch: order, Step: s}
+		}
 	}
-	return vertex
+	return vertex, nil
 }

@@ -1,6 +1,8 @@
 package embed
 
 import (
+	"context"
+	"fmt"
 	"math"
 	"math/rand"
 
@@ -41,6 +43,27 @@ func (c *SGNSConfig) normalize() {
 	}
 }
 
+// DivergenceError reports that a training loop produced a non-finite
+// (NaN/Inf) embedding value — almost always a learning-rate blowup —
+// identifying where training was when the corruption was detected, so
+// callers can bisect the schedule instead of silently persisting a
+// corrupt embedding matrix.
+type DivergenceError struct {
+	// Algo is the training algorithm: "sgns" or "line".
+	Algo string
+	// Epoch locates the divergence: the corpus pass for SGNS, the
+	// proximity order (1 or 2) for LINE.
+	Epoch int
+	// Step is the walk index within the epoch (SGNS) or the edge
+	// sample index (LINE) at detection time.
+	Step int
+}
+
+func (e *DivergenceError) Error() string {
+	return fmt.Sprintf("embed: %s training diverged (non-finite embedding) at epoch %d, step %d; lower the learning rate",
+		e.Algo, e.Epoch, e.Step)
+}
+
 // sigma is the logistic function with clamping for numerical stability.
 func sigma(z float64) float64 {
 	if z > 8 {
@@ -52,24 +75,37 @@ func sigma(z float64) float64 {
 	return 1 / (1 + math.Exp(-z))
 }
 
+// finite reports whether every component of v is a finite float.
+func finite(v []float64) bool {
+	for _, x := range v {
+		// IsNaN || IsInf, branch-free: a finite x satisfies x-x == 0.
+		if x-x != 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // TrainSGNS learns node embeddings from a walk corpus by skip-gram with
 // negative sampling. Negative nodes are drawn from the corpus unigram
 // distribution raised to the 3/4 power, as in word2vec. Returns one
 // Dim-vector per node of g.
-func TrainSGNS(g *graph.Graph, walks [][]graph.NodeID, cfg SGNSConfig, rng *rand.Rand) [][]float64 {
+//
+// The epoch loop is cooperative: ctx cancellation is honoured between
+// walks and returns ctx.Err(). Gradient updates are guarded against
+// divergence — if an embedding vector turns non-finite (learning-rate
+// blowup), training stops with a *DivergenceError naming the epoch
+// rather than silently corrupting the matrix.
+func TrainSGNS(ctx context.Context, g *graph.Graph, walks [][]graph.NodeID, cfg SGNSConfig, rng *rand.Rand) ([][]float64, error) {
 	cfg.normalize()
 	n := g.NumNodes()
 	dim := cfg.Dim
 
 	// Unigram^0.75 negative-sampling table.
 	freq := make([]float64, n)
-	var pairs int
 	for _, walk := range walks {
 		for _, v := range walk {
 			freq[v]++
-		}
-		if len(walk) > 1 {
-			pairs += len(walk)
 		}
 	}
 	for i := range freq {
@@ -79,8 +115,7 @@ func TrainSGNS(g *graph.Graph, walks [][]graph.NodeID, cfg SGNSConfig, rng *rand
 	if err != nil {
 		// Corpus is empty or degenerate; return deterministic small
 		// random vectors so downstream pipelines still function.
-		out := makeInit(n, dim, rng)
-		return out
+		return makeInit(n, dim, rng), nil
 	}
 
 	in := makeInit(n, dim, rng)
@@ -93,7 +128,12 @@ func TrainSGNS(g *graph.Graph, walks [][]graph.NodeID, cfg SGNSConfig, rng *rand
 	step := 0
 	gradIn := make([]float64, dim)
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
-		for _, walk := range walks {
+		for wi, walk := range walks {
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			default:
+			}
 			lr := cfg.LR * (1 - float64(step)/float64(totalSteps+1))
 			if lr < cfg.LR*0.0001 {
 				lr = cfg.LR * 0.0001
@@ -113,12 +153,12 @@ func TrainSGNS(g *graph.Graph, walks [][]graph.NodeID, cfg SGNSConfig, rng *rand
 					if j == i {
 						continue
 					}
-					ctx := walk[j]
+					ctxNode := walk[j]
 					for d := range gradIn {
 						gradIn[d] = 0
 					}
 					// Positive example.
-					vout := out[ctx]
+					vout := out[ctxNode]
 					score := sigma(dotv(vin, vout))
 					gpos := lr * (1 - score)
 					for d := 0; d < dim; d++ {
@@ -128,7 +168,7 @@ func TrainSGNS(g *graph.Graph, walks [][]graph.NodeID, cfg SGNSConfig, rng *rand
 					// Negative examples.
 					for k := 0; k < cfg.Negatives; k++ {
 						nn := neg.Sample(rng)
-						if graph.NodeID(nn) == ctx {
+						if graph.NodeID(nn) == ctxNode {
 							continue
 						}
 						vneg := out[nn]
@@ -144,9 +184,17 @@ func TrainSGNS(g *graph.Graph, walks [][]graph.NodeID, cfg SGNSConfig, rng *rand
 					}
 				}
 			}
+			// Divergence guard: a blowup propagates through every vector
+			// the walk touched, so checking the walk's input vectors each
+			// walk detects it promptly and deterministically.
+			for _, v := range walk {
+				if !finite(in[v]) {
+					return nil, &DivergenceError{Algo: "sgns", Epoch: epoch, Step: wi}
+				}
+			}
 		}
 	}
-	return in
+	return in, nil
 }
 
 func makeInit(n, dim int, rng *rand.Rand) [][]float64 {
@@ -171,16 +219,22 @@ func dotv(a, b []float64) float64 {
 
 // DeepWalk learns DeepWalk embeddings: uniform truncated random walks fed
 // to skip-gram with negative sampling (Perozzi et al., KDD 2014).
-func DeepWalk(g *graph.Graph, wcfg WalkConfig, scfg SGNSConfig, rng *rand.Rand) [][]float64 {
+func DeepWalk(ctx context.Context, g *graph.Graph, wcfg WalkConfig, scfg SGNSConfig, rng *rand.Rand) ([][]float64, error) {
 	wcfg.ReturnP, wcfg.InOutQ = 1, 1
-	walks := UniformWalks(g, wcfg, rng)
-	return TrainSGNS(g, walks, scfg, rng)
+	walks, err := UniformWalks(ctx, g, wcfg, rng)
+	if err != nil {
+		return nil, err
+	}
+	return TrainSGNS(ctx, g, walks, scfg, rng)
 }
 
 // Node2Vec learns node2vec embeddings: second-order biased walks with
 // return parameter p and in-out parameter q fed to skip-gram with negative
 // sampling (Grover & Leskovec, KDD 2016).
-func Node2Vec(g *graph.Graph, wcfg WalkConfig, scfg SGNSConfig, rng *rand.Rand) [][]float64 {
-	walks := BiasedWalks(g, wcfg, rng)
-	return TrainSGNS(g, walks, scfg, rng)
+func Node2Vec(ctx context.Context, g *graph.Graph, wcfg WalkConfig, scfg SGNSConfig, rng *rand.Rand) ([][]float64, error) {
+	walks, err := BiasedWalks(ctx, g, wcfg, rng)
+	if err != nil {
+		return nil, err
+	}
+	return TrainSGNS(ctx, g, walks, scfg, rng)
 }

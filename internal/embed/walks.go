@@ -1,6 +1,7 @@
 package embed
 
 import (
+	"context"
 	"math/rand"
 
 	"hsgf/internal/graph"
@@ -22,11 +23,17 @@ func DefaultWalkConfig() WalkConfig {
 
 // UniformWalks generates cfg.WalksPerNode truncated uniform random walks
 // from every node (DeepWalk-style). Walks from isolated nodes contain just
-// the start node.
-func UniformWalks(g *graph.Graph, cfg WalkConfig, rng *rand.Rand) [][]graph.NodeID {
+// the start node. Cancellation is honoured between walks and returns
+// ctx.Err().
+func UniformWalks(ctx context.Context, g *graph.Graph, cfg WalkConfig, rng *rand.Rand) ([][]graph.NodeID, error) {
 	walks := make([][]graph.NodeID, 0, g.NumNodes()*cfg.WalksPerNode)
 	for r := 0; r < cfg.WalksPerNode; r++ {
 		for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			default:
+			}
 			walk := make([]graph.NodeID, 0, cfg.WalkLength)
 			walk = append(walk, v)
 			cur := v
@@ -41,7 +48,7 @@ func UniformWalks(g *graph.Graph, cfg WalkConfig, rng *rand.Rand) [][]graph.Node
 			walks = append(walks, walk)
 		}
 	}
-	return walks
+	return walks, nil
 }
 
 // BiasedWalks generates node2vec second-order random walks: from the
@@ -49,7 +56,8 @@ func UniformWalks(g *graph.Graph, cfg WalkConfig, rng *rand.Rand) [][]graph.Node
 // moving to neighbour x is 1/p if x == t, 1 if x is adjacent to t, and
 // 1/q otherwise. Sampling uses rejection against the maximum of those
 // weights, which avoids per-edge alias tables while remaining exact.
-func BiasedWalks(g *graph.Graph, cfg WalkConfig, rng *rand.Rand) [][]graph.NodeID {
+// Cancellation is honoured between walks and returns ctx.Err().
+func BiasedWalks(ctx context.Context, g *graph.Graph, cfg WalkConfig, rng *rand.Rand) ([][]graph.NodeID, error) {
 	p, q := cfg.ReturnP, cfg.InOutQ
 	if p <= 0 {
 		p = 1
@@ -58,7 +66,7 @@ func BiasedWalks(g *graph.Graph, cfg WalkConfig, rng *rand.Rand) [][]graph.NodeI
 		q = 1
 	}
 	if p == 1 && q == 1 {
-		return UniformWalks(g, cfg, rng)
+		return UniformWalks(ctx, g, cfg, rng)
 	}
 	maxW := 1.0
 	if 1/p > maxW {
@@ -70,6 +78,11 @@ func BiasedWalks(g *graph.Graph, cfg WalkConfig, rng *rand.Rand) [][]graph.NodeI
 	walks := make([][]graph.NodeID, 0, g.NumNodes()*cfg.WalksPerNode)
 	for r := 0; r < cfg.WalksPerNode; r++ {
 		for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			default:
+			}
 			walk := make([]graph.NodeID, 0, cfg.WalkLength)
 			walk = append(walk, v)
 			adj := g.Neighbors(v)
@@ -105,5 +118,5 @@ func BiasedWalks(g *graph.Graph, cfg WalkConfig, rng *rand.Rand) [][]graph.NodeI
 			walks = append(walks, walk)
 		}
 	}
-	return walks
+	return walks, nil
 }

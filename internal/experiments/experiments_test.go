@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"math/rand"
 	"strings"
@@ -115,7 +116,7 @@ func TestTopTitleWords(t *testing.T) {
 
 func TestRunRankEndToEnd(t *testing.T) {
 	cfg := tinyRankConfig()
-	res, err := RunRank(cfg)
+	res, err := RunRank(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +184,7 @@ func TestRankPredictionSignal(t *testing.T) {
 	cfg.Publication.PapersPerConfYear = 25
 	cfg.Publication.Years = []int{2010, 2011, 2012, 2013, 2014}
 	cfg.Publication.Conferences = []string{"KDD"}
-	res, err := RunRank(cfg)
+	res, err := RunRank(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,7 +225,7 @@ func TestSampleNodes(t *testing.T) {
 func TestTrainingSizeCurves(t *testing.T) {
 	g := tinyLabelGraph(t)
 	cfg := tinyLabelConfig()
-	curves, err := TrainingSizeCurves(g, cfg)
+	curves, err := TrainingSizeCurves(context.Background(), g, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -261,7 +262,7 @@ func TestTrainingSizeCurves(t *testing.T) {
 func TestLabelRemovalCurves(t *testing.T) {
 	g := tinyLabelGraph(t)
 	cfg := tinyLabelConfig()
-	curves, err := LabelRemovalCurves(g, cfg)
+	curves, err := LabelRemovalCurves(context.Background(), g, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -338,7 +339,7 @@ func TestMeasureRuntime(t *testing.T) {
 	g := tinyLabelGraph(t)
 	cfg := tinyLabelConfig()
 	cfg.PerLabel = 8
-	row, err := MeasureRuntime("LOAD", g, cfg)
+	row, err := MeasureRuntime(context.Background(), "LOAD", g, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -183,8 +184,8 @@ func sampleNodes(g *graph.Graph, perLabel int, rng *rand.Rand) ([]graph.NodeID, 
 }
 
 // extractSample computes subgraph censuses and embeddings for a node
-// sample of g.
-func extractSample(g *graph.Graph, cfg LabelConfig, rng *rand.Rand) (*labelSample, error) {
+// sample of g. ctx cancels the embedding training loops.
+func extractSample(ctx context.Context, g *graph.Graph, cfg LabelConfig, rng *rand.Rand) (*labelSample, error) {
 	s := &labelSample{embParts: make(map[string][][]float64)}
 	s.nodes, s.y = sampleNodes(g, cfg.PerLabel, rng)
 	if len(s.nodes) == 0 {
@@ -208,10 +209,19 @@ func extractSample(g *graph.Graph, cfg LabelConfig, rng *rand.Rand) (*labelSampl
 	scfg := cfg.SGNS
 	scfg.Dim = cfg.EmbedDim
 	seed := cfg.Seed * 997
-	dw := embed.DeepWalk(g, cfg.Walks, scfg, rand.New(rand.NewSource(seed)))
-	n2v := embed.Node2Vec(g, cfg.Walks, scfg, rand.New(rand.NewSource(seed+1)))
-	line := embed.LINE(g, embed.LINEConfig{Dim: cfg.EmbedDim / 2, Negatives: 5,
+	dw, err := embed.DeepWalk(ctx, g, cfg.Walks, scfg, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return nil, err
+	}
+	n2v, err := embed.Node2Vec(ctx, g, cfg.Walks, scfg, rand.New(rand.NewSource(seed+1)))
+	if err != nil {
+		return nil, err
+	}
+	line, err := embed.LINE(ctx, g, embed.LINEConfig{Dim: cfg.EmbedDim / 2, Negatives: 5,
 		Samples: cfg.LINESamplesX * g.NumEdges()}, rand.New(rand.NewSource(seed+2)))
+	if err != nil {
+		return nil, err
+	}
 	for fam, vecs := range map[string][][]float64{FamDeepWalk: dw, FamNode2Vec: n2v, FamLINE: line} {
 		rows := make([][]float64, len(s.nodes))
 		for i, v := range s.nodes {
@@ -278,10 +288,10 @@ type CurvePoint struct {
 
 // TrainingSizeCurves runs Figure 5 A-C for one dataset: Macro F1 per
 // feature family across training fractions, averaged over cfg.Repeats
-// stratified resamples.
-func TrainingSizeCurves(g *graph.Graph, cfg LabelConfig) (map[string][]CurvePoint, error) {
+// stratified resamples. ctx cancels the embedding training phase.
+func TrainingSizeCurves(ctx context.Context, g *graph.Graph, cfg LabelConfig) (map[string][]CurvePoint, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	sample, err := extractSample(g, cfg, rng)
+	sample, err := extractSample(ctx, g, cfg, rng)
 	if err != nil {
 		return nil, err
 	}
@@ -353,10 +363,10 @@ func relabelFraction(g *graph.Graph, frac float64, rng *rand.Rand) (*graph.Graph
 // family as the fraction of removed node labels grows, at a fixed 90/10
 // train/test protocol. Embedding scores are computed once (they are
 // invariant to label removal) and replicated across the x-axis, exactly
-// as the paper draws them.
-func LabelRemovalCurves(g *graph.Graph, cfg LabelConfig) (map[string][]CurvePoint, error) {
+// as the paper draws them. ctx cancels the embedding training phase.
+func LabelRemovalCurves(ctx context.Context, g *graph.Graph, cfg LabelConfig) (map[string][]CurvePoint, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	sample, err := extractSample(g, cfg, rng)
+	sample, err := extractSample(ctx, g, cfg, rng)
 	if err != nil {
 		return nil, err
 	}

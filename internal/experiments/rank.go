@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -135,8 +136,9 @@ func (r *RankResult) Average() map[string]map[string]float64 {
 // publication network, builds all six feature families for every
 // institution, conference and year, trains the four regressors on the
 // training years and reports test-year NDCG@n per combination, plus the
-// random-forest subgraph feature importances.
-func RunRank(cfg RankConfig) (*RankResult, error) {
+// random-forest subgraph feature importances. ctx cancels the embedding
+// training loops inside the per-conference feature construction.
+func RunRank(ctx context.Context, cfg RankConfig) (*RankResult, error) {
 	pub, err := datagen.GeneratePublication(cfg.Publication)
 	if err != nil {
 		return nil, err
@@ -160,7 +162,7 @@ func RunRank(cfg RankConfig) (*RankResult, error) {
 	}
 
 	for _, conf := range confs {
-		confData, err := buildConferenceData(pub, conf, cfg)
+		confData, err := buildConferenceData(ctx, pub, conf, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -194,7 +196,7 @@ type conferenceData struct {
 	decode     func(key uint64) string
 }
 
-func buildConferenceData(pub *datagen.Publication, conf string, cfg RankConfig) (*conferenceData, error) {
+func buildConferenceData(ctx context.Context, pub *datagen.Publication, conf string, cfg RankConfig) (*conferenceData, error) {
 	years := cfg.Publication.Years
 	insts := pub.Institutions
 	targetYears := years[1:]
@@ -247,12 +249,21 @@ func buildConferenceData(pub *datagen.Publication, conf string, cfg RankConfig) 
 		wcfg := cfg.Walks
 		scfg := cfg.SGNS
 		scfg.Dim = cfg.EmbedDim
-		dw := embed.DeepWalk(sub, wcfg, scfg, rand.New(rand.NewSource(embSeed)))
+		dw, err := embed.DeepWalk(ctx, sub, wcfg, scfg, rand.New(rand.NewSource(embSeed)))
+		if err != nil {
+			return nil, err
+		}
 		n2vW := wcfg
 		n2vW.ReturnP, n2vW.InOutQ = 1, 1 // paper default p=q=1
-		n2v := embed.Node2Vec(sub, n2vW, scfg, rand.New(rand.NewSource(embSeed+1)))
+		n2v, err := embed.Node2Vec(ctx, sub, n2vW, scfg, rand.New(rand.NewSource(embSeed+1)))
+		if err != nil {
+			return nil, err
+		}
 		lineCfg := embed.LINEConfig{Dim: cfg.EmbedDim / 2, Negatives: 5, Samples: cfg.LINESamplesX * sub.NumEdges()}
-		line := embed.LINE(sub, lineCfg, rand.New(rand.NewSource(embSeed+2)))
+		line, err := embed.LINE(ctx, sub, lineCfg, rand.New(rand.NewSource(embSeed+2)))
+		if err != nil {
+			return nil, err
+		}
 
 		classic := ClassicFeatures(pub, conf, target, cfg.History)
 		rel := pub.Relevance(conf, target)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math/rand"
 	"time"
 
@@ -30,8 +31,9 @@ type RuntimeRow struct {
 
 // MeasureRuntime produces one Table 3 row for a dataset: subgraph census
 // times over a node sample (per-node, serial, as the paper reports them)
-// and amortised per-node embedding costs.
-func MeasureRuntime(name string, g *graph.Graph, cfg LabelConfig) (*RuntimeRow, error) {
+// and amortised per-node embedding costs. ctx cancels the embedding
+// timing runs.
+func MeasureRuntime(ctx context.Context, name string, g *graph.Graph, cfg LabelConfig) (*RuntimeRow, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	nodes, _ := sampleNodes(g, cfg.PerLabel, rng)
 
@@ -61,24 +63,38 @@ func MeasureRuntime(name string, g *graph.Graph, cfg LabelConfig) (*RuntimeRow, 
 	row.SubgraphP95 = time.Duration(ml.Percentile(secs, 0.95) * float64(time.Second))
 	row.SubgraphMax = time.Duration(ml.Percentile(secs, 1.0) * float64(time.Second))
 
-	perNode := func(f func()) time.Duration {
+	perNode := func(f func() error) (time.Duration, error) {
 		start := time.Now()
-		f()
-		return time.Since(start) / time.Duration(g.NumNodes())
+		if err := f(); err != nil {
+			return 0, err
+		}
+		return time.Since(start) / time.Duration(g.NumNodes()), nil
 	}
 	scfg := cfg.SGNS
 	scfg.Dim = cfg.EmbedDim
-	row.DeepWalkMean = perNode(func() {
-		embed.DeepWalk(g, cfg.Walks, scfg, rand.New(rand.NewSource(cfg.Seed)))
+	row.DeepWalkMean, err = perNode(func() error {
+		_, err := embed.DeepWalk(ctx, g, cfg.Walks, scfg, rand.New(rand.NewSource(cfg.Seed)))
+		return err
 	})
+	if err != nil {
+		return nil, err
+	}
 	n2vW := cfg.Walks
 	n2vW.ReturnP, n2vW.InOutQ = 0.9, 1.1 // force the second-order path
-	row.Node2VecMean = perNode(func() {
-		embed.Node2Vec(g, n2vW, scfg, rand.New(rand.NewSource(cfg.Seed+1)))
+	row.Node2VecMean, err = perNode(func() error {
+		_, err := embed.Node2Vec(ctx, g, n2vW, scfg, rand.New(rand.NewSource(cfg.Seed+1)))
+		return err
 	})
-	row.LINEMean = perNode(func() {
-		embed.LINE(g, embed.LINEConfig{Dim: cfg.EmbedDim / 2, Negatives: 5,
+	if err != nil {
+		return nil, err
+	}
+	row.LINEMean, err = perNode(func() error {
+		_, err := embed.LINE(ctx, g, embed.LINEConfig{Dim: cfg.EmbedDim / 2, Negatives: 5,
 			Samples: cfg.LINESamplesX * g.NumEdges()}, rand.New(rand.NewSource(cfg.Seed+2)))
+		return err
 	})
+	if err != nil {
+		return nil, err
+	}
 	return row, nil
 }

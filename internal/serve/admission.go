@@ -1,0 +1,72 @@
+package serve
+
+import (
+	"context"
+	"errors"
+)
+
+// Admission errors.
+var (
+	// ErrShed: the wait queue is full; the request is rejected
+	// immediately (HTTP 429 + Retry-After) instead of queueing
+	// unboundedly.
+	ErrShed = errors.New("serve: load shed, admission queue full")
+	// ErrQueueTimeout: the request's deadline expired while it waited
+	// for an extraction slot.
+	ErrQueueTimeout = errors.New("serve: deadline expired in admission queue")
+)
+
+// admission is the bounded-concurrency gate in front of extraction: at
+// most maxInFlight requests extract concurrently, at most maxQueue more
+// wait for a slot, and everything beyond that is shed. Bounding both
+// dimensions keeps memory and tail latency finite no matter the offered
+// load — the queue can only ever hold maxQueue requests, so a hub-query
+// storm turns into fast 429s rather than an unbounded goroutine pile-up.
+type admission struct {
+	slots    chan struct{} // buffered; len == in-flight requests
+	queue    chan struct{} // buffered; len == waiting requests
+	maxQueue int
+}
+
+func newAdmission(maxInFlight, maxQueue int) *admission {
+	return &admission{
+		slots:    make(chan struct{}, maxInFlight),
+		queue:    make(chan struct{}, maxQueue),
+		maxQueue: maxQueue,
+	}
+}
+
+// acquire obtains an extraction slot. The fast path is non-blocking;
+// otherwise the request joins the bounded wait queue until a slot frees
+// or ctx expires. queuedFn fires (before blocking) iff the request had
+// to queue, so callers can count queue entries. The returned release
+// must be called exactly once.
+func (a *admission) acquire(ctx context.Context, queuedFn func()) (release func(), err error) {
+	select {
+	case a.slots <- struct{}{}:
+		return a.release, nil
+	default:
+	}
+	// Slot pool exhausted: try to join the bounded queue.
+	select {
+	case a.queue <- struct{}{}:
+	default:
+		return nil, ErrShed
+	}
+	if queuedFn != nil {
+		queuedFn()
+	}
+	defer func() { <-a.queue }()
+	select {
+	case a.slots <- struct{}{}:
+		return a.release, nil
+	case <-ctx.Done():
+		return nil, ErrQueueTimeout
+	}
+}
+
+func (a *admission) release() { <-a.slots }
+
+// inFlight and queued report the current gauge values.
+func (a *admission) inFlight() int { return len(a.slots) }
+func (a *admission) queued() int   { return len(a.queue) }

@@ -1,0 +1,227 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit breaker's position.
+type BreakerState int
+
+const (
+	// BreakerClosed: requests flow; outcomes feed the failure window.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: requests are rejected until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: a bounded number of probe requests flow; their
+	// outcomes decide between closing and re-opening.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "invalid"
+	}
+}
+
+// BreakerConfig tunes the circuit breaker around extraction.
+type BreakerConfig struct {
+	// Window is the number of recent request outcomes considered when
+	// deciding to trip. Default 20.
+	Window int
+	// MinSamples is the minimum number of outcomes in the window before
+	// the breaker may trip; avoids tripping on the first failure after
+	// startup. Default Window/2.
+	MinSamples int
+	// TripRatio is the windowed failure ratio at which the breaker
+	// opens. Default 0.5.
+	TripRatio float64
+	// Cooldown is how long the breaker stays open before admitting
+	// half-open probes. Default 5s.
+	Cooldown time.Duration
+	// HalfOpenProbes is the number of concurrent probe requests allowed
+	// while half-open. Default 1.
+	HalfOpenProbes int
+	// CloseAfter is the number of consecutive successful probes that
+	// close the breaker again. Default 2.
+	CloseAfter int
+}
+
+func (c *BreakerConfig) withDefaults() {
+	if c.Window <= 0 {
+		c.Window = 20
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = c.Window / 2
+		if c.MinSamples < 1 {
+			c.MinSamples = 1
+		}
+	}
+	if c.TripRatio <= 0 || c.TripRatio > 1 {
+		c.TripRatio = 0.5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 5 * time.Second
+	}
+	if c.HalfOpenProbes <= 0 {
+		c.HalfOpenProbes = 1
+	}
+	if c.CloseAfter <= 0 {
+		c.CloseAfter = 2
+	}
+}
+
+// Breaker is a closed/open/half-open circuit breaker over a sliding
+// window of request outcomes. It protects the census pool from sustained
+// overload (deadline storms, panic loops): once the windowed failure
+// ratio crosses TripRatio the breaker opens and requests are rejected
+// outright — cheap, typed, retryable — instead of queueing onto a sick
+// extractor. After Cooldown it admits a bounded number of probes;
+// CloseAfter consecutive probe successes close it, any probe failure
+// re-opens it for another cooldown.
+type Breaker struct {
+	cfg BreakerConfig
+	now func() time.Time // injectable clock for deterministic tests
+
+	mu       sync.Mutex
+	state    BreakerState
+	ring     []bool // recent outcomes, true = failure
+	ringIdx  int
+	ringLen  int
+	failures int
+	openedAt time.Time
+	probing  int // in-flight half-open probes
+	probeOK  int // consecutive successful probes
+}
+
+// NewBreaker returns a closed breaker with cfg (zero fields defaulted).
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	cfg.withDefaults()
+	return &Breaker{cfg: cfg, now: time.Now, ring: make([]bool, cfg.Window)}
+}
+
+// State reports the breaker's current position, advancing open →
+// half-open if the cooldown has elapsed.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.maybeHalfOpenLocked()
+	return b.state
+}
+
+// RetryAfter returns the remaining cooldown while open (zero otherwise);
+// servers surface it as a Retry-After hint.
+func (b *Breaker) RetryAfter() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != BreakerOpen {
+		return 0
+	}
+	rem := b.cfg.Cooldown - b.now().Sub(b.openedAt)
+	if rem < 0 {
+		return 0
+	}
+	return rem
+}
+
+// Acquire asks to pass the breaker. On success it returns a done
+// callback that MUST be invoked exactly once with the request's outcome
+// (failure = extraction-level fault: deadline, cancellation, panic).
+// While open (or half-open with all probe slots taken) it returns false.
+func (b *Breaker) Acquire() (done func(failure bool), ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.maybeHalfOpenLocked()
+
+	switch b.state {
+	case BreakerOpen:
+		return nil, false
+	case BreakerHalfOpen:
+		if b.probing >= b.cfg.HalfOpenProbes {
+			return nil, false
+		}
+		b.probing++
+		return b.probeDone, true
+	default: // closed
+		return b.recordDone, true
+	}
+}
+
+// maybeHalfOpenLocked advances open → half-open after the cooldown.
+func (b *Breaker) maybeHalfOpenLocked() {
+	if b.state == BreakerOpen && b.now().Sub(b.openedAt) >= b.cfg.Cooldown {
+		b.state = BreakerHalfOpen
+		b.probing = 0
+		b.probeOK = 0
+	}
+}
+
+// recordDone feeds a closed-state outcome into the sliding window and
+// trips the breaker when the failure ratio crosses the threshold.
+func (b *Breaker) recordDone(failure bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != BreakerClosed {
+		// A half-open or open transition raced this in-flight request;
+		// its outcome no longer belongs to the closed window.
+		return
+	}
+	if b.ringLen == len(b.ring) {
+		if b.ring[b.ringIdx] {
+			b.failures--
+		}
+	} else {
+		b.ringLen++
+	}
+	b.ring[b.ringIdx] = failure
+	if failure {
+		b.failures++
+	}
+	b.ringIdx = (b.ringIdx + 1) % len(b.ring)
+
+	if b.ringLen >= b.cfg.MinSamples &&
+		float64(b.failures) >= b.cfg.TripRatio*float64(b.ringLen) {
+		b.tripLocked()
+	}
+}
+
+// probeDone resolves one half-open probe.
+func (b *Breaker) probeDone(failure bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != BreakerHalfOpen {
+		return
+	}
+	b.probing--
+	if failure {
+		b.tripLocked()
+		return
+	}
+	b.probeOK++
+	if b.probeOK >= b.cfg.CloseAfter {
+		b.state = BreakerClosed
+		b.resetWindowLocked()
+	}
+}
+
+func (b *Breaker) tripLocked() {
+	b.state = BreakerOpen
+	b.openedAt = b.now()
+	b.probing = 0
+	b.probeOK = 0
+	b.resetWindowLocked()
+}
+
+func (b *Breaker) resetWindowLocked() {
+	for i := range b.ring {
+		b.ring[i] = false
+	}
+	b.ringIdx, b.ringLen, b.failures = 0, 0, 0
+}

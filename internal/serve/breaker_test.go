@@ -1,0 +1,157 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// testBreaker returns a breaker with a controllable clock.
+func testBreaker(cfg BreakerConfig) (*Breaker, *time.Time) {
+	b := NewBreaker(cfg)
+	now := time.Unix(1000, 0)
+	b.now = func() time.Time { return now }
+	return b, &now
+}
+
+// feed records n outcomes through the closed-state path.
+func feed(t *testing.T, b *Breaker, n int, failure bool) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		done, ok := b.Acquire()
+		if !ok {
+			t.Fatalf("Acquire refused in state %v after %d outcomes", b.State(), i)
+		}
+		done(failure)
+	}
+}
+
+func TestBreakerDefaults(t *testing.T) {
+	b := NewBreaker(BreakerConfig{})
+	if b.cfg.Window != 20 || b.cfg.MinSamples != 10 || b.cfg.TripRatio != 0.5 ||
+		b.cfg.Cooldown != 5*time.Second || b.cfg.HalfOpenProbes != 1 || b.cfg.CloseAfter != 2 {
+		t.Errorf("defaults = %+v", b.cfg)
+	}
+	if b.State() != BreakerClosed {
+		t.Errorf("new breaker state %v, want closed", b.State())
+	}
+}
+
+func TestBreakerStaysClosedBelowMinSamples(t *testing.T) {
+	b, _ := testBreaker(BreakerConfig{Window: 10, MinSamples: 5, TripRatio: 0.5})
+	feed(t, b, 4, true) // 4 failures, all-failing ratio, but under MinSamples
+	if b.State() != BreakerClosed {
+		t.Errorf("tripped below MinSamples: state %v", b.State())
+	}
+}
+
+func TestBreakerTripsAtRatio(t *testing.T) {
+	b, _ := testBreaker(BreakerConfig{Window: 10, MinSamples: 4, TripRatio: 0.5, Cooldown: time.Second})
+	feed(t, b, 2, false)
+	feed(t, b, 2, true) // 2/4 = 0.5 >= TripRatio with MinSamples met
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %v, want open", b.State())
+	}
+	if _, ok := b.Acquire(); ok {
+		t.Error("open breaker admitted a request")
+	}
+	if ra := b.RetryAfter(); ra <= 0 || ra > time.Second {
+		t.Errorf("RetryAfter = %v, want in (0, cooldown]", ra)
+	}
+}
+
+func TestBreakerSlidingWindowEvictsOldOutcomes(t *testing.T) {
+	b, _ := testBreaker(BreakerConfig{Window: 4, MinSamples: 4, TripRatio: 0.75})
+	feed(t, b, 2, true)  // window: F F
+	feed(t, b, 4, false) // failures slide out: S S S S
+	feed(t, b, 2, true)  // F F S S — ratio 0.5 < 0.75
+	if b.State() != BreakerClosed {
+		t.Errorf("evicted failures still counted: state %v", b.State())
+	}
+}
+
+func TestBreakerHalfOpenAfterCooldown(t *testing.T) {
+	b, now := testBreaker(BreakerConfig{Window: 4, MinSamples: 2, TripRatio: 0.5, Cooldown: time.Second, HalfOpenProbes: 1, CloseAfter: 2})
+	feed(t, b, 2, true)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %v, want open", b.State())
+	}
+	*now = now.Add(999 * time.Millisecond)
+	if b.State() != BreakerOpen {
+		t.Fatal("advanced to half-open before the cooldown elapsed")
+	}
+	*now = now.Add(time.Millisecond)
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state %v, want half-open after cooldown", b.State())
+	}
+
+	// Only HalfOpenProbes concurrent probes pass.
+	done1, ok := b.Acquire()
+	if !ok {
+		t.Fatal("half-open refused the first probe")
+	}
+	if _, ok := b.Acquire(); ok {
+		t.Fatal("half-open admitted a second concurrent probe")
+	}
+
+	// CloseAfter consecutive successes close the breaker.
+	done1(false)
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("closed after 1 success, CloseAfter = 2")
+	}
+	done2, ok := b.Acquire()
+	if !ok {
+		t.Fatal("half-open refused a sequential probe")
+	}
+	done2(false)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state %v, want closed after %d probe successes", b.State(), 2)
+	}
+
+	// The window was reset on close: one failure must not re-trip.
+	feed(t, b, 1, true)
+	if b.State() != BreakerClosed {
+		t.Error("window not reset after close")
+	}
+}
+
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	b, now := testBreaker(BreakerConfig{Window: 4, MinSamples: 2, TripRatio: 0.5, Cooldown: time.Second, HalfOpenProbes: 1, CloseAfter: 2})
+	feed(t, b, 2, true)
+	*now = now.Add(time.Second)
+	done, ok := b.Acquire()
+	if !ok {
+		t.Fatal("half-open refused the probe")
+	}
+	done(true)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %v, want open after a failed probe", b.State())
+	}
+	if ra := b.RetryAfter(); ra != time.Second {
+		t.Errorf("RetryAfter after re-open = %v, want full cooldown", ra)
+	}
+}
+
+func TestBreakerIgnoresStaleOutcomeAfterTrip(t *testing.T) {
+	b, _ := testBreaker(BreakerConfig{Window: 4, MinSamples: 2, TripRatio: 0.5, Cooldown: time.Second})
+	// A request acquired while closed resolves after the breaker tripped:
+	// its outcome must not corrupt the open/half-open bookkeeping.
+	stale, ok := b.Acquire()
+	if !ok {
+		t.Fatal("closed breaker refused")
+	}
+	feed(t, b, 2, true)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %v, want open", b.State())
+	}
+	stale(false)
+	if b.State() != BreakerOpen {
+		t.Errorf("stale outcome mutated an open breaker: state %v", b.State())
+	}
+}
+
+func TestBreakerStateStrings(t *testing.T) {
+	if BreakerClosed.String() != "closed" || BreakerOpen.String() != "open" ||
+		BreakerHalfOpen.String() != "half-open" || BreakerState(99).String() != "invalid" {
+		t.Error("BreakerState.String mismatch")
+	}
+}

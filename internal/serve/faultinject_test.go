@@ -1,0 +1,409 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hsgf/internal/core"
+	"hsgf/internal/graph"
+)
+
+// denseServeGraph mirrors the core fault-injection harness: dense enough
+// that censuses at MaxEdges 4 run for thousands of candidate steps, so
+// injected slowness at the extractor's poll points has somewhere to bite.
+func denseServeGraph(t testing.TB, n int) *graph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(404))
+	b := graph.NewBuilderWithAlphabet(graph.MustAlphabet("a", "b"))
+	for i := 0; i < n; i++ {
+		if _, err := b.AddLabeledNode(graph.Label(rng.Intn(2))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for u := 0; u < n; u++ {
+		for k := 0; k < 8; k++ {
+			v := rng.Intn(n)
+			if v != u {
+				if err := b.AddEdge(graph.NodeID(u), graph.NodeID(v)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// slowableExtractor returns an extractor over a dense graph plus a root
+// whose census is large enough to cross several poll points.
+func slowableExtractor(t testing.TB) (*core.Extractor, graph.NodeID) {
+	t.Helper()
+	g := denseServeGraph(t, 100)
+	ex, err := core.NewExtractor(g, core.Options{MaxEdges: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		if ex.Census(graph.NodeID(v)).Subgraphs > 5000 {
+			return ex, graph.NodeID(v)
+		}
+	}
+	t.Fatal("no root with a census large enough to reach poll points")
+	return nil, 0
+}
+
+func postFeatures(s *Server, body string) *httptest.ResponseRecorder {
+	r := httptest.NewRequest(http.MethodPost, "/v1/features", strings.NewReader(body))
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, r)
+	return w
+}
+
+// TestSlowRootDegradesOnlyItsOwnRequest injects artificial slowness into
+// one root's enumeration and shows the blast radius is exactly one
+// request: the slow request comes back 200 with flagged rows, while a
+// concurrent request over healthy roots is untouched.
+func TestSlowRootDegradesOnlyItsOwnRequest(t *testing.T) {
+	ex, slow := slowableExtractor(t)
+	ex.SetFaultHooks(&core.FaultHooks{OnStep: func(root graph.NodeID, step uint64) {
+		if root == slow {
+			time.Sleep(50 * time.Millisecond)
+		}
+	}})
+	s := NewServer(ex, Config{Workers: 1})
+
+	// Pick two healthy roots distinct from the slow one.
+	a, b := (slow+1)%100, (slow+2)%100
+
+	var wg sync.WaitGroup
+	var slowResp *httptest.ResponseRecorder
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		slowResp = postFeatures(s, fmt.Sprintf(`{"roots":[%d,%d,%d],"deadline_ms":150}`, slow, a, b))
+	}()
+
+	// While the slow request is wedged at a poll point, a healthy request
+	// sails through.
+	time.Sleep(20 * time.Millisecond)
+	w := postFeatures(s, fmt.Sprintf(`{"roots":[%d,%d]}`, a, b))
+	if w.Code != http.StatusOK {
+		t.Fatalf("healthy request during slow one: %d %s", w.Code, w.Body.String())
+	}
+	var healthy FeaturesResponse
+	mustDecode(t, w, &healthy)
+	if healthy.Degraded {
+		t.Errorf("healthy request degraded by a slow root it never asked for: %+v", healthy.Rows)
+	}
+
+	wg.Wait()
+	if slowResp.Code != http.StatusOK {
+		t.Fatalf("slow request status %d, want 200 degraded: %s", slowResp.Code, slowResp.Body.String())
+	}
+	var degraded FeaturesResponse
+	mustDecode(t, slowResp, &degraded)
+	if !degraded.Degraded {
+		t.Fatal("slow request not marked degraded")
+	}
+	row := degraded.Rows[0]
+	if row.Flags == "ok" || !row.Truncated {
+		t.Errorf("slow root row = %+v, want truncated + flagged", row)
+	}
+	// The breaker saw one overload outcome — far below MinSamples — so it
+	// must still admit traffic.
+	if s.Breaker().State() != BreakerClosed {
+		t.Errorf("breaker %v after a single slow request", s.Breaker().State())
+	}
+}
+
+// TestPanickingRootIsIsolatedAndServerStaysUp injects a deterministic
+// panic into one root's census: that row is flagged panicked, sibling
+// rows in the same request are exact, and the daemon keeps serving.
+func TestPanickingRootIsIsolatedAndServerStaysUp(t *testing.T) {
+	ex, err := core.NewExtractor(testGraph(t, 30), core.Options{MaxEdges: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := graph.NodeID(5)
+	ex.SetFaultHooks(&core.FaultHooks{OnRootStart: func(root graph.NodeID) {
+		if root == victim {
+			panic("injected: corrupt adjacency")
+		}
+	}})
+	s := NewServer(ex, Config{})
+
+	w := postFeatures(s, `{"roots":[4,5,6]}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d, want 200 with a flagged row: %s", w.Code, w.Body.String())
+	}
+	var resp FeaturesResponse
+	mustDecode(t, w, &resp)
+	if !resp.Degraded {
+		t.Fatal("response with a panicked row not marked degraded")
+	}
+	for _, row := range resp.Rows {
+		if row.Root == int64(victim) {
+			if !strings.Contains(row.Flags, "panicked") || !row.Truncated || len(row.Counts) != 0 {
+				t.Errorf("victim row = %+v, want empty + panicked", row)
+			}
+		} else if row.Flags != "ok" || row.Subgraphs <= 0 {
+			t.Errorf("sibling row %+v degraded by another root's panic", row)
+		}
+	}
+	if panics := ex.Panics(); len(panics) != 1 || panics[0].Root != victim {
+		t.Errorf("Panics() = %+v, want one record for root %d", panics, victim)
+	}
+
+	// The daemon is still healthy: a follow-up request is all-ok.
+	w = postFeatures(s, `{"roots":[7,8]}`)
+	var after FeaturesResponse
+	mustDecode(t, w, &after)
+	if w.Code != http.StatusOK || after.Degraded {
+		t.Errorf("follow-up request after panic: %d degraded=%v", w.Code, after.Degraded)
+	}
+	if s.Stats().panicked.Load() != 0 {
+		t.Error("census panic leaked into the handler panic counter; the pool must absorb it")
+	}
+}
+
+// TestBreakerLifecycleOverHTTP drives the breaker through
+// closed → open → half-open → closed with real requests: sustained
+// injected panics trip it, 503s flow while open, and a healthy probe
+// after the cooldown closes it again.
+func TestBreakerLifecycleOverHTTP(t *testing.T) {
+	ex, err := core.NewExtractor(testGraph(t, 30), core.Options{MaxEdges: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var failMode atomic.Bool
+	ex.SetFaultHooks(&core.FaultHooks{OnRootStart: func(graph.NodeID) {
+		if failMode.Load() {
+			panic("injected: sustained overload")
+		}
+	}})
+	const cooldown = 150 * time.Millisecond
+	s := NewServer(ex, Config{Breaker: BreakerConfig{
+		Window: 4, MinSamples: 2, TripRatio: 0.5,
+		Cooldown: cooldown, HalfOpenProbes: 1, CloseAfter: 1,
+	}})
+
+	// Sustained failures: every root panics, every outcome is a failure.
+	failMode.Store(true)
+	for i := 0; i < 2; i++ {
+		if w := postFeatures(s, `{"roots":[0]}`); w.Code != http.StatusOK {
+			t.Fatalf("degraded request %d status %d, want 200", i, w.Code)
+		}
+	}
+	if s.Breaker().State() != BreakerOpen {
+		t.Fatalf("breaker %v after sustained failures, want open", s.Breaker().State())
+	}
+
+	// While open: typed 503 without touching the extractor.
+	w := postFeatures(s, `{"roots":[0]}`)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d with open breaker, want 503", w.Code)
+	}
+	if code := errorCode(t, w); code != "breaker_open" {
+		t.Errorf("code %q, want breaker_open", code)
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Error("breaker_open missing Retry-After")
+	}
+
+	// Recovery: fault cleared, cooldown elapsed, one healthy probe closes.
+	failMode.Store(false)
+	time.Sleep(cooldown + 50*time.Millisecond)
+	w = postFeatures(s, `{"roots":[0]}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("probe after cooldown: %d %s", w.Code, w.Body.String())
+	}
+	if s.Breaker().State() != BreakerClosed {
+		t.Fatalf("breaker %v after healthy probe, want closed", s.Breaker().State())
+	}
+	var resp FeaturesResponse
+	mustDecode(t, postFeatures(s, `{"roots":[0,1]}`), &resp)
+	if resp.Degraded {
+		t.Error("post-recovery request degraded")
+	}
+}
+
+// TestQueueOverflowSheds fills the single extraction slot and the
+// one-deep wait queue, then shows the next arrival is shed with 429
+// while the queued requests complete once the slot frees.
+func TestQueueOverflowSheds(t *testing.T) {
+	ex, err := core.NewExtractor(testGraph(t, 30), core.Options{MaxEdges: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate := make(chan struct{})
+	ex.SetFaultHooks(&core.FaultHooks{OnRootStart: func(root graph.NodeID) {
+		if root == 0 {
+			<-gate
+		}
+	}})
+	s := NewServer(ex, Config{MaxInFlight: 1, MaxQueue: 1})
+
+	var wg sync.WaitGroup
+	var occupant, queued *httptest.ResponseRecorder
+	wg.Add(1)
+	go func() { defer wg.Done(); occupant = postFeatures(s, `{"roots":[0]}`) }()
+	waitCounter(t, &s.stats.accepted, 1)
+
+	wg.Add(1)
+	go func() { defer wg.Done(); queued = postFeatures(s, `{"roots":[1]}`) }()
+	waitCounter(t, &s.stats.queued, 1)
+
+	// Slot busy, queue full: the third arrival is shed immediately.
+	w := postFeatures(s, `{"roots":[1]}`)
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("status %d with full queue, want 429", w.Code)
+	}
+	if code := errorCode(t, w); code != "shed" {
+		t.Errorf("code %q, want shed", code)
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Error("shed response missing Retry-After")
+	}
+	if got := s.Stats().shed.Load(); got != 1 {
+		t.Errorf("shed = %d, want 1", got)
+	}
+
+	close(gate)
+	wg.Wait()
+	if occupant.Code != http.StatusOK || queued.Code != http.StatusOK {
+		t.Errorf("occupant %d, queued %d after gate release, want both 200", occupant.Code, queued.Code)
+	}
+}
+
+// TestGracefulDrain runs the full listener lifecycle: an in-flight
+// request survives SIGTERM (ctx cancellation), new requests are rejected
+// with 503 draining, Serve returns a clean nil, and no goroutines leak.
+func TestGracefulDrain(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	ex, err := core.NewExtractor(testGraph(t, 30), core.Options{MaxEdges: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate := make(chan struct{})
+	ex.SetFaultHooks(&core.FaultHooks{OnRootStart: func(root graph.NodeID) {
+		if root == 0 {
+			<-gate
+		}
+	}})
+	s := NewServer(ex, Config{DrainGrace: 5 * time.Second})
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- s.Serve(ctx, ln) }()
+
+	// One request in flight, wedged inside extraction.
+	client := &http.Client{}
+	defer client.CloseIdleConnections()
+	url := "http://" + ln.Addr().String() + "/v1/features"
+	type result struct {
+		status int
+		body   []byte
+		err    error
+	}
+	inflight := make(chan result, 1)
+	go func() {
+		resp, err := client.Post(url, "application/json", strings.NewReader(`{"roots":[0]}`))
+		if err != nil {
+			inflight <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		inflight <- result{status: resp.StatusCode, body: body}
+	}()
+	waitCounter(t, &s.stats.accepted, 1)
+
+	// SIGTERM (the daemon wires signals to ctx cancellation).
+	cancel()
+	deadline := time.Now().Add(2 * time.Second)
+	for !s.Draining() && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !s.Draining() {
+		t.Fatal("server never entered draining after ctx cancellation")
+	}
+
+	// New work is rejected while draining (asserted through the handler:
+	// the listener itself is already closed to fresh connections).
+	w := postFeatures(s, `{"roots":[1]}`)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("request while draining: %d, want 503", w.Code)
+	}
+	if code := errorCode(t, w); code != "draining" {
+		t.Errorf("code %q, want draining", code)
+	}
+
+	// The wedged in-flight request completes inside the grace window.
+	close(gate)
+	select {
+	case res := <-inflight:
+		if res.err != nil {
+			t.Fatalf("in-flight request failed during drain: %v", res.err)
+		}
+		if res.status != http.StatusOK {
+			t.Fatalf("in-flight request status %d during drain, want 200: %s", res.status, res.body)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight request never completed during drain")
+	}
+	select {
+	case err := <-serveErr:
+		if err != nil {
+			t.Fatalf("Serve returned %v after a clean drain, want nil", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Serve did not return after drain")
+	}
+
+	// Everything the lifecycle spawned has exited.
+	client.CloseIdleConnections()
+	leakDeadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before+2 && time.Now().Before(leakDeadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before+2 {
+		t.Errorf("goroutines: %d before, %d after drain", before, after)
+	}
+}
+
+// mustDecode unmarshals a recorder body into out or fails the test.
+func mustDecode(t testing.TB, w *httptest.ResponseRecorder, out any) {
+	t.Helper()
+	if err := json.Unmarshal(w.Body.Bytes(), out); err != nil {
+		t.Fatalf("undecodable body %q: %v", w.Body.String(), err)
+	}
+}
+
+// waitCounter polls an atomic counter until it reaches want.
+func waitCounter(t testing.TB, c *atomic.Int64, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Load() < want && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if got := c.Load(); got < want {
+		t.Fatalf("counter stuck at %d, want >= %d", got, want)
+	}
+}

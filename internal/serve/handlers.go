@@ -1,0 +1,318 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime/debug"
+	"strconv"
+	"time"
+
+	"hsgf/internal/core"
+	"hsgf/internal/graph"
+)
+
+// maxRequestBody bounds the /v1/features request body; a root batch is
+// small, so anything past this is a client error (or an attack).
+const maxRequestBody = 1 << 20
+
+// FeaturesRequest is the body of POST /v1/features.
+type FeaturesRequest struct {
+	// Roots are the node IDs to extract features for. Required.
+	Roots []int64 `json:"roots"`
+	// DeadlineMS bounds the whole request's extraction wall-clock time;
+	// clamped to the server's MaxDeadline. 0 uses the server default.
+	// The header X-Deadline-Ms is an equivalent alternative.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// RootBudget / RootDeadlineMS tighten (never exceed) the server's
+	// per-root enumeration bounds for this request.
+	RootBudget     int64 `json:"root_budget,omitempty"`
+	RootDeadlineMS int64 `json:"root_deadline_ms,omitempty"`
+}
+
+// FeatureRow is one root's census in the response: counts keyed by the
+// decoded encoding string, plus the degradation taxonomy.
+type FeatureRow struct {
+	Root int64 `json:"root"`
+	// Flags renders the CensusFlag set ("ok", "budget-exceeded",
+	// "deadline-exceeded|cancelled", ...). A degraded row is still a
+	// valid prefix census — HTTP 200, flagged, never silently partial.
+	Flags     string           `json:"flags"`
+	Truncated bool             `json:"truncated,omitempty"`
+	Subgraphs int64            `json:"subgraphs"`
+	Counts    map[string]int64 `json:"counts"`
+}
+
+// FeaturesResponse is the body of a successful POST /v1/features.
+type FeaturesResponse struct {
+	Rows      []FeatureRow `json:"rows"`
+	Degraded  bool         `json:"degraded"` // any row flagged
+	ElapsedMS int64        `json:"elapsed_ms"`
+}
+
+// ErrorDetail is the typed JSON error shape of every non-200 response.
+type ErrorDetail struct {
+	// Code is machine-readable: bad_request, shed, queue_timeout,
+	// breaker_open, draining, panic, method_not_allowed.
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	// RetryAfterMS mirrors the Retry-After header on retryable errors.
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+}
+
+type errorBody struct {
+	Error ErrorDetail `json:"error"`
+}
+
+// MetaResponse is the body of GET /v1/meta.
+type MetaResponse struct {
+	Fingerprint string   `json:"fingerprint"`
+	Nodes       int      `json:"nodes"`
+	Edges       int      `json:"edges"`
+	Labels      []string `json:"labels"`
+	SlotNames   []string `json:"slot_names"`
+
+	MaxEdges      int    `json:"max_edges"`
+	MaxDegree     int    `json:"max_degree,omitempty"`
+	MaskRootLabel bool   `json:"mask_root_label,omitempty"`
+	KeyMode       string `json:"key_mode"`
+
+	MaxRootsPerRequest int   `json:"max_roots_per_request"`
+	DefaultDeadlineMS  int64 `json:"default_deadline_ms"`
+	MaxDeadlineMS      int64 `json:"max_deadline_ms"`
+	RootBudget         int64 `json:"root_budget,omitempty"`
+	RootDeadlineMS     int64 `json:"root_deadline_ms,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encode errors past this point mean the client went away; there is
+	// no useful recovery and the connection is already committed.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, code, message string, retryAfter time.Duration) {
+	detail := ErrorDetail{Code: code, Message: message}
+	if retryAfter > 0 {
+		secs := int64(retryAfter.Seconds())
+		if secs < 1 {
+			secs = 1 // Retry-After is integral seconds; round up
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+		detail.RetryAfterMS = retryAfter.Milliseconds()
+	}
+	writeJSON(w, status, errorBody{Error: detail})
+}
+
+// recoverPanics is the outermost middleware: a panicking handler is
+// recovered into a PanicRecord-style report (value + stack, logged and
+// counted) and a typed 500, and the daemon keeps serving. Census-worker
+// panics never reach here — the extractor pool isolates those per root —
+// so this guards the serving layer itself.
+func (s *Server) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.stats.panicked.Add(1)
+				s.logf("serve: panic in %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+				// Best effort: if the handler already wrote, the
+				// connection is poisoned and http closes it.
+				s.writeError(w, http.StatusInternalServerError, "panic",
+					fmt.Sprintf("internal error serving %s", r.URL.Path), 0)
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// handleFeatures serves POST /v1/features through the full gate chain:
+// drain check, body validation, deadline resolution, bounded admission,
+// circuit breaker, extraction, flag mapping.
+func (s *Server) handleFeatures(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use POST", 0)
+		return
+	}
+	if s.draining.Load() {
+		s.stats.drained.Add(1)
+		s.writeError(w, http.StatusServiceUnavailable, "draining", "server is draining", s.cfg.RetryAfter)
+		return
+	}
+
+	var req FeaturesRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.stats.badReq.Add(1)
+		s.writeError(w, http.StatusBadRequest, "bad_request", "invalid JSON body: "+err.Error(), 0)
+		return
+	}
+	if len(req.Roots) == 0 {
+		s.stats.badReq.Add(1)
+		s.writeError(w, http.StatusBadRequest, "bad_request", "roots must not be empty", 0)
+		return
+	}
+	if len(req.Roots) > s.cfg.MaxRootsPerRequest {
+		s.stats.badReq.Add(1)
+		s.writeError(w, http.StatusBadRequest, "bad_request",
+			fmt.Sprintf("%d roots exceeds the per-request limit of %d", len(req.Roots), s.cfg.MaxRootsPerRequest), 0)
+		return
+	}
+	n := s.ex.Graph().NumNodes()
+	roots := make([]graph.NodeID, len(req.Roots))
+	for i, root := range req.Roots {
+		if root < 0 || root >= int64(n) {
+			s.stats.badReq.Add(1)
+			s.writeError(w, http.StatusBadRequest, "bad_request",
+				fmt.Sprintf("root %d outside the graph's %d nodes", root, n), 0)
+			return
+		}
+		roots[i] = graph.NodeID(root)
+	}
+	deadlineMS := req.DeadlineMS
+	if h := r.Header.Get("X-Deadline-Ms"); h != "" {
+		v, err := strconv.ParseInt(h, 10, 64)
+		if err != nil || v <= 0 {
+			s.stats.badReq.Add(1)
+			s.writeError(w, http.StatusBadRequest, "bad_request", "X-Deadline-Ms must be a positive integer", 0)
+			return
+		}
+		deadlineMS = v
+	}
+
+	// Deadline propagation: the request context carries both the
+	// client's transport-level cancellation and the resolved extraction
+	// deadline into the census workers.
+	ctx, cancel := context.WithTimeout(r.Context(), s.requestDeadline(deadlineMS))
+	defer cancel()
+
+	// Gate 1 — bounded admission. Shed rather than queue unboundedly.
+	release, err := s.adm.acquire(ctx, func() { s.stats.queued.Add(1) })
+	if err != nil {
+		switch {
+		case err == ErrShed:
+			s.stats.shed.Add(1)
+			s.writeError(w, http.StatusTooManyRequests, "shed", "admission queue full", s.cfg.RetryAfter)
+		default: // ErrQueueTimeout
+			s.stats.shed.Add(1)
+			s.writeError(w, http.StatusServiceUnavailable, "queue_timeout",
+				"deadline expired waiting for an extraction slot", s.cfg.RetryAfter)
+		}
+		return
+	}
+	defer release()
+
+	// Gate 2 — circuit breaker around extraction.
+	done, ok := s.brk.Acquire()
+	if !ok {
+		s.stats.tripped.Add(1)
+		retry := s.brk.RetryAfter()
+		if retry <= 0 {
+			retry = s.cfg.RetryAfter
+		}
+		s.writeError(w, http.StatusServiceUnavailable, "breaker_open",
+			"circuit breaker open: extraction is shedding sustained failures", retry)
+		return
+	}
+
+	s.stats.accepted.Add(1)
+	start := time.Now()
+	censuses, ctxErr := s.ex.CensusAllWithLimits(ctx, roots, s.cfg.Workers, s.rootLimits(req.RootBudget, req.RootDeadlineMS))
+	elapsed := time.Since(start)
+	s.stats.observeLatency(elapsed)
+	done(breakerFailure(censuses, ctxErr))
+
+	resp := FeaturesResponse{Rows: make([]FeatureRow, len(censuses)), ElapsedMS: elapsed.Milliseconds()}
+	for i, c := range censuses {
+		row := FeatureRow{Root: int64(roots[i])}
+		if c == nil {
+			// Cancelled before this root was ever assigned: an empty,
+			// flagged row — same taxonomy FeatureSet uses for nil rows.
+			row.Flags = core.FlagCancelled.String()
+			row.Truncated = true
+			row.Counts = map[string]int64{}
+		} else {
+			row.Flags = c.Flags.String()
+			row.Truncated = c.Truncated
+			row.Subgraphs = c.Subgraphs
+			row.Counts = make(map[string]int64, len(c.Counts))
+			for key, count := range c.Counts {
+				row.Counts[s.ex.EncodingString(key)] = count
+			}
+		}
+		if row.Flags != "ok" {
+			resp.Degraded = true
+		}
+		resp.Rows[i] = row
+	}
+	s.stats.completed.Add(1)
+	if resp.Degraded {
+		s.stats.degraded.Add(1)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleMeta serves GET /v1/meta: the graph/options fingerprint and the
+// serving limits a well-behaved client needs.
+func (s *Server) handleMeta(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use GET", 0)
+		return
+	}
+	g := s.ex.Graph()
+	opts := s.ex.Options()
+	meta := MetaResponse{
+		Fingerprint:        s.fingerprint,
+		Nodes:              g.NumNodes(),
+		Edges:              g.NumEdges(),
+		Labels:             g.Alphabet().Names(),
+		MaxEdges:           opts.MaxEdges,
+		MaxDegree:          opts.MaxDegree,
+		MaskRootLabel:      opts.MaskRootLabel,
+		KeyMode:            opts.KeyMode.String(),
+		MaxRootsPerRequest: s.cfg.MaxRootsPerRequest,
+		DefaultDeadlineMS:  s.cfg.DefaultDeadline.Milliseconds(),
+		MaxDeadlineMS:      s.cfg.MaxDeadline.Milliseconds(),
+		RootBudget:         s.cfg.RootBudget,
+		RootDeadlineMS:     s.cfg.RootDeadline.Milliseconds(),
+	}
+	for l := 0; l < s.ex.LabelSlots(); l++ {
+		meta.SlotNames = append(meta.SlotNames, s.ex.SlotName(l))
+	}
+	writeJSON(w, http.StatusOK, meta)
+}
+
+// handleHealthz reports liveness: the process is up and serving HTTP,
+// even while draining or with the breaker open.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz reports readiness: 503 once draining so load balancers
+// stop routing here; the breaker state rides along for observability
+// (an open breaker still serves meta/health and will recover, so it
+// does not fail readiness by itself).
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	body := map[string]string{
+		"status":  "ready",
+		"breaker": s.brk.State().String(),
+	}
+	if s.draining.Load() {
+		body["status"] = "draining"
+		writeJSON(w, http.StatusServiceUnavailable, body)
+		return
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// handleStats serves the counter snapshot on GET /debug/stats.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	snap := s.stats.snapshot()
+	snap.InFlight = int64(s.adm.inFlight())
+	snap.QueueDepth = int64(s.adm.queued())
+	snap.BreakerState = s.brk.State().String()
+	snap.Draining = s.draining.Load()
+	writeJSON(w, http.StatusOK, snap)
+}

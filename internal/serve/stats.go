@@ -1,0 +1,105 @@
+package serve
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// latencyBuckets are the upper bounds of the request-latency histogram,
+// doubling from 1ms; the last bucket is unbounded. Fixed bounds keep the
+// histogram lock-free and allocation-free on the hot path.
+var latencyBuckets = [...]time.Duration{
+	1 * time.Millisecond, 2 * time.Millisecond, 4 * time.Millisecond,
+	8 * time.Millisecond, 16 * time.Millisecond, 32 * time.Millisecond,
+	64 * time.Millisecond, 128 * time.Millisecond, 256 * time.Millisecond,
+	512 * time.Millisecond, 1 * time.Second, 2 * time.Second,
+	4 * time.Second, 8 * time.Second, 16 * time.Second, 32 * time.Second,
+}
+
+// Stats aggregates the daemon's lifecycle counters. All fields are
+// updated atomically; Snapshot assembles a consistent-enough view for
+// /debug/stats (counters may be mutually off by in-flight requests, a
+// tolerable skew for operational telemetry).
+type Stats struct {
+	// Request admission outcomes.
+	accepted atomic.Int64 // entered extraction
+	queued   atomic.Int64 // waited in the admission queue before a slot
+	shed     atomic.Int64 // rejected 429: queue full
+	tripped  atomic.Int64 // rejected 503: breaker open
+	drained  atomic.Int64 // rejected 503: draining
+
+	// Request completion outcomes.
+	completed atomic.Int64 // 200 responses
+	degraded  atomic.Int64 // 200 responses with >= 1 flagged row
+	panicked  atomic.Int64 // handler panics recovered into 500s
+	badReq    atomic.Int64 // 400 responses
+
+	latency [len(latencyBuckets) + 1]atomic.Int64
+}
+
+// observeLatency records one request duration in the histogram.
+func (s *Stats) observeLatency(d time.Duration) {
+	for i, ub := range latencyBuckets {
+		if d <= ub {
+			s.latency[i].Add(1)
+			return
+		}
+	}
+	s.latency[len(latencyBuckets)].Add(1)
+}
+
+// LatencyBucket is one histogram cell: the inclusive upper bound in
+// milliseconds (0 for the overflow bucket) and the observation count.
+type LatencyBucket struct {
+	UpperMS int64 `json:"upper_ms"` // 0 = +Inf
+	Count   int64 `json:"count"`
+}
+
+// StatsSnapshot is the JSON shape of /debug/stats.
+type StatsSnapshot struct {
+	Accepted  int64 `json:"accepted"`
+	Queued    int64 `json:"queued"`
+	Shed      int64 `json:"shed"`
+	Tripped   int64 `json:"tripped"`
+	Drained   int64 `json:"drained"`
+	Completed int64 `json:"completed"`
+	Degraded  int64 `json:"degraded"`
+	Panicked  int64 `json:"panicked"`
+	BadReq    int64 `json:"bad_request"`
+
+	InFlight   int64 `json:"in_flight"`
+	QueueDepth int64 `json:"queue_depth"`
+
+	BreakerState string `json:"breaker_state"`
+	Draining     bool   `json:"draining"`
+
+	Latency []LatencyBucket `json:"latency"`
+}
+
+// snapshot captures the counters; breaker state and draining flag are
+// filled in by the server, which owns those components.
+func (s *Stats) snapshot() StatsSnapshot {
+	snap := StatsSnapshot{
+		Accepted:  s.accepted.Load(),
+		Queued:    s.queued.Load(),
+		Shed:      s.shed.Load(),
+		Tripped:   s.tripped.Load(),
+		Drained:   s.drained.Load(),
+		Completed: s.completed.Load(),
+		Degraded:  s.degraded.Load(),
+		Panicked:  s.panicked.Load(),
+		BadReq:    s.badReq.Load(),
+	}
+	for i := range s.latency {
+		n := s.latency[i].Load()
+		if n == 0 {
+			continue
+		}
+		var ub int64
+		if i < len(latencyBuckets) {
+			ub = latencyBuckets[i].Milliseconds()
+		}
+		snap.Latency = append(snap.Latency, LatencyBucket{UpperMS: ub, Count: n})
+	}
+	return snap
+}
