@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: all check vet build test race fuzz-smoke serve-smoke bench clean
+.PHONY: all check vet build test race fuzz-smoke serve-smoke bench bench-all bench-smoke clean
 
 all: check
 
@@ -26,14 +26,27 @@ fuzz-smoke:
 	$(GO) test -run=Fuzz -fuzz=FuzzReadTSV -fuzztime=$(FUZZTIME) ./internal/graph
 	$(GO) test -run=Fuzz -fuzz=FuzzReadFeatureSet -fuzztime=$(FUZZTIME) ./internal/core
 	$(GO) test -run=Fuzz -fuzz=FuzzParseCompact -fuzztime=$(FUZZTIME) ./internal/core
+	$(GO) test -run=Fuzz -fuzz=FuzzCounterTable -fuzztime=$(FUZZTIME) ./internal/core
 
 # End-to-end daemon smoke: builds cmd/hsgfd under -race, boots it on a
 # synthetic graph and exercises serve/degrade/shed/drain over real HTTP.
 serve-smoke:
 	$(GO) test -race -tags smoke -run TestServeSmoke -v ./cmd/hsgfd
 
+# Tracked census benchmarks: writes BENCH_census.json (ns/root,
+# allocs/root, subgraphs/sec for census_root / census_all /
+# serve_request). Diff this file across PRs to track the hot path.
 bench:
+	$(GO) run ./cmd/censusbench -o BENCH_census.json
+
+# Full benchmark sweep across every package.
+bench-all:
 	$(GO) test -bench=. -benchmem ./...
+
+# CI smoke: compile and exercise every benchmark briefly so benchmark
+# code cannot rot, without paying for stable timings.
+bench-smoke:
+	$(GO) test -run='^$$' -bench=. -benchtime=100x ./internal/core ./internal/serve
 
 clean:
 	$(GO) clean ./...

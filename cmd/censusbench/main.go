@@ -1,0 +1,234 @@
+// Command censusbench runs the tracked census micro-benchmarks —
+// single-root census, parallel full-sample extraction, and the serving
+// daemon's request path — over the synthetic publication network and
+// writes the results as JSON (BENCH_census.json under `make bench`).
+//
+// The JSON schema is stable so successive PRs can diff the trajectory:
+// each benchmark reports ns/op, allocs and bytes per op, plus the
+// derived ns/root, allocs/root and subgraphs/sec the census work is
+// tracked on. DESIGN.md §8 records the pre-optimisation baseline.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"hsgf/internal/core"
+	"hsgf/internal/datagen"
+	"hsgf/internal/graph"
+	"hsgf/internal/serve"
+)
+
+// result is one benchmark's row in the output file.
+type result struct {
+	Name            string  `json:"name"`
+	Iterations      int     `json:"iterations"`
+	NsPerOp         float64 `json:"ns_per_op"`
+	AllocsPerOp     float64 `json:"allocs_per_op"`
+	BytesPerOp      float64 `json:"bytes_per_op"`
+	Roots           int     `json:"roots_per_op"`
+	NsPerRoot       float64 `json:"ns_per_root"`
+	AllocsPerRoot   float64 `json:"allocs_per_root"`
+	SubgraphsPerSec float64 `json:"subgraphs_per_sec,omitempty"`
+}
+
+type report struct {
+	Generated string   `json:"generated"`
+	GoVersion string   `json:"go_version"`
+	NumCPU    int      `json:"num_cpu"`
+	Nodes     int      `json:"graph_nodes"`
+	Edges     int      `json:"graph_edges"`
+	Results   []result `json:"results"`
+}
+
+// benchGraph mirrors the reduced publication network used by the
+// in-package benchmarks (internal/core/censusbench_test.go), so numbers
+// from `go test -bench` and from this harness are comparable.
+func benchGraph() (*graph.Graph, error) {
+	cfg := datagen.DefaultPublicationConfig()
+	cfg.Institutions = 40
+	cfg.Conferences = datagen.DefaultConferences[:3]
+	cfg.Years = []int{2010, 2011, 2012, 2013}
+	cfg.PapersPerConfYear = 25
+	cfg.ExternalPapers = 400
+	pub, err := datagen.GeneratePublication(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return pub.Graph, nil
+}
+
+func sampleRoots(g *graph.Graph, n int) []graph.NodeID {
+	if n > g.NumNodes() {
+		n = g.NumNodes()
+	}
+	roots := make([]graph.NodeID, n)
+	stride := g.NumNodes() / n
+	for i := range roots {
+		roots[i] = graph.NodeID(i * stride)
+	}
+	return roots
+}
+
+func row(name string, roots int, r testing.BenchmarkResult, subgraphs int64) result {
+	perOp := float64(r.NsPerOp())
+	out := result{
+		Name:          name,
+		Iterations:    r.N,
+		NsPerOp:       perOp,
+		AllocsPerOp:   float64(r.AllocsPerOp()),
+		BytesPerOp:    float64(r.AllocedBytesPerOp()),
+		Roots:         roots,
+		NsPerRoot:     perOp / float64(roots),
+		AllocsPerRoot: float64(r.AllocsPerOp()) / float64(roots),
+	}
+	if subgraphs > 0 && r.T > 0 {
+		out.SubgraphsPerSec = float64(subgraphs) / r.T.Seconds()
+	}
+	return out
+}
+
+func main() {
+	// testing.Benchmark reads -test.benchtime from the global flag set;
+	// Init registers it so the harness honours it outside `go test`.
+	testing.Init()
+	var (
+		out      = flag.String("o", "BENCH_census.json", "output path ('-' for stdout)")
+		benchSec = flag.Float64("benchtime", 1.0, "target seconds per benchmark")
+	)
+	flag.Parse()
+
+	if err := flag.Lookup("test.benchtime").Value.Set(fmt.Sprintf("%gs", *benchSec)); err != nil {
+		fmt.Fprintln(os.Stderr, "censusbench:", err)
+		os.Exit(1)
+	}
+
+	g, err := benchGraph()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "censusbench:", err)
+		os.Exit(1)
+	}
+
+	rep := report{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		Nodes:     g.NumNodes(),
+		Edges:     g.NumEdges(),
+	}
+
+	// --- census_root: steady-state single-root census (serving row cost).
+	{
+		ex, err := core.NewExtractor(g, core.Options{MaxEdges: 3, MaskRootLabel: true})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "censusbench:", err)
+			os.Exit(1)
+		}
+		roots := sampleRoots(g, 64)
+		for _, r := range roots {
+			ex.Census(r)
+		}
+		var subgraphs int64
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			subgraphs = 0
+			for i := 0; i < b.N; i++ {
+				subgraphs += ex.Census(roots[i%len(roots)]).Subgraphs
+			}
+		})
+		rep.Results = append(rep.Results, row("census_root", 1, r, subgraphs))
+	}
+
+	// --- census_all: parallel full-sample extraction (pipeline workload).
+	{
+		ex, err := core.NewExtractor(g, core.Options{MaxEdges: 3, MaskRootLabel: true})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "censusbench:", err)
+			os.Exit(1)
+		}
+		roots := sampleRoots(g, 256)
+		ex.CensusAll(roots[:8], 0)
+		var subgraphs int64
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			subgraphs = 0
+			for i := 0; i < b.N; i++ {
+				for _, c := range ex.CensusAll(roots, 0) {
+					subgraphs += c.Subgraphs
+				}
+			}
+		})
+		rep.Results = append(rep.Results, row("census_all", len(roots), r, subgraphs))
+	}
+
+	// --- serve_request: the daemon's POST /v1/features path end to end.
+	{
+		ex, err := core.NewExtractor(g, core.Options{MaxEdges: 3, MaskRootLabel: true})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "censusbench:", err)
+			os.Exit(1)
+		}
+		srv := serve.NewServer(ex, serve.Config{})
+		handler := srv.Handler()
+		ids := sampleRoots(g, 8)
+		roots := make([]int64, len(ids))
+		for i, r := range ids {
+			roots[i] = int64(r)
+		}
+		body, err := json.Marshal(serve.FeaturesRequest{Roots: roots})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "censusbench:", err)
+			os.Exit(1)
+		}
+		do := func() int {
+			req := httptest.NewRequest(http.MethodPost, "/v1/features", bytes.NewReader(body))
+			rec := httptest.NewRecorder()
+			handler.ServeHTTP(rec, req)
+			return rec.Code
+		}
+		if code := do(); code != http.StatusOK {
+			fmt.Fprintf(os.Stderr, "censusbench: serve warmup returned %d\n", code)
+			os.Exit(1)
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if code := do(); code != http.StatusOK {
+					b.Fatalf("request returned %d", code)
+				}
+			}
+		})
+		rep.Results = append(rep.Results, row("serve_request", len(roots), r, 0))
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "censusbench:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "censusbench:", err)
+		os.Exit(1)
+	}
+	for _, r := range rep.Results {
+		fmt.Fprintf(os.Stderr, "censusbench: %-14s %12.0f ns/root %8.2f allocs/root", r.Name, r.NsPerRoot, r.AllocsPerRoot)
+		if r.SubgraphsPerSec > 0 {
+			fmt.Fprintf(os.Stderr, " %14.0f subgraphs/sec", r.SubgraphsPerSec)
+		}
+		fmt.Fprintln(os.Stderr)
+	}
+	fmt.Fprintf(os.Stderr, "censusbench: wrote %s\n", *out)
+}

@@ -7,7 +7,7 @@
 //	hsgfd -in graph.tsv [-addr :8080] [-emax 5] [-mask] \
 //	      [-dmax-percentile 0.9] [-root-budget N] [-root-deadline 2s] \
 //	      [-max-inflight 4] [-max-queue 8] [-default-deadline 10s] \
-//	      [-drain-grace 15s]
+//	      [-drain-grace 15s] [-pprof-addr localhost:6060]
 //
 // Endpoints:
 //
@@ -32,6 +32,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux; served only via -pprof-addr
 	"os"
 	"os/signal"
 	"syscall"
@@ -65,6 +67,8 @@ func main() {
 		brkCooldown = flag.Duration("breaker-cooldown", 5*time.Second, "open time before half-open probes")
 
 		drainGrace = flag.Duration("drain-grace", 15*time.Second, "max wait for in-flight requests on shutdown")
+
+		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -114,6 +118,18 @@ func main() {
 		DrainGrace: *drainGrace,
 		Log:        logger,
 	})
+
+	// The profiling listener is separate from the serving address so it
+	// can stay bound to localhost while the API is public, and so profile
+	// scrapes never compete with request admission. Off by default.
+	if *pprofAddr != "" {
+		go func() {
+			logger.Printf("pprof listening on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				logger.Printf("pprof server: %v", err)
+			}
+		}()
+	}
 
 	// SIGTERM/SIGINT begin the graceful drain; a second signal kills the
 	// process the default way (NotifyContext unregisters after the first).

@@ -1,0 +1,253 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"hsgf/internal/graph"
+)
+
+// TestCensusCounterMatchesMapCensusRandomGraphs is the census-level half
+// of the counter-table identity: on random graphs, the production census
+// (counter-table tallies) must equal, key for key and count for count,
+// the brute-force reference census, which tallies into plain Go maps.
+// Both key modes and root masking are exercised.
+func TestCensusCounterMatchesMapCensusRandomGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	for trial := 0; trial < 40; trial++ {
+		g := randomLabelled(rng, 5+rng.Intn(10), 1+rng.Intn(3), 0.25+rng.Float64()*0.25)
+		opts := Options{
+			MaxEdges:      1 + rng.Intn(3),
+			MaskRootLabel: rng.Intn(2) == 0,
+			KeyMode:       KeyMode(rng.Intn(2)),
+		}
+		e, err := NewExtractor(g, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < g.NumNodes(); v++ {
+			c := e.Census(graph.NodeID(v))
+			got, err := CanonicalCounts(e, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := ReferenceCensus(g, graph.NodeID(v), opts)
+			if len(want) == 0 {
+				want = map[string]int64{}
+			}
+			if len(got) == 0 {
+				got = map[string]int64{}
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d root %d (%+v): counter-table census diverged from map census:\n got %v\nwant %v",
+					trial, v, opts, got, want)
+			}
+			var sum int64
+			for _, n := range c.Counts {
+				sum += n
+			}
+			if sum != c.Subgraphs {
+				t.Fatalf("trial %d root %d: counts sum %d != subgraphs %d", trial, v, sum, c.Subgraphs)
+			}
+		}
+	}
+}
+
+// TestCensusZeroAllocSteadyState asserts the tentpole property: in
+// rolling-hash mode a warm worker's census performs no per-emission
+// allocation. The only allocations left per root are the Census struct
+// and its output map — a small constant unrelated to the thousands of
+// emissions the measured root produces.
+func TestCensusZeroAllocSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation skews allocation accounting")
+	}
+	g := denseGraph(t, 120)
+	e, err := NewExtractor(g, Options{MaxEdges: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := e.getWorker(censusRun{})
+	defer e.putWorker(w)
+	warm := w.census(0) // materialises the vocabulary, grows the table
+	if warm.Subgraphs < 1000 {
+		t.Fatalf("root 0 too small for a steady-state measurement: %d emissions", warm.Subgraphs)
+	}
+
+	allocs := testing.AllocsPerRun(10, func() {
+		w.census(0)
+	})
+	// The output map for len(warm.Counts) keys plus the Census struct:
+	// comfortably under 32 allocations however the runtime sizes map
+	// buckets, and independent of the emission count.
+	if allocs > 32 {
+		t.Errorf("steady-state census allocates %.0f times per root (distinct keys: %d)", allocs, len(warm.Counts))
+	}
+	if perEmission := allocs / float64(warm.Subgraphs); perEmission > 0.01 {
+		t.Errorf("census allocates %.4f times per emission, want ~0", perEmission)
+	}
+}
+
+// TestPooledRequestAvoidsWorkerRebuild is the serving-daemon regression:
+// a warm extractor must serve CensusAllWithLimits — the per-request
+// entry point of internal/serve — without reconstructing the O(V+E)
+// worker state. On this graph a single cold worker build allocates
+// ~9 KB of nodePos alone plus edgeState; the steady-state request
+// path must stay well below one worker rebuild per call.
+func TestPooledRequestAvoidsWorkerRebuild(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation skews allocation accounting")
+	}
+	const n = 20000
+	b := graph.NewBuilderWithAlphabet(graph.MustAlphabet("a", "b"))
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < n; i++ {
+		b.AddLabeledNode(graph.Label(rng.Intn(2)))
+	}
+	for u := 0; u < n; u++ {
+		b.AddEdge(graph.NodeID(u), graph.NodeID((u+1)%n))
+		b.AddEdge(graph.NodeID(u), graph.NodeID(rng.Intn(n)))
+	}
+	g := b.MustBuild()
+	e, err := NewExtractor(g, Options{MaxEdges: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	roots := []graph.NodeID{0, 1, 2, 3}
+	limits := RootLimits{Budget: 10000}
+	if _, err := e.CensusAllWithLimits(ctx, roots, 1, limits); err != nil {
+		t.Fatal(err)
+	}
+
+	const calls = 50
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	for i := 0; i < calls; i++ {
+		if _, err := e.CensusAllWithLimits(ctx, roots, 1, limits); err != nil {
+			t.Fatal(err)
+		}
+	}
+	runtime.ReadMemStats(&m1)
+	perCall := (m1.TotalAlloc - m0.TotalAlloc) / calls
+
+	// One cold worker costs > 4*V + E bytes (nodePos int32s + edgeState
+	// bytes + arenas). Require the warm request path to stay under half
+	// of nodePos alone: impossible if workers were rebuilt per call.
+	coldFloor := uint64(4*g.NumNodes()) / 2
+	if perCall > coldFloor {
+		t.Errorf("request path allocates %d B/call on a %d-node graph; worker state is being rebuilt (cold floor %d B)",
+			perCall, g.NumNodes(), coldFloor)
+	}
+}
+
+// TestWorkerPoolReuseAndOverrideReset pins the pool contract: a returned
+// worker is handed out again, and per-run limit overrides are re-derived
+// from Options at checkout so they cannot leak across runs.
+func TestWorkerPoolReuseAndOverrideReset(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := randomLabelled(rng, 30, 2, 0.2)
+	e, err := NewExtractor(g, Options{MaxEdges: 3, MaxSubgraphsPerRoot: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := censusRun{limits: RootLimits{Budget: 7, Deadline: time.Second}}
+	reused := false
+	for attempt := 0; attempt < 5 && !reused; attempt++ {
+		w1 := e.getWorker(run)
+		if w1.budget != 7 || w1.deadline != time.Second {
+			t.Fatalf("overrides not applied at checkout: budget=%d deadline=%v", w1.budget, w1.deadline)
+		}
+		e.putWorker(w1)
+		w2 := e.getWorker(censusRun{})
+		if w2.budget != 99 || w2.deadline != 0 {
+			t.Fatalf("overrides leaked across checkouts: budget=%d deadline=%v", w2.budget, w2.deadline)
+		}
+		if w2.stop != nil || w2.hooks != nil {
+			t.Fatal("stop/hooks survived putWorker")
+		}
+		reused = w1 == w2
+		e.putWorker(w2)
+	}
+	if !reused {
+		t.Error("pool never handed back a returned worker across 5 put/get cycles")
+	}
+
+	// A dirty worker (unrestored enumeration state) must be dropped.
+	wd := e.getWorker(censusRun{})
+	wd.edges = 1 // simulate a panic unwind mid-enumeration
+	e.putWorker(wd)
+	wn := e.getWorker(censusRun{})
+	if wn == wd {
+		t.Fatal("pool resurrected a dirty worker")
+	}
+	wn.edges = 0
+	e.putWorker(wn)
+}
+
+// TestLimitsDoNotLeakAcrossRuns drives the leak check end to end: a
+// budget-truncated run followed by an unlimited run over the same
+// extractor must return a complete census the second time.
+func TestLimitsDoNotLeakAcrossRuns(t *testing.T) {
+	g := denseGraph(t, 80)
+	e, err := NewExtractor(g, Options{MaxEdges: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	roots := []graph.NodeID{0, 1}
+
+	capped, err := e.CensusAllWithLimits(ctx, roots, 1, RootLimits{Budget: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !capped[0].Truncated {
+		t.Fatal("budget 50 should truncate this dense root")
+	}
+	free, err := e.CensusAllWithLimits(ctx, roots, 1, RootLimits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free[0].Truncated {
+		t.Fatalf("limit leaked: unlimited run truncated with flags %v", free[0].Flags)
+	}
+	if free[0].Subgraphs <= capped[0].Subgraphs {
+		t.Fatalf("unlimited census (%d) not larger than capped one (%d)", free[0].Subgraphs, capped[0].Subgraphs)
+	}
+}
+
+// TestCensusLPTOrderMatchesDefault: LPT scheduling is a pure scheduling
+// hint — censuses must be identical to the default dispatch, aligned
+// with the caller's root order.
+func TestCensusLPTOrderMatchesDefault(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	g := randomLabelled(rng, 60, 3, 0.15)
+	roots := make([]graph.NodeID, g.NumNodes())
+	for i := range roots {
+		roots[i] = graph.NodeID(i)
+	}
+	plain, err := NewExtractor(g, Options{MaxEdges: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lpt, err := NewExtractor(g, Options{MaxEdges: 3, LPTRootOrder: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := plain.CensusAll(roots, 4)
+	b := lpt.CensusAll(roots, 4)
+	for i := range roots {
+		if a[i].Root != b[i].Root {
+			t.Fatalf("row %d misaligned under LPT: root %d vs %d", i, a[i].Root, b[i].Root)
+		}
+		if !reflect.DeepEqual(a[i].Counts, b[i].Counts) {
+			t.Fatalf("row %d: LPT changed the census of root %d", i, a[i].Root)
+		}
+	}
+}

@@ -126,10 +126,18 @@ type worker struct {
 	ext      []cand
 	segArena [][]seg
 
-	root      graph.NodeID
-	counts    map[uint64]int64
-	repr      map[uint64]Sequence // first-seen canonical form per key
-	emissions int64
+	root graph.NodeID
+	// tab is the reusable open-addressing census counter, epoch-cleared
+	// per root; the per-root Counts map is materialised from it once at
+	// census end, so the emission hot path never touches a Go map.
+	tab *counterTable
+	// zeroRow is a k-wide all-zero row appended into tv when a node
+	// joins the subgraph; appending from it avoids the temp-slice
+	// allocation of make([]int32, k) per fresh node.
+	zeroRow    []int32
+	repr       map[uint64]Sequence // first-seen canonical form per key
+	reprMerged int                 // len(repr) at the last flush into the extractor
+	emissions  int64
 
 	budget    int64         // per-root emission cap, 0 = unlimited
 	deadline  time.Duration // per-root wall-clock budget, 0 = unlimited
@@ -213,6 +221,8 @@ func newWorker(g *graph.Graph, opts Options, k int, pows *powerTable) *worker {
 	w.slabels = make([]int32, 0, maxNodes)
 	w.tv = make([]int32, 0, maxNodes*k)
 	w.rv = make([]uint64, 0, maxNodes)
+	w.zeroRow = make([]int32, k)
+	w.tab = newCounterTable(counterMinSize)
 	w.repr = make(map[uint64]Sequence)
 	w.segArena = make([][]seg, opts.MaxEdges+1)
 	for d := range w.segArena {
@@ -221,10 +231,29 @@ func newWorker(g *graph.Graph, opts Options, k int, pows *powerTable) *worker {
 	return w
 }
 
+// clean reports whether the worker's reusable state is back at its
+// between-roots invariant: no subgraph edges, an empty candidate stack,
+// and at most the last root left in the arenas with its nodePos entry
+// released. census restores (or wholesale rebuilds) the O(V+E) arrays
+// itself on every exit path except a panic unwind, and any panic inside
+// the enumeration leaves live candidates behind, so these O(1) checks
+// distinguish a healthy worker from one that must not be pooled.
+func (w *worker) clean() bool {
+	if w.edges != 0 || len(w.ext) != 0 || len(w.nodes) > 1 {
+		return false
+	}
+	for _, v := range w.nodes { // at most one entry
+		if w.nodePos[v] >= 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // census runs the full enumeration for one root and returns its counts.
 func (w *worker) census(root graph.NodeID) *Census {
 	w.root = root
-	w.counts = make(map[uint64]int64)
+	w.tab.reset()
 	w.emissions = 0
 	w.steps = 0
 	w.aborted = false
@@ -244,8 +273,7 @@ func (w *worker) census(root graph.NodeID) *Census {
 	w.nodePos[root] = 0
 	w.nodes = append(w.nodes[:0], root)
 	w.slabels = append(w.slabels[:0], slot)
-	w.tv = w.tv[:0]
-	w.tv = append(w.tv, make([]int32, w.k)...)
+	w.tv = append(w.tv[:0], w.zeroRow...)
 	w.rv = append(w.rv[:0], 0)
 	w.hash = w.pows.mix(0, slot)
 	w.edges = 0
@@ -289,7 +317,11 @@ func (w *worker) census(root graph.NodeID) *Census {
 	w.nodePos[root] = -1
 	w.ext = w.ext[:0]
 
-	return &Census{Root: root, Counts: w.counts, Subgraphs: w.emissions, Truncated: w.aborted, Flags: w.abortWhy}
+	// Materialise the census once, from the flat counter table. This is
+	// the only per-root map work left: O(distinct keys), not O(emissions).
+	counts := make(map[uint64]int64, w.tab.len())
+	w.tab.forEach(func(k uint64, n int64) { counts[k] = n })
+	return &Census{Root: root, Counts: counts, Subgraphs: w.emissions, Truncated: w.aborted, Flags: w.abortWhy}
 }
 
 // grow enumerates every connected subgraph extension reachable from the
@@ -329,16 +361,22 @@ func (w *worker) grow(segs []seg) {
 						w.addEdge(c)
 						s := w.sequence()
 						h = fnvSequence(s)
-						if _, ok := w.repr[h]; !ok {
-							w.repr[h] = s
+						if w.tab.add(h, n) {
+							if _, ok := w.repr[h]; !ok {
+								w.repr[h] = s
+							}
 						}
 						w.removeEdge(c)
-					} else if _, ok := w.repr[h]; !ok {
-						w.addEdge(c)
-						w.repr[h] = w.sequence()
-						w.removeEdge(c)
+					} else if w.tab.add(h, n) {
+						// First sight this root; materialise the batch's
+						// representative only if the worker has never
+						// decoded this key before.
+						if _, ok := w.repr[h]; !ok {
+							w.addEdge(c)
+							w.repr[h] = w.sequence()
+							w.removeEdge(c)
+						}
 					}
-					w.counts[h] += n
 					w.emissions += n
 					p = j - 1
 					continue
@@ -437,7 +475,7 @@ func (w *worker) addEdge(c cand) {
 		w.nodePos[c.to] = pb
 		w.nodes = append(w.nodes, c.to)
 		w.slabels = append(w.slabels, w.labelSlot(c.to))
-		w.tv = append(w.tv, make([]int32, w.k)...)
+		w.tv = append(w.tv, w.zeroRow...)
 		w.rv = append(w.rv, 0)
 	}
 	la, lb := w.slabels[pa], w.slabels[pb]
@@ -508,22 +546,25 @@ func (w *worker) removeEdge(c cand) {
 	}
 }
 
-// count registers the current subgraph in the census.
+// count registers the current subgraph in the census: one counter-table
+// probe per emission, with the canonical sequence materialised only the
+// first time this root (and this worker's lifetime) sees the key. In
+// rolling-hash mode the steady state — warm table, known vocabulary —
+// performs no allocation and no map operation at all.
 func (w *worker) count() {
-	var key uint64
 	if w.opts.KeyMode == CanonicalString {
 		s := w.sequence()
-		key = fnvSequence(s)
-		if _, ok := w.repr[key]; !ok {
-			w.repr[key] = s
+		key := fnvSequence(s)
+		if w.tab.add(key, 1) {
+			if _, ok := w.repr[key]; !ok {
+				w.repr[key] = s
+			}
 		}
-	} else {
-		key = w.hash
-		if _, ok := w.repr[key]; !ok {
-			w.repr[key] = w.sequence()
+	} else if w.tab.add(w.hash, 1) {
+		if _, ok := w.repr[w.hash]; !ok {
+			w.repr[w.hash] = w.sequence()
 		}
 	}
-	w.counts[key]++
 	w.emissions++
 }
 

@@ -1,0 +1,146 @@
+package core
+
+// counterTable is the census hot-path counter: an open-addressing
+// (linear-probing, power-of-two sized) uint64 -> int64 table with
+// epoch-based clearing, owned by one census worker and reused across
+// every root that worker processes.
+//
+// It replaces the per-root map[uint64]int64 for two reasons:
+//
+//   - Allocation discipline. A map is rebuilt per root, and a map insert
+//     may allocate; the table's slot arrays persist across roots and are
+//     "cleared" by bumping a 32-bit epoch, so a steady-state census
+//     performs zero allocations per emission (the flat-array memory
+//     discipline of the motif-counting engines, cf. ESCAPE/PGD).
+//   - One probe per emission. add reports whether the key is new in the
+//     current epoch, which folds the census's two map operations per
+//     emission (counts increment + repr membership probe) into a single
+//     probe: the caller materialises the canonical sequence only when
+//     add says "first sight".
+//
+// Census keys are already avalanche-mixed (SplitMix64 sums or FNV-64a
+// digests), but the table still scrambles them with a Fibonacci multiply
+// before taking the top bits, so it stays robust if a future key scheme
+// is less uniform.
+type counterTable struct {
+	keys   []uint64
+	counts []int64
+	epochs []uint32
+	epoch  uint32
+	shift  uint // 64 - log2(len(keys))
+	n      int  // live entries this epoch
+}
+
+// counterMinSize is the smallest slot count; a power of two.
+const counterMinSize = 256
+
+// fibMul is 2^64 / phi, the Fibonacci-hashing multiplier.
+const fibMul = 0x9e3779b97f4a7c15
+
+func newCounterTable(hint int) *counterTable {
+	size := counterMinSize
+	for size < hint*2 {
+		size *= 2
+	}
+	t := &counterTable{epoch: 1}
+	t.alloc(size)
+	return t
+}
+
+func (t *counterTable) alloc(size int) {
+	t.keys = make([]uint64, size)
+	t.counts = make([]int64, size)
+	t.epochs = make([]uint32, size)
+	shift := uint(64)
+	for s := size; s > 1; s >>= 1 {
+		shift--
+	}
+	t.shift = shift
+}
+
+// reset begins a new epoch: every slot becomes logically empty in O(1).
+// When the 32-bit epoch wraps, the epoch array is zeroed once so a slot
+// written four billion roots ago cannot alias as live.
+func (t *counterTable) reset() {
+	t.n = 0
+	t.epoch++
+	if t.epoch == 0 {
+		clear(t.epochs)
+		t.epoch = 1
+	}
+}
+
+// add increments key's counter by delta and reports whether the key is
+// new in the current epoch. It never allocates unless the table must
+// grow (past 3/4 load), which happens only until the table has seen the
+// graph's working vocabulary size.
+func (t *counterTable) add(key uint64, delta int64) (isNew bool) {
+	mask := len(t.keys) - 1
+	i := int((key * fibMul) >> t.shift)
+	for {
+		if t.epochs[i] != t.epoch {
+			t.keys[i] = key
+			t.counts[i] = delta
+			t.epochs[i] = t.epoch
+			t.n++
+			if t.n*4 > len(t.keys)*3 {
+				t.grow()
+			}
+			return true
+		}
+		if t.keys[i] == key {
+			t.counts[i] += delta
+			return false
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// get returns key's count in the current epoch, for tests and debugging.
+func (t *counterTable) get(key uint64) (int64, bool) {
+	mask := len(t.keys) - 1
+	i := int((key * fibMul) >> t.shift)
+	for {
+		if t.epochs[i] != t.epoch {
+			return 0, false
+		}
+		if t.keys[i] == key {
+			return t.counts[i], true
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// len returns the number of live entries in the current epoch.
+func (t *counterTable) len() int { return t.n }
+
+// grow doubles the table and reinserts the live entries. Stale slots
+// (old epochs) are dropped, so growth also compacts.
+func (t *counterTable) grow() {
+	oldKeys, oldCounts, oldEpochs, oldEpoch := t.keys, t.counts, t.epochs, t.epoch
+	t.alloc(2 * len(oldKeys))
+	mask := len(t.keys) - 1
+	for j, e := range oldEpochs {
+		if e != oldEpoch {
+			continue
+		}
+		key := oldKeys[j]
+		i := int((key * fibMul) >> t.shift)
+		for t.epochs[i] == t.epoch {
+			i = (i + 1) & mask
+		}
+		t.keys[i] = key
+		t.counts[i] = oldCounts[j]
+		t.epochs[i] = t.epoch
+	}
+}
+
+// forEach visits every live (key, count) pair of the current epoch in
+// unspecified order.
+func (t *counterTable) forEach(fn func(key uint64, count int64)) {
+	for i, e := range t.epochs {
+		if e == t.epoch {
+			fn(t.keys[i], t.counts[i])
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// drainTable materialises a counter table's live entries as a map.
+func drainTable(t *counterTable) map[uint64]int64 {
+	out := make(map[uint64]int64, t.len())
+	t.forEach(func(k uint64, n int64) { out[k] = n })
+	return out
+}
+
+// TestCounterTableMatchesMapRandom drives the counter table and a plain
+// map[uint64]int64 with identical operation streams across many epochs —
+// small key domains (forcing heavy duplication), large random keys, and
+// clustered keys that collide under the probe hash — and requires the
+// drained table to equal the map exactly after every epoch. This is the
+// data-structure half of the "counter table == map census" guarantee;
+// the census-level half rides on the reference-oracle suite.
+func TestCounterTableMatchesMapRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(991))
+	tab := newCounterTable(4) // deliberately undersized: exercise growth
+	for epoch := 0; epoch < 200; epoch++ {
+		tab.reset()
+		want := make(map[uint64]int64)
+		ops := rng.Intn(2000)
+		mode := epoch % 4
+		for op := 0; op < ops; op++ {
+			var key uint64
+			switch mode {
+			case 0: // tiny domain: mostly increments of existing keys
+				key = uint64(rng.Intn(8))
+			case 1: // uniform random keys
+				key = rng.Uint64()
+			case 2: // clustered keys: consecutive values probe-collide
+				key = 0xdeadbeef0000 + uint64(rng.Intn(64))
+			default: // mixture, with occasional zero key
+				if rng.Intn(10) == 0 {
+					key = 0
+				} else {
+					key = uint64(rng.Intn(200))
+				}
+			}
+			delta := int64(1 + rng.Intn(5))
+			_, existed := want[key]
+			isNew := tab.add(key, delta)
+			if isNew == existed {
+				t.Fatalf("epoch %d op %d: add(%#x) reported new=%v, map says existed=%v",
+					epoch, op, key, isNew, existed)
+			}
+			want[key] += delta
+		}
+		if got := drainTable(tab); !reflect.DeepEqual(got, want) {
+			t.Fatalf("epoch %d (mode %d): table diverged from map: %d vs %d entries",
+				epoch, mode, len(got), len(want))
+		}
+		if tab.len() != len(want) {
+			t.Fatalf("epoch %d: len() = %d, want %d", epoch, tab.len(), len(want))
+		}
+	}
+}
+
+// TestCounterTableEpochWrap forces the 32-bit epoch to wrap and checks
+// that entries from the pre-wrap generation cannot alias as live.
+func TestCounterTableEpochWrap(t *testing.T) {
+	tab := newCounterTable(4)
+	tab.add(42, 7)
+	tab.epoch = ^uint32(0) // jump to the last epoch value
+	tab.reset()            // wraps: must clear and restart at epoch 1
+	if tab.epoch != 1 {
+		t.Fatalf("post-wrap epoch = %d, want 1", tab.epoch)
+	}
+	if tab.len() != 0 {
+		t.Fatalf("post-wrap table has %d live entries, want 0", tab.len())
+	}
+	if n, ok := tab.get(42); ok {
+		t.Fatalf("key 42 survived the epoch wrap with count %d", n)
+	}
+	if !tab.add(42, 3) {
+		t.Fatal("add after wrap must report a new key")
+	}
+	if n, _ := tab.get(42); n != 3 {
+		t.Fatalf("post-wrap count = %d, want 3 (stale pre-wrap count leaked)", n)
+	}
+}
+
+// TestCounterTableGrowthPreservesCounts fills one epoch far past the
+// initial capacity so the table grows repeatedly mid-epoch.
+func TestCounterTableGrowthPreservesCounts(t *testing.T) {
+	tab := newCounterTable(1)
+	want := make(map[uint64]int64)
+	rng := rand.New(rand.NewSource(5))
+	tab.reset()
+	for i := 0; i < 100000; i++ {
+		key := uint64(rng.Intn(50000))
+		tab.add(key, 1)
+		want[key]++
+	}
+	if got := drainTable(tab); !reflect.DeepEqual(got, want) {
+		t.Fatalf("table diverged after growth: %d vs %d entries", len(got), len(want))
+	}
+}
+
+// FuzzCounterTable interprets fuzz bytes as an op stream over the table
+// and a shadow map: byte pairs form keys, a zero byte resets the epoch.
+// The table must agree with the map at every reset and at the end.
+func FuzzCounterTable(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 0, 1, 2})
+	f.Add([]byte{7, 7, 7, 7, 7, 7, 7, 7})
+	f.Add([]byte{0, 0, 1, 0, 255, 254, 253})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tab := newCounterTable(2)
+		want := make(map[uint64]int64)
+		check := func() {
+			if got := drainTable(tab); !reflect.DeepEqual(got, want) {
+				t.Fatalf("table diverged from shadow map: %v vs %v", got, want)
+			}
+		}
+		for i := 0; i+1 < len(data); i += 2 {
+			if data[i] == 0 {
+				check()
+				tab.reset()
+				want = make(map[uint64]int64)
+				continue
+			}
+			// Mix the byte pair so keys spread over the full domain while
+			// still colliding often for small inputs.
+			key := splitmix64(uint64(data[i])<<8 | uint64(data[i+1]))
+			if data[i+1]%3 == 0 {
+				key &= 0xff // force duplicates
+			}
+			_, existed := want[key]
+			if isNew := tab.add(key, 1); isNew == existed {
+				t.Fatalf("add(%#x) new=%v, map existed=%v", key, isNew, existed)
+			}
+			want[key]++
+		}
+		check()
+	})
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 	"runtime/debug"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -70,6 +71,13 @@ type Options struct {
 	// proceeds — the per-root analogue of whole-run context cancellation,
 	// sized for the heavy right tail of the paper's Table 3 distribution.
 	RootDeadline time.Duration
+	// LPTRootOrder dispatches roots to parallel census workers in
+	// descending-degree order (longest-processing-time-first list
+	// scheduling, with degree as the cost proxy). On skewed graphs this
+	// keeps one late-arriving hub root from serialising the tail of a
+	// parallel extraction. Results are unaffected — output stays aligned
+	// with the caller's root order — so this is purely a scheduling hint.
+	LPTRootOrder bool
 }
 
 // DefaultOptions returns the paper's label-prediction configuration:
@@ -88,7 +96,16 @@ type Extractor struct {
 
 	mu     sync.Mutex
 	repr   map[uint64]Sequence
+	strs   map[uint64]string // memoised EncodingString renders
 	panics []PanicRecord
+
+	// pool recycles census workers across roots, calls, and — via the
+	// serving daemon — requests. A worker carries O(V+E) persistent
+	// state (nodePos, edgeState) plus its counter table and arenas;
+	// rebuilding that per call is exactly the per-request O(V+E) cost
+	// the pool amortises away. Checked-out workers get the run's limit
+	// overrides applied in getWorker and are verified clean in putWorker.
+	pool sync.Pool
 
 	hooks *faultHooks // fault-injection seam, nil outside tests
 }
@@ -121,6 +138,7 @@ func NewExtractor(g *graph.Graph, opts Options) (*Extractor, error) {
 		// Pre-sized: vocabularies of real networks run to hundreds of
 		// distinct encodings, so early merges should not rehash.
 		repr: make(map[uint64]Sequence, 256),
+		strs: make(map[uint64]string, 256),
 	}, nil
 }
 
@@ -145,13 +163,13 @@ func (e *Extractor) SlotName(l int) string {
 }
 
 // Census extracts the subgraph census for a single root node. Unlike the
-// pooled CensusAll variants it does not isolate panics: a fault in the
-// enumeration propagates to the caller.
+// parallel CensusAll variants it does not isolate panics: a fault in the
+// enumeration propagates to the caller (and the worker, whose state is
+// then suspect, is deliberately not returned to the pool).
 func (e *Extractor) Census(root graph.NodeID) *Census {
-	w := newWorker(e.g, e.opts, e.k, e.pows)
-	w.hooks = e.hooks
+	w := e.getWorker(censusRun{})
 	c := w.census(root)
-	e.mergeRepr(w.repr)
+	e.putWorker(w)
 	return c
 }
 
@@ -249,51 +267,117 @@ func (e *Extractor) censusAll(roots []graph.NodeID, workers int, run censusRun) 
 		return out, times
 	}
 
-	jobs := make(chan int)
+	// Dispatch is a chunked atomic counter over a root order, not a
+	// channel: claiming work is one atomic add per chunk instead of a
+	// channel send/receive per root, and the producer goroutine (and its
+	// per-root scheduler wakeups) disappears entirely. order == nil means
+	// identity; under LPT it is the indices sorted by descending degree,
+	// claimed one at a time so the largest roots start first.
+	order := e.lptOrder(roots, workers)
+	chunk := 1
+	if order == nil {
+		chunk = dispatchChunk(len(roots), workers)
+	}
+
+	var next atomic.Int64
 	var wg sync.WaitGroup
 	for t := 0; t < workers; t++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			w := e.newPoolWorker(run)
-			for i := range jobs {
-				if run.stop != nil && run.stop.Load() {
-					continue // drain; pending roots stay nil
+			w := e.getWorker(run)
+		claim:
+			for {
+				lo := int(next.Add(int64(chunk))) - chunk
+				if lo >= len(roots) {
+					break
 				}
-				start := time.Now()
-				c := e.safeCensus(w, roots[i])
-				if c.Flags&FlagPanicked != 0 {
-					// The worker's persistent state is suspect after an
-					// unwound enumeration; merge what it learned and
-					// replace it wholesale.
-					e.mergeRepr(w.repr)
-					w = e.newPoolWorker(run)
+				hi := lo + chunk
+				if hi > len(roots) {
+					hi = len(roots)
 				}
-				out[i] = c
-				if run.timed {
-					times[i] = time.Since(start)
-				}
-				if run.done != nil {
-					e.mergeRepr(w.repr)
-					clear(w.repr)
-					run.done(i, c)
+				for pos := lo; pos < hi; pos++ {
+					if run.stop != nil && run.stop.Load() {
+						break claim // stop claiming; pending roots stay nil
+					}
+					i := pos
+					if order != nil {
+						i = order[pos]
+					}
+					start := time.Now()
+					c := e.safeCensus(w, roots[i])
+					if c.Flags&FlagPanicked != 0 {
+						// The worker's persistent state is suspect after an
+						// unwound enumeration; keep what it learned but
+						// replace it wholesale (it never re-enters the pool).
+						e.flushRepr(w)
+						w = e.getWorker(run)
+					}
+					out[i] = c
+					if run.timed {
+						times[i] = time.Since(start)
+					}
+					if run.done != nil {
+						e.flushRepr(w)
+						run.done(i, c)
+					}
 				}
 			}
-			e.mergeRepr(w.repr)
+			e.putWorker(w)
 		}()
 	}
-	for i := range roots {
-		jobs <- i
-	}
-	close(jobs)
 	wg.Wait()
 	return out, times
 }
 
-func (e *Extractor) newPoolWorker(run censusRun) *worker {
-	w := newWorker(e.g, e.opts, e.k, e.pows)
+// dispatchChunk sizes the atomic-counter claim: large enough to amortise
+// the shared-counter contention over many roots, small enough that the
+// run's tail is not serialised behind one worker's oversized last chunk.
+func dispatchChunk(roots, workers int) int {
+	c := roots / (workers * 8)
+	if c < 1 {
+		return 1
+	}
+	if c > 64 {
+		return 64
+	}
+	return c
+}
+
+// lptOrder returns the longest-processing-time dispatch order — root
+// indices sorted by descending degree — or nil when LPT is disabled or
+// cannot help (a single worker processes in order regardless).
+func (e *Extractor) lptOrder(roots []graph.NodeID, workers int) []int {
+	if !e.opts.LPTRootOrder || workers <= 1 {
+		return nil
+	}
+	order := make([]int, len(roots))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		da, db := e.g.Degree(roots[order[a]]), e.g.Degree(roots[order[b]])
+		if da != db {
+			return da > db
+		}
+		return order[a] < order[b] // stable for equal degrees
+	})
+	return order
+}
+
+// getWorker checks a warm census worker out of the pool (or builds the
+// first one), then applies this run's overrides: cancellation flag,
+// fault hooks, and per-root limits, re-derived from Options so an
+// override from a previous checkout can never leak into this one.
+func (e *Extractor) getWorker(run censusRun) *worker {
+	w, _ := e.pool.Get().(*worker)
+	if w == nil {
+		w = newWorker(e.g, e.opts, e.k, e.pows)
+	}
 	w.stop = run.stop
 	w.hooks = e.hooks
+	w.budget = e.opts.MaxSubgraphsPerRoot
+	w.deadline = e.opts.RootDeadline
 	if run.limits.Budget > 0 {
 		w.budget = run.limits.Budget
 	}
@@ -301,6 +385,32 @@ func (e *Extractor) newPoolWorker(run censusRun) *worker {
 		w.deadline = run.limits.Deadline
 	}
 	return w
+}
+
+// putWorker flushes the worker's decoded vocabulary and returns it to
+// the pool — unless its state is visibly dirty (an enumeration unwound
+// without restoring its invariants), in which case it is dropped: a
+// fresh worker is cheaper than a corrupted census.
+func (e *Extractor) putWorker(w *worker) {
+	e.flushRepr(w)
+	if !w.clean() {
+		return
+	}
+	w.stop = nil
+	w.hooks = nil
+	e.pool.Put(w)
+}
+
+// flushRepr merges the worker's decoded vocabulary into the extractor.
+// repr only grows, so when nothing was added since the last flush the
+// whole merge (and its lock) is skipped — the steady-state case once a
+// worker has seen the graph's vocabulary.
+func (e *Extractor) flushRepr(w *worker) {
+	if len(w.repr) == w.reprMerged {
+		return
+	}
+	e.mergeRepr(w.repr)
+	w.reprMerged = len(w.repr)
 }
 
 // safeCensus runs one root's census with panic isolation: a panicking
@@ -366,11 +476,22 @@ func (e *Extractor) Decode(key uint64) (Sequence, bool) {
 }
 
 // EncodingString renders the sequence behind key in the paper's compact
-// notation (e.g. "z010z010y002"), or "?<key>" if unknown.
+// notation (e.g. "z010z010y002"), or "?<key>" if unknown. Renders are
+// memoised per key: the serving daemon calls this for every count of
+// every response row, so steady state is one lock + one map hit, not a
+// fresh string build. Unknown keys are not cached — the key may become
+// decodable after a later extraction.
 func (e *Extractor) EncodingString(key uint64) string {
-	s, ok := e.Decode(key)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if str, ok := e.strs[key]; ok {
+		return str
+	}
+	s, ok := e.repr[key]
 	if !ok {
 		return fmt.Sprintf("?%x", key)
 	}
-	return s.String(e.SlotName)
+	str := s.String(e.SlotName)
+	e.strs[key] = str
+	return str
 }

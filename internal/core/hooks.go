@@ -21,8 +21,8 @@ type FaultHooks struct {
 }
 
 // SetFaultHooks installs (or, with nil, removes) the fault-injection
-// hooks on workers created after the call. Not safe to call
-// concurrently with an extraction.
+// hooks on workers checked out of the pool after the call. Not safe to
+// call concurrently with an extraction.
 func (e *Extractor) SetFaultHooks(h *FaultHooks) {
 	if h == nil {
 		e.hooks = nil

@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector is active; allocation
+// accounting is skewed by its instrumentation, so byte-level regression
+// assertions skip themselves under -race.
+const raceEnabled = true

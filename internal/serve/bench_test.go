@@ -1,0 +1,75 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"hsgf/internal/core"
+	"hsgf/internal/datagen"
+)
+
+// BenchmarkServeRequest measures the full daemon request path —
+// admission, breaker, pooled extraction, flag mapping, JSON encoding —
+// for a small batch of roots over the synthetic publication network.
+// This is the per-request cost a client of POST /v1/features pays; the
+// allocation count is the tracked regression metric for the
+// reuse-everything extraction discipline (a cold path rebuilds O(V+E)
+// worker state per request and shows up here as thousands of allocs).
+func BenchmarkServeRequest(b *testing.B) {
+	cfg := datagen.DefaultPublicationConfig()
+	cfg.Institutions = 40
+	cfg.Conferences = datagen.DefaultConferences[:3]
+	cfg.Years = []int{2010, 2011, 2012, 2013}
+	cfg.PapersPerConfYear = 25
+	cfg.ExternalPapers = 400
+	pub, err := datagen.GeneratePublication(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ex, err := core.NewExtractor(pub.Graph, core.Options{MaxEdges: 3, MaskRootLabel: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := NewServer(ex, Config{})
+	handler := srv.Handler()
+
+	roots := make([]int64, 8)
+	stride := pub.Graph.NumNodes() / len(roots)
+	for i := range roots {
+		roots[i] = int64(i * stride)
+	}
+	body, err := json.Marshal(FeaturesRequest{Roots: roots})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	do := func() *httptest.ResponseRecorder {
+		req := httptest.NewRequest(http.MethodPost, "/v1/features", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, req)
+		return rec
+	}
+	// Warm the extractor's vocabulary and worker pool out of band.
+	if rec := do(); rec.Code != http.StatusOK {
+		b.Fatalf("warmup request failed: %d %s", rec.Code, rec.Body)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rec := do(); rec.Code != http.StatusOK {
+			b.Fatalf("request %d failed: %d %s", i, rec.Code, rec.Body)
+		}
+	}
+	b.ReportMetric(float64(b.N*len(roots))/b.Elapsed().Seconds(), "rows/sec")
+
+	// Census roots on the graph used above may be slow under bench -race;
+	// assert the daemon stayed healthy so a tripped breaker can't
+	// silently skew timings.
+	if got := srv.Breaker().State(); got != BreakerClosed {
+		b.Fatalf("breaker ended %v, want closed", got)
+	}
+}
