@@ -1,12 +1,17 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: all check vet build test race fuzz-smoke serve-smoke bench bench-all bench-smoke clean
+.PHONY: all check fmt-check vet build test race fuzz-smoke serve-smoke reload-smoke bench bench-all bench-smoke clean
 
 all: check
 
 # The full tier-1 gate: what CI runs.
-check: vet build test race fuzz-smoke serve-smoke
+check: fmt-check vet build test race fuzz-smoke serve-smoke reload-smoke
+
+# gofmt gate: fails listing any file that is not gofmt-clean.
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -27,11 +32,19 @@ fuzz-smoke:
 	$(GO) test -run=Fuzz -fuzz=FuzzReadFeatureSet -fuzztime=$(FUZZTIME) ./internal/core
 	$(GO) test -run=Fuzz -fuzz=FuzzParseCompact -fuzztime=$(FUZZTIME) ./internal/core
 	$(GO) test -run=Fuzz -fuzz=FuzzCounterTable -fuzztime=$(FUZZTIME) ./internal/core
+	$(GO) test -run=Fuzz -fuzz=FuzzStoreEnvelope -fuzztime=$(FUZZTIME) ./internal/store
 
 # End-to-end daemon smoke: builds cmd/hsgfd under -race, boots it on a
 # synthetic graph and exercises serve/degrade/shed/drain over real HTTP.
 serve-smoke:
 	$(GO) test -race -tags smoke -run TestServeSmoke -v ./cmd/hsgfd
+
+# End-to-end hot-reload smoke: boots cmd/hsgfd on an artifact store and
+# rotates generations (admin endpoint + SIGHUP) under live traffic,
+# including a corrupted snapshot that must be quarantined with zero
+# failed requests.
+reload-smoke:
+	$(GO) test -race -tags smoke -run TestReloadSmoke -v ./cmd/hsgfd
 
 # Tracked census benchmarks: writes BENCH_census.json (ns/root,
 # allocs/root, subgraphs/sec for census_root / census_all /

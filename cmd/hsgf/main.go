@@ -17,6 +17,11 @@
 // periodically so a killed run restarted with -resume picks up where it
 // left off. Roots that finished in degraded form are reported on stderr.
 //
+// With -store DIR the graph and the extracted feature set are also
+// written into a crash-safe artifact store as checksummed,
+// generation-numbered snapshots that hsgfd -store can boot from and
+// hot-reload.
+//
 // With -typed, the input uses the typed TSV format (a "t directed|
 // undirected" header and edge labels on every edge line) and features
 // are direction- and edge-label-aware (the paper's §5 extension).
@@ -56,6 +61,7 @@ func main() {
 		ckpt     = flag.String("checkpoint", "", "snapshot completed roots to this file during extraction")
 		resume   = flag.Bool("resume", false, "load the checkpoint file and skip already-completed roots")
 		ckptIv   = flag.Int("checkpoint-interval", 64, "snapshot after every N completed roots")
+		storeDir = flag.String("store", "", "also write the graph and feature set into this artifact store as checksummed snapshots")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -68,8 +74,8 @@ func main() {
 	}
 	var err error
 	if *typedIn {
-		if *ckpt != "" || *budget != 0 || *deadline != 0 {
-			err = fmt.Errorf("-checkpoint, -root-budget and -root-deadline are not supported with -typed")
+		if *ckpt != "" || *budget != 0 || *deadline != 0 || *storeDir != "" {
+			err = fmt.Errorf("-checkpoint, -root-budget, -root-deadline and -store are not supported with -typed")
 		} else {
 			err = runTyped(*in, *out, *emax, *mask, *label, *workers)
 		}
@@ -78,6 +84,7 @@ func main() {
 			emax: *emax, dmaxPct: *dmaxPct, mask: *mask, label: *label, strKeys: *strKeys,
 			budget: *budget, deadline: *deadline,
 			ckpt: *ckpt, ckptInterval: *ckptIv, resume: *resume,
+			store: *storeDir,
 		})
 	}
 	if err != nil {
@@ -98,6 +105,7 @@ type extractConfig struct {
 	ckpt         string
 	ckptInterval int
 	resume       bool
+	store        string
 }
 
 // writeOutput runs write against stdout or the -out file. File errors —
@@ -189,6 +197,30 @@ func run(in, out string, workers int, asJSON bool, cfg extractConfig) error {
 	}
 	reportDegradation(censuses, ex.Panics())
 	vocab := hsgf.VocabularyOf(censuses)
+
+	// Persist crash-safe snapshots alongside the flat output: the graph
+	// and the feature set each become the next checksummed generation,
+	// ready for hsgfd -store to boot from and hot-reload.
+	if cfg.store != "" {
+		st, err := hsgf.OpenStore(cfg.store, hsgf.StoreOptions{})
+		if err != nil {
+			return err
+		}
+		gGen, err := hsgf.SaveGraphSnapshot(st, g)
+		if err != nil {
+			return err
+		}
+		fs, err := hsgf.NewFeatureSet(ex, censuses, vocab)
+		if err != nil {
+			return err
+		}
+		fsGen, err := hsgf.SaveFeatureSetSnapshot(st, fs)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "hsgf: stored graph generation %d, featureset generation %d in %s\n",
+			gGen, fsGen, cfg.store)
+	}
 
 	if asJSON {
 		fs, err := hsgf.NewFeatureSet(ex, censuses, vocab)

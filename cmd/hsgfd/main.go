@@ -4,18 +4,19 @@
 //
 // Usage:
 //
-//	hsgfd -in graph.tsv [-addr :8080] [-emax 5] [-mask] \
+//	hsgfd -in graph.tsv [-store DIR] [-addr :8080] [-emax 5] [-mask] \
 //	      [-dmax-percentile 0.9] [-root-budget N] [-root-deadline 2s] \
 //	      [-max-inflight 4] [-max-queue 8] [-default-deadline 10s] \
 //	      [-drain-grace 15s] [-pprof-addr localhost:6060]
 //
 // Endpoints:
 //
-//	POST /v1/features  roots -> characteristic-sequence feature rows
-//	GET  /v1/meta      graph/options fingerprint, slot names, limits
-//	GET  /healthz      liveness
-//	GET  /readyz       readiness (503 while draining)
-//	GET  /debug/stats  admission/breaker/drain counters + latency histogram
+//	POST /v1/features      roots -> characteristic-sequence feature rows
+//	GET  /v1/meta          graph/options fingerprint, generation, limits
+//	POST /v1/admin/reload  verify + swap in the newest artifact generation
+//	GET  /healthz          liveness
+//	GET  /readyz           readiness (503 while draining)
+//	GET  /debug/stats      admission/breaker/reload counters + latency histogram
 //
 // The daemon is built for the heavy-tailed per-root extraction cost of
 // real networks: requests pass bounded admission (429 + Retry-After when
@@ -25,10 +26,21 @@
 // SIGTERM/SIGINT starts a graceful drain: the listener closes, in-flight
 // requests get -drain-grace to finish, then the process exits 0 on a
 // clean drain and 1 otherwise.
+//
+// With -store DIR the graph is served from a crash-safe artifact store
+// of checksummed, generation-numbered snapshots: the daemon boots from
+// the newest generation that passes verification (quarantining corrupt
+// ones), and SIGHUP or POST /v1/admin/reload hot-swaps the newest good
+// generation in with zero downtime — in-flight requests finish on the
+// generation they started with. When both -in and -store are given and
+// the store is empty, the TSV graph is imported as generation 1.
+// Without -store, -in alone still supports hot reload by re-reading the
+// TSV file.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -45,11 +57,13 @@ import (
 
 func main() {
 	var (
-		in      = flag.String("in", "", "input graph in TSV exchange format (required)")
-		addr    = flag.String("addr", ":8080", "listen address")
-		emax    = flag.Int("emax", 5, "maximum edges per subgraph")
-		dmaxPct = flag.Float64("dmax-percentile", 0, "hub cutoff as a degree percentile in (0,1); 0 disables")
-		mask    = flag.Bool("mask", false, "mask the root node's label during extraction")
+		in       = flag.String("in", "", "input graph in TSV exchange format")
+		storeDir = flag.String("store", "", "artifact store directory: boot from and hot-reload checksummed graph snapshots")
+		retain   = flag.Int("retain", 0, "snapshot generations retained per artifact kind (0 = store default)")
+		addr     = flag.String("addr", ":8080", "listen address")
+		emax     = flag.Int("emax", 5, "maximum edges per subgraph")
+		dmaxPct  = flag.Float64("dmax-percentile", 0, "hub cutoff as a degree percentile in (0,1); 0 disables")
+		mask     = flag.Bool("mask", false, "mask the root node's label during extraction")
 
 		rootBudget   = flag.Int64("root-budget", 0, "default max subgraphs enumerated per root; 0 = unlimited")
 		rootDeadline = flag.Duration("root-deadline", 0, "default max wall-clock time per root; 0 = unlimited")
@@ -71,37 +85,90 @@ func main() {
 		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
 	)
 	flag.Parse()
-	if *in == "" {
+	if *in == "" && *storeDir == "" {
+		fmt.Fprintln(os.Stderr, "hsgfd: need -in, -store, or both")
 		flag.Usage()
 		os.Exit(2)
 	}
 
 	logger := log.New(os.Stderr, "hsgfd: ", log.LstdFlags)
-	f, err := os.Open(*in)
-	if err != nil {
-		logger.Fatal(err)
+
+	// buildSnapshot loads the serving graph — from the artifact store
+	// when one is configured (newest verified generation, importing the
+	// TSV as generation 1 into an empty store), from the TSV file
+	// otherwise — and wraps it as an immutable serving snapshot. It runs
+	// at boot and again on every hot reload, off the request path.
+	var st *hsgf.Store
+	if *storeDir != "" {
+		var err error
+		st, err = hsgf.OpenStore(*storeDir, hsgf.StoreOptions{
+			Retain: *retain,
+			Log:    logger.Printf,
+		})
+		if err != nil {
+			logger.Fatal(err)
+		}
 	}
-	g, err := hsgf.ReadTSV(f)
-	closeErr := f.Close()
-	if err != nil {
-		logger.Fatal(err)
-	}
-	if closeErr != nil {
-		logger.Fatal(closeErr)
+	buildSnapshot := func() (*serve.Snapshot, error) {
+		var (
+			g      *hsgf.Graph
+			gen    uint64
+			source string
+		)
+		if st != nil {
+			var err error
+			g, gen, err = hsgf.LoadGraphSnapshot(st)
+			switch {
+			case err == nil:
+				source = "store:" + *storeDir
+			case errors.Is(err, hsgf.ErrStoreNotFound) && *in != "":
+				// Empty store + TSV input: import the graph as the
+				// first generation, then serve it.
+				g, err = readTSVGraph(*in)
+				if err != nil {
+					return nil, err
+				}
+				gen, err = hsgf.SaveGraphSnapshot(st, g)
+				if err != nil {
+					return nil, err
+				}
+				source = "store:" + *storeDir
+				logger.Printf("imported %s into %s as generation %d", *in, *storeDir, gen)
+			default:
+				return nil, err
+			}
+		} else {
+			var err error
+			g, err = readTSVGraph(*in)
+			if err != nil {
+				return nil, err
+			}
+			source = "tsv:" + *in
+		}
+
+		opts := hsgf.Options{MaxEdges: *emax, MaskRootLabel: *mask}
+		if *dmaxPct > 0 && *dmaxPct < 1 {
+			opts.MaxDegree = hsgf.DegreePercentile(g, *dmaxPct)
+		}
+		ex, err := hsgf.NewExtractor(g, opts)
+		if err != nil {
+			return nil, err
+		}
+		snap := serve.NewSnapshot(ex)
+		snap.Generation = gen
+		snap.Source = source
+		return snap, nil
 	}
 
-	opts := hsgf.Options{MaxEdges: *emax, MaskRootLabel: *mask}
-	if *dmaxPct > 0 && *dmaxPct < 1 {
-		opts.MaxDegree = hsgf.DegreePercentile(g, *dmaxPct)
-	}
-	ex, err := hsgf.NewExtractor(g, opts)
+	snap, err := buildSnapshot()
 	if err != nil {
 		logger.Fatal(err)
 	}
-	logger.Printf("loaded %s: %d nodes, %d edges, %d labels (emax=%d dmax=%d mask=%v)",
-		*in, g.NumNodes(), g.NumEdges(), g.NumLabels(), opts.MaxEdges, opts.MaxDegree, opts.MaskRootLabel)
+	g := snap.Extractor.Graph()
+	logger.Printf("loaded %s: %d nodes, %d edges, %d labels (emax=%d mask=%v, generation %d)",
+		snap.Source, g.NumNodes(), g.NumEdges(), g.NumLabels(), *emax, *mask, snap.Generation)
 
-	srv := serve.NewServer(ex, serve.Config{
+	srv := serve.NewServerSnapshot(snap, serve.Config{
 		MaxInFlight:        *maxInflight,
 		MaxQueue:           *maxQueue,
 		DefaultDeadline:    *defaultDeadline,
@@ -118,6 +185,23 @@ func main() {
 		DrainGrace: *drainGrace,
 		Log:        logger,
 	})
+
+	// Hot reload: rebuild the snapshot off the request path and RCU-swap
+	// it in. SIGHUP and POST /v1/admin/reload share the single-flight
+	// Reload path; a failed reload (corrupt store, unreadable TSV) keeps
+	// the current generation serving.
+	srv.SetReloader(func(ctx context.Context) (*serve.Snapshot, error) {
+		return buildSnapshot()
+	})
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			if _, err := srv.Reload(context.Background()); err != nil {
+				logger.Printf("SIGHUP reload: %v", err)
+			}
+		}
+	}()
 
 	// The profiling listener is separate from the serving address so it
 	// can stay bound to localhost while the API is public, and so profile
@@ -139,4 +223,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hsgfd:", err)
 		os.Exit(1)
 	}
+}
+
+// readTSVGraph loads one graph from a TSV exchange file.
+func readTSVGraph(path string) (*hsgf.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	g, err := hsgf.ReadTSV(f)
+	if closeErr := f.Close(); err == nil {
+		err = closeErr
+	}
+	return g, err
 }

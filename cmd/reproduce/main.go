@@ -25,6 +25,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"flag"
@@ -38,6 +39,7 @@ import (
 	"hsgf/internal/embed"
 	"hsgf/internal/experiments"
 	"hsgf/internal/iso"
+	"hsgf/internal/store"
 )
 
 func main() {
@@ -48,6 +50,7 @@ func main() {
 		out      = flag.String("out", "", "report path (default: stdout)")
 		ckpt     = flag.String("checkpoint", "", "directory for per-stage checkpoints")
 		resume   = flag.Bool("resume", false, "splice completed stages from the checkpoint directory")
+		storeDir = flag.String("store", "", "also persist the finished report into this artifact store as a checksummed snapshot")
 		attempts = flag.Int("attempts", 2, "attempts per stage before it is skipped")
 		backoff  = flag.Duration("backoff", 2*time.Second, "backoff before the first stage retry (doubles per retry)")
 	)
@@ -66,6 +69,14 @@ func main() {
 		}
 		w = f
 	}
+	// With -store the report is teed into a buffer and persisted as the
+	// next checksummed "report" generation once the pipeline finishes —
+	// a crash mid-run never leaves a torn snapshot behind.
+	var reportBuf *bytes.Buffer
+	if *storeDir != "" {
+		reportBuf = &bytes.Buffer{}
+		w = io.MultiWriter(w, reportBuf)
+	}
 	// Ctrl-C / SIGTERM cancels long embedding loops; the stage runner then
 	// records the interrupted stage as skipped rather than hanging.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -74,9 +85,9 @@ func main() {
 	start := time.Now()
 	fmt.Fprintf(w, "hsgf full reproduction — seed %d, scale %.2f, quick=%v\n\n", *seed, *scale, *quick)
 
-	var store *experiments.SectionStore
+	var sections *experiments.SectionStore
 	if *ckpt != "" {
-		store = &experiments.SectionStore{Dir: *ckpt, Resume: *resume}
+		sections = &experiments.SectionStore{Dir: *ckpt, Resume: *resume}
 	}
 	runner := &experiments.StageRunner{
 		MaxAttempts: *attempts,
@@ -84,7 +95,7 @@ func main() {
 		Log:         os.Stderr,
 	}
 
-	ok := experiments.RunPipeline(w, buildStages(ctx, *quick, *scale, *seed), runner, store)
+	ok := experiments.RunPipeline(w, buildStages(ctx, *quick, *scale, *seed), runner, sections)
 	fmt.Fprintf(w, "\ntotal: %v\n", time.Since(start).Round(time.Second))
 	fmt.Fprintln(os.Stderr, "reproduce: done in", time.Since(start).Round(time.Second))
 
@@ -99,6 +110,17 @@ func main() {
 		if err := f.Close(); err != nil {
 			fail(err)
 		}
+	}
+	if reportBuf != nil {
+		st, err := store.Open(*storeDir, store.Options{})
+		if err != nil {
+			fail(err)
+		}
+		gen, err := st.Write("report", []store.Section{{Name: "report", Payload: reportBuf.Bytes()}})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "reproduce: stored report generation %d in %s\n", gen, *storeDir)
 	}
 	if !ok {
 		fmt.Fprintln(os.Stderr, "reproduce: report contains skipped stages (exit 3)")

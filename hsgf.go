@@ -43,6 +43,7 @@ import (
 
 	"hsgf/internal/core"
 	"hsgf/internal/graph"
+	"hsgf/internal/store"
 )
 
 // Re-exported graph types. See package hsgf/internal/graph for details.
@@ -201,4 +202,52 @@ func ExtractFeatures(g *Graph, roots []NodeID, opts Options, workers int) ([][]f
 	censuses := ex.CensusAll(roots, workers)
 	vocab := core.VocabularyOf(censuses)
 	return core.Matrix(censuses, vocab), vocab, ex, nil
+}
+
+// Artifact store: crash-safe, checksummed, generation-numbered snapshots
+// of graphs and feature sets. See hsgf/internal/store for the envelope
+// format and durability contract.
+type (
+	// Store is a directory of generation-numbered snapshot artifacts
+	// with atomic writes, verification on read, corruption quarantine
+	// and bounded retention.
+	Store = store.Store
+	// StoreOptions tunes a Store (retention depth, logging).
+	StoreOptions = store.Options
+)
+
+// Artifact-store error taxonomy, checked with errors.Is.
+var (
+	// ErrStoreCorrupt marks an artifact that failed checksum or framing
+	// verification; the store quarantines it and falls back.
+	ErrStoreCorrupt = store.ErrCorrupt
+	// ErrStoreUnsupportedVersion marks an artifact written by a newer
+	// format revision than this binary understands.
+	ErrStoreUnsupportedVersion = store.ErrUnsupportedVersion
+	// ErrStoreNotFound marks a store with no intact generation of the
+	// requested artifact kind.
+	ErrStoreNotFound = store.ErrNotFound
+)
+
+// OpenStore opens (creating if necessary) an artifact store rooted at
+// dir.
+func OpenStore(dir string, opts StoreOptions) (*Store, error) { return store.Open(dir, opts) }
+
+// SaveGraphSnapshot writes g into st as the next graph generation.
+func SaveGraphSnapshot(st *Store, g *Graph) (uint64, error) { return core.SaveGraphSnapshot(st, g) }
+
+// LoadGraphSnapshot loads the newest graph generation that passes
+// verification, quarantining corrupt generations along the way.
+func LoadGraphSnapshot(st *Store) (*Graph, uint64, error) { return core.LoadGraphSnapshot(st) }
+
+// SaveFeatureSetSnapshot writes fs into st as the next feature-set
+// generation.
+func SaveFeatureSetSnapshot(st *Store, fs *FeatureSet) (uint64, error) {
+	return core.SaveFeatureSetSnapshot(st, fs)
+}
+
+// LoadFeatureSetSnapshot loads the newest feature-set generation that
+// passes verification.
+func LoadFeatureSetSnapshot(st *Store) (*FeatureSet, uint64, error) {
+	return core.LoadFeatureSetSnapshot(st)
 }

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"hsgf/internal/store"
+)
+
+// Artifact kinds this package persists through the store. The kind
+// doubles as the generation filename prefix and the payload section
+// name, and is cross-checked against the embedded meta section so a
+// renamed file can never be decoded as the wrong artifact.
+const (
+	ArtifactGraph      = "graph"
+	ArtifactFeatureSet = "featureset"
+	ArtifactCheckpoint = "checkpoint"
+)
+
+// artifactSchema versions the payload encodings beneath the envelope.
+// The envelope's own FormatVersion guards the framing; this guards what
+// the framed bytes mean.
+const artifactSchema = 1
+
+// artifactMeta is the first section of every snapshot: what the
+// artifact is and which payload schema wrote it.
+type artifactMeta struct {
+	Artifact string `json:"artifact"`
+	Schema   int    `json:"schema"`
+}
+
+// artifactSections frames one payload as the canonical two-section
+// snapshot: a meta section naming the artifact, then the payload under
+// the artifact's own section name.
+func artifactSections(artifact string, payload []byte) ([]store.Section, error) {
+	meta, err := json.Marshal(artifactMeta{Artifact: artifact, Schema: artifactSchema})
+	if err != nil {
+		return nil, err
+	}
+	return []store.Section{
+		{Name: "meta", Payload: meta},
+		{Name: artifact, Payload: payload},
+	}, nil
+}
+
+// artifactPayload validates an envelope's shape against the expected
+// artifact and returns the payload bytes. The section list must be
+// exactly [meta, artifact]: a snapshot with sections this reader does
+// not understand is rejected (ErrCorrupt) rather than silently
+// misparsed, and a meta schema from the future is refused with
+// ErrUnsupportedVersion.
+func artifactPayload(env *store.Envelope, artifact string) ([]byte, error) {
+	if len(env.Sections) != 2 {
+		return nil, fmt.Errorf("%w: %d sections, want [meta %s]", store.ErrCorrupt, len(env.Sections), artifact)
+	}
+	if env.Sections[0].Name != "meta" {
+		return nil, fmt.Errorf("%w: first section %q, want meta", store.ErrCorrupt, env.Sections[0].Name)
+	}
+	var meta artifactMeta
+	if err := json.Unmarshal(env.Sections[0].Payload, &meta); err != nil {
+		return nil, fmt.Errorf("%w: undecodable meta section: %v", store.ErrCorrupt, err)
+	}
+	if meta.Artifact != artifact {
+		return nil, fmt.Errorf("%w: artifact %q, want %q", store.ErrCorrupt, meta.Artifact, artifact)
+	}
+	if meta.Schema > artifactSchema {
+		return nil, fmt.Errorf("%w: %s schema %d, reader supports <= %d",
+			store.ErrUnsupportedVersion, artifact, meta.Schema, artifactSchema)
+	}
+	if env.Sections[1].Name != artifact {
+		return nil, fmt.Errorf("%w: unknown section %q, want %q", store.ErrCorrupt, env.Sections[1].Name, artifact)
+	}
+	return env.Sections[1].Payload, nil
+}

@@ -1,0 +1,298 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"hsgf/internal/store"
+)
+
+func testStore(t *testing.T) *store.Store {
+	t.Helper()
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func testFeatureSet(t *testing.T) *FeatureSet {
+	t.Helper()
+	g := denseGraph(t, 30)
+	ex, err := NewExtractor(g, Options{MaxEdges: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	roots := allRoots(g)[:10]
+	censuses := ex.CensusAll(roots, 2)
+	fs, err := NewFeatureSet(ex, censuses, VocabularyOf(censuses))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func TestFeatureSetSnapshotRoundTrip(t *testing.T) {
+	st := testStore(t)
+	fs := testFeatureSet(t)
+	gen, err := SaveFeatureSetSnapshot(st, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 1 {
+		t.Fatalf("first snapshot got generation %d", gen)
+	}
+	got, gotGen, err := LoadFeatureSetSnapshot(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotGen != gen {
+		t.Fatalf("loaded generation %d, want %d", gotGen, gen)
+	}
+	if !reflect.DeepEqual(fs, got) {
+		t.Fatal("feature set did not round-trip through the store")
+	}
+}
+
+func TestGraphSnapshotRoundTrip(t *testing.T) {
+	st := testStore(t)
+	g := denseGraph(t, 40)
+	gen, err := SaveGraphSnapshot(st, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, gotGen, err := LoadGraphSnapshot(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotGen != gen {
+		t.Fatalf("loaded generation %d, want %d", gotGen, gen)
+	}
+	if got.NumNodes() != g.NumNodes() || got.NumEdges() != g.NumEdges() {
+		t.Fatalf("graph round-trip: %d/%d nodes, %d/%d edges",
+			got.NumNodes(), g.NumNodes(), got.NumEdges(), g.NumEdges())
+	}
+}
+
+// TestSnapshotUnknownTrailingSectionRejected proves a snapshot carrying
+// a section this reader does not understand is refused with ErrCorrupt
+// instead of silently misparsed — the forward-compat contract for
+// same-version writers with extensions.
+func TestSnapshotUnknownTrailingSectionRejected(t *testing.T) {
+	var buf bytes.Buffer
+	fs := testFeatureSet(t)
+	if err := fs.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sections, err := artifactSections(ArtifactFeatureSet, buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sections = append(sections, store.Section{Name: "future-extension", Payload: []byte("v2 data")})
+	env := &store.Envelope{Version: store.FormatVersion, Sections: sections}
+	if _, err := artifactPayload(env, ArtifactFeatureSet); !errors.Is(err, store.ErrCorrupt) {
+		t.Fatalf("unknown trailing section: got %v, want ErrCorrupt", err)
+	}
+}
+
+// TestSnapshotFutureSchemaRejected proves a payload schema from the
+// future is refused with ErrUnsupportedVersion, not guessed at.
+func TestSnapshotFutureSchemaRejected(t *testing.T) {
+	meta, err := json.Marshal(artifactMeta{Artifact: ArtifactFeatureSet, Schema: artifactSchema + 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := &store.Envelope{Version: store.FormatVersion, Sections: []store.Section{
+		{Name: "meta", Payload: meta},
+		{Name: ArtifactFeatureSet, Payload: []byte("{}")},
+	}}
+	_, err = artifactPayload(env, ArtifactFeatureSet)
+	if !errors.Is(err, store.ErrUnsupportedVersion) {
+		t.Fatalf("future schema: got %v, want ErrUnsupportedVersion", err)
+	}
+	if errors.Is(err, store.ErrCorrupt) {
+		t.Fatal("future schema misclassified as corruption")
+	}
+}
+
+// TestSnapshotWrongArtifactRejected proves a renamed snapshot (graph
+// bytes under a featureset name) cannot decode as the wrong artifact.
+func TestSnapshotWrongArtifactRejected(t *testing.T) {
+	sections, err := artifactSections(ArtifactGraph, []byte("t 0\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := &store.Envelope{Version: store.FormatVersion, Sections: sections}
+	if _, err := artifactPayload(env, ArtifactFeatureSet); !errors.Is(err, store.ErrCorrupt) {
+		t.Fatalf("wrong artifact: got %v, want ErrCorrupt", err)
+	}
+}
+
+// TestFeatureSetSnapshotQuarantinesInvalidPayload: a generation whose
+// envelope verifies but whose FeatureSet payload fails validation is as
+// unusable as a torn file — it must be quarantined and the previous
+// generation served.
+func TestFeatureSetSnapshotQuarantinesInvalidPayload(t *testing.T) {
+	st := testStore(t)
+	fs := testFeatureSet(t)
+	if _, err := SaveFeatureSetSnapshot(st, fs); err != nil {
+		t.Fatal(err)
+	}
+	// A structurally intact envelope wrapping a semantically broken
+	// feature set: row references a column outside the vocabulary.
+	bad := []byte(`{"max_edges":2,"label_slots":0,"features":[],"roots":[0],` +
+		`"rows":[{"columns":[5],"counts":[1]}]}`)
+	sections, err := artifactSections(ArtifactFeatureSet, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Write(ArtifactFeatureSet, sections); err != nil {
+		t.Fatal(err)
+	}
+
+	got, gen, err := LoadFeatureSetSnapshot(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 1 {
+		t.Fatalf("served generation %d, want fallback to 1", gen)
+	}
+	if !reflect.DeepEqual(fs, got) {
+		t.Fatal("fallback feature set diverged")
+	}
+	quarantined, err := filepath.Glob(filepath.Join(st.Dir(), "*.corrupt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(quarantined) != 1 {
+		t.Fatalf("%d quarantined files, want 1", len(quarantined))
+	}
+}
+
+// TestCheckpointLegacyJSONStillResumes: checkpoints written before the
+// envelope format (bare JSON) must still load, so an upgrade never
+// invalidates an in-progress extraction.
+func TestCheckpointLegacyJSONStillResumes(t *testing.T) {
+	g := denseGraph(t, 40)
+	roots := allRoots(g)[:12]
+	path := filepath.Join(t.TempDir(), "legacy.ckpt")
+
+	// Produce a complete modern checkpoint, then rewrite it in the
+	// legacy bare-JSON layout.
+	ex, _ := NewExtractor(g, Options{MaxEdges: 3})
+	want, err := ex.CensusAllCheckpoint(context.Background(), roots, 2, CheckpointConfig{Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := readCheckpointFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, legacy, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resuming from the legacy file must complete instantly with the
+	// same censuses and work for the info reader too.
+	ex2, _ := NewExtractor(g, Options{MaxEdges: 3})
+	got, err := ex2.CensusAllCheckpoint(context.Background(), roots, 2, CheckpointConfig{Path: path, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range roots {
+		if !reflect.DeepEqual(want[i].Counts, got[i].Counts) {
+			t.Fatalf("root %d diverged resuming from a legacy checkpoint", i)
+		}
+	}
+	total, done, _, err := ReadCensusCheckpointInfo(path)
+	if err != nil || total != len(roots) || done != len(roots) {
+		t.Fatalf("legacy info = %d/%d (err %v)", done, total, err)
+	}
+}
+
+// TestCheckpointFutureVersionRejected: a checkpoint from a future
+// schema revision is refused with a typed ErrUnsupportedVersion on both
+// the resume and the info paths.
+func TestCheckpointFutureVersionRejected(t *testing.T) {
+	g := denseGraph(t, 30)
+	roots := allRoots(g)[:8]
+	path := filepath.Join(t.TempDir(), "future.ckpt")
+	ex, _ := NewExtractor(g, Options{MaxEdges: 3})
+	if _, err := ex.CensusAllCheckpoint(context.Background(), roots, 2, CheckpointConfig{Path: path}); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := readCheckpointFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap.Version = checkpointVersion + 1
+	if err := writeCheckpointFile(path, snap); err != nil {
+		t.Fatal(err)
+	}
+
+	ex2, _ := NewExtractor(g, Options{MaxEdges: 3})
+	_, err = ex2.CensusAllCheckpoint(context.Background(), roots, 2, CheckpointConfig{Path: path, Resume: true})
+	if !errors.Is(err, store.ErrUnsupportedVersion) {
+		t.Fatalf("resume from future checkpoint: got %v, want ErrUnsupportedVersion", err)
+	}
+	if _, _, _, err := ReadCensusCheckpointInfo(path); !errors.Is(err, store.ErrUnsupportedVersion) {
+		t.Fatalf("info from future checkpoint: got %v, want ErrUnsupportedVersion", err)
+	}
+}
+
+// TestCheckpointCorruptEnvelopeTyped: damage to a checkpoint file
+// surfaces as typed corruption, never a panic or a misparse.
+func TestCheckpointCorruptEnvelopeTyped(t *testing.T) {
+	g := denseGraph(t, 30)
+	roots := allRoots(g)[:8]
+	path := filepath.Join(t.TempDir(), "corrupt.ckpt")
+	ex, _ := NewExtractor(g, Options{MaxEdges: 3})
+	if _, err := ex.CensusAllCheckpoint(context.Background(), roots, 2, CheckpointConfig{Path: path}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ex2, _ := NewExtractor(g, Options{MaxEdges: 3})
+	_, err = ex2.CensusAllCheckpoint(context.Background(), roots, 2, CheckpointConfig{Path: path, Resume: true})
+	if !errors.Is(err, store.ErrCorrupt) {
+		t.Fatalf("resume from corrupt checkpoint: got %v, want ErrCorrupt", err)
+	}
+}
+
+// TestGraphSnapshotRotation: repeated graph writes rotate generations
+// and the loader always serves the newest good one.
+func TestGraphSnapshotRotation(t *testing.T) {
+	st := testStore(t)
+	sizes := []int{20, 30, 40}
+	for _, n := range sizes {
+		if _, err := SaveGraphSnapshot(st, denseGraph(t, n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, gen, err := LoadGraphSnapshot(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != uint64(len(sizes)) {
+		t.Fatalf("generation %d, want %d", gen, len(sizes))
+	}
+	if g.NumNodes() != 40 {
+		t.Fatalf("latest graph has %d nodes, want 40", g.NumNodes())
+	}
+}

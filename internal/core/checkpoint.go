@@ -1,17 +1,17 @@
 package core
 
 import (
-	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
 	"os"
-	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
 
 	"hsgf/internal/graph"
+	"hsgf/internal/store"
 )
 
 // checkpointVersion guards the snapshot schema; a reader that meets a
@@ -26,8 +26,10 @@ const DefaultCheckpointInterval = 64
 // how often it is refreshed, and whether an existing snapshot should
 // seed the run.
 type CheckpointConfig struct {
-	// Path is the snapshot file. Writes are atomic (temp file + rename),
-	// so a crash mid-snapshot never corrupts the previous snapshot.
+	// Path is the snapshot file, written as a checksummed store envelope
+	// via temp file + fsync + rename + parent-directory fsync, so a
+	// crash mid-snapshot never corrupts (or un-persists) the previous
+	// snapshot. Legacy bare-JSON checkpoints are still readable.
 	Path string
 	// Interval is the number of completed roots between snapshots;
 	// <= 0 selects DefaultCheckpointInterval.
@@ -255,25 +257,62 @@ func (c *checkpointCollector) writeLocked() error {
 		snap.Repr = append(snap.Repr, snapshotRepr{Key: k, K: seq.K, Values: seq.Values})
 	}
 
-	return atomicWriteJSON(c.path, &snap)
+	return writeCheckpointFile(c.path, &snap)
+}
+
+// writeCheckpointFile persists one checkpoint as a checksummed envelope
+// through the store's crash-safe write path.
+func writeCheckpointFile(path string, snap *censusSnapshot) error {
+	payload, err := json.Marshal(snap)
+	if err != nil {
+		return err
+	}
+	sections, err := artifactSections(ArtifactCheckpoint, payload)
+	if err != nil {
+		return err
+	}
+	return store.WriteFile(path, sections)
+}
+
+// readCheckpointFile reads a checkpoint written by writeCheckpointFile,
+// falling back to the legacy bare-JSON layout for files produced before
+// the envelope format. Envelope damage and format mismatches surface as
+// typed store errors.
+func readCheckpointFile(path string) (*censusSnapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var snap censusSnapshot
+	if store.IsEnvelope(data) {
+		env, err := store.ParseEnvelope(data)
+		if err != nil {
+			return nil, err
+		}
+		payload, err := artifactPayload(env, ArtifactCheckpoint)
+		if err != nil {
+			return nil, err
+		}
+		data = payload
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	if err := dec.Decode(&snap); err != nil {
+		return nil, fmt.Errorf("%w: %v", store.ErrCorrupt, err)
+	}
+	return &snap, nil
 }
 
 // load reads the snapshot at c.path, validates it against this run, and
 // fills c.done. A missing file is not an error: the run starts fresh.
 func (c *checkpointCollector) load() error {
-	f, err := os.Open(c.path)
+	snap, err := readCheckpointFile(c.path)
 	if os.IsNotExist(err) {
 		return nil
 	}
 	if err != nil {
-		return err
-	}
-	defer f.Close()
-	var snap censusSnapshot
-	if err := json.NewDecoder(bufio.NewReader(f)).Decode(&snap); err != nil {
 		return fmt.Errorf("core: checkpoint %s: %w", c.path, err)
 	}
-	if err := c.validate(&snap); err != nil {
+	if err := c.validate(snap); err != nil {
 		return fmt.Errorf("core: checkpoint %s: %w", c.path, err)
 	}
 
@@ -309,7 +348,7 @@ func (c *checkpointCollector) load() error {
 
 func (c *checkpointCollector) validate(snap *censusSnapshot) error {
 	if snap.Version != checkpointVersion {
-		return fmt.Errorf("snapshot version %d, want %d", snap.Version, checkpointVersion)
+		return fmt.Errorf("%w: snapshot version %d, want %d", store.ErrUnsupportedVersion, snap.Version, checkpointVersion)
 	}
 	opts := c.e.Options()
 	switch {
@@ -346,51 +385,18 @@ func (c *checkpointCollector) validate(snap *censusSnapshot) error {
 	return nil
 }
 
-// atomicWriteJSON writes v as JSON to path via a temp file + fsync +
-// rename, so readers only ever observe complete snapshots.
-func atomicWriteJSON(path string, v any) error {
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
-	if err != nil {
-		return err
-	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	bw := bufio.NewWriter(tmp)
-	enc := json.NewEncoder(bw)
-	if err := enc.Encode(v); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := bw.Flush(); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	return os.Rename(tmp.Name(), path)
-}
-
 // ReadCensusCheckpointInfo summarises a checkpoint file without needing
 // the extractor it belongs to: total roots, completed rows, and how many
 // of those are degraded (non-zero flags). Intended for tooling and
 // progress reporting.
 func ReadCensusCheckpointInfo(path string) (total, done, degraded int, err error) {
-	f, err := os.Open(path)
+	snap, err := readCheckpointFile(path)
 	if err != nil {
 		return 0, 0, 0, err
 	}
-	defer f.Close()
-	var snap censusSnapshot
-	if err := json.NewDecoder(bufio.NewReader(f)).Decode(&snap); err != nil {
-		return 0, 0, 0, fmt.Errorf("core: checkpoint %s: %w", path, err)
-	}
 	if snap.Version != checkpointVersion {
-		return 0, 0, 0, fmt.Errorf("core: checkpoint %s: version %d, want %d", path, snap.Version, checkpointVersion)
+		return 0, 0, 0, fmt.Errorf("core: checkpoint %s: %w: version %d, want %d",
+			path, store.ErrUnsupportedVersion, snap.Version, checkpointVersion)
 	}
 	for _, row := range snap.Rows {
 		if row.Flags != 0 {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 )
@@ -14,6 +15,25 @@ func FuzzReadFeatureSet(f *testing.F) {
 	f.Add(`{}`)
 	f.Add(`{"roots":[1]}`)
 	f.Add(`not json at all`)
+	// Seed a genuine extraction round-trip so the corpus starts from a
+	// fully populated, accepted document rather than minimal literals.
+	{
+		g := denseGraph(f, 20)
+		ex, err := NewExtractor(g, Options{MaxEdges: 3})
+		if err != nil {
+			f.Fatal(err)
+		}
+		censuses := ex.CensusAll(allRoots(g)[:6], 2)
+		fs, err := NewFeatureSet(ex, censuses, VocabularyOf(censuses))
+		if err != nil {
+			f.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := fs.Write(&buf); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.String())
+	}
 	f.Fuzz(func(t *testing.T, input string) {
 		fs, err := ReadFeatureSet(strings.NewReader(input))
 		if err != nil {

@@ -2,9 +2,13 @@ package core
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
+
+	"hsgf/internal/graph"
+	"hsgf/internal/store"
 )
 
 // FeatureSet is the portable form of extracted features: the vocabulary
@@ -204,6 +208,82 @@ func (fs *FeatureSet) validate() error {
 		seen[f.Key] = i
 	}
 	return nil
+}
+
+// SaveFeatureSetSnapshot writes fs into st as the next checksummed
+// "featureset" generation. The write is atomic and durable (fsynced
+// file and directory) when it returns.
+func SaveFeatureSetSnapshot(st *store.Store, fs *FeatureSet) (uint64, error) {
+	var buf bytes.Buffer
+	if err := fs.Write(&buf); err != nil {
+		return 0, err
+	}
+	sections, err := artifactSections(ArtifactFeatureSet, buf.Bytes())
+	if err != nil {
+		return 0, err
+	}
+	return st.Write(ArtifactFeatureSet, sections)
+}
+
+// LoadFeatureSetSnapshot loads the newest feature-set generation that
+// passes both envelope verification and FeatureSet validation; a
+// generation failing either is quarantined and the next-older one is
+// tried.
+func LoadFeatureSetSnapshot(st *store.Store) (*FeatureSet, uint64, error) {
+	var fs *FeatureSet
+	_, gen, err := st.LoadLatestVerified(ArtifactFeatureSet, func(env *store.Envelope) error {
+		payload, err := artifactPayload(env, ArtifactFeatureSet)
+		if err != nil {
+			return err
+		}
+		decoded, err := ReadFeatureSet(bytes.NewReader(payload))
+		if err != nil {
+			return fmt.Errorf("%w: %v", store.ErrCorrupt, err)
+		}
+		fs = decoded
+		return nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return fs, gen, nil
+}
+
+// SaveGraphSnapshot writes g into st as the next checksummed "graph"
+// generation; the payload is the TSV exchange format, so a snapshot
+// stays readable by every existing tool.
+func SaveGraphSnapshot(st *store.Store, g *graph.Graph) (uint64, error) {
+	var buf bytes.Buffer
+	if err := graph.WriteTSV(&buf, g); err != nil {
+		return 0, err
+	}
+	sections, err := artifactSections(ArtifactGraph, buf.Bytes())
+	if err != nil {
+		return 0, err
+	}
+	return st.Write(ArtifactGraph, sections)
+}
+
+// LoadGraphSnapshot loads the newest graph generation that passes
+// envelope verification and TSV parsing, quarantining failures.
+func LoadGraphSnapshot(st *store.Store) (*graph.Graph, uint64, error) {
+	var g *graph.Graph
+	_, gen, err := st.LoadLatestVerified(ArtifactGraph, func(env *store.Envelope) error {
+		payload, err := artifactPayload(env, ArtifactGraph)
+		if err != nil {
+			return err
+		}
+		decoded, err := graph.ReadTSV(bytes.NewReader(payload))
+		if err != nil {
+			return fmt.Errorf("%w: %v", store.ErrCorrupt, err)
+		}
+		g = decoded
+		return nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return g, gen, nil
 }
 
 // Dense expands the sparse rows into a dense row-major matrix aligned

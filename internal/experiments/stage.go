@@ -9,6 +9,8 @@ import (
 	"regexp"
 	"runtime/debug"
 	"time"
+
+	"hsgf/internal/store"
 )
 
 // StageStatus classifies how one reproduction stage ended.
@@ -203,7 +205,9 @@ func (s *SectionStore) Load(name string) (string, bool) {
 	return string(b), true
 }
 
-// Save atomically persists a stage's rendered section.
+// Save atomically persists a stage's rendered section: temp file,
+// fsync, rename, parent-directory fsync — a crash mid-save leaves
+// either the old section or the new one, never a torn file.
 func (s *SectionStore) Save(name, content string) error {
 	if s == nil {
 		return nil
@@ -211,23 +215,7 @@ func (s *SectionStore) Save(name, content string) error {
 	if err := os.MkdirAll(s.Dir, 0o755); err != nil {
 		return err
 	}
-	tmp, err := os.CreateTemp(s.Dir, "section*")
-	if err != nil {
-		return err
-	}
-	defer os.Remove(tmp.Name())
-	if _, err := io.WriteString(tmp, content); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	return os.Rename(tmp.Name(), s.path(name))
+	return store.AtomicWriteBytes(s.path(name), []byte(content))
 }
 
 // Stage is one named unit of the reproduction pipeline. Fn renders the

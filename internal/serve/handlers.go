@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"runtime/debug"
@@ -49,6 +50,10 @@ type FeaturesResponse struct {
 	Rows      []FeatureRow `json:"rows"`
 	Degraded  bool         `json:"degraded"` // any row flagged
 	ElapsedMS int64        `json:"elapsed_ms"`
+	// Fingerprint identifies the serving generation that produced every
+	// row of this response (one request never spans a hot reload).
+	Fingerprint string `json:"fingerprint"`
+	Generation  uint64 `json:"generation,omitempty"`
 }
 
 // ErrorDetail is the typed JSON error shape of every non-200 response.
@@ -68,10 +73,16 @@ type errorBody struct {
 // MetaResponse is the body of GET /v1/meta.
 type MetaResponse struct {
 	Fingerprint string   `json:"fingerprint"`
+	Generation  uint64   `json:"generation,omitempty"`
+	Source      string   `json:"source,omitempty"`
 	Nodes       int      `json:"nodes"`
 	Edges       int      `json:"edges"`
 	Labels      []string `json:"labels"`
 	SlotNames   []string `json:"slot_names"`
+
+	// FeatureSetRows is the row count of the precomputed feature set
+	// riding along with this generation; 0 when none is loaded.
+	FeatureSetRows int `json:"featureset_rows,omitempty"`
 
 	MaxEdges      int    `json:"max_edges"`
 	MaxDegree     int    `json:"max_degree,omitempty"`
@@ -129,12 +140,18 @@ func (s *Server) recoverPanics(next http.Handler) http.Handler {
 
 // handleFeatures serves POST /v1/features through the full gate chain:
 // drain check, body validation, deadline resolution, bounded admission,
-// circuit breaker, extraction, flag mapping.
+// circuit breaker, extraction, flag mapping. The serving snapshot is
+// loaded exactly once, up front: a hot reload mid-request swaps the
+// pointer for later arrivals while this request finishes — validation,
+// extraction, and encoding included — against the generation it was
+// admitted under.
 func (s *Server) handleFeatures(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		s.writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use POST", 0)
 		return
 	}
+	snap := s.snap.Load()
+	ex := snap.Extractor
 	if s.draining.Load() {
 		s.stats.drained.Add(1)
 		s.writeError(w, http.StatusServiceUnavailable, "draining", "server is draining", s.cfg.RetryAfter)
@@ -160,7 +177,7 @@ func (s *Server) handleFeatures(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("%d roots exceeds the per-request limit of %d", len(req.Roots), s.cfg.MaxRootsPerRequest), 0)
 		return
 	}
-	n := s.ex.Graph().NumNodes()
+	n := ex.Graph().NumNodes()
 	roots := make([]graph.NodeID, len(req.Roots))
 	for i, root := range req.Roots {
 		if root < 0 || root >= int64(n) {
@@ -219,12 +236,17 @@ func (s *Server) handleFeatures(w http.ResponseWriter, r *http.Request) {
 
 	s.stats.accepted.Add(1)
 	start := time.Now()
-	censuses, ctxErr := s.ex.CensusAllWithLimits(ctx, roots, s.cfg.Workers, s.rootLimits(req.RootBudget, req.RootDeadlineMS))
+	censuses, ctxErr := ex.CensusAllWithLimits(ctx, roots, s.cfg.Workers, s.rootLimits(req.RootBudget, req.RootDeadlineMS))
 	elapsed := time.Since(start)
 	s.stats.observeLatency(elapsed)
 	done(breakerFailure(censuses, ctxErr))
 
-	resp := FeaturesResponse{Rows: make([]FeatureRow, len(censuses)), ElapsedMS: elapsed.Milliseconds()}
+	resp := FeaturesResponse{
+		Rows:        make([]FeatureRow, len(censuses)),
+		ElapsedMS:   elapsed.Milliseconds(),
+		Fingerprint: snap.Fingerprint,
+		Generation:  snap.Generation,
+	}
 	for i, c := range censuses {
 		row := FeatureRow{Root: int64(roots[i])}
 		if c == nil {
@@ -239,7 +261,7 @@ func (s *Server) handleFeatures(w http.ResponseWriter, r *http.Request) {
 			row.Subgraphs = c.Subgraphs
 			row.Counts = make(map[string]int64, len(c.Counts))
 			for key, count := range c.Counts {
-				row.Counts[s.ex.EncodingString(key)] = count
+				row.Counts[ex.EncodingString(key)] = count
 			}
 		}
 		if row.Flags != "ok" {
@@ -254,17 +276,23 @@ func (s *Server) handleFeatures(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// handleMeta serves GET /v1/meta: the graph/options fingerprint and the
-// serving limits a well-behaved client needs.
+// handleMeta serves GET /v1/meta: the serving generation, its
+// graph/options fingerprint, and the limits a well-behaved client
+// needs. Reads one consistent snapshot, so a concurrent reload can
+// never mix two generations in one response.
 func (s *Server) handleMeta(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		s.writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use GET", 0)
 		return
 	}
-	g := s.ex.Graph()
-	opts := s.ex.Options()
+	snap := s.snap.Load()
+	ex := snap.Extractor
+	g := ex.Graph()
+	opts := ex.Options()
 	meta := MetaResponse{
-		Fingerprint:        s.fingerprint,
+		Fingerprint:        snap.Fingerprint,
+		Generation:         snap.Generation,
+		Source:             snap.Source,
 		Nodes:              g.NumNodes(),
 		Edges:              g.NumEdges(),
 		Labels:             g.Alphabet().Names(),
@@ -278,10 +306,54 @@ func (s *Server) handleMeta(w http.ResponseWriter, r *http.Request) {
 		RootBudget:         s.cfg.RootBudget,
 		RootDeadlineMS:     s.cfg.RootDeadline.Milliseconds(),
 	}
-	for l := 0; l < s.ex.LabelSlots(); l++ {
-		meta.SlotNames = append(meta.SlotNames, s.ex.SlotName(l))
+	if snap.Features != nil {
+		meta.FeatureSetRows = len(snap.Features.Rows)
+	}
+	for l := 0; l < ex.LabelSlots(); l++ {
+		meta.SlotNames = append(meta.SlotNames, ex.SlotName(l))
 	}
 	writeJSON(w, http.StatusOK, meta)
+}
+
+// ReloadResponse is the body of a successful POST /v1/admin/reload.
+type ReloadResponse struct {
+	Generation  uint64 `json:"generation"`
+	Fingerprint string `json:"fingerprint"`
+	ElapsedMS   int64  `json:"elapsed_ms"`
+}
+
+// handleReload serves POST /v1/admin/reload: verify the newest artifact
+// generation off the request path, then RCU-swap it in. Failure keeps
+// the current generation serving and reports a typed error; a reload
+// already in flight is a 409 so automation never stacks reloads.
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use POST", 0)
+		return
+	}
+	if s.draining.Load() {
+		s.writeError(w, http.StatusServiceUnavailable, "draining", "server is draining", s.cfg.RetryAfter)
+		return
+	}
+	start := time.Now()
+	snap, err := s.Reload(r.Context())
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, ReloadResponse{
+			Generation:  snap.Generation,
+			Fingerprint: snap.Fingerprint,
+			ElapsedMS:   time.Since(start).Milliseconds(),
+		})
+	case errors.Is(err, ErrNoReloader):
+		s.writeError(w, http.StatusNotImplemented, "reload_unsupported",
+			"daemon was started without a reloadable artifact source", 0)
+	case errors.Is(err, ErrReloadInProgress):
+		s.writeError(w, http.StatusConflict, "reload_in_progress", "a reload is already running", s.cfg.RetryAfter)
+	default:
+		// The old generation is still serving; the reload just failed to
+		// produce a better one.
+		s.writeError(w, http.StatusInternalServerError, "reload_failed", err.Error(), 0)
+	}
 }
 
 // handleHealthz reports liveness: the process is up and serving HTTP,
@@ -291,13 +363,20 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleReadyz reports readiness: 503 once draining so load balancers
-// stop routing here; the breaker state rides along for observability
-// (an open breaker still serves meta/health and will recover, so it
-// does not fail readiness by itself).
+// stop routing here; the breaker state, serving generation, and last
+// reload outcome ride along for observability (an open breaker or a
+// failed reload still serves the current generation and will recover,
+// so neither fails readiness by itself).
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
-	body := map[string]string{
-		"status":  "ready",
-		"breaker": s.brk.State().String(),
+	snap := s.snap.Load()
+	body := map[string]any{
+		"status":      "ready",
+		"breaker":     s.brk.State().String(),
+		"generation":  snap.Generation,
+		"fingerprint": snap.Fingerprint,
+	}
+	if last := s.lastReload.Load(); last != nil {
+		body["last_reload"] = last
 	}
 	if s.draining.Load() {
 		body["status"] = "draining"
@@ -309,10 +388,14 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 
 // handleStats serves the counter snapshot on GET /debug/stats.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	serving := s.snap.Load()
 	snap := s.stats.snapshot()
 	snap.InFlight = int64(s.adm.inFlight())
 	snap.QueueDepth = int64(s.adm.queued())
 	snap.BreakerState = s.brk.State().String()
 	snap.Draining = s.draining.Load()
+	snap.Generation = serving.Generation
+	snap.Fingerprint = serving.Fingerprint
+	snap.LastReload = s.lastReload.Load()
 	writeJSON(w, http.StatusOK, snap)
 }

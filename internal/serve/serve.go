@@ -18,6 +18,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -94,33 +95,51 @@ func (c *Config) withDefaults() {
 	}
 }
 
-// Server is the hardened feature-serving daemon: an extractor behind
-// admission control, a circuit breaker, panic isolation and graceful
-// drain. Construct with NewServer, mount Handler on any http.Server, or
-// let Serve own the listener lifecycle.
+// Server is the hardened feature-serving daemon: an immutable serving
+// snapshot (graph + extractor + optional feature set) behind admission
+// control, a circuit breaker, panic isolation, zero-downtime hot
+// reload, and graceful drain. Construct with NewServer, mount Handler
+// on any http.Server, or let Serve own the listener lifecycle.
 type Server struct {
-	ex  *core.Extractor
 	cfg Config
+
+	// snap is the RCU-swapped serving generation: handlers load it once
+	// per request and never observe a mid-request change. Reload (SIGHUP
+	// or POST /v1/admin/reload) verifies the next generation off the
+	// request path and swaps this pointer.
+	snap atomic.Pointer[Snapshot]
 
 	adm      *admission
 	brk      *Breaker
 	stats    *Stats
 	draining atomic.Bool
 
-	fingerprint string
+	reloader   func(context.Context) (*Snapshot, error)
+	reloadMu   sync.Mutex
+	lastReload atomic.Pointer[ReloadOutcome]
 }
 
 // NewServer returns a server over ex with cfg (zero fields defaulted).
 func NewServer(ex *core.Extractor, cfg Config) *Server {
+	return NewServerSnapshot(NewSnapshot(ex), cfg)
+}
+
+// NewServerSnapshot returns a server over a prepared snapshot — the
+// constructor for store-backed daemons that carry generation metadata
+// and a precomputed feature set.
+func NewServerSnapshot(snap *Snapshot, cfg Config) *Server {
 	cfg.withDefaults()
-	return &Server{
-		ex:          ex,
-		cfg:         cfg,
-		adm:         newAdmission(cfg.MaxInFlight, cfg.MaxQueue),
-		brk:         NewBreaker(cfg.Breaker),
-		stats:       &Stats{},
-		fingerprint: fingerprint(ex),
+	if snap.Fingerprint == "" {
+		snap.Fingerprint = fingerprint(snap.Extractor)
 	}
+	s := &Server{
+		cfg:   cfg,
+		adm:   newAdmission(cfg.MaxInFlight, cfg.MaxQueue),
+		brk:   NewBreaker(cfg.Breaker),
+		stats: &Stats{},
+	}
+	s.snap.Store(snap)
+	return s
 }
 
 // Stats exposes the server's counters (live; snapshot via /debug/stats).
@@ -155,6 +174,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/features", s.handleFeatures)
 	mux.HandleFunc("/v1/meta", s.handleMeta)
+	mux.HandleFunc("/v1/admin/reload", s.handleReload)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/debug/stats", s.handleStats)
@@ -197,7 +217,7 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
 	if err != nil {
 		return err
 	}
-	s.logf("serve: listening on %s (fingerprint %s)", ln.Addr(), s.fingerprint)
+	s.logf("serve: listening on %s (fingerprint %s)", ln.Addr(), s.snap.Load().Fingerprint)
 	return s.Serve(ctx, ln)
 }
 

@@ -232,7 +232,7 @@ func TestHealthAndReadiness(t *testing.T) {
 	if w := doJSON(t, s, http.MethodGet, "/healthz", "", &health); w.Code != http.StatusOK || health["status"] != "ok" {
 		t.Errorf("healthz = %d %v", w.Code, health)
 	}
-	var ready map[string]string
+	var ready map[string]any
 	if w := doJSON(t, s, http.MethodGet, "/readyz", "", &ready); w.Code != http.StatusOK || ready["status"] != "ready" || ready["breaker"] != "closed" {
 		t.Errorf("readyz = %d %v", w.Code, ready)
 	}
@@ -291,7 +291,7 @@ func TestFeaturesRejectedWhileBreakerOpen(t *testing.T) {
 	if w := doJSON(t, s, http.MethodGet, "/v1/meta", "", nil); w.Code != http.StatusOK {
 		t.Errorf("meta with open breaker = %d", w.Code)
 	}
-	var ready map[string]string
+	var ready map[string]any
 	if w := doJSON(t, s, http.MethodGet, "/readyz", "", &ready); w.Code != http.StatusOK || ready["breaker"] != "open" {
 		t.Errorf("readyz with open breaker = %d %v (open breaker alone must not fail readiness)", w.Code, ready)
 	}

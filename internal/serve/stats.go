@@ -34,6 +34,11 @@ type Stats struct {
 	panicked  atomic.Int64 // handler panics recovered into 500s
 	badReq    atomic.Int64 // 400 responses
 
+	// Hot-reload outcomes.
+	reloads      atomic.Int64 // reload attempts (SIGHUP or admin endpoint)
+	reloadOK     atomic.Int64 // attempts that swapped a new generation in
+	reloadFailed atomic.Int64 // attempts that kept the old generation
+
 	latency [len(latencyBuckets) + 1]atomic.Int64
 }
 
@@ -73,6 +78,14 @@ type StatsSnapshot struct {
 	BreakerState string `json:"breaker_state"`
 	Draining     bool   `json:"draining"`
 
+	// Hot-reload state: the serving generation and the reload counters.
+	Generation   uint64         `json:"generation,omitempty"`
+	Fingerprint  string         `json:"fingerprint,omitempty"`
+	Reloads      int64          `json:"reloads"`
+	ReloadOK     int64          `json:"reload_ok"`
+	ReloadFailed int64          `json:"reload_failed"`
+	LastReload   *ReloadOutcome `json:"last_reload,omitempty"`
+
 	Latency []LatencyBucket `json:"latency"`
 }
 
@@ -89,6 +102,10 @@ func (s *Stats) snapshot() StatsSnapshot {
 		Degraded:  s.degraded.Load(),
 		Panicked:  s.panicked.Load(),
 		BadReq:    s.badReq.Load(),
+
+		Reloads:      s.reloads.Load(),
+		ReloadOK:     s.reloadOK.Load(),
+		ReloadFailed: s.reloadFailed.Load(),
 	}
 	for i := range s.latency {
 		n := s.latency[i].Load()

@@ -1,0 +1,74 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// AtomicWrite replaces path with the bytes produced by write, surviving
+// a crash at any instant: either the old file or the complete new file
+// is what a post-crash reader sees, never a mixture. The sequence is
+// temp file in the same directory -> write -> fsync(file) -> close ->
+// rename -> fsync(parent directory). The final directory fsync is the
+// step naive implementations skip; without it the rename itself can be
+// lost on power failure, resurrecting the old snapshot or leaving none.
+func AtomicWrite(path string, write func(f *os.File) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := write(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := syncFile(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	return SyncDir(dir)
+}
+
+// AtomicWriteBytes is AtomicWrite for a fully materialised payload.
+func AtomicWriteBytes(path string, data []byte) error {
+	return AtomicWrite(path, func(f *os.File) error {
+		_, err := f.Write(data)
+		return err
+	})
+}
+
+// syncFile flushes f to stable storage, tolerating sinks that cannot
+// sync (/dev/null, pipes, some tmpfs mounts report EINVAL/ENOTSUP).
+func syncFile(f *os.File) error {
+	err := f.Sync()
+	if err == nil || errors.Is(err, syscall.EINVAL) || errors.Is(err, syscall.ENOTSUP) {
+		return nil
+	}
+	return err
+}
+
+// SyncDir fsyncs a directory so a rename inside it is durable. Like
+// syncFile it tolerates filesystems that cannot sync directories.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if closeErr := d.Close(); err == nil {
+		err = closeErr
+	}
+	if err == nil || errors.Is(err, syscall.EINVAL) || errors.Is(err, syscall.ENOTSUP) {
+		return nil
+	}
+	return err
+}

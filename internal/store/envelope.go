@@ -1,0 +1,227 @@
+// Package store is the crash-safe artifact store behind every persisted
+// asset in this repository: graphs, FeatureSets, and census checkpoints.
+// The census is the expensive half of the paper's compute-once/serve-many
+// pipeline, so the artifacts it produces must survive crashes, torn
+// writes, and silent media corruption without taking a serving process
+// down.
+//
+// Two layers provide that:
+//
+//   - A framed envelope (this file): magic, format version, a fixed
+//     number of length-prefixed sections each guarded by CRC32C, and a
+//     manifest footer carrying a whole-file SHA-256. Decoders verify
+//     everything before returning a byte of payload, never panic on
+//     hostile input, and report typed errors (ErrCorrupt,
+//     ErrUnsupportedVersion) so callers can distinguish "bad file" from
+//     "future format".
+//
+//   - A generation-numbered directory store (store.go): snapshots are
+//     written atomically (temp file + fsync + rename + parent-directory
+//     fsync), rotate under bounded retention, and a snapshot that fails
+//     verification is quarantined — renamed aside — while the loader
+//     falls back to the newest good generation instead of failing the
+//     process.
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Typed failure classes. Every decode error wraps exactly one of these,
+// so callers can switch on errors.Is without parsing messages.
+var (
+	// ErrCorrupt marks an artifact that is structurally damaged: bad
+	// magic, torn sections, checksum mismatch, trailing garbage, or an
+	// unknown trailing section a decoder does not understand.
+	ErrCorrupt = errors.New("store: corrupt artifact")
+	// ErrUnsupportedVersion marks an artifact written by a newer (or
+	// unknown) format revision. The bytes may be perfectly intact; this
+	// reader just must not guess at them.
+	ErrUnsupportedVersion = errors.New("store: unsupported artifact format version")
+	// ErrNotFound reports that a store holds no good generation of the
+	// requested artifact kind.
+	ErrNotFound = errors.New("store: no good generation found")
+)
+
+// Envelope framing constants. The header and footer magics differ so a
+// truncated file can never re-parse as a complete one.
+const (
+	// FormatVersion is the current envelope revision. Readers refuse
+	// anything newer with ErrUnsupportedVersion.
+	FormatVersion = 1
+
+	headerMagic = "HSGFSNAP"
+	footerMagic = "HSGFSEND"
+
+	// maxSections and maxSectionName bound decoder allocations on
+	// hostile input; real artifacts use 2-3 short-named sections.
+	maxSections    = 64
+	maxSectionName = 255
+
+	headerLen = len(headerMagic) + 4 + 4 // magic + version + section count
+	footerLen = sha256.Size + len(footerMagic)
+)
+
+// crcTable is the Castagnoli polynomial, hardware-accelerated on
+// amd64/arm64.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Section is one named payload inside an envelope. Names identify the
+// payload codec to the artifact layer (e.g. "meta", "featureset"); the
+// envelope itself treats payloads as opaque bytes.
+type Section struct {
+	Name    string
+	Payload []byte
+}
+
+// Envelope is a parsed artifact container: the format version it was
+// written under and its sections in file order.
+type Envelope struct {
+	Version  uint32
+	Sections []Section
+}
+
+// Section returns the payload of the named section.
+func (e *Envelope) Section(name string) ([]byte, bool) {
+	for _, s := range e.Sections {
+		if s.Name == name {
+			return s.Payload, true
+		}
+	}
+	return nil, false
+}
+
+// EncodeEnvelope frames sections into the canonical on-disk form:
+//
+//	"HSGFSNAP" | version u32 | count u32
+//	per section: nameLen u32 | name | payloadLen u64 | payload | CRC32C u32
+//	manifest footer: SHA-256 of everything above | "HSGFSEND"
+//
+// All integers are little-endian. The encoding is canonical — parsing
+// and re-encoding an accepted envelope reproduces the input bytes —
+// which the fuzz harness relies on.
+func EncodeEnvelope(sections []Section) ([]byte, error) {
+	if len(sections) == 0 {
+		return nil, fmt.Errorf("store: envelope needs at least one section")
+	}
+	if len(sections) > maxSections {
+		return nil, fmt.Errorf("store: %d sections exceeds the limit of %d", len(sections), maxSections)
+	}
+	var buf bytes.Buffer
+	buf.WriteString(headerMagic)
+	var u32 [4]byte
+	var u64 [8]byte
+	binary.LittleEndian.PutUint32(u32[:], FormatVersion)
+	buf.Write(u32[:])
+	binary.LittleEndian.PutUint32(u32[:], uint32(len(sections)))
+	buf.Write(u32[:])
+	for _, s := range sections {
+		if s.Name == "" || len(s.Name) > maxSectionName {
+			return nil, fmt.Errorf("store: section name %q must be 1-%d bytes", s.Name, maxSectionName)
+		}
+		binary.LittleEndian.PutUint32(u32[:], uint32(len(s.Name)))
+		buf.Write(u32[:])
+		buf.WriteString(s.Name)
+		binary.LittleEndian.PutUint64(u64[:], uint64(len(s.Payload)))
+		buf.Write(u64[:])
+		buf.Write(s.Payload)
+		binary.LittleEndian.PutUint32(u32[:], crc32.Checksum(s.Payload, crcTable))
+		buf.Write(u32[:])
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	buf.Write(sum[:])
+	buf.WriteString(footerMagic)
+	return buf.Bytes(), nil
+}
+
+// IsEnvelope reports whether data begins with the envelope magic —
+// the cheap test readers use to tell an envelope from a legacy
+// (pre-store) artifact file before committing to either decoder.
+func IsEnvelope(data []byte) bool {
+	return len(data) >= len(headerMagic) && string(data[:len(headerMagic)]) == headerMagic
+}
+
+// corruptf wraps ErrCorrupt with positional detail.
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+}
+
+// ParseEnvelope verifies and decodes an envelope. Verification is
+// complete before it returns: header magic and version, every section
+// frame and CRC, the manifest SHA-256, and the absence of trailing
+// bytes. Section payloads alias data; callers that mutate must copy.
+func ParseEnvelope(data []byte) (*Envelope, error) {
+	if len(data) < headerLen+footerLen {
+		return nil, corruptf("%d bytes is shorter than an empty envelope", len(data))
+	}
+	if string(data[:len(headerMagic)]) != headerMagic {
+		return nil, corruptf("bad header magic")
+	}
+	// Verify the manifest first: a whole-file digest catches most damage
+	// (truncation, bit flips, splices) in one pass before any framing
+	// logic runs.
+	foot := data[len(data)-footerLen:]
+	if string(foot[sha256.Size:]) != footerMagic {
+		return nil, corruptf("bad footer magic (truncated file?)")
+	}
+	sum := sha256.Sum256(data[:len(data)-footerLen])
+	if !bytes.Equal(sum[:], foot[:sha256.Size]) {
+		return nil, corruptf("manifest SHA-256 mismatch")
+	}
+
+	off := len(headerMagic)
+	version := binary.LittleEndian.Uint32(data[off:])
+	if version == 0 || version > FormatVersion {
+		return nil, fmt.Errorf("%w: file version %d, reader supports <= %d",
+			ErrUnsupportedVersion, version, FormatVersion)
+	}
+	count := binary.LittleEndian.Uint32(data[off+4:])
+	if count == 0 || count > maxSections {
+		return nil, corruptf("section count %d outside 1..%d", count, maxSections)
+	}
+	body := data[headerLen : len(data)-footerLen]
+
+	env := &Envelope{Version: version, Sections: make([]Section, 0, count)}
+	pos := 0
+	for i := uint32(0); i < count; i++ {
+		if len(body)-pos < 4 {
+			return nil, corruptf("section %d: truncated name length", i)
+		}
+		nameLen := int(binary.LittleEndian.Uint32(body[pos:]))
+		pos += 4
+		if nameLen == 0 || nameLen > maxSectionName || len(body)-pos < nameLen {
+			return nil, corruptf("section %d: name length %d out of range", i, nameLen)
+		}
+		name := string(body[pos : pos+nameLen])
+		pos += nameLen
+		if len(body)-pos < 8 {
+			return nil, corruptf("section %q: truncated payload length", name)
+		}
+		payLen64 := binary.LittleEndian.Uint64(body[pos:])
+		pos += 8
+		if payLen64 > uint64(len(body)-pos) {
+			return nil, corruptf("section %q: payload length %d exceeds remaining %d bytes",
+				name, payLen64, len(body)-pos)
+		}
+		payLen := int(payLen64)
+		payload := body[pos : pos+payLen]
+		pos += payLen
+		if len(body)-pos < 4 {
+			return nil, corruptf("section %q: truncated checksum", name)
+		}
+		if got, want := crc32.Checksum(payload, crcTable), binary.LittleEndian.Uint32(body[pos:]); got != want {
+			return nil, corruptf("section %q: CRC32C mismatch (%08x != %08x)", name, got, want)
+		}
+		pos += 4
+		env.Sections = append(env.Sections, Section{Name: name, Payload: payload})
+	}
+	if pos != len(body) {
+		return nil, corruptf("%d trailing bytes after the last declared section", len(body)-pos)
+	}
+	return env, nil
+}

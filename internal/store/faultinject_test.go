@@ -1,0 +1,147 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// faultEnvelope builds a realistically sized snapshot for mutation
+// sweeps: a small meta section and a few KB of structured payload.
+func faultEnvelope(t *testing.T) []byte {
+	t.Helper()
+	var body bytes.Buffer
+	for i := 0; i < 400; i++ {
+		fmt.Fprintf(&body, `{"row":%d,"counts":[%d,%d,%d]}`+"\n", i, i*3, i*5, i*7)
+	}
+	data, err := EncodeEnvelope([]Section{
+		{Name: "meta", Payload: []byte(`{"artifact":"fault","schema":1}`)},
+		{Name: "rows", Payload: body.Bytes()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestTruncationSweep cuts the envelope at sampled byte offsets — plus
+// every boundary-adjacent offset — and requires a typed error, never a
+// panic and never a false accept.
+func TestTruncationSweep(t *testing.T) {
+	data := faultEnvelope(t)
+	offsets := map[int]bool{0: true, 1: true, len(data) - 1: true}
+	for off := 0; off < len(data); off += 37 {
+		offsets[off] = true
+	}
+	// Boundary offsets: end of header, end of each footer byte.
+	for d := 0; d <= footerLen; d++ {
+		offsets[len(data)-d] = true
+	}
+	for off := range offsets {
+		if off < 0 || off >= len(data) {
+			continue
+		}
+		_, err := ParseEnvelope(data[:off])
+		if err == nil {
+			t.Fatalf("truncation at %d/%d accepted", off, len(data))
+		}
+		if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrUnsupportedVersion) {
+			t.Fatalf("truncation at %d: untyped error %v", off, err)
+		}
+	}
+}
+
+// TestBitFlipSweep flips single bits at sampled offsets. Any mutation
+// must be caught by the CRC, the SHA manifest, or the framing — the
+// parser may never return a silently different envelope.
+func TestBitFlipSweep(t *testing.T) {
+	data := faultEnvelope(t)
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 512; trial++ {
+		off := rng.Intn(len(data))
+		bit := byte(1) << rng.Intn(8)
+		mut := append([]byte{}, data...)
+		mut[off] ^= bit
+		_, err := ParseEnvelope(mut)
+		if err == nil {
+			// Every byte is under the SHA-256 manifest, so no flip may
+			// ever be accepted.
+			t.Fatalf("bit flip at offset %d bit %02x accepted", off, bit)
+		}
+		if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrUnsupportedVersion) {
+			t.Fatalf("bit flip at %d: untyped error %v", off, err)
+		}
+	}
+}
+
+// TestPartialRenameSimulation models a crash between the temp-file
+// write and the rename: the directory holds a complete older
+// generation plus a stray temp file. The loader must serve the old
+// generation and never mistake the temp file for a snapshot.
+func TestPartialRenameSimulation(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Write("feat", testSections("stable")); err != nil {
+		t.Fatal(err)
+	}
+	// A crashed writer leaves the next generation only as a temp file —
+	// both a complete one and a half-written one.
+	full, err := EncodeEnvelope(testSections("half-arrived"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := filepath.Base(s.Path("feat", 2))
+	if err := os.WriteFile(filepath.Join(s.Dir(), base+".tmp123"), full, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(s.Dir(), base+".tmp456"), full[:len(full)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	env, gen, err := s.LoadLatest("feat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 1 {
+		t.Fatalf("loaded generation %d, want the stable 1", gen)
+	}
+	if body, _ := env.Section("body"); string(body) != "payload-stable" {
+		t.Fatalf("body %q", body)
+	}
+	// The next write must skip neither forward nor backward because of
+	// the strays.
+	gen2, err := s.Write("feat", testSections("next"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen2 != 2 {
+		t.Fatalf("post-crash write got generation %d, want 2", gen2)
+	}
+}
+
+// TestCrossKindSpliceRejected concatenates halves of two valid
+// snapshots — the torn-write shape an unsynced rename can produce — and
+// requires a typed rejection.
+func TestCrossKindSpliceRejected(t *testing.T) {
+	a, err := EncodeEnvelope(testSections("aaaa"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EncodeEnvelope([]Section{
+		{Name: "meta", Payload: []byte(`{"artifact":"other"}`)},
+		{Name: "body", Payload: bytes.Repeat([]byte("B"), 300)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	splice := append(append([]byte{}, a[:len(a)/2]...), b[len(b)/2:]...)
+	if _, err := ParseEnvelope(splice); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("splice: got %v, want ErrCorrupt", err)
+	}
+}

@@ -1,0 +1,53 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzStoreEnvelope drives the envelope parser with arbitrary bytes:
+// it must never panic, every rejection must carry a typed error, and
+// every accept must round-trip canonically (re-encoding the parsed
+// sections reproduces the input byte for byte).
+func FuzzStoreEnvelope(f *testing.F) {
+	seed := func(sections []Section) {
+		data, err := EncodeEnvelope(sections)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+		// Mutated variants of valid envelopes reach the deep checks.
+		trunc := data[:len(data)*2/3]
+		f.Add(trunc)
+		flip := append([]byte{}, data...)
+		flip[len(flip)/3] ^= 0x20
+		f.Add(flip)
+	}
+	seed([]Section{{Name: "meta", Payload: []byte(`{"artifact":"t"}`)}})
+	seed([]Section{
+		{Name: "meta", Payload: []byte(`{"artifact":"featureset","schema":1}`)},
+		{Name: "featureset", Payload: []byte(`{"max_edges":2,"label_slots":0}`)},
+	})
+	seed([]Section{{Name: "a", Payload: nil}, {Name: "b", Payload: []byte{0, 255}}})
+	f.Add([]byte{})
+	f.Add([]byte(headerMagic))
+	f.Add([]byte("HSGFSNAPgarbage that is long enough to pass the minimum size check....."))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		env, err := ParseEnvelope(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrUnsupportedVersion) {
+				t.Fatalf("untyped parse error: %v", err)
+			}
+			return
+		}
+		re, err := EncodeEnvelope(env.Sections)
+		if err != nil {
+			t.Fatalf("accepted envelope does not re-encode: %v", err)
+		}
+		if !bytes.Equal(re, data) {
+			t.Fatalf("accepted envelope is not canonical: %d bytes in, %d bytes out", len(data), len(re))
+		}
+	})
+}
