@@ -1,12 +1,12 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: all check fmt-check vet build test race fuzz-smoke serve-smoke reload-smoke bench bench-all bench-smoke clean
+.PHONY: all check fmt-check vet build test race fuzz-smoke serve-smoke reload-smoke embed-bench-smoke bench bench-all bench-smoke clean
 
 all: check
 
 # The full tier-1 gate: what CI runs.
-check: fmt-check vet build test race fuzz-smoke serve-smoke reload-smoke
+check: fmt-check vet build test race fuzz-smoke serve-smoke reload-smoke embed-bench-smoke
 
 # gofmt gate: fails listing any file that is not gofmt-clean.
 fmt-check:
@@ -33,6 +33,7 @@ fuzz-smoke:
 	$(GO) test -run=Fuzz -fuzz=FuzzParseCompact -fuzztime=$(FUZZTIME) ./internal/core
 	$(GO) test -run=Fuzz -fuzz=FuzzCounterTable -fuzztime=$(FUZZTIME) ./internal/core
 	$(GO) test -run=Fuzz -fuzz=FuzzStoreEnvelope -fuzztime=$(FUZZTIME) ./internal/store
+	$(GO) test -run=Fuzz -fuzz=FuzzWalkShardDeterminism -fuzztime=$(FUZZTIME) ./internal/embed
 
 # End-to-end daemon smoke: builds cmd/hsgfd under -race, boots it on a
 # synthetic graph and exercises serve/degrade/shed/drain over real HTTP.
@@ -46,20 +47,30 @@ serve-smoke:
 reload-smoke:
 	$(GO) test -race -tags smoke -run TestReloadSmoke -v ./cmd/hsgfd
 
-# Tracked census benchmarks: writes BENCH_census.json (ns/root,
-# allocs/root, subgraphs/sec for census_root / census_all /
-# serve_request). Diff this file across PRs to track the hot path.
+# Embedding-engine smoke: tiny-graph corpus parity across worker
+# counts, finite Hogwild output at Workers=2, and the walk-arena
+# allocation bound — the properties timing benchmarks cannot assert.
+embed-bench-smoke:
+	$(GO) test -tags smoke -run TestEmbedBenchSmoke -v ./cmd/embedbench
+
+# Tracked benchmarks: writes BENCH_census.json (ns/root, allocs/root,
+# subgraphs/sec for the census hot path) and BENCH_embed.json
+# (walks/sec, updates/sec, speedup vs Workers=1 for the embedding
+# engine). Diff these files across PRs to track both hot paths.
 bench:
 	$(GO) run ./cmd/censusbench -o BENCH_census.json
+	$(GO) run ./cmd/embedbench -o BENCH_embed.json
 
 # Full benchmark sweep across every package.
 bench-all:
 	$(GO) test -bench=. -benchmem ./...
 
 # CI smoke: compile and exercise every benchmark briefly so benchmark
-# code cannot rot, without paying for stable timings.
+# code cannot rot, without paying for stable timings. The embedding
+# benchmarks train real models (seconds per op), so they run once.
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=100x ./internal/core ./internal/serve
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./internal/embed
 
 clean:
 	$(GO) clean ./...

@@ -41,12 +41,16 @@ type result struct {
 }
 
 type report struct {
-	Generated string   `json:"generated"`
-	GoVersion string   `json:"go_version"`
-	NumCPU    int      `json:"num_cpu"`
-	Nodes     int      `json:"graph_nodes"`
-	Edges     int      `json:"graph_edges"`
-	Results   []result `json:"results"`
+	Generated string `json:"generated"`
+	GoVersion string `json:"go_version"`
+	NumCPU    int    `json:"num_cpu"`
+	// GoMaxProcs is what parallel speedups in this file were actually
+	// allowed to use — num_cpu alone makes scaling rows unreadable when
+	// the scheduler is capped below the hardware.
+	GoMaxProcs int      `json:"gomaxprocs"`
+	Nodes      int      `json:"graph_nodes"`
+	Edges      int      `json:"graph_edges"`
+	Results    []result `json:"results"`
 }
 
 // benchGraph mirrors the reduced publication network used by the
@@ -118,11 +122,12 @@ func main() {
 	}
 
 	rep := report{
-		Generated: time.Now().UTC().Format(time.RFC3339),
-		GoVersion: runtime.Version(),
-		NumCPU:    runtime.NumCPU(),
-		Nodes:     g.NumNodes(),
-		Edges:     g.NumEdges(),
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Nodes:      g.NumNodes(),
+		Edges:      g.NumEdges(),
 	}
 
 	// --- census_root: steady-state single-root census (serving row cost).

@@ -1,0 +1,271 @@
+// Command embedbench runs the tracked embedding micro-benchmarks —
+// sharded walk generation (uniform and node2vec-biased) and Hogwild
+// SGNS / LINE training — over the synthetic publication network and
+// writes the results as JSON (BENCH_embed.json under `make bench`).
+//
+// Every workload is swept over a ladder of worker counts, so the file
+// records parallel scaling rows (walks/sec, updates/sec, ns/update,
+// allocs/op, speedup vs Workers=1) next to `gomaxprocs` and `num_cpu`
+// — a speedup table is only readable alongside the core count that
+// produced it. The JSON schema is stable so successive PRs can diff
+// the trajectory, like BENCH_census.json for the census hot path.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"hsgf/internal/datagen"
+	"hsgf/internal/embed"
+	"hsgf/internal/graph"
+)
+
+// result is one (benchmark, worker count) row in the output file.
+type result struct {
+	Name          string  `json:"name"`
+	Workers       int     `json:"workers"`
+	Iterations    int     `json:"iterations"`
+	NsPerOp       float64 `json:"ns_per_op"`
+	AllocsPerOp   float64 `json:"allocs_per_op"`
+	BytesPerOp    float64 `json:"bytes_per_op"`
+	WalksPerSec   float64 `json:"walks_per_sec,omitempty"`
+	UpdatesPerSec float64 `json:"updates_per_sec,omitempty"`
+	NsPerUpdate   float64 `json:"ns_per_update,omitempty"`
+	// SpeedupVsSerial is this row's throughput over the Workers=1 row
+	// of the same benchmark (1.0 for the serial row itself).
+	SpeedupVsSerial float64 `json:"speedup_vs_serial,omitempty"`
+}
+
+type report struct {
+	Generated  string   `json:"generated"`
+	GoVersion  string   `json:"go_version"`
+	NumCPU     int      `json:"num_cpu"`
+	GoMaxProcs int      `json:"gomaxprocs"`
+	Nodes      int      `json:"graph_nodes"`
+	Edges      int      `json:"graph_edges"`
+	Results    []result `json:"results"`
+}
+
+// benchGraph mirrors the reduced publication network cmd/censusbench
+// uses, so census and embedding numbers describe the same graph.
+func benchGraph() (*graph.Graph, error) {
+	cfg := datagen.DefaultPublicationConfig()
+	cfg.Institutions = 40
+	cfg.Conferences = datagen.DefaultConferences[:3]
+	cfg.Years = []int{2010, 2011, 2012, 2013}
+	cfg.PapersPerConfYear = 25
+	cfg.ExternalPapers = 400
+	pub, err := datagen.GeneratePublication(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return pub.Graph, nil
+}
+
+// workerLadder is the scaling sweep: 1, 2, 4 always (so the tracked
+// file carries comparable rows across machines), 8 where the hardware
+// can actually run it.
+func workerLadder() []int {
+	ladder := []int{1, 2, 4}
+	if runtime.NumCPU() >= 8 {
+		ladder = append(ladder, 8)
+	}
+	return ladder
+}
+
+// sgnsUpdates counts the nominal pair updates (positive + negative
+// samples per skip-gram pair) one corpus pass performs.
+func sgnsUpdates(walks [][]graph.NodeID, window, negatives, epochs int) int64 {
+	var pairs int64
+	for _, w := range walks {
+		for i := range w {
+			lo := i - window
+			if lo < 0 {
+				lo = 0
+			}
+			hi := i + window
+			if hi >= len(w) {
+				hi = len(w) - 1
+			}
+			pairs += int64(hi - lo)
+		}
+	}
+	return pairs * int64(1+negatives) * int64(epochs)
+}
+
+func row(name string, workers int, r testing.BenchmarkResult, work int64, unitWalks bool) result {
+	out := result{
+		Name:        name,
+		Workers:     workers,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.NsPerOp()),
+		AllocsPerOp: float64(r.AllocsPerOp()),
+		BytesPerOp:  float64(r.AllocedBytesPerOp()),
+	}
+	if r.T > 0 && work > 0 {
+		perSec := float64(work) * float64(r.N) / r.T.Seconds()
+		if unitWalks {
+			out.WalksPerSec = perSec
+		} else {
+			out.UpdatesPerSec = perSec
+			out.NsPerUpdate = float64(r.NsPerOp()) / float64(work)
+		}
+	}
+	return out
+}
+
+// fillSpeedups divides every row's throughput by its benchmark's
+// Workers=1 row.
+func fillSpeedups(rows []result) {
+	serial := map[string]float64{}
+	for _, r := range rows {
+		if r.Workers == 1 {
+			serial[r.Name] = r.WalksPerSec + r.UpdatesPerSec
+		}
+	}
+	for i := range rows {
+		if base := serial[rows[i].Name]; base > 0 {
+			rows[i].SpeedupVsSerial = (rows[i].WalksPerSec + rows[i].UpdatesPerSec) / base
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "embedbench:", err)
+	os.Exit(1)
+}
+
+func main() {
+	// testing.Benchmark reads -test.benchtime from the global flag set;
+	// Init registers it so the harness honours it outside `go test`.
+	testing.Init()
+	var (
+		out      = flag.String("o", "BENCH_embed.json", "output path ('-' for stdout)")
+		benchSec = flag.Float64("benchtime", 1.0, "target seconds per benchmark")
+	)
+	flag.Parse()
+	if err := flag.Lookup("test.benchtime").Value.Set(fmt.Sprintf("%gs", *benchSec)); err != nil {
+		fail(err)
+	}
+
+	g, err := benchGraph()
+	if err != nil {
+		fail(err)
+	}
+	rep := report{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Nodes:      g.NumNodes(),
+		Edges:      g.NumEdges(),
+	}
+	ctx := context.Background()
+
+	wcfg := embed.WalkConfig{WalksPerNode: 10, WalkLength: 40, ReturnP: 1, InOutQ: 1}
+	totalWalks := int64(g.NumNodes() * wcfg.WalksPerNode)
+
+	// --- uniform_walks / biased_walks: sharded corpus generation.
+	for _, workers := range workerLadder() {
+		cfg := wcfg
+		cfg.Workers = workers
+		rng := rand.New(rand.NewSource(7))
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := embed.UniformWalks(ctx, g, cfg, rng); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		rep.Results = append(rep.Results, row("uniform_walks", workers, r, totalWalks, true))
+	}
+	for _, workers := range workerLadder() {
+		cfg := wcfg
+		cfg.ReturnP, cfg.InOutQ = 0.5, 2
+		cfg.Workers = workers
+		rng := rand.New(rand.NewSource(7))
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := embed.BiasedWalks(ctx, g, cfg, rng); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		rep.Results = append(rep.Results, row("biased_walks", workers, r, totalWalks, true))
+	}
+
+	// --- sgns: Hogwild skip-gram training over a fixed corpus.
+	walks, err := embed.UniformWalks(ctx, g, wcfg, rand.New(rand.NewSource(7)))
+	if err != nil {
+		fail(err)
+	}
+	scfg := embed.SGNSConfig{Dim: 32, Window: 5, Negatives: 5, Epochs: 1}
+	updates := sgnsUpdates(walks, scfg.Window, scfg.Negatives, scfg.Epochs)
+	for _, workers := range workerLadder() {
+		cfg := scfg
+		cfg.Workers = workers
+		rng := rand.New(rand.NewSource(8))
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := embed.TrainSGNS(ctx, g, walks, cfg, rng); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		rep.Results = append(rep.Results, row("sgns", workers, r, updates, false))
+	}
+
+	// --- line: Hogwild edge-sampling training, both proximity orders.
+	lcfg := embed.LINEConfig{Dim: 16, Negatives: 5, Samples: 20 * g.NumEdges()}
+	lineUpdates := int64(lcfg.Samples) * int64(1+lcfg.Negatives) * 2
+	for _, workers := range workerLadder() {
+		cfg := lcfg
+		cfg.Workers = workers
+		rng := rand.New(rand.NewSource(9))
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := embed.LINE(ctx, g, cfg, rng); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		rep.Results = append(rep.Results, row("line", workers, r, lineUpdates, false))
+	}
+
+	fillSpeedups(rep.Results)
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fail(err)
+	}
+	for _, r := range rep.Results {
+		fmt.Fprintf(os.Stderr, "embedbench: %-14s w=%d %14.0f ns/op %8.2f allocs/op", r.Name, r.Workers, r.NsPerOp, r.AllocsPerOp)
+		if r.WalksPerSec > 0 {
+			fmt.Fprintf(os.Stderr, " %12.0f walks/sec", r.WalksPerSec)
+		}
+		if r.UpdatesPerSec > 0 {
+			fmt.Fprintf(os.Stderr, " %12.0f updates/sec", r.UpdatesPerSec)
+		}
+		fmt.Fprintf(os.Stderr, " %5.2fx\n", r.SpeedupVsSerial)
+	}
+	fmt.Fprintf(os.Stderr, "embedbench: wrote %s (gomaxprocs=%d num_cpu=%d)\n", *out, rep.GoMaxProcs, rep.NumCPU)
+}

@@ -1,0 +1,104 @@
+//go:build smoke
+
+package main
+
+// Embed bench smoke (`make embed-bench-smoke`): a tiny-graph pass over
+// the parallel embedding engine that CI can afford on every push. It
+// asserts the properties a timing benchmark cannot — finite output from
+// Hogwild training at Workers=2, a corpus that matches the serial one
+// byte for byte, and walk-generation allocations that stay amortised
+// (the arena design's non-regression guard).
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"hsgf/internal/datagen"
+	"hsgf/internal/embed"
+	"hsgf/internal/graph"
+)
+
+func smokeGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	cfg := datagen.DefaultPublicationConfig()
+	cfg.Institutions = 10
+	cfg.Conferences = datagen.DefaultConferences[:2]
+	cfg.Years = []int{2010, 2011}
+	cfg.PapersPerConfYear = 8
+	cfg.ExternalPapers = 60
+	pub, err := datagen.GeneratePublication(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pub.Graph
+}
+
+func allFinite(t *testing.T, name string, vecs [][]float64) {
+	t.Helper()
+	for i, v := range vecs {
+		for d, x := range v {
+			if x-x != 0 {
+				t.Fatalf("%s: non-finite value %v at row %d dim %d", name, x, i, d)
+			}
+		}
+	}
+}
+
+func TestEmbedBenchSmoke(t *testing.T) {
+	g := smokeGraph(t)
+	ctx := context.Background()
+	wcfg := embed.WalkConfig{WalksPerNode: 4, WalkLength: 16, ReturnP: 1, InOutQ: 1, Workers: 2}
+
+	// Sharded corpus matches the serial one.
+	parallel, err := embed.UniformWalks(ctx, g, wcfg, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialCfg := wcfg
+	serialCfg.Workers = 1
+	serial, err := embed.UniformWalks(ctx, g, serialCfg, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parallel) != len(serial) || len(parallel) != g.NumNodes()*wcfg.WalksPerNode {
+		t.Fatalf("corpus sizes differ: %d vs %d", len(parallel), len(serial))
+	}
+	for i := range serial {
+		if len(parallel[i]) != len(serial[i]) {
+			t.Fatalf("walk %d differs across worker counts", i)
+		}
+		for j := range serial[i] {
+			if parallel[i][j] != serial[i][j] {
+				t.Fatalf("walk %d differs across worker counts", i)
+			}
+		}
+	}
+
+	// Hogwild training at Workers=2 produces finite embeddings.
+	sgns, err := embed.TrainSGNS(ctx, g, parallel,
+		embed.SGNSConfig{Dim: 16, Window: 4, Negatives: 3, Epochs: 1, Workers: 2}, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	allFinite(t, "sgns", sgns)
+	line, err := embed.LINE(ctx, g,
+		embed.LINEConfig{Dim: 8, Negatives: 3, Samples: 4 * g.NumEdges(), Workers: 2}, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	allFinite(t, "line", line)
+
+	// Walk-generation allocations stay amortised: the arena design
+	// pays per chunk (256 walks), never per walk.
+	total := g.NumNodes() * wcfg.WalksPerNode
+	allocs := testing.AllocsPerRun(5, func() {
+		if _, err := embed.UniformWalks(ctx, g, serialCfg, rand.New(rand.NewSource(6))); err != nil {
+			t.Fatal(err)
+		}
+	})
+	chunks := (total + 255) / 256
+	if limit := float64(2*chunks + 12); allocs > limit {
+		t.Fatalf("UniformWalks did %.0f allocs for %d walks, want <= %.0f (arena regression)", allocs, total, limit)
+	}
+}

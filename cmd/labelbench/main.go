@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -31,10 +32,12 @@ import (
 
 func main() {
 	var (
-		mode  = flag.String("mode", "all", "curve | removal | dmax | all")
-		scale = flag.Float64("scale", 0.25, "network scale factor in (0,1]")
-		full  = flag.Bool("full", false, "use the paper's protocol parameters")
-		seed  = flag.Int64("seed", 11, "experiment seed")
+		mode   = flag.String("mode", "all", "curve | removal | dmax | all")
+		scale  = flag.Float64("scale", 0.25, "network scale factor in (0,1]")
+		full   = flag.Bool("full", false, "use the paper's protocol parameters")
+		seed   = flag.Int64("seed", 11, "experiment seed")
+		embedW = flag.Int("embed-workers", runtime.GOMAXPROCS(0),
+			"parallel workers for embedding training (1 = exact serial, bitwise-deterministic)")
 	)
 	flag.Parse()
 
@@ -43,6 +46,7 @@ func main() {
 		cfg = experiments.FullLabelConfig()
 	}
 	cfg.Seed = *seed
+	cfg.EmbedWorkers = *embedW
 
 	datasets, err := experiments.LoadLabelDatasets(*scale, *seed)
 	if err != nil {

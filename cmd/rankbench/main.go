@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -21,9 +22,11 @@ import (
 
 func main() {
 	var (
-		full = flag.Bool("full", false, "use the paper's full-scale settings")
-		seed = flag.Int64("seed", 7, "experiment seed")
-		only = flag.String("only", "", "render only one artifact: figure3 | table1 | figure4")
+		full   = flag.Bool("full", false, "use the paper's full-scale settings")
+		seed   = flag.Int64("seed", 7, "experiment seed")
+		only   = flag.String("only", "", "render only one artifact: figure3 | table1 | figure4")
+		embedW = flag.Int("embed-workers", runtime.GOMAXPROCS(0),
+			"parallel workers for embedding training (1 = exact serial, bitwise-deterministic)")
 	)
 	flag.Parse()
 
@@ -33,6 +36,7 @@ func main() {
 	}
 	cfg.Seed = *seed
 	cfg.Publication.Seed = *seed
+	cfg.EmbedWorkers = *embedW
 
 	// Ctrl-C / SIGTERM cancels the embedding training loops cleanly.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

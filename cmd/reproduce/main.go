@@ -21,7 +21,10 @@
 // report, bad flags), 3 when the report was written but one or more
 // stages were skipped.
 //
-// Every run is deterministic under -seed.
+// Every run is deterministic under -seed when -embed-workers=1; at
+// higher worker counts the walk corpora stay deterministic but Hogwild
+// embedding training trades bitwise reproducibility for multicore speed
+// (see DESIGN.md §10).
 package main
 
 import (
@@ -33,6 +36,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -53,6 +57,8 @@ func main() {
 		storeDir = flag.String("store", "", "also persist the finished report into this artifact store as a checksummed snapshot")
 		attempts = flag.Int("attempts", 2, "attempts per stage before it is skipped")
 		backoff  = flag.Duration("backoff", 2*time.Second, "backoff before the first stage retry (doubles per retry)")
+		embedW   = flag.Int("embed-workers", runtime.GOMAXPROCS(0),
+			"parallel workers for embedding training (1 = exact serial, bitwise-deterministic)")
 	)
 	flag.Parse()
 	if *resume && *ckpt == "" {
@@ -95,7 +101,7 @@ func main() {
 		Log:         os.Stderr,
 	}
 
-	ok := experiments.RunPipeline(w, buildStages(ctx, *quick, *scale, *seed), runner, sections)
+	ok := experiments.RunPipeline(w, buildStages(ctx, *quick, *scale, *seed, *embedW), runner, sections)
 	fmt.Fprintf(w, "\ntotal: %v\n", time.Since(start).Round(time.Second))
 	fmt.Fprintln(os.Stderr, "reproduce: done in", time.Since(start).Round(time.Second))
 
@@ -133,7 +139,7 @@ func main() {
 // text verbatim. The label datasets are generated lazily and shared:
 // generation failures surface in (and are retried by) whichever
 // dependent stage runs first, without touching independent stages.
-func buildStages(ctx context.Context, quick bool, scale float64, seed int64) []experiments.Stage {
+func buildStages(ctx context.Context, quick bool, scale float64, seed int64, embedWorkers int) []experiments.Stage {
 	var (
 		datasets    []experiments.LabelDataset
 		datasetsErr error
@@ -149,6 +155,7 @@ func buildStages(ctx context.Context, quick bool, scale float64, seed int64) []e
 
 	lcfg := experiments.DefaultLabelConfig()
 	lcfg.Seed = seed
+	lcfg.EmbedWorkers = embedWorkers
 	if quick {
 		lcfg.PerLabel = 40
 		lcfg.Repeats = 5
@@ -171,6 +178,7 @@ func buildStages(ctx context.Context, quick bool, scale float64, seed int64) []e
 			rcfg := experiments.DefaultRankConfig()
 			rcfg.Seed = seed
 			rcfg.Publication.Seed = seed
+			rcfg.EmbedWorkers = embedWorkers
 			if quick {
 				rcfg.Publication.Institutions = 40
 				rcfg.Publication.PapersPerConfYear = 20

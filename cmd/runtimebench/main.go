@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -18,9 +19,11 @@ import (
 
 func main() {
 	var (
-		scale = flag.Float64("scale", 0.25, "network scale factor in (0,1]")
-		full  = flag.Bool("full", false, "use the paper's protocol parameters")
-		seed  = flag.Int64("seed", 11, "experiment seed")
+		scale  = flag.Float64("scale", 0.25, "network scale factor in (0,1]")
+		full   = flag.Bool("full", false, "use the paper's protocol parameters")
+		seed   = flag.Int64("seed", 11, "experiment seed")
+		embedW = flag.Int("embed-workers", runtime.GOMAXPROCS(0),
+			"parallel workers for the embedding timings (1 = serial, as the paper measures)")
 	)
 	flag.Parse()
 
@@ -29,6 +32,7 @@ func main() {
 		cfg = experiments.FullLabelConfig()
 	}
 	cfg.Seed = *seed
+	cfg.EmbedWorkers = *embedW
 
 	datasets, err := experiments.LoadLabelDatasets(*scale, *seed)
 	if err != nil {

@@ -80,3 +80,13 @@ func (a *Alias) Sample(rng *rand.Rand) int {
 	}
 	return a.alias[i]
 }
+
+// sampleFast is Sample over the mutex-free per-worker generator the
+// Hogwild trainers use.
+func (a *Alias) sampleFast(r *frand) int {
+	i := r.Intn(len(a.prob))
+	if r.Float64() < a.prob[i] {
+		return i
+	}
+	return a.alias[i]
+}

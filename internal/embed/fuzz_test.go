@@ -1,0 +1,91 @@
+package embed
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"hsgf/internal/graph"
+)
+
+// fuzzGraph builds a small deterministic graph whose shape is driven by
+// the fuzzed shape byte: a path, a clique pair, a star, or a mix with
+// isolated nodes — the degenerate topologies walk sharding must handle.
+func fuzzGraph(shape byte) *graph.Graph {
+	b := graph.NewBuilderWithAlphabet(graph.MustAlphabet("n"))
+	n := 8 + int(shape%13)
+	ids := make([]graph.NodeID, n)
+	for i := range ids {
+		ids[i], _ = b.AddNode("n")
+	}
+	switch shape % 4 {
+	case 0: // path
+		for i := 0; i+1 < n; i++ {
+			b.AddEdge(ids[i], ids[i+1])
+		}
+	case 1: // two cliques with a bridge
+		half := n / 2
+		for i := 0; i < half; i++ {
+			for j := i + 1; j < half; j++ {
+				b.AddEdge(ids[i], ids[j])
+				b.AddEdge(ids[half+i%(n-half)], ids[half+j%(n-half)])
+			}
+		}
+		b.AddEdge(ids[0], ids[half])
+	case 2: // star plus isolated tail
+		for i := 1; i < n-2; i++ {
+			b.AddEdge(ids[0], ids[i])
+		}
+	default: // ring
+		for i := 0; i < n; i++ {
+			b.AddEdge(ids[i], ids[(i+1)%n])
+		}
+	}
+	return b.MustBuild()
+}
+
+// FuzzWalkShardDeterminism asserts the tentpole invariant of the
+// sharded walk generator over arbitrary configurations: the corpus is
+// byte-identical for every worker count, on every graph shape,
+// including the biased (node2vec) sampler.
+func FuzzWalkShardDeterminism(f *testing.F) {
+	f.Add(int64(1), byte(0), byte(3), byte(10), byte(2), false)
+	f.Add(int64(42), byte(1), byte(1), byte(80), byte(7), true)
+	f.Add(int64(-7), byte(2), byte(4), byte(1), byte(16), true)
+	f.Add(int64(99), byte(3), byte(2), byte(0), byte(3), false)
+	f.Fuzz(func(t *testing.T, seed int64, shape, walksPerNode, walkLen, workers byte, biased bool) {
+		g := fuzzGraph(shape)
+		cfg := WalkConfig{
+			WalksPerNode: int(walksPerNode % 5),
+			WalkLength:   int(walkLen % 33),
+			ReturnP:      1,
+			InOutQ:       1,
+		}
+		if biased {
+			cfg.ReturnP, cfg.InOutQ = 0.5, 2
+		}
+		gen := func(w int) [][]graph.NodeID {
+			c := cfg
+			c.Workers = w
+			walks, err := BiasedWalks(context.Background(), g, c, rand.New(rand.NewSource(seed)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return walks
+		}
+		ref := gen(1)
+		if len(ref) != g.NumNodes()*cfg.WalksPerNode {
+			t.Fatalf("corpus size %d, want %d", len(ref), g.NumNodes()*cfg.WalksPerNode)
+		}
+		for _, w := range ref {
+			for i := 1; i < len(w); i++ {
+				if !g.HasEdge(w[i-1], w[i]) {
+					t.Fatal("walk traverses a non-edge")
+				}
+			}
+		}
+		if !corporaEqual(ref, gen(2+int(workers%7))) {
+			t.Fatalf("corpus differs across worker counts (workers=%d)", 2+int(workers%7))
+		}
+	})
+}

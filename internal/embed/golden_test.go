@@ -1,0 +1,306 @@
+package embed
+
+// This file pins the Workers<=1 trainers to the pre-parallel
+// implementation: goldenTrainSGNS and goldenLINE below are verbatim
+// copies of the serial trainers as they existed before the flat-matrix
+// Hogwild rewrite (row-pointer [][]float64 matrices, per-call math.Exp
+// sigma with the historical double-Exp in the z < -8 branch). The
+// rewrite must be a pure representation change for serial training, so
+// the outputs are compared for exact bitwise equality, not tolerance.
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"hsgf/internal/graph"
+)
+
+func goldenSigma(z float64) float64 {
+	if z > 8 {
+		return 1
+	}
+	if z < -8 {
+		return math.Exp(z) / (1 + math.Exp(z))
+	}
+	return 1 / (1 + math.Exp(-z))
+}
+
+func goldenMakeInit(n, dim int, rng *rand.Rand) [][]float64 {
+	vecs := make([][]float64, n)
+	for i := range vecs {
+		v := make([]float64, dim)
+		for d := range v {
+			v[d] = (rng.Float64() - 0.5) / float64(dim)
+		}
+		vecs[i] = v
+	}
+	return vecs
+}
+
+func goldenTrainSGNS(ctx context.Context, g *graph.Graph, walks [][]graph.NodeID, cfg SGNSConfig, rng *rand.Rand) ([][]float64, error) {
+	cfg.normalize()
+	n := g.NumNodes()
+	dim := cfg.Dim
+
+	freq := make([]float64, n)
+	for _, walk := range walks {
+		for _, v := range walk {
+			freq[v]++
+		}
+	}
+	for i := range freq {
+		freq[i] = math.Pow(freq[i], 0.75)
+	}
+	neg, err := NewAlias(freq)
+	if err != nil {
+		return goldenMakeInit(n, dim, rng), nil
+	}
+
+	in := goldenMakeInit(n, dim, rng)
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, dim)
+	}
+
+	totalSteps := cfg.Epochs * len(walks)
+	step := 0
+	gradIn := make([]float64, dim)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		for wi, walk := range walks {
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			default:
+			}
+			lr := cfg.LR * (1 - float64(step)/float64(totalSteps+1))
+			if lr < cfg.LR*0.0001 {
+				lr = cfg.LR * 0.0001
+			}
+			step++
+			for i, center := range walk {
+				lo := i - cfg.Window
+				if lo < 0 {
+					lo = 0
+				}
+				hi := i + cfg.Window
+				if hi >= len(walk) {
+					hi = len(walk) - 1
+				}
+				vin := in[center]
+				for j := lo; j <= hi; j++ {
+					if j == i {
+						continue
+					}
+					ctxNode := walk[j]
+					for d := range gradIn {
+						gradIn[d] = 0
+					}
+					vout := out[ctxNode]
+					score := goldenSigma(dotv(vin, vout))
+					gpos := lr * (1 - score)
+					for d := 0; d < dim; d++ {
+						gradIn[d] += gpos * vout[d]
+						vout[d] += gpos * vin[d]
+					}
+					for k := 0; k < cfg.Negatives; k++ {
+						nn := neg.Sample(rng)
+						if graph.NodeID(nn) == ctxNode {
+							continue
+						}
+						vneg := out[nn]
+						score := goldenSigma(dotv(vin, vneg))
+						gneg := -lr * score
+						for d := 0; d < dim; d++ {
+							gradIn[d] += gneg * vneg[d]
+							vneg[d] += gneg * vin[d]
+						}
+					}
+					for d := 0; d < dim; d++ {
+						vin[d] += gradIn[d]
+					}
+				}
+			}
+			for _, v := range walk {
+				if !finite(in[v]) {
+					return nil, &DivergenceError{Algo: "sgns", Epoch: epoch, Step: wi}
+				}
+			}
+		}
+	}
+	return in, nil
+}
+
+func goldenLINE(ctx context.Context, g *graph.Graph, cfg LINEConfig, rng *rand.Rand) ([][]float64, error) {
+	cfg.normalize(g.NumEdges())
+	n := g.NumNodes()
+	first, err := goldenTrainLINEOrder(ctx, g, cfg, 1, rng)
+	if err != nil {
+		return nil, err
+	}
+	second, err := goldenTrainLINEOrder(ctx, g, cfg, 2, rng)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]float64, n)
+	for v := 0; v < n; v++ {
+		vec := make([]float64, 0, 2*cfg.Dim)
+		vec = append(vec, first[v]...)
+		vec = append(vec, second[v]...)
+		out[v] = vec
+	}
+	return out, nil
+}
+
+func goldenTrainLINEOrder(ctx context.Context, g *graph.Graph, cfg LINEConfig, order int, rng *rand.Rand) ([][]float64, error) {
+	n := g.NumNodes()
+	dim := cfg.Dim
+	vertex := goldenMakeInit(n, dim, rng)
+	var context [][]float64
+	if order == 2 {
+		context = make([][]float64, n)
+		for i := range context {
+			context[i] = make([]float64, dim)
+		}
+	}
+
+	m := g.NumEdges()
+	if m == 0 {
+		return vertex, nil
+	}
+	degW := make([]float64, n)
+	for v := 0; v < n; v++ {
+		degW[v] = math.Pow(float64(g.Degree(graph.NodeID(v))), 0.75)
+	}
+	neg, err := NewAlias(degW)
+	if err != nil {
+		return vertex, nil
+	}
+
+	grad := make([]float64, dim)
+	for s := 0; s < cfg.Samples; s++ {
+		if s&(linePollInterval-1) == 0 {
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			default:
+			}
+		}
+		lr := cfg.LR * (1 - float64(s)/float64(cfg.Samples+1))
+		if lr < cfg.LR*0.0001 {
+			lr = cfg.LR * 0.0001
+		}
+		e := graph.EdgeID(rng.Intn(m))
+		u, v := g.EdgeEndpoints(e)
+		if rng.Intn(2) == 0 {
+			u, v = v, u
+		}
+		src := vertex[u]
+		for d := range grad {
+			grad[d] = 0
+		}
+		for k := 0; k <= cfg.Negatives; k++ {
+			var target int
+			var label float64
+			if k == 0 {
+				target = int(v)
+				label = 1
+			} else {
+				target = neg.Sample(rng)
+				if target == int(v) {
+					continue
+				}
+				label = 0
+			}
+			var tvec []float64
+			if order == 2 {
+				tvec = context[target]
+			} else {
+				tvec = vertex[target]
+			}
+			score := goldenSigma(dotv(src, tvec))
+			gcoef := lr * (label - score)
+			for d := 0; d < dim; d++ {
+				grad[d] += gcoef * tvec[d]
+				tvec[d] += gcoef * src[d]
+			}
+		}
+		for d := 0; d < dim; d++ {
+			src[d] += grad[d]
+		}
+		if s&(lineGuardInterval-1) == 0 && !finite(src) {
+			return nil, &DivergenceError{Algo: "line", Epoch: order, Step: s}
+		}
+	}
+	return vertex, nil
+}
+
+// requireBitwiseEqual fails unless both embeddings agree on every bit.
+func requireBitwiseEqual(t *testing.T, got, want [][]float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("row count %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("row %d length %d, want %d", i, len(got[i]), len(want[i]))
+		}
+		for d := range want[i] {
+			if math.Float64bits(got[i][d]) != math.Float64bits(want[i][d]) {
+				t.Fatalf("row %d dim %d: got %x want %x", i, d,
+					math.Float64bits(got[i][d]), math.Float64bits(want[i][d]))
+			}
+		}
+	}
+}
+
+func TestTrainSGNSSerialMatchesGolden(t *testing.T) {
+	g, _, _ := twoClusters(7)
+	walks, err := UniformWalks(context.Background(), g,
+		WalkConfig{WalksPerNode: 4, WalkLength: 15, Workers: 2}, rand.New(rand.NewSource(21)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 1} {
+		cfg := SGNSConfig{Dim: 12, Window: 4, Negatives: 3, Epochs: 2, Workers: workers}
+		got, err := TrainSGNS(context.Background(), g, walks, cfg, rand.New(rand.NewSource(33)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := goldenTrainSGNS(context.Background(), g, walks, cfg, rand.New(rand.NewSource(33)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireBitwiseEqual(t, got, want)
+	}
+}
+
+func TestTrainSGNSDegenerateCorpusMatchesGolden(t *testing.T) {
+	g, _, _ := twoClusters(4)
+	got, err := TrainSGNS(context.Background(), g, nil, SGNSConfig{Dim: 6}, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := goldenTrainSGNS(context.Background(), g, nil, SGNSConfig{Dim: 6}, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireBitwiseEqual(t, got, want)
+}
+
+func TestLINESerialMatchesGolden(t *testing.T) {
+	g, _, _ := twoClusters(7)
+	for _, workers := range []int{0, 1} {
+		cfg := LINEConfig{Dim: 10, Negatives: 3, Samples: 6000, Workers: workers}
+		got, err := LINE(context.Background(), g, cfg, rand.New(rand.NewSource(44)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := goldenLINE(context.Background(), g, cfg, rand.New(rand.NewSource(44)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireBitwiseEqual(t, got, want)
+	}
+}

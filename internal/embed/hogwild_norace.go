@@ -1,0 +1,20 @@
+//go:build !race
+
+package embed
+
+// Hogwild training (Recht et al., NIPS 2011) updates the shared
+// embedding matrices from many goroutines with NO synchronisation: the
+// occasional lost update is statistically harmless for SGD over sparse
+// gradients, and any locking would serialise the hot loop. Those racy
+// float64 reads and writes are *sanctioned*, so the inner loops access
+// matrix elements exclusively through hogLoad/hogStore. In normal
+// builds (this file) they compile to plain loads and stores and inline
+// to nothing. Under -race the sibling file hogwild_race.go swaps in
+// atomic accesses, which the race detector treats as synchronised —
+// the detector then checks everything around the Hogwild matrices
+// (dispatch, error propagation, worker lifecycle) without drowning in
+// reports about the one data race we chose on purpose.
+
+func hogLoad(p *float64) float64 { return *p }
+
+func hogStore(p *float64, v float64) { *p = v }

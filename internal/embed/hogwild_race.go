@@ -1,0 +1,26 @@
+//go:build race
+
+package embed
+
+import (
+	"math"
+	"sync/atomic"
+	"unsafe"
+)
+
+// Race-build implementations of the sanctioned Hogwild matrix accessors
+// (see hogwild_norace.go for the full rationale). Routing the
+// intentionally-unsynchronised float64 traffic through 64-bit atomics
+// makes the race detector treat it as synchronised, so `go test -race`
+// exercises the parallel trainers end to end and still catches real
+// races in the scaffolding around the matrices. The unsafe cast is
+// sound: float64 and uint64 share size and alignment, and slice
+// elements of 8-byte types are 8-byte aligned.
+
+func hogLoad(p *float64) float64 {
+	return math.Float64frombits(atomic.LoadUint64((*uint64)(unsafe.Pointer(p))))
+}
+
+func hogStore(p *float64, v float64) {
+	atomic.StoreUint64((*uint64)(unsafe.Pointer(p)), math.Float64bits(v))
+}

@@ -4,6 +4,8 @@ import (
 	"context"
 	"math"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 
 	"hsgf/internal/graph"
 )
@@ -14,6 +16,12 @@ type LINEConfig struct {
 	Negatives int     // negative samples per edge, paper default 5
 	Samples   int     // edge samples per order; default 100 × |E|
 	LR        float64 // initial learning rate, default 0.025
+
+	// Workers is the number of Hogwild training goroutines. Values <= 1
+	// run the exact serial trainer (bitwise-identical to the original
+	// implementation under a fixed rng); values > 1 partition the edge
+	// samples across goroutines doing unsynchronised gradient updates.
+	Workers int
 }
 
 // DefaultLINEConfig returns defaults matching the reference
@@ -41,7 +49,9 @@ func (c *LINEConfig) normalize(edges int) {
 // linePollInterval is how many edge samples pass between cooperative
 // cancellation checks; lineGuardInterval is how many pass between
 // divergence scans of the last-updated source vector. Both are powers of
-// two so the hot loop tests them with a mask.
+// two so the hot loop tests them with a mask. The parallel trainer uses
+// linePollInterval as its dispatch chunk, so cancellation latency stays
+// bounded by Workers·linePollInterval samples.
 const (
 	linePollInterval  = 512
 	lineGuardInterval = 64
@@ -52,11 +62,14 @@ const (
 // neighbourhoods embed closely, via separate context vectors), each
 // trained by edge sampling with negative sampling; the two halves are
 // concatenated into the final representation, as the paper prescribes.
+// The returned rows are views into one flat backing array.
 //
-// Cancellation is honoured every linePollInterval edge samples and
-// returns ctx.Err(). Gradient updates are guarded against divergence: a
-// non-finite embedding value (learning-rate blowup) stops training with
-// a *DivergenceError whose Epoch field carries the proximity order.
+// With cfg.Workers > 1 each order's edge samples are partitioned across
+// Hogwild goroutines (see LINEConfig.Workers). Cancellation is honoured
+// every linePollInterval edge samples and returns ctx.Err(). Gradient
+// updates are guarded against divergence: a non-finite embedding value
+// (learning-rate blowup) stops training with a *DivergenceError whose
+// Epoch field carries the proximity order.
 func LINE(ctx context.Context, g *graph.Graph, cfg LINEConfig, rng *rand.Rand) ([][]float64, error) {
 	cfg.normalize(g.NumEdges())
 	n := g.NumNodes()
@@ -68,29 +81,25 @@ func LINE(ctx context.Context, g *graph.Graph, cfg LINEConfig, rng *rand.Rand) (
 	if err != nil {
 		return nil, err
 	}
-	out := make([][]float64, n)
+	dim := cfg.Dim
+	out := make([]float64, n*2*dim)
 	for v := 0; v < n; v++ {
-		vec := make([]float64, 0, 2*cfg.Dim)
-		vec = append(vec, first[v]...)
-		vec = append(vec, second[v]...)
-		out[v] = vec
+		copy(out[v*2*dim:], first[v*dim:(v+1)*dim])
+		copy(out[v*2*dim+dim:], second[v*dim:(v+1)*dim])
 	}
-	return out, nil
+	return rowsOf(out, n, 2*dim), nil
 }
 
-// trainLINEOrder trains one proximity order. Edges are sampled uniformly
-// (the network is unweighted); negatives come from the degree^0.75
-// distribution.
-func trainLINEOrder(ctx context.Context, g *graph.Graph, cfg LINEConfig, order int, rng *rand.Rand) ([][]float64, error) {
+// trainLINEOrder trains one proximity order over flat matrices. Edges
+// are sampled uniformly (the network is unweighted); negatives come
+// from the degree^0.75 distribution.
+func trainLINEOrder(ctx context.Context, g *graph.Graph, cfg LINEConfig, order int, rng *rand.Rand) ([]float64, error) {
 	n := g.NumNodes()
 	dim := cfg.Dim
-	vertex := makeInit(n, dim, rng)
-	var context [][]float64
+	vertex := makeInitFlat(n, dim, rng)
+	var context []float64
 	if order == 2 {
-		context = make([][]float64, n)
-		for i := range context {
-			context[i] = make([]float64, dim)
-		}
+		context = make([]float64, n*dim)
 	}
 
 	m := g.NumEdges()
@@ -106,6 +115,15 @@ func trainLINEOrder(ctx context.Context, g *graph.Graph, cfg LINEConfig, order i
 		return vertex, nil
 	}
 
+	if cfg.Workers > 1 {
+		if err := trainLINEOrderParallel(ctx, g, cfg, order, vertex, context, neg, rng); err != nil {
+			return nil, err
+		}
+		return vertex, nil
+	}
+
+	// Serial path: the exact original trainer (bit-for-bit, pinned by
+	// the golden test in golden_test.go).
 	grad := make([]float64, dim)
 	for s := 0; s < cfg.Samples; s++ {
 		if s&(linePollInterval-1) == 0 {
@@ -124,7 +142,7 @@ func trainLINEOrder(ctx context.Context, g *graph.Graph, cfg LINEConfig, order i
 		if rng.Intn(2) == 0 {
 			u, v = v, u // undirected: train both directions
 		}
-		src := vertex[u]
+		src := vertex[int(u)*dim : (int(u)+1)*dim]
 		for d := range grad {
 			grad[d] = 0
 		}
@@ -144,9 +162,9 @@ func trainLINEOrder(ctx context.Context, g *graph.Graph, cfg LINEConfig, order i
 			}
 			var tvec []float64
 			if order == 2 {
-				tvec = context[target]
+				tvec = context[target*dim : (target+1)*dim]
 			} else {
-				tvec = vertex[target]
+				tvec = vertex[target*dim : (target+1)*dim]
 			}
 			score := sigma(dotv(src, tvec))
 			gcoef := lr * (label - score)
@@ -166,4 +184,97 @@ func trainLINEOrder(ctx context.Context, g *graph.Graph, cfg LINEConfig, order i
 		}
 	}
 	return vertex, nil
+}
+
+// trainLINEOrderParallel partitions cfg.Samples across cfg.Workers
+// Hogwild goroutines. Samples are claimed in linePollInterval-sized
+// chunks by atomic counter (which also bounds cancellation latency);
+// each worker owns a cheap xoshiro RNG, matrix traffic goes through the
+// sanctioned hogLoad/hogStore, and the learning rate decays on the
+// globally-claimed sample index, approximating the serial schedule.
+func trainLINEOrderParallel(ctx context.Context, g *graph.Graph, cfg LINEConfig, order int, vertex, context []float64, neg *Alias, rng *rand.Rand) error {
+	dim := cfg.Dim
+	m := g.NumEdges()
+	base := rng.Uint64()
+	var next atomic.Int64
+	var fails trainFail
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(wid int) {
+			defer wg.Done()
+			var r frand
+			r.seed(deriveSeed(base, order*cfg.Workers+wid))
+			grad := make([]float64, dim)
+			for {
+				lo := int(next.Add(linePollInterval)) - linePollInterval
+				if lo >= cfg.Samples || fails.stop.Load() {
+					return
+				}
+				select {
+				case <-ctx.Done():
+					fails.fail(ctx.Err())
+					return
+				default:
+				}
+				hi := lo + linePollInterval
+				if hi > cfg.Samples {
+					hi = cfg.Samples
+				}
+				for s := lo; s < hi; s++ {
+					lr := cfg.LR * (1 - float64(s)/float64(cfg.Samples+1))
+					if lr < cfg.LR*0.0001 {
+						lr = cfg.LR * 0.0001
+					}
+					e := graph.EdgeID(r.Intn(m))
+					u, v := g.EdgeEndpoints(e)
+					if r.Intn(2) == 0 {
+						u, v = v, u // undirected: train both directions
+					}
+					sb := int(u) * dim
+					for d := range grad {
+						grad[d] = 0
+					}
+					for k := 0; k <= cfg.Negatives; k++ {
+						var target int
+						var label float64
+						if k == 0 {
+							target = int(v)
+							label = 1
+						} else {
+							target = neg.sampleFast(&r)
+							if target == int(v) {
+								continue
+							}
+							label = 0
+						}
+						tvec := vertex
+						if order == 2 {
+							tvec = context
+						}
+						tb := target * dim
+						var dot float64
+						for d := 0; d < dim; d++ {
+							dot += hogLoad(&vertex[sb+d]) * hogLoad(&tvec[tb+d])
+						}
+						gcoef := lr * (label - sigmaLUT(dot))
+						for d := 0; d < dim; d++ {
+							tv := hogLoad(&tvec[tb+d])
+							grad[d] += gcoef * tv
+							hogStore(&tvec[tb+d], tv+gcoef*hogLoad(&vertex[sb+d]))
+						}
+					}
+					for d := 0; d < dim; d++ {
+						hogStore(&vertex[sb+d], hogLoad(&vertex[sb+d])+grad[d])
+					}
+					if s&(lineGuardInterval-1) == 0 && !finiteShared(vertex[sb:sb+dim]) {
+						fails.fail(&DivergenceError{Algo: "line", Epoch: order, Step: s})
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return fails.err
 }

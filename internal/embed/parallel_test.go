@@ -1,0 +1,305 @@
+package embed
+
+// Tests for the sharded walk generator and the Hogwild trainers: corpus
+// determinism across worker counts, sanctioned-race training under
+// -race, downstream embedding quality at Workers>1, cancellation
+// latency, divergence detection, and the allocation discipline of the
+// arena-backed walk corpus.
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"hsgf/internal/graph"
+)
+
+func corporaEqual(a, b [][]graph.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestWalkCorpusIdenticalAcrossWorkers(t *testing.T) {
+	g, _, _ := twoClusters(9)
+	for _, tc := range []struct {
+		name string
+		p, q float64
+	}{
+		{"uniform", 1, 1},
+		{"biased", 0.5, 2},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			gen := func(workers int) [][]graph.NodeID {
+				cfg := WalkConfig{WalksPerNode: 4, WalkLength: 12, ReturnP: tc.p, InOutQ: tc.q, Workers: workers}
+				walks, err := BiasedWalks(context.Background(), g, cfg, rand.New(rand.NewSource(17)))
+				if err != nil {
+					t.Fatal(err)
+				}
+				return walks
+			}
+			ref := gen(1)
+			if len(ref) != g.NumNodes()*4 {
+				t.Fatalf("corpus size %d, want %d", len(ref), g.NumNodes()*4)
+			}
+			for _, workers := range []int{2, 3, 8} {
+				if !corporaEqual(ref, gen(workers)) {
+					t.Fatalf("corpus differs between Workers=1 and Workers=%d", workers)
+				}
+			}
+		})
+	}
+}
+
+func TestWalkCorpusIndependentOfCallerRNGState(t *testing.T) {
+	// The corpus must depend on the caller rng only through the one base
+	// seed drawn up front: a second draw from the same rng afterwards
+	// sees the same stream position regardless of worker count.
+	g, _, _ := twoClusters(5)
+	after := func(workers int) int64 {
+		rng := rand.New(rand.NewSource(3))
+		_, err := UniformWalks(context.Background(), g,
+			WalkConfig{WalksPerNode: 2, WalkLength: 8, Workers: workers}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rng.Int63()
+	}
+	if after(1) != after(4) {
+		t.Fatal("walk generation consumed a worker-count-dependent amount of caller rng state")
+	}
+}
+
+// hogwildTrain trains DeepWalk embeddings with the given worker count on
+// the two-cluster graph and returns the vectors plus the cluster node
+// sets.
+func hogwildTrain(t *testing.T, workers int, seed int64) ([][]float64, []graph.NodeID, []graph.NodeID) {
+	t.Helper()
+	g, a, c := twoClusters(8)
+	vecs, err := DeepWalk(context.Background(), g,
+		WalkConfig{WalksPerNode: 10, WalkLength: 20, Workers: workers},
+		SGNSConfig{Dim: 16, Window: 4, Negatives: 5, Epochs: 3, Workers: workers},
+		rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vecs, a, c
+}
+
+// TestHogwildSGNSParallelTrains exercises the full Hogwild SGNS path
+// with several workers — under `go test -race` this drives the
+// sanctioned unsynchronised matrix traffic through the race-build
+// atomic accessors while the detector checks the scaffolding around it.
+func TestHogwildSGNSParallelTrains(t *testing.T) {
+	vecs, a, c := hogwildTrain(t, 4, 51)
+	for i, v := range vecs {
+		if !finite(v) {
+			t.Fatalf("non-finite embedding row %d", i)
+		}
+	}
+	embeddingSeparates(t, vecs, a, c)
+}
+
+func TestHogwildLINEParallelTrains(t *testing.T) {
+	g, a, c := twoClusters(8)
+	vecs, err := LINE(context.Background(), g,
+		LINEConfig{Dim: 8, Negatives: 5, Samples: 40000, Workers: 4}, rand.New(rand.NewSource(52)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vecs {
+		if !finite(v) {
+			t.Fatalf("non-finite embedding row %d", i)
+		}
+	}
+	embeddingSeparates(t, vecs, a, c)
+}
+
+// centroidAccuracy scores nearest-centroid classification of the two
+// clusters: centroids from the first half of each cluster, accuracy on
+// the second half. A usable embedding scores ~1.0.
+func centroidAccuracy(vecs [][]float64, a, c []graph.NodeID) float64 {
+	dim := len(vecs[0])
+	centroid := func(nodes []graph.NodeID) []float64 {
+		m := make([]float64, dim)
+		for _, v := range nodes {
+			for d, x := range vecs[v] {
+				m[d] += x
+			}
+		}
+		for d := range m {
+			m[d] /= float64(len(nodes))
+		}
+		return m
+	}
+	ca := centroid(a[:len(a)/2])
+	cc := centroid(c[:len(c)/2])
+	dist := func(x, y []float64) float64 {
+		var s float64
+		for d := range x {
+			s += (x[d] - y[d]) * (x[d] - y[d])
+		}
+		return s
+	}
+	correct, total := 0, 0
+	for _, v := range a[len(a)/2:] {
+		if dist(vecs[v], ca) < dist(vecs[v], cc) {
+			correct++
+		}
+		total++
+	}
+	for _, v := range c[len(c)/2:] {
+		if dist(vecs[v], cc) < dist(vecs[v], ca) {
+			correct++
+		}
+		total++
+	}
+	return float64(correct) / float64(total)
+}
+
+// TestParallelEmbeddingQualityWithinTolerance is the downstream-quality
+// guard: Hogwild nondeterminism may perturb individual coordinates, but
+// on a label-prediction-style task the parallel embedding must match
+// the serial one within tolerance.
+func TestParallelEmbeddingQualityWithinTolerance(t *testing.T) {
+	serial, a, c := hogwildTrain(t, 1, 53)
+	parallel, _, _ := hogwildTrain(t, 4, 53)
+	accS := centroidAccuracy(serial, a, c)
+	accP := centroidAccuracy(parallel, a, c)
+	if accS < 0.95 {
+		t.Fatalf("serial baseline accuracy %.2f too low for the tolerance check", accS)
+	}
+	if accP < accS-0.15 {
+		t.Errorf("parallel accuracy %.2f more than 0.15 below serial %.2f", accP, accS)
+	}
+}
+
+func TestParallelTrainingHonoursCancellation(t *testing.T) {
+	g, _, _ := twoClusters(8)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	walks, err := UniformWalks(context.Background(), g, WalkConfig{WalksPerNode: 3, WalkLength: 10}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := TrainSGNS(ctx, g, walks, SGNSConfig{Dim: 8, Window: 3, Negatives: 2, Workers: 4}, rand.New(rand.NewSource(2))); !errors.Is(err, context.Canceled) {
+		t.Errorf("parallel TrainSGNS: want context.Canceled, got %v", err)
+	}
+	if _, err := LINE(ctx, g, LINEConfig{Dim: 8, Negatives: 2, Samples: 10000, Workers: 4}, rand.New(rand.NewSource(3))); !errors.Is(err, context.Canceled) {
+		t.Errorf("parallel LINE: want context.Canceled, got %v", err)
+	}
+}
+
+// TestWalkCancellationLatencyBounded verifies the per-chunk poll keeps
+// cancellation responsive: a cancel arriving mid-generation must stop a
+// corpus that would otherwise take much longer than the latency bound.
+func TestWalkCancellationLatencyBounded(t *testing.T) {
+	g, _, _ := twoClusters(30)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		// A deliberately huge corpus: ~1.8M walks of length 100.
+		_, err := UniformWalks(ctx, g, WalkConfig{WalksPerNode: 30000, WalkLength: 100, Workers: 2}, rand.New(rand.NewSource(9)))
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	start := time.Now()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("want context.Canceled, got %v", err)
+		}
+		if d := time.Since(start); d > 2*time.Second {
+			t.Errorf("cancellation took %v, want bounded well under 2s", d)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("walk generation did not stop within 10s of cancellation")
+	}
+}
+
+func TestParallelSGNSDivergesOnAbsurdLR(t *testing.T) {
+	g, _, _ := twoClusters(6)
+	walks, err := UniformWalks(context.Background(), g, WalkConfig{WalksPerNode: 4, WalkLength: 15}, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = TrainSGNS(context.Background(), g, walks,
+		SGNSConfig{Dim: 8, Window: 4, Negatives: 5, Epochs: 2, LR: 1e154, Workers: 4}, rand.New(rand.NewSource(5)))
+	var div *DivergenceError
+	if !errors.As(err, &div) {
+		t.Fatalf("want DivergenceError, got %v", err)
+	}
+	if div.Algo != "sgns" {
+		t.Errorf("Algo = %q, want sgns", div.Algo)
+	}
+}
+
+func TestParallelLINEDivergesOnAbsurdLR(t *testing.T) {
+	g, _, _ := twoClusters(6)
+	_, err := LINE(context.Background(), g,
+		LINEConfig{Dim: 8, Negatives: 5, Samples: 20000, LR: 1e154, Workers: 4}, rand.New(rand.NewSource(6)))
+	var div *DivergenceError
+	if !errors.As(err, &div) {
+		t.Fatalf("want DivergenceError, got %v", err)
+	}
+	if div.Algo != "line" {
+		t.Errorf("Algo = %q, want line", div.Algo)
+	}
+	if div.Epoch != 1 && div.Epoch != 2 {
+		t.Errorf("Epoch (proximity order) = %d, want 1 or 2", div.Epoch)
+	}
+}
+
+// TestWalkAllocationsAmortised pins the arena design: allocations must
+// scale with the number of dispatch chunks, not the number of walks.
+func TestWalkAllocationsAmortised(t *testing.T) {
+	g, _, _ := twoClusters(50) // 100 nodes
+	cfg := WalkConfig{WalksPerNode: 20, WalkLength: 30, Workers: 1}
+	rng := rand.New(rand.NewSource(14))
+	total := g.NumNodes() * cfg.WalksPerNode // 2000 walks
+	allocs := testing.AllocsPerRun(5, func() {
+		if _, err := UniformWalks(context.Background(), g, cfg, rng); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// One corpus slice + one arena per 256-walk chunk (8) + small
+	// constant overhead. The old implementation paid one allocation per
+	// walk (2000+).
+	chunks := (total + walkChunk - 1) / walkChunk
+	if limit := float64(2*chunks + 8); allocs > limit {
+		t.Errorf("UniformWalks did %.0f allocs for %d walks, want <= %.0f (arena regression)", allocs, total, limit)
+	}
+}
+
+// TestSigmaLUTApproximatesSigma bounds the quantisation error of the
+// table-lookup sigmoid the Hogwild paths use.
+func TestSigmaLUTApproximatesSigma(t *testing.T) {
+	for z := -12.0; z <= 12.0; z += 0.001 {
+		exact := sigma(z)
+		lut := sigmaLUT(z)
+		if diff := lut - exact; diff > 5e-4 || diff < -5e-4 {
+			t.Fatalf("sigmaLUT(%v) = %v, exact %v (|diff| > 5e-4)", z, lut, exact)
+		}
+	}
+	if sigmaLUT(100) != 1 {
+		t.Error("sigmaLUT must saturate to 1")
+	}
+	if v := sigmaLUT(-100); v < 0 || v > 1e-3 {
+		t.Errorf("sigmaLUT(-100) = %v, want tiny non-negative", v)
+	}
+}

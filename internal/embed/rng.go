@@ -1,0 +1,82 @@
+package embed
+
+import "math/bits"
+
+// This file provides the cheap per-worker random sources the parallel
+// walk generator and Hogwild trainers use instead of a shared, mutex-
+// guarded *rand.Rand: splitmix64 for seed derivation (one multiply-xor
+// chain per derived stream, so seeds that differ in one bit yield
+// uncorrelated streams) and xoshiro256++ for the streams themselves.
+// Both are the reference algorithms of Blackman & Vigna; neither is
+// cryptographic, which is fine — they drive Monte-Carlo sampling, not
+// secrets.
+
+// golden64 is 2^64/φ, the Weyl-sequence increment splitmix64 uses.
+const golden64 = 0x9e3779b97f4a7c15
+
+// mix64 is the splitmix64 finaliser: a bijective avalanche mix.
+func mix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// deriveSeed maps (base, idx) to a stream seed. Consecutive indices land
+// on distant points of the splitmix64 Weyl sequence, so per-walk and
+// per-worker streams are statistically independent.
+func deriveSeed(base uint64, idx int) uint64 {
+	return mix64(base + (uint64(idx)+1)*golden64)
+}
+
+// frand is a xoshiro256++ generator. The zero value is invalid; call
+// seed before use. It is not safe for concurrent use — every worker
+// owns one.
+type frand struct {
+	s0, s1, s2, s3 uint64
+}
+
+// seed initialises the state from one 64-bit seed via splitmix64, as
+// the xoshiro authors prescribe (guarantees a non-zero state).
+func (r *frand) seed(s uint64) {
+	z := s
+	z += golden64
+	r.s0 = mix64(z)
+	z += golden64
+	r.s1 = mix64(z)
+	z += golden64
+	r.s2 = mix64(z)
+	z += golden64
+	r.s3 = mix64(z)
+	if r.s0|r.s1|r.s2|r.s3 == 0 {
+		r.s0 = golden64
+	}
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *frand) Uint64() uint64 {
+	res := bits.RotateLeft64(r.s0+r.s3, 23) + r.s0
+	t := r.s1 << 17
+	r.s2 ^= r.s0
+	r.s3 ^= r.s1
+	r.s1 ^= r.s2
+	r.s0 ^= r.s3
+	r.s2 ^= t
+	r.s3 = bits.RotateLeft64(r.s3, 45)
+	return res
+}
+
+// Intn returns a uniform int in [0, n) by Lemire's multiply-shift
+// reduction. The modulo bias is below n/2^64 — immaterial for sampling
+// neighbours and edges.
+func (r *frand) Intn(n int) int {
+	hi, _ := bits.Mul64(r.Uint64(), uint64(n))
+	return int(hi)
+}
+
+// Float64 returns a uniform float64 in [0, 1) with 53 random bits.
+func (r *frand) Float64() float64 {
+	return float64(r.Uint64()>>11) * (1.0 / (1 << 53))
+}

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 
 	"hsgf/internal/graph"
 )
@@ -17,6 +19,15 @@ type SGNSConfig struct {
 	Negatives int     // negative samples K, paper default 5
 	Epochs    int     // passes over the corpus, default 1
 	LR        float64 // initial learning rate, default 0.025
+
+	// Workers is the number of Hogwild training goroutines. Values <= 1
+	// run the exact serial trainer, whose output is bitwise-identical
+	// to the original implementation under a fixed rng. Values > 1
+	// partition the corpus across goroutines doing unsynchronised
+	// gradient updates on the shared matrices (Recht et al.; the
+	// word2vec training regime), which is nondeterministic but
+	// statistically equivalent.
+	Workers int
 }
 
 // DefaultSGNSConfig returns the paper's recommended parameters
@@ -64,17 +75,6 @@ func (e *DivergenceError) Error() string {
 		e.Algo, e.Epoch, e.Step)
 }
 
-// sigma is the logistic function with clamping for numerical stability.
-func sigma(z float64) float64 {
-	if z > 8 {
-		return 1
-	}
-	if z < -8 {
-		return math.Exp(z) / (1 + math.Exp(z))
-	}
-	return 1 / (1 + math.Exp(-z))
-}
-
 // finite reports whether every component of v is a finite float.
 func finite(v []float64) bool {
 	for _, x := range v {
@@ -86,16 +86,47 @@ func finite(v []float64) bool {
 	return true
 }
 
+// finiteShared is finite over a row of a matrix that Hogwild workers
+// are concurrently updating; accesses go through the sanctioned
+// hogLoad so -race builds treat them as synchronised.
+func finiteShared(v []float64) bool {
+	for i := range v {
+		if x := hogLoad(&v[i]); x-x != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// trainFail collects the first error from a set of training workers and
+// flips the shared stop flag the hot loops poll.
+type trainFail struct {
+	stop atomic.Bool
+	mu   sync.Mutex
+	err  error
+}
+
+func (f *trainFail) fail(err error) {
+	f.mu.Lock()
+	if f.err == nil {
+		f.err = err
+	}
+	f.mu.Unlock()
+	f.stop.Store(true)
+}
+
 // TrainSGNS learns node embeddings from a walk corpus by skip-gram with
 // negative sampling. Negative nodes are drawn from the corpus unigram
 // distribution raised to the 3/4 power, as in word2vec. Returns one
-// Dim-vector per node of g.
+// Dim-vector per node of g; the rows are views into one flat backing
+// array (cache-friendly, two allocations instead of n+1).
 //
-// The epoch loop is cooperative: ctx cancellation is honoured between
-// walks and returns ctx.Err(). Gradient updates are guarded against
-// divergence — if an embedding vector turns non-finite (learning-rate
-// blowup), training stops with a *DivergenceError naming the epoch
-// rather than silently corrupting the matrix.
+// With cfg.Workers > 1 the corpus is partitioned across Hogwild
+// goroutines (see SGNSConfig.Workers). Both paths honour ctx
+// cancellation and guard against divergence — if an embedding vector
+// turns non-finite (learning-rate blowup), training stops with a
+// *DivergenceError naming the epoch rather than silently corrupting
+// the matrix.
 func TrainSGNS(ctx context.Context, g *graph.Graph, walks [][]graph.NodeID, cfg SGNSConfig, rng *rand.Rand) ([][]float64, error) {
 	cfg.normalize()
 	n := g.NumNodes()
@@ -118,12 +149,26 @@ func TrainSGNS(ctx context.Context, g *graph.Graph, walks [][]graph.NodeID, cfg 
 		return makeInit(n, dim, rng), nil
 	}
 
-	in := makeInit(n, dim, rng)
-	out := make([][]float64, n)
-	for i := range out {
-		out[i] = make([]float64, dim)
-	}
+	in := makeInitFlat(n, dim, rng)
+	out := make([]float64, n*dim)
 
+	if cfg.Workers > 1 {
+		err = trainSGNSParallel(ctx, in, out, walks, cfg, neg, rng)
+	} else {
+		err = trainSGNSSerial(ctx, in, out, walks, cfg, neg, rng)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return rowsOf(in, n, dim), nil
+}
+
+// trainSGNSSerial is the exact original trainer over flat matrices: the
+// operation order, rng consumption and floating-point arithmetic match
+// the pre-parallel implementation bit for bit (pinned by the golden
+// test in golden_test.go).
+func trainSGNSSerial(ctx context.Context, in, out []float64, walks [][]graph.NodeID, cfg SGNSConfig, neg *Alias, rng *rand.Rand) error {
+	dim := cfg.Dim
 	totalSteps := cfg.Epochs * len(walks)
 	step := 0
 	gradIn := make([]float64, dim)
@@ -131,7 +176,7 @@ func TrainSGNS(ctx context.Context, g *graph.Graph, walks [][]graph.NodeID, cfg 
 		for wi, walk := range walks {
 			select {
 			case <-ctx.Done():
-				return nil, ctx.Err()
+				return ctx.Err()
 			default:
 			}
 			lr := cfg.LR * (1 - float64(step)/float64(totalSteps+1))
@@ -148,7 +193,7 @@ func TrainSGNS(ctx context.Context, g *graph.Graph, walks [][]graph.NodeID, cfg 
 				if hi >= len(walk) {
 					hi = len(walk) - 1
 				}
-				vin := in[center]
+				vin := in[int(center)*dim : (int(center)+1)*dim]
 				for j := lo; j <= hi; j++ {
 					if j == i {
 						continue
@@ -158,7 +203,7 @@ func TrainSGNS(ctx context.Context, g *graph.Graph, walks [][]graph.NodeID, cfg 
 						gradIn[d] = 0
 					}
 					// Positive example.
-					vout := out[ctxNode]
+					vout := out[int(ctxNode)*dim : (int(ctxNode)+1)*dim]
 					score := sigma(dotv(vin, vout))
 					gpos := lr * (1 - score)
 					for d := 0; d < dim; d++ {
@@ -171,7 +216,7 @@ func TrainSGNS(ctx context.Context, g *graph.Graph, walks [][]graph.NodeID, cfg 
 						if graph.NodeID(nn) == ctxNode {
 							continue
 						}
-						vneg := out[nn]
+						vneg := out[nn*dim : (nn+1)*dim]
 						score := sigma(dotv(vin, vneg))
 						gneg := -lr * score
 						for d := 0; d < dim; d++ {
@@ -188,25 +233,169 @@ func TrainSGNS(ctx context.Context, g *graph.Graph, walks [][]graph.NodeID, cfg 
 			// the walk touched, so checking the walk's input vectors each
 			// walk detects it promptly and deterministically.
 			for _, v := range walk {
-				if !finite(in[v]) {
-					return nil, &DivergenceError{Algo: "sgns", Epoch: epoch, Step: wi}
+				if !finite(in[int(v)*dim : (int(v)+1)*dim]) {
+					return &DivergenceError{Algo: "sgns", Epoch: epoch, Step: wi}
 				}
 			}
 		}
 	}
-	return in, nil
+	return nil
+}
+
+// sgnsChunk is how many walks a Hogwild worker claims per dispatch;
+// ctx and the stop flag are polled once per chunk.
+const sgnsChunk = 16
+
+// trainSGNSParallel runs cfg.Workers Hogwild goroutines over the
+// corpus. Walks are handed out by chunked atomic counter; every worker
+// owns a cheap xoshiro RNG seeded from the caller's rng, so no lock is
+// taken anywhere in the hot loop. Matrix reads and writes go through
+// hogLoad/hogStore (sanctioned unsynchronised access — see
+// hogwild_norace.go); the learning rate decays on a shared atomic step
+// counter, approximating the serial schedule. The per-call math.Exp of
+// the serial path becomes a sigmoid table lookup.
+func trainSGNSParallel(ctx context.Context, in, out []float64, walks [][]graph.NodeID, cfg SGNSConfig, neg *Alias, rng *rand.Rand) error {
+	dim := cfg.Dim
+	base := rng.Uint64()
+	totalSteps := cfg.Epochs * len(walks)
+	var step atomic.Int64
+	var fails trainFail
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < cfg.Workers; w++ {
+			wg.Add(1)
+			go func(wid int) {
+				defer wg.Done()
+				var r frand
+				r.seed(deriveSeed(base, epoch*cfg.Workers+wid))
+				gradIn := make([]float64, dim)
+				for {
+					lo := int(next.Add(sgnsChunk)) - sgnsChunk
+					if lo >= len(walks) || fails.stop.Load() {
+						return
+					}
+					select {
+					case <-ctx.Done():
+						fails.fail(ctx.Err())
+						return
+					default:
+					}
+					hi := lo + sgnsChunk
+					if hi > len(walks) {
+						hi = len(walks)
+					}
+					for wi := lo; wi < hi; wi++ {
+						walk := walks[wi]
+						s := step.Add(1) - 1
+						lr := cfg.LR * (1 - float64(s)/float64(totalSteps+1))
+						if lr < cfg.LR*0.0001 {
+							lr = cfg.LR * 0.0001
+						}
+						hogwildWalk(in, out, walk, dim, cfg.Window, cfg.Negatives, lr, neg, &r, gradIn)
+						// Per-worker divergence guard, same cadence as the
+						// serial trainer.
+						for _, v := range walk {
+							if !finiteShared(in[int(v)*dim : (int(v)+1)*dim]) {
+								fails.fail(&DivergenceError{Algo: "sgns", Epoch: epoch, Step: wi})
+								return
+							}
+						}
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		if fails.stop.Load() {
+			break
+		}
+	}
+	return fails.err
+}
+
+// hogwildWalk applies one walk's skip-gram updates to the shared flat
+// matrices. All matrix element accesses go through hogLoad/hogStore;
+// gradIn is worker-local scratch.
+func hogwildWalk(in, out []float64, walk []graph.NodeID, dim, window, negatives int, lr float64, neg *Alias, r *frand, gradIn []float64) {
+	for i, center := range walk {
+		lo := i - window
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + window
+		if hi >= len(walk) {
+			hi = len(walk) - 1
+		}
+		cb := int(center) * dim
+		for j := lo; j <= hi; j++ {
+			if j == i {
+				continue
+			}
+			ctxNode := walk[j]
+			for d := range gradIn {
+				gradIn[d] = 0
+			}
+			// Positive example.
+			ob := int(ctxNode) * dim
+			var dot float64
+			for d := 0; d < dim; d++ {
+				dot += hogLoad(&in[cb+d]) * hogLoad(&out[ob+d])
+			}
+			gpos := lr * (1 - sigmaLUT(dot))
+			for d := 0; d < dim; d++ {
+				vo := hogLoad(&out[ob+d])
+				gradIn[d] += gpos * vo
+				hogStore(&out[ob+d], vo+gpos*hogLoad(&in[cb+d]))
+			}
+			// Negative examples.
+			for k := 0; k < negatives; k++ {
+				nn := neg.sampleFast(r)
+				if graph.NodeID(nn) == ctxNode {
+					continue
+				}
+				nb := nn * dim
+				dot = 0
+				for d := 0; d < dim; d++ {
+					dot += hogLoad(&in[cb+d]) * hogLoad(&out[nb+d])
+				}
+				gneg := -lr * sigmaLUT(dot)
+				for d := 0; d < dim; d++ {
+					vn := hogLoad(&out[nb+d])
+					gradIn[d] += gneg * vn
+					hogStore(&out[nb+d], vn+gneg*hogLoad(&in[cb+d]))
+				}
+			}
+			for d := 0; d < dim; d++ {
+				hogStore(&in[cb+d], hogLoad(&in[cb+d])+gradIn[d])
+			}
+		}
+	}
+}
+
+// makeInitFlat fills one flat n×dim matrix with the standard small
+// uniform init. The fill order matches the original per-row makeInit,
+// so a fixed rng produces bitwise-identical values.
+func makeInitFlat(n, dim int, rng *rand.Rand) []float64 {
+	flat := make([]float64, n*dim)
+	for i := range flat {
+		flat[i] = (rng.Float64() - 0.5) / float64(dim)
+	}
+	return flat
+}
+
+// rowsOf returns the n row views of a flat n×dim matrix. Rows are
+// capped so an append by a caller cannot bleed into the next row.
+func rowsOf(flat []float64, n, dim int) [][]float64 {
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = flat[i*dim : (i+1)*dim : (i+1)*dim]
+	}
+	return rows
 }
 
 func makeInit(n, dim int, rng *rand.Rand) [][]float64 {
-	vecs := make([][]float64, n)
-	for i := range vecs {
-		v := make([]float64, dim)
-		for d := range v {
-			v[d] = (rng.Float64() - 0.5) / float64(dim)
-		}
-		vecs[i] = v
-	}
-	return vecs
+	return rowsOf(makeInitFlat(n, dim, rng), n, dim)
 }
 
 func dotv(a, b []float64) float64 {

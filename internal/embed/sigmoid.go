@@ -1,0 +1,54 @@
+package embed
+
+import "math"
+
+// sigma is the logistic function with clamping for numerical stability.
+// The z < -8 branch uses the exp(z)/(1+exp(z)) form, which keeps full
+// precision where exp(-z) would overflow toward 1/Inf.
+func sigma(z float64) float64 {
+	if z > 8 {
+		return 1
+	}
+	if z < -8 {
+		e := math.Exp(z)
+		return e / (1 + e)
+	}
+	return 1 / (1 + math.Exp(-z))
+}
+
+// The Hogwild inner loops replace per-call math.Exp with a precomputed
+// sigmoid table, the standard word2vec trick: scores only steer
+// stochastic gradients, so quantising σ to ~2^-12 of its range changes
+// nothing measurable while removing the most expensive instruction from
+// the hot loop. The serial (Workers<=1) paths keep the exact sigma so
+// their output stays bitwise-identical to the original implementation.
+const (
+	sigTableSize = 1 << 13 // 8192 buckets over (-sigMaxZ, +sigMaxZ)
+	sigMaxZ      = 8.0
+	sigScale     = sigTableSize / (2 * sigMaxZ)
+)
+
+var sigTable = func() *[sigTableSize]float64 {
+	var t [sigTableSize]float64
+	for i := range t {
+		z := (float64(i)+0.5)/sigScale - sigMaxZ // bucket midpoint
+		t[i] = sigma(z)
+	}
+	return &t
+}()
+
+// sigmaLUT is the table-lookup logistic function used by the parallel
+// trainers. Outside (-8, 8) it saturates exactly like sigma's clamps; a
+// NaN score propagates as NaN so the divergence guard can catch it.
+func sigmaLUT(z float64) float64 {
+	if z > -sigMaxZ && z < sigMaxZ {
+		return sigTable[int((z+sigMaxZ)*sigScale)]
+	}
+	if z >= sigMaxZ {
+		return 1
+	}
+	if z <= -sigMaxZ {
+		return sigTable[0]
+	}
+	return z // NaN
+}

@@ -3,6 +3,9 @@ package embed
 import (
 	"context"
 	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"hsgf/internal/graph"
 )
@@ -13,6 +16,14 @@ type WalkConfig struct {
 	WalkLength   int     // l, paper default 80
 	ReturnP      float64 // node2vec return parameter p (1 = DeepWalk)
 	InOutQ       float64 // node2vec in-out parameter q (1 = DeepWalk)
+
+	// Workers is the number of goroutines generating walks; 0 means
+	// GOMAXPROCS. The corpus is byte-identical for every worker count:
+	// walk (round r, start node v) has the fixed index r·|V|+v and
+	// draws from its own RNG seeded by mixing that index into a base
+	// seed taken once from the caller's rng, so sharding changes only
+	// which goroutine materialises a walk, never its content.
+	Workers int
 }
 
 // DefaultWalkConfig returns the paper's recommended parameters
@@ -21,34 +32,108 @@ func DefaultWalkConfig() WalkConfig {
 	return WalkConfig{WalksPerNode: 10, WalkLength: 80, ReturnP: 1, InOutQ: 1}
 }
 
-// UniformWalks generates cfg.WalksPerNode truncated uniform random walks
-// from every node (DeepWalk-style). Walks from isolated nodes contain just
-// the start node. Cancellation is honoured between walks and returns
-// ctx.Err().
-func UniformWalks(ctx context.Context, g *graph.Graph, cfg WalkConfig, rng *rand.Rand) ([][]graph.NodeID, error) {
-	walks := make([][]graph.NodeID, 0, g.NumNodes()*cfg.WalksPerNode)
-	for r := 0; r < cfg.WalksPerNode; r++ {
-		for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+// walkChunk is how many walks a worker claims per dispatch. It bounds
+// both the dispatch overhead (one atomic add per chunk) and the
+// cancellation latency: ctx is polled once per chunk, so at most
+// Workers·walkChunk walks start after cancellation.
+const walkChunk = 256
+
+// runWalks generates every (round, node) walk by calling walkFn with a
+// per-walk seeded RNG and an arena-backed buffer of capacity
+// cfg.WalkLength. Walks land at their fixed index, so the corpus is
+// identical for every worker count; each chunk's walks share one
+// contiguous arena allocation instead of one slice per walk.
+func runWalks(ctx context.Context, g *graph.Graph, cfg WalkConfig, rng *rand.Rand,
+	walkFn func(r *frand, v graph.NodeID, buf []graph.NodeID) []graph.NodeID) ([][]graph.NodeID, error) {
+	n := g.NumNodes()
+	total := n * cfg.WalksPerNode
+	// The base seed is drawn before any work so the rng stream the
+	// caller observes is independent of worker count.
+	base := rng.Uint64()
+	walks := make([][]graph.NodeID, total)
+	if total == 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return walks, nil
+	}
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if chunks := (total + walkChunk - 1) / walkChunk; workers > chunks {
+		workers = chunks
+	}
+
+	var next atomic.Int64
+	var stop atomic.Bool
+	work := func() {
+		var r frand
+		for {
+			lo := int(next.Add(walkChunk)) - walkChunk
+			if lo >= total || stop.Load() {
+				return
+			}
 			select {
 			case <-ctx.Done():
-				return nil, ctx.Err()
+				stop.Store(true)
+				return
 			default:
 			}
-			walk := make([]graph.NodeID, 0, cfg.WalkLength)
-			walk = append(walk, v)
-			cur := v
-			for len(walk) < cfg.WalkLength {
-				adj := g.Neighbors(cur)
-				if len(adj) == 0 {
-					break
-				}
-				cur = adj[rng.Intn(len(adj))]
-				walk = append(walk, cur)
+			hi := lo + walkChunk
+			if hi > total {
+				hi = total
 			}
-			walks = append(walks, walk)
+			arena := make([]graph.NodeID, (hi-lo)*cfg.WalkLength)
+			for idx := lo; idx < hi; idx++ {
+				r.seed(deriveSeed(base, idx))
+				off := (idx - lo) * cfg.WalkLength
+				buf := arena[off : off : off+cfg.WalkLength]
+				walks[idx] = walkFn(&r, graph.NodeID(idx%n), buf)
+			}
 		}
 	}
+
+	if workers == 1 {
+		work()
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				work()
+			}()
+		}
+		wg.Wait()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return walks, nil
+}
+
+// UniformWalks generates cfg.WalksPerNode truncated uniform random walks
+// from every node (DeepWalk-style). Walks from isolated nodes contain just
+// the start node. Generation is sharded across cfg.Workers goroutines;
+// the corpus is identical for every worker count. Cancellation is
+// honoured between walk chunks and returns ctx.Err().
+func UniformWalks(ctx context.Context, g *graph.Graph, cfg WalkConfig, rng *rand.Rand) ([][]graph.NodeID, error) {
+	maxLen := cfg.WalkLength
+	return runWalks(ctx, g, cfg, rng, func(r *frand, v graph.NodeID, buf []graph.NodeID) []graph.NodeID {
+		walk := append(buf, v)
+		cur := v
+		for len(walk) < maxLen {
+			adj := g.Neighbors(cur)
+			if len(adj) == 0 {
+				break
+			}
+			cur = adj[r.Intn(len(adj))]
+			walk = append(walk, cur)
+		}
+		return walk
+	})
 }
 
 // BiasedWalks generates node2vec second-order random walks: from the
@@ -56,7 +141,9 @@ func UniformWalks(ctx context.Context, g *graph.Graph, cfg WalkConfig, rng *rand
 // moving to neighbour x is 1/p if x == t, 1 if x is adjacent to t, and
 // 1/q otherwise. Sampling uses rejection against the maximum of those
 // weights, which avoids per-edge alias tables while remaining exact.
-// Cancellation is honoured between walks and returns ctx.Err().
+// Generation is sharded across cfg.Workers goroutines; the corpus is
+// identical for every worker count. Cancellation is honoured between
+// walk chunks and returns ctx.Err().
 func BiasedWalks(ctx context.Context, g *graph.Graph, cfg WalkConfig, rng *rand.Rand) ([][]graph.NodeID, error) {
 	p, q := cfg.ReturnP, cfg.InOutQ
 	if p <= 0 {
@@ -75,48 +162,39 @@ func BiasedWalks(ctx context.Context, g *graph.Graph, cfg WalkConfig, rng *rand.
 	if 1/q > maxW {
 		maxW = 1 / q
 	}
-	walks := make([][]graph.NodeID, 0, g.NumNodes()*cfg.WalksPerNode)
-	for r := 0; r < cfg.WalksPerNode; r++ {
-		for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
-			select {
-			case <-ctx.Done():
-				return nil, ctx.Err()
-			default:
+	maxLen := cfg.WalkLength
+	return runWalks(ctx, g, cfg, rng, func(r *frand, v graph.NodeID, buf []graph.NodeID) []graph.NodeID {
+		walk := append(buf, v)
+		adj := g.Neighbors(v)
+		if len(adj) > 0 && maxLen > 1 {
+			walk = append(walk, adj[r.Intn(len(adj))])
+		}
+		for len(walk) >= 2 && len(walk) < maxLen {
+			cur := walk[len(walk)-1]
+			prev := walk[len(walk)-2]
+			adj := g.Neighbors(cur)
+			if len(adj) == 0 {
+				break
 			}
-			walk := make([]graph.NodeID, 0, cfg.WalkLength)
-			walk = append(walk, v)
-			adj := g.Neighbors(v)
-			if len(adj) > 0 && cfg.WalkLength > 1 {
-				walk = append(walk, adj[rng.Intn(len(adj))])
-			}
-			for len(walk) >= 2 && len(walk) < cfg.WalkLength {
-				cur := walk[len(walk)-1]
-				prev := walk[len(walk)-2]
-				adj := g.Neighbors(cur)
-				if len(adj) == 0 {
+			var next graph.NodeID
+			for {
+				cand := adj[r.Intn(len(adj))]
+				var w float64
+				switch {
+				case cand == prev:
+					w = 1 / p
+				case g.HasEdge(cand, prev):
+					w = 1
+				default:
+					w = 1 / q
+				}
+				if r.Float64() < w/maxW {
+					next = cand
 					break
 				}
-				var next graph.NodeID
-				for {
-					cand := adj[rng.Intn(len(adj))]
-					var w float64
-					switch {
-					case cand == prev:
-						w = 1 / p
-					case g.HasEdge(cand, prev):
-						w = 1
-					default:
-						w = 1 / q
-					}
-					if rng.Float64() < w/maxW {
-						next = cand
-						break
-					}
-				}
-				walk = append(walk, next)
 			}
-			walks = append(walks, walk)
+			walk = append(walk, next)
 		}
-	}
-	return walks, nil
+		return walk
+	})
 }

@@ -112,6 +112,12 @@ type LabelConfig struct {
 
 	Seed    int64
 	Workers int
+
+	// EmbedWorkers parallelises embedding training (walk sharding plus
+	// Hogwild SGNS/LINE). 0 or 1 keeps the exact serial trainers, whose
+	// output is bitwise-deterministic under Seed; >1 trades that for
+	// multicore training (walk corpora stay deterministic regardless).
+	EmbedWorkers int
 }
 
 // DefaultLabelConfig returns a laptop-scale configuration preserving the
@@ -206,19 +212,22 @@ func extractSample(ctx context.Context, g *graph.Graph, cfg LabelConfig, rng *ra
 	}
 	s.censuses = ex.CensusAll(s.nodes, cfg.Workers)
 
+	wcfg := cfg.Walks
+	wcfg.Workers = cfg.EmbedWorkers
 	scfg := cfg.SGNS
 	scfg.Dim = cfg.EmbedDim
+	scfg.Workers = cfg.EmbedWorkers
 	seed := cfg.Seed * 997
-	dw, err := embed.DeepWalk(ctx, g, cfg.Walks, scfg, rand.New(rand.NewSource(seed)))
+	dw, err := embed.DeepWalk(ctx, g, wcfg, scfg, rand.New(rand.NewSource(seed)))
 	if err != nil {
 		return nil, err
 	}
-	n2v, err := embed.Node2Vec(ctx, g, cfg.Walks, scfg, rand.New(rand.NewSource(seed+1)))
+	n2v, err := embed.Node2Vec(ctx, g, wcfg, scfg, rand.New(rand.NewSource(seed+1)))
 	if err != nil {
 		return nil, err
 	}
 	line, err := embed.LINE(ctx, g, embed.LINEConfig{Dim: cfg.EmbedDim / 2, Negatives: 5,
-		Samples: cfg.LINESamplesX * g.NumEdges()}, rand.New(rand.NewSource(seed+2)))
+		Samples: cfg.LINESamplesX * g.NumEdges(), Workers: cfg.EmbedWorkers}, rand.New(rand.NewSource(seed+2)))
 	if err != nil {
 		return nil, err
 	}

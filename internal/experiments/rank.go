@@ -61,6 +61,12 @@ type RankConfig struct {
 	NDCGAt  int // 20 in the paper
 	Seed    int64
 	Workers int
+
+	// EmbedWorkers parallelises embedding training (walk sharding plus
+	// Hogwild SGNS/LINE). 0 or 1 keeps the exact serial trainers, whose
+	// output is bitwise-deterministic under Seed; >1 trades that for
+	// multicore training (walk corpora stay deterministic regardless).
+	EmbedWorkers int
 }
 
 // DefaultRankConfig returns a laptop-scale configuration that finishes
@@ -247,8 +253,10 @@ func buildConferenceData(ctx context.Context, pub *datagen.Publication, conf str
 		// Embeddings of the same subnetwork, one per method.
 		embSeed := cfg.Seed + int64(target)*131
 		wcfg := cfg.Walks
+		wcfg.Workers = cfg.EmbedWorkers
 		scfg := cfg.SGNS
 		scfg.Dim = cfg.EmbedDim
+		scfg.Workers = cfg.EmbedWorkers
 		dw, err := embed.DeepWalk(ctx, sub, wcfg, scfg, rand.New(rand.NewSource(embSeed)))
 		if err != nil {
 			return nil, err
@@ -259,7 +267,8 @@ func buildConferenceData(ctx context.Context, pub *datagen.Publication, conf str
 		if err != nil {
 			return nil, err
 		}
-		lineCfg := embed.LINEConfig{Dim: cfg.EmbedDim / 2, Negatives: 5, Samples: cfg.LINESamplesX * sub.NumEdges()}
+		lineCfg := embed.LINEConfig{Dim: cfg.EmbedDim / 2, Negatives: 5, Samples: cfg.LINESamplesX * sub.NumEdges(),
+			Workers: cfg.EmbedWorkers}
 		line, err := embed.LINE(ctx, sub, lineCfg, rand.New(rand.NewSource(embSeed+2)))
 		if err != nil {
 			return nil, err

@@ -70,16 +70,19 @@ func MeasureRuntime(ctx context.Context, name string, g *graph.Graph, cfg LabelC
 		}
 		return time.Since(start) / time.Duration(g.NumNodes()), nil
 	}
+	wcfg := cfg.Walks
+	wcfg.Workers = cfg.EmbedWorkers
 	scfg := cfg.SGNS
 	scfg.Dim = cfg.EmbedDim
+	scfg.Workers = cfg.EmbedWorkers
 	row.DeepWalkMean, err = perNode(func() error {
-		_, err := embed.DeepWalk(ctx, g, cfg.Walks, scfg, rand.New(rand.NewSource(cfg.Seed)))
+		_, err := embed.DeepWalk(ctx, g, wcfg, scfg, rand.New(rand.NewSource(cfg.Seed)))
 		return err
 	})
 	if err != nil {
 		return nil, err
 	}
-	n2vW := cfg.Walks
+	n2vW := wcfg
 	n2vW.ReturnP, n2vW.InOutQ = 0.9, 1.1 // force the second-order path
 	row.Node2VecMean, err = perNode(func() error {
 		_, err := embed.Node2Vec(ctx, g, n2vW, scfg, rand.New(rand.NewSource(cfg.Seed+1)))
@@ -90,7 +93,7 @@ func MeasureRuntime(ctx context.Context, name string, g *graph.Graph, cfg LabelC
 	}
 	row.LINEMean, err = perNode(func() error {
 		_, err := embed.LINE(ctx, g, embed.LINEConfig{Dim: cfg.EmbedDim / 2, Negatives: 5,
-			Samples: cfg.LINESamplesX * g.NumEdges()}, rand.New(rand.NewSource(cfg.Seed+2)))
+			Samples: cfg.LINESamplesX * g.NumEdges(), Workers: cfg.EmbedWorkers}, rand.New(rand.NewSource(cfg.Seed+2)))
 		return err
 	})
 	if err != nil {
