@@ -1,12 +1,12 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: all check fmt-check vet build test race fuzz-smoke serve-smoke reload-smoke embed-bench-smoke bench bench-all bench-smoke clean
+.PHONY: all check fmt-check vet build test race fuzz-smoke serve-smoke reload-smoke router-smoke embed-bench-smoke bench bench-all bench-smoke clean
 
 all: check
 
 # The full tier-1 gate: what CI runs.
-check: fmt-check vet build test race fuzz-smoke serve-smoke reload-smoke embed-bench-smoke
+check: fmt-check vet build test race fuzz-smoke serve-smoke reload-smoke router-smoke embed-bench-smoke
 
 # gofmt gate: fails listing any file that is not gofmt-clean.
 fmt-check:
@@ -46,6 +46,13 @@ serve-smoke:
 # failed requests.
 reload-smoke:
 	$(GO) test -race -tags smoke -run TestReloadSmoke -v ./cmd/hsgfd
+
+# Multi-process routing-tier smoke: partitions a graph into 4 shards,
+# boots 8 hsgfd replicas + hsgf-router (all under -race) and exercises
+# scatter/gather, a fleet-wide zero-downtime reload under load, replica
+# SIGKILL failover, and whole-shard loss degrading to flagged rows.
+router-smoke:
+	$(GO) test -race -tags smoke -run TestRouterSmoke -v -timeout 10m ./cmd/hsgf-router
 
 # Embedding-engine smoke: tiny-graph corpus parity across worker
 # counts, finite Hogwild output at Workers=2, and the walk-arena

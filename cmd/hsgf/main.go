@@ -25,6 +25,14 @@
 // With -typed, the input uses the typed TSV format (a "t directed|
 // undirected" header and edge labels on every edge line) and features
 // are direction- and edge-label-aware (the paper's §5 extension).
+//
+// With -partition N -shards-out DIR the command becomes the fleet
+// partitioner instead of an extractor: the graph is cut into N
+// root-owned shards with a halo of neighbours deep enough that census
+// extraction inside a shard is exact (see -halo), each shard graph is
+// written into DIR/shard-NNN as a crash-safe store snapshot that a
+// shard hsgfd boots from, and DIR/manifest.json records the routing
+// metadata hsgf-router loads.
 package main
 
 import (
@@ -35,12 +43,15 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"syscall"
 	"time"
 
 	"hsgf"
+	"hsgf/internal/graph"
+	"hsgf/internal/router"
 	"hsgf/internal/typed"
 )
 
@@ -62,6 +73,10 @@ func main() {
 		resume   = flag.Bool("resume", false, "load the checkpoint file and skip already-completed roots")
 		ckptIv   = flag.Int("checkpoint-interval", 64, "snapshot after every N completed roots")
 		storeDir = flag.String("store", "", "also write the graph and feature set into this artifact store as checksummed snapshots")
+
+		partition = flag.Int("partition", 0, "cut the graph into this many shards for the routing tier instead of extracting")
+		halo      = flag.Int("halo", 0, "shard halo depth; 0 derives the exactness minimum (emax, or emax+1 under dmax)")
+		shardsOut = flag.String("shards-out", "", "directory for per-shard stores and manifest.json (required with -partition)")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -73,7 +88,15 @@ func main() {
 		os.Exit(2)
 	}
 	var err error
-	if *typedIn {
+	if *partition > 0 {
+		if *shardsOut == "" {
+			err = fmt.Errorf("-partition requires -shards-out")
+		} else if *typedIn {
+			err = fmt.Errorf("-partition is not supported with -typed")
+		} else {
+			err = runPartition(*in, *shardsOut, *partition, *halo, *emax, *dmaxPct)
+		}
+	} else if *typedIn {
 		if *ckpt != "" || *budget != 0 || *deadline != 0 || *storeDir != "" {
 			err = fmt.Errorf("-checkpoint, -root-budget, -root-deadline and -store are not supported with -typed")
 		} else {
@@ -379,5 +402,57 @@ func runTyped(in, out string, emax int, mask bool, label string, workers int) er
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "hsgf: %d nodes, %d typed features (emax=%d)\n", len(roots), len(keys), emax)
+	return nil
+}
+
+// runPartition cuts the graph for the routing tier: per-shard store
+// snapshots plus the routing manifest. The halo depth defaults to the
+// exactness minimum — emax without a hub cutoff (a connected subgraph
+// with <= emax edges never leaves the root's emax-ball), emax+1 with
+// one (the census consults the degree of every node entering a
+// subgraph, so boundary nodes one step past the ball must keep their
+// full-graph degree).
+func runPartition(in, outDir string, nShards, halo, emax int, dmaxPct float64) error {
+	f, err := os.Open(in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	g, err := hsgf.ReadTSV(f)
+	if err != nil {
+		return err
+	}
+	if halo <= 0 {
+		halo = emax
+		if dmaxPct > 0 && dmaxPct < 1 {
+			halo = emax + 1
+		}
+	}
+	plans, err := graph.PartitionByRoot(g, graph.PartitionConfig{NumShards: nShards, HaloDepth: halo})
+	if err != nil {
+		return err
+	}
+	if err := graph.ValidatePartition(g, plans); err != nil {
+		return err
+	}
+	for _, p := range plans {
+		dir := filepath.Join(outDir, fmt.Sprintf("shard-%03d", p.Shard))
+		st, err := hsgf.OpenStore(dir, hsgf.StoreOptions{})
+		if err != nil {
+			return err
+		}
+		gen, err := hsgf.SaveGraphSnapshot(st, p.Graph)
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", p.Shard, err)
+		}
+		fmt.Fprintf(os.Stderr, "hsgf: shard %d: %d nodes (%d owned roots), %d edges -> %s (generation %d)\n",
+			p.Shard, p.Graph.NumNodes(), len(p.OwnedRoots), p.Graph.NumEdges(), dir, gen)
+	}
+	m := router.BuildManifest(g.NumNodes(), halo, plans)
+	path := filepath.Join(outDir, "manifest.json")
+	if err := router.WriteManifest(path, m); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "hsgf: wrote routing manifest %s (%d shards, halo depth %d)\n", path, nShards, halo)
 	return nil
 }

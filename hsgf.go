@@ -102,6 +102,9 @@ const (
 	FlagCancelled = core.FlagCancelled
 	// FlagPanicked marks a census abandoned after a recovered worker panic.
 	FlagPanicked = core.FlagPanicked
+	// FlagShardUnavailable marks a row whose owning shard was unreachable
+	// in the sharded serving tier (hsgf-router partial-result degradation).
+	FlagShardUnavailable = core.FlagShardUnavailable
 )
 
 // Census key modes.

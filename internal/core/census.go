@@ -27,6 +27,13 @@ const (
 	// FlagPanicked: the census worker panicked on this root. Counts is
 	// empty; the panic is recorded on the extractor (Extractor.Panics).
 	FlagPanicked
+	// FlagShardUnavailable: in the sharded serving tier, the shard that
+	// owns this root was unreachable past retries and failover, so the
+	// row is empty. Set only by the router (internal/router) — a
+	// single-process extraction never produces it. Distinct from
+	// FlagCancelled so clients can tell "the fleet is degraded, retry
+	// this root" from "my own deadline expired".
+	FlagShardUnavailable
 )
 
 // String renders the flag set as a "|"-joined list, or "ok" when empty.
@@ -46,6 +53,9 @@ func (f CensusFlag) String() string {
 	}
 	if f&FlagPanicked != 0 {
 		parts = append(parts, "panicked")
+	}
+	if f&FlagShardUnavailable != 0 {
+		parts = append(parts, "shard-unavailable")
 	}
 	return strings.Join(parts, "|")
 }

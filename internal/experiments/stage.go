@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -10,6 +11,7 @@ import (
 	"runtime/debug"
 	"time"
 
+	"hsgf/internal/retry"
 	"hsgf/internal/store"
 )
 
@@ -88,42 +90,49 @@ func (r *StageRunner) logf(format string, args ...any) {
 }
 
 // Run executes fn under panic isolation, retrying with exponential
-// backoff. It returns the recorded result; callers decide from
+// backoff through the shared retry policy (internal/retry). The
+// schedule is deliberately jitter-free: a reproduction is one process
+// retrying local work, so reproducible timing beats fleet
+// decorrelation. It returns the recorded result; callers decide from
 // res.Status whether the stage's output is usable.
 func (r *StageRunner) Run(name string, fn func() error) StageResult {
 	backoff := r.Backoff
 	if backoff <= 0 {
 		backoff = time.Second
 	}
-	sleep := r.Sleep
-	if sleep == nil {
-		sleep = time.Sleep
+	policy := retry.Policy{
+		MaxAttempts: r.attempts(),
+		BaseDelay:   backoff,
+		// Stages are minutes-long experiments; never let the default
+		// delay cap flatten the deterministic doubling schedule.
+		MaxDelay: 24 * time.Hour,
+		Jitter:   retry.JitterNone,
+	}
+	if r.Sleep != nil {
+		sleep := r.Sleep
+		policy.Sleep = func(_ context.Context, d time.Duration) error { sleep(d); return nil }
 	}
 
 	res := StageResult{Name: name}
 	start := time.Now()
-	var lastErr error
-	for attempt := 1; attempt <= r.attempts(); attempt++ {
+	err := policy.Do(context.Background(), func(_ context.Context, attempt int) error {
 		res.Attempts = attempt
-		lastErr = runIsolated(fn)
-		if lastErr == nil {
-			if attempt == 1 {
-				res.Status = StageOK
-			} else {
-				res.Status = StageRecovered
-			}
-			res.Elapsed = time.Since(start)
-			r.Results = append(r.Results, res)
-			return res
+		attemptErr := runIsolated(fn)
+		if attemptErr != nil {
+			r.logf("stage %q attempt %d/%d failed: %v\n", name, attempt, r.attempts(), attemptErr)
 		}
-		r.logf("stage %q attempt %d/%d failed: %v\n", name, attempt, r.attempts(), lastErr)
-		if attempt < r.attempts() {
-			sleep(backoff)
-			backoff *= 2
+		return attemptErr
+	})
+	if err == nil {
+		if res.Attempts == 1 {
+			res.Status = StageOK
+		} else {
+			res.Status = StageRecovered
 		}
+	} else {
+		res.Status = StageSkipped
+		res.Err = err.Error()
 	}
-	res.Status = StageSkipped
-	res.Err = lastErr.Error()
 	res.Elapsed = time.Since(start)
 	r.Results = append(r.Results, res)
 	return res

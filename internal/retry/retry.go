@@ -1,0 +1,243 @@
+// Package retry is the shared bounded-retry policy used everywhere the
+// system re-attempts failable work: reproduction stages, router calls to
+// shard replicas, and any future client of a flaky dependency. One
+// policy object answers "should I try again, and after how long?" with
+// exponential backoff, optional full jitter (the AWS architecture-blog
+// scheme: sleep uniformly in [0, cap]), hard caps on both attempt count
+// and total elapsed time, and first-class support for server-supplied
+// backoff hints (Retry-After) that override the computed delay.
+//
+// The package is context-aware: Do never sleeps past ctx cancellation,
+// and a cancelled wait is reported as the context's error joined with
+// the last attempt's error so callers keep the failure cause.
+package retry
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Policy describes one bounded retry schedule. The zero value is usable:
+// every field has a conservative default.
+type Policy struct {
+	// MaxAttempts bounds the total number of attempts (first try
+	// included); <= 0 selects 3.
+	MaxAttempts int
+	// BaseDelay is the pre-jitter delay before the first retry, doubling
+	// (times Multiplier) per further retry; <= 0 selects 100ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the pre-jitter exponential growth; <= 0 selects 30s.
+	MaxDelay time.Duration
+	// Multiplier is the exponential growth factor; values <= 1 select 2.
+	Multiplier float64
+	// MaxElapsed bounds the total time spent across attempts and waits;
+	// once exceeded no further retry is scheduled. <= 0 means unbounded.
+	MaxElapsed time.Duration
+	// Jitter selects the randomisation scheme applied to each delay.
+	// JitterFull (the default) draws uniformly from [0, delay] —
+	// decorrelating a fleet of clients that failed at the same instant —
+	// while JitterNone keeps the deterministic doubling schedule
+	// (reproduction stages want reproducible timing).
+	Jitter Jitter
+
+	// Rand is the jitter source; nil selects a process-wide seeded
+	// source. Injectable for deterministic tests.
+	Rand *rand.Rand
+	// Sleep is the wait clock, replaceable in tests; nil selects a
+	// context-aware timer sleep.
+	Sleep func(context.Context, time.Duration) error
+}
+
+// Jitter selects how a computed backoff delay is randomised.
+type Jitter int
+
+const (
+	// JitterFull sleeps uniformly in [0, delay] (AWS "full jitter").
+	JitterFull Jitter = iota
+	// JitterNone sleeps exactly the computed exponential delay.
+	JitterNone
+)
+
+// globalRand is the default jitter source. rand.Rand is not safe for
+// concurrent use, so the fallback is guarded; callers that care about
+// contention inject their own source.
+var (
+	globalMu   sync.Mutex
+	globalRand = rand.New(rand.NewSource(time.Now().UnixNano()))
+)
+
+func (p Policy) attempts() int {
+	if p.MaxAttempts <= 0 {
+		return 3
+	}
+	return p.MaxAttempts
+}
+
+func (p Policy) base() time.Duration {
+	if p.BaseDelay <= 0 {
+		return 100 * time.Millisecond
+	}
+	return p.BaseDelay
+}
+
+func (p Policy) cap() time.Duration {
+	if p.MaxDelay <= 0 {
+		return 30 * time.Second
+	}
+	return p.MaxDelay
+}
+
+func (p Policy) mult() float64 {
+	if p.Multiplier <= 1 {
+		return 2
+	}
+	return p.Multiplier
+}
+
+// Backoff returns the pre-jitter exponential delay before retry number
+// retryIdx (0 = first retry): min(BaseDelay * Multiplier^retryIdx,
+// MaxDelay).
+func (p Policy) Backoff(retryIdx int) time.Duration {
+	d := float64(p.base())
+	capD := float64(p.cap())
+	for i := 0; i < retryIdx; i++ {
+		d *= p.mult()
+		if d >= capD {
+			return p.cap()
+		}
+	}
+	if d >= capD {
+		return p.cap()
+	}
+	return time.Duration(d)
+}
+
+// Delay returns the post-jitter wait before retry number retryIdx:
+// Backoff(retryIdx) under JitterNone, a uniform draw from
+// [0, Backoff(retryIdx)] under JitterFull.
+func (p Policy) Delay(retryIdx int) time.Duration {
+	d := p.Backoff(retryIdx)
+	if p.Jitter == JitterNone || d <= 0 {
+		return d
+	}
+	if p.Rand != nil {
+		return time.Duration(p.Rand.Int63n(int64(d) + 1))
+	}
+	globalMu.Lock()
+	defer globalMu.Unlock()
+	return time.Duration(globalRand.Int63n(int64(d) + 1))
+}
+
+// hintError carries a server-supplied backoff hint alongside the cause.
+type hintError struct {
+	err  error
+	hint time.Duration
+}
+
+func (h *hintError) Error() string { return h.err.Error() }
+func (h *hintError) Unwrap() error { return h.err }
+
+// WithHint wraps err with a server-supplied backoff hint (e.g. a parsed
+// Retry-After header). Do waits max(hint, computed delay) before the
+// next attempt, so a loaded server's explicit guidance is never
+// undercut. A nil err returns nil.
+func WithHint(err error, hint time.Duration) error {
+	if err == nil {
+		return nil
+	}
+	return &hintError{err: err, hint: hint}
+}
+
+// Hint extracts the backoff hint from an error chain, if any.
+func Hint(err error) (time.Duration, bool) {
+	var h *hintError
+	if errors.As(err, &h) {
+		return h.hint, true
+	}
+	return 0, false
+}
+
+// Permanent wraps err so Do stops immediately instead of retrying —
+// for outcomes where another attempt cannot help (validation errors,
+// budget exhaustion).
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err}
+}
+
+type permanentError struct{ err error }
+
+func (p *permanentError) Error() string { return p.err.Error() }
+func (p *permanentError) Unwrap() error { return p.err }
+
+// IsPermanent reports whether err was marked Permanent.
+func IsPermanent(err error) bool {
+	var p *permanentError
+	return errors.As(err, &p)
+}
+
+// sleepCtx waits d or until ctx is cancelled, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Do runs fn up to MaxAttempts times, sleeping the jittered backoff
+// (or a larger server hint) between attempts. It returns nil on the
+// first success; otherwise the last attempt's error. Retries stop early
+// when ctx is cancelled (the context error is joined with the last
+// attempt error), when fn returns a Permanent error, or when MaxElapsed
+// is exhausted. fn receives the attempt number (1-based) for logging.
+func (p Policy) Do(ctx context.Context, fn func(ctx context.Context, attempt int) error) error {
+	sleep := p.Sleep
+	if sleep == nil {
+		sleep = sleepCtx
+	}
+	start := time.Now()
+	var lastErr error
+	for attempt := 1; attempt <= p.attempts(); attempt++ {
+		if err := ctx.Err(); err != nil {
+			return joinCtx(err, lastErr)
+		}
+		lastErr = fn(ctx, attempt)
+		if lastErr == nil {
+			return nil
+		}
+		if IsPermanent(lastErr) || attempt == p.attempts() {
+			return lastErr
+		}
+		d := p.Delay(attempt - 1)
+		if hint, ok := Hint(lastErr); ok && hint > d {
+			d = hint
+		}
+		if p.MaxElapsed > 0 && time.Since(start)+d > p.MaxElapsed {
+			return lastErr
+		}
+		if err := sleep(ctx, d); err != nil {
+			return joinCtx(err, lastErr)
+		}
+	}
+	return lastErr
+}
+
+// joinCtx pairs a context cancellation with the failure it interrupted.
+func joinCtx(ctxErr, lastErr error) error {
+	if lastErr == nil {
+		return ctxErr
+	}
+	return errors.Join(ctxErr, lastErr)
+}

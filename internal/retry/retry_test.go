@@ -1,0 +1,222 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestBackoffDoubles(t *testing.T) {
+	p := Policy{BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second, Jitter: JitterNone}
+	want := []time.Duration{
+		100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond,
+		800 * time.Millisecond, time.Second, time.Second,
+	}
+	for i, w := range want {
+		if got := p.Backoff(i); got != w {
+			t.Errorf("Backoff(%d) = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestBackoffCapDoesNotOverflow(t *testing.T) {
+	p := Policy{BaseDelay: time.Second, MaxDelay: time.Minute}
+	if got := p.Backoff(200); got != time.Minute {
+		t.Fatalf("Backoff(200) = %v, want the cap", got)
+	}
+}
+
+// TestFullJitterBounds draws many delays and asserts every one lies in
+// [0, Backoff(i)] — the full-jitter contract — and that the draws are
+// not all identical (the jitter actually jitters).
+func TestFullJitterBounds(t *testing.T) {
+	p := Policy{
+		BaseDelay: 80 * time.Millisecond,
+		MaxDelay:  time.Second,
+		Rand:      rand.New(rand.NewSource(1)),
+	}
+	for retry := 0; retry < 4; retry++ {
+		ub := p.Backoff(retry)
+		distinct := map[time.Duration]bool{}
+		for i := 0; i < 200; i++ {
+			d := p.Delay(retry)
+			if d < 0 || d > ub {
+				t.Fatalf("Delay(%d) = %v outside [0, %v]", retry, d, ub)
+			}
+			distinct[d] = true
+		}
+		if len(distinct) < 2 {
+			t.Errorf("Delay(%d): 200 draws produced %d distinct values; jitter is not jittering", retry, len(distinct))
+		}
+	}
+}
+
+func TestJitterNoneIsDeterministic(t *testing.T) {
+	p := Policy{BaseDelay: 50 * time.Millisecond, Jitter: JitterNone}
+	for i := 0; i < 3; i++ {
+		if p.Delay(i) != p.Backoff(i) {
+			t.Fatalf("JitterNone Delay(%d) = %v, want %v", i, p.Delay(i), p.Backoff(i))
+		}
+	}
+}
+
+func TestDoSucceedsAfterRetries(t *testing.T) {
+	var slept []time.Duration
+	p := Policy{
+		MaxAttempts: 5,
+		BaseDelay:   10 * time.Millisecond,
+		Jitter:      JitterNone,
+		Sleep: func(_ context.Context, d time.Duration) error {
+			slept = append(slept, d)
+			return nil
+		},
+	}
+	calls := 0
+	err := p.Do(context.Background(), func(context.Context, int) error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("Do: err %v after %d calls, want success on call 3", err, calls)
+	}
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond}
+	if len(slept) != len(want) || slept[0] != want[0] || slept[1] != want[1] {
+		t.Fatalf("slept %v, want %v", slept, want)
+	}
+}
+
+func TestDoExhaustsAttempts(t *testing.T) {
+	p := Policy{MaxAttempts: 3, BaseDelay: time.Millisecond,
+		Sleep: func(context.Context, time.Duration) error { return nil }}
+	calls := 0
+	sentinel := errors.New("boom")
+	err := p.Do(context.Background(), func(context.Context, int) error { calls++; return sentinel })
+	if !errors.Is(err, sentinel) || calls != 3 {
+		t.Fatalf("Do: err %v after %d calls, want sentinel after 3", err, calls)
+	}
+}
+
+// TestDoCancelledMidSleep cancels the context while Do is sleeping and
+// asserts Do returns promptly with both the context error and the last
+// attempt error in the chain.
+func TestDoCancelledMidSleep(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := Policy{MaxAttempts: 4, BaseDelay: time.Hour, Jitter: JitterNone}
+	sentinel := errors.New("transient")
+	done := make(chan error, 1)
+	go func() {
+		done <- p.Do(ctx, func(context.Context, int) error { return sentinel })
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err %v, want context.Canceled in chain", err)
+		}
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("err %v lost the last attempt error", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Do did not return after cancellation despite an hour-long backoff")
+	}
+}
+
+func TestDoCancelledBeforeFirstAttempt(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	err := Policy{}.Do(ctx, func(context.Context, int) error { calls++; return nil })
+	if !errors.Is(err, context.Canceled) || calls != 0 {
+		t.Fatalf("err %v after %d calls, want immediate cancellation with 0 calls", err, calls)
+	}
+}
+
+func TestDoPermanentStopsImmediately(t *testing.T) {
+	calls := 0
+	sentinel := errors.New("bad request")
+	err := Policy{MaxAttempts: 5, Sleep: func(context.Context, time.Duration) error { return nil }}.
+		Do(context.Background(), func(context.Context, int) error {
+			calls++
+			return Permanent(sentinel)
+		})
+	if !errors.Is(err, sentinel) || calls != 1 {
+		t.Fatalf("err %v after %d calls, want sentinel after exactly 1", err, calls)
+	}
+	if !IsPermanent(err) {
+		t.Fatal("permanence not preserved through the error chain")
+	}
+}
+
+// TestDoHonoursServerHint asserts a Retry-After style hint larger than
+// the computed backoff wins, and a smaller one is ignored.
+func TestDoHonoursServerHint(t *testing.T) {
+	var slept []time.Duration
+	p := Policy{
+		MaxAttempts: 3,
+		BaseDelay:   10 * time.Millisecond,
+		Jitter:      JitterNone,
+		Sleep: func(_ context.Context, d time.Duration) error {
+			slept = append(slept, d)
+			return nil
+		},
+	}
+	calls := 0
+	_ = p.Do(context.Background(), func(context.Context, int) error {
+		calls++
+		switch calls {
+		case 1:
+			return WithHint(errors.New("shed"), 500*time.Millisecond) // > 10ms backoff
+		case 2:
+			return WithHint(errors.New("shed"), time.Microsecond) // < 20ms backoff
+		}
+		return nil
+	})
+	if len(slept) != 2 || slept[0] != 500*time.Millisecond || slept[1] != 20*time.Millisecond {
+		t.Fatalf("slept %v, want [500ms 20ms]", slept)
+	}
+}
+
+func TestHintRoundTrip(t *testing.T) {
+	if _, ok := Hint(errors.New("plain")); ok {
+		t.Fatal("plain error reported a hint")
+	}
+	err := WithHint(errors.New("shed"), 3*time.Second)
+	if hint, ok := Hint(err); !ok || hint != 3*time.Second {
+		t.Fatalf("Hint = %v, %v", hint, ok)
+	}
+	if WithHint(nil, time.Second) != nil {
+		t.Fatal("WithHint(nil) must stay nil")
+	}
+	if Permanent(nil) != nil {
+		t.Fatal("Permanent(nil) must stay nil")
+	}
+}
+
+// TestDoMaxElapsed stops retrying once the elapsed budget cannot cover
+// the next wait.
+func TestDoMaxElapsed(t *testing.T) {
+	p := Policy{
+		MaxAttempts: 100,
+		BaseDelay:   40 * time.Millisecond,
+		Jitter:      JitterNone,
+		MaxElapsed:  60 * time.Millisecond,
+	}
+	calls := 0
+	start := time.Now()
+	err := p.Do(context.Background(), func(context.Context, int) error { calls++; return errors.New("x") })
+	if err == nil {
+		t.Fatal("want failure")
+	}
+	if calls >= 5 {
+		t.Fatalf("%d attempts despite a 60ms elapsed cap on 40ms backoffs", calls)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("Do ran %v, elapsed cap did not bound it", elapsed)
+	}
+}

@@ -1,0 +1,105 @@
+package router
+
+import (
+	"context"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// replica is one hsgfd process backing a shard. Health is the OR of two
+// signals: an active /readyz probe loop (catches processes that died or
+// started draining while idle) and passive accounting on live traffic
+// (catches failures faster than the probe period). Either can mark the
+// replica down; only a successful probe or a successful request marks
+// it back up.
+type replica struct {
+	url string // base URL, e.g. http://127.0.0.1:9001
+
+	healthy      atomic.Bool
+	consecFails  atomic.Int32
+	lastProbeErr atomic.Pointer[string]
+
+	// Last observed generation/fingerprint, from probe or traffic; for
+	// /v1/meta and the fleet reload report.
+	generation  atomic.Uint64
+	fingerprint atomic.Pointer[string]
+}
+
+func newReplica(url string) *replica {
+	r := &replica{url: url}
+	// Optimistic start: replicas are assumed up until a probe or a
+	// request says otherwise, so the router serves immediately after
+	// boot instead of waiting one probe period.
+	r.healthy.Store(true)
+	return r
+}
+
+// reportFailure records a transport-level failure observed on live
+// traffic. After cfg.FailAfter consecutive failures the replica is
+// marked down without waiting for the probe loop.
+func (r *replica) reportFailure(failAfter int32) {
+	if r.consecFails.Add(1) >= failAfter {
+		r.healthy.Store(false)
+	}
+}
+
+// reportSuccess records a successful request; any response from the
+// process (including typed 429/503) proves it alive.
+func (r *replica) reportSuccess() {
+	r.consecFails.Store(0)
+	r.healthy.Store(true)
+}
+
+// probeOnce performs one active /readyz check.
+func (r *replica) probeOnce(ctx context.Context, client *http.Client, timeout time.Duration) {
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.url+"/readyz", nil)
+	if err != nil {
+		r.markProbeFailed(err.Error())
+		return
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		r.markProbeFailed(err.Error())
+		return
+	}
+	drainBody(resp)
+	if resp.StatusCode != http.StatusOK {
+		// /readyz returns 503 while draining: the process is alive but
+		// asked to be taken out of rotation.
+		r.markProbeFailed("readyz " + resp.Status)
+		return
+	}
+	r.lastProbeErr.Store(nil)
+	r.reportSuccess()
+}
+
+func (r *replica) markProbeFailed(msg string) {
+	r.lastProbeErr.Store(&msg)
+	r.consecFails.Add(1)
+	r.healthy.Store(false)
+}
+
+// probeLoop polls /readyz until ctx is cancelled. Probes are phase-
+// shifted by a per-replica offset at the call site so a fleet of
+// replicas does not probe in lockstep.
+func (r *replica) probeLoop(ctx context.Context, client *http.Client, interval, timeout time.Duration, offset time.Duration) {
+	select {
+	case <-time.After(offset):
+	case <-ctx.Done():
+		return
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	r.probeOnce(ctx, client, timeout)
+	for {
+		select {
+		case <-ticker.C:
+			r.probeOnce(ctx, client, timeout)
+		case <-ctx.Done():
+			return
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package router
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyWindow is a fixed-size ring of recent successful shard-call
+// latencies. The hedging policy derives its trigger delay from the p95
+// of this window: a hedge fires only when the primary attempt is slower
+// than 95% of recent calls, so steady-state hedge volume is ~5% of
+// requests — enough to cut tail latency, cheap enough to leave on.
+type latencyWindow struct {
+	mu      sync.Mutex
+	samples []time.Duration
+	next    int
+	filled  bool
+}
+
+// latencyWindowSize bounds memory and sort cost; 64 samples is plenty
+// to estimate a p95 that tracks load shifts within a few seconds.
+const latencyWindowSize = 64
+
+// minHedgeSamples gates the estimator: below this, p95 of a handful of
+// calls is noise and the configured default delay is used instead.
+const minHedgeSamples = 8
+
+func newLatencyWindow() *latencyWindow {
+	return &latencyWindow{samples: make([]time.Duration, latencyWindowSize)}
+}
+
+func (w *latencyWindow) observe(d time.Duration) {
+	w.mu.Lock()
+	w.samples[w.next] = d
+	w.next++
+	if w.next == len(w.samples) {
+		w.next = 0
+		w.filled = true
+	}
+	w.mu.Unlock()
+}
+
+// p95 returns the 95th-percentile latency and true, or 0 and false when
+// fewer than minHedgeSamples observations exist.
+func (w *latencyWindow) p95() (time.Duration, bool) {
+	w.mu.Lock()
+	n := w.next
+	if w.filled {
+		n = len(w.samples)
+	}
+	if n < minHedgeSamples {
+		w.mu.Unlock()
+		return 0, false
+	}
+	buf := make([]time.Duration, n)
+	copy(buf, w.samples[:n])
+	w.mu.Unlock()
+
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	// Nearest-rank p95 on n samples.
+	idx := (n*95+99)/100 - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return buf[idx], true
+}

@@ -1,0 +1,146 @@
+// Package router is the sharded, replicated serving tier in front of a
+// fleet of hsgfd shard workers. The graph is partitioned by root with a
+// halo of distance-<=k neighbours per shard (internal/graph
+// PartitionByRoot), so census extraction never crosses a shard
+// boundary; the router owns everything distribution adds on top:
+// consistent-hash root->shard routing, scatter/gather for mixed-root
+// batches, per-replica health probing, per-shard circuit breakers,
+// bounded retries with full-jitter backoff that honour server
+// Retry-After hints, hedged requests against replicas after a
+// p95-derived delay, partial-result degradation (a dead shard flags its
+// rows shard-unavailable instead of failing the batch), and fleet-wide
+// zero-downtime reload that verifies every shard before flipping any.
+package router
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"hsgf/internal/graph"
+	"hsgf/internal/store"
+)
+
+// manifestVersion guards the manifest encoding; readers refuse files
+// from the future.
+const manifestVersion = 1
+
+// Manifest is the partition's routing metadata: everything the router
+// must know about how the graph was cut that it cannot recompute
+// without loading the full graph. It is written by the partitioner next
+// to the shard stores and loaded by the router at boot.
+type Manifest struct {
+	Version   int `json:"version"`
+	NumShards int `json:"num_shards"`
+	// HaloDepth records the neighbourhood radius the shards were cut
+	// with; serving emax must not exceed it (emax-1 under dmax), which
+	// the operator can audit from /v1/meta.
+	HaloDepth int `json:"halo_depth"`
+	// NumNodes is the full graph's node count; the router validates
+	// request roots against it.
+	NumNodes int             `json:"num_nodes"`
+	Shards   []ShardManifest `json:"shards"`
+}
+
+// ShardManifest describes one shard's universe.
+type ShardManifest struct {
+	Shard int `json:"shard"`
+	// OwnedRoots counts the globally-owned roots (for ops; ownership
+	// itself is recomputed via graph.RootShard).
+	OwnedRoots int `json:"owned_roots"`
+	// LocalToGlobal maps the shard graph's dense local node IDs to
+	// global IDs. Its inverse translates request roots into shard
+	// requests.
+	LocalToGlobal []int64 `json:"local_to_global"`
+}
+
+// BuildManifest assembles the routing manifest for a set of shard plans
+// cut from a graph with numNodes nodes.
+func BuildManifest(numNodes, haloDepth int, plans []*graph.ShardPlan) *Manifest {
+	m := &Manifest{
+		Version:   manifestVersion,
+		NumShards: len(plans),
+		HaloDepth: haloDepth,
+		NumNodes:  numNodes,
+		Shards:    make([]ShardManifest, len(plans)),
+	}
+	for i, p := range plans {
+		l2g := make([]int64, len(p.LocalToGlobal))
+		for local, global := range p.LocalToGlobal {
+			l2g[local] = int64(global)
+		}
+		m.Shards[i] = ShardManifest{
+			Shard:         p.Shard,
+			OwnedRoots:    len(p.OwnedRoots),
+			LocalToGlobal: l2g,
+		}
+	}
+	return m
+}
+
+// Validate checks the manifest's internal consistency: version,
+// shard count/order, in-range mappings, and that every global node is
+// owned by the shard RootShard assigns it to.
+func (m *Manifest) Validate() error {
+	if m.Version > manifestVersion {
+		return fmt.Errorf("router: manifest version %d, reader supports <= %d", m.Version, manifestVersion)
+	}
+	if m.NumShards < 1 || len(m.Shards) != m.NumShards {
+		return fmt.Errorf("router: manifest has %d shard entries for num_shards %d", len(m.Shards), m.NumShards)
+	}
+	if m.NumNodes < 0 {
+		return fmt.Errorf("router: negative num_nodes %d", m.NumNodes)
+	}
+	owned := make([]bool, m.NumNodes)
+	for i, sh := range m.Shards {
+		if sh.Shard != i {
+			return fmt.Errorf("router: shard entry %d has index %d; entries must be ordered", i, sh.Shard)
+		}
+		seen := make(map[int64]bool, len(sh.LocalToGlobal))
+		for local, global := range sh.LocalToGlobal {
+			if global < 0 || global >= int64(m.NumNodes) {
+				return fmt.Errorf("router: shard %d local %d maps to out-of-range global %d", i, local, global)
+			}
+			if seen[global] {
+				return fmt.Errorf("router: shard %d maps global %d twice", i, global)
+			}
+			seen[global] = true
+			if graph.RootShard(graph.NodeID(global), m.NumShards) == i {
+				owned[global] = true
+			}
+		}
+	}
+	for v, ok := range owned {
+		if !ok {
+			return fmt.Errorf("router: global node %d absent from its owning shard %d",
+				v, graph.RootShard(graph.NodeID(v), m.NumShards))
+		}
+	}
+	return nil
+}
+
+// WriteManifest atomically persists m as JSON at path (temp + fsync +
+// rename, like every other artifact).
+func WriteManifest(path string, m *Manifest) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return store.AtomicWriteBytes(path, append(data, '\n'))
+}
+
+// LoadManifest reads and validates a manifest written by WriteManifest.
+func LoadManifest(path string) (*Manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("router: undecodable manifest %s: %w", path, err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &m, nil
+}

@@ -1,0 +1,65 @@
+package router
+
+import (
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"hsgf/internal/graph"
+)
+
+func testManifest(t *testing.T) *Manifest {
+	t.Helper()
+	g := fleetTestGraph(t, 150, 29)
+	plans, err := graph.PartitionByRoot(g, graph.PartitionConfig{NumShards: 3, HaloDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return BuildManifest(g.NumNodes(), 2, plans)
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	m := testManifest(t)
+	if err := m.Validate(); err != nil {
+		t.Fatalf("fresh manifest invalid: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "manifest.json")
+	if err := WriteManifest(path, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, m) {
+		t.Fatal("manifest did not round-trip")
+	}
+}
+
+func TestManifestValidateRejectsCorruption(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(m *Manifest)
+		want   string
+	}{
+		{"future version", func(m *Manifest) { m.Version = manifestVersion + 1 }, "version"},
+		{"shard order", func(m *Manifest) { m.Shards[0].Shard = 2 }, "ordered"},
+		{"out of range mapping", func(m *Manifest) { m.Shards[1].LocalToGlobal[0] = int64(m.NumNodes) }, "out-of-range"},
+		{"duplicate mapping", func(m *Manifest) {
+			m.Shards[1].LocalToGlobal[1] = m.Shards[1].LocalToGlobal[0]
+		}, "twice"},
+		{"missing owner", func(m *Manifest) {
+			// Drop shard 0's entire universe: its owned roots go missing.
+			m.Shards[0].LocalToGlobal = nil
+		}, "absent"},
+	}
+	for _, tc := range cases {
+		m := testManifest(t)
+		tc.mutate(m)
+		err := m.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: Validate() = %v, want error containing %q", tc.name, err, tc.want)
+		}
+	}
+}

@@ -1,0 +1,339 @@
+package router
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"hsgf/internal/retry"
+	"hsgf/internal/serve"
+)
+
+// shard is the router's client-side view of one partition: its replica
+// set, the ID translation tables from the manifest, a circuit breaker
+// guarding the whole replica set, and the latency window feeding the
+// hedging policy.
+type shard struct {
+	idx      int
+	replicas []*replica
+	brk      *serve.Breaker
+	lat      *latencyWindow
+	rr       atomic.Uint32 // round-robin replica cursor
+
+	l2g []int64         // local ID -> global ID (from the manifest)
+	g2l map[int64]int64 // global ID -> local ID
+}
+
+// healthyReplicas returns the currently-healthy replicas, excluding
+// skip. When none are healthy it falls back to the full set (minus
+// skip): probes lag real recovery, and sending a request to a
+// possibly-dead replica is how passive accounting finds out it is back.
+func (sh *shard) healthyReplicas(skip *replica) []*replica {
+	out := make([]*replica, 0, len(sh.replicas))
+	for _, r := range sh.replicas {
+		if r != skip && r.healthy.Load() {
+			out = append(out, r)
+		}
+	}
+	if len(out) == 0 {
+		for _, r := range sh.replicas {
+			if r != skip {
+				out = append(out, r)
+			}
+		}
+	}
+	return out
+}
+
+// shardError is a classified failure of one attempt against one
+// replica. transport distinguishes connection-level failures (process
+// unreachable: counts against replica health) from typed HTTP errors
+// (process alive but refusing: 429/503).
+type shardError struct {
+	replica   string
+	status    int
+	reason    string
+	err       error
+	transport bool
+}
+
+func (e *shardError) Error() string {
+	if e.err != nil {
+		return fmt.Sprintf("replica %s: %v", e.replica, e.err)
+	}
+	return fmt.Sprintf("replica %s: %d %s", e.replica, e.status, e.reason)
+}
+
+func (e *shardError) Unwrap() error { return e.err }
+
+// errAllReplicasDown is wrapped into the terminal error when a shard
+// call exhausts its retries; callers key partial-result degradation on
+// the wrapping shardError chain rather than this sentinel.
+var errNoReplicas = errors.New("router: shard has no replicas")
+
+// attemptOnce sends one POST /v1/features to one replica and classifies
+// the outcome:
+//   - 200: success; replica marked healthy, latency observed by caller.
+//   - 400: permanent (retrying a malformed request cannot help).
+//   - 429/503: retryable with the server's Retry-After hint attached, so
+//     the backoff honours the hint instead of its own schedule. The
+//     replica answered, so this does NOT count against its health.
+//   - transport error / 5xx: retryable; counts toward the replica's
+//     consecutive-failure trip wire.
+func (s *Server) attemptOnce(ctx context.Context, rep *replica, body []byte) (*serve.FeaturesResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, rep.url+"/v1/features", bytes.NewReader(body))
+	if err != nil {
+		return nil, retry.Permanent(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := s.client.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			// Cancelled or deadline: not the replica's fault.
+			return nil, &shardError{replica: rep.url, err: err}
+		}
+		rep.reportFailure(s.cfg.FailAfter)
+		return nil, &shardError{replica: rep.url, err: err, transport: true}
+	}
+	defer drainBody(resp)
+
+	if resp.StatusCode == http.StatusOK {
+		var fr serve.FeaturesResponse
+		if err := json.NewDecoder(io.LimitReader(resp.Body, maxShardResponseBytes)).Decode(&fr); err != nil {
+			rep.reportFailure(s.cfg.FailAfter)
+			return nil, &shardError{replica: rep.url, err: fmt.Errorf("undecodable response: %w", err), transport: true}
+		}
+		rep.reportSuccess()
+		if fr.Generation != 0 {
+			rep.generation.Store(fr.Generation)
+		}
+		if fr.Fingerprint != "" {
+			fp := fr.Fingerprint
+			rep.fingerprint.Store(&fp)
+		}
+		return &fr, nil
+	}
+
+	reason, hint := parseTypedError(resp)
+	se := &shardError{replica: rep.url, status: resp.StatusCode, reason: reason}
+	switch {
+	case resp.StatusCode == http.StatusBadRequest:
+		rep.reportSuccess()
+		return nil, retry.Permanent(se)
+	case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable:
+		// The process answered; alive, just refusing. Honour its hint.
+		rep.reportSuccess()
+		if hint > 0 {
+			return nil, retry.WithHint(se, hint)
+		}
+		return nil, se
+	default:
+		rep.reportFailure(s.cfg.FailAfter)
+		se.transport = true
+		return nil, se
+	}
+}
+
+// maxShardResponseBytes bounds a single shard response decode (64 MiB);
+// a corrupted or adversarial body cannot OOM the router.
+const maxShardResponseBytes = 64 << 20
+
+// parseTypedError extracts the stable reason code and retry hint from a
+// typed hsgfd error body, falling back to the Retry-After header.
+func parseTypedError(resp *http.Response) (reason string, hint time.Duration) {
+	var body struct {
+		Reason       string `json:"reason"`
+		RetryAfterMS int64  `json:"retry_after_ms"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&body); err == nil {
+		reason = body.Reason
+		if body.RetryAfterMS > 0 {
+			hint = time.Duration(body.RetryAfterMS) * time.Millisecond
+		}
+	}
+	if reason == "" {
+		reason = http.StatusText(resp.StatusCode)
+	}
+	if hint == 0 {
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			hint = time.Duration(secs) * time.Second
+		}
+	}
+	return reason, hint
+}
+
+// hedgeDelay returns how long to wait on the primary before firing the
+// hedge: the shard's observed p95 when enough samples exist (clamped to
+// [HedgeMinDelay, HedgeMaxDelay]), else the configured default.
+func (s *Server) hedgeDelay(sh *shard) time.Duration {
+	d, ok := sh.lat.p95()
+	if !ok {
+		return s.cfg.HedgeDelay
+	}
+	if d < s.cfg.HedgeMinDelay {
+		d = s.cfg.HedgeMinDelay
+	}
+	if d > s.cfg.HedgeMaxDelay {
+		d = s.cfg.HedgeMaxDelay
+	}
+	return d
+}
+
+// hedgedCall runs one logical attempt against a shard: a primary
+// request to one replica and — if the primary has not resolved within
+// the p95-derived hedge delay and another replica exists — a hedge to a
+// different replica. The first success wins and the loser's context is
+// cancelled; if every leg fails, the primary's error is returned (it
+// carries the most representative classification for the retry loop).
+func (s *Server) hedgedCall(ctx context.Context, sh *shard, body []byte) (*serve.FeaturesResponse, error) {
+	reps := sh.healthyReplicas(nil)
+	if len(reps) == 0 {
+		return nil, retry.Permanent(errNoReplicas)
+	}
+	primary := reps[int(sh.rrNext())%len(reps)]
+
+	type legResult struct {
+		fr  *serve.FeaturesResponse
+		err error
+	}
+	ctx, cancelAll := context.WithCancel(ctx)
+	defer cancelAll()
+
+	results := make(chan legResult, 2)
+	launch := func(rep *replica) {
+		start := time.Now()
+		fr, err := s.attemptOnce(ctx, rep, body)
+		if err == nil {
+			sh.lat.observe(time.Since(start))
+		}
+		results <- legResult{fr, err}
+	}
+	go launch(primary)
+
+	legs := 1
+	var hedgeTimer *time.Timer
+	var hedgeC <-chan time.Time
+	if len(sh.replicas) > 1 {
+		hedgeTimer = time.NewTimer(s.hedgeDelay(sh))
+		defer hedgeTimer.Stop()
+		hedgeC = hedgeTimer.C
+	}
+
+	var firstErr error
+	for {
+		select {
+		case <-hedgeC:
+			hedgeC = nil
+			alts := sh.healthyReplicas(primary)
+			if len(alts) == 0 {
+				continue
+			}
+			s.stats.hedges.Add(1)
+			legs++
+			go launch(alts[int(sh.rrNext())%len(alts)])
+		case res := <-results:
+			if res.err == nil {
+				if legs > 1 {
+					s.stats.hedgeWins.Add(1)
+				}
+				return res.fr, nil
+			}
+			if firstErr == nil {
+				firstErr = res.err
+			}
+			legs--
+			if legs == 0 {
+				// Every in-flight leg failed. If the hedge never fired,
+				// fire it now as an immediate failover rather than
+				// waiting out the timer against a dead primary.
+				if hedgeC != nil {
+					hedgeC = nil
+					if alts := sh.healthyReplicas(primary); len(alts) > 0 {
+						s.stats.failovers.Add(1)
+						legs++
+						go launch(alts[int(sh.rrNext())%len(alts)])
+						continue
+					}
+				}
+				return nil, firstErr
+			}
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// callShard resolves one shard's slice of a batch: translate global
+// roots to the shard's local IDs, run the hedged call under the shard's
+// breaker with bounded full-jitter retries, and translate the rows
+// back. The returned rows are ordered exactly as roots.
+func (s *Server) callShard(ctx context.Context, sh *shard, roots []int64, req *serve.FeaturesRequest) ([]serve.FeatureRow, error) {
+	done, ok := sh.brk.Acquire()
+	if !ok {
+		s.stats.breakerRejects.Add(1)
+		return nil, fmt.Errorf("router: shard %d breaker open", sh.idx)
+	}
+
+	local := make([]int64, len(roots))
+	for i, g := range roots {
+		l, found := sh.g2l[g]
+		if !found {
+			// Validated at admission; a miss here is a manifest bug.
+			done(false)
+			return nil, fmt.Errorf("router: root %d not in shard %d manifest", g, sh.idx)
+		}
+		local[i] = l
+	}
+	body, err := json.Marshal(serve.FeaturesRequest{
+		Roots:          local,
+		DeadlineMS:     req.DeadlineMS,
+		RootBudget:     req.RootBudget,
+		RootDeadlineMS: req.RootDeadlineMS,
+	})
+	if err != nil {
+		done(false)
+		return nil, err
+	}
+
+	var fr *serve.FeaturesResponse
+	pol := s.retryPolicy()
+	err = pol.Do(ctx, func(ctx context.Context, attempt int) error {
+		if attempt > 1 {
+			s.stats.retries.Add(1)
+		}
+		ctx, cancel := context.WithTimeout(ctx, s.cfg.ShardTimeout)
+		defer cancel()
+		var aerr error
+		fr, aerr = s.hedgedCall(ctx, sh, body)
+		return aerr
+	})
+	if err != nil {
+		done(true)
+		return nil, err
+	}
+	if len(fr.Rows) != len(roots) {
+		done(true)
+		return nil, fmt.Errorf("router: shard %d returned %d rows for %d roots", sh.idx, len(fr.Rows), len(roots))
+	}
+	done(false)
+	s.stats.shardCalls.Add(1)
+
+	rows := make([]serve.FeatureRow, len(fr.Rows))
+	for i, row := range fr.Rows {
+		if row.Root != local[i] {
+			return nil, fmt.Errorf("router: shard %d row %d is root %d, want %d", sh.idx, i, row.Root, local[i])
+		}
+		row.Root = sh.l2g[local[i]]
+		rows[i] = row
+	}
+	return rows, nil
+}
+
+func (sh *shard) rrNext() uint32 { return sh.rr.Add(1) - 1 }

@@ -1,0 +1,90 @@
+package router
+
+import (
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// routerStats are the routing tier's live counters, exposed at
+// /debug/stats. All monotonic; read with atomic loads.
+type routerStats struct {
+	requests          atomic.Int64 // batches admitted
+	rootsRouted       atomic.Int64 // roots across all batches
+	shardCalls        atomic.Int64 // successful shard calls
+	retries           atomic.Int64 // shard-call re-attempts (attempt > 1)
+	hedges            atomic.Int64 // hedge legs fired on the p95 timer
+	hedgeWins         atomic.Int64 // batches resolved by a non-primary leg
+	failovers         atomic.Int64 // immediate failover legs after primary failure
+	breakerRejects    atomic.Int64 // shard calls short-circuited by an open breaker
+	unavailableRows   atomic.Int64 // rows degraded shard-unavailable
+	degradedResponses atomic.Int64 // 200s with any flagged row
+	fleetReloads      atomic.Int64 // fleet reload attempts
+	fleetReloadOK     atomic.Int64
+	fleetReloadFailed atomic.Int64
+}
+
+// StatsResponse is the GET /debug/stats body.
+type StatsResponse struct {
+	Requests          int64 `json:"requests"`
+	RootsRouted       int64 `json:"roots_routed"`
+	ShardCalls        int64 `json:"shard_calls"`
+	Retries           int64 `json:"retries"`
+	Hedges            int64 `json:"hedges"`
+	HedgeWins         int64 `json:"hedge_wins"`
+	Failovers         int64 `json:"failovers"`
+	BreakerRejects    int64 `json:"breaker_rejects"`
+	UnavailableRows   int64 `json:"unavailable_rows"`
+	DegradedResponses int64 `json:"degraded_responses"`
+	FleetReloads      int64 `json:"fleet_reloads"`
+	FleetReloadOK     int64 `json:"fleet_reload_ok"`
+	FleetReloadFailed int64 `json:"fleet_reload_failed"`
+
+	Shards []ShardStats `json:"shards"`
+}
+
+// ShardStats is one shard's live client-side state.
+type ShardStats struct {
+	Shard           int     `json:"shard"`
+	Breaker         string  `json:"breaker"`
+	HealthyReplicas int     `json:"healthy_replicas"`
+	Replicas        int     `json:"replicas"`
+	P95MS           float64 `json:"p95_ms,omitempty"`
+	HedgeDelayMS    float64 `json:"hedge_delay_ms"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	resp := StatsResponse{
+		Requests:          s.stats.requests.Load(),
+		RootsRouted:       s.stats.rootsRouted.Load(),
+		ShardCalls:        s.stats.shardCalls.Load(),
+		Retries:           s.stats.retries.Load(),
+		Hedges:            s.stats.hedges.Load(),
+		HedgeWins:         s.stats.hedgeWins.Load(),
+		Failovers:         s.stats.failovers.Load(),
+		BreakerRejects:    s.stats.breakerRejects.Load(),
+		UnavailableRows:   s.stats.unavailableRows.Load(),
+		DegradedResponses: s.stats.degradedResponses.Load(),
+		FleetReloads:      s.stats.fleetReloads.Load(),
+		FleetReloadOK:     s.stats.fleetReloadOK.Load(),
+		FleetReloadFailed: s.stats.fleetReloadFailed.Load(),
+	}
+	for _, sh := range s.shards {
+		st := ShardStats{
+			Shard:        sh.idx,
+			Breaker:      sh.brk.State().String(),
+			Replicas:     len(sh.replicas),
+			HedgeDelayMS: float64(s.hedgeDelay(sh)) / float64(time.Millisecond),
+		}
+		for _, rep := range sh.replicas {
+			if rep.healthy.Load() {
+				st.HealthyReplicas++
+			}
+		}
+		if p95, ok := sh.lat.p95(); ok {
+			st.P95MS = float64(p95) / float64(time.Millisecond)
+		}
+		resp.Shards = append(resp.Shards, st)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,152 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// These tests race concurrent requests against the breaker's half-open
+// transition. They are written to run under -race (the race job runs
+// this package): the property under test is that when the cooldown
+// elapses and a stampede of requests arrives at once, exactly
+// HalfOpenProbes of them are admitted as probes, everyone else is
+// rejected, and the observable state never moves backwards
+// (open -> half-open -> closed with no intermediate regressions).
+
+// trippedBreaker returns an open breaker with an injectable clock
+// already past its cooldown, so the next Acquire races the half-open
+// transition.
+func trippedBreaker(cfg BreakerConfig) (*Breaker, *atomic.Int64) {
+	b := NewBreaker(cfg)
+	var nowNS atomic.Int64
+	nowNS.Store(time.Unix(1000, 0).UnixNano())
+	b.now = func() time.Time { return time.Unix(0, nowNS.Load()) }
+
+	// Trip: enough failures to cross the ratio.
+	for i := 0; i < cfg.Window; i++ {
+		done, ok := b.Acquire()
+		if !ok {
+			break
+		}
+		done(true)
+	}
+	if b.State() != BreakerOpen {
+		panic("breaker did not trip during setup")
+	}
+	nowNS.Add(int64(b.cfg.Cooldown) + 1)
+	return b, &nowNS
+}
+
+// TestBreakerHalfOpenAdmitsExactlyOneProbeUnderRace: 64 goroutines hit
+// Acquire the instant the cooldown elapses; exactly one may pass.
+func TestBreakerHalfOpenAdmitsExactlyOneProbeUnderRace(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		b, _ := trippedBreaker(BreakerConfig{Window: 8, MinSamples: 4, Cooldown: time.Second, HalfOpenProbes: 1, CloseAfter: 1})
+
+		const goroutines = 64
+		var (
+			admitted atomic.Int64
+			dones    [goroutines]func(bool)
+			start    sync.WaitGroup
+			finish   sync.WaitGroup
+		)
+		start.Add(1)
+		for i := 0; i < goroutines; i++ {
+			finish.Add(1)
+			go func(i int) {
+				defer finish.Done()
+				start.Wait()
+				if done, ok := b.Acquire(); ok {
+					admitted.Add(1)
+					dones[i] = done
+				}
+			}(i)
+		}
+		start.Done()
+		finish.Wait()
+
+		if n := admitted.Load(); n != 1 {
+			t.Fatalf("round %d: %d probes admitted while half-open, want exactly 1", round, n)
+		}
+		if st := b.State(); st != BreakerHalfOpen {
+			t.Fatalf("round %d: state %v with a probe in flight, want half-open", round, st)
+		}
+		// Resolve the winning probe successfully: with CloseAfter=1 the
+		// breaker must close, and the stampede flows again.
+		for _, done := range dones {
+			if done != nil {
+				done(false)
+			}
+		}
+		if st := b.State(); st != BreakerClosed {
+			t.Fatalf("round %d: state %v after successful probe, want closed", round, st)
+		}
+	}
+}
+
+// TestBreakerHalfOpenTransitionsMonotonicUnderRace: while acquires,
+// probe completions and state reads race, the observed state sequence
+// per observer never regresses from half-open back to open without an
+// intervening probe failure, and never skips from open to closed.
+func TestBreakerHalfOpenTransitionsMonotonicUnderRace(t *testing.T) {
+	b, _ := trippedBreaker(BreakerConfig{Window: 8, MinSamples: 4, Cooldown: time.Second, HalfOpenProbes: 1, CloseAfter: 2})
+
+	var wg sync.WaitGroup
+	stopReaders := make(chan struct{})
+	// Observers: each records its own state sequence; with all probes
+	// succeeding, any observed sequence must be a subsequence of
+	// open -> half-open -> closed.
+	rank := func(s BreakerState) int {
+		switch s {
+		case BreakerOpen:
+			return 0
+		case BreakerHalfOpen:
+			return 1
+		default: // closed
+			return 2
+		}
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			last := -1
+			for {
+				select {
+				case <-stopReaders:
+					return
+				default:
+				}
+				cur := rank(b.State())
+				if cur < last {
+					t.Errorf("state regressed from rank %d to %d without a probe failure", last, cur)
+					return
+				}
+				last = cur
+			}
+		}()
+	}
+	// Drivers: acquire and always succeed, racing the half-open probe
+	// accounting and the close transition.
+	var drivers sync.WaitGroup
+	for d := 0; d < 8; d++ {
+		drivers.Add(1)
+		go func() {
+			defer drivers.Done()
+			for i := 0; i < 200; i++ {
+				if done, ok := b.Acquire(); ok {
+					done(false)
+				}
+			}
+		}()
+	}
+	drivers.Wait()
+	close(stopReaders)
+	wg.Wait()
+
+	if st := b.State(); st != BreakerClosed {
+		t.Fatalf("state %v after 1600 successful outcomes, want closed", st)
+	}
+}

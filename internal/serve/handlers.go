@@ -68,6 +68,14 @@ type ErrorDetail struct {
 
 type errorBody struct {
 	Error ErrorDetail `json:"error"`
+	// Reason mirrors Error.Code at the top level: the stable
+	// machine-readable field automation (the routing tier's backoff
+	// classifier first among it) keys on without digging into the
+	// nested error object.
+	Reason string `json:"reason"`
+	// RetryAfterMS mirrors the Retry-After header with millisecond
+	// precision; 0 when the error is not retryable.
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
 }
 
 // MetaResponse is the body of GET /v1/meta.
@@ -106,6 +114,13 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func (s *Server) writeError(w http.ResponseWriter, status int, code, message string, retryAfter time.Duration) {
 	detail := ErrorDetail{Code: code, Message: message}
+	// Shed (429) and unavailable (503) responses always carry a backoff
+	// hint so client retry loops can honour the server's view of load
+	// instead of guessing; the configured default applies when the
+	// caller had no better estimate (e.g. breaker cooldown).
+	if retryAfter <= 0 && (status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable) {
+		retryAfter = s.cfg.RetryAfter
+	}
 	if retryAfter > 0 {
 		secs := int64(retryAfter.Seconds())
 		if secs < 1 {
@@ -114,7 +129,11 @@ func (s *Server) writeError(w http.ResponseWriter, status int, code, message str
 		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
 		detail.RetryAfterMS = retryAfter.Milliseconds()
 	}
-	writeJSON(w, status, errorBody{Error: detail})
+	writeJSON(w, status, errorBody{
+		Error:        detail,
+		Reason:       code,
+		RetryAfterMS: detail.RetryAfterMS,
+	})
 }
 
 // recoverPanics is the outermost middleware: a panicking handler is
@@ -320,12 +339,18 @@ type ReloadResponse struct {
 	Generation  uint64 `json:"generation"`
 	Fingerprint string `json:"fingerprint"`
 	ElapsedMS   int64  `json:"elapsed_ms"`
+	// Verified is true for verify-only calls (?verify=1): the reported
+	// generation passed verification but was NOT swapped in.
+	Verified bool `json:"verified,omitempty"`
 }
 
 // handleReload serves POST /v1/admin/reload: verify the newest artifact
-// generation off the request path, then RCU-swap it in. Failure keeps
-// the current generation serving and reports a typed error; a reload
-// already in flight is a 409 so automation never stacks reloads.
+// generation off the request path, then RCU-swap it in. With ?verify=1
+// the swap is skipped — the next generation is built and verified, the
+// current one keeps serving — which is the first phase of the routing
+// tier's fleet-wide reload protocol. Failure keeps the current
+// generation serving and reports a typed error; a reload already in
+// flight is a 409 so automation never stacks reloads.
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		s.writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use POST", 0)
@@ -335,14 +360,24 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusServiceUnavailable, "draining", "server is draining", s.cfg.RetryAfter)
 		return
 	}
+	verifyOnly := r.URL.Query().Get("verify") == "1"
 	start := time.Now()
-	snap, err := s.Reload(r.Context())
+	var (
+		snap *Snapshot
+		err  error
+	)
+	if verifyOnly {
+		snap, err = s.VerifyReload(r.Context())
+	} else {
+		snap, err = s.Reload(r.Context())
+	}
 	switch {
 	case err == nil:
 		writeJSON(w, http.StatusOK, ReloadResponse{
 			Generation:  snap.Generation,
 			Fingerprint: snap.Fingerprint,
 			ElapsedMS:   time.Since(start).Milliseconds(),
+			Verified:    verifyOnly,
 		})
 	case errors.Is(err, ErrNoReloader):
 		s.writeError(w, http.StatusNotImplemented, "reload_unsupported",

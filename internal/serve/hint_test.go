@@ -1,0 +1,137 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// Backoff-hint contract: every shed (429) and unavailable (503)
+// response carries a Retry-After header and a stable machine-readable
+// reason, because the routing tier's retry loop keys on both.
+
+func TestWriteErrorAlwaysHintsOnShedAndUnavailable(t *testing.T) {
+	s, _ := newTestServer(t, Config{RetryAfter: 2 * time.Second})
+	cases := []struct {
+		status     int
+		code       string
+		retryAfter time.Duration
+		wantHeader string
+		wantMS     int64
+	}{
+		// Explicit hint: surfaced as given, rounded up to whole seconds
+		// in the header, exact in the JSON field.
+		{http.StatusServiceUnavailable, "breaker_open", 2500 * time.Millisecond, "2", 2500},
+		// Sub-second hints round the header up to 1, never down to 0.
+		{http.StatusTooManyRequests, "shed", 300 * time.Millisecond, "1", 300},
+		// No hint from the caller: the configured default applies on
+		// 429/503 so these responses are never hint-less.
+		{http.StatusTooManyRequests, "shed", 0, "2", 2000},
+		{http.StatusServiceUnavailable, "queue_timeout", 0, "2", 2000},
+		// Non-retryable statuses stay hint-less.
+		{http.StatusBadRequest, "bad_request", 0, "", 0},
+	}
+	for _, tc := range cases {
+		w := httptest.NewRecorder()
+		s.writeError(w, tc.status, tc.code, "msg", tc.retryAfter)
+		if got := w.Header().Get("Retry-After"); got != tc.wantHeader {
+			t.Errorf("%s %d: Retry-After = %q, want %q", tc.code, tc.status, got, tc.wantHeader)
+		}
+		var body struct {
+			Reason       string `json:"reason"`
+			RetryAfterMS int64  `json:"retry_after_ms"`
+			Error        ErrorDetail
+		}
+		if err := json.Unmarshal(w.Body.Bytes(), &body); err != nil {
+			t.Fatalf("%s: undecodable body %q: %v", tc.code, w.Body.String(), err)
+		}
+		if body.Reason != tc.code {
+			t.Errorf("%s: top-level reason = %q, want the error code", tc.code, body.Reason)
+		}
+		if body.RetryAfterMS != tc.wantMS {
+			t.Errorf("%s: retry_after_ms = %d, want %d", tc.code, body.RetryAfterMS, tc.wantMS)
+		}
+		if body.Error.Code != tc.code {
+			t.Errorf("%s: nested error.code = %q lost", tc.code, body.Error.Code)
+		}
+	}
+}
+
+// TestBreakerOpenResponseCarriesCooldownHint trips the breaker and
+// asserts the 503 surfaces the remaining cooldown, not the generic
+// default.
+func TestBreakerOpenResponseCarriesCooldownHint(t *testing.T) {
+	s, _ := newTestServer(t, Config{
+		Breaker: BreakerConfig{Window: 4, MinSamples: 2, Cooldown: 30 * time.Second},
+	})
+	for i := 0; i < 4; i++ {
+		if done, ok := s.brk.Acquire(); ok {
+			done(true)
+		}
+	}
+	if s.brk.State() != BreakerOpen {
+		t.Fatal("breaker did not trip during setup")
+	}
+	w := doJSON(t, s, http.MethodPost, "/v1/features", `{"roots":[1]}`, nil)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", w.Code)
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Error("breaker_open 503 without a Retry-After header")
+	}
+	var body struct {
+		Reason       string `json:"reason"`
+		RetryAfterMS int64  `json:"retry_after_ms"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Reason != "breaker_open" {
+		t.Errorf("reason = %q, want breaker_open", body.Reason)
+	}
+	if body.RetryAfterMS <= 0 || body.RetryAfterMS > 30000 {
+		t.Errorf("retry_after_ms = %d, want the remaining cooldown", body.RetryAfterMS)
+	}
+}
+
+// TestVerifyOnlyReloadDoesNotSwap: ?verify=1 builds and verifies the
+// next snapshot but the serving generation must not change.
+func TestVerifyOnlyReloadDoesNotSwap(t *testing.T) {
+	s, ex := newTestServer(t, Config{})
+	calls := 0
+	s.SetReloader(func(ctx context.Context) (*Snapshot, error) {
+		calls++
+		next := NewSnapshot(ex)
+		next.Generation = 42
+		return next, nil
+	})
+
+	before := s.Snapshot().Generation
+	var resp ReloadResponse
+	w := doJSON(t, s, http.MethodPost, "/v1/admin/reload?verify=1", " ", &resp)
+	if w.Code != http.StatusOK {
+		t.Fatalf("verify reload = %d: %s", w.Code, w.Body.String())
+	}
+	if !resp.Verified || resp.Generation != 42 {
+		t.Fatalf("verify response %+v, want verified generation 42", resp)
+	}
+	if calls != 1 {
+		t.Fatalf("reloader ran %d times, want 1", calls)
+	}
+	if got := s.Snapshot().Generation; got != before {
+		t.Fatalf("serving generation moved %d -> %d on a verify-only reload", before, got)
+	}
+
+	// A plain reload afterwards does swap.
+	resp = ReloadResponse{}
+	w = doJSON(t, s, http.MethodPost, "/v1/admin/reload", " ", &resp)
+	if w.Code != http.StatusOK || resp.Verified {
+		t.Fatalf("real reload = %d (verified=%v)", w.Code, resp.Verified)
+	}
+	if got := s.Snapshot().Generation; got != 42 {
+		t.Fatalf("serving generation %d after real reload, want 42", got)
+	}
+}

@@ -119,3 +119,34 @@ func (s *Server) Reload(ctx context.Context) (*Snapshot, error) {
 		snap.Generation, elapsed.Round(time.Millisecond), old.Fingerprint, snap.Fingerprint)
 	return snap, nil
 }
+
+// VerifyReload builds and fully verifies the next snapshot through the
+// configured reloader without swapping it in — the serving generation
+// is untouched. It exists for fleet orchestration: the router's
+// shard-by-shard reload first verifies every shard's next generation
+// (this call), and flips nothing anywhere unless all of them pass, so a
+// half-upgraded fleet cannot happen. Shares the single-flight lock with
+// Reload; returns the snapshot that would be served.
+func (s *Server) VerifyReload(ctx context.Context) (*Snapshot, error) {
+	if s.reloader == nil {
+		return nil, ErrNoReloader
+	}
+	if !s.reloadMu.TryLock() {
+		return nil, ErrReloadInProgress
+	}
+	defer s.reloadMu.Unlock()
+
+	snap, err := s.reloader(ctx)
+	if err == nil && (snap == nil || snap.Extractor == nil) {
+		err = fmt.Errorf("serve: reloader returned an empty snapshot")
+	}
+	if err != nil {
+		s.logf("serve: reload verification failed: %v (serving generation untouched)", err)
+		return nil, err
+	}
+	if snap.Fingerprint == "" {
+		snap.Fingerprint = fingerprint(snap.Extractor)
+	}
+	s.logf("serve: reload verification ok: generation %d ready (fingerprint %s)", snap.Generation, snap.Fingerprint)
+	return snap, nil
+}

@@ -230,6 +230,100 @@ func TestQuarantineFallback(t *testing.T) {
 	}
 }
 
+// TestLoadLatestVerifiedMultiQuarantineFallback walks LoadLatestVerified
+// through a store whose newest three generations are all bad — two torn
+// on disk, one rejected by the artifact-level verify hook — and checks
+// it lands on the oldest good generation, quarantines every failure in
+// one pass, and never re-reads quarantined files on later calls.
+func TestLoadLatestVerifiedMultiQuarantineFallback(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{Retain: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gens []uint64
+	for _, tag := range []string{"oldest", "torn-a", "torn-b", "rejected"} {
+		gen, err := s.Write("feat", testSections(tag))
+		if err != nil {
+			t.Fatal(err)
+		}
+		gens = append(gens, gen)
+	}
+	// Generations 2 and 3 fail integrity verification: flip a byte in
+	// one, truncate the other. Generation 4 is bit-perfect but carries a
+	// payload the caller's verify hook rejects.
+	for _, gen := range gens[1:3] {
+		path := s.Path("feat", gen)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gen == gens[1] {
+			data[len(data)/3] ^= 0x55
+		} else {
+			data = data[:len(data)-footerLen/2]
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	verifyCalls := 0
+	verify := func(env *Envelope) error {
+		verifyCalls++
+		body, ok := env.Section("body")
+		if !ok {
+			return errors.New("no body section")
+		}
+		if strings.Contains(string(body), "rejected") {
+			return errors.New("payload fails artifact check")
+		}
+		return nil
+	}
+
+	env, gen, err := s.LoadLatestVerified("feat", verify)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != gens[0] {
+		t.Fatalf("fell back to generation %d, want %d", gen, gens[0])
+	}
+	if body, _ := env.Section("body"); string(body) != "payload-oldest" {
+		t.Fatalf("fallback body %q", body)
+	}
+	// The verify hook only sees envelopes that passed integrity checks:
+	// the rejected generation and the surviving one. Torn files never
+	// reach it.
+	if verifyCalls != 2 {
+		t.Fatalf("verify hook ran %d times, want 2", verifyCalls)
+	}
+	// All three failures were renamed aside in the single pass.
+	for _, gen := range gens[1:] {
+		path := s.Path("feat", gen)
+		if _, err := os.Stat(path + quarantineSuffix); err != nil {
+			t.Errorf("generation %d not quarantined: %v", gen, err)
+		}
+		if _, err := os.Stat(path); !os.IsNotExist(err) {
+			t.Errorf("generation %d still present under its live name", gen)
+		}
+	}
+	live, err := s.Generations("feat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(live) != 1 || live[0] != gens[0] {
+		t.Fatalf("live generations %v, want [%d]", live, gens[0])
+	}
+
+	// A second load must skip the quarantined files without re-reading
+	// them: the verify hook fires exactly once more, for the survivor.
+	if _, gen, err := s.LoadLatestVerified("feat", verify); err != nil || gen != gens[0] {
+		t.Fatalf("second load: gen %d, err %v", gen, err)
+	}
+	if verifyCalls != 3 {
+		t.Fatalf("verify hook ran %d times after second load, want 3", verifyCalls)
+	}
+}
+
 func TestLoadLatestAllCorrupt(t *testing.T) {
 	s, err := Open(t.TempDir(), Options{})
 	if err != nil {
