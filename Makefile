@@ -1,12 +1,12 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: all check fmt-check vet build test race fuzz-smoke serve-smoke reload-smoke router-smoke embed-bench-smoke bench bench-all bench-smoke clean
+.PHONY: all check fmt-check vet build test race fuzz-smoke serve-smoke reload-smoke router-smoke ingest-smoke embed-bench-smoke bench bench-all bench-smoke clean
 
 all: check
 
 # The full tier-1 gate: what CI runs.
-check: fmt-check vet build test race fuzz-smoke serve-smoke reload-smoke router-smoke embed-bench-smoke
+check: fmt-check vet build test race fuzz-smoke serve-smoke reload-smoke router-smoke ingest-smoke embed-bench-smoke
 
 # gofmt gate: fails listing any file that is not gofmt-clean.
 fmt-check:
@@ -33,6 +33,8 @@ fuzz-smoke:
 	$(GO) test -run=Fuzz -fuzz=FuzzParseCompact -fuzztime=$(FUZZTIME) ./internal/core
 	$(GO) test -run=Fuzz -fuzz=FuzzCounterTable -fuzztime=$(FUZZTIME) ./internal/core
 	$(GO) test -run=Fuzz -fuzz=FuzzStoreEnvelope -fuzztime=$(FUZZTIME) ./internal/store
+	$(GO) test -run=Fuzz -fuzz=FuzzWALRecord -fuzztime=$(FUZZTIME) ./internal/store
+	$(GO) test -run=Fuzz -fuzz=FuzzDecodeMutations -fuzztime=$(FUZZTIME) ./internal/graph
 	$(GO) test -run=Fuzz -fuzz=FuzzWalkShardDeterminism -fuzztime=$(FUZZTIME) ./internal/embed
 
 # End-to-end daemon smoke: builds cmd/hsgfd under -race, boots it on a
@@ -54,6 +56,14 @@ reload-smoke:
 router-smoke:
 	$(GO) test -race -tags smoke -run TestRouterSmoke -v -timeout 10m ./cmd/hsgf-router
 
+# Fault-injection ingest smoke: boots cmd/hsgfd in -ingest mode under
+# -race and drives it through the WAL's crash windows — SIGKILL
+# mid-batch, a torn WAL tail, a bit-flipped record, a duplicate-replay
+# storm — asserting recovery serves censuses identical to an
+# uninterrupted (and compacting) run of the same batches.
+ingest-smoke:
+	$(GO) test -race -tags smoke -run TestIngestSmoke -v -timeout 10m ./cmd/hsgfd
+
 # Embedding-engine smoke: tiny-graph corpus parity across worker
 # counts, finite Hogwild output at Workers=2, and the walk-arena
 # allocation bound — the properties timing benchmarks cannot assert.
@@ -61,12 +71,15 @@ embed-bench-smoke:
 	$(GO) test -tags smoke -run TestEmbedBenchSmoke -v ./cmd/embedbench
 
 # Tracked benchmarks: writes BENCH_census.json (ns/root, allocs/root,
-# subgraphs/sec for the census hot path) and BENCH_embed.json
-# (walks/sec, updates/sec, speedup vs Workers=1 for the embedding
-# engine). Diff these files across PRs to track both hot paths.
+# subgraphs/sec for the census hot path), BENCH_embed.json (walks/sec,
+# updates/sec, speedup vs Workers=1 for the embedding engine) and
+# BENCH_ingest.json (durable mutations/sec, dirty-set sizes,
+# ingest-to-serve p50/p99 for the streaming-ingest path). Diff these
+# files across PRs to track the hot paths.
 bench:
 	$(GO) run ./cmd/censusbench -o BENCH_census.json
 	$(GO) run ./cmd/embedbench -o BENCH_embed.json
+	$(GO) run ./cmd/ingestbench -o BENCH_ingest.json
 
 # Full benchmark sweep across every package.
 bench-all:

@@ -1,0 +1,409 @@
+//go:build smoke
+
+// Fault-injection smoke suite for streaming ingest: builds the real
+// daemon under the race detector and drives it through the crash
+// windows the WAL exists for — SIGKILL mid-batch, a torn WAL tail, a
+// bit-flipped WAL record, and a full duplicate-replay storm — asserting
+// the recovery contract end to end: no acked batch is lost (except
+// detected, truncated corruption), no batch is ever applied twice, and
+// the recovered daemon's censuses are identical to an uninterrupted
+// run of the same batches on a fresh store (which also exercises
+// compaction, running with a much smaller fold interval).
+//
+// Gated behind the "smoke" build tag; run it with `make ingest-smoke`.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+const (
+	ingestSeedNodes = 60
+	ingestBatches   = 9
+)
+
+// ingestBatchBody builds the k-th batch of the canonical smoke stream:
+// grow by one node wired to node k, plus a relabel for dirty-ball
+// variety. The new node's ID is seedN+k, which is only correct when
+// batches apply exactly once and in order — so a duplicate application
+// or a lost acked batch shifts every later node ID and shows up as a
+// census mismatch against the oracle run.
+func ingestBatchBody(k int) string {
+	labels := []string{"loc", "org", "act"}
+	return fmt.Sprintf(
+		`{"batch_id":"smoke-%d","mutations":[`+
+			`{"op":"add_node","label":"org"},`+
+			`{"op":"add_edge","u":%d,"v":%d},`+
+			`{"op":"relabel","u":%d,"label":"%s"}]}`,
+		k, ingestSeedNodes+k, k, (k*7)%ingestSeedNodes, labels[k%3])
+}
+
+// smokeDaemon is one running hsgfd under test.
+type smokeDaemon struct {
+	cmd   *exec.Cmd
+	base  string
+	logMu sync.Mutex
+	log   bytes.Buffer
+}
+
+func startSmokeDaemon(t *testing.T, bin string, args ...string) *smokeDaemon {
+	t.Helper()
+	d := &smokeDaemon{cmd: exec.Command(bin, args...)}
+	stderr, err := d.cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if d.cmd.Process != nil {
+			_ = d.cmd.Process.Kill()
+		}
+	})
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			d.logMu.Lock()
+			fmt.Fprintln(&d.log, line)
+			d.logMu.Unlock()
+			if i := strings.Index(line, "listening on "); i >= 0 {
+				addr := strings.Fields(line[i+len("listening on "):])[0]
+				select {
+				case addrCh <- addr:
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		d.base = "http://" + addr
+	case <-time.After(30 * time.Second):
+		t.Fatalf("daemon never reported its listen address; log:\n%s", d.tail())
+	}
+	return d
+}
+
+func (d *smokeDaemon) tail() string {
+	d.logMu.Lock()
+	defer d.logMu.Unlock()
+	return d.log.String()
+}
+
+// kill9 SIGKILLs the daemon — the crash the WAL is for.
+func (d *smokeDaemon) kill9(t *testing.T) {
+	t.Helper()
+	if err := d.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_ = d.cmd.Wait()
+}
+
+// drain SIGTERMs the daemon and requires a clean exit 0.
+func (d *smokeDaemon) drain(t *testing.T) {
+	t.Helper()
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- d.cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exited non-zero after SIGTERM: %v\n%s", err, d.tail())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not exit within the drain window")
+	}
+}
+
+type ingestAck struct {
+	Seq        uint64 `json:"seq"`
+	Replayed   bool   `json:"replayed"`
+	DirtyRoots int    `json:"dirty_roots"`
+}
+
+// sendBatch posts one mutation batch and decodes the ack.
+func sendBatch(t *testing.T, base, body string) (int, ingestAck) {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/ingest", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/ingest: %v", err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	var ack ingestAck
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(raw, &ack); err != nil {
+			t.Fatalf("undecodable ingest ack %q: %v", raw, err)
+		}
+	} else {
+		t.Logf("ingest non-200: %d %s", resp.StatusCode, raw)
+	}
+	return resp.StatusCode, ack
+}
+
+// metaShape fetches /v1/meta's node/edge counts and fingerprint.
+func metaShape(t *testing.T, base string) (nodes, edges int, fingerprint string) {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/meta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var meta struct {
+		Nodes       int    `json:"nodes"`
+		Edges       int    `json:"edges"`
+		Fingerprint string `json:"fingerprint"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&meta); err != nil {
+		t.Fatal(err)
+	}
+	return meta.Nodes, meta.Edges, meta.Fingerprint
+}
+
+// allCensuses extracts every root's census as content-keyed count maps —
+// the oracle-comparable form (keys are decoded encodings, independent
+// of column order and extraction history).
+func allCensuses(t *testing.T, base string, n int) []map[string]int64 {
+	t.Helper()
+	roots := make([]int64, n)
+	for i := range roots {
+		roots[i] = int64(i)
+	}
+	body, _ := json.Marshal(map[string]any{"roots": roots, "deadline_ms": 60000})
+	resp, err := http.Post(base+"/v1/features", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("features = %d: %s", resp.StatusCode, raw)
+	}
+	var feat struct {
+		Rows []struct {
+			Root   int64            `json:"root"`
+			Flags  string           `json:"flags"`
+			Counts map[string]int64 `json:"counts"`
+		} `json:"rows"`
+		Degraded bool `json:"degraded"`
+	}
+	if err := json.Unmarshal(raw, &feat); err != nil {
+		t.Fatal(err)
+	}
+	if feat.Degraded {
+		t.Fatal("oracle extraction degraded; raise the deadline")
+	}
+	out := make([]map[string]int64, n)
+	for _, r := range feat.Rows {
+		out[r.Root] = r.Counts
+	}
+	return out
+}
+
+func TestIngestSmoke(t *testing.T) {
+	tmp := t.TempDir()
+	tsv := filepath.Join(tmp, "graph.tsv")
+	writeSyntheticGraph(t, tsv, ingestSeedNodes)
+	storeDir := filepath.Join(tmp, "store")
+	walPath := filepath.Join(storeDir, "ingest.wal")
+
+	bin := filepath.Join(tmp, "hsgfd")
+	build := exec.Command("go", "build", "-race", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build -race: %v\n%s", err, out)
+	}
+	// The crash-prone daemon never compacts (WAL retains every record, so
+	// tearing and flipping its tail stays meaningful); the oracle at the
+	// end compacts aggressively, proving compaction preserves semantics.
+	args := func(dir string, compactEvery int) []string {
+		return []string{
+			"-store", dir, "-in", tsv, "-ingest",
+			"-ingest-compact-every", fmt.Sprint(compactEvery),
+			"-emax", "3", "-addr", "127.0.0.1:0", "-drain-grace", "10s",
+		}
+	}
+
+	// Phase 1 — ack five batches, then SIGKILL with a sixth in flight.
+	d := startSmokeDaemon(t, bin, args(storeDir, 1000)...)
+	for k := 0; k < 5; k++ {
+		code, ack := sendBatch(t, d.base, ingestBatchBody(k))
+		if code != http.StatusOK || ack.Replayed || ack.Seq != uint64(k+1) {
+			t.Fatalf("batch %d: code %d ack %+v", k, code, ack)
+		}
+	}
+	inFlight := make(chan struct{})
+	go func() {
+		defer close(inFlight)
+		// The ack may never arrive; the batch may or may not be durable.
+		resp, err := http.Post(d.base+"/v1/ingest", "application/json",
+			strings.NewReader(ingestBatchBody(5)))
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	d.kill9(t)
+	<-inFlight
+
+	// Phase 2 — recover, prove every acked batch survived and none
+	// double-applies: re-sending them acks Replayed with the original
+	// sequence. The in-flight batch lands either way (fresh or replayed —
+	// the idempotency key makes the retry safe), then the stream resumes.
+	d = startSmokeDaemon(t, bin, args(storeDir, 1000)...)
+	for k := 0; k < 5; k++ {
+		code, ack := sendBatch(t, d.base, ingestBatchBody(k))
+		if code != http.StatusOK || !ack.Replayed || ack.Seq != uint64(k+1) {
+			t.Fatalf("post-crash replay of batch %d: code %d ack %+v (acked batch lost or re-applied)", k, code, ack)
+		}
+	}
+	if code, ack := sendBatch(t, d.base, ingestBatchBody(5)); code != http.StatusOK || ack.Seq != 6 {
+		t.Fatalf("in-flight batch retry: code %d ack %+v", code, ack)
+	} else {
+		t.Logf("in-flight batch 5: replayed=%v (both outcomes are contract-valid)", ack.Replayed)
+	}
+	for k := 6; k < 8; k++ {
+		if code, ack := sendBatch(t, d.base, ingestBatchBody(k)); code != http.StatusOK || ack.Replayed {
+			t.Fatalf("batch %d after recovery: code %d ack %+v", k, code, ack)
+		}
+	}
+	if n, _, _ := metaShape(t, d.base); n != ingestSeedNodes+8 {
+		t.Fatalf("nodes after 8 batches = %d, want %d", n, ingestSeedNodes+8)
+	}
+	d.kill9(t)
+
+	// Phase 3 — torn tail: a crash mid-append leaves a partial frame
+	// after the last fsynced record. Recovery must truncate exactly the
+	// torn suffix and keep every acked batch.
+	f, err := os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("WREC\x09\x00\x00\x00par")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d = startSmokeDaemon(t, bin, args(storeDir, 1000)...)
+	if n, _, _ := metaShape(t, d.base); n != ingestSeedNodes+8 {
+		t.Fatalf("nodes after torn-tail recovery = %d, want %d (acked batch lost)", n, ingestSeedNodes+8)
+	}
+	if code, ack := sendBatch(t, d.base, ingestBatchBody(3)); code != http.StatusOK || !ack.Replayed {
+		t.Fatalf("replay after torn-tail recovery: code %d ack %+v", code, ack)
+	}
+	if code, ack := sendBatch(t, d.base, ingestBatchBody(8)); code != http.StatusOK || ack.Replayed || ack.Seq != 9 {
+		t.Fatalf("batch 8: code %d ack %+v", code, ack)
+	}
+	d.kill9(t)
+
+	// Phase 4 — bit flip inside the last WAL record: the CRC detects it
+	// and recovery drops the corrupted suffix — an honest, *detected*
+	// loss of batch 8 (torn-tail truncation logs it), never a silent
+	// wrong census. The daemon still boots and the retry (same batch ID)
+	// applies fresh.
+	info, err := os.Stat(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err = os.OpenFile(walPath, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xFF}, info.Size()-10); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d = startSmokeDaemon(t, bin, args(storeDir, 1000)...)
+	if n, _, _ := metaShape(t, d.base); n != ingestSeedNodes+8 {
+		t.Fatalf("nodes after bit-flip recovery = %d, want %d (corruption not truncated at the right frame)", n, ingestSeedNodes+8)
+	}
+	if code, ack := sendBatch(t, d.base, ingestBatchBody(8)); code != http.StatusOK || ack.Replayed || ack.Seq != 9 {
+		t.Fatalf("batch 8 retry after bit flip: code %d ack %+v (should re-apply fresh)", code, ack)
+	}
+
+	// Phase 5 — duplicate-replay storm: every batch re-sent once more;
+	// all must ack Replayed, and the graph must not move.
+	nBefore, eBefore, fpBefore := metaShape(t, d.base)
+	for k := 0; k < ingestBatches; k++ {
+		if code, ack := sendBatch(t, d.base, ingestBatchBody(k)); code != http.StatusOK || !ack.Replayed {
+			t.Fatalf("replay storm batch %d: code %d ack %+v", k, code, ack)
+		}
+	}
+	nAfter, eAfter, fpAfter := metaShape(t, d.base)
+	if nAfter != nBefore || eAfter != eBefore || fpAfter != fpBefore {
+		t.Fatalf("replay storm mutated state: %d/%d/%s -> %d/%d/%s",
+			nBefore, eBefore, fpBefore, nAfter, eAfter, fpAfter)
+	}
+	if nAfter != ingestSeedNodes+ingestBatches {
+		t.Fatalf("final nodes = %d, want %d", nAfter, ingestSeedNodes+ingestBatches)
+	}
+
+	// Phase 6 — oracle: an uninterrupted daemon on a fresh store applies
+	// the same nine batches (compacting every 2, so the stream crosses
+	// several snapshot folds) and must serve byte-for-byte identical
+	// censuses for every root, with the same fingerprint.
+	oracle := startSmokeDaemon(t, bin, args(filepath.Join(tmp, "oracle"), 2)...)
+	for k := 0; k < ingestBatches; k++ {
+		if code, ack := sendBatch(t, oracle.base, ingestBatchBody(k)); code != http.StatusOK || ack.Replayed {
+			t.Fatalf("oracle batch %d: code %d ack %+v", k, code, ack)
+		}
+	}
+	oN, oE, oFP := metaShape(t, oracle.base)
+	if oN != nAfter || oE != eAfter || oFP != fpAfter {
+		t.Fatalf("oracle shape %d/%d/%s != recovered shape %d/%d/%s",
+			oN, oE, oFP, nAfter, eAfter, fpAfter)
+	}
+	got := allCensuses(t, d.base, nAfter)
+	want := allCensuses(t, oracle.base, oN)
+	for v := range want {
+		if len(got[v]) != len(want[v]) {
+			t.Fatalf("root %d: %d census keys recovered vs %d oracle", v, len(got[v]), len(want[v]))
+		}
+		for key, count := range want[v] {
+			if got[v][key] != count {
+				t.Fatalf("root %d: census %q = %d recovered, %d oracle", v, key, got[v][key], count)
+			}
+		}
+	}
+
+	// The oracle must actually have compacted, and both drain cleanly.
+	resp, err := http.Get(oracle.base + "/debug/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Ingest struct {
+			Compactions uint64 `json:"compactions"`
+			LastSeq     uint64 `json:"last_seq"`
+		} `json:"ingest"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.Ingest.Compactions == 0 || stats.Ingest.LastSeq != ingestBatches {
+		t.Fatalf("oracle ingest stats = %+v, want compactions > 0 and last_seq %d", stats.Ingest, ingestBatches)
+	}
+	d.drain(t)
+	oracle.drain(t)
+}

@@ -12,6 +12,7 @@
 // Endpoints:
 //
 //	POST /v1/features      roots -> characteristic-sequence feature rows
+//	POST /v1/ingest        apply a durable graph-mutation batch (-ingest mode)
 //	GET  /v1/meta          graph/options fingerprint, generation, limits
 //	POST /v1/admin/reload  verify + swap in the newest artifact generation
 //	GET  /healthz          liveness
@@ -36,6 +37,20 @@
 // the store is empty, the TSV graph is imported as generation 1.
 // Without -store, -in alone still supports hot reload by re-reading the
 // TSV file.
+//
+// With -ingest (requires -store) the daemon accepts streaming graph
+// mutations on POST /v1/ingest: each batch is made durable in a
+// write-ahead log before it is acknowledged, only the census rows
+// inside the mutations' distance-≤emax ball are recomputed, and the
+// updated state is swapped into the serving path before the ack is
+// sent. On restart — clean or after a crash — the daemon recovers from
+// the newest verified ingest snapshot plus the WAL tail, so no acked
+// batch is ever lost and replayed batch IDs are acknowledged without
+// being applied twice. In ingest mode the engine owns the serving
+// state, so artifact hot reload (-store generations via SIGHUP or
+// /v1/admin/reload) is disabled, and -dmax-percentile is rejected: a
+// percentile cutoff would drift as the graph mutates, silently changing
+// feature semantics between restarts.
 package main
 
 import (
@@ -52,6 +67,8 @@ import (
 	"time"
 
 	"hsgf"
+	"hsgf/internal/graph"
+	"hsgf/internal/ingest"
 	"hsgf/internal/serve"
 )
 
@@ -82,12 +99,24 @@ func main() {
 
 		drainGrace = flag.Duration("drain-grace", 15*time.Second, "max wait for in-flight requests on shutdown")
 
+		ingestOn      = flag.Bool("ingest", false, "accept streaming graph mutations on POST /v1/ingest (requires -store)")
+		ingestCompact = flag.Int("ingest-compact-every", 0, "fold the WAL into a snapshot after this many batches (0 = engine default)")
+		ingestWorkers = flag.Int("ingest-workers", 0, "census workers for incremental recomputation (0 = GOMAXPROCS)")
+
 		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
 	)
 	flag.Parse()
 	if *in == "" && *storeDir == "" {
 		fmt.Fprintln(os.Stderr, "hsgfd: need -in, -store, or both")
 		flag.Usage()
+		os.Exit(2)
+	}
+	if *ingestOn && *storeDir == "" {
+		fmt.Fprintln(os.Stderr, "hsgfd: -ingest requires -store (the WAL and ingest snapshots live there)")
+		os.Exit(2)
+	}
+	if *ingestOn && *dmaxPct != 0 {
+		fmt.Fprintln(os.Stderr, "hsgfd: -dmax-percentile is incompatible with -ingest: a percentile cutoff would drift as the graph mutates; use a fixed cutoff or none")
 		os.Exit(2)
 	}
 
@@ -160,15 +189,7 @@ func main() {
 		return snap, nil
 	}
 
-	snap, err := buildSnapshot()
-	if err != nil {
-		logger.Fatal(err)
-	}
-	g := snap.Extractor.Graph()
-	logger.Printf("loaded %s: %d nodes, %d edges, %d labels (emax=%d mask=%v, generation %d)",
-		snap.Source, g.NumNodes(), g.NumEdges(), g.NumLabels(), *emax, *mask, snap.Generation)
-
-	srv := serve.NewServerSnapshot(snap, serve.Config{
+	serveCfg := serve.Config{
 		MaxInFlight:        *maxInflight,
 		MaxQueue:           *maxQueue,
 		DefaultDeadline:    *defaultDeadline,
@@ -184,24 +205,88 @@ func main() {
 		},
 		DrainGrace: *drainGrace,
 		Log:        logger,
-	})
+	}
 
-	// Hot reload: rebuild the snapshot off the request path and RCU-swap
-	// it in. SIGHUP and POST /v1/admin/reload share the single-flight
-	// Reload path; a failed reload (corrupt store, unreadable TSV) keeps
-	// the current generation serving.
-	srv.SetReloader(func(ctx context.Context) (*serve.Snapshot, error) {
-		return buildSnapshot()
-	})
-	hup := make(chan os.Signal, 1)
-	signal.Notify(hup, syscall.SIGHUP)
-	go func() {
-		for range hup {
-			if _, err := srv.Reload(context.Background()); err != nil {
-				logger.Printf("SIGHUP reload: %v", err)
+	var srv *serve.Server
+	var eng *ingest.Engine
+	if *ingestOn {
+		// Streaming-ingest mode: the engine owns the serving state. It
+		// recovers from the newest verified ingest snapshot plus the WAL
+		// tail; an empty store seeds from the graph artifact or the TSV.
+		var err error
+		eng, err = ingest.Open(ingest.Config{
+			Store:        st,
+			Opts:         hsgf.Options{MaxEdges: *emax, MaskRootLabel: *mask},
+			Workers:      *ingestWorkers,
+			CompactEvery: *ingestCompact,
+			Log:          logger.Printf,
+		}, func() (*graph.Graph, error) {
+			if g, _, err := hsgf.LoadGraphSnapshot(st); err == nil {
+				return g, nil
+			} else if !errors.Is(err, hsgf.ErrStoreNotFound) {
+				return nil, err
 			}
+			if *in == "" {
+				return nil, fmt.Errorf("ingest: store %s has no graph and no -in was given", *storeDir)
+			}
+			return readTSVGraph(*in)
+		})
+		if err != nil {
+			logger.Fatal(err)
 		}
-	}()
+		defer eng.Close()
+
+		source := "ingest:" + *storeDir
+		_, ex, fs, gen, lastSeq := eng.State()
+		g := ex.Graph()
+		logger.Printf("ingest: serving %d nodes, %d edges at generation %d, watermark %d",
+			g.NumNodes(), g.NumEdges(), gen, lastSeq)
+		srv = serve.NewServerSnapshot(&serve.Snapshot{
+			Extractor:  ex,
+			Features:   fs,
+			Generation: gen,
+			Source:     source,
+		}, serveCfg)
+		// The engine's publish hook swaps each applied batch into the
+		// serving path; artifact hot reload stays disabled (no reloader →
+		// admin reload answers 501) because two writers swapping the same
+		// snapshot pointer could resurrect a pre-mutation generation.
+		srv.SetIngestor(eng, source)
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		go func() {
+			for range hup {
+				logger.Printf("SIGHUP ignored: hot reload is disabled in -ingest mode (the engine owns the serving state)")
+			}
+		}()
+	} else {
+		snap, err := buildSnapshot()
+		if err != nil {
+			logger.Fatal(err)
+		}
+		g := snap.Extractor.Graph()
+		logger.Printf("loaded %s: %d nodes, %d edges, %d labels (emax=%d mask=%v, generation %d)",
+			snap.Source, g.NumNodes(), g.NumEdges(), g.NumLabels(), *emax, *mask, snap.Generation)
+
+		srv = serve.NewServerSnapshot(snap, serveCfg)
+
+		// Hot reload: rebuild the snapshot off the request path and RCU-swap
+		// it in. SIGHUP and POST /v1/admin/reload share the single-flight
+		// Reload path; a failed reload (corrupt store, unreadable TSV) keeps
+		// the current generation serving.
+		srv.SetReloader(func(ctx context.Context) (*serve.Snapshot, error) {
+			return buildSnapshot()
+		})
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		go func() {
+			for range hup {
+				if _, err := srv.Reload(context.Background()); err != nil {
+					logger.Printf("SIGHUP reload: %v", err)
+				}
+			}
+		}()
+	}
 
 	// The profiling listener is separate from the serving address so it
 	// can stay bound to localhost while the API is public, and so profile

@@ -1,0 +1,223 @@
+// Command ingestbench runs the tracked streaming-ingest benchmark: it
+// boots a WAL-backed ingest engine over the synthetic publication
+// network, drives a deterministic stream of mutation batches through
+// the full durable path — validate, WAL fsync, incremental dirty-ball
+// recompute, publish — and writes the results as JSON
+// (BENCH_ingest.json under `make bench`).
+//
+// The tracked numbers are mutations/sec and batches/sec of sustained
+// durable throughput, the ingest-to-serve latency distribution (p50/p99
+// from Apply entry to published state — what a client waits between ack
+// and readable freshness), the dirty-set sizes that make incremental
+// maintenance pay, and the measured speedup of a dirty-ball recompute
+// over a from-scratch CensusAll of the whole graph.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"hsgf/internal/core"
+	"hsgf/internal/datagen"
+	"hsgf/internal/graph"
+	"hsgf/internal/ingest"
+	"hsgf/internal/store"
+)
+
+type report struct {
+	Generated  string `json:"generated"`
+	GoVersion  string `json:"go_version"`
+	NumCPU     int    `json:"num_cpu"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	Nodes      int    `json:"graph_nodes"`
+	Edges      int    `json:"graph_edges"`
+	MaxEdges   int    `json:"emax"`
+
+	Batches         int     `json:"batches"`
+	Mutations       int     `json:"mutations"`
+	BatchesPerSec   float64 `json:"batches_per_sec"`
+	MutationsPerSec float64 `json:"mutations_per_sec"`
+
+	// Ingest-to-serve: Apply entry to published (serving) state,
+	// including the WAL fsync and the incremental recompute.
+	IngestToServeP50MS float64 `json:"ingest_to_serve_p50_ms"`
+	IngestToServeP99MS float64 `json:"ingest_to_serve_p99_ms"`
+
+	MeanDirtyRoots float64 `json:"mean_dirty_roots"`
+	MaxDirtyRoots  int     `json:"max_dirty_roots"`
+	// MeanDirtyFrac is mean dirty roots over graph size — the fraction of
+	// census work a full rebuild would waste per batch.
+	MeanDirtyFrac float64 `json:"mean_dirty_frac"`
+
+	Compactions uint64 `json:"compactions"`
+	WALBytes    int64  `json:"wal_bytes"`
+
+	// FullRebuildMS times one from-scratch CensusAll over every root on
+	// the final graph; SpeedupVsRebuild is that divided by the mean
+	// incremental apply time (how much the delta path saves per batch).
+	FullRebuildMS    float64 `json:"full_rebuild_ms"`
+	SpeedupVsRebuild float64 `json:"speedup_vs_rebuild"`
+}
+
+func benchGraph() (*graph.Graph, error) {
+	cfg := datagen.DefaultPublicationConfig()
+	cfg.Institutions = 40
+	cfg.Conferences = datagen.DefaultConferences[:3]
+	cfg.Years = []int{2010, 2011, 2012, 2013}
+	cfg.PapersPerConfYear = 25
+	cfg.ExternalPapers = 400
+	pub, err := datagen.GeneratePublication(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return pub.Graph, nil
+}
+
+// nextBatch builds a small valid batch against g: one new edge between
+// previously unconnected nodes, one relabel, and occasionally a new
+// node — the steady-state shape of a growing information network.
+func nextBatch(rng *rand.Rand, g *graph.Graph, k int) []graph.Mutation {
+	labels := g.Alphabet().Names()
+	var muts []graph.Mutation
+	if k%8 == 0 {
+		muts = append(muts, graph.Mutation{Op: graph.OpAddNode, Label: labels[rng.Intn(len(labels))]})
+	}
+	for {
+		u := graph.NodeID(rng.Intn(g.NumNodes()))
+		v := graph.NodeID(rng.Intn(g.NumNodes()))
+		if u != v && !g.HasEdge(u, v) {
+			muts = append(muts, graph.Mutation{Op: graph.OpAddEdge, U: u, V: v})
+			break
+		}
+	}
+	muts = append(muts, graph.Mutation{
+		Op: graph.OpRelabel, U: graph.NodeID(rng.Intn(g.NumNodes())),
+		Label: labels[rng.Intn(len(labels))],
+	})
+	return muts
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "ingestbench:", err)
+	os.Exit(1)
+}
+
+func main() {
+	var (
+		out     = flag.String("o", "BENCH_ingest.json", "output path ('-' for stdout)")
+		batches = flag.Int("batches", 200, "mutation batches to apply")
+		emax    = flag.Int("emax", 2, "maximum edges per subgraph")
+		compact = flag.Int("compact-every", 64, "WAL fold interval in batches")
+	)
+	flag.Parse()
+
+	g, err := benchGraph()
+	if err != nil {
+		fail(err)
+	}
+	dir, err := os.MkdirTemp("", "ingestbench-*")
+	if err != nil {
+		fail(err)
+	}
+	defer os.RemoveAll(dir)
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		fail(err)
+	}
+	opts := core.Options{MaxEdges: *emax, MaskRootLabel: true}
+	eng, err := ingest.Open(ingest.Config{Store: st, Opts: opts, CompactEvery: *compact},
+		func() (*graph.Graph, error) { return g, nil })
+	if err != nil {
+		fail(err)
+	}
+	defer eng.Close()
+
+	rep := report{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Nodes:      g.NumNodes(),
+		Edges:      g.NumEdges(),
+		MaxEdges:   *emax,
+		Batches:    *batches,
+	}
+
+	rng := rand.New(rand.NewSource(1))
+	ctx := context.Background()
+	lat := make([]time.Duration, 0, *batches)
+	var totalDirty, totalMuts int
+	start := time.Now()
+	for k := 0; k < *batches; k++ {
+		cur, _, _, _, _ := eng.State()
+		muts := nextBatch(rng, cur, k)
+		res, err := eng.Apply(ctx, fmt.Sprintf("bench-%d", k), muts)
+		if err != nil {
+			fail(fmt.Errorf("batch %d: %w", k, err))
+		}
+		lat = append(lat, res.Elapsed)
+		totalDirty += len(res.DirtyRoots)
+		totalMuts += len(muts)
+		if len(res.DirtyRoots) > rep.MaxDirtyRoots {
+			rep.MaxDirtyRoots = len(res.DirtyRoots)
+		}
+	}
+	elapsed := time.Since(start)
+
+	final, _, _, _, _ := eng.State()
+	rep.Mutations = totalMuts
+	rep.BatchesPerSec = float64(*batches) / elapsed.Seconds()
+	rep.MutationsPerSec = float64(totalMuts) / elapsed.Seconds()
+	rep.MeanDirtyRoots = float64(totalDirty) / float64(*batches)
+	rep.MeanDirtyFrac = rep.MeanDirtyRoots / float64(final.NumNodes())
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	rep.IngestToServeP50MS = float64(lat[len(lat)/2].Microseconds()) / 1000
+	rep.IngestToServeP99MS = float64(lat[(len(lat)*99)/100].Microseconds()) / 1000
+	stats := eng.Stats()
+	rep.Compactions = stats.Compactions
+	rep.WALBytes = stats.WALBytes
+
+	// The counterfactual: what every batch would cost without delta
+	// maintenance — a full CensusAll over the final graph.
+	ex, err := core.NewExtractor(final, opts)
+	if err != nil {
+		fail(err)
+	}
+	roots := make([]graph.NodeID, final.NumNodes())
+	for i := range roots {
+		roots[i] = graph.NodeID(i)
+	}
+	rebuildStart := time.Now()
+	ex.CensusAll(roots, 0)
+	rebuild := time.Since(rebuildStart)
+	rep.FullRebuildMS = float64(rebuild.Microseconds()) / 1000
+	meanApply := elapsed / time.Duration(*batches)
+	if meanApply > 0 {
+		rep.SpeedupVsRebuild = float64(rebuild) / float64(meanApply)
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr,
+		"ingestbench: %.0f mutations/sec, ingest-to-serve p50 %.2fms p99 %.2fms, mean dirty %.1f/%d roots, %.1fx vs full rebuild\n",
+		rep.MutationsPerSec, rep.IngestToServeP50MS, rep.IngestToServeP99MS,
+		rep.MeanDirtyRoots, final.NumNodes(), rep.SpeedupVsRebuild)
+	fmt.Fprintf(os.Stderr, "ingestbench: wrote %s\n", *out)
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"sort"
+
+	"hsgf/internal/graph"
+)
+
+// Dirty-set derivation for delta-aware census maintenance.
+//
+// A census row for root r aggregates connected subgraphs of at most
+// emax edges that contain r. Any such subgraph is connected and has at
+// most emax edges, so every node it contains lies within graph distance
+// emax of r. Contrapositive: a mutation whose touched nodes are all
+// farther than emax from r cannot add, remove, or relabel anything in
+// any subgraph counted for r — r's census row is unchanged. The dirty
+// root set after a mutation batch is therefore the union of
+// distance-≤emax balls around the touched nodes (edge endpoints,
+// relabelled nodes, added nodes).
+//
+// The radius emax is tight in both directions: a path subgraph of emax
+// edges reaches a node at distance exactly emax (so radius emax-1 would
+// miss real changes), and no emax-edge connected subgraph reaches
+// distance emax+1 (so radius emax+1 recomputes rows that cannot have
+// changed).
+//
+// Edge removals need the ball in the PRE-mutation graph (the removed
+// edge may have been the only path from r to the touched region);
+// additions need it in the POST-mutation graph. DirtySet takes both and
+// unions them.
+
+// DirtyRoots returns all nodes within distance radius of any seed, in
+// ascending order: a multi-source BFS truncated at depth radius. Seeds
+// outside the graph's node range are ignored (a seed may exist only in
+// the other generation of a mutation pair). A negative radius returns
+// nil; radius 0 returns the in-range seeds themselves.
+func DirtyRoots(g *graph.Graph, seeds []graph.NodeID, radius int) []graph.NodeID {
+	if radius < 0 {
+		return nil
+	}
+	marks := make(map[graph.NodeID]struct{}, len(seeds))
+	frontier := make([]graph.NodeID, 0, len(seeds))
+	for _, s := range seeds {
+		if s < 0 || int(s) >= g.NumNodes() {
+			continue
+		}
+		if _, ok := marks[s]; !ok {
+			marks[s] = struct{}{}
+			frontier = append(frontier, s)
+		}
+	}
+	for depth := 0; depth < radius && len(frontier) > 0; depth++ {
+		var next []graph.NodeID
+		for _, v := range frontier {
+			for _, w := range g.Neighbors(v) {
+				if _, ok := marks[w]; !ok {
+					marks[w] = struct{}{}
+					next = append(next, w)
+				}
+			}
+		}
+		frontier = next
+	}
+	out := make([]graph.NodeID, 0, len(marks))
+	for v := range marks {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// DirtySet returns the union of the distance-≤radius balls around the
+// touched nodes in both the pre-mutation and post-mutation graphs, in
+// ascending order. Either graph may be nil (e.g. oldG on a cold start),
+// in which case only the other contributes.
+func DirtySet(oldG, newG *graph.Graph, touched []graph.NodeID, radius int) []graph.NodeID {
+	var a, b []graph.NodeID
+	if oldG != nil {
+		a = DirtyRoots(oldG, touched, radius)
+	}
+	if newG != nil {
+		b = DirtyRoots(newG, touched, radius)
+	}
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	// Merge two ascending slices, dropping duplicates.
+	out := make([]graph.NodeID, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}

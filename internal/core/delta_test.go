@@ -1,0 +1,201 @@
+package core
+
+import (
+	"testing"
+
+	"hsgf/internal/graph"
+)
+
+// pathGraph builds 0-1-2-...-(n-1) with a single label.
+func pathGraph(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilderWithAlphabet(graph.MustAlphabet("x"))
+	for i := 0; i < n; i++ {
+		if _, err := b.AddNode("x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n-1; i++ {
+		if err := b.AddEdge(graph.NodeID(i), graph.NodeID(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.MustBuild()
+}
+
+func nodeIDs(vs ...int) []graph.NodeID {
+	out := make([]graph.NodeID, len(vs))
+	for i, v := range vs {
+		out[i] = graph.NodeID(v)
+	}
+	return out
+}
+
+func equalIDs(a, b []graph.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestDirtyRootsPath(t *testing.T) {
+	g := pathGraph(t, 9)
+	cases := []struct {
+		seeds  []graph.NodeID
+		radius int
+		want   []graph.NodeID
+	}{
+		{nodeIDs(4), 0, nodeIDs(4)},
+		{nodeIDs(4), 1, nodeIDs(3, 4, 5)},
+		{nodeIDs(4), 2, nodeIDs(2, 3, 4, 5, 6)},
+		{nodeIDs(4), 100, nodeIDs(0, 1, 2, 3, 4, 5, 6, 7, 8)},
+		// Ball clipped at the graph edge.
+		{nodeIDs(0), 2, nodeIDs(0, 1, 2)},
+		{nodeIDs(8), 3, nodeIDs(5, 6, 7, 8)},
+		// Multi-source with overlap.
+		{nodeIDs(2, 4), 1, nodeIDs(1, 2, 3, 4, 5)},
+		// Out-of-range seeds ignored.
+		{nodeIDs(4, 99, -1), 1, nodeIDs(3, 4, 5)},
+		{nil, 3, nil},
+	}
+	for i, tc := range cases {
+		got := DirtyRoots(g, tc.seeds, tc.radius)
+		if !equalIDs(got, tc.want) {
+			t.Errorf("case %d: DirtyRoots = %v, want %v", i, got, tc.want)
+		}
+	}
+	if got := DirtyRoots(g, nodeIDs(4), -1); got != nil {
+		t.Errorf("negative radius gave %v", got)
+	}
+}
+
+func TestDirtyRootsStar(t *testing.T) {
+	// Star: hub 0 connected to 1..5. Radius 1 from a leaf covers the
+	// leaf and the hub; radius 2 covers everything.
+	b := graph.NewBuilderWithAlphabet(graph.MustAlphabet("x"))
+	for i := 0; i < 6; i++ {
+		if _, err := b.AddNode("x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i < 6; i++ {
+		if err := b.AddEdge(0, graph.NodeID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := b.MustBuild()
+	if got := DirtyRoots(g, nodeIDs(3), 1); !equalIDs(got, nodeIDs(0, 3)) {
+		t.Errorf("radius 1 from leaf = %v", got)
+	}
+	if got := DirtyRoots(g, nodeIDs(3), 2); !equalIDs(got, nodeIDs(0, 1, 2, 3, 4, 5)) {
+		t.Errorf("radius 2 from leaf = %v", got)
+	}
+}
+
+func TestDirtySetUnionsOldAndNew(t *testing.T) {
+	// Old graph: 0-1-2  3-4 (edge 2-3 absent). New graph: 0-1-2-3-4.
+	// Touched = {2,3} (the endpoints of the added edge). With radius 1,
+	// the old graph contributes {1,2,3,4} and the new contributes
+	// {1,2,3,4} as well; with radius 2 the new graph's ball crosses the
+	// new edge to reach 0 from 2's side and 4 from 3's side.
+	bOld := graph.NewBuilderWithAlphabet(graph.MustAlphabet("x"))
+	bNew := graph.NewBuilderWithAlphabet(graph.MustAlphabet("x"))
+	for i := 0; i < 5; i++ {
+		bOld.AddNode("x")
+		bNew.AddNode("x")
+	}
+	for _, e := range [][2]graph.NodeID{{0, 1}, {1, 2}, {3, 4}} {
+		if err := bOld.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+		if err := bNew.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bNew.AddEdge(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	oldG, newG := bOld.MustBuild(), bNew.MustBuild()
+
+	if got := DirtySet(oldG, newG, nodeIDs(2, 3), 1); !equalIDs(got, nodeIDs(1, 2, 3, 4)) {
+		t.Errorf("radius 1 union = %v", got)
+	}
+	if got := DirtySet(oldG, newG, nodeIDs(2, 3), 2); !equalIDs(got, nodeIDs(0, 1, 2, 3, 4)) {
+		t.Errorf("radius 2 union = %v", got)
+	}
+}
+
+func TestDirtySetBridgeRemoval(t *testing.T) {
+	// Path 0..5 with the bridge 2-3 removed. When BOTH endpoints of
+	// every changed edge are seeded — the engine's invariant — the old-
+	// and new-graph balls provably coincide (an old path from a root
+	// crosses its first removed edge at a seeded endpoint, and the
+	// prefix before that edge survives into the new graph), so the union
+	// equals either side. The union in DirtySet is a safety net for
+	// callers that seed partially, which the next test exercises.
+	old6 := pathGraph(t, 6)
+	bNew := graph.NewBuilderWithAlphabet(graph.MustAlphabet("x"))
+	for i := 0; i < 6; i++ {
+		bNew.AddNode("x")
+	}
+	for _, e := range [][2]graph.NodeID{{0, 1}, {1, 2}, {3, 4}, {4, 5}} {
+		if err := bNew.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	newG := bNew.MustBuild()
+
+	union := DirtySet(old6, newG, nodeIDs(2, 3), 2)
+	oldBall := DirtyRoots(old6, nodeIDs(2, 3), 2)
+	newBall := DirtyRoots(newG, nodeIDs(2, 3), 2)
+	if !equalIDs(union, oldBall) || !equalIDs(union, newBall) {
+		t.Errorf("fully-seeded balls diverge: union %v, old %v, new %v", union, oldBall, newBall)
+	}
+	if !equalIDs(union, nodeIDs(0, 1, 2, 3, 4, 5)) {
+		t.Errorf("union = %v, want all of the 6-node path", union)
+	}
+}
+
+func TestDirtySetPartialSeeding(t *testing.T) {
+	// Seed only ONE endpoint of the removed bridge 2-3 of path 0..5.
+	// The new-graph ball around {2} cannot cross the gone edge, so the
+	// old-graph side of the union is what reaches nodes 3 and 4.
+	old6 := pathGraph(t, 6)
+	bNew := graph.NewBuilderWithAlphabet(graph.MustAlphabet("x"))
+	for i := 0; i < 6; i++ {
+		bNew.AddNode("x")
+	}
+	for _, e := range [][2]graph.NodeID{{0, 1}, {1, 2}, {3, 4}, {4, 5}} {
+		if err := bNew.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	newG := bNew.MustBuild()
+
+	newOnly := DirtyRoots(newG, nodeIDs(2), 2)
+	if !equalIDs(newOnly, nodeIDs(0, 1, 2)) {
+		t.Fatalf("new-graph ball = %v, want [0 1 2]", newOnly)
+	}
+	got := DirtySet(old6, newG, nodeIDs(2), 2)
+	if !equalIDs(got, nodeIDs(0, 1, 2, 3, 4)) {
+		t.Errorf("union = %v, want [0 1 2 3 4] (old graph reaches across the removed bridge)", got)
+	}
+}
+
+func TestDirtySetNilGraphs(t *testing.T) {
+	g := pathGraph(t, 4)
+	if got := DirtySet(nil, g, nodeIDs(1), 1); !equalIDs(got, nodeIDs(0, 1, 2)) {
+		t.Errorf("nil old: %v", got)
+	}
+	if got := DirtySet(g, nil, nodeIDs(1), 1); !equalIDs(got, nodeIDs(0, 1, 2)) {
+		t.Errorf("nil new: %v", got)
+	}
+	if got := DirtySet(nil, nil, nodeIDs(1), 1); got != nil {
+		t.Errorf("both nil: %v", got)
+	}
+}

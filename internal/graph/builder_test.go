@@ -1,0 +1,90 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+// Explicit coverage of Builder validation error paths that the rest of
+// the suite only exercises implicitly (error text, negative IDs, the
+// AddNamedNode path, alphabet construction failures).
+
+func TestBuilderSelfLoopErrorText(t *testing.T) {
+	b := NewBuilder()
+	if _, err := b.AddNode("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(0, 0); err == nil {
+		t.Fatal("self loop accepted")
+	} else if !strings.Contains(err.Error(), "self loop") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestBuilderRejectsNegativeEndpoints(t *testing.T) {
+	b := NewBuilder()
+	if _, err := b.AddNode("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.AddNode("a"); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range [][2]NodeID{{2, 0}, {-1, 1}, {0, -1}} {
+		if err := b.AddEdge(e[0], e[1]); err == nil {
+			t.Errorf("edge %d-%d accepted, want unknown-node error", e[0], e[1])
+		}
+	}
+}
+
+func TestBuilderAddNamedNodeRejectsUnknownLabel(t *testing.T) {
+	b := NewBuilderWithAlphabet(MustAlphabet("loc", "org"))
+	if _, err := b.AddNamedNode("loc", "n0"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.AddNamedNode("ghost", "n1"); err == nil {
+		t.Fatal("unknown label accepted by AddNamedNode")
+	}
+	if b.NumNodes() != 1 {
+		t.Fatalf("failed AddNamedNode changed node count to %d", b.NumNodes())
+	}
+}
+
+func TestBuilderAddLabeledNodeRejectsNegative(t *testing.T) {
+	b := NewBuilderWithAlphabet(MustAlphabet("loc"))
+	if _, err := b.AddLabeledNode(Label(-1)); err == nil {
+		t.Fatal("negative label accepted")
+	}
+}
+
+func TestBuilderDedupKeepsAdjacencySorted(t *testing.T) {
+	// Duplicates across orientations plus a second edge: after dedup the
+	// graph must still satisfy the full Validate contract (sorted
+	// adjacency, symmetric incidences, aligned edge IDs).
+	b := NewBuilder()
+	for _, l := range []string{"b", "a", "a"} {
+		if _, err := b.AddNode(l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range [][2]NodeID{{0, 1}, {1, 0}, {0, 1}, {0, 2}} {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := b.MustBuild()
+	if g.NumEdges() != 2 {
+		t.Fatalf("NumEdges = %d, want 2 after dedup", g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlphabetConstructionRejects(t *testing.T) {
+	if _, err := NewAlphabet("a", "a"); err == nil {
+		t.Fatal("duplicate label name accepted")
+	}
+	if _, err := NewAlphabet(""); err == nil {
+		t.Fatal("empty label name accepted")
+	}
+}

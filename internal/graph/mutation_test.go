@@ -1,0 +1,346 @@
+package graph
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// testBase builds a small fixed-alphabet graph:
+//
+//	0(loc) - 1(org) - 2(act)
+//	          |
+//	         3(loc)
+func testBase(t *testing.T) *Graph {
+	t.Helper()
+	b := NewBuilderWithAlphabet(MustAlphabet("loc", "org", "act"))
+	for _, l := range []string{"loc", "org", "act", "loc"} {
+		if _, err := b.AddNode(l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range [][2]NodeID{{0, 1}, {1, 2}, {1, 3}} {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.MustBuild()
+}
+
+func TestMutationCodecRoundTrip(t *testing.T) {
+	muts := []Mutation{
+		{Op: OpAddNode, Label: "org", Name: "acme"},
+		{Op: OpAddNode, Label: "loc"},
+		{Op: OpAddEdge, U: 0, V: 4},
+		{Op: OpRemoveEdge, U: 1, V: 2},
+		{Op: OpRelabel, U: 3, Label: "act"},
+	}
+	payload, err := EncodeMutations("batch-001", muts)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	id, got, err := DecodeMutations(payload)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if id != "batch-001" {
+		t.Fatalf("batch id = %q, want batch-001", id)
+	}
+	if len(got) != len(muts) {
+		t.Fatalf("decoded %d mutations, want %d", len(got), len(muts))
+	}
+	for i := range muts {
+		if got[i] != muts[i] {
+			t.Errorf("mutation %d = %+v, want %+v", i, got[i], muts[i])
+		}
+	}
+	// Canonical: re-encoding reproduces the bytes.
+	again, err := EncodeMutations(id, got)
+	if err != nil {
+		t.Fatalf("re-encode: %v", err)
+	}
+	if !bytes.Equal(again, payload) {
+		t.Fatal("re-encoded payload differs from original")
+	}
+}
+
+func TestMutationCodecEmptyBatch(t *testing.T) {
+	payload, err := EncodeMutations("b", nil)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	id, muts, err := DecodeMutations(payload)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if id != "b" || len(muts) != 0 {
+		t.Fatalf("got id=%q muts=%d", id, len(muts))
+	}
+}
+
+func TestEncodeMutationsRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		id   string
+		muts []Mutation
+	}{
+		{"empty batch id", "", nil},
+		{"oversized batch id", strings.Repeat("x", MaxBatchID+1), nil},
+		{"add_node without label", "b", []Mutation{{Op: OpAddNode}}},
+		{"relabel without label", "b", []Mutation{{Op: OpRelabel, U: 0}}},
+		{"negative endpoint", "b", []Mutation{{Op: OpAddEdge, U: -1, V: 2}}},
+		{"negative relabel node", "b", []Mutation{{Op: OpRelabel, U: -1, Label: "loc"}}},
+		{"unknown op", "b", []Mutation{{Op: 99}}},
+		{"oversized label", "b", []Mutation{{Op: OpAddNode, Label: strings.Repeat("x", maxMutationString+1)}}},
+	}
+	for _, tc := range cases {
+		if _, err := EncodeMutations(tc.id, tc.muts); err == nil {
+			t.Errorf("%s: encode succeeded, want error", tc.name)
+		}
+	}
+}
+
+func TestDecodeMutationsRejects(t *testing.T) {
+	valid, err := EncodeMutations("b", []Mutation{{Op: OpAddEdge, U: 0, V: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"short header", []byte{1, 0}},
+		{"bad version", append([]byte{2}, valid[1:]...)},
+		{"zero id length", []byte{1, 0, 0, 0, 0, 0, 0}},
+		{"truncated frame", valid[:len(valid)-2]},
+		{"trailing bytes", append(append([]byte{}, valid...), 0)},
+		{"count exceeds bytes", func() []byte {
+			d := append([]byte{}, valid...)
+			// count field sits right after version+idLen+id = 1+2+1 bytes
+			d[4] = 0xff
+			d[5] = 0xff
+			return d
+		}()},
+		{"unknown op byte", func() []byte {
+			d := append([]byte{}, valid...)
+			d[8] = 77 // op byte of the first mutation
+			return d
+		}()},
+	}
+	for _, tc := range cases {
+		if _, _, err := DecodeMutations(tc.data); !errors.Is(err, ErrBadMutationBatch) {
+			t.Errorf("%s: err = %v, want ErrBadMutationBatch", tc.name, err)
+		}
+	}
+}
+
+func TestMutationOpStrings(t *testing.T) {
+	for _, op := range []MutationOp{OpAddNode, OpAddEdge, OpRemoveEdge, OpRelabel} {
+		back, err := ParseMutationOp(op.String())
+		if err != nil || back != op {
+			t.Errorf("round trip of %v: got %v, %v", op, back, err)
+		}
+	}
+	if _, err := ParseMutationOp("bogus"); err == nil {
+		t.Error("ParseMutationOp accepted bogus op")
+	}
+}
+
+func TestOverlayAddRemove(t *testing.T) {
+	g := testBase(t)
+	o := NewOverlay(g)
+
+	if o.Dirty() {
+		t.Fatal("fresh overlay reports dirty")
+	}
+	id, err := o.AddNode("act", "n4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 4 || o.NumNodes() != 5 {
+		t.Fatalf("AddNode gave id %d, overlay has %d nodes", id, o.NumNodes())
+	}
+	if err := o.AddEdge(4, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.RemoveEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if !o.HasEdge(0, 4) || o.HasEdge(1, 2) || !o.HasEdge(0, 1) {
+		t.Fatal("overlay adjacency wrong after add/remove")
+	}
+	if o.NumEdges() != 3 {
+		t.Fatalf("NumEdges = %d, want 3", o.NumEdges())
+	}
+
+	m, err := o.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("materialized graph invalid: %v", err)
+	}
+	if m.NumNodes() != 5 || m.NumEdges() != 3 {
+		t.Fatalf("materialized %s", m)
+	}
+	if !m.HasEdge(0, 4) || m.HasEdge(1, 2) {
+		t.Fatal("materialized adjacency wrong")
+	}
+	if m.Name(4) != "n4" || m.Alphabet().Name(m.Label(4)) != "act" {
+		t.Fatal("materialized node 4 metadata wrong")
+	}
+}
+
+func TestOverlayReAddRemovedAndRemoveAdded(t *testing.T) {
+	g := testBase(t)
+	o := NewOverlay(g)
+	// Remove a base edge then add it back: net zero.
+	if err := o.RemoveEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.AddEdge(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Add a new edge then remove it: net zero.
+	if err := o.AddEdge(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.RemoveEdge(2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if o.NumEdges() != g.NumEdges() {
+		t.Fatalf("NumEdges = %d, want %d", o.NumEdges(), g.NumEdges())
+	}
+	m, err := o.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumEdges() != g.NumEdges() || !m.HasEdge(0, 1) || m.HasEdge(0, 2) {
+		t.Fatal("net-zero overlay did not materialize to the base edge set")
+	}
+}
+
+func TestOverlayValidation(t *testing.T) {
+	g := testBase(t)
+	o := NewOverlay(g)
+	cases := []struct {
+		name string
+		fn   func() error
+	}{
+		{"self loop", func() error { return o.AddEdge(1, 1) }},
+		{"out-of-range endpoint", func() error { return o.AddEdge(0, 99) }},
+		{"negative endpoint", func() error { return o.AddEdge(-1, 0) }},
+		{"duplicate base edge", func() error { return o.AddEdge(0, 1) }},
+		{"remove absent edge", func() error { return o.RemoveEdge(0, 2) }},
+		{"remove out-of-range", func() error { return o.RemoveEdge(0, 99) }},
+		{"unknown label add", func() error { _, err := o.AddNode("nope", ""); return err }},
+		{"unknown label relabel", func() error { return o.Relabel(0, "nope") }},
+		{"relabel unknown node", func() error { return o.Relabel(99, "loc") }},
+	}
+	for _, tc := range cases {
+		if err := tc.fn(); err == nil {
+			t.Errorf("%s: succeeded, want error", tc.name)
+		}
+	}
+	if o.Dirty() {
+		t.Fatal("failed mutations left the overlay dirty")
+	}
+	// Duplicate of an overlay-added edge is also rejected.
+	if err := o.AddEdge(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.AddEdge(2, 0); err == nil {
+		t.Error("duplicate overlay edge accepted")
+	}
+}
+
+func TestOverlayTouched(t *testing.T) {
+	g := testBase(t)
+	o := NewOverlay(g)
+	if err := o.Relabel(3, "org"); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Relabel(0, "loc"); err != nil { // same label: no-op
+		t.Fatal(err)
+	}
+	if err := o.RemoveEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	id, err := o.AddNode("loc", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := o.Touched()
+	want := []NodeID{1, 2, 3, id}
+	if len(got) != len(want) {
+		t.Fatalf("Touched() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Touched() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestOverlayApplyStream(t *testing.T) {
+	g := testBase(t)
+	o := NewOverlay(g)
+	muts := []Mutation{
+		{Op: OpAddNode, Label: "org", Name: "x"},
+		{Op: OpAddEdge, U: 4, V: 2},
+		{Op: OpRemoveEdge, U: 0, V: 1},
+		{Op: OpRelabel, U: 0, Label: "act"},
+	}
+	for i, m := range muts {
+		if err := o.Apply(m); err != nil {
+			t.Fatalf("apply %d: %v", i, err)
+		}
+	}
+	if err := o.Apply(Mutation{Op: 42}); err == nil {
+		t.Fatal("unknown op applied")
+	}
+	m, err := o.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !m.HasEdge(2, 4) || m.HasEdge(0, 1) || m.Alphabet().Name(m.Label(0)) != "act" {
+		t.Fatal("applied stream did not materialize as expected")
+	}
+}
+
+func FuzzDecodeMutations(f *testing.F) {
+	seed, err := EncodeMutations("batch", []Mutation{
+		{Op: OpAddNode, Label: "loc", Name: "n"},
+		{Op: OpAddEdge, U: 0, V: 1},
+		{Op: OpRemoveEdge, U: 1, V: 2},
+		{Op: OpRelabel, U: 0, Label: "org"},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add([]byte{1, 1, 0, 'b', 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		id, muts, err := DecodeMutations(data)
+		if err != nil {
+			if !errors.Is(err, ErrBadMutationBatch) {
+				t.Fatalf("decode error %v does not wrap ErrBadMutationBatch", err)
+			}
+			return
+		}
+		// Accepted payloads must re-encode to the identical bytes.
+		again, err := EncodeMutations(id, muts)
+		if err != nil {
+			t.Fatalf("accepted payload failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(again, data) {
+			t.Fatalf("round trip mismatch: %x != %x", again, data)
+		}
+	})
+}

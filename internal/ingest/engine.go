@@ -1,0 +1,607 @@
+package ingest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"hsgf/internal/core"
+	"hsgf/internal/graph"
+	"hsgf/internal/store"
+)
+
+// Defaults for Config fields left zero.
+const (
+	DefaultCompactEvery      = 64
+	DefaultMaxBatchMutations = 4096
+	DefaultMaxIndexEntries   = 65536
+)
+
+// ErrBatchInvalid marks a batch rejected by validation before anything
+// was written: the WAL, the graph, and the feature set are untouched
+// and the batch was not acked.
+var ErrBatchInvalid = errors.New("ingest: invalid batch")
+
+// Config configures an Engine.
+type Config struct {
+	// Store persists compacted ingest snapshots. Required.
+	Store *store.Store
+	// WALPath is the write-ahead log file; defaults to "ingest.wal"
+	// inside the store directory.
+	WALPath string
+	// Opts is the census extraction configuration; Opts.MaxEdges is
+	// also the dirty-ball radius.
+	Opts core.Options
+	// Workers bounds the census workers used per recompute; <= 0 means
+	// GOMAXPROCS (the Extractor's own default).
+	Workers int
+	// CompactEvery folds the WAL into a snapshot generation after this
+	// many applied batches; <= 0 means DefaultCompactEvery.
+	CompactEvery int
+	// MaxBatchMutations bounds one batch; <= 0 means
+	// DefaultMaxBatchMutations.
+	MaxBatchMutations int
+	// MaxIndexEntries bounds the applied-batch idempotency index;
+	// oldest sequences are evicted first. <= 0 means
+	// DefaultMaxIndexEntries.
+	MaxIndexEntries int
+	// Log receives operational messages; nil discards them.
+	Log func(format string, args ...any)
+}
+
+// Result describes one Apply outcome. For a replayed batch, Seq is the
+// sequence the batch was originally applied at and DirtyRoots is nil;
+// the state fields carry the current generation either way.
+type Result struct {
+	Seq        uint64
+	BatchID    string
+	Replayed   bool
+	DirtyRoots []graph.NodeID
+	NewColumns int
+	Elapsed    time.Duration
+
+	Graph      *graph.Graph
+	Extractor  *core.Extractor
+	Features   *core.FeatureSet
+	Generation uint64
+}
+
+// Stats is a point-in-time snapshot of engine counters for
+// /debug/stats and benchmarks.
+type Stats struct {
+	LastSeq          uint64  `json:"last_seq"`
+	Applied          uint64  `json:"applied"`
+	Replayed         uint64  `json:"replayed"`
+	Rejected         uint64  `json:"rejected"`
+	Compactions      uint64  `json:"compactions"`
+	Generation       uint64  `json:"generation"`
+	RecoveredRecords uint64  `json:"recovered_records"`
+	WALBytes         int64   `json:"wal_bytes"`
+	IndexEntries     int     `json:"index_entries"`
+	LastDirtyRoots   int     `json:"last_dirty_roots"`
+	MaxDirtyRoots    int     `json:"max_dirty_roots"`
+	ApplyP50MS       float64 `json:"apply_p50_ms"`
+	ApplyP99MS       float64 `json:"apply_p99_ms"`
+}
+
+// Engine is the single-writer streaming-ingest core: it owns the
+// mutable graph + feature state, the WAL, and the compaction cycle.
+// Apply serialises writers behind one mutex; readers never take it —
+// they consume the immutable (Graph, Extractor, FeatureSet) triple the
+// publish hook hands out, RCU-style.
+type Engine struct {
+	cfg Config
+
+	mu      sync.Mutex
+	g       *graph.Graph
+	ex      *core.Extractor
+	fs      *core.FeatureSet
+	vocab   *core.Vocabulary
+	wal     *store.WAL
+	lastSeq uint64
+	gen     uint64
+	applied map[string]uint64
+	since   int // batches since last compaction
+	publish func(Result)
+	closed  bool
+
+	stats        Stats
+	applyLatency []time.Duration // ring, latencyRingSize entries
+	latencyNext  int
+	latencyFill  int
+}
+
+const latencyRingSize = 1024
+
+// Open loads (or seeds) the ingest state and replays the WAL tail.
+//
+// Recovery order: newest verified ingest snapshot (corrupt generations
+// are quarantined and older ones tried), else seed() plus a full census
+// build persisted as generation 1; then every WAL record with a
+// sequence above the snapshot's watermark is re-applied. Records at or
+// below the watermark are already folded — the crash window between a
+// compaction's snapshot write and its WAL reset leaves them behind
+// harmlessly. A sequence gap above the watermark means acked data was
+// lost and is a hard error, not a silent skip.
+func Open(cfg Config, seed func() (*graph.Graph, error)) (*Engine, error) {
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("ingest: Config.Store is required")
+	}
+	if cfg.WALPath == "" {
+		cfg.WALPath = filepath.Join(cfg.Store.Dir(), "ingest.wal")
+	}
+	if cfg.CompactEvery <= 0 {
+		cfg.CompactEvery = DefaultCompactEvery
+	}
+	if cfg.MaxBatchMutations <= 0 {
+		cfg.MaxBatchMutations = DefaultMaxBatchMutations
+	}
+	if cfg.MaxIndexEntries <= 0 {
+		cfg.MaxIndexEntries = DefaultMaxIndexEntries
+	}
+	if cfg.Log == nil {
+		cfg.Log = func(string, ...any) {}
+	}
+
+	e := &Engine{
+		cfg:          cfg,
+		applied:      make(map[string]uint64),
+		applyLatency: make([]time.Duration, latencyRingSize),
+	}
+
+	state, gen, err := loadSnapshot(cfg.Store)
+	switch {
+	case err == nil:
+		e.g, e.fs, e.gen, e.lastSeq = state.g, state.fs, gen, state.meta.LastSeq
+		for id, seq := range state.meta.Batches {
+			e.applied[id] = seq
+		}
+	case errors.Is(err, store.ErrNotFound):
+		if seed == nil {
+			return nil, fmt.Errorf("ingest: no snapshot and no seed source")
+		}
+		g, err := seed()
+		if err != nil {
+			return nil, fmt.Errorf("ingest: seed: %w", err)
+		}
+		if err := e.buildFromGraph(g); err != nil {
+			return nil, err
+		}
+		if err := e.writeSnapshot(); err != nil {
+			return nil, fmt.Errorf("ingest: persist seed snapshot: %w", err)
+		}
+		cfg.Log("ingest: seeded generation %d from scratch (%s)", e.gen, g)
+	default:
+		return nil, err
+	}
+
+	if e.ex == nil {
+		ex, err := core.NewExtractor(e.g, cfg.Opts)
+		if err != nil {
+			return nil, err
+		}
+		e.ex = ex
+	}
+	if e.fs.MaxEdges != cfg.Opts.MaxEdges || e.fs.MaskRootLabel != cfg.Opts.MaskRootLabel || e.fs.MaxDegree != cfg.Opts.MaxDegree {
+		return nil, fmt.Errorf("ingest: snapshot was extracted with emax=%d dmax=%d mask=%v, config wants emax=%d dmax=%d mask=%v (rebuild required)",
+			e.fs.MaxEdges, e.fs.MaxDegree, e.fs.MaskRootLabel, cfg.Opts.MaxEdges, cfg.Opts.MaxDegree, cfg.Opts.MaskRootLabel)
+	}
+	e.vocab = core.NewVocabulary()
+	for _, f := range e.fs.Features {
+		e.vocab.Add(f.Key)
+	}
+
+	wal, records, err := store.OpenWAL(cfg.WALPath)
+	if err != nil {
+		return nil, err
+	}
+	e.wal = wal
+	for _, rec := range records {
+		if rec.Seq <= e.lastSeq {
+			continue // already folded into the snapshot
+		}
+		if rec.Seq != e.lastSeq+1 {
+			wal.Close()
+			return nil, fmt.Errorf("%w: WAL skips from sequence %d to %d — acked records are missing", store.ErrCorrupt, e.lastSeq, rec.Seq)
+		}
+		batchID, muts, err := graph.DecodeMutations(rec.Payload)
+		if err != nil {
+			// CRC-valid but undecodable: this was acked, so refusing to
+			// start beats silently dropping it.
+			wal.Close()
+			return nil, fmt.Errorf("%w: WAL record %d does not decode: %v", store.ErrCorrupt, rec.Seq, err)
+		}
+		if _, err := e.applyLocked(batchID, muts, rec.Seq); err != nil {
+			wal.Close()
+			return nil, fmt.Errorf("ingest: replaying WAL record %d (batch %q): %w", rec.Seq, batchID, err)
+		}
+		e.stats.RecoveredRecords++
+		e.since++
+	}
+	if e.stats.RecoveredRecords > 0 {
+		cfg.Log("ingest: replayed %d WAL records, watermark %d", e.stats.RecoveredRecords, e.lastSeq)
+	}
+	return e, nil
+}
+
+// buildFromGraph computes the full census feature set for a seed graph.
+func (e *Engine) buildFromGraph(g *graph.Graph) error {
+	ex, err := core.NewExtractor(g, e.cfg.Opts)
+	if err != nil {
+		return err
+	}
+	roots := make([]graph.NodeID, g.NumNodes())
+	for i := range roots {
+		roots[i] = graph.NodeID(i)
+	}
+	censuses := ex.CensusAll(roots, e.cfg.Workers)
+	vocab := core.VocabularyOf(censuses)
+	fs, err := core.NewFeatureSet(ex, censuses, vocab)
+	if err != nil {
+		return err
+	}
+	e.g, e.ex, e.fs, e.vocab = g, ex, fs, vocab
+	return nil
+}
+
+// SetPublish installs the hook that receives each Apply's Result while
+// the engine mutex is held — successive publishes are therefore ordered
+// by sequence number, which is what lets a server swap serving
+// snapshots without ever publishing a stale one over a fresher one.
+// Call before serving traffic.
+func (e *Engine) SetPublish(fn func(Result)) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.publish = fn
+}
+
+// State returns the current (graph, extractor, features, generation,
+// watermark) under the engine lock.
+func (e *Engine) State() (*graph.Graph, *core.Extractor, *core.FeatureSet, uint64, uint64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.g, e.ex, e.fs, e.gen, e.lastSeq
+}
+
+// Apply validates, logs, and applies one mutation batch, returning
+// after the batch is durable and visible to the publish hook.
+//
+// Semantics:
+//   - A batch ID already in the idempotency index is acked as Replayed
+//     without touching anything.
+//   - A batch with any invalid mutation is rejected whole
+//     (ErrBatchInvalid); nothing is written, nothing is acked.
+//   - Otherwise the batch is appended to the WAL and fsynced (the ack
+//     point — a crash after Apply returns cannot lose it), then the
+//     graph is rebuilt, the dirty ball recomputed, and the new state
+//     published.
+//
+// Writers are serialised; the context is only consulted before the
+// durability point (once the record is fsynced the apply always
+// finishes, otherwise the WAL and the in-memory state would diverge).
+func (e *Engine) Apply(ctx context.Context, batchID string, muts []graph.Mutation) (Result, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return Result{}, fmt.Errorf("ingest: engine closed")
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	if batchID == "" || len(batchID) > graph.MaxBatchID {
+		e.stats.Rejected++
+		return Result{}, fmt.Errorf("%w: batch id must be 1-%d bytes", ErrBatchInvalid, graph.MaxBatchID)
+	}
+	if len(muts) == 0 || len(muts) > e.cfg.MaxBatchMutations {
+		e.stats.Rejected++
+		return Result{}, fmt.Errorf("%w: batch must carry 1-%d mutations, got %d", ErrBatchInvalid, e.cfg.MaxBatchMutations, len(muts))
+	}
+	if seq, ok := e.applied[batchID]; ok {
+		e.stats.Replayed++
+		res := e.currentResult(batchID, seq)
+		res.Replayed = true
+		if e.publish != nil {
+			// Replays publish too: after recovery the server may not
+			// have seen any state yet.
+			e.publish(res)
+		}
+		return res, nil
+	}
+
+	start := time.Now()
+	// Stage against the current graph first: a batch that fails
+	// validation must leave no trace, including in the WAL.
+	overlay := graph.NewOverlay(e.g)
+	for i, m := range muts {
+		if err := overlay.Apply(m); err != nil {
+			e.stats.Rejected++
+			return Result{}, fmt.Errorf("%w: mutation %d: %v", ErrBatchInvalid, i, err)
+		}
+	}
+	payload, err := graph.EncodeMutations(batchID, muts)
+	if err != nil {
+		e.stats.Rejected++
+		return Result{}, fmt.Errorf("%w: %v", ErrBatchInvalid, err)
+	}
+
+	seq := e.lastSeq + 1
+	if err := e.wal.Append(seq, payload); err != nil {
+		return Result{}, fmt.Errorf("ingest: WAL append: %w", err)
+	}
+	// Durability point: from here the batch is acked-able and the apply
+	// must complete.
+	res, err := e.applyOverlay(batchID, overlay, seq)
+	if err != nil {
+		// The staged overlay validated, so a failure here is resource
+		// exhaustion or a bug; the WAL record stays for recovery.
+		return Result{}, fmt.Errorf("ingest: apply after durable append: %w", err)
+	}
+	res.Elapsed = time.Since(start)
+	e.observeApply(res)
+	if e.since++; e.since >= e.cfg.CompactEvery {
+		if err := e.compactLocked(); err != nil {
+			// Compaction failure is not batch failure: the WAL still
+			// holds everything. Log and carry on.
+			e.cfg.Log("ingest: compaction failed (WAL keeps growing): %v", err)
+		}
+	}
+	res.Generation = e.gen
+	if e.publish != nil {
+		e.publish(res)
+	}
+	return res, nil
+}
+
+// applyLocked stages and applies an already-durable batch (WAL replay).
+func (e *Engine) applyLocked(batchID string, muts []graph.Mutation, seq uint64) (Result, error) {
+	overlay := graph.NewOverlay(e.g)
+	for i, m := range muts {
+		if err := overlay.Apply(m); err != nil {
+			return Result{}, fmt.Errorf("mutation %d: %w", i, err)
+		}
+	}
+	return e.applyOverlay(batchID, overlay, seq)
+}
+
+// applyOverlay materialises the staged overlay, recomputes the dirty
+// ball, and installs the new state. Caller holds e.mu and has made the
+// batch durable.
+func (e *Engine) applyOverlay(batchID string, overlay *graph.Overlay, seq uint64) (Result, error) {
+	oldG := e.g
+	newG, err := overlay.Materialize()
+	if err != nil {
+		return Result{}, err
+	}
+	ex, err := core.NewExtractor(newG, e.cfg.Opts)
+	if err != nil {
+		return Result{}, err
+	}
+	dirty := core.DirtySet(oldG, newG, overlay.Touched(), e.cfg.Opts.MaxEdges)
+	fs, newCols, err := e.patchFeatures(ex, dirty, newG.NumNodes())
+	if err != nil {
+		return Result{}, err
+	}
+
+	e.g, e.ex, e.fs = newG, ex, fs
+	e.lastSeq = seq
+	e.applied[batchID] = seq
+	e.evictIndex()
+	e.stats.Applied++
+	e.stats.LastDirtyRoots = len(dirty)
+	if len(dirty) > e.stats.MaxDirtyRoots {
+		e.stats.MaxDirtyRoots = len(dirty)
+	}
+	return Result{
+		Seq:        seq,
+		BatchID:    batchID,
+		DirtyRoots: dirty,
+		NewColumns: newCols,
+		Graph:      newG,
+		Extractor:  ex,
+		Features:   fs,
+		Generation: e.gen,
+	}, nil
+}
+
+// patchFeatures recomputes the census rows for the dirty roots and
+// splices them into a copy-on-write clone of the feature set. The
+// previous FeatureSet (shared with in-flight readers of the old serving
+// snapshot) is never mutated: outer slices are copied, untouched
+// FeatureRow values are shared, dirty rows get fresh slices. The
+// vocabulary only ever appends columns, so existing sparse rows stay
+// valid verbatim.
+func (e *Engine) patchFeatures(ex *core.Extractor, dirty []graph.NodeID, numNodes int) (*core.FeatureSet, int, error) {
+	censuses := ex.CensusAll(dirty, e.cfg.Workers)
+	oldCols := e.vocab.Len()
+	for _, c := range censuses {
+		if c != nil {
+			e.vocab.AddCensus(c)
+		}
+	}
+	newCols := e.vocab.Len() - oldCols
+
+	old := e.fs
+	fs := &core.FeatureSet{
+		MaxEdges:      old.MaxEdges,
+		MaxDegree:     old.MaxDegree,
+		MaskRootLabel: old.MaskRootLabel,
+		LabelSlots:    old.LabelSlots,
+		SlotNames:     old.SlotNames,
+	}
+	fs.Features = make([]core.FeatureDef, e.vocab.Len())
+	copy(fs.Features, old.Features)
+	for c := oldCols; c < e.vocab.Len(); c++ {
+		key := e.vocab.Key(c)
+		seqv, ok := ex.Decode(key)
+		if !ok {
+			return nil, 0, fmt.Errorf("ingest: new vocabulary key %x has no representative", key)
+		}
+		fs.Features[c] = core.FeatureDef{Key: key, Sequence: seqv.Values, Encoding: seqv.String(ex.SlotName)}
+	}
+
+	fs.Roots = make([]int64, numNodes)
+	fs.Rows = make([]core.FeatureRow, numNodes)
+	for i := range fs.Roots {
+		fs.Roots[i] = int64(i)
+	}
+	copy(fs.Rows, old.Rows)
+
+	needFlags := len(old.RowFlags) > 0
+	for _, c := range censuses {
+		if c != nil && c.Flags != 0 {
+			needFlags = true
+		}
+	}
+	if needFlags {
+		fs.RowFlags = make([]uint8, numNodes)
+		copy(fs.RowFlags, old.RowFlags)
+	}
+
+	for i, c := range censuses {
+		root := int(dirty[i])
+		if c == nil {
+			continue
+		}
+		var row core.FeatureRow
+		if n := len(c.Counts); n > 0 {
+			row.Columns = make([]int, 0, n)
+			row.Counts = make([]int64, 0, n)
+			keys := make([]uint64, 0, n)
+			for k := range c.Counts {
+				keys = append(keys, k)
+			}
+			sort.Slice(keys, func(a, b int) bool {
+				ca, _ := e.vocab.Index(keys[a])
+				cb, _ := e.vocab.Index(keys[b])
+				return ca < cb
+			})
+			for _, k := range keys {
+				col, ok := e.vocab.Index(k)
+				if !ok {
+					return nil, 0, fmt.Errorf("ingest: census key %x missing from vocabulary", k)
+				}
+				row.Columns = append(row.Columns, col)
+				row.Counts = append(row.Counts, c.Counts[k])
+			}
+		}
+		fs.Rows[root] = row
+		if needFlags {
+			fs.RowFlags[root] = uint8(c.Flags)
+		}
+	}
+	return fs, newCols, nil
+}
+
+// currentResult packages the current state for a replayed ack. Caller
+// holds e.mu.
+func (e *Engine) currentResult(batchID string, seq uint64) Result {
+	return Result{
+		Seq:        seq,
+		BatchID:    batchID,
+		Graph:      e.g,
+		Extractor:  e.ex,
+		Features:   e.fs,
+		Generation: e.gen,
+	}
+}
+
+// evictIndex bounds the idempotency index, dropping oldest sequences
+// first. Caller holds e.mu.
+func (e *Engine) evictIndex() {
+	for len(e.applied) > e.cfg.MaxIndexEntries {
+		var oldestID string
+		var oldestSeq uint64
+		for id, seq := range e.applied {
+			if oldestID == "" || seq < oldestSeq {
+				oldestID, oldestSeq = id, seq
+			}
+		}
+		delete(e.applied, oldestID)
+	}
+}
+
+// writeSnapshot persists the current state as the next ingest
+// generation. Caller holds e.mu (or is still single-threaded in Open).
+func (e *Engine) writeSnapshot() error {
+	batches := make(map[string]uint64, len(e.applied))
+	for id, seq := range e.applied {
+		batches[id] = seq
+	}
+	sections, err := snapshotSections(&ingestState{
+		meta: ingestMeta{Schema: ingestSchema, LastSeq: e.lastSeq, Batches: batches},
+		g:    e.g,
+		fs:   e.fs,
+	})
+	if err != nil {
+		return err
+	}
+	gen, err := e.cfg.Store.Write(ArtifactIngest, sections)
+	if err != nil {
+		return err
+	}
+	e.gen = gen
+	return nil
+}
+
+// compactLocked folds the WAL into a fresh snapshot generation, then
+// truncates the log. Crash-safe in both windows: before the snapshot
+// rename the old snapshot + full WAL recover everything; between the
+// rename and the WAL reset, replay skips the already-folded records by
+// watermark.
+func (e *Engine) compactLocked() error {
+	if err := e.writeSnapshot(); err != nil {
+		return err
+	}
+	if err := e.wal.Reset(); err != nil {
+		return err
+	}
+	e.since = 0
+	e.stats.Compactions++
+	e.cfg.Log("ingest: compacted through sequence %d into generation %d", e.lastSeq, e.gen)
+	return nil
+}
+
+// observeApply records latency and ring stats. Caller holds e.mu.
+func (e *Engine) observeApply(res Result) {
+	e.applyLatency[e.latencyNext] = res.Elapsed
+	e.latencyNext = (e.latencyNext + 1) % latencyRingSize
+	if e.latencyFill < latencyRingSize {
+		e.latencyFill++
+	}
+}
+
+// Stats returns a point-in-time copy of the engine counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s := e.stats
+	s.LastSeq = e.lastSeq
+	s.Generation = e.gen
+	s.WALBytes = e.wal.Size()
+	s.IndexEntries = len(e.applied)
+	if e.latencyFill > 0 {
+		lat := make([]time.Duration, e.latencyFill)
+		copy(lat, e.applyLatency[:e.latencyFill])
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		s.ApplyP50MS = float64(lat[e.latencyFill/2].Microseconds()) / 1000
+		s.ApplyP99MS = float64(lat[(e.latencyFill*99)/100].Microseconds()) / 1000
+	}
+	return s
+}
+
+// Close closes the WAL. Everything acked is already durable; Close
+// performs no final compaction (boot replay finishes the job), so a
+// crash and a clean shutdown recover identically.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil
+	}
+	e.closed = true
+	return e.wal.Close()
+}

@@ -219,6 +219,7 @@ func (s *Server) StopProbes() {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/features", s.handleFeatures)
+	mux.HandleFunc("/v1/ingest", s.handleIngest)
 	mux.HandleFunc("/v1/meta", s.handleMeta)
 	mux.HandleFunc("/v1/admin/reload", s.handleFleetReload)
 	mux.HandleFunc("/healthz", s.handleHealthz)
@@ -297,6 +298,23 @@ type ShardReport struct {
 	Error       string `json:"error,omitempty"`
 	Generation  uint64 `json:"generation,omitempty"`
 	Fingerprint string `json:"fingerprint,omitempty"`
+}
+
+// handleIngest answers POST /v1/ingest with a clear 501: streaming
+// ingest is a single-daemon capability, and routing a mutation batch
+// across shards needs a fleet-wide ordering protocol (every shard whose
+// halo a mutation touches must apply it, in the same sequence, with
+// cross-shard idempotency) that the routing tier does not implement.
+// Clients that need ingest talk to an hsgfd running with -ingest
+// directly; the machine-readable reason lets them discover that
+// programmatically instead of diagnosing a 404.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use POST", 0)
+		return
+	}
+	s.writeError(w, http.StatusNotImplemented, "ingest_unsupported",
+		"the routing tier does not support streaming ingest; send mutations to an ingest-enabled daemon", 0)
 }
 
 // handleFeatures is the scatter/gather path: partition the batch's

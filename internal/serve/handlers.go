@@ -102,6 +102,10 @@ type MetaResponse struct {
 	MaxDeadlineMS      int64 `json:"max_deadline_ms"`
 	RootBudget         int64 `json:"root_budget,omitempty"`
 	RootDeadlineMS     int64 `json:"root_deadline_ms,omitempty"`
+
+	// Ingest is the streaming-ingest freshness watermark; absent when
+	// the daemon runs without an ingest engine.
+	Ingest *IngestStatus `json:"ingest,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -324,6 +328,7 @@ func (s *Server) handleMeta(w http.ResponseWriter, r *http.Request) {
 		MaxDeadlineMS:      s.cfg.MaxDeadline.Milliseconds(),
 		RootBudget:         s.cfg.RootBudget,
 		RootDeadlineMS:     s.cfg.RootDeadline.Milliseconds(),
+		Ingest:             s.ingestStatus(),
 	}
 	if snap.Features != nil {
 		meta.FeatureSetRows = len(snap.Features.Rows)
@@ -413,6 +418,9 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if last := s.lastReload.Load(); last != nil {
 		body["last_reload"] = last
 	}
+	if ing := s.ingestStatus(); ing != nil {
+		body["ingest"] = ing
+	}
 	if s.draining.Load() {
 		body["status"] = "draining"
 		writeJSON(w, http.StatusServiceUnavailable, body)
@@ -432,5 +440,6 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	snap.Generation = serving.Generation
 	snap.Fingerprint = serving.Fingerprint
 	snap.LastReload = s.lastReload.Load()
+	snap.Ingest = s.ingestStatus()
 	writeJSON(w, http.StatusOK, snap)
 }

@@ -1,0 +1,220 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"hsgf/internal/graph"
+	"hsgf/internal/ingest"
+)
+
+// SetIngestor wires a streaming-ingest engine into the server: POST
+// /v1/ingest goes live, and every applied batch's published state is
+// RCU-swapped into the serving snapshot. The publish hook runs while
+// the engine's writer lock is held, so snapshot swaps arrive in strict
+// sequence order — a slow older batch can never overwrite a newer one.
+// source labels the snapshots for /v1/meta (e.g. "ingest:/var/lib/hsgf").
+// Call before the server starts handling requests.
+func (s *Server) SetIngestor(eng *ingest.Engine, source string) {
+	s.ingest = eng
+	// Ingest has its own single-writer admission gate so a write burst
+	// and a read burst shed independently: MaxQueue writers may wait
+	// (the engine serialises them anyway), the rest get 429.
+	s.ingestAdm = newAdmission(1, s.cfg.MaxQueue)
+	eng.SetPublish(func(res ingest.Result) {
+		snap := &Snapshot{
+			Extractor:   res.Extractor,
+			Features:    res.Features,
+			Fingerprint: fingerprint(res.Extractor),
+			Generation:  res.Generation,
+			Source:      source,
+		}
+		s.snap.Store(snap)
+	})
+}
+
+// Ingesting reports whether a streaming-ingest engine is wired in.
+func (s *Server) Ingesting() bool { return s.ingest != nil }
+
+// IngestMutation is the wire form of one mutation in POST /v1/ingest.
+type IngestMutation struct {
+	// Op is one of add_node, add_edge, remove_edge, relabel.
+	Op string `json:"op"`
+	// U, V are node IDs (edge endpoints; U alone for relabel).
+	U int64 `json:"u,omitempty"`
+	V int64 `json:"v,omitempty"`
+	// Label is the label name for add_node and relabel.
+	Label string `json:"label,omitempty"`
+	// Name is the optional node name for add_node.
+	Name string `json:"name,omitempty"`
+}
+
+// IngestRequest is the body of POST /v1/ingest.
+type IngestRequest struct {
+	// BatchID is the client's idempotency key: a batch re-sent with the
+	// same ID (after a lost ack, a retry, a failover) is acknowledged
+	// with its original sequence number, never applied twice.
+	BatchID   string           `json:"batch_id"`
+	Mutations []IngestMutation `json:"mutations"`
+}
+
+// IngestResponse is the body of a successful POST /v1/ingest. The
+// response is sent only after the batch is durable (WAL fsync) and the
+// updated feature state is serving.
+type IngestResponse struct {
+	Seq         uint64 `json:"seq"`
+	Replayed    bool   `json:"replayed,omitempty"`
+	DirtyRoots  int    `json:"dirty_roots"`
+	NewColumns  int    `json:"new_columns,omitempty"`
+	ElapsedMS   int64  `json:"elapsed_ms"`
+	Generation  uint64 `json:"generation,omitempty"`
+	Fingerprint string `json:"fingerprint"`
+}
+
+// IngestStatus is the freshness watermark block surfaced in
+// /debug/stats, /readyz, and /v1/meta when ingest is enabled.
+type IngestStatus struct {
+	Enabled bool `json:"enabled"`
+	// LastSeq is the last durably applied batch sequence.
+	LastSeq uint64 `json:"last_seq"`
+	// IngestToServeP50MS / P99MS measure Apply entry to snapshot swap —
+	// how stale a just-acked mutation can be before reads see it.
+	IngestToServeP50MS float64 `json:"ingest_to_serve_p50_ms"`
+	IngestToServeP99MS float64 `json:"ingest_to_serve_p99_ms"`
+	Applied            uint64  `json:"applied"`
+	Replayed           uint64  `json:"replayed"`
+	Rejected           uint64  `json:"rejected"`
+	Compactions        uint64  `json:"compactions"`
+	RecoveredRecords   uint64  `json:"recovered_records"`
+	Generation         uint64  `json:"generation"`
+	WALBytes           int64   `json:"wal_bytes"`
+	LastDirtyRoots     int     `json:"last_dirty_roots"`
+	MaxDirtyRoots      int     `json:"max_dirty_roots"`
+}
+
+// ingestStatus snapshots the engine counters; nil when ingest is off.
+func (s *Server) ingestStatus() *IngestStatus {
+	if s.ingest == nil {
+		return nil
+	}
+	st := s.ingest.Stats()
+	return &IngestStatus{
+		Enabled:            true,
+		LastSeq:            st.LastSeq,
+		IngestToServeP50MS: st.ApplyP50MS,
+		IngestToServeP99MS: st.ApplyP99MS,
+		Applied:            st.Applied,
+		Replayed:           st.Replayed,
+		Rejected:           st.Rejected,
+		Compactions:        st.Compactions,
+		RecoveredRecords:   st.RecoveredRecords,
+		Generation:         st.Generation,
+		WALBytes:           st.WALBytes,
+		LastDirtyRoots:     st.LastDirtyRoots,
+		MaxDirtyRoots:      st.MaxDirtyRoots,
+	}
+}
+
+// handleIngest serves POST /v1/ingest: validate, admit (bounded write
+// queue, 429 + Retry-After beyond it), apply through the WAL-backed
+// engine, ack after durability. A daemon running without an ingest
+// engine answers 501 with a machine-readable reason, mirroring the
+// routing tier.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use POST", 0)
+		return
+	}
+	if s.ingest == nil {
+		s.writeError(w, http.StatusNotImplemented, "ingest_unsupported",
+			"daemon was started without streaming ingest (-ingest)", 0)
+		return
+	}
+	if s.draining.Load() {
+		s.stats.drained.Add(1)
+		s.writeError(w, http.StatusServiceUnavailable, "draining", "server is draining", s.cfg.RetryAfter)
+		return
+	}
+
+	var req IngestRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.stats.badReq.Add(1)
+		s.writeError(w, http.StatusBadRequest, "bad_request", "invalid JSON body: "+err.Error(), 0)
+		return
+	}
+	if req.BatchID == "" || len(req.BatchID) > graph.MaxBatchID {
+		s.stats.badReq.Add(1)
+		s.writeError(w, http.StatusBadRequest, "bad_request",
+			fmt.Sprintf("batch_id must be 1-%d bytes", graph.MaxBatchID), 0)
+		return
+	}
+	if len(req.Mutations) == 0 {
+		s.stats.badReq.Add(1)
+		s.writeError(w, http.StatusBadRequest, "bad_request", "mutations must not be empty", 0)
+		return
+	}
+	muts := make([]graph.Mutation, len(req.Mutations))
+	for i, m := range req.Mutations {
+		op, err := graph.ParseMutationOp(m.Op)
+		if err != nil {
+			s.stats.badReq.Add(1)
+			s.writeError(w, http.StatusBadRequest, "bad_mutation",
+				fmt.Sprintf("mutation %d: %v", i, err), 0)
+			return
+		}
+		muts[i] = graph.Mutation{Op: op, U: graph.NodeID(m.U), V: graph.NodeID(m.V), Label: m.Label, Name: m.Name}
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.requestDeadline(0))
+	defer cancel()
+
+	// Bounded write admission: the engine is single-writer, so this gate
+	// turns sustained write pressure into fast 429s with a backoff hint
+	// instead of an unbounded convoy on the engine mutex.
+	release, err := s.ingestAdm.acquire(ctx, func() { s.stats.queued.Add(1) })
+	if err != nil {
+		s.stats.shed.Add(1)
+		if err == ErrShed {
+			s.writeError(w, http.StatusTooManyRequests, "shed", "ingest queue full", s.cfg.RetryAfter)
+		} else {
+			s.writeError(w, http.StatusServiceUnavailable, "queue_timeout",
+				"deadline expired waiting for the ingest writer", s.cfg.RetryAfter)
+		}
+		return
+	}
+	defer release()
+
+	res, err := s.ingest.Apply(ctx, req.BatchID, muts)
+	switch {
+	case err == nil:
+	case errors.Is(err, ingest.ErrBatchInvalid):
+		s.stats.badReq.Add(1)
+		s.writeError(w, http.StatusBadRequest, "bad_mutation", err.Error(), 0)
+		return
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+		s.writeError(w, http.StatusServiceUnavailable, "queue_timeout",
+			"deadline expired before the batch reached the log", s.cfg.RetryAfter)
+		return
+	default:
+		// Durability-layer failure (WAL write, snapshot IO): the batch
+		// was NOT acked and the client must retry with the same batch ID.
+		s.writeError(w, http.StatusInternalServerError, "ingest_failed", err.Error(), 0)
+		return
+	}
+
+	snap := s.snap.Load()
+	writeJSON(w, http.StatusOK, IngestResponse{
+		Seq:         res.Seq,
+		Replayed:    res.Replayed,
+		DirtyRoots:  len(res.DirtyRoots),
+		NewColumns:  res.NewColumns,
+		ElapsedMS:   res.Elapsed.Milliseconds(),
+		Generation:  res.Generation,
+		Fingerprint: snap.Fingerprint,
+	})
+}

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"hsgf/internal/core"
+	"hsgf/internal/ingest"
 )
 
 // Config tunes the serving daemon. The zero value is usable: every
@@ -117,6 +118,11 @@ type Server struct {
 	reloader   func(context.Context) (*Snapshot, error)
 	reloadMu   sync.Mutex
 	lastReload atomic.Pointer[ReloadOutcome]
+
+	// ingest, when set via SetIngestor, backs POST /v1/ingest and feeds
+	// snapshot swaps; ingestAdm is its dedicated write-admission gate.
+	ingest    *ingest.Engine
+	ingestAdm *admission
 }
 
 // NewServer returns a server over ex with cfg (zero fields defaulted).
@@ -173,6 +179,7 @@ func fingerprint(ex *core.Extractor) string {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/features", s.handleFeatures)
+	mux.HandleFunc("/v1/ingest", s.handleIngest)
 	mux.HandleFunc("/v1/meta", s.handleMeta)
 	mux.HandleFunc("/v1/admin/reload", s.handleReload)
 	mux.HandleFunc("/healthz", s.handleHealthz)

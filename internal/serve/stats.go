@@ -86,6 +86,10 @@ type StatsSnapshot struct {
 	ReloadFailed int64          `json:"reload_failed"`
 	LastReload   *ReloadOutcome `json:"last_reload,omitempty"`
 
+	// Ingest is the streaming-ingest freshness watermark; absent when
+	// the daemon runs without an ingest engine.
+	Ingest *IngestStatus `json:"ingest,omitempty"`
+
 	Latency []LatencyBucket `json:"latency"`
 }
 
