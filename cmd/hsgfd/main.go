@@ -5,7 +5,7 @@
 // Usage:
 //
 //	hsgfd -in graph.tsv [-store DIR] [-addr :8080] [-emax 5] [-mask] \
-//	      [-dmax-percentile 0.9] [-root-budget N] [-root-deadline 2s] \
+//	      [-dmax N | -dmax-percentile 0.9] [-root-budget N] [-root-deadline 2s] \
 //	      [-max-inflight 4] [-max-queue 8] [-default-deadline 10s] \
 //	      [-drain-grace 15s] [-pprof-addr localhost:6060]
 //
@@ -50,7 +50,8 @@
 // state, so artifact hot reload (-store generations via SIGHUP or
 // /v1/admin/reload) is disabled, and -dmax-percentile is rejected: a
 // percentile cutoff would drift as the graph mutates, silently changing
-// feature semantics between restarts.
+// feature semantics between restarts. The fixed -dmax cutoff is stable
+// under mutation and works in either mode.
 package main
 
 import (
@@ -79,6 +80,7 @@ func main() {
 		retain   = flag.Int("retain", 0, "snapshot generations retained per artifact kind (0 = store default)")
 		addr     = flag.String("addr", ":8080", "listen address")
 		emax     = flag.Int("emax", 5, "maximum edges per subgraph")
+		dmax     = flag.Int("dmax", 0, "fixed hub degree cutoff; 0 disables")
 		dmaxPct  = flag.Float64("dmax-percentile", 0, "hub cutoff as a degree percentile in (0,1); 0 disables")
 		mask     = flag.Bool("mask", false, "mask the root node's label during extraction")
 
@@ -115,8 +117,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hsgfd: -ingest requires -store (the WAL and ingest snapshots live there)")
 		os.Exit(2)
 	}
+	if *dmax < 0 {
+		fmt.Fprintln(os.Stderr, "hsgfd: -dmax must be >= 0")
+		os.Exit(2)
+	}
+	if *dmax > 0 && *dmaxPct != 0 {
+		fmt.Fprintln(os.Stderr, "hsgfd: -dmax and -dmax-percentile are mutually exclusive")
+		os.Exit(2)
+	}
 	if *ingestOn && *dmaxPct != 0 {
-		fmt.Fprintln(os.Stderr, "hsgfd: -dmax-percentile is incompatible with -ingest: a percentile cutoff would drift as the graph mutates; use a fixed cutoff or none")
+		fmt.Fprintln(os.Stderr, "hsgfd: -dmax-percentile is incompatible with -ingest: a percentile cutoff would drift as the graph mutates; use the fixed -dmax cutoff or none")
 		os.Exit(2)
 	}
 
@@ -175,7 +185,7 @@ func main() {
 			source = "tsv:" + *in
 		}
 
-		opts := hsgf.Options{MaxEdges: *emax, MaskRootLabel: *mask}
+		opts := hsgf.Options{MaxEdges: *emax, MaskRootLabel: *mask, MaxDegree: *dmax}
 		if *dmaxPct > 0 && *dmaxPct < 1 {
 			opts.MaxDegree = hsgf.DegreePercentile(g, *dmaxPct)
 		}
@@ -216,7 +226,7 @@ func main() {
 		var err error
 		eng, err = ingest.Open(ingest.Config{
 			Store:        st,
-			Opts:         hsgf.Options{MaxEdges: *emax, MaskRootLabel: *mask},
+			Opts:         hsgf.Options{MaxEdges: *emax, MaskRootLabel: *mask, MaxDegree: *dmax},
 			Workers:      *ingestWorkers,
 			CompactEvery: *ingestCompact,
 			Log:          logger.Printf,

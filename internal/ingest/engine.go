@@ -82,7 +82,10 @@ type Stats struct {
 	RecoveredRecords uint64  `json:"recovered_records"`
 	WALBytes         int64   `json:"wal_bytes"`
 	IndexEntries     int     `json:"index_entries"`
-	LastDirtyRoots   int     `json:"last_dirty_roots"`
+	// Failed reports a post-durability apply failure: the engine rejects
+	// all further batches until a restart replays the WAL.
+	Failed         bool `json:"failed,omitempty"`
+	LastDirtyRoots int  `json:"last_dirty_roots"`
 	MaxDirtyRoots    int     `json:"max_dirty_roots"`
 	ApplyP50MS       float64 `json:"apply_p50_ms"`
 	ApplyP99MS       float64 `json:"apply_p99_ms"`
@@ -105,9 +108,17 @@ type Engine struct {
 	lastSeq uint64
 	gen     uint64
 	applied map[string]uint64
-	since   int // batches since last compaction
-	publish func(Result)
-	closed  bool
+	// appliedOrder holds the applied-index batch IDs in ascending
+	// sequence order, so eviction pops the oldest in O(1) instead of
+	// scanning the whole map under the writer lock.
+	appliedOrder []string
+	since        int // batches since last compaction
+	publish      func(Result)
+	closed       bool
+	// failed latches when an apply fails after its WAL record is durable:
+	// the in-memory state and the log have diverged, and only a restart
+	// (which replays the record) reconverges them.
+	failed bool
 
 	stats        Stats
 	applyLatency []time.Duration // ring, latencyRingSize entries
@@ -159,7 +170,11 @@ func Open(cfg Config, seed func() (*graph.Graph, error)) (*Engine, error) {
 		e.g, e.fs, e.gen, e.lastSeq = state.g, state.fs, gen, state.meta.LastSeq
 		for id, seq := range state.meta.Batches {
 			e.applied[id] = seq
+			e.appliedOrder = append(e.appliedOrder, id)
 		}
+		sort.Slice(e.appliedOrder, func(i, j int) bool {
+			return e.applied[e.appliedOrder[i]] < e.applied[e.appliedOrder[j]]
+		})
 	case errors.Is(err, store.ErrNotFound):
 		if seed == nil {
 			return nil, fmt.Errorf("ingest: no snapshot and no seed source")
@@ -289,6 +304,9 @@ func (e *Engine) Apply(ctx context.Context, batchID string, muts []graph.Mutatio
 	if e.closed {
 		return Result{}, fmt.Errorf("ingest: engine closed")
 	}
+	if e.failed {
+		return Result{}, fmt.Errorf("ingest: engine failed after a durable append and requires a restart (boot replay reconverges the WAL and the in-memory state)")
+	}
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
@@ -337,8 +355,13 @@ func (e *Engine) Apply(ctx context.Context, batchID string, muts []graph.Mutatio
 	res, err := e.applyOverlay(batchID, overlay, seq)
 	if err != nil {
 		// The staged overlay validated, so a failure here is resource
-		// exhaustion or a bug; the WAL record stays for recovery.
-		return Result{}, fmt.Errorf("ingest: apply after durable append: %w", err)
+		// exhaustion or a bug. The WAL record is durable but was not
+		// applied: e.lastSeq and wal.LastSeq have diverged, so latch the
+		// failure instead of wedging every later Apply on the WAL's
+		// seq-monotonicity check with a misleading error. Restart replays
+		// the record and recovers.
+		e.failed = true
+		return Result{}, fmt.Errorf("ingest: apply after durable append (engine requires a restart; WAL record %d replays on boot): %w", seq, err)
 	}
 	res.Elapsed = time.Since(start)
 	e.observeApply(res)
@@ -389,6 +412,7 @@ func (e *Engine) applyOverlay(batchID string, overlay *graph.Overlay, seq uint64
 	e.g, e.ex, e.fs = newG, ex, fs
 	e.lastSeq = seq
 	e.applied[batchID] = seq
+	e.appliedOrder = append(e.appliedOrder, batchID)
 	e.evictIndex()
 	e.stats.Applied++
 	e.stats.LastDirtyRoots = len(dirty)
@@ -510,17 +534,16 @@ func (e *Engine) currentResult(batchID string, seq uint64) Result {
 }
 
 // evictIndex bounds the idempotency index, dropping oldest sequences
-// first. Caller holds e.mu.
+// first. appliedOrder is maintained in ascending sequence order, so
+// each eviction is O(1) — a full-map scan here would run under the
+// writer lock on every applied batch once the index is at capacity.
+// Caller holds e.mu.
 func (e *Engine) evictIndex() {
-	for len(e.applied) > e.cfg.MaxIndexEntries {
-		var oldestID string
-		var oldestSeq uint64
-		for id, seq := range e.applied {
-			if oldestID == "" || seq < oldestSeq {
-				oldestID, oldestSeq = id, seq
-			}
-		}
-		delete(e.applied, oldestID)
+	for len(e.applied) > e.cfg.MaxIndexEntries && len(e.appliedOrder) > 0 {
+		id := e.appliedOrder[0]
+		e.appliedOrder[0] = "" // release the string to GC
+		e.appliedOrder = e.appliedOrder[1:]
+		delete(e.applied, id)
 	}
 }
 
@@ -583,6 +606,7 @@ func (e *Engine) Stats() Stats {
 	s.Generation = e.gen
 	s.WALBytes = e.wal.Size()
 	s.IndexEntries = len(e.applied)
+	s.Failed = e.failed
 	if e.latencyFill > 0 {
 		lat := make([]time.Duration, e.latencyFill)
 		copy(lat, e.applyLatency[:e.latencyFill])

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 
 	"hsgf/internal/graph"
@@ -78,6 +79,9 @@ type IngestResponse struct {
 // /debug/stats, /readyz, and /v1/meta when ingest is enabled.
 type IngestStatus struct {
 	Enabled bool `json:"enabled"`
+	// Failed reports a post-durability apply failure: the engine refuses
+	// further batches until the daemon restarts and replays the WAL.
+	Failed bool `json:"failed,omitempty"`
 	// LastSeq is the last durably applied batch sequence.
 	LastSeq uint64 `json:"last_seq"`
 	// IngestToServeP50MS / P99MS measure Apply entry to snapshot swap —
@@ -103,6 +107,7 @@ func (s *Server) ingestStatus() *IngestStatus {
 	st := s.ingest.Stats()
 	return &IngestStatus{
 		Enabled:            true,
+		Failed:             st.Failed,
 		LastSeq:            st.LastSeq,
 		IngestToServeP50MS: st.ApplyP50MS,
 		IngestToServeP99MS: st.ApplyP99MS,
@@ -165,6 +170,15 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			s.stats.badReq.Add(1)
 			s.writeError(w, http.StatusBadRequest, "bad_mutation",
 				fmt.Sprintf("mutation %d: %v", i, err), 0)
+			return
+		}
+		// graph.NodeID is int32; an out-of-range int64 would wrap into a
+		// valid-looking node ID and the batch would mutate the wrong node,
+		// so reject before converting.
+		if m.U < 0 || m.U > math.MaxInt32 || m.V < 0 || m.V > math.MaxInt32 {
+			s.stats.badReq.Add(1)
+			s.writeError(w, http.StatusBadRequest, "bad_mutation",
+				fmt.Sprintf("mutation %d: node ids must be in [0, %d]", i, math.MaxInt32), 0)
 			return
 		}
 		muts[i] = graph.Mutation{Op: op, U: graph.NodeID(m.U), V: graph.NodeID(m.V), Label: m.Label, Name: m.Name}

@@ -133,6 +133,11 @@ func TestIngestBadRequests(t *testing.T) {
 		{"self loop", `{"batch_id":"x","mutations":[{"op":"add_edge","u":1,"v":1}]}`, "bad_mutation"},
 		{"duplicate edge", `{"batch_id":"x","mutations":[{"op":"add_edge","u":0,"v":1}]}`, "bad_mutation"},
 		{"unknown label", `{"batch_id":"x","mutations":[{"op":"add_node","label":"nope"}]}`, "bad_mutation"},
+		// These int64 IDs would wrap into the VALID mutation 0-2 (resp.
+		// 2-4) under int32 truncation, silently mutating the wrong nodes;
+		// the handler must reject them before conversion.
+		{"u beyond int32", `{"batch_id":"x","mutations":[{"op":"add_edge","u":4294967296,"v":2}]}`, "bad_mutation"},
+		{"negative v wraps", `{"batch_id":"x","mutations":[{"op":"add_edge","u":2,"v":-4294967292}]}`, "bad_mutation"},
 	}
 	for _, tc := range cases {
 		var body errorBody

@@ -100,10 +100,11 @@ func DecodeWALFrame(data []byte) (WALRecord, int, error) {
 // WAL is an append-only, fsync-per-append mutation log. Not safe for
 // concurrent use; the ingest engine serialises writers.
 type WAL struct {
-	f       *os.File
-	path    string
-	size    int64
-	lastSeq uint64
+	f        *os.File
+	path     string
+	size     int64
+	lastSeq  uint64
+	poisoned bool
 }
 
 // OpenWAL opens (or creates) the log at path and replays it. It returns
@@ -202,9 +203,25 @@ func (w *WAL) Size() int64 { return w.size }
 // Path returns the log's file path.
 func (w *WAL) Path() string { return w.path }
 
+// walWrite is a test seam for injecting partial-write failures; it must
+// behave exactly like (*os.File).Write in production.
+var walWrite = func(f *os.File, b []byte) (int, error) { return f.Write(b) }
+
 // Append writes one record and fsyncs. seq must exceed LastSeq. When
 // Append returns nil the record is durable and may be acked.
+//
+// When Append fails the log is rolled back to its pre-append size. This
+// matters: a partial write (say ENOSPC after n>0 bytes) that stayed in
+// the file would sit BEFORE any later successful append, and recovery
+// stops at the first undecodable frame — so the later, acked frame
+// would be silently truncated away, defeating the durability contract.
+// If the rollback itself fails the log is poisoned: every further
+// Append errors until a restart, where OpenWAL truncates the torn tail
+// while it is still the tail.
 func (w *WAL) Append(seq uint64, payload []byte) error {
+	if w.poisoned {
+		return fmt.Errorf("store: WAL %s is poisoned by an earlier failed append; restart to recover", w.path)
+	}
 	if seq <= w.lastSeq {
 		return fmt.Errorf("store: WAL append seq %d not after last seq %d", seq, w.lastSeq)
 	}
@@ -212,20 +229,36 @@ func (w *WAL) Append(seq uint64, payload []byte) error {
 	if err != nil {
 		return err
 	}
-	n, err := w.f.Write(frame)
-	if err != nil {
-		// A partial write is exactly the torn tail recovery handles;
-		// surface the error and leave truncation to the next open.
-		w.size += int64(n)
-		return err
+	if _, err := walWrite(w.f, frame); err != nil {
+		return w.rollback(err)
 	}
 	if err := syncFile(w.f); err != nil {
-		w.size += int64(n)
-		return err
+		return w.rollback(err)
 	}
-	w.size += int64(n)
+	w.size += int64(len(frame))
 	w.lastSeq = seq
 	return nil
+}
+
+// rollback truncates a failed append's partial frame away, restoring
+// the pre-append file state, and returns cause. If the truncate (or the
+// re-seek/sync after it) fails, the torn bytes may still be on disk, so
+// the log flips to poisoned rather than risk stranding a later acked
+// frame behind them.
+func (w *WAL) rollback(cause error) error {
+	err := w.f.Truncate(w.size)
+	if err == nil {
+		if _, serr := w.f.Seek(w.size, io.SeekStart); serr != nil {
+			err = serr
+		} else {
+			err = syncFile(w.f)
+		}
+	}
+	if err != nil {
+		w.poisoned = true
+		return fmt.Errorf("store: WAL append failed (%v); rollback failed too (%v) — log poisoned until restart", cause, err)
+	}
+	return cause
 }
 
 // Reset truncates the log back to its header after a compaction has

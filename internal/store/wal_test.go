@@ -5,6 +5,7 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -233,6 +234,74 @@ func TestWALReset(t *testing.T) {
 	_, recs := openWAL(t, path)
 	if len(recs) != 1 || recs[0].Seq != 5 {
 		t.Fatalf("replay after reset gave %v", recs)
+	}
+}
+
+// TestWALAppendFailureRollsBack: a failed append that left partial
+// frame bytes in the file must roll them back. If they stayed, a later
+// successful (acked) append would sit beyond them, and recovery — which
+// stops at the first undecodable frame — would silently truncate the
+// acked record away.
+func TestWALAppendFailureRollsBack(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ingest.wal")
+	w, _ := openWAL(t, path)
+	if err := w.Append(1, []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	sizeBefore := w.Size()
+
+	// Inject an ENOSPC-style partial write: half the frame lands, then
+	// the write errors.
+	orig := walWrite
+	walWrite = func(f *os.File, b []byte) (int, error) {
+		n, _ := f.Write(b[:len(b)/2])
+		return n, errors.New("injected: no space left on device")
+	}
+	err := w.Append(2, []byte("torn"))
+	walWrite = orig
+	if err == nil {
+		t.Fatal("failed append reported success")
+	}
+	if w.Size() != sizeBefore {
+		t.Fatalf("Size = %d after failed append, want rollback to %d", w.Size(), sizeBefore)
+	}
+	if fi, statErr := os.Stat(path); statErr != nil || fi.Size() != sizeBefore {
+		t.Fatalf("file holds %d bytes after failed append, want %d", fi.Size(), sizeBefore)
+	}
+	if w.LastSeq() != 1 {
+		t.Fatalf("LastSeq = %d after failed append, want 1", w.LastSeq())
+	}
+
+	// The log stays usable, and the frame acked after the failure
+	// survives recovery — the exact record the torn bytes would have
+	// stranded.
+	if err := w.Append(2, []byte("acked-after-failure")); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	_, recs := openWAL(t, path)
+	if len(recs) != 2 || !bytes.Equal(recs[1].Payload, []byte("acked-after-failure")) {
+		t.Fatalf("replay after rollback: %d records", len(recs))
+	}
+}
+
+// TestWALPoisonedWhenRollbackFails: when the rollback truncate cannot
+// restore the file, the log must refuse every further append — the
+// alternative is exactly the stranded-acked-frame hazard above.
+func TestWALPoisonedWhenRollbackFails(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ingest.wal")
+	w, _ := openWAL(t, path)
+	if err := w.Append(1, []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	// Closing the file underneath the WAL makes both the append write
+	// and the rollback truncate fail.
+	w.f.Close()
+	if err := w.Append(2, []byte("two")); err == nil {
+		t.Fatal("append on a closed file reported success")
+	}
+	if err := w.Append(3, []byte("three")); err == nil || !strings.Contains(err.Error(), "poisoned") {
+		t.Fatalf("poisoned WAL did not refuse a further append: %v", err)
 	}
 }
 
