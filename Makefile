@@ -88,9 +88,14 @@ bench-all:
 # CI smoke: compile and exercise every benchmark briefly so benchmark
 # code cannot rot, without paying for stable timings. The embedding
 # benchmarks train real models (seconds per op), so they run once.
+# The warm-cache alloc-budget test rides along: a warm 8-root
+# /v1/features request over 100 allocations fails the target (timings
+# drift with load; allocation counts are deterministic, so this is the
+# fast-path regression gate CI can enforce).
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=100x ./internal/core ./internal/serve
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./internal/embed
+	$(GO) test -run TestWarmServeAllocBudget -count=1 -v ./internal/serve
 
 clean:
 	$(GO) clean ./...

@@ -88,6 +88,7 @@ func main() {
 		rootDeadline = flag.Duration("root-deadline", 0, "default max wall-clock time per root; 0 = unlimited")
 
 		maxInflight = flag.Int("max-inflight", 4, "concurrent extracting requests")
+		rowCache    = flag.Int("row-cache", serve.DefaultRowCache, "feature-row cache bound in rows across all shards; 0 disables caching and request coalescing")
 		maxQueue    = flag.Int("max-queue", 0, "queued requests beyond in-flight before shedding (0 = 2x in-flight)")
 		maxRoots    = flag.Int("max-roots", 256, "max roots per request")
 		workers     = flag.Int("request-workers", 1, "census workers per request")
@@ -199,6 +200,13 @@ func main() {
 		return snap, nil
 	}
 
+	// The flag's 0 means "off"; the config's 0 means "default", so map
+	// explicitly: anything <= 0 disables the cache (and coalescing).
+	cacheSize := *rowCache
+	if cacheSize <= 0 {
+		cacheSize = -1
+	}
+
 	serveCfg := serve.Config{
 		MaxInFlight:        *maxInflight,
 		MaxQueue:           *maxQueue,
@@ -207,6 +215,7 @@ func main() {
 		RootBudget:         *rootBudget,
 		RootDeadline:       *rootDeadline,
 		MaxRootsPerRequest: *maxRoots,
+		RowCache:           cacheSize,
 		Workers:            *workers,
 		Breaker: serve.BreakerConfig{
 			Window:    *brkWindow,

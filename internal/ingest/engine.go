@@ -73,22 +73,22 @@ type Result struct {
 // Stats is a point-in-time snapshot of engine counters for
 // /debug/stats and benchmarks.
 type Stats struct {
-	LastSeq          uint64  `json:"last_seq"`
-	Applied          uint64  `json:"applied"`
-	Replayed         uint64  `json:"replayed"`
-	Rejected         uint64  `json:"rejected"`
-	Compactions      uint64  `json:"compactions"`
-	Generation       uint64  `json:"generation"`
-	RecoveredRecords uint64  `json:"recovered_records"`
-	WALBytes         int64   `json:"wal_bytes"`
-	IndexEntries     int     `json:"index_entries"`
+	LastSeq          uint64 `json:"last_seq"`
+	Applied          uint64 `json:"applied"`
+	Replayed         uint64 `json:"replayed"`
+	Rejected         uint64 `json:"rejected"`
+	Compactions      uint64 `json:"compactions"`
+	Generation       uint64 `json:"generation"`
+	RecoveredRecords uint64 `json:"recovered_records"`
+	WALBytes         int64  `json:"wal_bytes"`
+	IndexEntries     int    `json:"index_entries"`
 	// Failed reports a post-durability apply failure: the engine rejects
 	// all further batches until a restart replays the WAL.
-	Failed         bool `json:"failed,omitempty"`
-	LastDirtyRoots int  `json:"last_dirty_roots"`
-	MaxDirtyRoots    int     `json:"max_dirty_roots"`
-	ApplyP50MS       float64 `json:"apply_p50_ms"`
-	ApplyP99MS       float64 `json:"apply_p99_ms"`
+	Failed         bool    `json:"failed,omitempty"`
+	LastDirtyRoots int     `json:"last_dirty_roots"`
+	MaxDirtyRoots  int     `json:"max_dirty_roots"`
+	ApplyP50MS     float64 `json:"apply_p50_ms"`
+	ApplyP99MS     float64 `json:"apply_p99_ms"`
 }
 
 // Engine is the single-writer streaming-ingest core: it owns the
@@ -268,6 +268,13 @@ func (e *Engine) buildFromGraph(g *graph.Graph) error {
 // by sequence number, which is what lets a server swap serving
 // snapshots without ever publishing a stale one over a fresher one.
 // Call before serving traffic.
+//
+// Contract: a replayed ack (Result.Replayed) carries the engine's
+// CURRENT state pointers — the identical Extractor/Features the hook
+// saw on the last genuine publish, never a rebuilt copy. Subscribers
+// use that pointer identity to recognise a no-op republish and keep
+// derived state (the serving layer's feature-row cache above all)
+// intact through duplicate-replay storms.
 func (e *Engine) SetPublish(fn func(Result)) {
 	e.mu.Lock()
 	defer e.mu.Unlock()

@@ -375,3 +375,36 @@ func TestEngineSnapshotRoundTripValidation(t *testing.T) {
 		t.Fatalf("damaged snapshot not quarantined: %v", err)
 	}
 }
+
+// TestReplayPublishesIdenticalState pins the SetPublish replay
+// contract: a replayed ack hands the hook the engine's CURRENT state
+// pointers — the identical Extractor/Features the last genuine publish
+// carried — so subscribers can recognise the no-op by pointer identity
+// and keep derived state (the serving layer's row cache) intact.
+func TestReplayPublishesIdenticalState(t *testing.T) {
+	e := openEngine(t, testConfig(t, t.TempDir()))
+	var published []Result
+	e.SetPublish(func(res Result) { published = append(published, res) })
+
+	muts := []graph.Mutation{{Op: graph.OpAddEdge, U: 0, V: 2}}
+	first, err := e.Apply(context.Background(), "dup", muts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := e.Apply(context.Background(), "dup", muts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Replayed || !second.Replayed || second.Seq != first.Seq {
+		t.Fatalf("acks = %+v / %+v, want second replayed with the first's seq", first, second)
+	}
+	if len(published) != 2 {
+		t.Fatalf("published %d results, want 2 (replays publish too)", len(published))
+	}
+	if published[1].Extractor != published[0].Extractor || published[1].Features != published[0].Features {
+		t.Fatal("replay published rebuilt state pointers; subscribers cannot detect the no-op")
+	}
+	if !published[1].Replayed {
+		t.Error("replayed publish not flagged Replayed")
+	}
+}

@@ -5,20 +5,18 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"testing"
 
 	"hsgf/internal/core"
 	"hsgf/internal/datagen"
 )
 
-// BenchmarkServeRequest measures the full daemon request path —
-// admission, breaker, pooled extraction, flag mapping, JSON encoding —
-// for a small batch of roots over the synthetic publication network.
-// This is the per-request cost a client of POST /v1/features pays; the
-// allocation count is the tracked regression metric for the
-// reuse-everything extraction discipline (a cold path rebuilds O(V+E)
-// worker state per request and shows up here as thousands of allocs).
-func BenchmarkServeRequest(b *testing.B) {
+// benchServer builds the daemon over the synthetic publication network
+// with the given row-cache size and returns (server, handler, request
+// body for an 8-root batch).
+func benchServer(tb testing.TB, rowCache int) (*Server, http.Handler, []byte) {
+	tb.Helper()
 	cfg := datagen.DefaultPublicationConfig()
 	cfg.Institutions = 40
 	cfg.Conferences = datagen.DefaultConferences[:3]
@@ -27,14 +25,13 @@ func BenchmarkServeRequest(b *testing.B) {
 	cfg.ExternalPapers = 400
 	pub, err := datagen.GeneratePublication(cfg)
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	ex, err := core.NewExtractor(pub.Graph, core.Options{MaxEdges: 3, MaskRootLabel: true})
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
-	srv := NewServer(ex, Config{})
-	handler := srv.Handler()
+	srv := NewServer(ex, Config{RowCache: rowCache})
 
 	roots := make([]int64, 8)
 	stride := pub.Graph.NumNodes() / len(roots)
@@ -43,33 +40,93 @@ func BenchmarkServeRequest(b *testing.B) {
 	}
 	body, err := json.Marshal(FeaturesRequest{Roots: roots})
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
+	return srv, srv.Handler(), body
+}
 
-	do := func() *httptest.ResponseRecorder {
-		req := httptest.NewRequest(http.MethodPost, "/v1/features", bytes.NewReader(body))
-		rec := httptest.NewRecorder()
-		handler.ServeHTTP(rec, req)
-		return rec
+func doBench(tb testing.TB, handler http.Handler, body []byte) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(http.MethodPost, "/v1/features", bytes.NewReader(body))
+	rec := httptest.NewRecorder()
+	handler.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		tb.Fatalf("request failed: %d %s", rec.Code, rec.Body)
 	}
+	return rec
+}
+
+// BenchmarkServeRequest measures the full daemon request path —
+// admission, breaker, pooled extraction, flag mapping, JSON encoding —
+// for a small batch of roots over the synthetic publication network,
+// with the feature-row cache DISABLED so every iteration pays for
+// extraction. This is the cold per-request cost a client of POST
+// /v1/features pays; the allocation count is the tracked regression
+// metric for the reuse-everything extraction discipline (a cold path
+// rebuilds O(V+E) worker state per request and shows up here as
+// thousands of allocs).
+func BenchmarkServeRequest(b *testing.B) {
+	srv, handler, body := benchServer(b, -1)
+
 	// Warm the extractor's vocabulary and worker pool out of band.
-	if rec := do(); rec.Code != http.StatusOK {
-		b.Fatalf("warmup request failed: %d %s", rec.Code, rec.Body)
-	}
+	doBench(b, handler, body)
 
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if rec := do(); rec.Code != http.StatusOK {
-			b.Fatalf("request %d failed: %d %s", i, rec.Code, rec.Body)
-		}
+		doBench(b, handler, body)
 	}
-	b.ReportMetric(float64(b.N*len(roots))/b.Elapsed().Seconds(), "rows/sec")
+	b.ReportMetric(float64(b.N*8)/b.Elapsed().Seconds(), "rows/sec")
 
 	// Census roots on the graph used above may be slow under bench -race;
 	// assert the daemon stayed healthy so a tripped breaker can't
 	// silently skew timings.
 	if got := srv.Breaker().State(); got != BreakerClosed {
 		b.Fatalf("breaker ended %v, want closed", got)
+	}
+}
+
+// BenchmarkServeRequestWarm measures the cache-hit fast path: the same
+// 8-root batch over and over with the feature-row cache enabled, so
+// after the first request every row is served from a preserialised
+// fragment with no extraction, no admission, no breaker. This is the
+// sub-100µs serve path the cache exists for.
+func BenchmarkServeRequestWarm(b *testing.B) {
+	_, handler, body := benchServer(b, 0) // 0 = DefaultRowCache
+
+	// First request populates the cache; everything after is warm.
+	doBench(b, handler, body)
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		doBench(b, handler, body)
+	}
+	b.ReportMetric(float64(b.N*8)/b.Elapsed().Seconds(), "rows/sec")
+}
+
+// TestWarmServeAllocBudget pins the allocation budget of the warm fast
+// path: a warm 8-root request must stay under 100 allocations end to
+// end (handler dispatch, cache lookups, fragment assembly, recorder
+// writes included). Run by `make bench-smoke`; a regression here means
+// per-request garbage crept back into the hit path.
+func TestWarmServeAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation skews allocation accounting")
+	}
+	_, handler, body := benchServer(t, 0)
+	doBench(t, handler, body) // populate the cache
+
+	const rounds = 50
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	for i := 0; i < rounds; i++ {
+		doBench(t, handler, body)
+	}
+	runtime.ReadMemStats(&after)
+	perReq := float64(after.Mallocs-before.Mallocs) / rounds
+	t.Logf("warm 8-root request: %.1f allocs", perReq)
+	if perReq > 100 {
+		t.Fatalf("warm 8-root request allocates %.1f objects, budget is 100", perReq)
 	}
 }

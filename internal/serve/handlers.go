@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -8,6 +9,7 @@ import (
 	"net/http"
 	"runtime/debug"
 	"strconv"
+	"sync"
 	"time"
 
 	"hsgf/internal/core"
@@ -106,14 +108,99 @@ type MetaResponse struct {
 	// Ingest is the streaming-ingest freshness watermark; absent when
 	// the daemon runs without an ingest engine.
 	Ingest *IngestStatus `json:"ingest,omitempty"`
+
+	// Cache is the feature-row cache block (hit/miss/coalesce counters
+	// and the serving epoch); absent when the cache is disabled.
+	Cache *CacheStats `json:"cache,omitempty"`
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	// Encode errors past this point mean the client went away; there is
-	// no useful recovery and the connection is already committed.
-	_ = json.NewEncoder(w).Encode(v)
+	// Encode errors past this point mean the client went away; the
+	// connection is already committed so there is no retry, but the
+	// failure is counted rather than discarded — a climbing write_failed
+	// in /debug/stats is how an operator sees clients hanging up
+	// mid-response.
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.stats.writeFailed.Add(1)
+	}
+}
+
+// respBufPool recycles response-assembly buffers across requests so the
+// fragment fast path allocates no per-request scratch.
+var respBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// writeFeaturesResponse assembles and writes a 200 /v1/features body
+// from preserialised row fragments: the envelope is written around the
+// fragments in exactly the field order (and trailing newline) that
+// json.NewEncoder(w).Encode(FeaturesResponse{...}) would produce, so a
+// response assembled from cached fragments is byte-identical to one
+// marshalled from scratch. Fingerprints are always %016x hex, so the
+// string needs no JSON escaping.
+func (s *Server) writeFeaturesResponse(w http.ResponseWriter, snap *Snapshot, rows []rowResult, degraded bool, elapsedMS int64) {
+	buf := respBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	buf.WriteString(`{"rows":[`)
+	for i := range rows {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		buf.Write(rows[i].frag)
+	}
+	buf.WriteString(`],"degraded":`)
+	buf.WriteString(strconv.FormatBool(degraded))
+	buf.WriteString(`,"elapsed_ms":`)
+	b := buf.AvailableBuffer()
+	buf.Write(strconv.AppendInt(b, elapsedMS, 10))
+	buf.WriteString(`,"fingerprint":"`)
+	buf.WriteString(snap.Fingerprint)
+	buf.WriteByte('"')
+	if snap.Generation != 0 {
+		buf.WriteString(`,"generation":`)
+		b = buf.AvailableBuffer()
+		buf.Write(strconv.AppendUint(b, snap.Generation, 10))
+	}
+	buf.WriteString("}\n")
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		s.stats.writeFailed.Add(1)
+	}
+	respBufPool.Put(buf)
+}
+
+// encodeRow renders one census as its wire-form row fragment (the exact
+// bytes json.Marshal produces for the FeatureRow) and reports whether
+// the row is deterministic and therefore cacheable/shareable: complete
+// rows and budget-truncated rows are pure functions of (graph, options,
+// limits); deadline, cancellation and panic truncation depend on
+// scheduling and must be recomputed per request.
+func (s *Server) encodeRow(ex *core.Extractor, root graph.NodeID, c *core.Census) (rowResult, bool) {
+	row := FeatureRow{Root: int64(root)}
+	if c == nil {
+		// Cancelled before this root was ever assigned: an empty,
+		// flagged row — same taxonomy FeatureSet uses for nil rows.
+		row.Flags = core.FlagCancelled.String()
+		row.Truncated = true
+		row.Counts = map[string]int64{}
+	} else {
+		row.Flags = c.Flags.String()
+		row.Truncated = c.Truncated
+		row.Subgraphs = c.Subgraphs
+		row.Counts = make(map[string]int64, len(c.Counts))
+		for key, count := range c.Counts {
+			row.Counts[ex.EncodingString(key)] = count
+		}
+	}
+	frag, err := json.Marshal(row)
+	if err != nil {
+		// Unreachable for this shape; recoverPanics turns it into a 500
+		// and the deferred abandon releases any waiting followers.
+		panic(fmt.Sprintf("serve: marshal feature row: %v", err))
+	}
+	cacheable := c != nil && (c.Flags == 0 || c.Flags == core.FlagBudgetExceeded)
+	return rowResult{frag: frag, degraded: row.Flags != "ok"}, cacheable
 }
 
 func (s *Server) writeError(w http.ResponseWriter, status int, code, message string, retryAfter time.Duration) {
@@ -133,7 +220,7 @@ func (s *Server) writeError(w http.ResponseWriter, status int, code, message str
 		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
 		detail.RetryAfterMS = retryAfter.Milliseconds()
 	}
-	writeJSON(w, status, errorBody{
+	s.writeJSON(w, status, errorBody{
 		Error:        detail,
 		Reason:       code,
 		RetryAfterMS: detail.RetryAfterMS,
@@ -161,13 +248,24 @@ func (s *Server) recoverPanics(next http.Handler) http.Handler {
 	})
 }
 
-// handleFeatures serves POST /v1/features through the full gate chain:
-// drain check, body validation, deadline resolution, bounded admission,
-// circuit breaker, extraction, flag mapping. The serving snapshot is
-// loaded exactly once, up front: a hot reload mid-request swaps the
-// pointer for later arrivals while this request finishes — validation,
-// extraction, and encoding included — against the generation it was
-// admitted under.
+// handleFeatures serves POST /v1/features. The warm path is built for
+// sub-100µs responses: every requested row is looked up in the
+// generation-keyed feature-row cache first, and a request satisfied
+// entirely from cache skips the extraction gates (admission, breaker) —
+// it performs no extraction, so there is nothing to admit or protect;
+// cached rows keep serving even while the breaker is open or the
+// extraction queue is shedding. Only rows that miss go through the full
+// gate chain — bounded admission, circuit breaker, extraction — with
+// singleflight coalescing so concurrent requests for the same
+// (epoch, root, limits) compute each census once and share the
+// preserialised fragment.
+//
+// The serving snapshot is loaded exactly once, up front: a hot reload
+// mid-request swaps the pointer for later arrivals while this request
+// finishes — validation, extraction, and encoding included — against
+// the generation it was admitted under. Cached rows are keyed by that
+// snapshot's epoch, so a row extracted under the old generation can
+// never be served under the new one.
 func (s *Server) handleFeatures(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		s.writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use POST", 0)
@@ -222,9 +320,40 @@ func (s *Server) handleFeatures(w http.ResponseWriter, r *http.Request) {
 		deadlineMS = v
 	}
 
+	lim := s.rootLimits(req.RootBudget, req.RootDeadlineMS)
+	mkKey := func(root graph.NodeID) rowKey {
+		return rowKey{root: root, budget: lim.Budget, deadline: lim.Deadline}
+	}
+
+	start := time.Now()
+	rows := make([]rowResult, len(roots))
+	var missing []int // indices into roots with no cached row
+	if s.cache != nil {
+		for i, root := range roots {
+			if res, ok := s.cache.get(mkKey(root), snap.epoch); ok {
+				rows[i] = res
+			} else {
+				missing = append(missing, i)
+			}
+		}
+		if len(missing) == 0 {
+			// Warm fast path: every row came from cache, no extraction
+			// happens, so the admission gate and breaker are bypassed and
+			// the response is assembled from preserialised fragments.
+			s.finishFeatures(w, snap, rows, start)
+			return
+		}
+	} else {
+		missing = make([]int, len(roots))
+		for i := range missing {
+			missing[i] = i
+		}
+	}
+
 	// Deadline propagation: the request context carries both the
 	// client's transport-level cancellation and the resolved extraction
-	// deadline into the census workers.
+	// deadline into the census workers. Created only on the miss path —
+	// the warm path above has nothing to bound.
 	ctx, cancel := context.WithTimeout(r.Context(), s.requestDeadline(deadlineMS))
 	defer cancel()
 
@@ -258,45 +387,154 @@ func (s *Server) handleFeatures(w http.ResponseWriter, r *http.Request) {
 	}
 
 	s.stats.accepted.Add(1)
-	start := time.Now()
-	censuses, ctxErr := ex.CensusAllWithLimits(ctx, roots, s.cfg.Workers, s.rootLimits(req.RootBudget, req.RootDeadlineMS))
-	elapsed := time.Since(start)
-	s.stats.observeLatency(elapsed)
+
+	// One extraction per distinct missing root. With the cache enabled,
+	// each distinct root either re-checks as a hit (filled by a
+	// concurrent request since the first pass), joins that request's
+	// in-flight extraction as a follower, or registers this request as
+	// the flight's leader. Flights are registered only after admission,
+	// so every flight's leader holds an extraction slot and will fulfil
+	// it without waiting on further resources — the fulfil-before-wait
+	// ordering below is what makes cross-request coalescing deadlock-free.
+	type missRoot struct {
+		root     graph.NodeID
+		idxs     []int // positions in rows sharing this root
+		f        *flight
+		leader   bool
+		res      rowResult
+		resolved bool
+	}
+	var misses []missRoot
+	if s.cache != nil {
+		byRoot := make(map[graph.NodeID]int, len(missing))
+		for _, idx := range missing {
+			root := roots[idx]
+			if mi, dup := byRoot[root]; dup {
+				misses[mi].idxs = append(misses[mi].idxs, idx)
+				continue
+			}
+			byRoot[root] = len(misses)
+			m := missRoot{root: root, idxs: []int{idx}}
+			if res, hit, f, leader := s.cache.join(mkKey(root), snap.epoch); hit {
+				m.res, m.resolved = res, true
+			} else {
+				m.f, m.leader = f, leader
+			}
+			misses = append(misses, m)
+		}
+		// A panic between here and fulfilment (recovered into a 500 by
+		// the middleware) must not strand followers: abandon any flight
+		// this request leads and never fulfilled.
+		defer func() {
+			for i := range misses {
+				if m := &misses[i]; m.leader && !m.resolved {
+					s.cache.abandon(mkKey(m.root), m.f)
+				}
+			}
+		}()
+	} else {
+		misses = make([]missRoot, len(missing))
+		for i, idx := range missing {
+			misses[i] = missRoot{root: roots[idx], idxs: []int{idx}, leader: true}
+		}
+	}
+
+	var leadRoots []graph.NodeID
+	for i := range misses {
+		if m := &misses[i]; m.leader {
+			leadRoots = append(leadRoots, m.root)
+		}
+	}
+	var (
+		censuses []*core.Census
+		ctxErr   error
+	)
+	if len(leadRoots) > 0 {
+		censuses, ctxErr = ex.CensusAllWithLimits(ctx, leadRoots, s.cfg.Workers, lim)
+	}
+	// The breaker samples this request's own extraction; rows obtained
+	// from cache or another request's flight carry no overload signal.
 	done(breakerFailure(censuses, ctxErr))
 
-	resp := FeaturesResponse{
-		Rows:        make([]FeatureRow, len(censuses)),
-		ElapsedMS:   elapsed.Milliseconds(),
-		Fingerprint: snap.Fingerprint,
-		Generation:  snap.Generation,
+	// Fulfil every led flight before waiting on any followed one.
+	li := 0
+	for i := range misses {
+		m := &misses[i]
+		if !m.leader {
+			continue
+		}
+		res, cacheable := s.encodeRow(ex, m.root, censuses[li])
+		li++
+		m.res, m.resolved = res, true
+		if s.cache != nil {
+			s.cache.fulfill(mkKey(m.root), m.f, res, cacheable)
+		}
 	}
-	for i, c := range censuses {
-		row := FeatureRow{Root: int64(roots[i])}
-		if c == nil {
-			// Cancelled before this root was ever assigned: an empty,
-			// flagged row — same taxonomy FeatureSet uses for nil rows.
-			row.Flags = core.FlagCancelled.String()
-			row.Truncated = true
-			row.Counts = map[string]int64{}
-		} else {
-			row.Flags = c.Flags.String()
-			row.Truncated = c.Truncated
-			row.Subgraphs = c.Subgraphs
-			row.Counts = make(map[string]int64, len(c.Counts))
-			for key, count := range c.Counts {
-				row.Counts[ex.EncodingString(key)] = count
+
+	// Follower rows: wait for the leading request's fragment, bounded by
+	// this request's own deadline. A flight that ends without a
+	// shareable row (the leader's extraction was deadline-truncated or
+	// cancelled) falls back to a local extraction.
+	var fallback []*missRoot
+	for i := range misses {
+		m := &misses[i]
+		if m.resolved || m.leader {
+			continue
+		}
+		select {
+		case <-m.f.done:
+			if m.f.shared {
+				m.res, m.resolved = m.f.res, true
+				s.cache.coalesced.Add(1)
+				continue
 			}
+		case <-ctx.Done():
 		}
-		if row.Flags != "ok" {
-			resp.Degraded = true
-		}
-		resp.Rows[i] = row
+		fallback = append(fallback, m)
 	}
+	if len(fallback) > 0 {
+		fbRoots := make([]graph.NodeID, len(fallback))
+		for i, m := range fallback {
+			fbRoots[i] = m.root
+		}
+		// Past the breaker's done call by construction; degraded rows
+		// from an expired ctx surface in the response flags instead.
+		fbCensuses, _ := ex.CensusAllWithLimits(ctx, fbRoots, s.cfg.Workers, lim)
+		for i, m := range fallback {
+			res, cacheable := s.encodeRow(ex, m.root, fbCensuses[i])
+			if s.cache != nil && cacheable {
+				s.cache.put(mkKey(m.root), snap.epoch, res)
+			}
+			m.res, m.resolved = res, true
+		}
+	}
+
+	for i := range misses {
+		m := &misses[i]
+		for _, idx := range m.idxs {
+			rows[idx] = m.res
+		}
+	}
+	s.finishFeatures(w, snap, rows, start)
+}
+
+// finishFeatures records the completion counters and writes the 200
+// response assembled from row fragments.
+func (s *Server) finishFeatures(w http.ResponseWriter, snap *Snapshot, rows []rowResult, start time.Time) {
+	degraded := false
+	for i := range rows {
+		if rows[i].degraded {
+			degraded = true
+			break
+		}
+	}
+	elapsed := time.Since(start)
+	s.stats.observeLatency(elapsed)
 	s.stats.completed.Add(1)
-	if resp.Degraded {
+	if degraded {
 		s.stats.degraded.Add(1)
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.writeFeaturesResponse(w, snap, rows, degraded, elapsed.Milliseconds())
 }
 
 // handleMeta serves GET /v1/meta: the serving generation, its
@@ -329,6 +567,7 @@ func (s *Server) handleMeta(w http.ResponseWriter, r *http.Request) {
 		RootBudget:         s.cfg.RootBudget,
 		RootDeadlineMS:     s.cfg.RootDeadline.Milliseconds(),
 		Ingest:             s.ingestStatus(),
+		Cache:              s.cacheStats(),
 	}
 	if snap.Features != nil {
 		meta.FeatureSetRows = len(snap.Features.Rows)
@@ -336,7 +575,7 @@ func (s *Server) handleMeta(w http.ResponseWriter, r *http.Request) {
 	for l := 0; l < ex.LabelSlots(); l++ {
 		meta.SlotNames = append(meta.SlotNames, ex.SlotName(l))
 	}
-	writeJSON(w, http.StatusOK, meta)
+	s.writeJSON(w, http.StatusOK, meta)
 }
 
 // ReloadResponse is the body of a successful POST /v1/admin/reload.
@@ -378,7 +617,7 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	}
 	switch {
 	case err == nil:
-		writeJSON(w, http.StatusOK, ReloadResponse{
+		s.writeJSON(w, http.StatusOK, ReloadResponse{
 			Generation:  snap.Generation,
 			Fingerprint: snap.Fingerprint,
 			ElapsedMS:   time.Since(start).Milliseconds(),
@@ -399,7 +638,7 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 // handleHealthz reports liveness: the process is up and serving HTTP,
 // even while draining or with the breaker open.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 // handleReadyz reports readiness: 503 once draining so load balancers
@@ -423,10 +662,10 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.draining.Load() {
 		body["status"] = "draining"
-		writeJSON(w, http.StatusServiceUnavailable, body)
+		s.writeJSON(w, http.StatusServiceUnavailable, body)
 		return
 	}
-	writeJSON(w, http.StatusOK, body)
+	s.writeJSON(w, http.StatusOK, body)
 }
 
 // handleStats serves the counter snapshot on GET /debug/stats.
@@ -441,5 +680,6 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	snap.Fingerprint = serving.Fingerprint
 	snap.LastReload = s.lastReload.Load()
 	snap.Ingest = s.ingestStatus()
-	writeJSON(w, http.StatusOK, snap)
+	snap.Cache = s.cacheStats()
+	s.writeJSON(w, http.StatusOK, snap)
 }

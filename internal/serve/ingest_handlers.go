@@ -26,14 +26,26 @@ func (s *Server) SetIngestor(eng *ingest.Engine, source string) {
 	// (the engine serialises them anyway), the rest get 429.
 	s.ingestAdm = newAdmission(1, s.cfg.MaxQueue)
 	eng.SetPublish(func(res ingest.Result) {
-		snap := &Snapshot{
+		// A replayed ack republishes state the server is already serving
+		// (the engine hands out the identical Extractor pointer, see
+		// ingest.Engine.SetPublish); skipping the swap keeps the serving
+		// epoch — and with it every cached feature row — intact, so a
+		// duplicate-replay storm cannot flush the cache. A replay right
+		// after recovery, when the server has not yet seen the engine's
+		// state, still publishes.
+		if cur := s.snap.Load(); res.Replayed && cur.Extractor == res.Extractor {
+			return
+		}
+		// publish advances the cache epoch: the rows cached against the
+		// pre-mutation snapshot die with it, so an acked batch can never
+		// be shadowed by a stale cached row.
+		s.publish(&Snapshot{
 			Extractor:   res.Extractor,
 			Features:    res.Features,
 			Fingerprint: fingerprint(res.Extractor),
 			Generation:  res.Generation,
 			Source:      source,
-		}
-		s.snap.Store(snap)
+		})
 	})
 }
 
@@ -222,7 +234,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 
 	snap := s.snap.Load()
-	writeJSON(w, http.StatusOK, IngestResponse{
+	s.writeJSON(w, http.StatusOK, IngestResponse{
 		Seq:         res.Seq,
 		Replayed:    res.Replayed,
 		DirtyRoots:  len(res.DirtyRoots),

@@ -1,0 +1,8 @@
+//go:build race
+
+package serve
+
+// raceEnabled reports whether the race detector is active; allocation
+// accounting is skewed by its instrumentation, so alloc-budget
+// assertions skip themselves under -race.
+const raceEnabled = true

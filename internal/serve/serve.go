@@ -53,6 +53,10 @@ type Config struct {
 	// MaxRootsPerRequest bounds the batch size of one /v1/features
 	// call. Default 256.
 	MaxRootsPerRequest int
+	// RowCache bounds the generation-keyed feature-row cache (rows, not
+	// bytes, across all shards). 0 uses DefaultRowCache; negative
+	// disables caching (and with it request coalescing) entirely.
+	RowCache int
 	// Workers is the census worker count per request. Default 1: the
 	// admission gate, not the pool, owns cross-request parallelism.
 	Workers int
@@ -87,6 +91,9 @@ func (c *Config) withDefaults() {
 	if c.MaxRootsPerRequest <= 0 {
 		c.MaxRootsPerRequest = 256
 	}
+	if c.RowCache == 0 {
+		c.RowCache = DefaultRowCache
+	}
 	if c.Workers <= 0 {
 		c.Workers = 1
 	}
@@ -114,6 +121,13 @@ type Server struct {
 	brk      *Breaker
 	stats    *Stats
 	draining atomic.Bool
+
+	// cache is the generation-keyed feature-row cache (nil when
+	// Config.RowCache < 0); epoch is the monotone serving-epoch counter
+	// every publish advances, which is what keys cached rows to exactly
+	// one snapshot and makes invalidation free.
+	cache *rowCache
+	epoch atomic.Uint64
 
 	reloader   func(context.Context) (*Snapshot, error)
 	reloadMu   sync.Mutex
@@ -144,8 +158,22 @@ func NewServerSnapshot(snap *Snapshot, cfg Config) *Server {
 		brk:   NewBreaker(cfg.Breaker),
 		stats: &Stats{},
 	}
-	s.snap.Store(snap)
+	if cfg.RowCache > 0 {
+		s.cache = newRowCache(cfg.RowCache)
+	}
+	s.publish(snap)
 	return s
+}
+
+// publish stamps snap with the next serving epoch and RCU-swaps it in,
+// returning the snapshot it replaced (nil at construction). Every path
+// that installs a serving snapshot — construction, hot reload, ingest
+// publish — must go through here: the epoch bump is what invalidates
+// every feature row cached against the previous snapshot, so a swap
+// that bypassed publish could serve stale rows forever.
+func (s *Server) publish(snap *Snapshot) *Snapshot {
+	snap.epoch = s.epoch.Add(1)
+	return s.snap.Swap(snap)
 }
 
 // Stats exposes the server's counters (live; snapshot via /debug/stats).

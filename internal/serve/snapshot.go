@@ -40,6 +40,15 @@ type Snapshot struct {
 	// Source describes where the snapshot came from, for /v1/meta and
 	// logs (e.g. "store:/var/lib/hsgf" or "tsv:graph.tsv").
 	Source string
+
+	// epoch is the serving epoch Server.publish stamped this snapshot
+	// with: a counter that advances on every swap, strictly finer than
+	// Generation (an ingest batch publishes without minting a store
+	// generation, and a TSV reload re-serves generation 0). Cached
+	// feature rows are keyed by it, so any published snapshot — even one
+	// byte-identical to its predecessor — starts from a cold cache
+	// rather than risking a stale row.
+	epoch uint64
 }
 
 // NewSnapshot wraps an extractor as a serving snapshot, computing the
@@ -108,7 +117,7 @@ func (s *Server) Reload(ctx context.Context) (*Snapshot, error) {
 	if snap.Fingerprint == "" {
 		snap.Fingerprint = fingerprint(snap.Extractor)
 	}
-	old := s.snap.Swap(snap)
+	old := s.publish(snap)
 	s.stats.reloadOK.Add(1)
 	s.lastReload.Store(&ReloadOutcome{
 		Outcome:    "ok",

@@ -33,6 +33,11 @@ type Stats struct {
 	degraded  atomic.Int64 // 200 responses with >= 1 flagged row
 	panicked  atomic.Int64 // handler panics recovered into 500s
 	badReq    atomic.Int64 // 400 responses
+	// writeFailed counts response bodies that failed mid-write (the
+	// client hung up after the handler committed the status). The write
+	// cannot be retried, but a climbing counter is the difference
+	// between "clients are timing out on us" and silence.
+	writeFailed atomic.Int64
 
 	// Hot-reload outcomes.
 	reloads      atomic.Int64 // reload attempts (SIGHUP or admin endpoint)
@@ -71,6 +76,9 @@ type StatsSnapshot struct {
 	Degraded  int64 `json:"degraded"`
 	Panicked  int64 `json:"panicked"`
 	BadReq    int64 `json:"bad_request"`
+	// WriteFailed counts responses whose body write failed after the
+	// status was committed (client gone mid-response).
+	WriteFailed int64 `json:"write_failed"`
 
 	InFlight   int64 `json:"in_flight"`
 	QueueDepth int64 `json:"queue_depth"`
@@ -90,6 +98,10 @@ type StatsSnapshot struct {
 	// the daemon runs without an ingest engine.
 	Ingest *IngestStatus `json:"ingest,omitempty"`
 
+	// Cache is the feature-row cache block (hits/misses/coalesce and
+	// the serving epoch); absent when the cache is disabled.
+	Cache *CacheStats `json:"cache,omitempty"`
+
 	Latency []LatencyBucket `json:"latency"`
 }
 
@@ -97,15 +109,16 @@ type StatsSnapshot struct {
 // filled in by the server, which owns those components.
 func (s *Stats) snapshot() StatsSnapshot {
 	snap := StatsSnapshot{
-		Accepted:  s.accepted.Load(),
-		Queued:    s.queued.Load(),
-		Shed:      s.shed.Load(),
-		Tripped:   s.tripped.Load(),
-		Drained:   s.drained.Load(),
-		Completed: s.completed.Load(),
-		Degraded:  s.degraded.Load(),
-		Panicked:  s.panicked.Load(),
-		BadReq:    s.badReq.Load(),
+		Accepted:    s.accepted.Load(),
+		Queued:      s.queued.Load(),
+		Shed:        s.shed.Load(),
+		Tripped:     s.tripped.Load(),
+		Drained:     s.drained.Load(),
+		Completed:   s.completed.Load(),
+		Degraded:    s.degraded.Load(),
+		Panicked:    s.panicked.Load(),
+		BadReq:      s.badReq.Load(),
+		WriteFailed: s.writeFailed.Load(),
 
 		Reloads:      s.reloads.Load(),
 		ReloadOK:     s.reloadOK.Load(),
