@@ -1,12 +1,12 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: all check fmt-check vet build test race fuzz-smoke serve-smoke reload-smoke router-smoke ingest-smoke embed-bench-smoke bench bench-all bench-smoke clean
+.PHONY: all check fmt-check vet build test race fuzz-smoke serve-smoke reload-smoke router-smoke ingest-smoke fleet-ingest-smoke embed-bench-smoke bench bench-all bench-smoke clean
 
 all: check
 
 # The full tier-1 gate: what CI runs.
-check: fmt-check vet build test race fuzz-smoke serve-smoke reload-smoke router-smoke ingest-smoke embed-bench-smoke
+check: fmt-check vet build test race fuzz-smoke serve-smoke reload-smoke router-smoke ingest-smoke fleet-ingest-smoke embed-bench-smoke
 
 # gofmt gate: fails listing any file that is not gofmt-clean.
 fmt-check:
@@ -63,6 +63,15 @@ router-smoke:
 # uninterrupted (and compacting) run of the same batches.
 ingest-smoke:
 	$(GO) test -race -tags smoke -run TestIngestSmoke -v -timeout 10m ./cmd/hsgfd
+
+# Fleet-wide ordered ingest smoke: boots a 2x2 follower fleet plus the
+# sequencing hsgf-router (all under -race) and drives the sequencer's
+# crash windows — replica SIGKILL mid-stream with background catch-up,
+# router SIGKILL between sequencing and fan-out, a duplicate-replay
+# storm, a torn sequencer tail — then pins every root's census to a
+# single uninterrupted ingest daemon fed the identical stream.
+fleet-ingest-smoke:
+	$(GO) test -race -tags smoke -run TestFleetIngestSmoke -v -timeout 10m ./cmd/hsgf-router
 
 # Embedding-engine smoke: tiny-graph corpus parity across worker
 # counts, finite Hogwild output at Workers=2, and the walk-arena

@@ -47,6 +47,7 @@ import (
 	"syscall"
 	"time"
 
+	"hsgf/internal/graph"
 	"hsgf/internal/retry"
 	"hsgf/internal/router"
 	"hsgf/internal/serve"
@@ -104,6 +105,10 @@ func main() {
 		maxRoots      = flag.Int("max-roots", 512, "max roots per batch")
 		reloadTimeout = flag.Duration("reload-timeout", 2*time.Minute, "per-replica timeout within a fleet reload")
 		drainGrace    = flag.Duration("drain-grace", 10*time.Second, "max wait for in-flight batches on shutdown")
+
+		seqLogPath  = flag.String("seqlog", "", "sequencer WAL path; with -ingest-graph, enables fleet ingest on POST /v1/ingest")
+		ingestGraph = flag.String("ingest-graph", "", "graph TSV the fleet was partitioned from (required with -seqlog)")
+		ackTimeout  = flag.Duration("ingest-ack-timeout", 10*time.Second, "max wait for full-fleet confirmation before 503 fleet_partial_apply")
 	)
 	flag.Var(shards, "shard", "replica URLs for one shard, as IDX=url[,url...]; repeat per shard")
 	flag.Parse()
@@ -131,6 +136,38 @@ func main() {
 		}
 	}
 
+	if (*seqLogPath == "") != (*ingestGraph == "") {
+		logger.Fatal("-seqlog and -ingest-graph must be set together")
+	}
+	var g *graph.Graph
+	if *ingestGraph != "" {
+		f, err := os.Open(*ingestGraph)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		g, err = graph.ReadTSV(f)
+		f.Close()
+		if err != nil {
+			logger.Fatalf("-ingest-graph: %v", err)
+		}
+	}
+	// Crash seam for the fault-injection suite: kill the process the
+	// moment sequence N is durable, before any fan-out, to prove boot
+	// replay repairs the gap. Never set in production.
+	var seqHook func(uint64)
+	if v := os.Getenv("HSGF_ROUTER_CRASH_AFTER_SEQ"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			logger.Fatalf("HSGF_ROUTER_CRASH_AFTER_SEQ: %v", err)
+		}
+		seqHook = func(seq uint64) {
+			if seq >= n {
+				logger.Printf("crash hook: exiting after sequencing %d", seq)
+				os.Exit(137)
+			}
+		}
+	}
+
 	srv, err := router.New(router.Config{
 		Manifest:      m,
 		Shards:        replicaSets,
@@ -153,6 +190,10 @@ func main() {
 		MaxRootsPerRequest: *maxRoots,
 		ReloadTimeout:      *reloadTimeout,
 		DrainGrace:         *drainGrace,
+		SeqLogPath:         *seqLogPath,
+		IngestGraph:        g,
+		IngestAckTimeout:   *ackTimeout,
+		SequenceHook:       seqHook,
 		Log:                logger,
 	})
 	if err != nil {

@@ -27,6 +27,7 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
@@ -52,18 +53,24 @@ const (
 // periphery.
 func buildSmokeGraph(t *testing.T) *graph.Graph {
 	t.Helper()
-	rng := rand.New(rand.NewSource(41))
+	return buildSmokeGraphN(t, smokeNodes, 41)
+}
+
+// buildSmokeGraphN builds the same shape at any size and seed.
+func buildSmokeGraphN(t *testing.T, n int, seed int64) *graph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
 	b := graph.NewBuilderWithAlphabet(graph.MustAlphabet("loc", "org", "act"))
-	for i := 0; i < smokeNodes; i++ {
+	for i := 0; i < n; i++ {
 		if _, err := b.AddLabeledNode(graph.Label(rng.Intn(3))); err != nil {
 			t.Fatal(err)
 		}
 	}
-	for v := 1; v < smokeNodes; v++ {
+	for v := 1; v < n; v++ {
 		if err := b.AddEdge(graph.NodeID(rng.Intn(v)), graph.NodeID(v)); err != nil {
 			t.Fatal(err)
 		}
-		u := rng.Intn(smokeNodes)
+		u := rng.Intn(n)
 		if u != v {
 			if err := b.AddEdge(graph.NodeID(v), graph.NodeID(u)); err != nil {
 				t.Fatal(err)
@@ -71,6 +78,25 @@ func buildSmokeGraph(t *testing.T) *graph.Graph {
 		}
 	}
 	return b.MustBuild()
+}
+
+// shutdownProc SIGTERMs p and requires a clean exit 0 within the drain
+// window.
+func shutdownProc(t *testing.T, p *proc) {
+	t.Helper()
+	if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("%s: SIGTERM: %v", p.name, err)
+	}
+	waitErr := make(chan error, 1)
+	go func() { waitErr <- p.cmd.Wait() }()
+	select {
+	case err := <-waitErr:
+		if err != nil {
+			t.Fatalf("%s exited non-zero after SIGTERM: %v\n%s", p.name, err, p.log())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatalf("%s did not exit within the drain window", p.name)
+	}
 }
 
 // writeShardFleet partitions g and writes per-shard stores plus the
@@ -121,7 +147,17 @@ func (p *proc) log() string {
 // keeps draining the pipe.
 func startProc(t *testing.T, name, bin string, args ...string) *proc {
 	t.Helper()
+	return startProcEnv(t, name, bin, nil, args...)
+}
+
+// startProcEnv is startProc with extra environment variables appended
+// to the inherited environment.
+func startProcEnv(t *testing.T, name, bin string, env []string, args ...string) *proc {
+	t.Helper()
 	p := &proc{name: name, cmd: exec.Command(bin, args...)}
+	if len(env) > 0 {
+		p.cmd.Env = append(os.Environ(), env...)
+	}
 	stderr, err := p.cmd.StderrPipe()
 	if err != nil {
 		t.Fatal(err)
@@ -473,22 +509,7 @@ func TestRouterSmoke(t *testing.T) {
 	}
 
 	// Graceful drain: router first, then the surviving daemons; all exit 0.
-	shutdown := func(p *proc) {
-		if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
-			t.Fatalf("%s: SIGTERM: %v", p.name, err)
-		}
-		waitErr := make(chan error, 1)
-		go func() { waitErr <- p.cmd.Wait() }()
-		select {
-		case err := <-waitErr:
-			if err != nil {
-				t.Fatalf("%s exited non-zero after SIGTERM: %v\n%s", p.name, err, p.log())
-			}
-		case <-time.After(15 * time.Second):
-			t.Fatalf("%s did not exit within the drain window", p.name)
-		}
-	}
-	shutdown(rt)
+	shutdownProc(t, rt)
 	if !strings.Contains(rt.log(), "drained cleanly") {
 		t.Errorf("router log missing clean-drain marker:\n%s", rt.log())
 	}
@@ -497,7 +518,7 @@ func TestRouterSmoke(t *testing.T) {
 			continue // already SIGKILLed
 		}
 		for _, p := range reps {
-			shutdown(p)
+			shutdownProc(t, p)
 		}
 	}
 }

@@ -105,6 +105,7 @@ func main() {
 		ingestOn      = flag.Bool("ingest", false, "accept streaming graph mutations on POST /v1/ingest (requires -store)")
 		ingestCompact = flag.Int("ingest-compact-every", 0, "fold the WAL into a snapshot after this many batches (0 = engine default)")
 		ingestWorkers = flag.Int("ingest-workers", 0, "census workers for incremental recomputation (0 = GOMAXPROCS)")
+		fleetFollower = flag.Bool("fleet-follower", false, "accept only hsgf-router-sequenced fleet batches on /v1/ingest (requires -ingest); direct client writes get 403")
 
 		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
 	)
@@ -112,6 +113,10 @@ func main() {
 	if *in == "" && *storeDir == "" {
 		fmt.Fprintln(os.Stderr, "hsgfd: need -in, -store, or both")
 		flag.Usage()
+		os.Exit(2)
+	}
+	if *fleetFollower && !*ingestOn {
+		fmt.Fprintln(os.Stderr, "hsgfd: -fleet-follower requires -ingest")
 		os.Exit(2)
 	}
 	if *ingestOn && *storeDir == "" {
@@ -271,6 +276,10 @@ func main() {
 		// admin reload answers 501) because two writers swapping the same
 		// snapshot pointer could resurrect a pre-mutation generation.
 		srv.SetIngestor(eng, source)
+		if *fleetFollower {
+			srv.SetFleetFollower(true)
+			logger.Printf("ingest: fleet-follower mode, shard fleet watermark %d", eng.FleetWatermark())
+		}
 		hup := make(chan os.Signal, 1)
 		signal.Notify(hup, syscall.SIGHUP)
 		go func() {

@@ -14,12 +14,17 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"time"
@@ -28,6 +33,8 @@ import (
 	"hsgf/internal/datagen"
 	"hsgf/internal/graph"
 	"hsgf/internal/ingest"
+	"hsgf/internal/router"
+	"hsgf/internal/serve"
 	"hsgf/internal/store"
 )
 
@@ -64,6 +71,25 @@ type report struct {
 	// incremental apply time (how much the delta path saves per batch).
 	FullRebuildMS    float64 `json:"full_rebuild_ms"`
 	SpeedupVsRebuild float64 `json:"speedup_vs_rebuild"`
+
+	// Fleet is the same durable path through the full sequenced fan-out:
+	// router sequencer WAL fsync, per-shard sub-batch fan-out, and every
+	// replica's own WAL fsync + incremental recompute before the ack.
+	Fleet *fleetReport `json:"fleet,omitempty"`
+}
+
+// fleetReport tracks fleet-mode ingest: client-observed durable
+// throughput and ack latency through hsgf-router's sequenced fan-out
+// over an in-process follower fleet.
+type fleetReport struct {
+	Shards          int     `json:"shards"`
+	Replicas        int     `json:"replicas_per_shard"`
+	Batches         int     `json:"batches"`
+	Mutations       int     `json:"mutations"`
+	BatchesPerSec   float64 `json:"batches_per_sec"`
+	MutationsPerSec float64 `json:"mutations_per_sec"`
+	AckP50MS        float64 `json:"ack_p50_ms"`
+	AckP99MS        float64 `json:"ack_p99_ms"`
 }
 
 func benchGraph() (*graph.Graph, error) {
@@ -109,12 +135,148 @@ func fail(err error) {
 	os.Exit(1)
 }
 
+// nextFleetBatch builds a valid batch against the static seed graph,
+// tracking edges added by earlier batches so no batch repeats one.
+func nextFleetBatch(rng *rand.Rand, g *graph.Graph, added map[[2]graph.NodeID]bool, k int) []serve.IngestMutation {
+	labels := g.Alphabet().Names()
+	var muts []serve.IngestMutation
+	if k%8 == 0 {
+		muts = append(muts, serve.IngestMutation{Op: "add_node", Label: labels[rng.Intn(len(labels))]})
+	}
+	for {
+		u := graph.NodeID(rng.Intn(g.NumNodes()))
+		v := graph.NodeID(rng.Intn(g.NumNodes()))
+		if u > v {
+			u, v = v, u
+		}
+		if u != v && !g.HasEdge(u, v) && !added[[2]graph.NodeID{u, v}] {
+			added[[2]graph.NodeID{u, v}] = true
+			muts = append(muts, serve.IngestMutation{Op: "add_edge", U: int64(u), V: int64(v)})
+			break
+		}
+	}
+	muts = append(muts, serve.IngestMutation{
+		Op: "relabel", U: int64(rng.Intn(g.NumNodes())),
+		Label: labels[rng.Intn(len(labels))],
+	})
+	return muts
+}
+
+// runFleetBench boots an in-process fleet — nShards follower ingest
+// daemons behind httptest listeners, fronted by a sequencing router —
+// and drives batches through POST /v1/ingest, measuring what a client
+// sees: durable, fully fan-out-confirmed acks.
+func runFleetBench(g *graph.Graph, opts core.Options, nShards, batches int) (*fleetReport, error) {
+	plans, err := graph.PartitionByRoot(g, graph.PartitionConfig{NumShards: nShards, HaloDepth: opts.MaxEdges})
+	if err != nil {
+		return nil, err
+	}
+	var backends []*httptest.Server
+	defer func() {
+		for _, ts := range backends {
+			ts.Close()
+		}
+	}()
+	urls := make([][]string, nShards)
+	var engines []*ingest.Engine
+	defer func() {
+		for _, e := range engines {
+			e.Close()
+		}
+	}()
+	for _, p := range plans {
+		dir, err := os.MkdirTemp("", "ingestbench-fleet-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		st, err := store.Open(dir, store.Options{})
+		if err != nil {
+			return nil, err
+		}
+		seed := p.Graph
+		eng, err := ingest.Open(ingest.Config{Store: st, Opts: opts},
+			func() (*graph.Graph, error) { return seed, nil })
+		if err != nil {
+			return nil, err
+		}
+		engines = append(engines, eng)
+		_, ex, fs, gen, _ := eng.State()
+		ss := serve.NewServerSnapshot(&serve.Snapshot{Extractor: ex, Features: fs, Generation: gen, Source: "ingest"}, serve.Config{})
+		ss.SetIngestor(eng, "ingest")
+		ss.SetFleetFollower(true)
+		ts := httptest.NewServer(ss.Handler())
+		backends = append(backends, ts)
+		urls[p.Shard] = []string{ts.URL}
+	}
+	seqDir, err := os.MkdirTemp("", "ingestbench-seq-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(seqDir)
+	rt, err := router.New(router.Config{
+		Manifest:    router.BuildManifest(g.NumNodes(), opts.MaxEdges, plans),
+		Shards:      urls,
+		SeqLogPath:  filepath.Join(seqDir, "seq.wal"),
+		IngestGraph: g,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer rt.Close()
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	rep := &fleetReport{Shards: nShards, Replicas: 1, Batches: batches}
+	rng := rand.New(rand.NewSource(2))
+	added := make(map[[2]graph.NodeID]bool)
+	lat := make([]time.Duration, 0, batches)
+	start := time.Now()
+	for k := 0; k < batches; k++ {
+		body, err := json.Marshal(serve.IngestRequest{
+			BatchID:   fmt.Sprintf("fleet-bench-%d", k),
+			Mutations: nextFleetBatch(rng, g, added, k),
+		})
+		if err != nil {
+			return nil, err
+		}
+		t0 := time.Now()
+		resp, err := http.Post(front.URL+"/v1/ingest", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("fleet batch %d: %d %s", k, resp.StatusCode, raw)
+		}
+		lat = append(lat, time.Since(t0))
+	}
+	elapsed := time.Since(start)
+
+	rep.Mutations = 0
+	for k := 0; k < batches; k++ {
+		rep.Mutations += 2 // add_edge + relabel
+		if k%8 == 0 {
+			rep.Mutations++ // add_node
+		}
+	}
+	rep.BatchesPerSec = float64(batches) / elapsed.Seconds()
+	rep.MutationsPerSec = float64(rep.Mutations) / elapsed.Seconds()
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	rep.AckP50MS = float64(lat[len(lat)/2].Microseconds()) / 1000
+	rep.AckP99MS = float64(lat[(len(lat)*99)/100].Microseconds()) / 1000
+	return rep, nil
+}
+
 func main() {
 	var (
-		out     = flag.String("o", "BENCH_ingest.json", "output path ('-' for stdout)")
-		batches = flag.Int("batches", 200, "mutation batches to apply")
-		emax    = flag.Int("emax", 2, "maximum edges per subgraph")
-		compact = flag.Int("compact-every", 64, "WAL fold interval in batches")
+		out          = flag.String("o", "BENCH_ingest.json", "output path ('-' for stdout)")
+		batches      = flag.Int("batches", 200, "mutation batches to apply")
+		emax         = flag.Int("emax", 2, "maximum edges per subgraph")
+		compact      = flag.Int("compact-every", 64, "WAL fold interval in batches")
+		fleetShards  = flag.Int("fleet-shards", 2, "shards in the fleet-mode bench (0 disables fleet mode)")
+		fleetBatches = flag.Int("fleet-batches", 100, "batches to drive through the sequenced fan-out")
 	)
 	flag.Parse()
 
@@ -203,6 +365,13 @@ func main() {
 		rep.SpeedupVsRebuild = float64(rebuild) / float64(meanApply)
 	}
 
+	if *fleetShards > 0 && *fleetBatches > 0 {
+		rep.Fleet, err = runFleetBench(g, opts, *fleetShards, *fleetBatches)
+		if err != nil {
+			fail(fmt.Errorf("fleet bench: %w", err))
+		}
+	}
+
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fail(err)
@@ -219,5 +388,10 @@ func main() {
 		"ingestbench: %.0f mutations/sec, ingest-to-serve p50 %.2fms p99 %.2fms, mean dirty %.1f/%d roots, %.1fx vs full rebuild\n",
 		rep.MutationsPerSec, rep.IngestToServeP50MS, rep.IngestToServeP99MS,
 		rep.MeanDirtyRoots, final.NumNodes(), rep.SpeedupVsRebuild)
+	if rep.Fleet != nil {
+		fmt.Fprintf(os.Stderr,
+			"ingestbench: fleet (%d shards) %.0f mutations/sec, ack p50 %.2fms p99 %.2fms\n",
+			rep.Fleet.Shards, rep.Fleet.MutationsPerSec, rep.Fleet.AckP50MS, rep.Fleet.AckP99MS)
+	}
 	fmt.Fprintf(os.Stderr, "ingestbench: wrote %s\n", *out)
 }

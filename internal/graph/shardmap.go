@@ -1,0 +1,453 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file is the fleet-ingest side of the root-based partitioner: a
+// ShardMap tracks, for a mutating global graph, exactly the state
+// PartitionByRoot derived once at partition time — which nodes belong
+// to each shard's universe (owned roots plus their distance-<=HaloDepth
+// halo) and the global<->local ID translation per shard — and keeps it
+// current as mutations stream in. Apply resolves one validated batch
+// into per-shard sub-batches with shard-local IDs, including the halo
+// repair a new edge forces: when an edge addition pulls a node into a
+// shard's fringe, the node (and its full adjacency among the shard's
+// members) is shipped in that shard's sub-batch, so the shard graph
+// stays the exact induced subgraph over its members.
+//
+// Distances never grow here. The mutation vocabulary has no
+// remove_node, so shard membership is maintained as a monotone
+// superset: an edge removal may lengthen a node's true distance to its
+// nearest owned root, but the node stays a member at its recorded
+// (now possibly optimistic) distance. That direction is the safe one —
+// recorded distance <= true distance means membership is always a
+// superset of the from-scratch partition, and a superset preserves
+// census exactness: every node within HaloDepth (>= emax) hops of an
+// owned root is present with its full induced adjacency, and extra
+// fringe nodes beyond the census radius can never enter an owned
+// root's counts. For add-only mutation streams the recorded distances
+// are exact and membership equals the from-scratch partition
+// node-for-node (shardmap_test.go pins both properties).
+type ShardMap struct {
+	numShards int
+	haloDepth int
+
+	alphabet *Alphabet
+	labels   []Label
+	names    []string
+	adj      []map[NodeID]struct{}
+	numEdges int
+
+	shards []*shardMembers
+}
+
+// shardMembers is one shard's membership state: local-ID assignment in
+// engine application order and each member's recorded distance to the
+// nearest owned root (0 for owned nodes).
+type shardMembers struct {
+	g2l   map[NodeID]NodeID
+	count NodeID
+	dist  map[NodeID]int32
+}
+
+// ShardDelta is one shard's slice of an applied batch: the sub-batch in
+// shard-local IDs (halo-repair add_node/add_edge mutations included)
+// plus the global IDs of nodes the batch added to this shard, in
+// local-ID assignment order — local IDs count up from the shard's
+// pre-batch node count exactly as the shard engine's overlay assigns
+// them, so NewNodes[i] receives local ID priorCount+i.
+type ShardDelta struct {
+	Shard    int
+	Muts     []Mutation
+	NewNodes []NodeID
+}
+
+// NewShardMap builds the mutable partition state for g under cfg. The
+// initial per-shard membership and local-ID assignment are identical to
+// PartitionByRoot + Induced over the same inputs (members ascending by
+// global ID), so a ShardMap constructed from the partition-time graph
+// speaks the same local IDs as the manifest written next to the shard
+// snapshots.
+func NewShardMap(g *Graph, cfg PartitionConfig) (*ShardMap, error) {
+	if cfg.NumShards < 1 {
+		return nil, fmt.Errorf("graph: NumShards must be >= 1, got %d", cfg.NumShards)
+	}
+	if cfg.HaloDepth < 1 {
+		return nil, fmt.Errorf("graph: HaloDepth must be >= 1, got %d", cfg.HaloDepth)
+	}
+	n := g.NumNodes()
+	sm := &ShardMap{
+		numShards: cfg.NumShards,
+		haloDepth: cfg.HaloDepth,
+		alphabet:  g.Alphabet(),
+		labels:    make([]Label, n),
+		names:     make([]string, n),
+		adj:       make([]map[NodeID]struct{}, n),
+		numEdges:  g.NumEdges(),
+	}
+	for v := 0; v < n; v++ {
+		sm.labels[v] = g.Label(NodeID(v))
+		sm.names[v] = g.Name(NodeID(v))
+		nbrs := g.Neighbors(NodeID(v))
+		m := make(map[NodeID]struct{}, len(nbrs))
+		for _, w := range nbrs {
+			m[w] = struct{}{}
+		}
+		sm.adj[v] = m
+	}
+
+	owned := make([][]NodeID, cfg.NumShards)
+	for v := NodeID(0); int(v) < n; v++ {
+		owned[RootShard(v, cfg.NumShards)] = append(owned[RootShard(v, cfg.NumShards)], v)
+	}
+	sm.shards = make([]*shardMembers, cfg.NumShards)
+	for s := 0; s < cfg.NumShards; s++ {
+		sv := &shardMembers{
+			g2l:  make(map[NodeID]NodeID, len(owned[s])*2),
+			dist: make(map[NodeID]int32, len(owned[s])*2),
+		}
+		frontier := make([]NodeID, 0, len(owned[s]))
+		for _, r := range owned[s] {
+			sv.dist[r] = 0
+			frontier = append(frontier, r)
+		}
+		for depth := int32(0); int(depth) < cfg.HaloDepth && len(frontier) > 0; depth++ {
+			var next []NodeID
+			for _, u := range frontier {
+				for w := range sm.adj[u] {
+					if _, ok := sv.dist[w]; !ok {
+						sv.dist[w] = depth + 1
+						next = append(next, w)
+					}
+				}
+			}
+			frontier = next
+		}
+		members := make([]NodeID, 0, len(sv.dist))
+		for v := range sv.dist {
+			members = append(members, v)
+		}
+		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+		for _, v := range members {
+			sv.g2l[v] = sv.count
+			sv.count++
+		}
+		sm.shards[s] = sv
+	}
+	return sm, nil
+}
+
+// NumShards returns the shard count.
+func (sm *ShardMap) NumShards() int { return sm.numShards }
+
+// HaloDepth returns the maintained halo radius.
+func (sm *ShardMap) HaloDepth() int { return sm.haloDepth }
+
+// NumNodes returns the current global node count.
+func (sm *ShardMap) NumNodes() int { return len(sm.labels) }
+
+// NumEdges returns the current global edge count.
+func (sm *ShardMap) NumEdges() int { return sm.numEdges }
+
+// LocalID translates a global node ID into shard's local ID space,
+// reporting whether the node is a member of that shard.
+func (sm *ShardMap) LocalID(shard int, global NodeID) (NodeID, bool) {
+	l, ok := sm.shards[shard].g2l[global]
+	return l, ok
+}
+
+// ShardSize returns shard's current member count (== its local node
+// count).
+func (sm *ShardMap) ShardSize(shard int) int { return int(sm.shards[shard].count) }
+
+// Members returns shard's member set as ascending global IDs.
+func (sm *ShardMap) Members(shard int) []NodeID {
+	sv := sm.shards[shard]
+	out := make([]NodeID, 0, len(sv.g2l))
+	for v := range sv.g2l {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// hasEdge reports adjacency in the current global state.
+func (sm *ShardMap) hasEdge(u, v NodeID) bool {
+	_, ok := sm.adj[u][v]
+	return ok
+}
+
+// sortedNeighbors returns v's neighbours ascending. Halo repair MUST
+// traverse adjacency in a deterministic order: the local IDs a pull
+// assigns depend on traversal order, and a router that crash-replays
+// its sequencer log regenerates every sub-batch from scratch — if the
+// regenerated pull order differed from the original, the replayed
+// local IDs would disagree with what live replicas already applied.
+func (sm *ShardMap) sortedNeighbors(v NodeID) []NodeID {
+	out := make([]NodeID, 0, len(sm.adj[v]))
+	for w := range sm.adj[v] {
+		out = append(out, w)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Validate checks one batch against the current global state without
+// mutating anything — the same invariants Overlay enforces (in-range
+// endpoints, no self loops, no duplicate edges, no absent-edge
+// removals, labels from the fixed alphabet), including references to
+// nodes the batch itself adds. The router runs this before assigning a
+// fleet sequence: once sequenced, a batch must apply cleanly on every
+// shard, so nothing invalid may reach the sequencer log.
+func (sm *ShardMap) Validate(muts []Mutation) error {
+	next := NodeID(len(sm.labels))
+	added := make(map[[2]NodeID]struct{})
+	removed := make(map[[2]NodeID]struct{})
+	has := func(u, v NodeID) bool {
+		k := edgeKey(u, v)
+		if _, ok := added[k]; ok {
+			return true
+		}
+		if _, ok := removed[k]; ok {
+			return false
+		}
+		if int(u) >= len(sm.adj) || int(v) >= len(sm.adj) {
+			return false
+		}
+		return sm.hasEdge(u, v)
+	}
+	for i, m := range muts {
+		switch m.Op {
+		case OpAddNode:
+			if _, ok := sm.alphabet.Lookup(m.Label); !ok {
+				return fmt.Errorf("mutation %d: unknown label %q", i, m.Label)
+			}
+			next++
+		case OpAddEdge, OpRemoveEdge:
+			if m.U == m.V {
+				return fmt.Errorf("mutation %d: self loop at node %d", i, m.U)
+			}
+			if m.U < 0 || m.V < 0 || m.U >= next || m.V >= next {
+				return fmt.Errorf("mutation %d: edge %d-%d references unknown node (have %d nodes)", i, m.U, m.V, next)
+			}
+			if m.Op == OpAddEdge && has(m.U, m.V) {
+				return fmt.Errorf("mutation %d: duplicate edge %d-%d", i, m.U, m.V)
+			}
+			if m.Op == OpRemoveEdge && !has(m.U, m.V) {
+				return fmt.Errorf("mutation %d: edge %d-%d does not exist", i, m.U, m.V)
+			}
+			k := edgeKey(m.U, m.V)
+			if m.Op == OpAddEdge {
+				if _, ok := removed[k]; ok {
+					delete(removed, k)
+				} else {
+					added[k] = struct{}{}
+				}
+			} else {
+				if _, ok := added[k]; ok {
+					delete(added, k)
+				} else {
+					removed[k] = struct{}{}
+				}
+			}
+		case OpRelabel:
+			if m.U < 0 || m.U >= next {
+				return fmt.Errorf("mutation %d: relabel of unknown node %d (have %d nodes)", i, m.U, next)
+			}
+			if _, ok := sm.alphabet.Lookup(m.Label); !ok {
+				return fmt.Errorf("mutation %d: unknown label %q", i, m.Label)
+			}
+		default:
+			return fmt.Errorf("mutation %d: unknown op %d", i, uint8(m.Op))
+		}
+	}
+	return nil
+}
+
+// deltaAcc accumulates one shard's sub-batch during Apply. emitted
+// tracks edges already shipped this batch (by global key), so the halo
+// repair of a pulled node and the triggering mutation never double-ship
+// the same edge; a remove_edge clears the key so a later re-add in the
+// same batch ships again.
+type deltaAcc struct {
+	muts     []Mutation
+	newNodes []NodeID
+	emitted  map[[2]NodeID]struct{}
+}
+
+// Apply resolves one batch: validates it whole (an invalid batch
+// changes nothing), applies it to the global state, maintains every
+// shard's membership/distances, and returns the per-shard sub-batches
+// in shard-local IDs. Only shards the batch touches appear in the
+// result. Mutation order within each sub-batch preserves the input
+// order, with halo-repair mutations (pulled nodes + their adjacency)
+// spliced in where the pulling edge occurs — so a shard engine applying
+// the sub-batch through its overlay sees every referenced node before
+// the edge that references it.
+func (sm *ShardMap) Apply(muts []Mutation) ([]ShardDelta, error) {
+	if err := sm.Validate(muts); err != nil {
+		return nil, err
+	}
+	accs := make([]*deltaAcc, sm.numShards)
+	acc := func(s int) *deltaAcc {
+		if accs[s] == nil {
+			accs[s] = &deltaAcc{emitted: make(map[[2]NodeID]struct{})}
+		}
+		return accs[s]
+	}
+
+	for _, m := range muts {
+		switch m.Op {
+		case OpAddNode:
+			l, _ := sm.alphabet.Lookup(m.Label)
+			gid := NodeID(len(sm.labels))
+			sm.labels = append(sm.labels, l)
+			sm.names = append(sm.names, m.Name)
+			sm.adj = append(sm.adj, make(map[NodeID]struct{}))
+			// A fresh node has no edges, so it enters exactly one
+			// universe: its owner's, as an owned root at distance 0.
+			owner := RootShard(gid, sm.numShards)
+			a := acc(owner)
+			sv := sm.shards[owner]
+			sv.dist[gid] = 0
+			sv.g2l[gid] = sv.count
+			sv.count++
+			a.newNodes = append(a.newNodes, gid)
+			a.muts = append(a.muts, Mutation{Op: OpAddNode, Label: m.Label, Name: m.Name})
+
+		case OpAddEdge:
+			sm.adj[m.U][m.V] = struct{}{}
+			sm.adj[m.V][m.U] = struct{}{}
+			sm.numEdges++
+			for s := 0; s < sm.numShards; s++ {
+				sv := sm.shards[s]
+				du, uIn := sv.dist[m.U]
+				dv, vIn := sv.dist[m.V]
+				if !uIn && !vIn {
+					continue
+				}
+				a := acc(s)
+				// The new edge may shorten distances through either
+				// endpoint; relax both directions to the halo bound,
+				// pulling (and shipping) any node that newly qualifies.
+				if uIn {
+					sm.relax(s, a, m.V, du+1)
+				}
+				if vIn {
+					sm.relax(s, a, m.U, dv+1)
+				}
+				lu, uIn := sv.g2l[m.U]
+				lv, vIn := sv.g2l[m.V]
+				if uIn && vIn {
+					k := edgeKey(m.U, m.V)
+					if _, done := a.emitted[k]; !done {
+						a.emitted[k] = struct{}{}
+						a.muts = append(a.muts, Mutation{Op: OpAddEdge, U: lu, V: lv})
+					}
+				}
+			}
+
+		case OpRemoveEdge:
+			delete(sm.adj[m.U], m.V)
+			delete(sm.adj[m.V], m.U)
+			sm.numEdges--
+			// Membership never shrinks (see the type comment); the removal
+			// ships to every shard holding both endpoints — which, by the
+			// induced-subgraph invariant, is every shard holding the edge.
+			for s := 0; s < sm.numShards; s++ {
+				sv := sm.shards[s]
+				lu, uIn := sv.g2l[m.U]
+				lv, vIn := sv.g2l[m.V]
+				if uIn && vIn {
+					a := acc(s)
+					delete(a.emitted, edgeKey(m.U, m.V))
+					a.muts = append(a.muts, Mutation{Op: OpRemoveEdge, U: lu, V: lv})
+				}
+			}
+
+		case OpRelabel:
+			l, _ := sm.alphabet.Lookup(m.Label)
+			sm.labels[m.U] = l
+			for s := 0; s < sm.numShards; s++ {
+				if lu, ok := sm.shards[s].g2l[m.U]; ok {
+					a := acc(s)
+					a.muts = append(a.muts, Mutation{Op: OpRelabel, U: lu, Label: m.Label})
+				}
+			}
+		}
+	}
+
+	var out []ShardDelta
+	for s, a := range accs {
+		if a != nil && len(a.muts) > 0 {
+			out = append(out, ShardDelta{Shard: s, Muts: a.muts, NewNodes: a.newNodes})
+		}
+	}
+	return out, nil
+}
+
+// relax installs distance d for seed in shard s if it improves on the
+// recorded value, then BFS-propagates the improvement outward up to the
+// halo bound. A node entering the membership for the first time is
+// pulled: its local ID is assigned, and an add_node plus its full
+// adjacency among current members is appended to the sub-batch — the
+// halo repair that keeps the shard graph an exact induced subgraph.
+func (sm *ShardMap) relax(s int, a *deltaAcc, seed NodeID, d int32) {
+	if int(d) > sm.haloDepth {
+		return
+	}
+	sv := sm.shards[s]
+	type cand struct {
+		node NodeID
+		d    int32
+	}
+	queue := []cand{{seed, d}}
+	for len(queue) > 0 {
+		c := queue[0]
+		queue = queue[1:]
+		cur, member := sv.dist[c.node]
+		if member && cur <= c.d {
+			continue
+		}
+		if !member {
+			sm.pull(s, sv, a, c.node)
+		}
+		sv.dist[c.node] = c.d
+		if nd := c.d + 1; int(nd) <= sm.haloDepth {
+			for _, x := range sm.sortedNeighbors(c.node) {
+				if xd, ok := sv.dist[x]; !ok || xd > nd {
+					queue = append(queue, cand{x, nd})
+				}
+			}
+		}
+	}
+}
+
+// pull admits global node v into shard s: assigns the next local ID and
+// appends add_node plus every edge between v and an existing member to
+// the sub-batch (deduplicated against edges the batch already shipped).
+func (sm *ShardMap) pull(s int, sv *shardMembers, a *deltaAcc, v NodeID) {
+	lv := sv.count
+	sv.g2l[v] = lv
+	sv.count++
+	a.newNodes = append(a.newNodes, v)
+	a.muts = append(a.muts, Mutation{
+		Op:    OpAddNode,
+		Label: sm.alphabet.Name(sm.labels[v]),
+		Name:  sm.names[v],
+	})
+	for _, x := range sm.sortedNeighbors(v) {
+		lx, ok := sv.g2l[x]
+		if !ok {
+			continue
+		}
+		k := edgeKey(v, x)
+		if _, done := a.emitted[k]; done {
+			continue
+		}
+		a.emitted[k] = struct{}{}
+		a.muts = append(a.muts, Mutation{Op: OpAddEdge, U: lv, V: lx})
+	}
+}

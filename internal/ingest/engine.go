@@ -119,6 +119,12 @@ type Engine struct {
 	// the in-memory state and the log have diverged, and only a restart
 	// (which replays the record) reconverges them.
 	failed bool
+	// fleetSeq is the highest router-assigned fleet sequence this engine
+	// has applied (0 if none): the shard's gap-detection watermark. It is
+	// derived from fleet batch IDs, which the snapshot's applied index
+	// persists in full, so it survives compaction, eviction (oldest-first,
+	// never the max), and restart.
+	fleetSeq uint64
 
 	stats        Stats
 	applyLatency []time.Duration // ring, latencyRingSize entries
@@ -171,6 +177,7 @@ func Open(cfg Config, seed func() (*graph.Graph, error)) (*Engine, error) {
 		for id, seq := range state.meta.Batches {
 			e.applied[id] = seq
 			e.appliedOrder = append(e.appliedOrder, id)
+			e.noteFleetSeq(id)
 		}
 		sort.Slice(e.appliedOrder, func(i, j int) bool {
 			return e.applied[e.appliedOrder[i]] < e.applied[e.appliedOrder[j]]
@@ -386,6 +393,18 @@ func (e *Engine) Apply(ctx context.Context, batchID string, muts []graph.Mutatio
 	return res, nil
 }
 
+// LatchFailure forces the engine into its post-durability failed state:
+// every later Apply is refused and Stats/readiness report the failure
+// until a restart replays the WAL. It exists so fault-injection tests
+// (the serving tier's readiness path above all) can exercise the
+// latched state without arranging a real post-durability apply failure;
+// production code never calls it.
+func (e *Engine) LatchFailure() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.failed = true
+}
+
 // applyLocked stages and applies an already-durable batch (WAL replay).
 func (e *Engine) applyLocked(batchID string, muts []graph.Mutation, seq uint64) (Result, error) {
 	overlay := graph.NewOverlay(e.g)
@@ -420,6 +439,7 @@ func (e *Engine) applyOverlay(batchID string, overlay *graph.Overlay, seq uint64
 	e.lastSeq = seq
 	e.applied[batchID] = seq
 	e.appliedOrder = append(e.appliedOrder, batchID)
+	e.noteFleetSeq(batchID)
 	e.evictIndex()
 	e.stats.Applied++
 	e.stats.LastDirtyRoots = len(dirty)

@@ -1,0 +1,144 @@
+package ingest
+
+import (
+	"context"
+	"testing"
+
+	"hsgf/internal/graph"
+)
+
+func TestParseFleetSeq(t *testing.T) {
+	cases := []struct {
+		id  string
+		seq uint64
+		ok  bool
+	}{
+		{FleetBatchID(1, "client-a"), 1, true},
+		{FleetBatchID(18446744073709551615, "x"), 18446744073709551615, true},
+		{"f42.retry.1", 42, true}, // client IDs may themselves contain dots
+		{"plain-batch", 0, false},
+		{"f", 0, false},
+		{"f1", 0, false},     // no separator
+		{"f1.", 0, false},    // empty client ID
+		{"f.x", 0, false},    // no digits
+		{"fabc.x", 0, false}, // non-numeric
+		{"f0.x", 0, false},   // sequence numbers start at 1
+		{"f01.x", 0, false},  // leading zero would alias f1.x
+		{"F1.x", 0, false},   // case-sensitive frame
+		{"flight.x", 0, false},
+	}
+	for _, c := range cases {
+		seq, ok := ParseFleetSeq(c.id)
+		if seq != c.seq || ok != c.ok {
+			t.Errorf("ParseFleetSeq(%q) = (%d, %v), want (%d, %v)", c.id, seq, ok, c.seq, c.ok)
+		}
+	}
+}
+
+func TestFleetBatchIDFitsLimit(t *testing.T) {
+	id := FleetBatchID(18446744073709551615, string(make([]byte, MaxFleetClientID)))
+	if len(id) > graph.MaxBatchID {
+		t.Fatalf("worst-case composite ID is %d bytes, limit %d", len(id), graph.MaxBatchID)
+	}
+}
+
+// TestFleetWatermarkTracksAppliesAndSurvivesRestart: the watermark
+// advances only on fleet batches, ignores plain ones, and is rebuilt
+// from the snapshot's applied index after compaction + restart — the
+// property gap detection relies on.
+func TestFleetWatermarkTracksAppliesAndSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig(t, dir)
+	cfg.CompactEvery = 2 // force a compaction mid-stream
+	e := openEngine(t, cfg)
+
+	if w := e.FleetWatermark(); w != 0 {
+		t.Fatalf("fresh engine watermark = %d", w)
+	}
+	ctx := context.Background()
+	muts := func(u, v graph.NodeID) []graph.Mutation {
+		return []graph.Mutation{{Op: graph.OpAddEdge, U: u, V: v}}
+	}
+	if _, err := e.Apply(ctx, FleetBatchID(1, "c"), muts(0, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Apply(ctx, "plain", muts(0, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if w := e.FleetWatermark(); w != 1 {
+		t.Fatalf("watermark after fleet seq 1 + plain batch = %d, want 1", w)
+	}
+	if _, err := e.Apply(ctx, FleetBatchID(2, "c"), nil); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+	if _, err := e.Apply(ctx, FleetBatchID(2, "c"), muts(1, 1)); err == nil {
+		t.Fatal("invalid batch accepted")
+	}
+	if w := e.FleetWatermark(); w != 1 {
+		t.Fatalf("rejected batches moved the watermark to %d", w)
+	}
+	if _, err := e.Apply(ctx, FleetBatchID(2, "c"), []graph.Mutation{{Op: graph.OpAddNode, Label: "loc"}}); err != nil {
+		t.Fatal(err)
+	}
+	if !e.HasApplied(FleetBatchID(2, "c")) || e.HasApplied(FleetBatchID(3, "c")) {
+		t.Fatal("HasApplied misreports the applied index")
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// CompactEvery=2 snapshotted at least once; reopen must restore the
+	// watermark from the persisted applied index either way.
+	e2 := openEngine(t, testConfig(t, dir))
+	if w := e2.FleetWatermark(); w != 2 {
+		t.Fatalf("watermark after restart = %d, want 2", w)
+	}
+	if !e2.HasApplied(FleetBatchID(2, "c")) {
+		t.Fatal("applied index lost across restart")
+	}
+}
+
+// TestFleetWatermarkSurvivesIndexEviction: eviction drops the oldest
+// applied entries, so the maximum fleet sequence — the watermark —
+// must be unaffected even when the batch that set it is long evicted
+// from the idempotency index.
+func TestFleetWatermarkSurvivesIndexEviction(t *testing.T) {
+	cfg := testConfig(t, t.TempDir())
+	cfg.MaxIndexEntries = 2
+	e := openEngine(t, cfg)
+
+	ctx := context.Background()
+	for i := uint64(1); i <= 5; i++ {
+		id := FleetBatchID(i, "c")
+		m := []graph.Mutation{{Op: graph.OpAddNode, Label: "act"}}
+		if _, err := e.Apply(ctx, id, m); err != nil {
+			t.Fatalf("apply %s: %v", id, err)
+		}
+	}
+	if e.HasApplied(FleetBatchID(1, "c")) {
+		t.Fatal("oldest entry not evicted with MaxIndexEntries=2")
+	}
+	if !e.HasApplied(FleetBatchID(5, "c")) {
+		t.Fatal("newest entry evicted")
+	}
+	if w := e.FleetWatermark(); w != 5 {
+		t.Fatalf("watermark = %d after evictions, want 5", w)
+	}
+}
+
+func TestFleetBatchIDDistinctPerClient(t *testing.T) {
+	seen := map[string]bool{}
+	for seq := uint64(1); seq <= 3; seq++ {
+		for _, client := range []string{"a", "b", "a.b"} {
+			id := FleetBatchID(seq, client)
+			if seen[id] {
+				t.Fatalf("duplicate composite ID %q", id)
+			}
+			seen[id] = true
+			got, ok := ParseFleetSeq(id)
+			if !ok || got != seq {
+				t.Fatalf("round trip %q: (%d, %v)", id, got, ok)
+			}
+		}
+	}
+}

@@ -1,0 +1,714 @@
+package router
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"hsgf/internal/graph"
+	"hsgf/internal/ingest"
+	"hsgf/internal/serve"
+	"hsgf/internal/store"
+)
+
+// Fleet ingest: the router is the fleet's single sequencer. Every
+// mutation batch is validated against the router's authoritative
+// membership map, assigned a monotone fleet sequence by a CRC-framed
+// sequencer WAL (durability point), resolved into per-shard sub-batches
+// (owner shard plus every shard whose halo the mutation touches, with
+// halo repair woven in by graph.ShardMap), and fanned out to every
+// replica of every affected shard. Replicas apply strictly in fleet
+// order — the sub-batch carries (fleet_seq, prev_fleet_seq) and a shard
+// at a different watermark refuses with 409 sequence_gap, which the
+// sender repairs by replaying the missed suffix of that shard's chain
+// from the in-memory history backed by the sequencer log.
+//
+// The client ack contract: 200 only after every replica of every
+// affected shard confirmed the sub-batch; otherwise a machine-readable
+// 503 fleet_partial_apply carrying the fleet watermark, while senders
+// keep retrying in the background until stragglers converge. Duplicate
+// client batch IDs ack idempotently at the router, and the composite
+// fleet batch ID makes the fan-out idempotent at every shard.
+
+// fanItem is one shard's sub-batch of one sequenced fleet batch: the
+// fully marshalled follower request, shared by every replica sender of
+// that shard and retained in the shard's chain history for gap replay.
+type fanItem struct {
+	seq   uint64
+	prev  uint64 // previous fleet seq that touched this shard (0 = first)
+	shard int
+	body  []byte
+}
+
+// ackState tracks one sequenced batch's outstanding replica confirms.
+type ackState struct {
+	remaining int
+	done      chan struct{}
+}
+
+// fleetError is a typed submit failure for the handler to translate
+// into the shared error envelope.
+type fleetError struct {
+	status    int
+	code      string
+	msg       string
+	watermark uint64
+}
+
+func (e *fleetError) Error() string { return e.msg }
+
+type fleetIngest struct {
+	s   *Server
+	sm  *graph.ShardMap
+	log *store.SeqLog
+
+	ackTimeout time.Duration
+
+	mu sync.Mutex
+	// failed latches when fleet state can no longer be trusted to match
+	// the sequencer log (sequencer IO failure after partial write, a
+	// post-validate apply failure, or a shard rejecting a sequenced
+	// sub-batch as malformed). Every later submit is refused; a restart
+	// rebuilds from the log.
+	failed     bool
+	failReason string
+	// lastTouched[s] is the newest fleet seq whose fan-out touched shard
+	// s: the prev_fleet_seq link for the next sub-batch bound there.
+	lastTouched []uint64
+	// history[s] is shard s's full sub-batch chain in ascending seq
+	// order — the gap-repair replay source. It grows with the sequencer
+	// log and is rebuilt from it on boot; compacting both is the
+	// operator-level lever documented in DESIGN.md §14.
+	history  [][]*fanItem
+	pending  map[uint64]*ackState
+	complete map[uint64]bool // fully confirmed but above the watermark
+	// watermark is the highest seq with every seq at or below it fully
+	// confirmed by all replicas of all affected shards.
+	watermark  uint64
+	acked      map[string]uint64 // client batch ID -> fleet seq
+	ackedOrder []string
+
+	senders []*replicaSender
+	stopCh  chan struct{}
+	stopped bool
+	wg      sync.WaitGroup
+}
+
+// maxAckedIndex bounds the router-level client idempotency index; the
+// oldest entries are evicted first (their fleet batch IDs still dedupe
+// at each shard via the engines' own indexes).
+const maxAckedIndex = 1 << 16
+
+// newFleetIngest builds the fleet ingest state: an authoritative
+// ShardMap cross-checked against the manifest, the sequencer log, and
+// one ordered sender per (shard, replica). Every record already in the
+// log is replayed through the ShardMap (deterministically regenerating
+// the exact sub-batches of the previous run) and each shard chain's
+// tail is enqueued to its replicas: an up-to-date replica replay-acks
+// the tail in one round trip — implicitly confirming its whole chain —
+// while a replica that crashed mid-stream answers 409 with its
+// watermark and gets the missed suffix replayed. That makes boot the
+// same code path as steady-state gap repair, and it is what repairs a
+// router killed between sequencing and fan-out.
+func newFleetIngest(s *Server, g *graph.Graph, path string) (*fleetIngest, error) {
+	sm, err := graph.NewShardMap(g, graph.PartitionConfig{
+		NumShards: s.m.NumShards,
+		HaloDepth: s.m.HaloDepth,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("router: ingest shard map: %w", err)
+	}
+	// The ShardMap must agree with the manifest the shards were cut
+	// from, or local-ID translation would silently corrupt mutations.
+	for i := range s.shards {
+		man := s.m.Shards[i].LocalToGlobal
+		if sm.ShardSize(i) != len(man) {
+			return nil, fmt.Errorf("router: ingest graph disagrees with manifest: shard %d has %d members, manifest %d (wrong -ingest-graph?)",
+				i, sm.ShardSize(i), len(man))
+		}
+		for local, global := range man {
+			if l, ok := sm.LocalID(i, graph.NodeID(global)); !ok || int(l) != local {
+				return nil, fmt.Errorf("router: ingest graph disagrees with manifest: shard %d node %d", i, global)
+			}
+		}
+	}
+
+	log, err := store.OpenSeqLog(path)
+	if err != nil {
+		return nil, err
+	}
+	f := &fleetIngest{
+		s:           s,
+		sm:          sm,
+		log:         log,
+		ackTimeout:  s.cfg.IngestAckTimeout,
+		lastTouched: make([]uint64, s.m.NumShards),
+		history:     make([][]*fanItem, s.m.NumShards),
+		pending:     make(map[uint64]*ackState),
+		complete:    make(map[uint64]bool),
+		acked:       make(map[string]uint64),
+		stopCh:      make(chan struct{}),
+	}
+
+	for _, rec := range log.Records() {
+		clientID, muts, err := graph.DecodeMutations(rec.Payload)
+		if err != nil {
+			log.Close()
+			return nil, fmt.Errorf("router: sequencer record %d: %w", rec.Seq, err)
+		}
+		if _, err := f.sequencedApply(rec.Seq, clientID, muts); err != nil {
+			log.Close()
+			return nil, fmt.Errorf("router: replaying sequencer record %d: %w", rec.Seq, err)
+		}
+	}
+
+	for _, sh := range s.shards {
+		for _, rep := range sh.replicas {
+			rs := &replicaSender{f: f, sh: sh, rep: rep}
+			rs.cond = sync.NewCond(&rs.mu)
+			// Catch-up entry point: the tail of this shard's chain. Its
+			// ack confirms the whole chain; a gap answer pulls in the
+			// missed middle.
+			if chain := f.history[sh.idx]; len(chain) > 0 {
+				rs.queue = append(rs.queue, chain[len(chain)-1])
+			}
+			f.senders = append(f.senders, rs)
+		}
+	}
+	for _, rs := range f.senders {
+		f.wg.Add(1)
+		go rs.run()
+	}
+	return f, nil
+}
+
+// stop halts the senders and closes the sequencer log; idempotent.
+func (f *fleetIngest) stop() {
+	f.mu.Lock()
+	if f.stopped {
+		f.mu.Unlock()
+		return
+	}
+	f.stopped = true
+	close(f.stopCh)
+	for _, rs := range f.senders {
+		rs.mu.Lock()
+		rs.cond.Broadcast()
+		rs.mu.Unlock()
+	}
+	f.mu.Unlock()
+	f.wg.Wait()
+	_ = f.log.Close()
+}
+
+// sequencedApply applies one already-sequenced batch to the membership
+// map and installs its bookkeeping (chain links, history, pending acks,
+// client idempotency, router ID tables). Caller holds f.mu or is inside
+// newFleetIngest before the state is shared. The emitted sub-batches
+// are deterministic in the ShardMap state, so a boot-time replay
+// regenerates byte-identical bodies to the run that crashed.
+func (f *fleetIngest) sequencedApply(seq uint64, clientID string, muts []graph.Mutation) ([]*fanItem, error) {
+	deltas, err := f.sm.Apply(muts)
+	if err != nil {
+		return nil, err
+	}
+	batchID := ingest.FleetBatchID(seq, clientID)
+	items := make([]*fanItem, 0, len(deltas))
+	remaining := 0
+	for _, d := range deltas {
+		wire := make([]serve.IngestMutation, len(d.Muts))
+		for i, m := range d.Muts {
+			wire[i] = serve.IngestMutation{Op: m.Op.String(), U: int64(m.U), V: int64(m.V), Label: m.Label, Name: m.Name}
+		}
+		body, err := json.Marshal(serve.IngestRequest{
+			BatchID:      batchID,
+			FleetSeq:     seq,
+			PrevFleetSeq: f.lastTouched[d.Shard],
+			Mutations:    wire,
+		})
+		if err != nil {
+			return nil, err
+		}
+		item := &fanItem{seq: seq, prev: f.lastTouched[d.Shard], shard: d.Shard, body: body}
+		f.lastTouched[d.Shard] = seq
+		f.history[d.Shard] = append(f.history[d.Shard], item)
+		items = append(items, item)
+		remaining += len(f.s.shards[d.Shard].replicas)
+
+		if len(d.NewNodes) > 0 {
+			globals := make([]int64, len(d.NewNodes))
+			for i, g := range d.NewNodes {
+				globals[i] = int64(g)
+			}
+			f.s.shards[d.Shard].growIDs(globals)
+		}
+	}
+	f.s.numNodes.Store(int64(f.sm.NumNodes()))
+
+	st := &ackState{remaining: remaining, done: make(chan struct{})}
+	f.pending[seq] = st
+	if remaining == 0 {
+		// Defensive: a batch that touches no shard (unreachable today —
+		// every mutation has an owner) completes immediately.
+		f.completeLocked(seq, st)
+	}
+	f.acked[clientID] = seq
+	f.ackedOrder = append(f.ackedOrder, clientID)
+	for len(f.acked) > maxAckedIndex && len(f.ackedOrder) > 0 {
+		delete(f.acked, f.ackedOrder[0])
+		f.ackedOrder[0] = ""
+		f.ackedOrder = f.ackedOrder[1:]
+	}
+	return items, nil
+}
+
+// completeLocked marks seq fully confirmed and advances the fleet
+// watermark over any now-contiguous prefix. Caller holds f.mu.
+func (f *fleetIngest) completeLocked(seq uint64, st *ackState) {
+	delete(f.pending, seq)
+	f.complete[seq] = true
+	close(st.done)
+	for f.complete[f.watermark+1] {
+		delete(f.complete, f.watermark+1)
+		f.watermark++
+	}
+	f.s.stats.fleetWatermark.Store(f.watermark)
+}
+
+// latchFailed poisons fleet ingest; only a router restart (which
+// rebuilds from the sequencer log) clears it.
+func (f *fleetIngest) latchFailed(reason string) {
+	f.mu.Lock()
+	if !f.failed {
+		f.failed = true
+		f.failReason = reason
+		f.s.logf("router: fleet ingest FAILED, restart required: %s", reason)
+	}
+	f.mu.Unlock()
+}
+
+// chainBetween returns shard sh's history items with seq in (after,
+// upTo) — the gap-replay window between a replica's watermark and the
+// item it refused. Caller holds f.mu.
+func (f *fleetIngest) chainBetween(sh int, after, upTo uint64) []*fanItem {
+	chain := f.history[sh]
+	i := sort.Search(len(chain), func(i int) bool { return chain[i].seq > after })
+	var out []*fanItem
+	for ; i < len(chain) && chain[i].seq < upTo; i++ {
+		out = append(out, chain[i])
+	}
+	return out
+}
+
+// submit sequences and fans out one client batch, blocking until the
+// fleet confirms it or ackTimeout passes. The *fleetError return is a
+// typed protocol outcome; a 503 fleet_partial_apply leaves the senders
+// repairing in the background so the batch still converges.
+func (f *fleetIngest) submit(ctx context.Context, clientID string, muts []graph.Mutation) (seq uint64, replayed bool, shards int, wm uint64, ferr *fleetError) {
+	f.mu.Lock()
+	if f.failed {
+		reason := f.failReason
+		f.mu.Unlock()
+		return 0, false, 0, 0, &fleetError{status: http.StatusInternalServerError, code: "fleet_failed",
+			msg: "fleet ingest is latched failed and requires a router restart: " + reason}
+	}
+	if prior, dup := f.acked[clientID]; dup {
+		// Idempotent client retry: never re-sequence. Wait out the
+		// original fan-out if it is still pending.
+		st := f.pending[prior]
+		f.mu.Unlock()
+		f.s.stats.ingestReplayed.Add(1)
+		return f.awaitAck(ctx, prior, true, 0, st)
+	}
+	if err := f.sm.Validate(muts); err != nil {
+		f.mu.Unlock()
+		return 0, false, 0, 0, &fleetError{status: http.StatusBadRequest, code: "bad_mutation", msg: err.Error()}
+	}
+	payload, err := graph.EncodeMutations(clientID, muts)
+	if err != nil {
+		f.mu.Unlock()
+		return 0, false, 0, 0, &fleetError{status: http.StatusBadRequest, code: "bad_mutation", msg: err.Error()}
+	}
+	seq, err = f.log.Append(payload)
+	if err != nil {
+		// The sequencer could not make the assignment durable; the WAL
+		// layer has rolled back or poisoned itself, so nothing was
+		// acked and nothing may proceed.
+		f.failed = true
+		f.failReason = "sequencer append: " + err.Error()
+		f.mu.Unlock()
+		return 0, false, 0, 0, &fleetError{status: http.StatusInternalServerError, code: "fleet_failed",
+			msg: "sequencer write failed; batch not acked, retry against a restarted router: " + err.Error()}
+	}
+	if hook := f.s.cfg.SequenceHook; hook != nil {
+		// Fault-injection seam: the smoke suite kills the router here,
+		// in the window where the sequence is durable but nothing has
+		// been fanned out. Boot replay must repair it.
+		hook(seq)
+	}
+	items, err := f.sequencedApply(seq, clientID, muts)
+	if err != nil {
+		// Validate passed, so this is a bug or resource exhaustion; the
+		// durable record and the membership map have diverged.
+		f.failed = true
+		f.failReason = fmt.Sprintf("apply of sequenced batch %d: %v", seq, err)
+		f.mu.Unlock()
+		return 0, false, 0, 0, &fleetError{status: http.StatusInternalServerError, code: "fleet_failed",
+			msg: "sequenced batch failed to apply; router restart will replay it: " + err.Error()}
+	}
+	st := f.pending[seq] // may already be gone for a zero-shard batch
+	for _, item := range items {
+		for _, rs := range f.senders {
+			if rs.sh.idx == item.shard {
+				rs.enqueue(item)
+			}
+		}
+	}
+	f.mu.Unlock()
+	f.s.stats.ingestBatches.Add(1)
+	return f.awaitAck(ctx, seq, false, len(items), st)
+}
+
+// awaitAck blocks until seq is fully confirmed, the context dies, or
+// ackTimeout passes. st may be nil when the batch already completed.
+func (f *fleetIngest) awaitAck(ctx context.Context, seq uint64, replayed bool, shards int, st *ackState) (uint64, bool, int, uint64, *fleetError) {
+	if st != nil {
+		timer := time.NewTimer(f.ackTimeout)
+		defer timer.Stop()
+		select {
+		case <-st.done:
+		case <-ctx.Done():
+			return f.partialApply(seq, shards)
+		case <-timer.C:
+			return f.partialApply(seq, shards)
+		case <-f.stopCh:
+			return f.partialApply(seq, shards)
+		}
+	}
+	f.mu.Lock()
+	wm := f.watermark
+	f.mu.Unlock()
+	return seq, replayed, shards, wm, nil
+}
+
+func (f *fleetIngest) partialApply(seq uint64, shards int) (uint64, bool, int, uint64, *fleetError) {
+	f.mu.Lock()
+	wm := f.watermark
+	f.mu.Unlock()
+	f.s.stats.ingestPartial.Add(1)
+	return 0, false, 0, 0, &fleetError{
+		status: http.StatusServiceUnavailable, code: "fleet_partial_apply",
+		msg:       fmt.Sprintf("batch %d is durably sequenced but not yet confirmed by every affected shard; the router is repairing stragglers in the background — do not re-submit under a new batch_id (fleet watermark %d)", seq, wm),
+		watermark: wm,
+	}
+}
+
+// watermarkNow returns the current fleet watermark.
+func (f *fleetIngest) watermarkNow() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.watermark
+}
+
+// replicaSender delivers one replica's sub-batch stream strictly in
+// fleet order: a dedicated goroutine drains an ordered queue, retrying
+// each item with backoff until the replica confirms it (or reports a
+// gap, which splices the missed chain suffix in front). One slow or
+// dead replica therefore never blocks the others — partial-failure
+// recovery is per replica — while per-replica ordering keeps every
+// follower's engine on the exact fleet sequence.
+type replicaSender struct {
+	f   *fleetIngest
+	sh  *shard
+	rep *replica
+
+	mu    sync.Mutex
+	cond  *sync.Cond
+	queue []*fanItem
+	// confirmedSeq is the highest chain seq this replica has confirmed
+	// (guarded by f.mu, not rs.mu: confirmation walks shared ack state).
+	confirmedSeq uint64
+}
+
+func (rs *replicaSender) enqueue(item *fanItem) {
+	rs.mu.Lock()
+	rs.queue = append(rs.queue, item)
+	rs.cond.Signal()
+	rs.mu.Unlock()
+}
+
+// splice puts items (ascending seq, all below head's seq) in front of
+// the queue — the gap-repair path.
+func (rs *replicaSender) splice(items []*fanItem, head *fanItem) {
+	rs.mu.Lock()
+	rest := append([]*fanItem{head}, rs.queue...)
+	rs.queue = append(append([]*fanItem{}, items...), rest...)
+	rs.mu.Unlock()
+}
+
+func (rs *replicaSender) next() *fanItem {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	for {
+		select {
+		case <-rs.f.stopCh:
+			return nil
+		default:
+		}
+		if len(rs.queue) > 0 {
+			item := rs.queue[0]
+			rs.queue[0] = nil
+			rs.queue = rs.queue[1:]
+			return item
+		}
+		rs.cond.Wait()
+	}
+}
+
+func (rs *replicaSender) run() {
+	defer rs.f.wg.Done()
+	for {
+		item := rs.next()
+		if item == nil {
+			return
+		}
+		rs.deliver(item)
+	}
+}
+
+// deliver pushes one item at the replica until it is confirmed, a gap
+// reroutes delivery, or the fleet stops. Backoff honours the replica's
+// Retry-After hint and is capped; a dead replica is retried forever —
+// this loop IS the background catch-up repair.
+func (rs *replicaSender) deliver(item *fanItem) {
+	f := rs.f
+	f.mu.Lock()
+	already := item.seq <= rs.confirmedSeq
+	f.mu.Unlock()
+	if already {
+		// Confirmed implicitly by a later in-chain ack during gap
+		// repair; nothing to send.
+		return
+	}
+	backoff := 50 * time.Millisecond
+	const maxBackoff = 3 * time.Second
+	for {
+		select {
+		case <-f.stopCh:
+			return
+		default:
+		}
+		outcome, hint := rs.attempt(item)
+		switch outcome {
+		case deliverConfirmed:
+			return
+		case deliverGap:
+			return // splice already rearranged the queue
+		case deliverPoison:
+			f.latchFailed(fmt.Sprintf("replica %s rejected sequenced sub-batch %d for shard %d as invalid", rs.rep.url, item.seq, item.shard))
+			return
+		}
+		if hint > backoff {
+			backoff = hint
+		}
+		select {
+		case <-f.stopCh:
+			return
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+	}
+}
+
+type deliverOutcome int
+
+const (
+	deliverRetry deliverOutcome = iota
+	deliverConfirmed
+	deliverGap
+	deliverPoison
+)
+
+// attempt sends item once and classifies the replica's answer.
+func (rs *replicaSender) attempt(item *fanItem) (deliverOutcome, time.Duration) {
+	f := rs.f
+	ctx, cancel := context.WithTimeout(context.Background(), f.s.cfg.ShardTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, rs.rep.url+"/v1/ingest", bytes.NewReader(item.body))
+	if err != nil {
+		return deliverRetry, 0
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := f.s.client.Do(req)
+	if err != nil {
+		rs.rep.reportFailure(f.s.cfg.FailAfter)
+		return deliverRetry, 0
+	}
+	defer drainBody(resp)
+
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		rs.rep.reportSuccess()
+		rs.confirmThrough(item)
+		return deliverConfirmed, 0
+	case resp.StatusCode == http.StatusConflict:
+		// Gap: the replica's watermark is behind this item's chain
+		// predecessor. Splice the missed suffix of this shard's chain in
+		// front and let the queue deliver it in order.
+		rs.rep.reportSuccess()
+		var body struct {
+			Reason    string `json:"reason"`
+			Watermark uint64 `json:"watermark"`
+		}
+		_ = json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&body)
+		if body.Reason != "sequence_gap" {
+			return deliverRetry, 0
+		}
+		f.s.stats.ingestGapReplays.Add(1)
+		f.mu.Lock()
+		missed := f.chainBetween(item.shard, body.Watermark, item.seq)
+		f.mu.Unlock()
+		f.s.logf("router: replica %s shard %d at watermark %d needs %d-item replay before seq %d",
+			rs.rep.url, item.shard, body.Watermark, len(missed), item.seq)
+		rs.splice(missed, item)
+		return deliverGap, 0
+	case resp.StatusCode == http.StatusBadRequest || resp.StatusCode == http.StatusForbidden:
+		// The sub-batch was validated fleet-wide before sequencing; a
+		// follower calling it malformed means state has diverged.
+		rs.rep.reportSuccess()
+		return deliverPoison, 0
+	case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable:
+		rs.rep.reportSuccess()
+		_, hint := parseTypedError(resp)
+		return deliverRetry, hint
+	default:
+		rs.rep.reportFailure(f.s.cfg.FailAfter)
+		return deliverRetry, 0
+	}
+}
+
+// confirmThrough records that this replica confirmed item — and, by
+// the follower's strict in-order application, every earlier item of
+// this shard's chain too. Each newly confirmed (seq, replica) pair
+// decrements the batch's outstanding count; the last replica of the
+// last shard completes the batch and may advance the fleet watermark.
+func (rs *replicaSender) confirmThrough(item *fanItem) {
+	f := rs.f
+	f.mu.Lock()
+	for _, h := range f.chainBetween(item.shard, rs.confirmedSeq, item.seq+1) {
+		if st := f.pending[h.seq]; st != nil {
+			if st.remaining--; st.remaining == 0 {
+				f.completeLocked(h.seq, st)
+			}
+		}
+	}
+	if item.seq > rs.confirmedSeq {
+		rs.confirmedSeq = item.seq
+	}
+	f.mu.Unlock()
+}
+
+// IngestResponse is the router's POST /v1/ingest ack: the fleet
+// sequence, how many shards the batch touched, and the fleet watermark
+// at ack time. Sent only once every replica of every affected shard
+// has durably applied the batch.
+type IngestResponse struct {
+	FleetSeq  uint64 `json:"fleet_seq"`
+	Replayed  bool   `json:"replayed,omitempty"`
+	Shards    int    `json:"shards"`
+	Watermark uint64 `json:"watermark"`
+	ElapsedMS int64  `json:"elapsed_ms"`
+}
+
+// handleIngest serves POST /v1/ingest on the routing tier. A router
+// started without -seqlog/-ingest-graph keeps the explicit 501.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use POST", 0)
+		return
+	}
+	if s.fleet == nil {
+		s.writeError(w, http.StatusNotImplemented, "ingest_unsupported",
+			"this router was started without fleet ingest (-seqlog and -ingest-graph); send mutations to an ingest-enabled daemon or restart the router with sequencing enabled", 0)
+		return
+	}
+	if s.draining.Load() {
+		s.writeError(w, http.StatusServiceUnavailable, "draining", "router is draining", time.Second)
+		return
+	}
+
+	var req serve.IngestRequest
+	dec := json.NewDecoder(io.LimitReader(r.Body, 8<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad_request", "undecodable body: "+err.Error(), 0)
+		return
+	}
+	if req.FleetSeq != 0 || req.PrevFleetSeq != 0 {
+		s.writeError(w, http.StatusBadRequest, "bad_request",
+			"fleet_seq is assigned by the router; clients must not pre-sequence batches", 0)
+		return
+	}
+	if req.BatchID == "" || len(req.BatchID) > ingest.MaxFleetClientID {
+		s.writeError(w, http.StatusBadRequest, "bad_request",
+			fmt.Sprintf("batch_id must be 1-%d bytes", ingest.MaxFleetClientID), 0)
+		return
+	}
+	if len(req.Mutations) == 0 {
+		s.writeError(w, http.StatusBadRequest, "bad_request", "mutations must not be empty", 0)
+		return
+	}
+	muts, err := decodeWireMutations(req.Mutations)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad_mutation", err.Error(), 0)
+		return
+	}
+
+	start := time.Now()
+	seq, replayed, shards, wm, ferr := s.fleet.submit(r.Context(), req.BatchID, muts)
+	if ferr != nil {
+		if ferr.code == "bad_mutation" {
+			s.stats.ingestRejected.Add(1)
+		}
+		extra := map[string]any{}
+		if ferr.code == "fleet_partial_apply" {
+			extra["watermark"] = ferr.watermark
+		}
+		_ = serve.WriteJSONError(w, ferr.status, ferr.code, ferr.msg, 0, extra)
+		return
+	}
+	writeJSON(w, http.StatusOK, IngestResponse{
+		FleetSeq:  seq,
+		Replayed:  replayed,
+		Shards:    shards,
+		Watermark: wm,
+		ElapsedMS: time.Since(start).Milliseconds(),
+	})
+}
+
+// decodeWireMutations converts wire mutations to graph mutations with
+// the same validation the daemon applies at its edge.
+func decodeWireMutations(wire []serve.IngestMutation) ([]graph.Mutation, error) {
+	muts := make([]graph.Mutation, len(wire))
+	for i, m := range wire {
+		op, err := graph.ParseMutationOp(m.Op)
+		if err != nil {
+			return nil, fmt.Errorf("mutation %d: %w", i, err)
+		}
+		if m.U < 0 || m.U > int64(int32max) || m.V < 0 || m.V > int64(int32max) {
+			return nil, fmt.Errorf("mutation %d: node ids must be in [0, %d]", i, int32max)
+		}
+		muts[i] = graph.Mutation{Op: op, U: graph.NodeID(m.U), V: graph.NodeID(m.V), Label: m.Label, Name: m.Name}
+	}
+	return muts, nil
+}
+
+const int32max = 1<<31 - 1

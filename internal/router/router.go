@@ -9,7 +9,6 @@ import (
 	"math"
 	"net"
 	"net/http"
-	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -59,6 +58,21 @@ type Config struct {
 
 	// MaxRootsPerRequest bounds one batch. Default 512.
 	MaxRootsPerRequest int
+
+	// SeqLogPath and IngestGraph together enable fleet ingest: the
+	// router sequences POST /v1/ingest batches through a CRC-framed
+	// sequencer WAL at SeqLogPath and resolves shard fan-out against
+	// IngestGraph (the same TSV the fleet was partitioned from). With
+	// either unset the router keeps its explicit 501 for ingest.
+	SeqLogPath  string
+	IngestGraph *graph.Graph
+	// IngestAckTimeout bounds how long a client waits for full-fleet
+	// confirmation before getting 503 fleet_partial_apply (the batch
+	// still converges in the background). Default 10s.
+	IngestAckTimeout time.Duration
+	// SequenceHook, when non-nil, runs after a batch's sequence is
+	// durable but before fan-out — the smoke suite's crash seam.
+	SequenceHook func(seq uint64)
 	// ReloadTimeout bounds each per-replica call of the fleet reload
 	// protocol. Default 2m.
 	ReloadTimeout time.Duration
@@ -106,6 +120,9 @@ func (c *Config) withDefaults() {
 	if c.MaxRootsPerRequest <= 0 {
 		c.MaxRootsPerRequest = 512
 	}
+	if c.IngestAckTimeout <= 0 {
+		c.IngestAckTimeout = 10 * time.Second
+	}
 	if c.ReloadTimeout <= 0 {
 		c.ReloadTimeout = 2 * time.Minute
 	}
@@ -122,6 +139,14 @@ type Server struct {
 	shards []*shard
 	client *http.Client
 	stats  routerStats
+
+	// fleet is the ingest sequencer + fan-out state; nil when the
+	// router was built without SeqLogPath/IngestGraph.
+	fleet *fleetIngest
+	// numNodes is the live fleet node count: the manifest's count plus
+	// every node added through fleet ingest since boot. Root validation
+	// reads it instead of the static manifest.
+	numNodes atomic.Int64
 
 	draining atomic.Bool
 	reloadMu sync.Mutex // single-flight fleet reload
@@ -176,7 +201,23 @@ func New(cfg Config) (*Server, error) {
 		}
 		s.shards[i] = sh
 	}
+	s.numNodes.Store(int64(s.m.NumNodes))
+	if cfg.SeqLogPath != "" && cfg.IngestGraph != nil {
+		fleet, err := newFleetIngest(s, cfg.IngestGraph, cfg.SeqLogPath)
+		if err != nil {
+			return nil, err
+		}
+		s.fleet = fleet
+	}
 	return s, nil
+}
+
+// Close releases background resources: fleet-ingest senders and the
+// sequencer log. Idempotent; Serve's drain path calls it.
+func (s *Server) Close() {
+	if s.fleet != nil {
+		s.fleet.stop()
+	}
 }
 
 // StartProbes launches the per-replica health probe loops; idempotent.
@@ -240,6 +281,7 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	select {
 	case err := <-errCh:
 		s.StopProbes()
+		s.Close()
 		return err
 	case <-ctx.Done():
 	}
@@ -251,6 +293,7 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	err := httpSrv.Shutdown(shutdownCtx)
 	<-errCh
 	s.StopProbes()
+	s.Close()
 	if err != nil {
 		return fmt.Errorf("router: drain incomplete after %v: %w", s.cfg.DrainGrace, err)
 	}
@@ -300,23 +343,6 @@ type ShardReport struct {
 	Fingerprint string `json:"fingerprint,omitempty"`
 }
 
-// handleIngest answers POST /v1/ingest with a clear 501: streaming
-// ingest is a single-daemon capability, and routing a mutation batch
-// across shards needs a fleet-wide ordering protocol (every shard whose
-// halo a mutation touches must apply it, in the same sequence, with
-// cross-shard idempotency) that the routing tier does not implement.
-// Clients that need ingest talk to an hsgfd running with -ingest
-// directly; the machine-readable reason lets them discover that
-// programmatically instead of diagnosing a 404.
-func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		s.writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use POST", 0)
-		return
-	}
-	s.writeError(w, http.StatusNotImplemented, "ingest_unsupported",
-		"the routing tier does not support streaming ingest; send mutations to an ingest-enabled daemon", 0)
-}
-
 // handleFeatures is the scatter/gather path: partition the batch's
 // roots by owning shard (consistent hash), call every involved shard
 // concurrently (hedged, retried, breaker-guarded), and reassemble rows
@@ -351,10 +377,11 @@ func (s *Server) handleFeatures(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("%d roots exceeds the per-request maximum %d", len(req.Roots), s.cfg.MaxRootsPerRequest), 0)
 		return
 	}
+	numNodes := s.numNodes.Load()
 	for _, root := range req.Roots {
-		if root < 0 || root >= int64(s.m.NumNodes) {
+		if root < 0 || root >= numNodes {
 			s.writeError(w, http.StatusBadRequest, "bad_request",
-				fmt.Sprintf("root %d out of range [0,%d)", root, s.m.NumNodes), 0)
+				fmt.Sprintf("root %d out of range [0,%d)", root, numNodes), 0)
 			return
 		}
 	}
@@ -475,7 +502,7 @@ type ReplicaMeta struct {
 }
 
 func (s *Server) handleMeta(w http.ResponseWriter, r *http.Request) {
-	resp := MetaResponse{NumShards: s.m.NumShards, HaloDepth: s.m.HaloDepth, NumNodes: s.m.NumNodes}
+	resp := MetaResponse{NumShards: s.m.NumShards, HaloDepth: s.m.HaloDepth, NumNodes: int(s.numNodes.Load())}
 	for _, sh := range s.shards {
 		entry := ShardMetaEntry{Shard: sh.idx, Breaker: sh.brk.State().String()}
 		if p95, ok := sh.lat.p95(); ok {
@@ -539,25 +566,11 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-// writeError mirrors the daemon's typed error shape (nested error
-// object + stable top-level reason + retry hint) so one client-side
-// classifier handles both tiers.
+// writeError emits the daemon's exact typed error shape (nested error
+// object + stable top-level reason + retry hint) via the shared
+// envelope helper so one client-side classifier handles both tiers.
 func (s *Server) writeError(w http.ResponseWriter, status int, code, msg string, retryAfter time.Duration) {
-	if retryAfter > 0 {
-		secs := int64(retryAfter / time.Second)
-		if retryAfter%time.Second != 0 || secs == 0 {
-			secs++
-		}
-		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
-	}
-	body := map[string]any{
-		"error":  serve.ErrorDetail{Code: code, Message: msg, RetryAfterMS: retryAfter.Milliseconds()},
-		"reason": code,
-	}
-	if retryAfter > 0 {
-		body["retry_after_ms"] = retryAfter.Milliseconds()
-	}
-	writeJSON(w, status, body)
+	_ = serve.WriteJSONError(w, status, code, msg, retryAfter, nil)
 }
 
 func drainBody(resp *http.Response) {

@@ -639,35 +639,6 @@ func TestRequestValidation(t *testing.T) {
 	}
 }
 
-// TestIngestNotImplemented: the routing tier declines streaming ingest
-// with 501 and a machine-readable reason (no shard is ever contacted),
-// so clients can programmatically fall back to an ingest-enabled
-// daemon instead of diagnosing a 404.
-func TestIngestNotImplemented(t *testing.T) {
-	rt := newTestRouter(t, Config{Manifest: identityManifest(10), Shards: [][]string{{"http://127.0.0.1:1"}}})
-	w := routerDo(t, rt, http.MethodPost, "/v1/ingest",
-		`{"batch_id":"x","mutations":[{"op":"add_edge","u":0,"v":1}]}`, nil)
-	if w.Code != http.StatusNotImplemented {
-		t.Fatalf("status %d, want 501 (body %s)", w.Code, w.Body.String())
-	}
-	var body struct {
-		Reason string `json:"reason"`
-		Error  struct {
-			Code    string `json:"code"`
-			Message string `json:"message"`
-		} `json:"error"`
-	}
-	if err := json.Unmarshal(w.Body.Bytes(), &body); err != nil {
-		t.Fatalf("undecodable 501 body %q: %v", w.Body.String(), err)
-	}
-	if body.Reason != "ingest_unsupported" || body.Error.Code != "ingest_unsupported" {
-		t.Fatalf("reason %q / code %q, want ingest_unsupported", body.Reason, body.Error.Code)
-	}
-	if w := routerDo(t, rt, http.MethodGet, "/v1/ingest", "", nil); w.Code != http.StatusMethodNotAllowed {
-		t.Fatalf("GET /v1/ingest = %d, want 405", w.Code)
-	}
-}
-
 // TestProbeLoopDetectsDeath: the active /readyz probe marks a dead
 // replica down without any traffic touching it.
 func TestProbeLoopDetectsDeath(t *testing.T) {

@@ -9,6 +9,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -27,8 +28,40 @@ type shard struct {
 	lat      *latencyWindow
 	rr       atomic.Uint32 // round-robin replica cursor
 
-	l2g []int64         // local ID -> global ID (from the manifest)
-	g2l map[int64]int64 // global ID -> local ID
+	// idMu guards the translation tables: fleet ingest appends new
+	// members as add_node mutations land while feature requests read
+	// concurrently.
+	idMu sync.RWMutex
+	l2g  []int64         // local ID -> global ID (from the manifest)
+	g2l  map[int64]int64 // global ID -> local ID
+}
+
+// localOf translates a global node ID to this shard's local ID.
+func (sh *shard) localOf(global int64) (int64, bool) {
+	sh.idMu.RLock()
+	l, ok := sh.g2l[global]
+	sh.idMu.RUnlock()
+	return l, ok
+}
+
+// globalOf translates a shard-local ID back to the global ID.
+func (sh *shard) globalOf(local int64) int64 {
+	sh.idMu.RLock()
+	g := sh.l2g[local]
+	sh.idMu.RUnlock()
+	return g
+}
+
+// growIDs appends newly ingested members: globals[i] becomes local ID
+// len(l2g)+i, mirroring graph.ShardMap's deterministic assignment so
+// the router's tables track every shard's own mapping exactly.
+func (sh *shard) growIDs(globals []int64) {
+	sh.idMu.Lock()
+	for _, g := range globals {
+		sh.g2l[g] = int64(len(sh.l2g))
+		sh.l2g = append(sh.l2g, g)
+	}
+	sh.idMu.Unlock()
 }
 
 // healthyReplicas returns the currently-healthy replicas, excluding
@@ -283,7 +316,7 @@ func (s *Server) callShard(ctx context.Context, sh *shard, roots []int64, req *s
 
 	local := make([]int64, len(roots))
 	for i, g := range roots {
-		l, found := sh.g2l[g]
+		l, found := sh.localOf(g)
 		if !found {
 			// Validated at admission; a miss here is a manifest bug.
 			done(false)
@@ -330,7 +363,7 @@ func (s *Server) callShard(ctx context.Context, sh *shard, roots []int64, req *s
 		if row.Root != local[i] {
 			return nil, fmt.Errorf("router: shard %d row %d is root %d, want %d", sh.idx, i, row.Root, local[i])
 		}
-		row.Root = sh.l2g[local[i]]
+		row.Root = sh.globalOf(local[i])
 		rows[i] = row
 	}
 	return rows, nil

@@ -22,6 +22,13 @@ type routerStats struct {
 	fleetReloads      atomic.Int64 // fleet reload attempts
 	fleetReloadOK     atomic.Int64
 	fleetReloadFailed atomic.Int64
+
+	ingestBatches    atomic.Int64  // batches sequenced and fanned out
+	ingestReplayed   atomic.Int64  // duplicate client batches acked idempotently
+	ingestRejected   atomic.Int64  // batches refused at validation
+	ingestPartial    atomic.Int64  // acks timed out into 503 fleet_partial_apply
+	ingestGapReplays atomic.Int64  // replica chains repaired after a sequence_gap
+	fleetWatermark   atomic.Uint64 // highest fully confirmed fleet sequence
 }
 
 // StatsResponse is the GET /debug/stats body.
@@ -39,6 +46,13 @@ type StatsResponse struct {
 	FleetReloads      int64 `json:"fleet_reloads"`
 	FleetReloadOK     int64 `json:"fleet_reload_ok"`
 	FleetReloadFailed int64 `json:"fleet_reload_failed"`
+
+	IngestBatches    int64  `json:"ingest_batches"`
+	IngestReplayed   int64  `json:"ingest_replayed"`
+	IngestRejected   int64  `json:"ingest_rejected"`
+	IngestPartial    int64  `json:"ingest_partial"`
+	IngestGapReplays int64  `json:"ingest_gap_replays"`
+	FleetWatermark   uint64 `json:"fleet_watermark"`
 
 	Shards []ShardStats `json:"shards"`
 }
@@ -68,6 +82,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		FleetReloads:      s.stats.fleetReloads.Load(),
 		FleetReloadOK:     s.stats.fleetReloadOK.Load(),
 		FleetReloadFailed: s.stats.fleetReloadFailed.Load(),
+		IngestBatches:     s.stats.ingestBatches.Load(),
+		IngestReplayed:    s.stats.ingestReplayed.Load(),
+		IngestRejected:    s.stats.ingestRejected.Load(),
+		IngestPartial:     s.stats.ingestPartial.Load(),
+		IngestGapReplays:  s.stats.ingestGapReplays.Load(),
+		FleetWatermark:    s.stats.fleetWatermark.Load(),
 	}
 	for _, sh := range s.shards {
 		st := ShardStats{

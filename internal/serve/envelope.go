@@ -1,0 +1,51 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// WriteJSONError writes the fleet-standard typed error envelope. Both
+// tiers — hsgfd's serving layer and hsgf-router — emit every non-200
+// response through this one helper so the shape cannot drift: a nested
+// error object, the stable top-level "reason" automation keys on, and a
+// Retry-After header (integral seconds, sub-second hints held up to 1)
+// mirrored with millisecond precision in "retry_after_ms" whenever the
+// error is retryable.
+//
+// extra carries endpoint-specific machine-readable fields — the fleet
+// ingest protocol's "watermark" first among them — merged into the top
+// level of the body. Keys that collide with the envelope's own fields
+// are ignored.
+//
+// The returned error reports an encode failure (client gone
+// mid-response); callers that track write failures count it, others may
+// discard it.
+func WriteJSONError(w http.ResponseWriter, status int, code, message string, retryAfter time.Duration, extra map[string]any) error {
+	detail := ErrorDetail{Code: code, Message: message}
+	if retryAfter > 0 {
+		secs := int64(retryAfter.Seconds())
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+		detail.RetryAfterMS = retryAfter.Milliseconds()
+	}
+	body := map[string]any{
+		"error":  detail,
+		"reason": code,
+	}
+	if detail.RetryAfterMS > 0 {
+		body["retry_after_ms"] = detail.RetryAfterMS
+	}
+	for k, v := range extra {
+		if _, taken := body[k]; !taken {
+			body[k] = v
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	return json.NewEncoder(w).Encode(body)
+}

@@ -1,0 +1,101 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestWriteJSONErrorEnvelope pins the shared error envelope both tiers
+// emit: nested error object, stable top-level reason, Retry-After
+// header/retry_after_ms mirroring, and extra machine-readable fields
+// for protocol responses (fleet watermark). hsgfd and hsgf-router both
+// route every non-200 through this helper, so this table is the
+// cross-tier error contract.
+func TestWriteJSONErrorEnvelope(t *testing.T) {
+	cases := []struct {
+		name       string
+		status     int
+		code       string
+		retryAfter time.Duration
+		extra      map[string]any
+		wantHeader string
+		wantMS     int64
+	}{
+		{name: "plain 400", status: http.StatusBadRequest, code: "bad_mutation"},
+		{name: "plain 405", status: http.StatusMethodNotAllowed, code: "method_not_allowed"},
+		{
+			name:   "503 with hint",
+			status: http.StatusServiceUnavailable, code: "breaker_open",
+			retryAfter: 2500 * time.Millisecond,
+			wantHeader: "2", wantMS: 2500,
+		},
+		{
+			name:   "sub-second hint held up to 1s",
+			status: http.StatusTooManyRequests, code: "shed",
+			retryAfter: 300 * time.Millisecond,
+			wantHeader: "1", wantMS: 300,
+		},
+		{
+			name:   "gap response with watermark",
+			status: http.StatusConflict, code: "sequence_gap",
+			extra: map[string]any{"watermark": uint64(41)},
+		},
+		{
+			name:   "partial apply with watermark and hint",
+			status: http.StatusServiceUnavailable, code: "fleet_partial_apply",
+			retryAfter: time.Second,
+			extra:      map[string]any{"watermark": uint64(7)},
+			wantHeader: "1", wantMS: 1000,
+		},
+		{
+			name:   "extra cannot shadow envelope fields",
+			status: http.StatusBadRequest, code: "bad_request",
+			extra: map[string]any{"reason": "spoofed", "watermark": uint64(3)},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := httptest.NewRecorder()
+			if err := WriteJSONError(w, tc.status, tc.code, "msg", tc.retryAfter, tc.extra); err != nil {
+				t.Fatalf("WriteJSONError: %v", err)
+			}
+			if w.Code != tc.status {
+				t.Errorf("status = %d, want %d", w.Code, tc.status)
+			}
+			if got := w.Header().Get("Content-Type"); got != "application/json" {
+				t.Errorf("Content-Type = %q", got)
+			}
+			if got := w.Header().Get("Retry-After"); got != tc.wantHeader {
+				t.Errorf("Retry-After = %q, want %q", got, tc.wantHeader)
+			}
+			var body struct {
+				Error        ErrorDetail `json:"error"`
+				Reason       string      `json:"reason"`
+				RetryAfterMS int64       `json:"retry_after_ms"`
+				Watermark    *uint64     `json:"watermark"`
+			}
+			if err := json.Unmarshal(w.Body.Bytes(), &body); err != nil {
+				t.Fatalf("undecodable body %q: %v", w.Body.String(), err)
+			}
+			if body.Error.Code != tc.code || body.Error.Message != "msg" {
+				t.Errorf("nested error = %+v", body.Error)
+			}
+			if body.Reason != tc.code {
+				t.Errorf("reason = %q, want %q (extras must not shadow it)", body.Reason, tc.code)
+			}
+			if body.RetryAfterMS != tc.wantMS || body.Error.RetryAfterMS != tc.wantMS {
+				t.Errorf("retry_after_ms = %d/%d, want %d", body.RetryAfterMS, body.Error.RetryAfterMS, tc.wantMS)
+			}
+			if wm, ok := tc.extra["watermark"]; ok {
+				if body.Watermark == nil || *body.Watermark != wm.(uint64) {
+					t.Errorf("watermark missing or wrong: %v", body.Watermark)
+				}
+			} else if body.Watermark != nil {
+				t.Errorf("unexpected watermark %d", *body.Watermark)
+			}
+		})
+	}
+}

@@ -68,18 +68,6 @@ type ErrorDetail struct {
 	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
 }
 
-type errorBody struct {
-	Error ErrorDetail `json:"error"`
-	// Reason mirrors Error.Code at the top level: the stable
-	// machine-readable field automation (the routing tier's backoff
-	// classifier first among it) keys on without digging into the
-	// nested error object.
-	Reason string `json:"reason"`
-	// RetryAfterMS mirrors the Retry-After header with millisecond
-	// precision; 0 when the error is not retryable.
-	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
-}
-
 // MetaResponse is the body of GET /v1/meta.
 type MetaResponse struct {
 	Fingerprint string   `json:"fingerprint"`
@@ -204,7 +192,12 @@ func (s *Server) encodeRow(ex *core.Extractor, root graph.NodeID, c *core.Census
 }
 
 func (s *Server) writeError(w http.ResponseWriter, status int, code, message string, retryAfter time.Duration) {
-	detail := ErrorDetail{Code: code, Message: message}
+	s.writeErrorExtra(w, status, code, message, retryAfter, nil)
+}
+
+// writeErrorExtra is writeError plus endpoint-specific machine-readable
+// top-level fields (the fleet ingest watermark first among them).
+func (s *Server) writeErrorExtra(w http.ResponseWriter, status int, code, message string, retryAfter time.Duration, extra map[string]any) {
 	// Shed (429) and unavailable (503) responses always carry a backoff
 	// hint so client retry loops can honour the server's view of load
 	// instead of guessing; the configured default applies when the
@@ -212,19 +205,9 @@ func (s *Server) writeError(w http.ResponseWriter, status int, code, message str
 	if retryAfter <= 0 && (status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable) {
 		retryAfter = s.cfg.RetryAfter
 	}
-	if retryAfter > 0 {
-		secs := int64(retryAfter.Seconds())
-		if secs < 1 {
-			secs = 1 // Retry-After is integral seconds; round up
-		}
-		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
-		detail.RetryAfterMS = retryAfter.Milliseconds()
+	if err := WriteJSONError(w, status, code, message, retryAfter, extra); err != nil {
+		s.stats.writeFailed.Add(1)
 	}
-	s.writeJSON(w, status, errorBody{
-		Error:        detail,
-		Reason:       code,
-		RetryAfterMS: detail.RetryAfterMS,
-	})
 }
 
 // recoverPanics is the outermost middleware: a panicking handler is
@@ -642,10 +625,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleReadyz reports readiness: 503 once draining so load balancers
-// stop routing here; the breaker state, serving generation, and last
-// reload outcome ride along for observability (an open breaker or a
-// failed reload still serves the current generation and will recover,
-// so neither fails readiness by itself).
+// stop routing here, and 503 with reason ingest_failed once the ingest
+// engine latches its post-durability failure state — such a shard can
+// no longer accept writes until a restart replays the WAL, so it must
+// drop out of router rotation automatically rather than only flagging
+// the failure in /debug/stats. The breaker state, serving generation,
+// and last reload outcome ride along for observability (an open breaker
+// or a failed reload still serves the current generation and will
+// recover, so neither fails readiness by itself).
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	snap := s.snap.Load()
 	body := map[string]any{
@@ -657,15 +644,22 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if last := s.lastReload.Load(); last != nil {
 		body["last_reload"] = last
 	}
-	if ing := s.ingestStatus(); ing != nil {
+	ing := s.ingestStatus()
+	if ing != nil {
 		body["ingest"] = ing
 	}
-	if s.draining.Load() {
+	switch {
+	case s.draining.Load():
 		body["status"] = "draining"
+		body["reason"] = "draining"
 		s.writeJSON(w, http.StatusServiceUnavailable, body)
-		return
+	case ing != nil && ing.Failed:
+		body["status"] = "unready"
+		body["reason"] = "ingest_failed"
+		s.writeJSON(w, http.StatusServiceUnavailable, body)
+	default:
+		s.writeJSON(w, http.StatusOK, body)
 	}
-	s.writeJSON(w, http.StatusOK, body)
 }
 
 // handleStats serves the counter snapshot on GET /debug/stats.

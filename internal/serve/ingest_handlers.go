@@ -52,6 +52,15 @@ func (s *Server) SetIngestor(eng *ingest.Engine, source string) {
 // Ingesting reports whether a streaming-ingest engine is wired in.
 func (s *Server) Ingesting() bool { return s.ingest != nil }
 
+// SetFleetFollower puts /v1/ingest in follower mode: only
+// router-sequenced fleet batches (fleet_seq set) are accepted, and
+// direct client writes get 403 fleet_only. A shard daemon behind
+// hsgf-router must run in this mode — a write that bypassed the
+// sequencer would advance the shard without a fleet sequence and
+// silently diverge it from the rest of the fleet. Call before the
+// server starts handling requests.
+func (s *Server) SetFleetFollower(on bool) { s.fleetFollower = on }
+
 // IngestMutation is the wire form of one mutation in POST /v1/ingest.
 type IngestMutation struct {
 	// Op is one of add_node, add_edge, remove_edge, relabel.
@@ -72,6 +81,20 @@ type IngestRequest struct {
 	// with its original sequence number, never applied twice.
 	BatchID   string           `json:"batch_id"`
 	Mutations []IngestMutation `json:"mutations"`
+
+	// FleetSeq marks a router-sequenced sub-batch: the monotone fleet
+	// sequence the router's sequencer WAL assigned this batch. It must
+	// match the sequence encoded in BatchID (an ingest.FleetBatchID).
+	// Zero means an ordinary client batch.
+	FleetSeq uint64 `json:"fleet_seq,omitempty"`
+	// PrevFleetSeq is the fleet sequence of the previous batch that
+	// touched this shard (0 if this is the first). The shard applies a
+	// fleet batch only when PrevFleetSeq equals its own watermark —
+	// anything else is a gap: some earlier batch has not arrived here
+	// yet, and applying out of order would corrupt the halo-maintenance
+	// stream, so the shard refuses with 409 sequence_gap and reports its
+	// watermark for the router to replay from.
+	PrevFleetSeq uint64 `json:"prev_fleet_seq,omitempty"`
 }
 
 // IngestResponse is the body of a successful POST /v1/ingest. The
@@ -85,6 +108,9 @@ type IngestResponse struct {
 	ElapsedMS   int64  `json:"elapsed_ms"`
 	Generation  uint64 `json:"generation,omitempty"`
 	Fingerprint string `json:"fingerprint"`
+	// FleetWatermark is the shard's highest applied fleet sequence,
+	// present on fleet-sequenced acks so the router can audit ordering.
+	FleetWatermark uint64 `json:"fleet_watermark,omitempty"`
 }
 
 // IngestStatus is the freshness watermark block surfaced in
@@ -175,6 +201,28 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "bad_request", "mutations must not be empty", 0)
 		return
 	}
+	if req.FleetSeq != 0 {
+		// A fleet sub-batch's idempotency key IS its fleet identity: the
+		// sequence must be woven into the batch ID, or a duplicate under a
+		// different ID would dodge the replay index and apply twice.
+		if seq, ok := ingest.ParseFleetSeq(req.BatchID); !ok || seq != req.FleetSeq {
+			s.stats.badReq.Add(1)
+			s.writeError(w, http.StatusBadRequest, "bad_request",
+				fmt.Sprintf("fleet_seq %d does not match the sequence encoded in batch_id %q", req.FleetSeq, req.BatchID), 0)
+			return
+		}
+		if req.PrevFleetSeq >= req.FleetSeq {
+			s.stats.badReq.Add(1)
+			s.writeError(w, http.StatusBadRequest, "bad_request",
+				"prev_fleet_seq must be strictly below fleet_seq", 0)
+			return
+		}
+	} else if s.fleetFollower {
+		s.stats.badReq.Add(1)
+		s.writeError(w, http.StatusForbidden, "fleet_only",
+			"this shard applies router-sequenced batches only; send writes to hsgf-router", 0)
+		return
+	}
 	muts := make([]graph.Mutation, len(req.Mutations))
 	for i, m := range req.Mutations {
 		op, err := graph.ParseMutationOp(m.Op)
@@ -215,6 +263,42 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 
+	if req.FleetSeq != 0 {
+		// Ordering gate, race-free inside the single-writer admission slot:
+		// nothing else can advance the watermark between this check and the
+		// Apply below.
+		wm := s.ingest.FleetWatermark()
+		switch {
+		case req.FleetSeq <= wm:
+			// At or below the watermark: strictly ordered application means
+			// this batch was already applied here. If its ID has been
+			// evicted from the replay index, re-applying would double-apply
+			// (and fail validation on e.g. a duplicate edge), so ack bare;
+			// otherwise fall through and let the engine produce the full
+			// replayed ack.
+			if !s.ingest.HasApplied(req.BatchID) {
+				snap := s.snap.Load()
+				s.writeJSON(w, http.StatusOK, IngestResponse{
+					Replayed:       true,
+					Generation:     snap.Generation,
+					Fingerprint:    snap.Fingerprint,
+					FleetWatermark: wm,
+				})
+				return
+			}
+		case req.PrevFleetSeq != wm:
+			// Gap: a predecessor has not arrived. Refuse — applying out of
+			// order would corrupt the halo-maintenance stream — and report
+			// the watermark so the router replays everything after it from
+			// its sequencer log.
+			s.writeErrorExtra(w, http.StatusConflict, "sequence_gap",
+				fmt.Sprintf("fleet seq %d claims predecessor %d but this shard's watermark is %d",
+					req.FleetSeq, req.PrevFleetSeq, wm), 0,
+				map[string]any{"watermark": wm})
+			return
+		}
+	}
+
 	res, err := s.ingest.Apply(ctx, req.BatchID, muts)
 	switch {
 	case err == nil:
@@ -234,7 +318,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 
 	snap := s.snap.Load()
-	s.writeJSON(w, http.StatusOK, IngestResponse{
+	out := IngestResponse{
 		Seq:         res.Seq,
 		Replayed:    res.Replayed,
 		DirtyRoots:  len(res.DirtyRoots),
@@ -242,5 +326,9 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		ElapsedMS:   res.Elapsed.Milliseconds(),
 		Generation:  res.Generation,
 		Fingerprint: snap.Fingerprint,
-	})
+	}
+	if req.FleetSeq != 0 {
+		out.FleetWatermark = s.ingest.FleetWatermark()
+	}
+	s.writeJSON(w, http.StatusOK, out)
 }

@@ -137,6 +137,9 @@ type Server struct {
 	// snapshot swaps; ingestAdm is its dedicated write-admission gate.
 	ingest    *ingest.Engine
 	ingestAdm *admission
+	// fleetFollower restricts /v1/ingest to router-sequenced fleet
+	// batches (see SetFleetFollower).
+	fleetFollower bool
 }
 
 // NewServer returns a server over ex with cfg (zero fields defaulted).

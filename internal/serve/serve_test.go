@@ -67,6 +67,13 @@ func doJSON(t testing.TB, s *Server, method, path, body string, out any) *httpte
 	return w
 }
 
+// errorBody decodes the shared error envelope WriteJSONError emits.
+type errorBody struct {
+	Error        ErrorDetail `json:"error"`
+	Reason       string      `json:"reason"`
+	RetryAfterMS int64       `json:"retry_after_ms"`
+}
+
 func errorCode(t testing.TB, w *httptest.ResponseRecorder) string {
 	t.Helper()
 	var body errorBody

@@ -1,0 +1,109 @@
+package store
+
+import (
+	"sync"
+)
+
+// SeqLog is the router's fleet sequencer: a WAL that assigns the
+// monotone fleet sequence number every mutation batch is ordered by,
+// and retains all of its records in memory so the router can replay any
+// suffix to a shard that reports a gap. It reuses the ingest WAL's
+// CRC-framed, fsync-per-append discipline — Append returning nil means
+// the record (and with it the sequence assignment) survives a router
+// crash, which is what makes the assignment safe to act on: a batch is
+// fanned out only after its sequence is durable, so recovery can always
+// re-derive exactly which sub-batches were in flight.
+//
+// Unlike the ingest WAL, the sequencer log is never compacted by the
+// log itself: its full history doubles as the replay source for gap
+// repair and for rebuilding the router's shard-resolution state on
+// boot. Folding the history into a snapshot is the operator's lever
+// (documented in DESIGN.md); the log stays correct regardless of size.
+//
+// SeqLog is safe for concurrent use.
+type SeqLog struct {
+	mu   sync.Mutex
+	wal  *WAL
+	recs []WALRecord // all records, ascending contiguous Seq starting at recs[0].Seq
+}
+
+// OpenSeqLog opens (or creates) the sequencer log at path, replaying
+// and retaining every record. The WAL layer already truncates a torn
+// tail (never acked, safe to drop); a sequence gap in what remains
+// means acked assignments were lost and is a hard error.
+func OpenSeqLog(path string) (*SeqLog, error) {
+	wal, recs, err := OpenWAL(path)
+	if err != nil {
+		return nil, err
+	}
+	for i, rec := range recs {
+		if want := uint64(i + 1); rec.Seq != want {
+			wal.Close()
+			return nil, corruptf("sequencer log %s: record %d carries seq %d, want %d — acked sequence assignments are missing", path, i, rec.Seq, want)
+		}
+	}
+	return &SeqLog{wal: wal, recs: recs}, nil
+}
+
+// Append assigns the next fleet sequence number to payload and makes
+// the assignment durable before returning it.
+func (l *SeqLog) Append(payload []byte) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	seq := l.wal.LastSeq() + 1
+	if err := l.wal.Append(seq, payload); err != nil {
+		return 0, err
+	}
+	p := make([]byte, len(payload))
+	copy(p, payload)
+	l.recs = append(l.recs, WALRecord{Seq: seq, Payload: p})
+	return seq, nil
+}
+
+// LastSeq returns the highest assigned sequence; 0 if none.
+func (l *SeqLog) LastSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.wal.LastSeq()
+}
+
+// Records returns all retained records in sequence order. The returned
+// slice is shared; callers must not mutate it.
+func (l *SeqLog) Records() []WALRecord {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.recs[:len(l.recs):len(l.recs)]
+}
+
+// Since returns the records with sequence in (after, upTo]; upTo == 0
+// means no upper bound. This is the gap-repair read: a shard reporting
+// watermark W gets every record it missed replayed in order.
+func (l *SeqLog) Since(after, upTo uint64) []WALRecord {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]WALRecord, 0, 8)
+	for _, rec := range l.recs {
+		if rec.Seq <= after {
+			continue
+		}
+		if upTo != 0 && rec.Seq > upTo {
+			break
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
+// Size returns the log file's size in bytes.
+func (l *SeqLog) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.wal.Size()
+}
+
+// Close closes the underlying WAL.
+func (l *SeqLog) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.wal.Close()
+}
