@@ -237,13 +237,22 @@ func main() {
 		// Streaming-ingest mode: the engine owns the serving state. It
 		// recovers from the newest verified ingest snapshot plus the WAL
 		// tail; an empty store seeds from the graph artifact or the TSV.
+		// Fleet followers take router-sequenced sub-batches, which carry
+		// halo repair and may legitimately exceed the direct-client
+		// mutation cap; the router bounds them to the fleet cap before
+		// sequencing, so the engine must accept up to that bound.
+		maxBatch := 0 // engine default
+		if *fleetFollower {
+			maxBatch = ingest.FleetMaxBatchMutations
+		}
 		var err error
 		eng, err = ingest.Open(ingest.Config{
-			Store:        st,
-			Opts:         hsgf.Options{MaxEdges: *emax, MaskRootLabel: *mask, MaxDegree: *dmax},
-			Workers:      *ingestWorkers,
-			CompactEvery: *ingestCompact,
-			Log:          logger.Printf,
+			Store:             st,
+			Opts:              hsgf.Options{MaxEdges: *emax, MaskRootLabel: *mask, MaxDegree: *dmax},
+			Workers:           *ingestWorkers,
+			CompactEvery:      *ingestCompact,
+			MaxBatchMutations: maxBatch,
+			Log:               logger.Printf,
 		}, func() (*graph.Graph, error) {
 			if g, _, err := hsgf.LoadGraphSnapshot(st); err == nil {
 				return g, nil

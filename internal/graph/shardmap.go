@@ -266,6 +266,120 @@ func (sm *ShardMap) Validate(muts []Mutation) error {
 	return nil
 }
 
+// smUndo journals the inverse of every state change one Apply makes,
+// first-touch only: the first time the batch touches an edge, a label,
+// or a (shard, node) distance, the pre-batch value is recorded, so
+// rollback restores exactly the pre-batch state no matter how many
+// times the batch revisits the same key (add-then-remove of one edge,
+// repeated relaxation of one node). Node additions are journaled by
+// the pre-batch node count alone: new nodes occupy the tail of
+// labels/names/adj, so truncation removes them wholesale.
+type smUndo struct {
+	numNodes int
+	numEdges int
+	edges    map[[2]NodeID]bool // original presence
+	labels   map[NodeID]Label   // original label
+	shards   []*shardUndo       // nil for untouched shards
+}
+
+type shardUndo struct {
+	count  NodeID   // pre-batch local-ID count
+	pulled []NodeID // nodes admitted this batch (g2l entries to drop)
+	dist   map[NodeID]distPrior
+}
+
+type distPrior struct {
+	d   int32
+	had bool
+}
+
+func newSMUndo(sm *ShardMap) *smUndo {
+	return &smUndo{
+		numNodes: len(sm.labels),
+		numEdges: sm.numEdges,
+		edges:    make(map[[2]NodeID]bool),
+		labels:   make(map[NodeID]Label),
+		shards:   make([]*shardUndo, sm.numShards),
+	}
+}
+
+func (u *smUndo) shardState(sm *ShardMap, s int) *shardUndo {
+	if u.shards[s] == nil {
+		u.shards[s] = &shardUndo{count: sm.shards[s].count, dist: make(map[NodeID]distPrior)}
+	}
+	return u.shards[s]
+}
+
+func (u *smUndo) touchEdge(sm *ShardMap, a, b NodeID) {
+	k := edgeKey(a, b)
+	if _, ok := u.edges[k]; !ok {
+		u.edges[k] = sm.hasEdge(a, b)
+	}
+}
+
+func (u *smUndo) touchLabel(sm *ShardMap, v NodeID) {
+	if _, ok := u.labels[v]; !ok {
+		u.labels[v] = sm.labels[v]
+	}
+}
+
+func (su *shardUndo) touchDist(sv *shardMembers, v NodeID) {
+	if _, ok := su.dist[v]; !ok {
+		d, had := sv.dist[v]
+		su.dist[v] = distPrior{d: d, had: had}
+	}
+}
+
+// rollback restores the pre-batch state recorded in u. Edge presence is
+// restored before the node-tail truncation so that adjacency entries an
+// old node gained toward a batch-added node are deleted while both maps
+// still exist.
+func (sm *ShardMap) rollback(u *smUndo) {
+	for k, present := range u.edges {
+		a, b := k[0], k[1]
+		if present {
+			sm.adj[a][b] = struct{}{}
+			sm.adj[b][a] = struct{}{}
+		} else {
+			if int(a) < len(sm.adj) {
+				delete(sm.adj[a], b)
+			}
+			if int(b) < len(sm.adj) {
+				delete(sm.adj[b], a)
+			}
+		}
+	}
+	for i := u.numNodes; i < len(sm.adj); i++ {
+		sm.adj[i] = nil
+	}
+	sm.labels = sm.labels[:u.numNodes]
+	sm.names = sm.names[:u.numNodes]
+	sm.adj = sm.adj[:u.numNodes]
+	sm.numEdges = u.numEdges
+	for v, l := range u.labels {
+		if int(v) < u.numNodes {
+			sm.labels[v] = l
+		}
+	}
+	for s, su := range u.shards {
+		if su == nil {
+			continue
+		}
+		sv := sm.shards[s]
+		for _, v := range su.pulled {
+			delete(sv.g2l, v)
+		}
+		sv.count = su.count
+		for v, p := range su.dist {
+			if p.had {
+				sv.dist[v] = p.d
+			} else {
+				delete(sv.dist, v)
+			}
+		}
+	}
+}
+
 // deltaAcc accumulates one shard's sub-batch during Apply. emitted
 // tracks edges already shipped this batch (by global key), so the halo
 // repair of a pulled node and the triggering mutation never double-ship
@@ -287,9 +401,25 @@ type deltaAcc struct {
 // the sub-batch through its overlay sees every referenced node before
 // the edge that references it.
 func (sm *ShardMap) Apply(muts []Mutation) ([]ShardDelta, error) {
+	deltas, _, err := sm.ApplyStaged(muts)
+	return deltas, err
+}
+
+// ApplyStaged is Apply plus an escape hatch: the returned rollback
+// restores the ShardMap (membership, distances, local-ID assignment,
+// global adjacency) to its exact pre-batch state. The router uses it to
+// size-check the emitted sub-batches against follower limits before the
+// batch takes a durable fleet sequence — an oversized batch must be
+// refused as if it never happened, or the sequencer log would carry a
+// batch no follower can accept. rollback is single-shot and only valid
+// until the next mutation of the ShardMap; after calling it, re-staging
+// the same batch regenerates byte-identical deltas (the emission is
+// deterministic in the restored state).
+func (sm *ShardMap) ApplyStaged(muts []Mutation) ([]ShardDelta, func(), error) {
 	if err := sm.Validate(muts); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+	undo := newSMUndo(sm)
 	accs := make([]*deltaAcc, sm.numShards)
 	acc := func(s int) *deltaAcc {
 		if accs[s] == nil {
@@ -311,6 +441,9 @@ func (sm *ShardMap) Apply(muts []Mutation) ([]ShardDelta, error) {
 			owner := RootShard(gid, sm.numShards)
 			a := acc(owner)
 			sv := sm.shards[owner]
+			su := undo.shardState(sm, owner)
+			su.touchDist(sv, gid)
+			su.pulled = append(su.pulled, gid)
 			sv.dist[gid] = 0
 			sv.g2l[gid] = sv.count
 			sv.count++
@@ -318,6 +451,7 @@ func (sm *ShardMap) Apply(muts []Mutation) ([]ShardDelta, error) {
 			a.muts = append(a.muts, Mutation{Op: OpAddNode, Label: m.Label, Name: m.Name})
 
 		case OpAddEdge:
+			undo.touchEdge(sm, m.U, m.V)
 			sm.adj[m.U][m.V] = struct{}{}
 			sm.adj[m.V][m.U] = struct{}{}
 			sm.numEdges++
@@ -333,10 +467,10 @@ func (sm *ShardMap) Apply(muts []Mutation) ([]ShardDelta, error) {
 				// endpoint; relax both directions to the halo bound,
 				// pulling (and shipping) any node that newly qualifies.
 				if uIn {
-					sm.relax(s, a, m.V, du+1)
+					sm.relax(s, a, undo, m.V, du+1)
 				}
 				if vIn {
-					sm.relax(s, a, m.U, dv+1)
+					sm.relax(s, a, undo, m.U, dv+1)
 				}
 				lu, uIn := sv.g2l[m.U]
 				lv, vIn := sv.g2l[m.V]
@@ -350,6 +484,7 @@ func (sm *ShardMap) Apply(muts []Mutation) ([]ShardDelta, error) {
 			}
 
 		case OpRemoveEdge:
+			undo.touchEdge(sm, m.U, m.V)
 			delete(sm.adj[m.U], m.V)
 			delete(sm.adj[m.V], m.U)
 			sm.numEdges--
@@ -369,6 +504,7 @@ func (sm *ShardMap) Apply(muts []Mutation) ([]ShardDelta, error) {
 
 		case OpRelabel:
 			l, _ := sm.alphabet.Lookup(m.Label)
+			undo.touchLabel(sm, m.U)
 			sm.labels[m.U] = l
 			for s := 0; s < sm.numShards; s++ {
 				if lu, ok := sm.shards[s].g2l[m.U]; ok {
@@ -385,7 +521,7 @@ func (sm *ShardMap) Apply(muts []Mutation) ([]ShardDelta, error) {
 			out = append(out, ShardDelta{Shard: s, Muts: a.muts, NewNodes: a.newNodes})
 		}
 	}
-	return out, nil
+	return out, func() { sm.rollback(undo) }, nil
 }
 
 // relax installs distance d for seed in shard s if it improves on the
@@ -394,11 +530,12 @@ func (sm *ShardMap) Apply(muts []Mutation) ([]ShardDelta, error) {
 // pulled: its local ID is assigned, and an add_node plus its full
 // adjacency among current members is appended to the sub-batch — the
 // halo repair that keeps the shard graph an exact induced subgraph.
-func (sm *ShardMap) relax(s int, a *deltaAcc, seed NodeID, d int32) {
+func (sm *ShardMap) relax(s int, a *deltaAcc, undo *smUndo, seed NodeID, d int32) {
 	if int(d) > sm.haloDepth {
 		return
 	}
 	sv := sm.shards[s]
+	su := undo.shardState(sm, s)
 	type cand struct {
 		node NodeID
 		d    int32
@@ -412,8 +549,9 @@ func (sm *ShardMap) relax(s int, a *deltaAcc, seed NodeID, d int32) {
 			continue
 		}
 		if !member {
-			sm.pull(s, sv, a, c.node)
+			sm.pull(s, sv, a, su, c.node)
 		}
+		su.touchDist(sv, c.node)
 		sv.dist[c.node] = c.d
 		if nd := c.d + 1; int(nd) <= sm.haloDepth {
 			for _, x := range sm.sortedNeighbors(c.node) {
@@ -428,10 +566,11 @@ func (sm *ShardMap) relax(s int, a *deltaAcc, seed NodeID, d int32) {
 // pull admits global node v into shard s: assigns the next local ID and
 // appends add_node plus every edge between v and an existing member to
 // the sub-batch (deduplicated against edges the batch already shipped).
-func (sm *ShardMap) pull(s int, sv *shardMembers, a *deltaAcc, v NodeID) {
+func (sm *ShardMap) pull(s int, sv *shardMembers, a *deltaAcc, su *shardUndo, v NodeID) {
 	lv := sv.count
 	sv.g2l[v] = lv
 	sv.count++
+	su.pulled = append(su.pulled, v)
 	a.newNodes = append(a.newNodes, v)
 	a.muts = append(a.muts, Mutation{
 		Op:    OpAddNode,

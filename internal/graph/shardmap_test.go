@@ -347,6 +347,74 @@ func TestShardMapApplyDeterministic(t *testing.T) {
 	}
 }
 
+// shardMapFingerprint renders every observable piece of ShardMap state
+// — global labels/names/adjacency and each shard's (global, local,
+// dist) membership — into a canonical string, so rollback tests can
+// assert exact restoration.
+func shardMapFingerprint(sm *ShardMap) string {
+	var b []byte
+	b = append(b, fmt.Sprintf("n=%d e=%d\n", len(sm.labels), sm.numEdges)...)
+	for v := 0; v < len(sm.labels); v++ {
+		b = append(b, fmt.Sprintf("v%d l%d %q adj%v\n", v, sm.labels[v], sm.names[v], sm.sortedNeighbors(NodeID(v)))...)
+	}
+	for s, sv := range sm.shards {
+		b = append(b, fmt.Sprintf("shard %d count %d\n", s, sv.count)...)
+		for _, v := range sm.Members(s) {
+			b = append(b, fmt.Sprintf("  %d->%d d%d\n", v, sv.g2l[v], sv.dist[v])...)
+		}
+	}
+	return string(b)
+}
+
+// TestShardMapApplyStagedRollback drives a random mutation stream
+// through the stage/rollback path: every batch is staged, rolled back
+// (state must be byte-identical to before), staged again (deltas must
+// be byte-identical to the first staging), and kept. The surviving
+// state and deltas must match a second ShardMap fed the same stream
+// through plain Apply.
+func TestShardMapApplyStagedRollback(t *testing.T) {
+	g := partitionTestGraph(t, 150, 9)
+	cfg := PartitionConfig{NumShards: 3, HaloDepth: 2}
+	stream := randomMutationStream(t, g, rand.New(rand.NewSource(9)), 12, 6, true)
+
+	staged, err := NewShardMap(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := NewShardMap(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, batch := range stream {
+		before := shardMapFingerprint(staged)
+		first, undo, err := staged.ApplyStaged(batch)
+		if err != nil {
+			t.Fatalf("batch %d stage: %v", i, err)
+		}
+		undo()
+		if after := shardMapFingerprint(staged); after != before {
+			t.Fatalf("batch %d: rollback did not restore the pre-batch state\nbefore:\n%s\nafter:\n%s", i, before, after)
+		}
+		second, _, err := staged.ApplyStaged(batch)
+		if err != nil {
+			t.Fatalf("batch %d restage: %v", i, err)
+		}
+		if fmt.Sprintf("%+v", first) != fmt.Sprintf("%+v", second) {
+			t.Fatalf("batch %d: deltas differ after rollback\nfirst:  %+v\nsecond: %+v", i, first, second)
+		}
+		ref, err := plain.Apply(batch)
+		if err != nil {
+			t.Fatalf("batch %d plain apply: %v", i, err)
+		}
+		if fmt.Sprintf("%+v", second) != fmt.Sprintf("%+v", ref) {
+			t.Fatalf("batch %d: staged deltas differ from plain Apply", i)
+		}
+	}
+	if shardMapFingerprint(staged) != shardMapFingerprint(plain) {
+		t.Fatal("staged and plain ShardMaps diverged over the stream")
+	}
+}
+
 // TestShardMapValidateRejectsAndLeavesStateIntact: invalid batches are
 // rejected whole, and the shard map is untouched afterwards.
 func TestShardMapValidateRejectsAndLeavesStateIntact(t *testing.T) {

@@ -32,6 +32,18 @@ import (
 // composite within graph.MaxBatchID.
 const MaxFleetClientID = graph.MaxBatchID - 22 // "f" + 20 digits + "."
 
+// FleetMaxBatchMutations is the engine mutation cap for fleet-follower
+// daemons, and the router's default per-shard sub-batch bound. It is
+// deliberately above DefaultMaxBatchMutations: a router-sequenced
+// sub-batch carries halo repair (a pulled node's full adjacency), so a
+// small client batch can legitimately expand well past the direct-
+// client cap. The two sides must stay aligned — the router refuses any
+// client batch whose sub-batches would exceed the followers' limits
+// BEFORE sequencing it, because a follower rejecting an already-
+// sequenced sub-batch as oversized would permanently poison fleet
+// ingest (the sequence is durable and replays on every boot).
+const FleetMaxBatchMutations = 1 << 16
+
 // FleetBatchID builds the composite batch ID for a sequenced fleet
 // batch.
 func FleetBatchID(fleetSeq uint64, clientID string) string {

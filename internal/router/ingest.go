@@ -81,29 +81,49 @@ type fleetIngest struct {
 	// lastTouched[s] is the newest fleet seq whose fan-out touched shard
 	// s: the prev_fleet_seq link for the next sub-batch bound there.
 	lastTouched []uint64
-	// history[s] is shard s's full sub-batch chain in ascending seq
-	// order — the gap-repair replay source. It grows with the sequencer
-	// log and is rebuilt from it on boot; compacting both is the
-	// operator-level lever documented in DESIGN.md §14.
-	history  [][]*fanItem
-	pending  map[uint64]*ackState
-	complete map[uint64]bool // fully confirmed but above the watermark
+	// history[s] is shard s's sub-batch chain in ascending seq order —
+	// the gap-repair replay source, rebuilt from the sequencer log on
+	// boot. Items at or below every replica's confirmed watermark can
+	// never be replayed again, so confirmThrough trims them as confirms
+	// land; only the unconfirmed suffix is retained in memory.
+	history [][]*fanItem
+	// historyBytes tracks the retained sub-batch body bytes across all
+	// shard chains (a /debug/stats gauge).
+	historyBytes int64
+	pending      map[uint64]*ackState
+	complete     map[uint64]bool // fully confirmed but above the watermark
 	// watermark is the highest seq with every seq at or below it fully
 	// confirmed by all replicas of all affected shards.
-	watermark  uint64
-	acked      map[string]uint64 // client batch ID -> fleet seq
-	ackedOrder []string
+	watermark uint64
+	// acked maps every client batch ID ever sequenced to its fleet seq
+	// — the router-level idempotency index. It is deliberately
+	// unbounded: the sequencer log already retains every record (the
+	// index is rebuilt from it on boot), so the index adds one small
+	// entry per batch to state that grows anyway, and eviction would
+	// re-open the double-apply hole — a retry of an evicted ID would be
+	// re-sequenced under a new composite fleet batch ID that no shard's
+	// replay index can match. Compacting the log (DESIGN.md §14) is the
+	// operator lever that bounds both together.
+	acked map[string]uint64
+	// growth[seq] is the routing-table growth seq's batch produced
+	// (new shard members and the fleet node count after the batch),
+	// deferred until the fleet watermark passes seq: /v1/features must
+	// not admit a root and route it to replicas that have not applied
+	// the batch that created it.
+	growth map[uint64]*pendingGrowth
 
-	senders []*replicaSender
-	stopCh  chan struct{}
-	stopped bool
-	wg      sync.WaitGroup
+	senders      []*replicaSender
+	shardSenders [][]*replicaSender // senders grouped by shard index
+	stopCh       chan struct{}
+	stopped      bool
+	wg           sync.WaitGroup
 }
 
-// maxAckedIndex bounds the router-level client idempotency index; the
-// oldest entries are evicted first (their fleet batch IDs still dedupe
-// at each shard via the engines' own indexes).
-const maxAckedIndex = 1 << 16
+// pendingGrowth is one sequenced batch's deferred routing-table growth.
+type pendingGrowth struct {
+	numNodes int64           // fleet node count once this seq is confirmed
+	perShard map[int][]int64 // shard -> new member globals, assignment order
+}
 
 // newFleetIngest builds the fleet ingest state: an authoritative
 // ShardMap cross-checked against the manifest, the sequencer log, and
@@ -144,16 +164,18 @@ func newFleetIngest(s *Server, g *graph.Graph, path string) (*fleetIngest, error
 		return nil, err
 	}
 	f := &fleetIngest{
-		s:           s,
-		sm:          sm,
-		log:         log,
-		ackTimeout:  s.cfg.IngestAckTimeout,
-		lastTouched: make([]uint64, s.m.NumShards),
-		history:     make([][]*fanItem, s.m.NumShards),
-		pending:     make(map[uint64]*ackState),
-		complete:    make(map[uint64]bool),
-		acked:       make(map[string]uint64),
-		stopCh:      make(chan struct{}),
+		s:            s,
+		sm:           sm,
+		log:          log,
+		ackTimeout:   s.cfg.IngestAckTimeout,
+		lastTouched:  make([]uint64, s.m.NumShards),
+		history:      make([][]*fanItem, s.m.NumShards),
+		pending:      make(map[uint64]*ackState),
+		complete:     make(map[uint64]bool),
+		acked:        make(map[string]uint64),
+		growth:       make(map[uint64]*pendingGrowth),
+		shardSenders: make([][]*replicaSender, s.m.NumShards),
+		stopCh:       make(chan struct{}),
 	}
 
 	for _, rec := range log.Records() {
@@ -179,6 +201,7 @@ func newFleetIngest(s *Server, g *graph.Graph, path string) (*fleetIngest, error
 				rs.queue = append(rs.queue, chain[len(chain)-1])
 			}
 			f.senders = append(f.senders, rs)
+			f.shardSenders[sh.idx] = append(f.shardSenders[sh.idx], rs)
 		}
 	}
 	for _, rs := range f.senders {
@@ -207,50 +230,96 @@ func (f *fleetIngest) stop() {
 	_ = f.log.Close()
 }
 
-// sequencedApply applies one already-sequenced batch to the membership
-// map and installs its bookkeeping (chain links, history, pending acks,
-// client idempotency, router ID tables). Caller holds f.mu or is inside
-// newFleetIngest before the state is shared. The emitted sub-batches
-// are deterministic in the ShardMap state, so a boot-time replay
-// regenerates byte-identical bodies to the run that crashed.
-func (f *fleetIngest) sequencedApply(seq uint64, clientID string, muts []graph.Mutation) ([]*fanItem, error) {
-	deltas, err := f.sm.Apply(muts)
+// stageBatch resolves one batch against the membership map and builds
+// the per-shard sub-batch bodies for sequence seq WITHOUT committing
+// any fleet bookkeeping: chain links, history, acks, and routing-table
+// growth are installed by commitBatch once the sequence is durable. The
+// returned undo rolls the membership map back to its pre-batch state —
+// the refusal path for a batch whose sub-batches overflow the follower
+// limits. Caller holds f.mu or is inside newFleetIngest before the
+// state is shared. The emitted sub-batches are deterministic in the
+// ShardMap state, so a boot-time replay regenerates byte-identical
+// bodies to the run that crashed.
+func (f *fleetIngest) stageBatch(seq uint64, clientID string, muts []graph.Mutation) (items []*fanItem, deltas []graph.ShardDelta, undo func(), err error) {
+	deltas, undo, err = f.sm.ApplyStaged(muts)
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
 	batchID := ingest.FleetBatchID(seq, clientID)
-	items := make([]*fanItem, 0, len(deltas))
-	remaining := 0
+	items = make([]*fanItem, 0, len(deltas))
 	for _, d := range deltas {
 		wire := make([]serve.IngestMutation, len(d.Muts))
 		for i, m := range d.Muts {
 			wire[i] = serve.IngestMutation{Op: m.Op.String(), U: int64(m.U), V: int64(m.V), Label: m.Label, Name: m.Name}
 		}
-		body, err := json.Marshal(serve.IngestRequest{
+		body, merr := json.Marshal(serve.IngestRequest{
 			BatchID:      batchID,
 			FleetSeq:     seq,
 			PrevFleetSeq: f.lastTouched[d.Shard],
 			Mutations:    wire,
 		})
-		if err != nil {
-			return nil, err
+		if merr != nil {
+			undo()
+			return nil, nil, nil, merr
 		}
-		item := &fanItem{seq: seq, prev: f.lastTouched[d.Shard], shard: d.Shard, body: body}
-		f.lastTouched[d.Shard] = seq
-		f.history[d.Shard] = append(f.history[d.Shard], item)
-		items = append(items, item)
-		remaining += len(f.s.shards[d.Shard].replicas)
+		items = append(items, &fanItem{seq: seq, prev: f.lastTouched[d.Shard], shard: d.Shard, body: body})
+	}
+	return items, deltas, undo, nil
+}
 
-		if len(d.NewNodes) > 0 {
-			globals := make([]int64, len(d.NewNodes))
-			for i, g := range d.NewNodes {
-				globals[i] = int64(g)
-			}
-			f.s.shards[d.Shard].growIDs(globals)
+// checkSubBatchLimits refuses a staged batch whose sub-batches the
+// followers would reject: mutation count over the engine cap or body
+// over the follower request bound. The check runs BEFORE the batch
+// takes a durable sequence — a follower 400 on a sequenced sub-batch
+// latches fleet ingest failed and, because boot replay regenerates the
+// identical sub-batch from the sequencer log, would re-latch it on
+// every restart. Refusing up front keeps oversized batches a plain
+// client error.
+func (f *fleetIngest) checkSubBatchLimits(items []*fanItem, deltas []graph.ShardDelta) *fleetError {
+	maxMuts, maxBytes := f.s.cfg.MaxSubBatchMutations, f.s.cfg.MaxSubBatchBytes
+	for i, item := range items {
+		if n := len(deltas[i].Muts); n > maxMuts {
+			return &fleetError{status: http.StatusBadRequest, code: "batch_too_large",
+				msg: fmt.Sprintf("shard %d sub-batch would carry %d mutations (halo repair included), over the follower cap %d; split the batch — or, if one mutation's halo expansion alone overflows, raise the fleet limits on both tiers", item.shard, n, maxMuts)}
+		}
+		if len(item.body) > maxBytes {
+			return &fleetError{status: http.StatusBadRequest, code: "batch_too_large",
+				msg: fmt.Sprintf("shard %d sub-batch body would be %d bytes (halo repair included), over the follower cap %d; split the batch — or, if one mutation's halo expansion alone overflows, raise the fleet limits on both tiers", item.shard, len(item.body), maxBytes)}
 		}
 	}
-	f.s.numNodes.Store(int64(f.sm.NumNodes()))
+	return nil
+}
 
+// commitBatch installs a staged batch's fleet bookkeeping: chain links,
+// history, the pending ack state, the client idempotency index, and the
+// deferred routing-table growth. Caller holds f.mu (or is inside
+// newFleetIngest) and has made seq durable in the sequencer log.
+func (f *fleetIngest) commitBatch(seq uint64, clientID string, items []*fanItem, deltas []graph.ShardDelta) {
+	remaining := 0
+	var grow *pendingGrowth
+	for i, item := range items {
+		f.lastTouched[item.shard] = seq
+		f.history[item.shard] = append(f.history[item.shard], item)
+		f.historyBytes += int64(len(item.body))
+		remaining += len(f.s.shards[item.shard].replicas)
+
+		if d := deltas[i]; len(d.NewNodes) > 0 {
+			globals := make([]int64, len(d.NewNodes))
+			for j, g := range d.NewNodes {
+				globals[j] = int64(g)
+			}
+			if grow == nil {
+				grow = &pendingGrowth{perShard: make(map[int][]int64)}
+			}
+			grow.perShard[d.Shard] = globals
+		}
+	}
+	if grow != nil {
+		grow.numNodes = int64(f.sm.NumNodes())
+		f.growth[seq] = grow
+	}
+
+	f.acked[clientID] = seq
 	st := &ackState{remaining: remaining, done: make(chan struct{})}
 	f.pending[seq] = st
 	if remaining == 0 {
@@ -258,18 +327,26 @@ func (f *fleetIngest) sequencedApply(seq uint64, clientID string, muts []graph.M
 		// every mutation has an owner) completes immediately.
 		f.completeLocked(seq, st)
 	}
-	f.acked[clientID] = seq
-	f.ackedOrder = append(f.ackedOrder, clientID)
-	for len(f.acked) > maxAckedIndex && len(f.ackedOrder) > 0 {
-		delete(f.acked, f.ackedOrder[0])
-		f.ackedOrder[0] = ""
-		f.ackedOrder = f.ackedOrder[1:]
+}
+
+// sequencedApply is the boot-replay path: stage plus commit for a
+// record already durable in the sequencer log. Limits are deliberately
+// NOT re-checked — the record passed them before it was appended, and
+// regeneration is deterministic; refusing here would brick boot if an
+// operator lowered the limits across a restart.
+func (f *fleetIngest) sequencedApply(seq uint64, clientID string, muts []graph.Mutation) ([]*fanItem, error) {
+	items, deltas, _, err := f.stageBatch(seq, clientID, muts)
+	if err != nil {
+		return nil, err
 	}
+	f.commitBatch(seq, clientID, items, deltas)
 	return items, nil
 }
 
 // completeLocked marks seq fully confirmed and advances the fleet
-// watermark over any now-contiguous prefix. Caller holds f.mu.
+// watermark over any now-contiguous prefix, applying each passed
+// batch's deferred routing-table growth in sequence order. Caller
+// holds f.mu.
 func (f *fleetIngest) completeLocked(seq uint64, st *ackState) {
 	delete(f.pending, seq)
 	f.complete[seq] = true
@@ -277,8 +354,29 @@ func (f *fleetIngest) completeLocked(seq uint64, st *ackState) {
 	for f.complete[f.watermark+1] {
 		delete(f.complete, f.watermark+1)
 		f.watermark++
+		f.applyGrowthLocked(f.watermark)
 	}
 	f.s.stats.fleetWatermark.Store(f.watermark)
+}
+
+// applyGrowthLocked installs the routing-table growth of a batch the
+// fleet watermark just passed: new member globals on each grown
+// shard's ID tables and the advanced fleet node count that /v1/features
+// validates roots against. Growth is deferred to this point — not
+// applied at sequencing — so the router never admits a root and routes
+// it to a replica that has not yet applied the batch that created it.
+// Watermark advance is contiguous, so growth applies in exact sequence
+// order and the node-count monotonically rises. Caller holds f.mu.
+func (f *fleetIngest) applyGrowthLocked(seq uint64) {
+	grow, ok := f.growth[seq]
+	if !ok {
+		return
+	}
+	delete(f.growth, seq)
+	for sh, globals := range grow.perShard {
+		f.s.shards[sh].growIDs(globals)
+	}
+	f.s.numNodes.Store(grow.numNodes)
 }
 
 // latchFailed poisons fleet ingest; only a router restart (which
@@ -335,16 +433,46 @@ func (f *fleetIngest) submit(ctx context.Context, clientID string, muts []graph.
 		f.mu.Unlock()
 		return 0, false, 0, 0, &fleetError{status: http.StatusBadRequest, code: "bad_mutation", msg: err.Error()}
 	}
-	seq, err = f.log.Append(payload)
+	// Stage against the next sequence BEFORE appending to the sequencer:
+	// the sub-batch limit check must be able to refuse the batch with a
+	// plain 400 and roll the membership map back, which is only possible
+	// while nothing is durable yet. f.mu serialises every Append, so the
+	// predicted sequence is exact (asserted below).
+	seq = f.log.LastSeq() + 1
+	items, deltas, undo, err := f.stageBatch(seq, clientID, muts)
+	if err != nil {
+		// Validate passed, so this is a bug or resource exhaustion.
+		// Nothing is durable and the membership map was rolled back, so
+		// refuse this batch without latching the fleet.
+		f.mu.Unlock()
+		return 0, false, 0, 0, &fleetError{status: http.StatusInternalServerError, code: "fleet_failed",
+			msg: "batch failed to resolve against the membership map; not sequenced, safe to retry: " + err.Error()}
+	}
+	if ferr := f.checkSubBatchLimits(items, deltas); ferr != nil {
+		undo()
+		f.mu.Unlock()
+		return 0, false, 0, 0, ferr
+	}
+	durableSeq, err := f.log.Append(payload)
 	if err != nil {
 		// The sequencer could not make the assignment durable; the WAL
 		// layer has rolled back or poisoned itself, so nothing was
 		// acked and nothing may proceed.
+		undo()
 		f.failed = true
 		f.failReason = "sequencer append: " + err.Error()
 		f.mu.Unlock()
 		return 0, false, 0, 0, &fleetError{status: http.StatusInternalServerError, code: "fleet_failed",
 			msg: "sequencer write failed; batch not acked, retry against a restarted router: " + err.Error()}
+	}
+	if durableSeq != seq {
+		// Cannot happen while f.mu guards every Append; if it does, the
+		// staged bodies carry the wrong sequence and must not fan out.
+		f.failed = true
+		f.failReason = fmt.Sprintf("sequencer skew: staged seq %d, durable seq %d", seq, durableSeq)
+		f.mu.Unlock()
+		return 0, false, 0, 0, &fleetError{status: http.StatusInternalServerError, code: "fleet_failed",
+			msg: f.failReason}
 	}
 	if hook := f.s.cfg.SequenceHook; hook != nil {
 		// Fault-injection seam: the smoke suite kills the router here,
@@ -352,22 +480,11 @@ func (f *fleetIngest) submit(ctx context.Context, clientID string, muts []graph.
 		// been fanned out. Boot replay must repair it.
 		hook(seq)
 	}
-	items, err := f.sequencedApply(seq, clientID, muts)
-	if err != nil {
-		// Validate passed, so this is a bug or resource exhaustion; the
-		// durable record and the membership map have diverged.
-		f.failed = true
-		f.failReason = fmt.Sprintf("apply of sequenced batch %d: %v", seq, err)
-		f.mu.Unlock()
-		return 0, false, 0, 0, &fleetError{status: http.StatusInternalServerError, code: "fleet_failed",
-			msg: "sequenced batch failed to apply; router restart will replay it: " + err.Error()}
-	}
+	f.commitBatch(seq, clientID, items, deltas)
 	st := f.pending[seq] // may already be gone for a zero-shard batch
 	for _, item := range items {
-		for _, rs := range f.senders {
-			if rs.sh.idx == item.shard {
-				rs.enqueue(item)
-			}
+		for _, rs := range f.shardSenders[item.shard] {
+			rs.enqueue(item)
 		}
 	}
 	f.mu.Unlock()
@@ -414,6 +531,19 @@ func (f *fleetIngest) watermarkNow() uint64 {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.watermark
+}
+
+// memStats reports the fleet sequencer's retention footprint for
+// /debug/stats: sequencer log bytes on disk, retained (untrimmed)
+// history items and body bytes across all shard chains, and the size
+// of the client idempotency index.
+func (f *fleetIngest) memStats() (seqlogBytes int64, historyItems int, historyBytes int64, ackedIndex int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, chain := range f.history {
+		historyItems += len(chain)
+	}
+	return f.log.Size(), historyItems, f.historyBytes, len(f.acked)
 }
 
 // replicaSender delivers one replica's sub-batch stream strictly in
@@ -613,7 +743,34 @@ func (rs *replicaSender) confirmThrough(item *fanItem) {
 	if item.seq > rs.confirmedSeq {
 		rs.confirmedSeq = item.seq
 	}
+	f.trimHistoryLocked(item.shard)
 	f.mu.Unlock()
+}
+
+// trimHistoryLocked drops the prefix of shard sh's chain that every
+// replica of the shard has confirmed. A trimmed item can never be
+// replayed again: a gap answer carries the replica's durable watermark,
+// which is at least its confirmedSeq here, so every replay window
+// chainBetween can be asked for starts above the trim point. The slice
+// is copied so the dropped bodies are actually released. Caller holds
+// f.mu.
+func (f *fleetIngest) trimHistoryLocked(sh int) {
+	min := uint64(0)
+	for i, rs := range f.shardSenders[sh] {
+		if i == 0 || rs.confirmedSeq < min {
+			min = rs.confirmedSeq
+		}
+	}
+	chain := f.history[sh]
+	cut := 0
+	for cut < len(chain) && chain[cut].seq <= min {
+		f.historyBytes -= int64(len(chain[cut].body))
+		cut++
+	}
+	if cut == 0 {
+		return
+	}
+	f.history[sh] = append([]*fanItem(nil), chain[cut:]...)
 }
 
 // IngestResponse is the router's POST /v1/ingest ack: the fleet
@@ -675,7 +832,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	seq, replayed, shards, wm, ferr := s.fleet.submit(r.Context(), req.BatchID, muts)
 	if ferr != nil {
-		if ferr.code == "bad_mutation" {
+		if ferr.code == "bad_mutation" || ferr.code == "batch_too_large" {
 			s.stats.ingestRejected.Add(1)
 		}
 		extra := map[string]any{}

@@ -38,7 +38,9 @@ func buildIngestFleet(t *testing.T, g *graph.Graph, opts core.Options, nShards, 
 				t.Fatal(err)
 			}
 			seed := p.Graph
-			eng, err := ingest.Open(ingest.Config{Store: st, Opts: opts},
+			// Follower-mode engines take the raised fleet mutation cap,
+			// exactly as cmd/hsgfd wires -fleet-follower.
+			eng, err := ingest.Open(ingest.Config{Store: st, Opts: opts, MaxBatchMutations: ingest.FleetMaxBatchMutations},
 				func() (*graph.Graph, error) { return seed, nil })
 			if err != nil {
 				t.Fatalf("shard %d replica %d engine: %v", si, r, err)
@@ -170,6 +172,19 @@ func TestRouterIngestUnreachableShardAnswers503Watermark(t *testing.T) {
 	if body.Reason != "fleet_partial_apply" || body.Watermark != 0 {
 		t.Fatalf("body = %+v, want fleet_partial_apply at watermark 0", body)
 	}
+
+	// Routing-table growth is deferred until the fleet confirms the
+	// batch: the sequenced-but-unconfirmed add_node must NOT be admitted
+	// as a /v1/features root, or the router would route it to replicas
+	// that have not applied it.
+	var meta MetaResponse
+	routerDo(t, rt, http.MethodGet, "/v1/meta", "", &meta)
+	if meta.NumNodes != 60 {
+		t.Fatalf("meta num_nodes = %d after unconfirmed add_node, want 60", meta.NumNodes)
+	}
+	if w := routerDo(t, rt, http.MethodPost, "/v1/features", featuresBody([]int64{60}), nil); w.Code != http.StatusBadRequest {
+		t.Fatalf("features for unconfirmed root 60: status %d, want 400 (%s)", w.Code, w.Body.String())
+	}
 }
 
 // TestRouterFleetIngestEndToEnd is the in-process acceptance check: a
@@ -277,11 +292,85 @@ func TestRouterFleetIngestEndToEnd(t *testing.T) {
 		}
 	}
 
-	// The fleet watermark survives in /debug/stats.
+	// The fleet watermark survives in /debug/stats, and the retention
+	// gauges show the sub-batch history fully trimmed: every replica of
+	// every shard confirmed every chain item before its batch was acked,
+	// so nothing remains replayable.
 	var stats StatsResponse
 	routerDo(t, rt, http.MethodGet, "/debug/stats", "", &stats)
 	if stats.FleetWatermark != 4 || stats.IngestBatches != 4 || stats.IngestReplayed != 1 {
 		t.Fatalf("stats = %+v, want watermark 4, 4 batches, 1 replayed", stats)
+	}
+	if stats.FleetHistoryItems != 0 || stats.FleetHistoryBytes != 0 {
+		t.Fatalf("history not trimmed after full confirmation: %d items, %d bytes",
+			stats.FleetHistoryItems, stats.FleetHistoryBytes)
+	}
+	if stats.FleetSeqlogBytes <= 0 || stats.FleetAckedIndex != 4 {
+		t.Fatalf("retention gauges = seqlog %d bytes, acked index %d; want positive seqlog and 4 acked IDs",
+			stats.FleetSeqlogBytes, stats.FleetAckedIndex)
+	}
+}
+
+// TestRouterIngestSubBatchLimit: a client batch whose per-shard
+// sub-batches (halo repair included) would exceed the follower limits
+// is refused with 400 batch_too_large BEFORE taking a fleet sequence —
+// a follower rejecting a sequenced sub-batch would latch fleet ingest
+// failed on every boot. The refusal must roll the membership map back
+// so the next admissible batch resolves exactly as if the oversized one
+// never arrived.
+func TestRouterIngestSubBatchLimit(t *testing.T) {
+	g := fleetTestGraph(t, 60, 3)
+	opts := core.Options{MaxEdges: 2}
+	f := buildIngestFleet(t, g, opts, 2, opts.MaxEdges, 1)
+
+	// Two relabels of the same node always land in the same sub-batch
+	// (its owner shard carries both), so the mutation cap of 1 is
+	// guaranteed to trip; an add_node whose name alone dwarfs the byte
+	// cap trips that regardless of shard assignment. The admissible
+	// retry is a single short relabel: it never triggers halo repair, so
+	// every sub-batch carries exactly one small mutation.
+	for _, tc := range []struct {
+		name, body string
+		tune       func(cfg *Config)
+	}{
+		{"mutation cap",
+			ingestBody("big", `{"op":"relabel","u":0,"label":"b"}`, `{"op":"relabel","u":0,"label":"c"}`),
+			func(cfg *Config) { cfg.MaxSubBatchMutations = 1 }},
+		{"byte cap",
+			ingestBody("big", fmt.Sprintf(`{"op":"add_node","label":"a","name":%q}`, strings.Repeat("n", 1000))),
+			func(cfg *Config) { cfg.MaxSubBatchBytes = 256 }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := ingestConfig(t, f, g)
+			tc.tune(&cfg)
+			rt := newTestRouter(t, cfg)
+			defer rt.Close()
+
+			w := routerDo(t, rt, http.MethodPost, "/v1/ingest", tc.body, nil)
+			if w.Code != http.StatusBadRequest {
+				t.Fatalf("oversized batch: status %d, want 400 (%s)", w.Code, w.Body.String())
+			}
+			var e struct {
+				Reason string `json:"reason"`
+			}
+			if err := json.Unmarshal(w.Body.Bytes(), &e); err != nil || e.Reason != "batch_too_large" {
+				t.Fatalf("reason = %q (err %v), want batch_too_large", e.Reason, err)
+			}
+			var stats StatsResponse
+			routerDo(t, rt, http.MethodGet, "/debug/stats", "", &stats)
+			if stats.IngestBatches != 0 || stats.FleetWatermark != 0 || stats.IngestRejected != 1 {
+				t.Fatalf("refusal consumed fleet state: %+v", stats)
+			}
+			// A retry of the same client ID with an admissible batch is NOT
+			// treated as a duplicate (nothing was sequenced), takes seq 1,
+			// and applies cleanly against the rolled-back membership map.
+			var res IngestResponse
+			w = routerDo(t, rt, http.MethodPost, "/v1/ingest",
+				ingestBody("big", `{"op":"relabel","u":0,"label":"a"}`), &res)
+			if w.Code != http.StatusOK || res.Replayed || res.FleetSeq != 1 {
+				t.Fatalf("admissible retry: status %d %+v (%s)", w.Code, res, w.Body.String())
+			}
+		})
 	}
 }
 

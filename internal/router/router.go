@@ -15,6 +15,7 @@ import (
 
 	"hsgf/internal/core"
 	"hsgf/internal/graph"
+	"hsgf/internal/ingest"
 	"hsgf/internal/retry"
 	"hsgf/internal/serve"
 )
@@ -70,6 +71,17 @@ type Config struct {
 	// confirmation before getting 503 fleet_partial_apply (the batch
 	// still converges in the background). Default 10s.
 	IngestAckTimeout time.Duration
+	// MaxSubBatchMutations / MaxSubBatchBytes bound one shard's
+	// sub-batch of a sequenced fleet batch — mutation count (halo repair
+	// included) and marshalled body size. They must not exceed the
+	// follower fleet limits (ingest.FleetMaxBatchMutations /
+	// serve.FleetMaxRequestBody, the defaults): a client batch whose
+	// sub-batches would overflow them is refused with 400
+	// batch_too_large BEFORE it takes a fleet sequence, because a
+	// follower rejecting an already-sequenced sub-batch would latch
+	// fleet ingest failed — and re-latch it on every boot replay.
+	MaxSubBatchMutations int
+	MaxSubBatchBytes     int
 	// SequenceHook, when non-nil, runs after a batch's sequence is
 	// durable but before fan-out — the smoke suite's crash seam.
 	SequenceHook func(seq uint64)
@@ -122,6 +134,12 @@ func (c *Config) withDefaults() {
 	}
 	if c.IngestAckTimeout <= 0 {
 		c.IngestAckTimeout = 10 * time.Second
+	}
+	if c.MaxSubBatchMutations <= 0 {
+		c.MaxSubBatchMutations = ingest.FleetMaxBatchMutations
+	}
+	if c.MaxSubBatchBytes <= 0 {
+		c.MaxSubBatchBytes = serve.FleetMaxRequestBody
 	}
 	if c.ReloadTimeout <= 0 {
 		c.ReloadTimeout = 2 * time.Minute

@@ -54,6 +54,14 @@ type StatsResponse struct {
 	IngestGapReplays int64  `json:"ingest_gap_replays"`
 	FleetWatermark   uint64 `json:"fleet_watermark"`
 
+	// Sequencer retention gauges, present only on ingest-enabled
+	// routers: sequencer WAL bytes on disk, untrimmed sub-batch history
+	// (items and body bytes), and client idempotency index entries.
+	FleetSeqlogBytes  int64 `json:"fleet_seqlog_bytes,omitempty"`
+	FleetHistoryItems int   `json:"fleet_history_items,omitempty"`
+	FleetHistoryBytes int64 `json:"fleet_history_bytes,omitempty"`
+	FleetAckedIndex   int   `json:"fleet_acked_index,omitempty"`
+
 	Shards []ShardStats `json:"shards"`
 }
 
@@ -88,6 +96,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		IngestPartial:     s.stats.ingestPartial.Load(),
 		IngestGapReplays:  s.stats.ingestGapReplays.Load(),
 		FleetWatermark:    s.stats.fleetWatermark.Load(),
+	}
+	if s.fleet != nil {
+		resp.FleetSeqlogBytes, resp.FleetHistoryItems, resp.FleetHistoryBytes, resp.FleetAckedIndex = s.fleet.memStats()
 	}
 	for _, sh := range s.shards {
 		st := ShardStats{

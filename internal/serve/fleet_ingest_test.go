@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strings"
 	"testing"
 
 	"hsgf/internal/ingest"
@@ -55,6 +56,44 @@ func TestFleetIngestOrderingProtocol(t *testing.T) {
 		if w.Code != http.StatusOK || res.FleetWatermark != seq {
 			t.Fatalf("seq %d after repair: status %d watermark %d (%s)", seq, w.Code, res.FleetWatermark, w.Body.String())
 		}
+	}
+}
+
+// TestFleetFollowerAcceptsLargeSubBatch: a fleet follower takes
+// router-sequenced sub-batch bodies up to FleetMaxRequestBody — halo
+// repair can push a sub-batch well past the 1 MiB direct-client bound —
+// while a direct-mode daemon keeps rejecting the same payload size. The
+// raised bound is load-bearing: the router refuses oversized client
+// batches against THIS limit before sequencing, so a follower rejecting
+// a sequenced sub-batch for size (which would latch the router failed
+// on every boot replay) must be impossible.
+func TestFleetFollowerAcceptsLargeSubBatch(t *testing.T) {
+	// ~1.3 MiB of add_node mutations: over the direct bound, under the
+	// fleet one.
+	var muts []string
+	for i := 0; i < 320; i++ {
+		muts = append(muts, fmt.Sprintf(`{"op":"add_node","label":"loc","name":%q}`, strings.Repeat("n", 4096)))
+	}
+	payload := "[" + strings.Join(muts, ",") + "]"
+
+	follower, eng := newIngestServer(t, Config{})
+	follower.SetFleetFollower(true)
+	body := fmt.Sprintf(`{"batch_id":%q,"fleet_seq":1,"mutations":%s}`, ingest.FleetBatchID(1, "c"), payload)
+	if len(body) <= 1<<20 {
+		t.Fatalf("test body only %d bytes; must exceed the 1 MiB direct bound", len(body))
+	}
+	var res IngestResponse
+	if w := doJSON(t, follower, http.MethodPost, "/v1/ingest", body, &res); w.Code != http.StatusOK || res.FleetWatermark != 1 {
+		t.Fatalf("follower large sub-batch: status %d watermark %d (%.200s)", w.Code, res.FleetWatermark, w.Body.String())
+	}
+	if eng.FleetWatermark() != 1 {
+		t.Fatalf("engine watermark %d after large sub-batch, want 1", eng.FleetWatermark())
+	}
+
+	direct, _ := newIngestServer(t, Config{})
+	directBody := fmt.Sprintf(`{"batch_id":"big","mutations":%s}`, payload)
+	if w := doJSON(t, direct, http.MethodPost, "/v1/ingest", directBody, nil); w.Code != http.StatusBadRequest {
+		t.Fatalf("direct daemon accepted a %d-byte body: status %d, want 400", len(directBody), w.Code)
 	}
 }
 

@@ -61,6 +61,16 @@ func (s *Server) Ingesting() bool { return s.ingest != nil }
 // server starts handling requests.
 func (s *Server) SetFleetFollower(on bool) { s.fleetFollower = on }
 
+// FleetMaxRequestBody bounds the /v1/ingest body of a fleet-follower
+// daemon. Router-sequenced sub-batches carry halo repair — a pulled
+// node's full adjacency rides along — so they can legitimately outgrow
+// the 1 MiB direct-client bound. The router enforces this same cap on
+// every sub-batch BEFORE assigning a fleet sequence (see
+// router.Config.MaxSubBatchBytes), so a sequenced batch is never
+// rejected here for size; if it were, the rejection would latch the
+// router fleet-failed and re-latch it on every boot replay.
+const FleetMaxRequestBody = 8 << 20
+
 // IngestMutation is the wire form of one mutation in POST /v1/ingest.
 type IngestMutation struct {
 	// Op is one of add_node, add_edge, remove_edge, relabel.
@@ -182,8 +192,15 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Fleet followers accept the router's larger sub-batch bound; the
+	// router guarantees sequenced sub-batches fit it. Direct-client
+	// daemons keep the tight bound.
+	bodyLimit := int64(maxRequestBody)
+	if s.fleetFollower {
+		bodyLimit = FleetMaxRequestBody
+	}
 	var req IngestRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, bodyLimit))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
 		s.stats.badReq.Add(1)
