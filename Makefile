@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: all check fmt-check vet build test race fuzz-smoke serve-smoke reload-smoke router-smoke ingest-smoke fleet-ingest-smoke embed-bench-smoke bench bench-all bench-smoke clean
+.PHONY: all check fmt-check vet build test race fuzz-smoke serve-smoke reload-smoke router-smoke ingest-smoke fleet-ingest-smoke embed-bench-smoke bench bench-all bench-smoke bench-scale bench-scale-smoke clean
 
 all: check
 
@@ -35,6 +35,7 @@ fuzz-smoke:
 	$(GO) test -run=Fuzz -fuzz=FuzzStoreEnvelope -fuzztime=$(FUZZTIME) ./internal/store
 	$(GO) test -run=Fuzz -fuzz=FuzzWALRecord -fuzztime=$(FUZZTIME) ./internal/store
 	$(GO) test -run=Fuzz -fuzz=FuzzDecodeMutations -fuzztime=$(FUZZTIME) ./internal/graph
+	$(GO) test -run=Fuzz -fuzz=FuzzDecodeGraphBinary -fuzztime=$(FUZZTIME) ./internal/graph
 	$(GO) test -run=Fuzz -fuzz=FuzzWalkShardDeterminism -fuzztime=$(FUZZTIME) ./internal/embed
 
 # End-to-end daemon smoke: builds cmd/hsgfd under -race, boots it on a
@@ -105,6 +106,18 @@ bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=100x ./internal/core ./internal/serve
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./internal/embed
 	$(GO) test -run TestWarmServeAllocBudget -count=1 -v ./internal/serve
+
+# Tracked scale ladder: hierarchical graphs at 10^4/10^5/10^6 nodes,
+# measuring build time, binary-vs-TSV snapshot encode/decode, bytes per
+# edge, census throughput, serve p50/p99, and peak RSS per rung into
+# BENCH_scale.json. Diff it across PRs to track how the system scales.
+bench-scale:
+	$(GO) run ./cmd/scalebench -o BENCH_scale.json
+
+# CI rung: the 10^4 step only, written to a scratch path so the
+# committed full ladder is never overwritten by a smoke run.
+bench-scale-smoke:
+	$(GO) run ./cmd/scalebench -rungs 10000 -census-roots 128 -serve-seconds 0.5 -o BENCH_scale.smoke.json
 
 clean:
 	$(GO) clean ./...

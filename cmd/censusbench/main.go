@@ -26,6 +26,7 @@ import (
 	"hsgf/internal/datagen"
 	"hsgf/internal/graph"
 	"hsgf/internal/serve"
+	"hsgf/internal/sysres"
 )
 
 // result is one benchmark's row in the output file.
@@ -53,10 +54,17 @@ type report struct {
 	// GoMaxProcs is what parallel speedups in this file were actually
 	// allowed to use — num_cpu alone makes scaling rows unreadable when
 	// the scheduler is capped below the hardware.
-	GoMaxProcs int      `json:"gomaxprocs"`
-	Nodes      int      `json:"graph_nodes"`
-	Edges      int      `json:"graph_edges"`
-	Results    []result `json:"results"`
+	GoMaxProcs int `json:"gomaxprocs"`
+	Nodes      int `json:"graph_nodes"`
+	Edges      int `json:"graph_edges"`
+	// BytesPerEdge is the bench graph's binary snapshot payload size
+	// divided by its edge count — the storage density the scale ladder
+	// tracks, pinned here on the census workload too.
+	BytesPerEdge float64 `json:"bytes_per_edge"`
+	// MaxRSSBytes is the process's peak resident set at the end of the
+	// run: what the whole benchmark actually cost in memory.
+	MaxRSSBytes int64    `json:"max_rss_bytes"`
+	Results     []result `json:"results"`
 }
 
 // benchGraph mirrors the reduced publication network used by the
@@ -206,6 +214,9 @@ func main() {
 		Nodes:      g.NumNodes(),
 		Edges:      g.NumEdges(),
 	}
+	if payload, err := graph.EncodeBinary(g, 0); err == nil && g.NumEdges() > 0 {
+		rep.BytesPerEdge = float64(len(payload)) / float64(g.NumEdges())
+	}
 
 	// --- census_root: steady-state single-root census (serving row cost).
 	{
@@ -307,6 +318,7 @@ func main() {
 		}
 	}
 
+	rep.MaxRSSBytes = sysres.MaxRSSBytes()
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "censusbench:", err)

@@ -47,6 +47,7 @@ import (
 	"syscall"
 	"time"
 
+	"hsgf/internal/core"
 	"hsgf/internal/graph"
 	"hsgf/internal/retry"
 	"hsgf/internal/router"
@@ -143,12 +144,8 @@ func main() {
 	}
 	var g *graph.Graph
 	if *ingestGraph != "" {
-		f, err := os.Open(*ingestGraph)
-		if err != nil {
-			logger.Fatal(err)
-		}
-		g, err = graph.ReadTSV(f)
-		f.Close()
+		var err error
+		g, err = core.ReadGraphFile(*ingestGraph)
 		if err != nil {
 			logger.Fatalf("-ingest-graph: %v", err)
 		}

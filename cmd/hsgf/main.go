@@ -164,12 +164,7 @@ func syncFile(f *os.File) error {
 }
 
 func run(in, out string, workers int, asJSON bool, cfg extractConfig) error {
-	f, err := os.Open(in)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	g, err := hsgf.ReadTSV(f)
+	g, err := hsgf.ReadGraphFile(in)
 	if err != nil {
 		return err
 	}
@@ -229,7 +224,7 @@ func run(in, out string, workers int, asJSON bool, cfg extractConfig) error {
 		if err != nil {
 			return err
 		}
-		gGen, err := hsgf.SaveGraphSnapshot(st, g)
+		gGen, err := hsgf.SaveGraphSnapshots(st, g)
 		if err != nil {
 			return err
 		}
@@ -413,12 +408,7 @@ func runTyped(in, out string, emax int, mask bool, label string, workers int) er
 // subgraph, so boundary nodes one step past the ball must keep their
 // full-graph degree).
 func runPartition(in, outDir string, nShards, halo, emax int, dmaxPct float64) error {
-	f, err := os.Open(in)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	g, err := hsgf.ReadTSV(f)
+	g, err := hsgf.ReadGraphFile(in)
 	if err != nil {
 		return err
 	}
@@ -441,7 +431,7 @@ func runPartition(in, outDir string, nShards, halo, emax int, dmaxPct float64) e
 		if err != nil {
 			return err
 		}
-		gen, err := hsgf.SaveGraphSnapshot(st, p.Graph)
+		gen, err := hsgf.SaveGraphSnapshots(st, p.Graph)
 		if err != nil {
 			return fmt.Errorf("shard %d: %w", p.Shard, err)
 		}

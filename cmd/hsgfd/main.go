@@ -139,10 +139,12 @@ func main() {
 	logger := log.New(os.Stderr, "hsgfd: ", log.LstdFlags)
 
 	// buildSnapshot loads the serving graph — from the artifact store
-	// when one is configured (newest verified generation, importing the
-	// TSV as generation 1 into an empty store), from the TSV file
-	// otherwise — and wraps it as an immutable serving snapshot. It runs
-	// at boot and again on every hot reload, off the request path.
+	// when one is configured (newest verified generation across the
+	// binary and TSV kinds, preferring the memory-mapped binary load;
+	// an empty store imports -in as generation 1 of both kinds), from
+	// the -in graph file otherwise — and wraps it as an immutable
+	// serving snapshot. It runs at boot and again on every hot reload,
+	// off the request path.
 	var st *hsgf.Store
 	if *storeDir != "" {
 		var err error
@@ -162,18 +164,18 @@ func main() {
 		)
 		if st != nil {
 			var err error
-			g, gen, err = hsgf.LoadGraphSnapshot(st)
+			g, gen, err = hsgf.LoadGraphSnapshotAuto(st)
 			switch {
 			case err == nil:
 				source = "store:" + *storeDir
 			case errors.Is(err, hsgf.ErrStoreNotFound) && *in != "":
 				// Empty store + TSV input: import the graph as the
 				// first generation, then serve it.
-				g, err = readTSVGraph(*in)
+				g, err = hsgf.ReadGraphFile(*in)
 				if err != nil {
 					return nil, err
 				}
-				gen, err = hsgf.SaveGraphSnapshot(st, g)
+				gen, err = hsgf.SaveGraphSnapshots(st, g)
 				if err != nil {
 					return nil, err
 				}
@@ -184,7 +186,7 @@ func main() {
 			}
 		} else {
 			var err error
-			g, err = readTSVGraph(*in)
+			g, err = hsgf.ReadGraphFile(*in)
 			if err != nil {
 				return nil, err
 			}
@@ -254,7 +256,7 @@ func main() {
 			MaxBatchMutations: maxBatch,
 			Log:               logger.Printf,
 		}, func() (*graph.Graph, error) {
-			if g, _, err := hsgf.LoadGraphSnapshot(st); err == nil {
+			if g, _, err := hsgf.LoadGraphSnapshotAuto(st); err == nil {
 				return g, nil
 			} else if !errors.Is(err, hsgf.ErrStoreNotFound) {
 				return nil, err
@@ -262,7 +264,7 @@ func main() {
 			if *in == "" {
 				return nil, fmt.Errorf("ingest: store %s has no graph and no -in was given", *storeDir)
 			}
-			return readTSVGraph(*in)
+			return hsgf.ReadGraphFile(*in)
 		})
 		if err != nil {
 			logger.Fatal(err)
@@ -345,17 +347,4 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hsgfd:", err)
 		os.Exit(1)
 	}
-}
-
-// readTSVGraph loads one graph from a TSV exchange file.
-func readTSVGraph(path string) (*hsgf.Graph, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	g, err := hsgf.ReadTSV(f)
-	if closeErr := f.Close(); err == nil {
-		err = closeErr
-	}
-	return g, err
 }

@@ -1,0 +1,323 @@
+// Command scalebench runs the tracked bench-scale ladder: at each rung
+// (10^4, 10^5, 10^6 nodes by default) it generates a hierarchical
+// community network, builds the CSR graph, round-trips it through both
+// snapshot formats, and measures what production cares about at that
+// scale — build time, snapshot encode/decode time for binary vs TSV,
+// bytes per edge, census throughput, serve-path p50/p99, and peak RSS.
+// Results go to BENCH_scale.json (`make bench-scale`), one JSON object
+// per rung, so successive PRs can diff the scaling trajectory the same
+// way BENCH_census.json tracks the hot path.
+//
+// The committed ladder is a contract: scalebench refuses to overwrite
+// an existing report with one covering fewer rungs (a smoke run must
+// not silently shrink the tracked file); -force overrides, and the
+// smoke target writes to a scratch path instead.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"hsgf/internal/core"
+	"hsgf/internal/datagen"
+	"hsgf/internal/graph"
+	"hsgf/internal/serve"
+	"hsgf/internal/store"
+	"hsgf/internal/sysres"
+)
+
+// rung is one ladder step's measurements.
+type rung struct {
+	Nodes  int `json:"nodes"`
+	Edges  int `json:"edges"`
+	Labels int `json:"labels"`
+
+	GenerateSeconds float64 `json:"generate_seconds"`
+	BuildSeconds    float64 `json:"build_seconds"`
+
+	TSVEncodeSeconds float64 `json:"tsv_encode_seconds"`
+	TSVDecodeSeconds float64 `json:"tsv_decode_seconds"`
+	TSVBytes         int     `json:"tsv_bytes"`
+	TSVBytesPerEdge  float64 `json:"tsv_bytes_per_edge"`
+
+	BinEncodeSeconds float64 `json:"bin_encode_seconds"`
+	BinDecodeSeconds float64 `json:"bin_decode_seconds"`
+	BinBytes         int     `json:"bin_bytes"`
+	BinBytesPerEdge  float64 `json:"bin_bytes_per_edge"`
+
+	// BinLoadSpeedup is TSV decode time over binary decode time — the
+	// ladder's headline ratio (the binary boot path must widen this
+	// gap as rungs grow, >= 10x at the top rung).
+	BinLoadSpeedup float64 `json:"bin_load_speedup"`
+
+	// StoreLoadSeconds is the full production boot path: newest
+	// generation through the store's mapped loader, SHA-256
+	// verification included. Mmapped reports whether the zero-copy
+	// path engaged.
+	StoreLoadSeconds float64 `json:"store_load_seconds"`
+	Mmapped          bool    `json:"mmapped"`
+
+	CensusRoots           int     `json:"census_roots"`
+	CensusRootsPerSec     float64 `json:"census_roots_per_sec"`
+	CensusSubgraphsPerSec float64 `json:"census_subgraphs_per_sec"`
+
+	ServeRequests int     `json:"serve_requests"`
+	ServeP50Ns    float64 `json:"serve_p50_ns"`
+	ServeP99Ns    float64 `json:"serve_p99_ns"`
+
+	MaxRSSBytes int64 `json:"max_rss_bytes"`
+}
+
+type report struct {
+	Generated  string `json:"generated"`
+	GoVersion  string `json:"go_version"`
+	NumCPU     int    `json:"num_cpu"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	EMax       int    `json:"emax"`
+	DMax       int    `json:"dmax"`
+	Rungs      []rung `json:"rungs"`
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "scalebench: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	var (
+		out        = flag.String("o", "BENCH_scale.json", "output path ('-' for stdout)")
+		rungsFlag  = flag.String("rungs", "10000,100000,1000000", "comma-separated node counts")
+		emax       = flag.Int("emax", 3, "census max edges")
+		dmax       = flag.Int("dmax", 64, "census degree cutoff (0 = none)")
+		censusRoot = flag.Int("census-roots", 512, "roots per census throughput measurement")
+		serveSec   = flag.Float64("serve-seconds", 2, "wall-clock budget per serve measurement")
+		force      = flag.Bool("force", false, "overwrite the output even if it covers more rungs")
+	)
+	flag.Parse()
+
+	var sizes []int
+	for _, s := range strings.Split(*rungsFlag, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 100 {
+			fatalf("bad rung %q (need integers >= 100)", s)
+		}
+		sizes = append(sizes, n)
+	}
+
+	// Refuse to shrink the committed ladder: a partial run overwriting
+	// the tracked file would erase the very trajectory it exists to
+	// record.
+	if *out != "-" && !*force {
+		if prev, err := os.ReadFile(*out); err == nil {
+			var old report
+			if json.Unmarshal(prev, &old) == nil && len(old.Rungs) > len(sizes) {
+				fatalf("%s covers %d rungs, this run only %d; use -force to overwrite or -o for a scratch path",
+					*out, len(old.Rungs), len(sizes))
+			}
+		}
+	}
+
+	rep := report{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		EMax:       *emax,
+		DMax:       *dmax,
+	}
+	for _, n := range sizes {
+		r := runRung(n, *emax, *dmax, *censusRoot, *serveSec)
+		rep.Rungs = append(rep.Rungs, r)
+		fmt.Fprintf(os.Stderr,
+			"scalebench: %8d nodes %9d edges  build %6.2fs  bin %5.1fB/edge dec %7.3fs  tsv dec %7.3fs (%5.1fx)  census %7.0f roots/s  serve p99 %6.0fµs  rss %dMB\n",
+			r.Nodes, r.Edges, r.BuildSeconds, r.BinBytesPerEdge, r.BinDecodeSeconds,
+			r.TSVDecodeSeconds, r.BinLoadSpeedup, r.CensusRootsPerSec, r.ServeP99Ns/1e3,
+			r.MaxRSSBytes>>20)
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatalf("%v", err)
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "scalebench: wrote %s\n", *out)
+}
+
+func runRung(n, emax, dmax, censusRoots int, serveSec float64) rung {
+	var r rung
+	r.Nodes = n
+
+	// Generate (streaming emission into the builder) and Build are the
+	// two halves of graph construction; the ladder times them apart so
+	// a Build regression cannot hide inside generator noise.
+	cfg := datagen.DefaultHierarchicalConfig(n)
+	b := graph.NewBuilderWithAlphabet(graph.MustAlphabet(cfg.Labels...))
+	t0 := time.Now()
+	if _, err := datagen.PopulateHierarchical(cfg, b); err != nil {
+		fatalf("rung %d: %v", n, err)
+	}
+	r.GenerateSeconds = time.Since(t0).Seconds()
+
+	t0 = time.Now()
+	g, err := b.Build()
+	if err != nil {
+		fatalf("rung %d: %v", n, err)
+	}
+	r.BuildSeconds = time.Since(t0).Seconds()
+	r.Edges = g.NumEdges()
+	r.Labels = g.NumLabels()
+
+	// Snapshot formats, encode and decode. TSV decode includes the
+	// Build it forces — that is its real boot cost; binary decode is
+	// measured in aliasing mode, its real boot mode.
+	var tsv bytes.Buffer
+	t0 = time.Now()
+	if err := graph.WriteTSV(&tsv, g); err != nil {
+		fatalf("rung %d: %v", n, err)
+	}
+	r.TSVEncodeSeconds = time.Since(t0).Seconds()
+	r.TSVBytes = tsv.Len()
+	r.TSVBytesPerEdge = float64(tsv.Len()) / float64(g.NumEdges())
+
+	t0 = time.Now()
+	if _, err := graph.ReadTSV(bytes.NewReader(tsv.Bytes())); err != nil {
+		fatalf("rung %d: %v", n, err)
+	}
+	r.TSVDecodeSeconds = time.Since(t0).Seconds()
+
+	t0 = time.Now()
+	payload, err := graph.EncodeBinary(g, 0)
+	if err != nil {
+		fatalf("rung %d: %v", n, err)
+	}
+	r.BinEncodeSeconds = time.Since(t0).Seconds()
+	r.BinBytes = len(payload)
+	r.BinBytesPerEdge = float64(len(payload)) / float64(g.NumEdges())
+
+	t0 = time.Now()
+	_, aliased, err := graph.DecodeBinary(payload, true)
+	if err != nil {
+		fatalf("rung %d: %v", n, err)
+	}
+	r.BinDecodeSeconds = time.Since(t0).Seconds()
+	r.Mmapped = aliased
+	if r.BinDecodeSeconds > 0 {
+		r.BinLoadSpeedup = r.TSVDecodeSeconds / r.BinDecodeSeconds
+	}
+
+	// The production boot path: a store write, then the mapped load
+	// with full envelope verification.
+	dir, err := os.MkdirTemp("", "scalebench-*")
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer os.RemoveAll(dir)
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if _, err := core.SaveGraphBinarySnapshot(st, g); err != nil {
+		fatalf("rung %d: %v", n, err)
+	}
+	t0 = time.Now()
+	mg, _, err := core.LoadGraphSnapshotMapped(st)
+	if err != nil {
+		fatalf("rung %d: %v", n, err)
+	}
+	r.StoreLoadSeconds = time.Since(t0).Seconds()
+
+	// Census throughput and the serve path both run over the mapped
+	// graph — the ladder measures the deployment shape, not the
+	// freshly-built one.
+	opts := core.Options{MaxEdges: emax, MaskRootLabel: true, MaxDegree: dmax}
+	ex, err := core.NewExtractor(mg, opts)
+	if err != nil {
+		fatalf("rung %d: %v", n, err)
+	}
+	roots := sampleRoots(mg, censusRoots)
+	ex.CensusAll(roots[:min(8, len(roots))], 0) // warm worker pools
+	t0 = time.Now()
+	var subgraphs int64
+	for _, c := range ex.CensusAll(roots, 0) {
+		subgraphs += c.Subgraphs
+	}
+	censusT := time.Since(t0).Seconds()
+	r.CensusRoots = len(roots)
+	r.CensusRootsPerSec = float64(len(roots)) / censusT
+	r.CensusSubgraphsPerSec = float64(subgraphs) / censusT
+
+	p50, p99, reqs := benchServe(ex, roots, serveSec)
+	r.ServeRequests = reqs
+	r.ServeP50Ns = float64(p50.Nanoseconds())
+	r.ServeP99Ns = float64(p99.Nanoseconds())
+
+	r.MaxRSSBytes = sysres.MaxRSSBytes()
+	return r
+}
+
+func sampleRoots(g *graph.Graph, n int) []graph.NodeID {
+	if n > g.NumNodes() {
+		n = g.NumNodes()
+	}
+	roots := make([]graph.NodeID, n)
+	stride := g.NumNodes() / n
+	for i := range roots {
+		roots[i] = graph.NodeID(i * stride)
+	}
+	return roots
+}
+
+// benchServe drives the daemon's POST /v1/features handler with 8-root
+// batches (cache warm, the production steady state) for ~sec seconds
+// and reports per-request latency percentiles.
+func benchServe(ex *core.Extractor, roots []graph.NodeID, sec float64) (p50, p99 time.Duration, n int) {
+	srv := serve.NewServer(ex, serve.Config{})
+	handler := srv.Handler()
+	batch := make([]int64, 0, 8)
+	for i := 0; i < 8 && i < len(roots); i++ {
+		batch = append(batch, int64(roots[i]))
+	}
+	body, err := json.Marshal(serve.FeaturesRequest{Roots: batch})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	do := func() time.Duration {
+		req := httptest.NewRequest(http.MethodPost, "/v1/features", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		t0 := time.Now()
+		handler.ServeHTTP(rec, req)
+		d := time.Since(t0)
+		if rec.Code != http.StatusOK {
+			fatalf("serve request returned %d: %s", rec.Code, rec.Body)
+		}
+		return d
+	}
+	do() // warm extractor pool and row cache
+
+	budget := time.Duration(sec * float64(time.Second))
+	start := time.Now()
+	var lats []time.Duration
+	for i := 0; (i < 100 || time.Since(start) < budget) && i < 1<<20; i++ {
+		lats = append(lats, do())
+	}
+	sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+	pct := func(q float64) time.Duration { return lats[int(q*float64(len(lats)-1))] }
+	return pct(0.50), pct(0.99), len(lats)
+}

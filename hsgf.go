@@ -243,6 +243,22 @@ func SaveGraphSnapshot(st *Store, g *Graph) (uint64, error) { return core.SaveGr
 // verification, quarantining corrupt generations along the way.
 func LoadGraphSnapshot(st *Store) (*Graph, uint64, error) { return core.LoadGraphSnapshot(st) }
 
+// SaveGraphSnapshots writes g as both a TSV and a binary graph
+// generation, keeping the two kinds' rotation clocks in lockstep. The
+// binary side is the boot-path format; the TSV side keeps older tools
+// working against the same store.
+func SaveGraphSnapshots(st *Store, g *Graph) (uint64, error) { return core.SaveGraphSnapshots(st, g) }
+
+// LoadGraphSnapshotAuto serves the newest graph snapshot across both
+// the binary and TSV kinds, preferring the memory-mapped zero-copy
+// binary load whenever it is at least as new.
+func LoadGraphSnapshotAuto(st *Store) (*Graph, uint64, error) { return core.LoadGraphSnapshotAuto(st) }
+
+// ReadGraphFile reads a graph from a file in whichever format its bytes
+// declare: a store envelope holding a binary or TSV graph artifact, or
+// a bare TSV exchange file.
+func ReadGraphFile(path string) (*Graph, error) { return core.ReadGraphFile(path) }
+
 // SaveFeatureSetSnapshot writes fs into st as the next feature-set
 // generation.
 func SaveFeatureSetSnapshot(st *Store, fs *FeatureSet) (uint64, error) {

@@ -13,6 +13,7 @@ import (
 // renamed file can never be decoded as the wrong artifact.
 const (
 	ArtifactGraph      = "graph"
+	ArtifactGraphBin   = "graphbin"
 	ArtifactFeatureSet = "featureset"
 	ArtifactCheckpoint = "checkpoint"
 )

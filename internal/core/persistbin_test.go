@@ -1,0 +1,326 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"hsgf/internal/graph"
+	"hsgf/internal/store"
+)
+
+func openTestStore(t *testing.T) *store.Store {
+	t.Helper()
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestMappedGraphBehavesIdentically is the property test pinning the
+// whole binary path: a graph saved as a binary snapshot and loaded back
+// through the mapped path must be observationally identical to the
+// Builder-built original — same Edges iteration, same alphabet, and
+// byte-for-byte the same census rows under the production extractor.
+func TestMappedGraphBehavesIdentically(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 12; trial++ {
+		orig := randomLabelled(rng, 8+rng.Intn(24), 1+rng.Intn(3), 0.15+rng.Float64()*0.3)
+		st := openTestStore(t)
+		if _, err := SaveGraphBinarySnapshot(st, orig); err != nil {
+			t.Fatal(err)
+		}
+		loaded, gen, err := LoadGraphSnapshotMapped(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gen != 1 {
+			t.Fatalf("generation %d, want 1", gen)
+		}
+		if loaded.NumNodes() != orig.NumNodes() || loaded.NumEdges() != orig.NumEdges() {
+			t.Fatalf("shape changed: %v vs %v", loaded, orig)
+		}
+		if !reflect.DeepEqual(loaded.Alphabet().Names(), orig.Alphabet().Names()) {
+			t.Fatal("alphabet changed across the mapped round trip")
+		}
+		var origEdges, loadedEdges [][2]graph.NodeID
+		orig.Edges(func(u, v graph.NodeID) bool { origEdges = append(origEdges, [2]graph.NodeID{u, v}); return true })
+		loaded.Edges(func(u, v graph.NodeID) bool { loadedEdges = append(loadedEdges, [2]graph.NodeID{u, v}); return true })
+		if !reflect.DeepEqual(origEdges, loadedEdges) {
+			t.Fatal("Edges iteration changed across the mapped round trip")
+		}
+
+		opts := Options{MaxEdges: 2, KeyMode: KeyMode(rng.Intn(2)), MaskRootLabel: rng.Intn(2) == 0}
+		eo, err := NewExtractor(orig, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		el, err := NewExtractor(loaded, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		co := eo.CensusAll(allRoots(orig), 2)
+		cl := el.CensusAll(allRoots(loaded), 2)
+		for i := range co {
+			if co[i].Subgraphs != cl[i].Subgraphs || !reflect.DeepEqual(co[i].Counts, cl[i].Counts) {
+				t.Fatalf("trial %d: census of root %d diverged on the mapped graph", trial, i)
+			}
+		}
+	}
+}
+
+// TestMappedLoadQuarantinesAndFallsBack damages the newest binary
+// generation on disk; the mapped loader must quarantine it and serve
+// the older good one, mirroring the TSV loader's crash-safety story.
+func TestMappedLoadQuarantinesAndFallsBack(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	gOld := randomLabelled(rng, 12, 2, 0.3)
+	gNew := randomLabelled(rng, 20, 2, 0.3)
+
+	for name, damage := range map[string]func([]byte) []byte{
+		"truncated": func(b []byte) []byte { return b[:len(b)*2/3] },
+		"bit-flip":  func(b []byte) []byte { b[len(b)/3] ^= 0x10; return b },
+	} {
+		t.Run(name, func(t *testing.T) {
+			st := openTestStore(t)
+			if _, err := SaveGraphBinarySnapshot(st, gOld); err != nil {
+				t.Fatal(err)
+			}
+			gen2, err := SaveGraphBinarySnapshot(st, gNew)
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := st.Path(ArtifactGraphBin, gen2)
+			pristine, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, damage(append([]byte{}, pristine...)), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			g, gen, err := LoadGraphSnapshotMapped(st)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gen == gen2 {
+				t.Fatal("damaged generation served")
+			}
+			if g.NumNodes() != gOld.NumNodes() {
+				t.Fatalf("served %d nodes, want the older generation's %d", g.NumNodes(), gOld.NumNodes())
+			}
+			if _, err := os.Stat(path + ".corrupt"); err != nil {
+				t.Fatalf("damaged generation not quarantined: %v", err)
+			}
+		})
+	}
+}
+
+// TestSaveGraphSnapshotsDualWrite checks both kinds rotate together and
+// the auto loader prefers the binary side of a dual write.
+func TestSaveGraphSnapshotsDualWrite(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	g := randomLabelled(rng, 15, 2, 0.3)
+	st := openTestStore(t)
+	if _, err := SaveGraphSnapshots(st, g); err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []string{ArtifactGraph, ArtifactGraphBin} {
+		gens, err := st.Generations(kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(gens) != 1 {
+			t.Fatalf("kind %q has generations %v, want exactly one", kind, gens)
+		}
+	}
+	loaded, _, err := LoadGraphSnapshotAuto(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumNodes() != g.NumNodes() || loaded.NumEdges() != g.NumEdges() {
+		t.Fatal("auto load changed the graph")
+	}
+}
+
+// TestAutoLoadServesNewerTSV pins the compatibility contract: a writer
+// that only knows TSV (an older tool sharing the store) rotates the
+// "graph" kind past the last dual write, and the auto loader must serve
+// that newer TSV graph, not the stale binary one.
+func TestAutoLoadServesNewerTSV(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	gOld := randomLabelled(rng, 10, 2, 0.3)
+	gNew := randomLabelled(rng, 30, 2, 0.3)
+	st := openTestStore(t)
+	if _, err := SaveGraphSnapshots(st, gOld); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SaveGraphSnapshot(st, gNew); err != nil { // TSV-only writer
+		t.Fatal(err)
+	}
+	loaded, _, err := LoadGraphSnapshotAuto(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumNodes() != gNew.NumNodes() {
+		t.Fatalf("auto load served %d nodes, want the newer TSV graph's %d", loaded.NumNodes(), gNew.NumNodes())
+	}
+}
+
+// TestAutoLoadRecoversNewerTSVAfterBinQuarantine pins the cross-kind
+// corruption contract: when the newest binary generation is damaged, a
+// dual-written store still holds an intact TSV of the same rotation —
+// the auto loader must serve that, not fall back to an older binary
+// generation and silently lose the last write.
+func TestAutoLoadRecoversNewerTSVAfterBinQuarantine(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	gOld := randomLabelled(rng, 10, 2, 0.3)
+	gNew := randomLabelled(rng, 30, 2, 0.3)
+	st := openTestStore(t)
+	if _, err := SaveGraphSnapshots(st, gOld); err != nil {
+		t.Fatal(err)
+	}
+	binGen, err := SaveGraphSnapshots(st, gNew)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := st.Path(ArtifactGraphBin, binGen)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loaded, gen, err := LoadGraphSnapshotAuto(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != binGen {
+		t.Fatalf("auto load served generation %d, want the intact TSV at %d", gen, binGen)
+	}
+	if loaded.NumNodes() != gNew.NumNodes() {
+		t.Fatalf("auto load served %d nodes, want the newest graph's %d", loaded.NumNodes(), gNew.NumNodes())
+	}
+	if _, err := os.Stat(path + ".corrupt"); err != nil {
+		t.Fatalf("damaged binary generation not quarantined: %v", err)
+	}
+}
+
+// TestAutoLoadSingleKindFallbacks covers stores holding only one kind.
+func TestAutoLoadSingleKindFallbacks(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	g := randomLabelled(rng, 10, 2, 0.3)
+
+	tsvOnly := openTestStore(t)
+	if _, err := SaveGraphSnapshot(tsvOnly, g); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadGraphSnapshotAuto(tsvOnly); err != nil {
+		t.Fatalf("tsv-only store: %v", err)
+	}
+
+	binOnly := openTestStore(t)
+	if _, err := SaveGraphBinarySnapshot(binOnly, g); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadGraphSnapshotAuto(binOnly); err != nil {
+		t.Fatalf("binary-only store: %v", err)
+	}
+
+	if _, _, err := LoadGraphSnapshotAuto(openTestStore(t)); !errors.Is(err, store.ErrNotFound) {
+		t.Fatalf("empty store gave %v, want ErrNotFound", err)
+	}
+}
+
+// TestReadGraphFileSniffsFormats feeds every on-disk graph shape through
+// the one-call import path.
+func TestReadGraphFileSniffsFormats(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	g := randomLabelled(rng, 12, 2, 0.3)
+	st := openTestStore(t)
+	tsvGen, err := SaveGraphSnapshot(st, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binGen, err := SaveGraphBinarySnapshot(st, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare := st.Dir() + "/bare.tsv"
+	f, err := os.Create(bare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.WriteTSV(f, g); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	for name, path := range map[string]string{
+		"tsv-envelope":    st.Path(ArtifactGraph, tsvGen),
+		"binary-envelope": st.Path(ArtifactGraphBin, binGen),
+		"bare-tsv":        bare,
+	} {
+		loaded, err := ReadGraphFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if loaded.NumNodes() != g.NumNodes() || loaded.NumEdges() != g.NumEdges() {
+			t.Fatalf("%s: graph changed", name)
+		}
+	}
+	if _, err := ReadGraphFile(st.Dir() + "/absent"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+// TestMappedLoadIsZeroCopy asserts the acceptance criterion that the
+// mapped boot path allocates O(1) heap for CSR payloads: loading a graph
+// whose CSR arrays span megabytes must cost only envelope bookkeeping,
+// not bytes proportional to the payload.
+func TestMappedLoadIsZeroCopy(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is distorted under the race detector")
+	}
+	if runtime.GOOS != "linux" && runtime.GOOS != "darwin" {
+		t.Skip("zero-copy mapping is unix-only")
+	}
+	// ~200k incidences => ~3.2MB of CSR payload.
+	rng := rand.New(rand.NewSource(77))
+	b := graph.NewBuilderWithAlphabet(graph.MustAlphabet("a", "b", "c"))
+	const n = 20000
+	for i := 0; i < n; i++ {
+		b.AddLabeledNode(graph.Label(i % 3))
+	}
+	for i := 0; i < 5*n; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			b.AddEdge(graph.NodeID(u), graph.NodeID(v))
+		}
+	}
+	g := b.MustBuild()
+	st := openTestStore(t)
+	if _, err := SaveGraphBinarySnapshot(st, g); err != nil {
+		t.Fatal(err)
+	}
+	payloadBytes := 4 * (len(allRoots(g)) + 6*g.NumEdges()) // labels + 3×incidence arrays, roughly
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	loaded, _, err := LoadGraphSnapshotMapped(st)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heap := int(after.TotalAlloc - before.TotalAlloc)
+	if heap > payloadBytes/16 {
+		t.Fatalf("mapped load allocated %d heap bytes for a ~%d byte CSR payload; the zero-copy path is not engaging", heap, payloadBytes)
+	}
+	runtime.KeepAlive(loaded)
+}

@@ -1,0 +1,350 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hsgf/internal/graph"
+)
+
+// HierarchicalConfig parameterises the streaming hierarchical community
+// generator — the scale ladder's source of million-node heterogeneous
+// networks. Nodes are laid out in contiguous community and
+// sub-community ranges, each leaf gets a label theme, and every edge
+// stub chooses a locality scope (own sub-community, own community, or
+// anywhere) before choosing a partner, reproducing the
+// community-within-community structure of real information networks at
+// whatever node count the ladder asks for.
+type HierarchicalConfig struct {
+	// Nodes is the total node count; Communities × SubPerCommunity
+	// contiguous leaves partition it.
+	Nodes           int
+	Communities     int
+	SubPerCommunity int
+
+	// Labels names the node types; LabelWeights (optional, defaults to
+	// uniform) sets their global proportions; LabelAffinity[i][j] is
+	// the relative preference of a label-i node for label-j partners.
+	// Rows are normalised independently, so star schemas are expressed
+	// by zeroing every entry of a row except the hub label's.
+	Labels        []string
+	LabelWeights  []float64
+	LabelAffinity [][]float64
+
+	// ThemeBoost multiplies one leaf-chosen label's weight inside that
+	// leaf (<= 1 disables theming), giving communities distinct label
+	// mixes like real venues and genres have.
+	ThemeBoost float64
+
+	// MeanDegree is the target average degree. Per-node stub counts are
+	// exponentially spread around it, and a HubFraction of nodes get
+	// their stub count multiplied by HubBoost for a heavy tail.
+	MeanDegree  float64
+	HubFraction float64
+	HubBoost    float64
+
+	// PIn and PMid are the probabilities that a stub stays inside its
+	// node's sub-community and community respectively; the remainder
+	// roams the whole graph. PIn + PMid must be <= 1.
+	PIn, PMid float64
+
+	Seed int64
+}
+
+// DefaultHierarchicalConfig returns a citation-shaped configuration at
+// the given node count — the ladder rungs scale Nodes and leave the
+// shape parameters alone.
+func DefaultHierarchicalConfig(nodes int) HierarchicalConfig {
+	cfg := CitationHierarchicalProfile()
+	cfg.Nodes = nodes
+	// Community count grows with the square root of the node count, so
+	// community sizes and community counts scale together the way
+	// venue-sized clusters do in growing citation corpora.
+	c := 4
+	for c*c*64 < nodes {
+		c *= 2
+	}
+	cfg.Communities = c
+	return cfg
+}
+
+// CitationHierarchicalProfile is the citation-network shape: authors,
+// papers, venues, and terms, with paper as the connective label
+// (papers cite papers, everything else attaches to papers) and
+// paper-heavy communities.
+func CitationHierarchicalProfile() HierarchicalConfig {
+	return HierarchicalConfig{
+		Communities:     4,
+		SubPerCommunity: 4,
+		Labels:          []string{"author", "paper", "venue", "term"},
+		LabelWeights:    []float64{3, 4, 0.2, 1},
+		LabelAffinity: [][]float64{
+			//               author paper venue term
+			/* author */ {0.4, 4, 0, 0},
+			/* paper  */ {2, 3, 0.5, 1},
+			/* venue  */ {0, 4, 0, 0},
+			/* term   */ {0, 4, 0, 0.1},
+		},
+		ThemeBoost:  3,
+		MeanDegree:  10,
+		HubFraction: 0.01,
+		HubBoost:    20,
+		PIn:         0.6,
+		PMid:        0.25,
+		Seed:        1,
+	}
+}
+
+// MovieHierarchicalProfile is the IMDB star-schema shape: every
+// non-movie label connects exclusively to movies, communities are
+// genre-like, and people are reused across movies via the hub tail.
+func MovieHierarchicalProfile() HierarchicalConfig {
+	return HierarchicalConfig{
+		Communities:     4,
+		SubPerCommunity: 4,
+		Labels:          []string{"movie", "actor", "director", "keyword"},
+		LabelWeights:    []float64{2, 4, 0.4, 1},
+		LabelAffinity: [][]float64{
+			//                movie actor director keyword
+			/* movie    */ {0, 5, 1, 2},
+			/* actor    */ {1, 0, 0, 0},
+			/* director */ {1, 0, 0, 0},
+			/* keyword  */ {1, 0, 0, 0},
+		},
+		ThemeBoost:  3,
+		MeanDegree:  9,
+		HubFraction: 0.02,
+		HubBoost:    15,
+		PIn:         0.55,
+		PMid:        0.25,
+		Seed:        2,
+	}
+}
+
+// Hierarchical is a generated hierarchical community network.
+type Hierarchical struct {
+	Graph *graph.Graph
+	// Community holds each node's community index — ground truth for
+	// locality checks and community-aware benchmarks.
+	Community []int32
+	Config    HierarchicalConfig
+}
+
+func (cfg *HierarchicalConfig) validate() error {
+	k := len(cfg.Labels)
+	switch {
+	case cfg.Nodes < 1:
+		return fmt.Errorf("datagen: hierarchical config needs Nodes >= 1, got %d", cfg.Nodes)
+	case cfg.Communities < 1 || cfg.SubPerCommunity < 1:
+		return fmt.Errorf("datagen: hierarchical config needs positive community counts, got %d x %d",
+			cfg.Communities, cfg.SubPerCommunity)
+	case k < 1:
+		return fmt.Errorf("datagen: hierarchical config needs at least one label")
+	case cfg.LabelWeights != nil && len(cfg.LabelWeights) != k:
+		return fmt.Errorf("datagen: %d label weights for %d labels", len(cfg.LabelWeights), k)
+	case len(cfg.LabelAffinity) != k:
+		return fmt.Errorf("datagen: affinity matrix has %d rows for %d labels", len(cfg.LabelAffinity), k)
+	case cfg.MeanDegree <= 0:
+		return fmt.Errorf("datagen: hierarchical config needs MeanDegree > 0, got %v", cfg.MeanDegree)
+	case cfg.PIn < 0 || cfg.PMid < 0 || cfg.PIn+cfg.PMid > 1:
+		return fmt.Errorf("datagen: locality probabilities PIn=%v PMid=%v invalid", cfg.PIn, cfg.PMid)
+	}
+	for i, row := range cfg.LabelAffinity {
+		if len(row) != k {
+			return fmt.Errorf("datagen: affinity row %d has %d entries for %d labels", i, len(row), k)
+		}
+		total := 0.0
+		for j, w := range row {
+			if w < 0 {
+				return fmt.Errorf("datagen: negative affinity [%d][%d]", i, j)
+			}
+			total += w
+		}
+		if total == 0 {
+			return fmt.Errorf("datagen: affinity row %d (%s) is all zero", i, cfg.Labels[i])
+		}
+	}
+	return nil
+}
+
+// cdf turns weights into a cumulative distribution; sample draws from it.
+func cdf(weights []float64) []float64 {
+	out := make([]float64, len(weights))
+	total := 0.0
+	for i, w := range weights {
+		total += w
+		out[i] = total
+	}
+	for i := range out {
+		out[i] /= total
+	}
+	return out
+}
+
+func sample(rng *rand.Rand, c []float64) int {
+	x := rng.Float64()
+	for i, v := range c {
+		if x < v {
+			return i
+		}
+	}
+	return len(c) - 1
+}
+
+// PopulateHierarchical streams the configured network into b — nodes
+// first (leaf by contiguous leaf), then edges — and returns each node's
+// community index. It is separated from GenerateHierarchical so callers
+// timing Builder.Build can measure it apart from generation. Memory
+// beyond the Builder's own is O(Nodes) for the label array plus
+// O(leaves × labels) for the theme tables; nothing is proportional to
+// the edge count.
+func PopulateHierarchical(cfg HierarchicalConfig, b *graph.Builder) ([]int32, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	k := len(cfg.Labels)
+	n := cfg.Nodes
+	leaves := cfg.Communities * cfg.SubPerCommunity
+
+	// Contiguous leaf ranges: leafStart[L] .. leafStart[L+1]. The
+	// remainder of an uneven split lands one node at a time on the
+	// earliest leaves.
+	leafStart := make([]int, leaves+1)
+	base, rem := n/leaves, n%leaves
+	for L := 0; L < leaves; L++ {
+		size := base
+		if L < rem {
+			size++
+		}
+		leafStart[L+1] = leafStart[L] + size
+	}
+
+	baseWeights := cfg.LabelWeights
+	if baseWeights == nil {
+		baseWeights = make([]float64, k)
+		for i := range baseWeights {
+			baseWeights[i] = 1
+		}
+	}
+
+	// Per-leaf label CDFs: the base mix with one themed label boosted.
+	leafLabelCDF := make([][]float64, leaves)
+	for L := range leafLabelCDF {
+		w := append([]float64{}, baseWeights...)
+		if cfg.ThemeBoost > 1 {
+			w[rng.Intn(k)] *= cfg.ThemeBoost
+		}
+		leafLabelCDF[L] = cdf(w)
+	}
+	affinityCDF := make([][]float64, k)
+	for i, row := range cfg.LabelAffinity {
+		affinityCDF[i] = cdf(row)
+	}
+
+	// Emit nodes leaf by leaf, remembering labels and community ids for
+	// the edge pass.
+	labels := make([]graph.Label, n)
+	community := make([]int32, n)
+	for L := 0; L < leaves; L++ {
+		c := int32(L / cfg.SubPerCommunity)
+		for v := leafStart[L]; v < leafStart[L+1]; v++ {
+			l := graph.Label(sample(rng, leafLabelCDF[L]))
+			labels[v] = l
+			community[v] = c
+			if _, err := b.AddLabeledNode(l); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Edge pass. Each node draws an exponentially-spread stub count
+	// around MeanDegree/2 (each undirected edge is generated at one
+	// endpoint), hubs multiply theirs, and every stub picks scope, then
+	// partner label, then a partner of that label by rejection sampling
+	// inside the scope's contiguous range.
+	half := cfg.MeanDegree / 2
+	for u := 0; u < n; u++ {
+		L := leafIndex(leafStart, u)
+		subLo, subHi := leafStart[L], leafStart[L+1]
+		cLo := leafStart[(L/cfg.SubPerCommunity)*cfg.SubPerCommunity]
+		cHi := leafStart[(L/cfg.SubPerCommunity+1)*cfg.SubPerCommunity]
+
+		d := rng.ExpFloat64() * half
+		if cfg.HubFraction > 0 && rng.Float64() < cfg.HubFraction {
+			d *= cfg.HubBoost
+		}
+		stubs := int(d)
+		if rng.Float64() < d-float64(stubs) {
+			stubs++
+		}
+		row := affinityCDF[labels[u]]
+		for s := 0; s < stubs; s++ {
+			lo, hi := 0, n
+			switch x := rng.Float64(); {
+			case x < cfg.PIn:
+				lo, hi = subLo, subHi
+			case x < cfg.PIn+cfg.PMid:
+				lo, hi = cLo, cHi
+			}
+			if hi-lo < 2 {
+				lo, hi = 0, n
+			}
+			want := graph.Label(sample(rng, row))
+			v := -1
+			// Rejection sampling: scopes are label-mixed, so a match
+			// lands quickly; after a bounded number of tries take any
+			// non-self partner rather than looping on a label the
+			// scope lacks.
+			for try := 0; try < 32; try++ {
+				cand := lo + rng.Intn(hi-lo)
+				if cand != u && labels[cand] == want {
+					v = cand
+					break
+				}
+			}
+			if v < 0 {
+				for try := 0; try < 8 && v < 0; try++ {
+					if cand := lo + rng.Intn(hi-lo); cand != u {
+						v = cand
+					}
+				}
+				if v < 0 {
+					continue
+				}
+			}
+			if err := b.AddEdge(graph.NodeID(u), graph.NodeID(v)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return community, nil
+}
+
+// leafIndex locates v's leaf by binary search over the range table.
+func leafIndex(leafStart []int, v int) int {
+	lo, hi := 0, len(leafStart)-1
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		if leafStart[mid] <= v {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// GenerateHierarchical builds the configured network.
+func GenerateHierarchical(cfg HierarchicalConfig) (*Hierarchical, error) {
+	b := graph.NewBuilderWithAlphabet(graph.MustAlphabet(cfg.Labels...))
+	community, err := PopulateHierarchical(cfg, b)
+	if err != nil {
+		return nil, err
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &Hierarchical{Graph: g, Community: community, Config: cfg}, nil
+}

@@ -1,0 +1,161 @@
+package datagen
+
+import (
+	"testing"
+
+	"hsgf/internal/graph"
+)
+
+func TestHierarchicalDeterministic(t *testing.T) {
+	cfg := DefaultHierarchicalConfig(3000)
+	a, err := GenerateHierarchical(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateHierarchical(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Graph.NumNodes() != b.Graph.NumNodes() || a.Graph.NumEdges() != b.Graph.NumEdges() {
+		t.Fatalf("same seed produced %v and %v", a.Graph, b.Graph)
+	}
+	for v := graph.NodeID(0); int(v) < a.Graph.NumNodes(); v++ {
+		if a.Graph.Label(v) != b.Graph.Label(v) {
+			t.Fatalf("same seed labelled node %d differently", v)
+		}
+	}
+	cfg.Seed++
+	c, err := GenerateHierarchical(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Graph.NumEdges() == a.Graph.NumEdges() && c.Graph.NumNodes() == a.Graph.NumNodes() {
+		same := true
+		for v := graph.NodeID(0); int(v) < a.Graph.NumNodes() && same; v++ {
+			same = a.Graph.Label(v) == c.Graph.Label(v)
+		}
+		if same {
+			t.Fatal("different seeds produced an identical graph")
+		}
+	}
+}
+
+func TestHierarchicalShape(t *testing.T) {
+	cfg := DefaultHierarchicalConfig(5000)
+	h, err := GenerateHierarchical(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := h.Graph
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != cfg.Nodes {
+		t.Fatalf("generated %d nodes, want %d", g.NumNodes(), cfg.Nodes)
+	}
+	if len(h.Community) != cfg.Nodes {
+		t.Fatalf("community array covers %d of %d nodes", len(h.Community), cfg.Nodes)
+	}
+	for v, c := range h.Community {
+		if c < 0 || int(c) >= cfg.Communities {
+			t.Fatalf("node %d assigned community %d of %d", v, c, cfg.Communities)
+		}
+	}
+	// Degree should land near the configured mean (duplicate collapses
+	// and skipped stubs shave a little off).
+	mean := 2 * float64(g.NumEdges()) / float64(g.NumNodes())
+	if mean < cfg.MeanDegree*0.5 || mean > cfg.MeanDegree*1.3 {
+		t.Fatalf("mean degree %.2f far from configured %.2f", mean, cfg.MeanDegree)
+	}
+	// Every label must actually occur at this scale.
+	seen := make([]bool, g.NumLabels())
+	for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+		seen[g.Label(v)] = true
+	}
+	for l, ok := range seen {
+		if !ok {
+			t.Fatalf("label %s never generated", g.Alphabet().Name(graph.Label(l)))
+		}
+	}
+}
+
+// TestHierarchicalLocality checks the community structure is real: with
+// PIn+PMid well above the global remainder, intra-community edges must
+// dominate what a random partner choice would produce.
+func TestHierarchicalLocality(t *testing.T) {
+	cfg := DefaultHierarchicalConfig(8000)
+	h, err := GenerateHierarchical(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	intra, total := 0, 0
+	h.Graph.Edges(func(u, v graph.NodeID) bool {
+		total++
+		if h.Community[u] == h.Community[v] {
+			intra++
+		}
+		return true
+	})
+	frac := float64(intra) / float64(total)
+	// PIn+PMid = 0.85 of stubs stay within the community; random global
+	// stubs land inside occasionally too. Demand well over the ~1/C
+	// fraction a community-blind generator would give.
+	if frac < 0.6 {
+		t.Fatalf("only %.0f%% of edges intra-community; hierarchy not expressed", 100*frac)
+	}
+}
+
+// TestHierarchicalStarSchema pins the movie profile's structural
+// contract: non-movie nodes connect exclusively to movies.
+func TestHierarchicalStarSchema(t *testing.T) {
+	cfg := MovieHierarchicalProfile()
+	cfg.Nodes = 6000
+	h, err := GenerateHierarchical(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := h.Graph
+	movie, ok := g.Alphabet().Lookup("movie")
+	if !ok {
+		t.Fatal("movie label missing")
+	}
+	violations := 0
+	g.Edges(func(u, v graph.NodeID) bool {
+		if g.Label(u) != movie && g.Label(v) != movie {
+			violations++
+		}
+		return true
+	})
+	// Star rows are hard zeros, but the rejection-sampling escape hatch
+	// may rarely emit an off-schema edge in a movie-poor scope. Demand
+	// the schema holds essentially everywhere.
+	if limit := g.NumEdges() / 100; violations > limit {
+		t.Fatalf("%d of %d edges violate the star schema (limit %d)", violations, g.NumEdges(), limit)
+	}
+}
+
+func TestHierarchicalConfigValidation(t *testing.T) {
+	bad := []func(*HierarchicalConfig){
+		func(c *HierarchicalConfig) { c.Nodes = 0 },
+		func(c *HierarchicalConfig) { c.Communities = 0 },
+		func(c *HierarchicalConfig) { c.Labels = nil; c.LabelAffinity = nil },
+		func(c *HierarchicalConfig) { c.LabelAffinity = c.LabelAffinity[:2] },
+		func(c *HierarchicalConfig) { c.LabelAffinity[1] = []float64{0, 0, 0, 0} },
+		func(c *HierarchicalConfig) { c.MeanDegree = 0 },
+		func(c *HierarchicalConfig) { c.PIn = 0.8; c.PMid = 0.5 },
+		func(c *HierarchicalConfig) { c.LabelWeights = []float64{1} },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultHierarchicalConfig(100)
+		// Deep-copy the affinity matrix so mutations do not leak.
+		aff := make([][]float64, len(cfg.LabelAffinity))
+		for j := range aff {
+			aff[j] = append([]float64{}, cfg.LabelAffinity[j]...)
+		}
+		cfg.LabelAffinity = aff
+		mutate(&cfg)
+		if _, err := GenerateHierarchical(cfg); err == nil {
+			t.Fatalf("bad config %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,392 @@
+package graph
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"unsafe"
+)
+
+// Binary graph snapshots.
+//
+// EncodeBinary lays the Graph's CSR arrays out as little-endian sections
+// in one flat payload, each 8-byte aligned relative to the *file* (the
+// encoder is told the file offset its payload will start at), so a
+// loader that mmaps the enclosing snapshot can alias the arrays straight
+// out of the mapping without copying a byte. DecodeBinary does exactly
+// that when the payload is suitably aligned and aliasing is requested,
+// and falls back to heap copies otherwise — same Graph either way.
+//
+// Layout (all integers little-endian):
+//
+//	magic "HSGFGB01" (8 bytes)
+//	u64 numNodes | u64 numEdges | u64 numLabels | u64 flags
+//	section table: binSections × { u64 byteOffset, u64 elemCount }
+//	padding + section data
+//
+// Sections, in table order:
+//
+//	labels    []int32  numNodes        node labels
+//	offsets   []int32  numNodes+1      CSR offsets
+//	adj       []int32  2*numEdges      CSR adjacency, (label,id)-sorted
+//	adjEdge   []int32  2*numEdges      edge id per incidence
+//	ends      []int32  2*numEdges      edge endpoints, smaller first
+//	alphaOffs []int32  numLabels+1     byte offsets into alphaBlob
+//	alphaBlob []byte                   concatenated label names
+//	nameOffs  []int32  numNodes+1      byte offsets into nameBlob (flagNames)
+//	nameBlob  []byte                   concatenated node names   (flagNames)
+//
+// Byte offsets are relative to the payload start. TSV stays the exchange
+// format; this is the boot-path format for graphs too large to re-parse.
+
+const (
+	binMagic = "HSGFGB01"
+	// binSections is the fixed section-table length; absent sections
+	// (names on an anonymous graph) carry offset 0, count 0.
+	binSections  = 9
+	binHeaderLen = len(binMagic) + 4*8 + binSections*16
+
+	flagNames = 1 << 0
+)
+
+// section-table indices.
+const (
+	secLabels = iota
+	secOffsets
+	secAdj
+	secAdjEdge
+	secEnds
+	secAlphaOffs
+	secAlphaBlob
+	secNameOffs
+	secNameBlob
+)
+
+// align8 returns the smallest d >= 0 such that (off+d) % 8 == 0.
+func align8(off int) int {
+	return (8 - off%8) % 8
+}
+
+// EncodeBinary serialises g as a binary graph payload. fileBase is the
+// offset within the final file at which the payload's first byte will
+// land (see store.PayloadOffset); every array section is padded so its
+// file offset — and therefore its address in a page-aligned mapping —
+// is 8-byte aligned. Pass 0 for a standalone payload.
+func EncodeBinary(g *Graph, fileBase int) ([]byte, error) {
+	n, m, k := g.NumNodes(), g.NumEdges(), g.NumLabels()
+	if n > math.MaxInt32 || m > math.MaxInt32 {
+		return nil, fmt.Errorf("graph: %d nodes / %d edges exceed the int32 binary format bounds", n, m)
+	}
+	var flags uint64
+	if g.names != nil {
+		flags |= flagNames
+	}
+
+	var alphaNames []string
+	if g.alphabet != nil {
+		alphaNames = g.alphabet.names
+	}
+	alphaOffs, alphaBlob := packStrings(alphaNames)
+	var nameOffs []int32
+	var nameBlob []byte
+	if flags&flagNames != 0 {
+		nameOffs, nameBlob = packStrings(g.names)
+	}
+
+	type sec struct {
+		bytes int // payload size
+		align bool
+	}
+	secs := [binSections]sec{
+		secLabels:    {4 * n, true},
+		secOffsets:   {4 * (n + 1), true},
+		secAdj:       {4 * 2 * m, true},
+		secAdjEdge:   {4 * 2 * m, true},
+		secEnds:      {4 * 2 * m, true},
+		secAlphaOffs: {4 * len(alphaOffs), true},
+		secAlphaBlob: {len(alphaBlob), false},
+		secNameOffs:  {4 * len(nameOffs), true},
+		secNameBlob:  {len(nameBlob), false},
+	}
+	counts := [binSections]uint64{
+		secLabels:    uint64(n),
+		secOffsets:   uint64(n + 1),
+		secAdj:       uint64(2 * m),
+		secAdjEdge:   uint64(2 * m),
+		secEnds:      uint64(2 * m),
+		secAlphaOffs: uint64(len(alphaOffs)),
+		secAlphaBlob: uint64(len(alphaBlob)),
+		secNameOffs:  uint64(len(nameOffs)),
+		secNameBlob:  uint64(len(nameBlob)),
+	}
+
+	offs := [binSections]int{}
+	pos := binHeaderLen
+	for i, s := range secs {
+		if s.bytes == 0 {
+			continue
+		}
+		if s.align {
+			pos += align8(fileBase + pos)
+		}
+		offs[i] = pos
+		pos += s.bytes
+	}
+
+	buf := make([]byte, pos)
+	copy(buf, binMagic)
+	le := binary.LittleEndian
+	le.PutUint64(buf[8:], uint64(n))
+	le.PutUint64(buf[16:], uint64(m))
+	le.PutUint64(buf[24:], uint64(k))
+	le.PutUint64(buf[32:], flags)
+	for i := 0; i < binSections; i++ {
+		le.PutUint64(buf[40+16*i:], uint64(offs[i]))
+		le.PutUint64(buf[48+16*i:], counts[i])
+	}
+	putInt32s(buf[offs[secLabels]:], g.labels)
+	putInt32s(buf[offs[secOffsets]:], g.offsets)
+	putInt32s(buf[offs[secAdj]:], g.adj)
+	putInt32s(buf[offs[secAdjEdge]:], g.adjEdge)
+	putInt32s(buf[offs[secEnds]:], g.ends)
+	putInt32s(buf[offs[secAlphaOffs]:], alphaOffs)
+	copy(buf[offs[secAlphaBlob]:], alphaBlob)
+	putInt32s(buf[offs[secNameOffs]:], nameOffs)
+	copy(buf[offs[secNameBlob]:], nameBlob)
+	return buf, nil
+}
+
+// packStrings concatenates strs into one blob with a cumulative byte
+// offset table (len(strs)+1 entries).
+func packStrings(strs []string) ([]int32, []byte) {
+	offs := make([]int32, len(strs)+1)
+	total := 0
+	for i, s := range strs {
+		offs[i] = int32(total)
+		total += len(s)
+	}
+	offs[len(strs)] = int32(total)
+	blob := make([]byte, 0, total)
+	for _, s := range strs {
+		blob = append(blob, s...)
+	}
+	return offs, blob
+}
+
+// putInt32s writes vals little-endian into dst. On little-endian
+// hardware this compiles to a memmove-width loop; correctness does not
+// depend on host byte order.
+func putInt32s[T ~int32](dst []byte, vals []T) {
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(dst[4*i:], uint32(v))
+	}
+}
+
+// DecodeBinary parses a binary graph payload. With alias true, int32
+// array sections whose addresses are 4-byte aligned are aliased directly
+// out of data — the zero-copy mmap path; the caller then owns keeping
+// data's backing memory mapped for the Graph's lifetime. Misaligned
+// sections (or alias false) are copied to the heap. The returned bool
+// reports whether any section was aliased.
+//
+// Every structural property later code indexes on is validated before
+// returning: section bounds, offset monotonicity, label/neighbour/edge-id
+// ranges, and per-node (label, id) adjacency order. Hostile input gets an
+// error, never a panic.
+func DecodeBinary(data []byte, alias bool) (*Graph, bool, error) {
+	if len(data) < binHeaderLen || string(data[:len(binMagic)]) != binMagic {
+		return nil, false, fmt.Errorf("graph: not a binary graph payload")
+	}
+	le := binary.LittleEndian
+	n64 := le.Uint64(data[8:])
+	m64 := le.Uint64(data[16:])
+	k64 := le.Uint64(data[24:])
+	flags := le.Uint64(data[32:])
+	if n64 > math.MaxInt32 || m64 > math.MaxInt32 || k64 > math.MaxInt32 {
+		return nil, false, fmt.Errorf("graph: binary header counts out of range (%d nodes, %d edges, %d labels)", n64, m64, k64)
+	}
+	n, m, k := int(n64), int(m64), int(k64)
+
+	var offs, counts [binSections]int
+	for i := 0; i < binSections; i++ {
+		o, c := le.Uint64(data[40+16*i:]), le.Uint64(data[48+16*i:])
+		if o > uint64(len(data)) || c > uint64(len(data)) {
+			return nil, false, fmt.Errorf("graph: binary section %d out of bounds", i)
+		}
+		offs[i], counts[i] = int(o), int(c)
+	}
+	wantCounts := [binSections]int{
+		secLabels: n, secOffsets: n + 1, secAdj: 2 * m, secAdjEdge: 2 * m, secEnds: 2 * m,
+		secAlphaOffs: k + 1, secAlphaBlob: counts[secAlphaBlob],
+		secNameOffs: 0, secNameBlob: counts[secNameBlob],
+	}
+	if flags&flagNames != 0 {
+		wantCounts[secNameOffs] = n + 1
+	}
+	for i, want := range wantCounts {
+		if counts[i] != want {
+			return nil, false, fmt.Errorf("graph: binary section %d holds %d elements, want %d", i, counts[i], want)
+		}
+		width := 4
+		if i == secAlphaBlob || i == secNameBlob {
+			width = 1
+		}
+		if counts[i] > 0 && (offs[i] < binHeaderLen || offs[i]+width*counts[i] > len(data)) {
+			return nil, false, fmt.Errorf("graph: binary section %d [%d, +%d) outside payload of %d bytes", i, offs[i], width*counts[i], len(data))
+		}
+	}
+
+	aliased := false
+	i32 := func(sec int) []int32 {
+		s, ok := int32sOf[int32](data, offs[sec], counts[sec], alias)
+		aliased = aliased || ok
+		return s
+	}
+	labels, lok := int32sOf[Label](data, offs[secLabels], counts[secLabels], alias)
+	adjS, aok := int32sOf[NodeID](data, offs[secAdj], counts[secAdj], alias)
+	adjE, eok := int32sOf[EdgeID](data, offs[secAdjEdge], counts[secAdjEdge], alias)
+	endsS, nok := int32sOf[NodeID](data, offs[secEnds], counts[secEnds], alias)
+	offsets := i32(secOffsets)
+	aliased = aliased || lok || aok || eok || nok
+
+	// Alphabet and names always materialise on the heap: Go strings
+	// cannot alias foreign memory safely. Both are O(labels) and
+	// O(named nodes) — not CSR payload.
+	alphaOffs := i32(secAlphaOffs)
+	alphabet, err := unpackAlphabet(alphaOffs, data[offs[secAlphaBlob]:offs[secAlphaBlob]+counts[secAlphaBlob]])
+	if err != nil {
+		return nil, false, err
+	}
+	if alphabet.Len() != k {
+		return nil, false, fmt.Errorf("graph: alphabet decoded %d labels, header says %d", alphabet.Len(), k)
+	}
+	var names []string
+	if flags&flagNames != 0 {
+		nameOffs := i32(secNameOffs)
+		names, err = unpackStrings(nameOffs, data[offs[secNameBlob]:offs[secNameBlob]+counts[secNameBlob]])
+		if err != nil {
+			return nil, false, fmt.Errorf("graph: node names: %w", err)
+		}
+	}
+
+	g := &Graph{
+		labels: labels, names: names,
+		offsets: offsets, adj: adjS, adjEdge: adjE, ends: endsS,
+		alphabet: alphabet, numEdges: m,
+	}
+	if err := validateDecoded(g, n, m, k); err != nil {
+		return nil, false, err
+	}
+	return g, aliased, nil
+}
+
+// validateDecoded bounds-checks every index a decoded graph will be
+// dereferenced through, plus the (label, id) adjacency order the census
+// heuristics rely on. One linear pass over the CSR arrays.
+func validateDecoded(g *Graph, n, m, k int) error {
+	if len(g.offsets) != n+1 || g.offsets[0] != 0 || int(g.offsets[n]) != 2*m {
+		return fmt.Errorf("graph: binary offsets malformed")
+	}
+	for _, l := range g.labels {
+		if int(l) < 0 || int(l) >= k {
+			return fmt.Errorf("graph: binary label %d outside alphabet of %d", l, k)
+		}
+	}
+	// Bound every offset before any slicing: monotonicity alone does not
+	// cap an intermediate entry until the walk reaches the pinned last
+	// one, and slicing through an unchecked entry would panic.
+	for v := 0; v < n; v++ {
+		if g.offsets[v] > g.offsets[v+1] || int(g.offsets[v+1]) > 2*m {
+			return fmt.Errorf("graph: binary offsets malformed at node %d", v)
+		}
+	}
+	for v := 0; v < n; v++ {
+		adj := g.adj[g.offsets[v]:g.offsets[v+1]]
+		for i, w := range adj {
+			if int(w) < 0 || int(w) >= n || w == NodeID(v) {
+				return fmt.Errorf("graph: binary adjacency of node %d holds invalid neighbour %d", v, w)
+			}
+			if i > 0 {
+				p := adj[i-1]
+				if g.labels[p] > g.labels[w] || (g.labels[p] == g.labels[w] && p >= w) {
+					return fmt.Errorf("graph: binary adjacency of node %d not (label,id)-sorted", v)
+				}
+			}
+		}
+	}
+	for _, e := range g.adjEdge {
+		if int(e) < 0 || int(e) >= m {
+			return fmt.Errorf("graph: binary incidence references edge %d of %d", e, m)
+		}
+	}
+	for i := 0; i < m; i++ {
+		u, v := g.ends[2*i], g.ends[2*i+1]
+		if int(u) < 0 || int(v) >= n || u >= v {
+			return fmt.Errorf("graph: binary edge %d endpoints (%d, %d) invalid", i, u, v)
+		}
+	}
+	return nil
+}
+
+// int32sOf views n little-endian int32 values at data[off:] as a []T.
+// When alias is set and the address is int32-aligned it aliases data
+// directly (true); otherwise it copies (false). Only correct on
+// little-endian hosts for the alias path; the copy path byte-swaps as
+// needed and is the implicit fallback on big-endian hardware.
+func int32sOf[T ~int32](data []byte, off, n int, alias bool) ([]T, bool) {
+	if n == 0 {
+		return nil, false
+	}
+	src := data[off : off+4*n]
+	if alias && littleEndianHost && uintptr(unsafe.Pointer(&src[0]))%4 == 0 {
+		return unsafe.Slice((*T)(unsafe.Pointer(&src[0])), n), true
+	}
+	out := make([]T, n)
+	for i := range out {
+		out[i] = T(int32(binary.LittleEndian.Uint32(src[4*i:]))) //nolint:gosec // bounds checked above
+	}
+	return out, false
+}
+
+// littleEndianHost is computed once; the alias fast path is only valid
+// when the file byte order matches the host's.
+var littleEndianHost = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// unpackAlphabet rebuilds the label alphabet from its offset table and
+// blob, re-running NewAlphabet's duplicate/empty validation.
+func unpackAlphabet(offs []int32, blob []byte) (*Alphabet, error) {
+	names, err := unpackStrings(offs, blob)
+	if err != nil {
+		return nil, fmt.Errorf("graph: label alphabet: %w", err)
+	}
+	a, err := NewAlphabet(names...)
+	if err != nil {
+		return nil, fmt.Errorf("graph: binary alphabet: %w", err)
+	}
+	return a, nil
+}
+
+// unpackStrings splits blob at the cumulative offsets. Empty entries
+// share the empty string, so anonymous nodes cost nothing.
+func unpackStrings(offs []int32, blob []byte) ([]string, error) {
+	if len(offs) == 0 {
+		return nil, fmt.Errorf("missing offset table")
+	}
+	out := make([]string, len(offs)-1)
+	for i := range out {
+		lo, hi := offs[i], offs[i+1]
+		if lo < 0 || lo > hi || int(hi) > len(blob) {
+			return nil, fmt.Errorf("offset table entry %d [%d, %d) outside blob of %d bytes", i, lo, hi, len(blob))
+		}
+		if lo != hi {
+			out[i] = string(blob[lo:hi])
+		}
+	}
+	if int(offs[len(offs)-1]) != len(blob) {
+		return nil, fmt.Errorf("offset table covers %d of %d blob bytes", offs[len(offs)-1], len(blob))
+	}
+	return out, nil
+}

@@ -2,7 +2,10 @@ package graph
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // Builder accumulates nodes and edges and freezes them into an immutable
@@ -10,13 +13,22 @@ import (
 //
 // Builders either adopt a fixed alphabet up front (NewBuilderWithAlphabet)
 // or grow one on demand as label names appear (NewBuilder).
+//
+// Build parallelises edge sorting, CSR construction and per-node adjacency
+// sorting across GOMAXPROCS workers; the result is bitwise independent of
+// the worker count, so graphs built on different machines stay identical.
 type Builder struct {
 	alphabet   *Alphabet
 	fixedAlpha bool
 
 	labels []Label
-	names  []string
-	edges  [][2]NodeID
+	// names holds only explicitly named nodes; most bulk-generated nodes
+	// are anonymous, and a sparse map keeps a 10^7-node builder from
+	// carrying 16 bytes of empty string header per node.
+	names map[NodeID]string
+	// edges packs each undirected edge as uint64(u)<<32 | uint64(v) with
+	// u < v, so sorting the slice orders edges by (u, v) directly.
+	edges []uint64
 
 	built bool
 }
@@ -61,7 +73,6 @@ func (b *Builder) AddLabeledNode(l Label) (NodeID, error) {
 	}
 	id := NodeID(len(b.labels))
 	b.labels = append(b.labels, l)
-	b.names = append(b.names, "")
 	return id, nil
 }
 
@@ -71,8 +82,21 @@ func (b *Builder) AddNamedNode(labelName, nodeName string) (NodeID, error) {
 	if err != nil {
 		return 0, err
 	}
-	b.names[id] = nodeName
+	b.SetName(id, nodeName)
 	return id, nil
+}
+
+// SetName assigns a display name to an already-added node. An empty name
+// clears it.
+func (b *Builder) SetName(id NodeID, name string) {
+	if name == "" {
+		delete(b.names, id)
+		return
+	}
+	if b.names == nil {
+		b.names = make(map[NodeID]string)
+	}
+	b.names[id] = name
 }
 
 // AddEdge records an undirected edge between u and v. Self loops are
@@ -88,25 +112,40 @@ func (b *Builder) AddEdge(u, v NodeID) error {
 	if u > v {
 		u, v = v, u
 	}
-	b.edges = append(b.edges, [2]NodeID{u, v})
+	b.edges = append(b.edges, uint64(uint32(u))<<32|uint64(uint32(v)))
 	return nil
 }
 
+// parallelBuildMin is the edge count under which Build stays on one
+// goroutine: below it, fan-out overhead dominates any speedup.
+const parallelBuildMin = 1 << 15
+
 // Build freezes the builder into an immutable Graph. Edges are
-// deduplicated and adjacency lists are sorted by (label, id).
+// deduplicated and adjacency lists are sorted by (label, id). Large
+// graphs are built in parallel across GOMAXPROCS workers; the output is
+// identical at any worker count.
 func (b *Builder) Build() (*Graph, error) {
+	return b.build(runtime.GOMAXPROCS(0))
+}
+
+// build is Build with an explicit worker count, kept unexported so the
+// equivalence tests can pin parallel output against the serial path.
+func (b *Builder) build(workers int) (*Graph, error) {
 	if b.built {
 		return nil, fmt.Errorf("graph: Build called twice")
 	}
 	b.built = true
+	if workers < 1 || len(b.edges) < parallelBuildMin {
+		workers = 1
+	}
 
-	// Deduplicate edges.
-	sort.Slice(b.edges, func(i, j int) bool {
-		if b.edges[i][0] != b.edges[j][0] {
-			return b.edges[i][0] < b.edges[j][0]
-		}
-		return b.edges[i][1] < b.edges[j][1]
-	})
+	// Sort and deduplicate edges by (u, v); the packed representation
+	// makes both a plain uint64 problem.
+	if workers == 1 {
+		sortUint64(b.edges)
+	} else {
+		parallelSortUint64(b.edges, workers)
+	}
 	dedup := b.edges[:0]
 	for i, e := range b.edges {
 		if i == 0 || e != b.edges[i-1] {
@@ -115,49 +154,222 @@ func (b *Builder) Build() (*Graph, error) {
 	}
 
 	n := len(b.labels)
+	m := len(dedup)
 	deg := make([]int32, n)
-	for _, e := range dedup {
-		deg[e[0]]++
-		deg[e[1]]++
-	}
+	eachChunk(m, workers, func(lo, hi int) {
+		if workers == 1 {
+			for _, e := range dedup[lo:hi] {
+				deg[e>>32]++
+				deg[uint32(e)]++
+			}
+			return
+		}
+		for _, e := range dedup[lo:hi] {
+			atomic.AddInt32(&deg[e>>32], 1)
+			atomic.AddInt32(&deg[uint32(e)], 1)
+		}
+	})
 	offsets := make([]int32, n+1)
 	for v := 0; v < n; v++ {
 		offsets[v+1] = offsets[v] + deg[v]
 	}
+
+	// Scatter both incidences of every edge through per-node cursors.
+	// Within one adjacency segment the arrival order is scheduling-
+	// dependent under parallel fill, but the per-node sort below imposes
+	// a strict total order — neighbours are unique — so the final layout
+	// is deterministic anyway.
 	adj := make([]NodeID, offsets[n])
 	adjEdge := make([]EdgeID, offsets[n])
-	ends := make([]NodeID, 2*len(dedup))
+	ends := make([]NodeID, 2*m)
 	cursor := make([]int32, n)
 	copy(cursor, offsets[:n])
-	for i, e := range dedup {
-		adj[cursor[e[0]]] = e[1]
-		adjEdge[cursor[e[0]]] = EdgeID(i)
-		cursor[e[0]]++
-		adj[cursor[e[1]]] = e[0]
-		adjEdge[cursor[e[1]]] = EdgeID(i)
-		cursor[e[1]]++
-		ends[2*i] = e[0]
-		ends[2*i+1] = e[1]
-	}
+	eachChunk(m, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			e := dedup[i]
+			u, v := NodeID(e>>32), NodeID(uint32(e))
+			var pu, pv int32
+			if workers == 1 {
+				pu = cursor[u]
+				cursor[u]++
+				pv = cursor[v]
+				cursor[v]++
+			} else {
+				pu = atomic.AddInt32(&cursor[u], 1) - 1
+				pv = atomic.AddInt32(&cursor[v], 1) - 1
+			}
+			adj[pu], adjEdge[pu] = v, EdgeID(i)
+			adj[pv], adjEdge[pv] = u, EdgeID(i)
+			ends[2*i], ends[2*i+1] = u, v
+		}
+	})
 
 	g := &Graph{
 		labels:   b.labels,
-		names:    b.names,
+		names:    materializeNames(b.names, n),
 		offsets:  offsets,
 		adj:      adj,
 		adjEdge:  adjEdge,
 		ends:     ends,
 		alphabet: b.alphabet,
-		numEdges: len(dedup),
+		numEdges: m,
 	}
 	// Sort each adjacency list by (label, id), keeping edge ids aligned.
-	for v := 0; v < n; v++ {
-		lo, hi := offsets[v], offsets[v+1]
-		seg := adj[lo:hi]
-		eseg := adjEdge[lo:hi]
-		sort.Sort(&adjSorter{labels: g.labels, adj: seg, edges: eseg})
-	}
+	eachChunk(n, workers, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			s, e := offsets[v], offsets[v+1]
+			sortAdjSegment(g.labels, adj[s:e], adjEdge[s:e])
+		}
+	})
 	return g, nil
+}
+
+// materializeNames expands the sparse name map into the dense slice the
+// Graph indexes by node id; nil when no node was named.
+func materializeNames(names map[NodeID]string, n int) []string {
+	if len(names) == 0 {
+		return nil
+	}
+	out := make([]string, n)
+	for id, name := range names {
+		out[id] = name
+	}
+	return out
+}
+
+// eachChunk runs fn over [0, n) split into one contiguous range per
+// worker, blocking until all complete. workers == 1 runs inline.
+func eachChunk(n, workers int, fn func(lo, hi int)) {
+	if n == 0 {
+		return
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// sortUint64 sorts in place (sort.Slice without the interface churn of
+// adjSorter; the stdlib pdqsort on a concrete closure is fast enough for
+// the serial path).
+func sortUint64(s []uint64) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}
+
+// parallelSortUint64 sorts s across workers: an MSB-radix scatter into
+// 256 value-range buckets (so bucket order is global order), then an
+// independent sort per bucket. Both passes parallelise over chunks; the
+// scatter writes through precomputed per-(chunk, bucket) cursors, so no
+// two goroutines ever touch the same output index.
+func parallelSortUint64(s []uint64, workers int) {
+	const bucketBits = 8
+	nb := 1 << bucketBits
+	shift := 64 - bucketBits
+
+	chunks := workers * 4
+	if chunks > len(s) {
+		chunks = len(s)
+	}
+	counts := make([][]int, chunks)
+	chunk := (len(s) + chunks - 1) / chunks
+	bounds := make([][2]int, 0, chunks)
+	for lo := 0; lo < len(s); lo += chunk {
+		hi := lo + chunk
+		if hi > len(s) {
+			hi = len(s)
+		}
+		bounds = append(bounds, [2]int{lo, hi})
+	}
+	eachChunk(len(bounds), workers, func(clo, chi int) {
+		for c := clo; c < chi; c++ {
+			cnt := make([]int, nb)
+			for _, e := range s[bounds[c][0]:bounds[c][1]] {
+				cnt[e>>uint(shift)]++
+			}
+			counts[c] = cnt
+		}
+	})
+
+	// Global bucket starts, then per-chunk write cursors within each
+	// bucket (chunks keep their relative order, though sorting erases it).
+	starts := make([]int, nb+1)
+	for bkt := 0; bkt < nb; bkt++ {
+		total := 0
+		for c := range counts {
+			total += counts[c][bkt]
+		}
+		starts[bkt+1] = starts[bkt] + total
+	}
+	cursors := make([][]int, len(bounds))
+	next := make([]int, nb)
+	copy(next, starts[:nb])
+	for c := range bounds {
+		cur := make([]int, nb)
+		copy(cur, next)
+		for bkt := 0; bkt < nb; bkt++ {
+			next[bkt] += counts[c][bkt]
+		}
+		cursors[c] = cur
+	}
+
+	out := make([]uint64, len(s))
+	eachChunk(len(bounds), workers, func(clo, chi int) {
+		for c := clo; c < chi; c++ {
+			cur := cursors[c]
+			for _, e := range s[bounds[c][0]:bounds[c][1]] {
+				bkt := e >> uint(shift)
+				out[cur[bkt]] = e
+				cur[bkt]++
+			}
+		}
+	})
+	copy(s, out)
+
+	// Sort buckets independently; value ranges are disjoint and ordered.
+	eachChunk(nb, workers, func(blo, bhi int) {
+		for bkt := blo; bkt < bhi; bkt++ {
+			sortUint64(s[starts[bkt]:starts[bkt+1]])
+		}
+	})
+}
+
+// sortAdjSegment orders one adjacency segment by (label, id), carrying
+// edge ids. Neighbours are unique, so the order is strict and the result
+// deterministic. Typical segments are short — insertion sort beats the
+// sort.Sort interface machinery there — while hub segments fall through
+// to the stdlib.
+func sortAdjSegment(labels []Label, adj []NodeID, eids []EdgeID) {
+	if len(adj) <= 24 {
+		for i := 1; i < len(adj); i++ {
+			v, e := adj[i], eids[i]
+			lv := labels[v]
+			j := i
+			for j > 0 && (labels[adj[j-1]] > lv || (labels[adj[j-1]] == lv && adj[j-1] > v)) {
+				adj[j], eids[j] = adj[j-1], eids[j-1]
+				j--
+			}
+			adj[j], eids[j] = v, e
+		}
+		return
+	}
+	sort.Sort(&adjSorter{labels: labels, adj: adj, edges: eids})
 }
 
 // adjSorter sorts an adjacency segment by (label, id), carrying edge ids.

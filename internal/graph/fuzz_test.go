@@ -36,3 +36,54 @@ func FuzzReadTSV(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDecodeGraphBinary checks that arbitrary bytes never panic the
+// binary decoder and that anything it accepts is safe to traverse and
+// re-encodes to a decodable payload.
+func FuzzDecodeGraphBinary(f *testing.F) {
+	// Seed with real encodings so the fuzzer starts inside the format.
+	b := NewBuilderWithAlphabet(MustAlphabet("author", "paper"))
+	for i := 0; i < 8; i++ {
+		b.AddLabeledNode(Label(i % 2))
+	}
+	b.SetName(3, "named")
+	for _, e := range [][2]NodeID{{0, 1}, {0, 3}, {2, 5}, {4, 7}, {1, 6}} {
+		b.AddEdge(e[0], e[1])
+	}
+	seedGraph := b.MustBuild()
+	if payload, err := EncodeBinary(seedGraph, 0); err == nil {
+		f.Add(payload)
+		f.Add(payload[:len(payload)/2])
+	}
+	if payload, err := EncodeBinary(NewBuilder().MustBuild(), 0); err == nil {
+		f.Add(payload)
+	}
+	f.Add([]byte(binMagic))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, _, err := DecodeBinary(data, false)
+		if err != nil {
+			return
+		}
+		// Accepted payloads must be safe to traverse in full...
+		for v := NodeID(0); int(v) < g.NumNodes(); v++ {
+			g.Label(v)
+			g.Name(v)
+			g.Neighbors(v)
+			g.IncidentEdges(v)
+			g.NeighborLabelRuns(v)
+		}
+		g.Edges(func(u, v NodeID) bool { return true })
+		// ...and survive a re-encode/decode cycle unchanged in shape.
+		payload, err := EncodeBinary(g, 0)
+		if err != nil {
+			t.Fatalf("accepted graph fails to re-encode: %v", err)
+		}
+		g2, _, err := DecodeBinary(payload, false)
+		if err != nil {
+			t.Fatalf("re-encoded payload rejected: %v", err)
+		}
+		if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() || g2.NumLabels() != g.NumLabels() {
+			t.Fatalf("re-encode changed shape: %v vs %v", g2, g)
+		}
+	})
+}

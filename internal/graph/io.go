@@ -17,27 +17,43 @@ import (
 // Node IDs are assigned in order of appearance of "n" lines, starting at 0.
 // Edge lines reference those implicit IDs. Blank lines are ignored.
 
-// WriteTSV serializes g in the TSV exchange format.
+// WriteTSV serializes g in the TSV exchange format. Write failures are
+// surfaced at the line that hit them — "writing node 17" rather than a
+// bare flush error after the damage — so a mid-stream I/O error on a
+// large export names where the output ends.
 func WriteTSV(w io.Writer, g *Graph) error {
 	bw := bufio.NewWriter(w)
-	fmt.Fprintf(bw, "# hsgf graph: %d nodes, %d edges, %d labels\n",
-		g.NumNodes(), g.NumEdges(), g.NumLabels())
+	if _, err := fmt.Fprintf(bw, "# hsgf graph: %d nodes, %d edges, %d labels\n",
+		g.NumNodes(), g.NumEdges(), g.NumLabels()); err != nil {
+		return fmt.Errorf("graph: writing header: %w", err)
+	}
 	for v := NodeID(0); int(v) < g.NumNodes(); v++ {
+		var err error
 		if name := g.Name(v); name != "" {
-			fmt.Fprintf(bw, "n\t%s\t%s\n", g.Alphabet().Name(g.Label(v)), name)
+			_, err = fmt.Fprintf(bw, "n\t%s\t%s\n", g.Alphabet().Name(g.Label(v)), name)
 		} else {
-			fmt.Fprintf(bw, "n\t%s\n", g.Alphabet().Name(g.Label(v)))
+			_, err = fmt.Fprintf(bw, "n\t%s\n", g.Alphabet().Name(g.Label(v)))
+		}
+		if err != nil {
+			return fmt.Errorf("graph: writing node %d: %w", v, err)
 		}
 	}
 	var err error
+	var failedEdge [2]NodeID
 	g.Edges(func(u, v NodeID) bool {
-		_, err = fmt.Fprintf(bw, "e\t%d\t%d\n", u, v)
-		return err == nil
+		if _, err = fmt.Fprintf(bw, "e\t%d\t%d\n", u, v); err != nil {
+			failedEdge = [2]NodeID{u, v}
+			return false
+		}
+		return true
 	})
 	if err != nil {
-		return err
+		return fmt.Errorf("graph: writing edge %d-%d: %w", failedEdge[0], failedEdge[1], err)
 	}
-	return bw.Flush()
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("graph: flushing output: %w", err)
+	}
+	return nil
 }
 
 // ReadTSV parses a graph in the TSV exchange format.
@@ -85,7 +101,10 @@ func ReadTSV(r io.Reader) (*Graph, error) {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		// A scanner failure is the input stream dying (I/O error,
+		// oversized line), not a malformed record; name it as such so
+		// it cannot be mistaken for a parse error in the data.
+		return nil, fmt.Errorf("graph: reading input after line %d: %w", lineNo, err)
 	}
 	return b.Build()
 }

@@ -1,0 +1,107 @@
+package graph
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// failAfterWriter accepts the first n bytes and then fails every write
+// with errDiskFull, simulating a device filling up mid-export.
+var errDiskFull = errors.New("synthetic disk full")
+
+type failAfterWriter struct {
+	remaining int
+}
+
+func (w *failAfterWriter) Write(p []byte) (int, error) {
+	if w.remaining <= 0 {
+		return 0, errDiskFull
+	}
+	if len(p) <= w.remaining {
+		w.remaining -= len(p)
+		return len(p), nil
+	}
+	n := w.remaining
+	w.remaining = 0
+	return n, errDiskFull
+}
+
+// TestWriteTSVSurfacesWriteErrors sweeps the failure point across the
+// whole output; every failure must surface errDiskFull wrapped with
+// graph-level context, never a silent success.
+func TestWriteTSVSurfacesWriteErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := randomSnapGraph(t, rng, 200)
+	var full strings.Builder
+	if err := WriteTSV(&full, g); err != nil {
+		t.Fatal(err)
+	}
+	total := full.Len()
+	for _, cut := range []int{0, 1, total / 4, total / 2, total - 1} {
+		err := WriteTSV(&failAfterWriter{remaining: cut}, g)
+		if err == nil {
+			t.Fatalf("cut=%d: write into failing writer succeeded", cut)
+		}
+		if !errors.Is(err, errDiskFull) {
+			t.Fatalf("cut=%d: error %v does not wrap the writer failure", cut, err)
+		}
+		if !strings.HasPrefix(err.Error(), "graph: ") {
+			t.Fatalf("cut=%d: error %q lacks graph context", cut, err)
+		}
+	}
+}
+
+// failAfterReader yields the first n bytes of src and then fails,
+// simulating an input stream dying mid-parse.
+type failAfterReader struct {
+	src       string
+	remaining int
+}
+
+func (r *failAfterReader) Read(p []byte) (int, error) {
+	if r.remaining <= 0 {
+		return 0, errDiskFull
+	}
+	n := copy(p, r.src[:r.remaining])
+	r.src = r.src[n:]
+	r.remaining -= n
+	return n, nil
+}
+
+// TestReadTSVSurfacesScannerError pins satellite (a): a stream failure
+// mid-parse must be reported as an input-stream error wrapping the
+// underlying cause, not swallowed into a truncated-but-valid graph.
+func TestReadTSVSurfacesScannerError(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := randomSnapGraph(t, rng, 50)
+	var buf strings.Builder
+	if err := WriteTSV(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	_, err := ReadTSV(&failAfterReader{src: text, remaining: len(text) / 2})
+	if err == nil {
+		t.Fatal("ReadTSV succeeded on a dying stream")
+	}
+	if !errors.Is(err, errDiskFull) {
+		t.Fatalf("error %v does not wrap the stream failure", err)
+	}
+	if !strings.Contains(err.Error(), "reading input after line") {
+		t.Fatalf("error %q does not identify the stream failure point", err)
+	}
+}
+
+// TestReadTSVOversizedLine verifies the scanner's token limit is
+// surfaced as a stream error rather than a panic or silent truncation.
+func TestReadTSVOversizedLine(t *testing.T) {
+	line := "n\t" + strings.Repeat("x", 17*1024*1024) + "\n"
+	_, err := ReadTSV(strings.NewReader(line))
+	if err == nil {
+		t.Fatal("oversized line accepted")
+	}
+	if !strings.Contains(err.Error(), "reading input") {
+		t.Fatalf("error %q does not name the input stream", err)
+	}
+}

@@ -464,7 +464,7 @@ func (o *Overlay) Materialize() (*Graph, error) {
 		if _, err := b.AddLabeledNode(o.labels[v]); err != nil {
 			return nil, err
 		}
-		b.names[v] = o.names[v]
+		b.SetName(NodeID(v), o.names[v])
 	}
 	var err error
 	o.base.Edges(func(u, v NodeID) bool {

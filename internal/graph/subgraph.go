@@ -21,7 +21,7 @@ func Induced(g *Graph, nodes []NodeID) (*Graph, []NodeID) {
 	for i, v := range uniq {
 		id, _ := b.AddLabeledNode(g.Label(v))
 		if name := g.Name(v); name != "" {
-			b.names[id] = name
+			b.SetName(id, name)
 		}
 		remap[v] = NodeID(i)
 	}

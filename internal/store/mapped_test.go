@@ -1,0 +1,168 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestOpenMappedRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	sections := []Section{
+		{Name: "meta", Payload: []byte(`{"artifact":"graphbin","schema":1}`)},
+		{Name: "graphbin", Payload: bytes.Repeat([]byte{0xAB, 0xCD}, 4096)},
+	}
+	path := filepath.Join(dir, "one.snap")
+	if err := WriteFile(path, sections); err != nil {
+		t.Fatal(err)
+	}
+	m, env, err := OpenMapped(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if len(env.Sections) != 2 {
+		t.Fatalf("got %d sections", len(env.Sections))
+	}
+	for i, want := range sections {
+		got := env.Sections[i]
+		if got.Name != want.Name || !bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("section %d mismatch", i)
+		}
+		// The parsed payload must alias the mapping at exactly the
+		// offset PayloadOffset promises — the contract the binary graph
+		// encoder's alignment arithmetic is built on.
+		off := PayloadOffset(sections, i)
+		if len(got.Payload) > 0 && &got.Payload[0] != &m.Data()[off] {
+			t.Fatalf("section %d payload does not alias the mapping at offset %d", i, off)
+		}
+	}
+	if m.Close() != nil || m.Close() != nil {
+		t.Fatal("Close is not idempotent")
+	}
+}
+
+func TestOpenMappedRejectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "one.snap")
+	if err := WriteFile(path, []Section{{Name: "meta", Payload: []byte("x")}}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenMapped(path); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupted file gave %v, want ErrCorrupt", err)
+	}
+}
+
+// TestLoadLatestMappedQuarantines damages the newest generation and
+// checks the mapped loader behaves exactly like LoadLatestVerified:
+// quarantine and fall back to the older good generation.
+func TestLoadLatestMappedQuarantines(t *testing.T) {
+	st, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Write("graphbin", []Section{{Name: "meta", Payload: []byte("good")}}); err != nil {
+		t.Fatal(err)
+	}
+	gen2, err := st.Write("graphbin", []Section{{Name: "meta", Payload: []byte("newer")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := st.Path("graphbin", gen2)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	m, env, gen, err := st.LoadLatestMapped("graphbin", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if gen == gen2 {
+		t.Fatal("corrupted newest generation served")
+	}
+	if p, _ := env.Section("meta"); string(p) != "good" {
+		t.Fatalf("fallback served %q", p)
+	}
+	if _, err := os.Stat(path + quarantineSuffix); err != nil {
+		t.Fatalf("damaged generation not quarantined: %v", err)
+	}
+}
+
+// TestLoadLatestMappedVerifyHook rejects a generation at the artifact
+// layer and checks its mapping is released and the older one served.
+func TestLoadLatestMappedVerifyHook(t *testing.T) {
+	st, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, payload := range []string{"ok", "poison"} {
+		if _, err := st.Write("graphbin", []Section{{Name: "meta", Payload: []byte(payload)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m, env, _, err := st.LoadLatestMapped("graphbin", func(e *Envelope) error {
+		if p, _ := e.Section("meta"); string(p) == "poison" {
+			return errors.New("artifact rejected")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if p, _ := env.Section("meta"); string(p) != "ok" {
+		t.Fatalf("served %q, want the older good generation", p)
+	}
+}
+
+func TestLoadLatestMappedNotFound(t *testing.T) {
+	st, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := st.LoadLatestMapped("absent", nil); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("got %v, want ErrNotFound", err)
+	}
+}
+
+// TestPayloadOffsetTracksEncoder cross-checks the offset arithmetic
+// against the real encoder for a spread of section shapes.
+func TestPayloadOffsetTracksEncoder(t *testing.T) {
+	cases := [][]Section{
+		{{Name: "a", Payload: nil}},
+		{{Name: "meta", Payload: []byte("x")}, {Name: "graphbin", Payload: make([]byte, 1000)}},
+		{{Name: "m", Payload: make([]byte, 7)}, {Name: "n", Payload: make([]byte, 13)}, {Name: "o", Payload: make([]byte, 1)}},
+	}
+	for ci, sections := range cases {
+		data, err := EncodeEnvelope(sections)
+		if err != nil {
+			t.Fatal(err)
+		}
+		env, err := ParseEnvelope(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, s := range env.Sections {
+			off := PayloadOffset(sections, i)
+			if !bytes.Equal(data[off:off+len(s.Payload)], s.Payload) {
+				t.Fatalf("case %d section %d: PayloadOffset %d does not locate the payload", ci, i, off)
+			}
+		}
+	}
+}

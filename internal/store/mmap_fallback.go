@@ -1,0 +1,19 @@
+//go:build !unix
+
+package store
+
+import (
+	"io"
+	"os"
+)
+
+// mmapFile on platforms without syscall.Mmap reads the whole file onto
+// the heap. Loads still work; they just are not zero-copy, which
+// callers can observe through the mapped flag.
+func mmapFile(f *os.File, size int) (data []byte, release func() error, mapped bool, err error) {
+	b := make([]byte, size)
+	if _, err := io.ReadFull(f, b); err != nil {
+		return nil, nil, false, err
+	}
+	return b, func() error { return nil }, false, nil
+}

@@ -1,0 +1,26 @@
+//go:build unix
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps size bytes of f read-only. The returned release func
+// unmaps; the caller may close f as soon as mmapFile returns (the
+// mapping keeps the pages alive). mapped reports a real mapping, so
+// callers can distinguish zero-copy loads from the heap fallback.
+func mmapFile(f *os.File, size int) (data []byte, release func() error, mapped bool, err error) {
+	if size == 0 {
+		// Zero-length mmap is an EINVAL on most kernels; an empty file
+		// cannot hold an envelope anyway, so hand back an empty slice
+		// and let the parser reject it.
+		return nil, func() error { return nil }, false, nil
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	return b, func() error { return syscall.Munmap(b) }, true, nil
+}

@@ -1,0 +1,12 @@
+// Package sysres reports process-level resource usage for the tracked
+// benchmark harnesses. Go's runtime.MemStats sees only the Go heap; the
+// scale ladder also cares about what the OS actually charges the
+// process — mmap'd snapshot pages, stacks, the allocator's retained
+// spans — which is what peak RSS measures.
+package sysres
+
+// MaxRSSBytes returns the process's peak resident set size in bytes,
+// or 0 where the platform cannot report it.
+func MaxRSSBytes() int64 {
+	return maxRSSBytes()
+}

@@ -1,0 +1,5 @@
+//go:build !unix
+
+package sysres
+
+func maxRSSBytes() int64 { return 0 }

@@ -1,0 +1,23 @@
+package sysres
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestMaxRSSBytes(t *testing.T) {
+	got := MaxRSSBytes()
+	switch runtime.GOOS {
+	case "linux", "darwin":
+		// A running Go test binary is resident well past 1MB and well
+		// under 1TB; anything outside that window means the unit
+		// conversion is wrong for this platform.
+		if got < 1<<20 || got > 1<<40 {
+			t.Fatalf("MaxRSSBytes() = %d, outside any plausible RSS", got)
+		}
+	default:
+		if got < 0 {
+			t.Fatalf("MaxRSSBytes() = %d, want >= 0", got)
+		}
+	}
+}

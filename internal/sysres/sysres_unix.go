@@ -1,0 +1,21 @@
+//go:build unix
+
+package sysres
+
+import (
+	"runtime"
+	"syscall"
+)
+
+// maxRSSBytes reads getrusage(RUSAGE_SELF). ru_maxrss is kilobytes on
+// Linux and bytes on macOS; everything else unix-like follows Linux.
+func maxRSSBytes() int64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	if runtime.GOOS == "darwin" {
+		return ru.Maxrss
+	}
+	return ru.Maxrss * 1024
+}
