@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"os"
-	"runtime"
 
 	"hsgf/internal/graph"
 	"hsgf/internal/store"
@@ -47,10 +46,11 @@ func SaveGraphBinarySnapshot(st *store.Store, g *graph.Graph) (uint64, error) {
 // LoadGraphSnapshotMapped loads the newest "graphbin" generation that
 // passes envelope verification and binary decoding, quarantining
 // failures like every other loader. When the platform allows, the
-// returned graph's CSR arrays alias a read-only memory mapping whose
-// lifetime is tied to the graph itself (released by the garbage
-// collector once the graph is unreachable); callers treat the result
-// exactly like any other *graph.Graph.
+// returned graph's CSR arrays alias a read-only memory mapping that the
+// graph pins for the remaining process lifetime (accessors return
+// sub-slices of the mapped arrays, so no per-object lifetime is sound —
+// see graph.PinBacking); callers treat the result exactly like any
+// other *graph.Graph.
 func LoadGraphSnapshotMapped(st *store.Store) (*graph.Graph, uint64, error) {
 	var g *graph.Graph
 	var aliased bool
@@ -70,10 +70,12 @@ func LoadGraphSnapshotMapped(st *store.Store) (*graph.Graph, uint64, error) {
 		return nil, 0, err
 	}
 	if aliased {
-		// The graph's slices point into the mapping. The graph API
-		// (documented on Graph) is the only safe path to those slices,
-		// so the mapping may be released exactly when the graph dies.
-		runtime.SetFinalizer(g, func(*graph.Graph) { m.Close() })
+		// The graph's slices point into the mapping, and accessors hand
+		// out sub-slices that do not keep the graph reachable — a
+		// finalizer on the graph could munmap under a live Neighbors
+		// result. Pin the mapping instead; it is released at process
+		// exit.
+		g.PinBacking(m)
 	} else {
 		// Decode copied everything (alignment or platform fallback);
 		// the mapping is no longer referenced.

@@ -86,11 +86,16 @@ func EncodeBinary(g *Graph, fileBase int) ([]byte, error) {
 	if g.alphabet != nil {
 		alphaNames = g.alphabet.names
 	}
-	alphaOffs, alphaBlob := packStrings(alphaNames)
+	alphaOffs, alphaBlob, err := packStrings(alphaNames)
+	if err != nil {
+		return nil, fmt.Errorf("graph: label alphabet: %w", err)
+	}
 	var nameOffs []int32
 	var nameBlob []byte
 	if flags&flagNames != 0 {
-		nameOffs, nameBlob = packStrings(g.names)
+		if nameOffs, nameBlob, err = packStrings(g.names); err != nil {
+			return nil, fmt.Errorf("graph: node names: %w", err)
+		}
 	}
 
 	type sec struct {
@@ -157,20 +162,29 @@ func EncodeBinary(g *Graph, fileBase int) ([]byte, error) {
 }
 
 // packStrings concatenates strs into one blob with a cumulative byte
-// offset table (len(strs)+1 entries).
-func packStrings(strs []string) ([]int32, []byte) {
-	offs := make([]int32, len(strs)+1)
+// offset table (len(strs)+1 entries). Blobs past the int32 offset range
+// are an error — mirroring EncodeBinary's node/edge bound — since a
+// wrapped offset would write a silently corrupt table.
+func packStrings(strs []string) ([]int32, []byte, error) {
 	total := 0
-	for i, s := range strs {
-		offs[i] = int32(total)
+	for _, s := range strs {
 		total += len(s)
 	}
-	offs[len(strs)] = int32(total)
+	if total > math.MaxInt32 {
+		return nil, nil, fmt.Errorf("string blob of %d bytes exceeds the int32 binary format bounds", total)
+	}
+	offs := make([]int32, len(strs)+1)
+	pos := 0
+	for i, s := range strs {
+		offs[i] = int32(pos)
+		pos += len(s)
+	}
+	offs[len(strs)] = int32(pos)
 	blob := make([]byte, 0, total)
 	for _, s := range strs {
 		blob = append(blob, s...)
 	}
-	return offs, blob
+	return offs, blob, nil
 }
 
 // putInt32s writes vals little-endian into dst. On little-endian
@@ -300,8 +314,20 @@ func validateDecoded(g *Graph, n, m, k int) error {
 			return fmt.Errorf("graph: binary offsets malformed at node %d", v)
 		}
 	}
+	for i := 0; i < m; i++ {
+		u, v := g.ends[2*i], g.ends[2*i+1]
+		if int(u) < 0 || int(v) >= n || u >= v {
+			return fmt.Errorf("graph: binary edge %d endpoints (%d, %d) invalid", i, u, v)
+		}
+	}
+	// One walk covers every incidence (offsets[n] == 2m is pinned above),
+	// so this subsumes a separate adjEdge range pass. Each incidence's
+	// edge id must round-trip through ends to the same node pair —
+	// in-bounds but disagreeing tables would make IncidentEdges and
+	// EdgeEndpoints silently contradict each other.
 	for v := 0; v < n; v++ {
 		adj := g.adj[g.offsets[v]:g.offsets[v+1]]
+		eids := g.adjEdge[g.offsets[v]:g.offsets[v+1]]
 		for i, w := range adj {
 			if int(w) < 0 || int(w) >= n || w == NodeID(v) {
 				return fmt.Errorf("graph: binary adjacency of node %d holds invalid neighbour %d", v, w)
@@ -312,17 +338,18 @@ func validateDecoded(g *Graph, n, m, k int) error {
 					return fmt.Errorf("graph: binary adjacency of node %d not (label,id)-sorted", v)
 				}
 			}
-		}
-	}
-	for _, e := range g.adjEdge {
-		if int(e) < 0 || int(e) >= m {
-			return fmt.Errorf("graph: binary incidence references edge %d of %d", e, m)
-		}
-	}
-	for i := 0; i < m; i++ {
-		u, v := g.ends[2*i], g.ends[2*i+1]
-		if int(u) < 0 || int(v) >= n || u >= v {
-			return fmt.Errorf("graph: binary edge %d endpoints (%d, %d) invalid", i, u, v)
+			e := eids[i]
+			if int(e) < 0 || int(e) >= m {
+				return fmt.Errorf("graph: binary incidence references edge %d of %d", e, m)
+			}
+			lo, hi := NodeID(v), w
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			if g.ends[2*e] != lo || g.ends[2*e+1] != hi {
+				return fmt.Errorf("graph: binary incidence (%d, %d) carries edge %d whose endpoints are (%d, %d)",
+					v, w, e, g.ends[2*e], g.ends[2*e+1])
+			}
 		}
 	}
 	return nil

@@ -2,7 +2,9 @@ package graph
 
 import (
 	"bytes"
+	"encoding/binary"
 	"math/rand"
+	"strings"
 	"testing"
 )
 
@@ -263,6 +265,63 @@ func TestBuildParallelMatchesSerial(t *testing.T) {
 		}
 		if !bytes.Equal(bs.Bytes(), bp.Bytes()) {
 			t.Fatal("parallel and serial builds render differently")
+		}
+	}
+}
+
+// TestEncodeBinaryRejectsOversizedBlob pins the blob-size bound: a name
+// blob whose cumulative length exceeds int32 must be rejected up front,
+// not written with silently wrapped offsets. The test shares one big
+// string across many nodes so the check trips before any multi-GiB blob
+// is materialised.
+func TestEncodeBinaryRejectsOversizedBlob(t *testing.T) {
+	big := strings.Repeat("x", 1<<27) // 128 MiB, shared backing
+	names := make([]string, 17)       // 17 × 128 MiB > MaxInt32
+	for i := range names {
+		names[i] = big
+	}
+	if _, _, err := packStrings(names); err == nil {
+		t.Fatal("packStrings accepted a >2GiB blob")
+	}
+
+	b := NewBuilderWithAlphabet(MustAlphabet("a"))
+	for i := 0; i < len(names); i++ {
+		id, err := b.AddLabeledNode(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.SetName(id, big)
+	}
+	g := b.MustBuild()
+	if _, err := EncodeBinary(g, 0); err == nil {
+		t.Fatal("EncodeBinary accepted >2GiB of node names")
+	}
+}
+
+// TestBinaryDecodeRejectsMismatchedEnds swaps two edges' entries in the
+// ends section: each entry stays individually in bounds and
+// smaller-first, but the incidences' edge ids now resolve to the wrong
+// node pairs. The decoder must reject the payload rather than let
+// IncidentEdges→EdgeEndpoints silently contradict the adjacency.
+func TestBinaryDecodeRejectsMismatchedEnds(t *testing.T) {
+	b := NewBuilderWithAlphabet(MustAlphabet("a"))
+	for i := 0; i < 4; i++ {
+		b.AddLabeledNode(0)
+	}
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	payload, err := EncodeBinary(b.MustBuild(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := int(binary.LittleEndian.Uint64(payload[40+16*secEnds:]))
+	var tmp [8]byte
+	copy(tmp[:], payload[off:off+8])
+	copy(payload[off:off+8], payload[off+8:off+16])
+	copy(payload[off+8:off+16], tmp[:])
+	for _, alias := range []bool{false, true} {
+		if _, _, err := DecodeBinary(payload, alias); err == nil {
+			t.Fatalf("alias=%v: ends/incidence mismatch accepted", alias)
 		}
 	}
 }

@@ -287,7 +287,6 @@ func parallelSortUint64(s []uint64, workers int) {
 	if chunks > len(s) {
 		chunks = len(s)
 	}
-	counts := make([][]int, chunks)
 	chunk := (len(s) + chunks - 1) / chunks
 	bounds := make([][2]int, 0, chunks)
 	for lo := 0; lo < len(s); lo += chunk {
@@ -297,6 +296,10 @@ func parallelSortUint64(s []uint64, workers int) {
 		}
 		bounds = append(bounds, [2]int{lo, hi})
 	}
+	// Rounding can leave fewer ranges than chunks (ceil(L/ceil(L/chunks))
+	// < chunks for many L at high worker counts); bounds is the real
+	// partition, so every per-chunk table is sized off it.
+	counts := make([][]int, len(bounds))
 	eachChunk(len(bounds), workers, func(clo, chi int) {
 		for c := clo; c < chi; c++ {
 			cnt := make([]int, nb)

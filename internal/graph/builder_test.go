@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"math/rand"
 	"strings"
 	"testing"
 )
@@ -86,5 +87,68 @@ func TestAlphabetConstructionRejects(t *testing.T) {
 	}
 	if _, err := NewAlphabet(""); err == nil {
 		t.Fatal("empty label name accepted")
+	}
+}
+
+// TestParallelSortChunkRounding covers worker/length combinations where
+// ceil(L/ceil(L/chunks)) < chunks, i.e. chunk rounding produces fewer
+// ranges than the nominal chunk count. A regression here panicked on
+// high-GOMAXPROCS machines for edge counts just above parallelBuildMin
+// (per-chunk count tables were sized to the nominal count, leaving nil
+// tails the bucket-starts pass indexed into).
+func TestParallelSortChunkRounding(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, tc := range []struct{ n, workers int }{
+		{32769, 64}, // chunks=256, bounds=255: the reported crash shape
+		{parallelBuildMin + 1, 46},
+		{100001, 96},
+		{1000, 7},
+		{3, 64}, // fewer elements than workers
+		{1, 2},
+	} {
+		s := make([]uint64, tc.n)
+		for i := range s {
+			s[i] = rng.Uint64()
+		}
+		want := append([]uint64(nil), s...)
+		sortUint64(want)
+		parallelSortUint64(s, tc.workers)
+		for i := range s {
+			if s[i] != want[i] {
+				t.Fatalf("n=%d workers=%d: s[%d] = %d, want %d", tc.n, tc.workers, i, s[i], want[i])
+			}
+		}
+	}
+}
+
+// TestBuildHighWorkerCounts runs the full build at worker counts past
+// the chunk-rounding boundary and pins the output against the serial
+// path.
+func TestBuildHighWorkerCounts(t *testing.T) {
+	mk := func() *Builder {
+		b := NewBuilderWithAlphabet(MustAlphabet("a", "b"))
+		r := rand.New(rand.NewSource(29))
+		n := 400
+		for i := 0; i < n; i++ {
+			b.AddLabeledNode(Label(i % 2))
+		}
+		for len(b.edges) < parallelBuildMin+1 {
+			u, v := r.Intn(n), r.Intn(n)
+			if u != v {
+				b.AddEdge(NodeID(u), NodeID(v))
+			}
+		}
+		return b
+	}
+	gs, err := mk().build(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{46, 64, 128} {
+		gp, err := mk().build(workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireGraphsEqual(t, gs, gp)
 	}
 }

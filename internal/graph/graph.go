@@ -45,7 +45,21 @@ type Graph struct {
 
 	alphabet *Alphabet
 	numEdges int
+
+	// backing retains the memory that aliased CSR slices point into (the
+	// read-only mapping on the zero-copy load path); see PinBacking.
+	backing any
 }
+
+// PinBacking retains an opaque reference to the memory backing the
+// graph's CSR slices — the read-only file mapping on the zero-copy load
+// path. Accessors hand out sub-slices of those arrays (Neighbors,
+// IncidentEdges) which do not keep the Graph itself reachable, so no
+// finalizer can know when the backing is truly dead; pinning it here and
+// never releasing it is the only sound lifetime. The pages are clean and
+// file-backed, so an unreleased mapping costs address space, not
+// resident memory.
+func (g *Graph) PinBacking(backing any) { g.backing = backing }
 
 // Alphabet maps between Label values and their string names. An Alphabet is
 // immutable once its Graph is built.
